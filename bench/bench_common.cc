@@ -1,0 +1,44 @@
+#include "bench_common.hh"
+
+namespace ttmcas::bench {
+
+void
+banner(const std::string& title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+void
+emitCsv(const std::string& name, const std::string& content)
+{
+    const std::string path = std::string(kOutputDir) + "/" + name;
+    writeFile(path, content);
+    std::cout << "[csv] " << path << "\n";
+}
+
+const std::vector<std::string>&
+paperNodes()
+{
+    static const std::vector<std::string> nodes{
+        "250nm", "180nm", "130nm", "90nm", "65nm",
+        "40nm",  "28nm",  "14nm",  "7nm",  "5nm"};
+    return nodes;
+}
+
+TtmModel::Options
+a11ModelOptions()
+{
+    TtmModel::Options options;
+    options.tapeout_engineers = kA11TapeoutEngineers;
+    return options;
+}
+
+TtmModel::Options
+zen2ModelOptions()
+{
+    TtmModel::Options options;
+    options.tapeout_engineers = kZen2TapeoutEngineers;
+    return options;
+}
+
+} // namespace ttmcas::bench

@@ -1,0 +1,46 @@
+#ifndef TTMCAS_BENCH_BENCH_COMMON_HH
+#define TTMCAS_BENCH_BENCH_COMMON_HH
+
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction binaries.
+ *
+ * Every bench prints its reproduction to stdout (formatted like the
+ * paper's table/figure) and mirrors the data into bench_out/<name>.csv
+ * so external plotting tools can regenerate the figures.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/reference_designs.hh"
+#include "core/ttm_model.hh"
+#include "report/matrix.hh"
+#include "report/series.hh"
+#include "report/table.hh"
+#include "support/strutil.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas::bench {
+
+/** Directory all bench CSV outputs land in. */
+inline constexpr const char* kOutputDir = "bench_out";
+
+/** Print a bench banner. */
+void banner(const std::string& title);
+
+/** Write CSV content under bench_out/ and announce the path. */
+void emitCsv(const std::string& name, const std::string& content);
+
+/** The ten process nodes of the paper's figures, coarsest first. */
+const std::vector<std::string>& paperNodes();
+
+/** TtmModel options for the A11-style studies (100 engineers). */
+TtmModel::Options a11ModelOptions();
+
+/** TtmModel options for the Zen 2 study (150 engineers, Table 4). */
+TtmModel::Options zen2ModelOptions();
+
+} // namespace ttmcas::bench
+
+#endif // TTMCAS_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: the A11 time-to-market matrix over
+ * process nodes x final-chip volumes, with the fastest node per volume
+ * highlighted. This is the library's primary calibration target — the
+ * bench prints measured-vs-paper side by side.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Figure 10: A11 TTM matrix (nodes x final chips)");
+
+    const TtmModel model(defaultTechnologyDb(), a11ModelOptions());
+    const std::vector<double> volumes{1e3, 1e4, 1e5, 1e6, 1e7, 1e8};
+    const std::vector<std::string> volume_labels{"1K",  "10K", "100K",
+                                                 "1M",  "10M", "100M"};
+
+    // Paper Fig. 10 (rows: 1K..100M, columns: 250nm..5nm).
+    const double paper[6][10] = {
+        {20.3, 20.4, 20.7, 21.0, 21.5, 22.2, 23.3, 29.5, 42.9, 53.5},
+        {20.4, 20.5, 20.7, 21.0, 21.5, 22.2, 23.3, 29.5, 42.9, 53.5},
+        {21.4, 20.6, 20.9, 21.3, 21.6, 22.2, 23.3, 29.5, 42.9, 53.5},
+        {31.8, 22.1, 23.4, 24.0, 22.3, 22.5, 23.5, 29.5, 42.9, 53.5},
+        {135.0, 37.2, 47.9, 51.3, 29.6, 25.4, 24.8, 30.1, 43.1, 53.7},
+        {1166.0, 188.0, 293.0, 324.0, 103.0, 54.5, 38.0, 35.3, 44.8,
+         56.1},
+    };
+
+    LabeledMatrix measured("Measured TTM (weeks)", volume_labels,
+                           paperNodes());
+    LabeledMatrix reference("Paper TTM (weeks)", volume_labels,
+                            paperNodes());
+    LabeledMatrix error("Relative error vs paper", volume_labels,
+                        paperNodes());
+
+    for (std::size_t row = 0; row < volumes.size(); ++row) {
+        for (std::size_t col = 0; col < paperNodes().size(); ++col) {
+            const double ttm =
+                model.evaluate(designs::a11(paperNodes()[col]),
+                               volumes[row])
+                    .total()
+                    .value();
+            measured.set(row, col, ttm);
+            reference.set(row, col, paper[row][col]);
+            error.set(row, col,
+                      (ttm - paper[row][col]) / paper[row][col]);
+        }
+    }
+
+    std::cout << measured.render() << "\n";
+    std::cout << reference.render() << "\n";
+    std::cout << error.render([](double e) {
+        return formatFixed(100.0 * e, 1) + "%";
+    }) << "\n";
+
+    // Fastest node per volume (the paper's blue boxes).
+    std::cout << "Fastest node per volume:\n";
+    for (std::size_t row = 0; row < volumes.size(); ++row) {
+        std::size_t best_col = 0;
+        for (std::size_t col = 1; col < paperNodes().size(); ++col) {
+            if (measured.at(row, col).value() <
+                measured.at(row, best_col).value())
+                best_col = col;
+        }
+        std::cout << "  " << padRight(volume_labels[row], 5) << " -> "
+                  << paperNodes()[best_col] << "\n";
+    }
+    std::cout << "\n";
+
+    emitCsv("fig10_ttm_matrix_measured.csv", measured.renderCsv());
+    emitCsv("fig10_ttm_matrix_paper.csv", reference.renderCsv());
+    return 0;
+}

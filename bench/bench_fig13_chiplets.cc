@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: (a) time-to-market and (b) chip creation
+ * cost versus final-chip volume, and (c) CAS versus % of max
+ * production capacity, for the eight Zen 2 chiplet/monolithic/
+ * interposer configurations. Also reproduces the Section 6.5 what-if:
+ * moving the interposer from 65nm to 40nm.
+ */
+
+#include "core/cas.hh"
+#include "econ/cost_model.hh"
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Figure 13: Zen 2 chiplet / mixed-process study");
+
+    const TechnologyDb db = defaultTechnologyDb();
+    const TtmModel model(db, zen2ModelOptions());
+    const CasModel cas(model);
+    const CostModel costs(db);
+
+    const auto configs = designs::allZen2Configs();
+
+    // (a) TTM and (b) cost vs number of final chips.
+    const std::vector<double> volumes{10e6, 25e6, 50e6, 75e6, 100e6};
+    FigureData ttm_figure("Fig. 13a: TTM vs final chips",
+                          "chips_millions", "ttm_weeks");
+    FigureData cost_figure("Fig. 13b: cost vs final chips",
+                           "chips_millions", "cost_billions");
+    Table summary({"Configuration", "TTM@50M", "Cost@50M ($B)",
+                   "CAS@full", "CAS@50% cap"});
+    summary.setAlign(0, Align::Left);
+
+    // (c) CAS vs capacity fraction.
+    FigureData cas_figure("Fig. 13c: CAS vs production capacity",
+                          "capacity_pct", "cas");
+    std::vector<double> fractions;
+    for (int percent = 20; percent <= 100; percent += 10)
+        fractions.push_back(percent / 100.0);
+
+    for (const auto config : configs) {
+        const ChipDesign design = designs::zen2(config);
+        const std::string name = designs::zen2ConfigName(config);
+
+        for (double n : volumes) {
+            ttm_figure.series(name).points.push_back(
+                {n / 1e6, model.evaluate(design, n).total().value(),
+                 {}, {}, {}, {}});
+            cost_figure.series(name).points.push_back(
+                {n / 1e6, costs.evaluate(design, n).total().value() / 1e9,
+                 {}, {}, {}, {}});
+        }
+
+        const auto cas_sweep = cas.capacitySweep(design, 50e6, fractions);
+        for (const auto& point : cas_sweep) {
+            cas_figure.series(name).points.push_back(
+                {point.capacity_fraction * 100.0, point.cas,
+                 {}, {}, {}, {}});
+        }
+
+        MarketConditions half;
+        for (const std::string& node : design.processNodes())
+            half.setCapacityFactor(node, 0.5);
+        summary.addRow(
+            {name,
+             formatFixed(model.evaluate(design, 50e6).total().value(), 1),
+             formatFixed(costs.evaluate(design, 50e6).total().value() /
+                             1e9, 2),
+             formatFixed(cas.cas(design, 50e6), 1),
+             formatFixed(cas.cas(design, 50e6, half), 1)});
+    }
+
+    std::cout << summary.render() << "\n";
+    std::cout << ttm_figure.renderText(1) << "\n";
+
+    // Section 6.5 what-if: interposer on 40nm instead of 65nm.
+    const ChipDesign on_65 = designs::zen2(
+        designs::Zen2Config::OriginalWithInterposer, "65nm");
+    const ChipDesign on_40 = designs::zen2(
+        designs::Zen2Config::OriginalWithInterposer, "40nm");
+    const double n_what_if = 100e6;
+    const double ttm_65 =
+        model.evaluate(on_65, n_what_if).total().value();
+    const double ttm_40 =
+        model.evaluate(on_40, n_what_if).total().value();
+    const double cas_65 = cas.cas(on_65, n_what_if);
+    const double cas_40 = cas.cas(on_40, n_what_if);
+    const double cost_65 =
+        costs.evaluate(on_65, n_what_if).total().value();
+    const double cost_40 =
+        costs.evaluate(on_40, n_what_if).total().value();
+    std::cout << "Interposer node what-if at 100M chips: 65nm -> 40nm "
+                 "cuts TTM "
+              << formatFixed(ttm_65, 1) << " -> " << formatFixed(ttm_40, 1)
+              << " weeks (paper: 51 -> 45), raises max CAS by "
+              << formatFixed(100.0 * (cas_40 / cas_65 - 1.0), 0)
+              << "% (paper: +126%), costs "
+              << formatDollars(cost_40 - cost_65, 0)
+              << " more (paper: +$77M).\n\n";
+
+    emitCsv("fig13a_ttm.csv", ttm_figure.renderCsv());
+    emitCsv("fig13b_cost.csv", cost_figure.renderCsv());
+    emitCsv("fig13c_cas.csv", cas_figure.renderCsv());
+    return 0;
+}

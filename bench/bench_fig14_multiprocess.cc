@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: the two-process chip design study for
+ * the Raven/PicoRV32-class multicore at 1 billion final chips. For
+ * every (primary, secondary) node pair the CAS-optimal production
+ * split is found; matrices report (a) TTM, (b) cost, and (c) the
+ * split percentage. The diagonal holds single-process plans.
+ */
+
+#include "econ/cost_model.hh"
+#include "opt/split_optimizer.hh"
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Figure 14: two-process production study, Raven-class "
+           "multicore, 1B chips");
+
+    const double n = 1e9;
+    const TechnologyDb db = defaultTechnologyDb();
+    TtmModel::Options options;
+    options.tapeout_engineers = kRavenTapeoutEngineers;
+
+    SplitPlanner::Options plan_options;
+    for (int percent = 2; percent <= 100; percent += 2)
+        plan_options.fractions.push_back(percent / 100.0);
+    const SplitPlanner planner(TtmModel(db, options), CostModel(db),
+                               plan_options);
+    const DesignFactory raven = [](const std::string& process) {
+        return designs::ravenMulticore(process);
+    };
+
+    const auto& nodes = paperNodes();
+    LabeledMatrix ttm("(a) TTM (weeks), CAS-optimal split", nodes,
+                      nodes);
+    LabeledMatrix cost("(b) Chip creation cost ($B)", nodes, nodes);
+    LabeledMatrix split("(c) % of chips from primary process", nodes,
+                        nodes);
+
+    ProductionPlan fastest;
+    bool have_fastest = false;
+    std::string fastest_primary, fastest_secondary;
+
+    // Upper triangle: primary = column, secondary = row (the paper's
+    // layout); diagonal = single process.
+    for (std::size_t row = 0; row < nodes.size(); ++row) {
+        for (std::size_t col = row; col < nodes.size(); ++col) {
+            ProductionPlan plan;
+            if (row == col) {
+                plan = planner.singleProcessPlan(raven, n, nodes[col]);
+            } else {
+                plan = planner.optimizeCas(raven, n, nodes[col],
+                                           nodes[row]);
+            }
+            ttm.set(row, col, plan.ttm.value());
+            cost.set(row, col, plan.cost.value() / 1e9);
+            split.set(row, col, plan.primary_fraction * 100.0);
+            if (!have_fastest || plan.ttm.value() < fastest.ttm.value()) {
+                fastest = plan;
+                fastest_primary = nodes[col];
+                fastest_secondary = row == col ? "(single)" : nodes[row];
+                have_fastest = true;
+            }
+        }
+    }
+
+    std::cout << ttm.render() << "\n";
+    std::cout << cost.render(
+                     [](double b) { return formatFixed(b, 2); })
+              << "\n";
+    std::cout << split.render(
+                     [](double pct) { return formatFixed(pct, 0); })
+              << "\n";
+
+    std::cout << "Overall fastest CAS-optimal combination: primary "
+              << fastest_primary << ", secondary " << fastest_secondary
+              << ", split "
+              << formatFixed(fastest.primary_fraction * 100.0, 0)
+              << "%, TTM " << formatFixed(fastest.ttm.value(), 1)
+              << " weeks (paper: the 28nm+40nm pair).\n";
+
+    // Section 7's multi-process savings for slow legacy primaries.
+    for (const char* primary : {"250nm", "130nm", "90nm"}) {
+        const ProductionPlan single =
+            planner.singleProcessPlan(raven, n, primary);
+        // "adding parallel manufacturing on the next smaller process"
+        const std::string secondary =
+            std::string(primary) == "250nm"
+                ? "180nm"
+                : (std::string(primary) == "130nm" ? "90nm" : "65nm");
+        const ProductionPlan pair =
+            planner.optimizeCas(raven, n, primary, secondary);
+        std::cout << "  " << primary << "+" << secondary << " saves "
+                  << formatFixed(single.ttm.value() - pair.ttm.value(), 1)
+                  << " weeks over single-" << primary
+                  << " (paper: 40/6/13 weeks at 250/130/90nm).\n";
+    }
+    std::cout << "\n";
+
+    emitCsv("fig14a_ttm.csv", ttm.renderCsv());
+    emitCsv("fig14b_cost.csv", cost.renderCsv());
+    emitCsv("fig14c_split.csv", split.renderCsv());
+    return 0;
+}

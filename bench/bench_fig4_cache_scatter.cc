@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: IPC versus time-to-market for every
+ * (I$, D$) capacity pair from 1KB to 1MB, manufacturing 100M 16-core
+ * Ariane chips at 14nm. Miss rates come from the synthetic workload
+ * suite run through the cache simulator (the SPEC2000 substitution;
+ * see DESIGN.md).
+ */
+
+#include "bench_common.hh"
+#include "cache_study_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Figure 4: IPC vs TTM for (I$, D$) capacity, 100M 16-core "
+           "Ariane chips at 14nm");
+
+    const CacheSweep sweep = makeCacheSweep();
+    CacheSweepOptions options;
+    options.process = "14nm";
+    options.n_chips = 100e6;
+    const auto points = sweep.sweep(options);
+
+    Table table({"I$", "D$", "IPC", "TTM (weeks)"});
+    table.setAlign(0, Align::Left).setAlign(1, Align::Left);
+    FigureData figure("Fig. 4: IPC vs TTM scatter", "ipc", "ttm_weeks");
+
+    double min_ipc = 1.0, max_ipc = 0.0;
+    double min_ttm = 1e9, max_ttm = 0.0;
+    for (const auto& point : points) {
+        table.addRow({cacheSizeLabel(point.icache_bytes),
+                      cacheSizeLabel(point.dcache_bytes),
+                      formatFixed(point.ipc, 3),
+                      formatFixed(point.ttm.value(), 2)});
+        figure
+            .series("i" + cacheSizeLabel(point.icache_bytes))
+            .points.push_back(
+                {point.ipc, point.ttm.value(), {}, {}, {}, {}});
+        min_ipc = std::min(min_ipc, point.ipc);
+        max_ipc = std::max(max_ipc, point.ipc);
+        min_ttm = std::min(min_ttm, point.ttm.value());
+        max_ttm = std::max(max_ttm, point.ttm.value());
+    }
+
+    std::cout << table.render() << "\n";
+    std::cout << "IPC range: " << formatFixed(min_ipc, 3) << " - "
+              << formatFixed(max_ipc, 3)
+              << "  (paper: ~0.12 - 0.26)\n";
+    std::cout << "TTM range: " << formatFixed(min_ttm, 1) << " - "
+              << formatFixed(max_ttm, 1)
+              << " weeks  (paper: ~24 - 32)\n\n";
+
+    emitCsv("fig4_cache_scatter.csv", figure.renderCsv());
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: normalized IPC/TTM versus normalized
+ * IPC/cost over the (I$, D$) sweep, and locates the two optima — the
+ * paper's purple (IPC/TTM) and red (IPC/cost) markers. Also reproduces
+ * the quantified claim that the IPC/TTM-optimal design sacrifices only
+ * a little IPC/cost while the IPC/cost-optimal design gives up much
+ * more IPC/TTM.
+ */
+
+#include "bench_common.hh"
+#include "cache_study_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Figure 5: normalized IPC/TTM vs IPC/cost for (I$, D$) "
+           "capacity");
+
+    const CacheSweep sweep = makeCacheSweep();
+    CacheSweepOptions options;
+    options.process = "14nm";
+    options.n_chips = 100e6;
+    const auto points = sweep.sweep(options);
+
+    const auto& best_ttm = CacheSweep::bestByIpcPerTtm(points);
+    const auto& best_cost = CacheSweep::bestByIpcPerCost(points);
+
+    FigureData figure("Fig. 5: normalized IPC/TTM vs IPC/cost",
+                      "ipc_per_ttm_norm", "ipc_per_cost_norm");
+    Table table({"I$", "D$", "IPC/TTM (norm)", "IPC/cost (norm)",
+                 "marker"});
+    table.setAlign(0, Align::Left).setAlign(1, Align::Left);
+    table.setAlign(4, Align::Left);
+
+    for (const auto& point : points) {
+        const double x = point.ipcPerTtm() / best_ttm.ipcPerTtm();
+        const double y = point.ipcPerCost() / best_cost.ipcPerCost();
+        std::string marker;
+        if (&point == &best_ttm)
+            marker = "<- max IPC/TTM (purple)";
+        if (&point == &best_cost)
+            marker += "<- max IPC/cost (red)";
+        figure.series("sweep").points.push_back({x, y, {}, {}, {}, {}});
+        table.addRow({cacheSizeLabel(point.icache_bytes),
+                      cacheSizeLabel(point.dcache_bytes),
+                      formatFixed(x, 3), formatFixed(y, 3), marker});
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "IPC/TTM optimum:  I$=" <<
+        cacheSizeLabel(best_ttm.icache_bytes)
+              << " D$=" << cacheSizeLabel(best_ttm.dcache_bytes)
+              << "  (paper: 32KB / 32KB)\n";
+    std::cout << "IPC/cost optimum: I$=" <<
+        cacheSizeLabel(best_cost.icache_bytes)
+              << " D$=" << cacheSizeLabel(best_cost.dcache_bytes)
+              << "  (paper: 64KB / 128KB)\n";
+
+    const double ttm_opt_cost_loss =
+        1.0 - best_ttm.ipcPerCost() / best_cost.ipcPerCost();
+    const double cost_opt_ttm_loss =
+        1.0 - best_cost.ipcPerTtm() / best_ttm.ipcPerTtm();
+    std::cout << "IPC/TTM-optimal design loses "
+              << formatFixed(100.0 * ttm_opt_cost_loss, 1)
+              << "% IPC/cost (paper: 4%)\n";
+    std::cout << "IPC/cost-optimal design loses "
+              << formatFixed(100.0 * cost_opt_ttm_loss, 1)
+              << "% IPC/TTM (paper: 18%)\n\n";
+
+    emitCsv("fig5_cache_normalized.csv", figure.renderCsv());
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: the IPC/TTM-optimal (I$, D$) configuration
+ * for each (process node, number of final chips) cell, with the cache
+ * area share of the die as the color axis. Expected shapes: finer
+ * nodes afford bigger caches; higher volumes push toward smaller
+ * caches; D$ generally >= I$ except for mass production on legacy
+ * nodes.
+ */
+
+#include "bench_common.hh"
+#include "cache_study_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Figure 6: IPC/TTM-optimal (I$/D$) per node and volume");
+
+    const CacheSweep sweep = makeCacheSweep();
+    const std::vector<double> volumes{1e3, 1e4, 1e5, 1e6, 1e7, 1e8};
+    const std::vector<std::string> volume_labels{"1K",  "10K", "100K",
+                                                 "1M",  "10M", "100M"};
+
+    // One matrix per displayed quantity: the optimal I$ and D$ in KB,
+    // plus the cache-area fraction (the paper's color bar).
+    std::vector<std::string> row_labels(volume_labels.rbegin(),
+                                        volume_labels.rend());
+    LabeledMatrix icache("Optimal I$ (KB)", row_labels, paperNodes());
+    LabeledMatrix dcache("Optimal D$ (KB)", row_labels, paperNodes());
+    LabeledMatrix area_frac("Cache area fraction of die", row_labels,
+                            paperNodes());
+
+    for (std::size_t col = 0; col < paperNodes().size(); ++col) {
+        const std::string& node = paperNodes()[col];
+        for (std::size_t vi = 0; vi < volumes.size(); ++vi) {
+            CacheSweepOptions options;
+            options.process = node;
+            options.n_chips = volumes[vi];
+            const auto points = sweep.sweep(options);
+            const auto& best = CacheSweep::bestByIpcPerTtm(points);
+            const std::size_t row = volumes.size() - 1 - vi;
+            icache.set(row, col,
+                       static_cast<double>(best.icache_bytes) / 1024.0);
+            dcache.set(row, col,
+                       static_cast<double>(best.dcache_bytes) / 1024.0);
+            area_frac.set(row, col, best.cache_area_fraction);
+        }
+    }
+
+    const auto kb_format = [](double kb) {
+        return kb >= 1024.0 ? "1M" : formatFixed(kb, 0) + "K";
+    };
+    std::cout << icache.render(kb_format) << "\n";
+    std::cout << dcache.render(kb_format) << "\n";
+    std::cout << area_frac.render(
+                     [](double f) { return formatFixed(f, 2); })
+              << "\n";
+
+    // The paper's qualitative claims, checked on the spot.
+    const double icache_legacy_mass = icache.at(0, 0).value();  // 250nm
+    const double icache_5nm_mass = icache.at(0, 9).value();     // 5nm
+    std::cout << "100M-chip optimum grows from "
+              << kb_format(icache_legacy_mass) << " I$ at 250nm to "
+              << kb_format(icache_5nm_mass)
+              << " at 5nm (paper: 16K -> 32K)\n\n";
+
+    emitCsv("fig6_icache_matrix.csv", icache.renderCsv());
+    emitCsv("fig6_dcache_matrix.csv", dcache.renderCsv());
+    emitCsv("fig6_cache_area_fraction.csv", area_frac.renderCsv());
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: CAS versus % of max production rate for
+ * 10 million A11 chips on the five most advanced in-production nodes
+ * (40, 28, 14, 7, 5nm), with 95% CI bands under +/-10% and +/-25%
+ * input variance. Expected: 7nm highest, then 14nm, 5nm, 28nm, 40nm.
+ */
+
+#include "core/cas.hh"
+#include "report/ascii_plot.hh"
+#include "core/uncertainty.hh"
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Figure 9: CAS for 10M A11 chips vs % of max production "
+           "rate");
+
+    const double n = 10e6;
+    const TechnologyDb db = defaultTechnologyDb();
+    const CasModel cas(TtmModel(db, a11ModelOptions()));
+    const UncertaintyAnalysis analysis(db, a11ModelOptions());
+
+    const std::vector<std::string> nodes{"40nm", "28nm", "14nm", "7nm",
+                                         "5nm"};
+    std::vector<double> fractions;
+    for (int percent = 10; percent <= 100; percent += 10)
+        fractions.push_back(percent / 100.0);
+
+    FigureData figure("Fig. 9: A11 CAS vs production capacity",
+                      "capacity_pct", "cas");
+    Table table({"% Capacity", "40nm", "28nm", "14nm", "7nm", "5nm"});
+
+    std::vector<std::vector<double>> columns(nodes.size());
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+        const ChipDesign a11 = designs::a11(nodes[ni]);
+        const auto sweep = cas.capacitySweep(a11, n, fractions);
+        for (const auto& point : sweep)
+            columns[ni].push_back(point.cas);
+
+        // CI bands at full capacity (cheap but faithful: the paper
+        // shades the whole curve; we record bands at each decile).
+        for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+            MarketConditions market;
+            market.setCapacityFactor(nodes[ni], fractions[fi]);
+            UncertaintyAnalysis::Options mc10;
+            mc10.band = 0.10;
+            mc10.samples = 96;
+            UncertaintyAnalysis::Options mc25 = mc10;
+            mc25.band = 0.25;
+            const Summary s10 =
+                analysis.casSummary(a11, n, market, mc10);
+            const Summary s25 =
+                analysis.casSummary(a11, n, market, mc25);
+            SeriesPoint point;
+            point.x = fractions[fi] * 100.0;
+            point.y = columns[ni][fi];
+            point.band10_lo = s10.percentileInterval(0.95).lo;
+            point.band10_hi = s10.percentileInterval(0.95).hi;
+            point.band25_lo = s25.percentileInterval(0.95).lo;
+            point.band25_hi = s25.percentileInterval(0.95).hi;
+            figure.series(nodes[ni]).points.push_back(point);
+        }
+    }
+
+    for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+        std::vector<std::string> row{
+            formatFixed(fractions[fi] * 100.0, 0)};
+        for (std::size_t ni = 0; ni < nodes.size(); ++ni)
+            row.push_back(formatFixed(columns[ni][fi], 1));
+        table.addRow(row);
+    }
+    std::cout << table.render() << "\n";
+    std::cout << AsciiPlot().render(figure) << "\n";
+
+    std::cout << "Full-capacity CAS: 7nm "
+              << formatFixed(columns[3].back(), 0) << " > 14nm "
+              << formatFixed(columns[2].back(), 0) << " > 5nm "
+              << formatFixed(columns[4].back(), 0) << " > 28nm "
+              << formatFixed(columns[1].back(), 0) << " > 40nm "
+              << formatFixed(columns[0].back(), 0)
+              << "  (paper ordering: 7 > 14 > 5 > 28 > 40, peak ~175)"
+              << "\n\n";
+
+    emitCsv("fig9_a11_cas.csv", figure.renderCsv());
+    return 0;
+}

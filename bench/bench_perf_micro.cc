@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the model-evaluation kernels:
+ * how fast can a user sweep designs? These are throughput numbers for
+ * the library itself, not paper reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/cas.hh"
+#include "core/reference_designs.hh"
+#include "core/uncertainty.hh"
+#include "sim/cache.hh"
+#include "sim/pipeline.hh"
+#include "sim/trace.hh"
+#include "stats/rng.hh"
+#include "tech/default_dataset.hh"
+
+namespace {
+
+using namespace ttmcas;
+
+TtmModel::Options
+a11Options()
+{
+    TtmModel::Options options;
+    options.tapeout_engineers = kA11TapeoutEngineers;
+    return options;
+}
+
+void
+BM_TtmEvaluate(benchmark::State& state)
+{
+    const TtmModel model(defaultTechnologyDb(), a11Options());
+    const ChipDesign a11 = designs::a11("7nm");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(a11, 10e6).total().value());
+    }
+}
+BENCHMARK(BM_TtmEvaluate);
+
+void
+BM_TtmEvaluateChiplet(benchmark::State& state)
+{
+    const TtmModel model(defaultTechnologyDb(), a11Options());
+    const ChipDesign zen =
+        designs::zen2(designs::Zen2Config::OriginalWithInterposer);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(zen, 10e6).total().value());
+    }
+}
+BENCHMARK(BM_TtmEvaluateChiplet);
+
+void
+BM_CasSingleNode(benchmark::State& state)
+{
+    const CasModel cas(TtmModel(defaultTechnologyDb(), a11Options()));
+    const ChipDesign a11 = designs::a11("7nm");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cas.cas(a11, 10e6));
+}
+BENCHMARK(BM_CasSingleNode);
+
+void
+BM_MonteCarloTtm128(benchmark::State& state)
+{
+    const UncertaintyAnalysis analysis(defaultTechnologyDb(),
+                                       a11Options());
+    const ChipDesign a11 = designs::a11("7nm");
+    UncertaintyAnalysis::Options options;
+    options.samples = 128;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis.sampleTtm(a11, 10e6, {}, options).size());
+    }
+}
+BENCHMARK(BM_MonteCarloTtm128);
+
+void
+BM_CacheSimZipf(benchmark::State& state)
+{
+    CacheConfig config;
+    config.size_bytes = static_cast<std::uint64_t>(state.range(0));
+    Cache cache(config);
+    ZipfTrace trace(4096, 1.1, 64);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(trace.next(rng)));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_CacheSimZipf)->Arg(16 * 1024)->Arg(256 * 1024);
+
+void
+BM_PipelineSimulator10k(benchmark::State& state)
+{
+    const PipelineConfig config;
+    for (auto _ : state) {
+        PipelineSimulator simulator(config);
+        benchmark::DoNotOptimize(simulator.run(10'000, 1).cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_PipelineSimulator10k);
+
+void
+BM_SobolSixInputs256(benchmark::State& state)
+{
+    const UncertaintyAnalysis analysis(defaultTechnologyDb(),
+                                       a11Options());
+    const ChipDesign a11 = designs::a11("7nm");
+    UncertaintyAnalysis::Options options;
+    options.samples = 256;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis.ttmSensitivity(a11, 10e6, {}, options)
+                .total_effect.size());
+    }
+}
+BENCHMARK(BM_SobolSixInputs256);
+
+} // namespace
+
+BENCHMARK_MAIN();

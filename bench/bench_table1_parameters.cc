@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Table 1 (the model's parameter glossary) with the
+ * library's live values: every Eq. 1-8 symbol, what it means, where it
+ * lives in the API, and — for the per-node parameters — the full
+ * default dataset, so one binary shows the exact numbers every other
+ * bench runs on.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Table 1: chip creation process model parameters");
+
+    Table glossary({"Parameter", "Meaning", "API"});
+    glossary.setAlign(0, Align::Left)
+        .setAlign(1, Align::Left)
+        .setAlign(2, Align::Left);
+    glossary.addRow({"N_TT", "total transistors per die",
+                     "Die::total_transistors"});
+    glossary.addRow({"N_UT", "unique/unverified transistors",
+                     "Die::unique_transistors"});
+    glossary.addRow({"E_tapeout", "tapeout engineering effort",
+                     "ProcessNode::tapeout_effort_hours_per_transistor"});
+    glossary.addRow({"N_W", "wafers for the order",
+                     "TtmModel::waferDemand"});
+    glossary.addRow({"muW", "foundry wafer production rate",
+                     "ProcessNode::wafer_rate_kwpm"});
+    glossary.addRow({"L_fab", "foundry fabrication latency",
+                     "ProcessNode::foundry_latency"});
+    glossary.addRow({"n", "number of final chips",
+                     "TtmModel::evaluate(design, n, market)"});
+    glossary.addRow({"Y", "die yield (Eq. 6)",
+                     "YieldModel::dieYield"});
+    glossary.addRow({"A_die", "die area", "Die::areaAt"});
+    glossary.addRow({"N_die,package", "dies per final chip",
+                     "Die::count_per_package"});
+    glossary.addRow({"L_TAP", "test/assembly/packaging latency",
+                     "ProcessNode::osat_latency"});
+    glossary.addRow({"E_testing", "testing engineering effort",
+                     "ProcessNode::testing_effort_weeks_per_e15"});
+    glossary.addRow({"E_packaging", "packaging engineering effort",
+                     "ProcessNode::packaging_effort_weeks_per_e9_mm2"});
+    std::cout << glossary.render() << "\n";
+
+    // The live per-node dataset behind every experiment.
+    const TechnologyDb db = defaultTechnologyDb();
+    Table dataset({"Node", "MTr/mm2", "D0 /mm2", "kW/mo", "Lfab",
+                   "E_tape h/Tr", "E_test", "E_pkg", "wafer $",
+                   "mask $", "fixed $"});
+    dataset.setAlign(0, Align::Left);
+    for (const ProcessNode& node : db.nodes()) {
+        dataset.addRow({node.name,
+                        formatFixed(node.density_mtr_per_mm2, 2),
+                        formatFixed(node.defect_density_per_mm2, 5),
+                        formatFixed(node.wafer_rate_kwpm, 0),
+                        formatFixed(node.foundry_latency.value(), 0),
+                        formatFixed(
+                            node.tapeout_effort_hours_per_transistor *
+                                1e6, 2) + "e-6",
+                        formatFixed(node.testing_effort_weeks_per_e15, 4),
+                        formatFixed(
+                            node.packaging_effort_weeks_per_e9_mm2, 3),
+                        formatDollars(node.wafer_cost.value(), 0),
+                        formatDollars(node.mask_set_cost.value(), 1),
+                        formatDollars(node.tapeout_fixed_cost.value(),
+                                      2)});
+    }
+    std::cout << dataset.render() << "\n";
+    std::cout << "Derivations per column: src/tech/default_dataset.cc; "
+                 "swap the whole table via tech/dataset_io CSV.\n\n";
+
+    emitCsv("table1_dataset.csv", dataset.renderCsv());
+    return 0;
+}

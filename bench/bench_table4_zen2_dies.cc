@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Table 4: the Zen 2-like architecture's per-die
+ * transistor counts, areas, and tapeout times at the 14/12nm class and
+ * 7nm (150-engineer pace, as the paper's numbers imply).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+    using namespace ttmcas::bench;
+
+    banner("Table 4: Zen 2-like die transistor counts, areas, and "
+           "tapeout times");
+
+    const TtmModel model(defaultTechnologyDb(), zen2ModelOptions());
+
+    struct DieRow
+    {
+        const char* name;
+        double ntt;
+        double nut;
+        double area_12;
+        double area_7;
+        const char* coarse_node;
+        double paper_tapeout_12;
+        double paper_tapeout_7;
+    };
+    const DieRow rows[] = {
+        {"Compute", 3.8e9, 475e6, 206.0, 74.0, "14nm", 3.6, 10.4},
+        {"I/O", 2.1e9, 523e6, 125.0, 38.0, "12nm", 4.0, 11.5},
+    };
+
+    Table table({"Die", "NTT", "NUT", "A (14|12/7nm, mm2)",
+                 "T_tapeout 14|12nm (wk)", "paper", "T_tapeout 7nm (wk)",
+                 "paper"});
+    table.setAlign(0, Align::Left);
+
+    for (const DieRow& row : rows) {
+        const auto tapeout_weeks = [&](const std::string& node) {
+            const ChipDesign block = makeMonolithicDesign(
+                row.name, node, row.ntt, row.nut);
+            return model.evaluate(block, 1.0).tapeout_time.value();
+        };
+        table.addRow({row.name, formatSi(row.ntt, 1),
+                      formatSi(row.nut, 0),
+                      formatFixed(row.area_12, 0) + " / " +
+                          formatFixed(row.area_7, 0),
+                      formatFixed(tapeout_weeks(row.coarse_node), 1),
+                      formatFixed(row.paper_tapeout_12, 1),
+                      formatFixed(tapeout_weeks("7nm"), 1),
+                      formatFixed(row.paper_tapeout_7, 1)});
+    }
+
+    std::cout << table.render() << "\n";
+    std::cout << "Asterisked paper values (NTT, compute area at 14nm, "
+                 "I/O area at 7nm) are inputs from Naffziger et al. / "
+                 "Singh et al., as in the paper.\n\n";
+
+    emitCsv("table4_zen2_dies.csv", table.renderCsv());
+    return 0;
+}

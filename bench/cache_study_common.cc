@@ -1,0 +1,38 @@
+#include "cache_study_common.hh"
+
+#include "sim/ipc_model.hh"
+#include "sim/workloads.hh"
+#include "support/strutil.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas::bench {
+
+MissCurveOptions
+cacheStudyCurveOptions()
+{
+    MissCurveOptions options;
+    options.warmup_accesses = 100'000;
+    options.measured_accesses = 300'000;
+    return options;
+}
+
+CacheSweep
+makeCacheSweep()
+{
+    const auto suite = defaultWorkloadSuite();
+    const auto [instruction_curve, data_curve] =
+        averageMissCurves(suite, cacheStudyCurveOptions());
+    return CacheSweep(defaultTechnologyDb(), instruction_curve,
+                      data_curve, IpcModel{});
+}
+
+std::string
+cacheSizeLabel(std::uint64_t bytes)
+{
+    if (bytes >= 1024 * 1024)
+        return formatFixed(static_cast<double>(bytes) / (1024 * 1024), 0) +
+               "MB";
+    return formatFixed(static_cast<double>(bytes) / 1024, 0) + "KB";
+}
+
+} // namespace ttmcas::bench

@@ -1,0 +1,26 @@
+#ifndef TTMCAS_BENCH_CACHE_STUDY_COMMON_HH
+#define TTMCAS_BENCH_CACHE_STUDY_COMMON_HH
+
+/**
+ * @file
+ * Shared setup for the Section 6.1 cache-sizing benches (Figs. 4-6):
+ * measure the suite-average miss curves once and build the sweep.
+ */
+
+#include "opt/cache_optimizer.hh"
+#include "sim/miss_curves.hh"
+
+namespace ttmcas::bench {
+
+/** Miss-curve measurement settings used by all three cache benches. */
+MissCurveOptions cacheStudyCurveOptions();
+
+/** Build the CacheSweep over the default technology and workloads. */
+CacheSweep makeCacheSweep();
+
+/** Human label for a capacity: 1024 -> "1KB", 1048576 -> "1MB". */
+std::string cacheSizeLabel(std::uint64_t bytes);
+
+} // namespace ttmcas::bench
+
+#endif // TTMCAS_BENCH_CACHE_STUDY_COMMON_HH

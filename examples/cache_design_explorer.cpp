@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cache design-space explorer (the Section 6.1 workflow as a tool).
+ *
+ * Sweeps (I$, D$) capacities for a multicore chip, scores IPC from the
+ * built-in workload suite + cache simulator, TTM and cost from the
+ * supply-chain models, and prints the Pareto front plus the IPC/TTM
+ * and IPC/cost optima.
+ *
+ * Usage: cache_design_explorer [node] [million_chips]
+ *   e.g.: cache_design_explorer 14nm 100
+ */
+
+#include <iostream>
+#include <string>
+
+#include "opt/cache_optimizer.hh"
+#include "opt/pareto.hh"
+#include "report/table.hh"
+#include "sim/ipc_model.hh"
+#include "sim/workloads.hh"
+#include "support/strutil.hh"
+#include "tech/default_dataset.hh"
+
+namespace {
+
+std::string
+sizeLabel(std::uint64_t bytes)
+{
+    if (bytes >= 1024 * 1024)
+        return std::to_string(bytes / (1024 * 1024)) + "MB";
+    return std::to_string(bytes / 1024) + "KB";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ttmcas;
+
+    const std::string node = argc > 1 ? argv[1] : "14nm";
+    const double n_chips =
+        (argc > 2 ? std::stod(argv[2]) : 100.0) * 1e6;
+
+    std::cout << "Measuring miss curves over the workload suite...\n";
+    MissCurveOptions curve_options;
+    curve_options.warmup_accesses = 100'000;
+    curve_options.measured_accesses = 300'000;
+    const auto suite = defaultWorkloadSuite();
+    const auto [instruction_curve, data_curve] =
+        averageMissCurves(suite, curve_options);
+
+    const CacheSweep sweep(defaultTechnologyDb(), instruction_curve,
+                           data_curve, IpcModel{});
+    CacheSweepOptions options;
+    options.process = node;
+    options.n_chips = n_chips;
+
+    std::cout << "Sweeping (I$, D$) in 1KB..1MB at " << node << " for "
+              << formatSi(n_chips, 0) << " chips...\n\n";
+    const auto points = sweep.sweep(options);
+
+    // Pareto front over (IPC up, TTM down, cost down).
+    std::vector<std::vector<double>> scores;
+    for (const auto& point : points) {
+        scores.push_back(
+            {point.ipc, point.ttm.value(), point.cost.value()});
+    }
+    const auto front = paretoFront(
+        scores,
+        {Objective::Maximize, Objective::Minimize, Objective::Minimize});
+
+    Table table({"I$", "D$", "IPC", "TTM (wk)", "Cost", "IPC/TTM",
+                 "IPC/$ (x1e9)"});
+    table.setAlign(0, Align::Left).setAlign(1, Align::Left);
+    for (std::size_t index : front) {
+        const auto& point = points[index];
+        table.addRow({sizeLabel(point.icache_bytes),
+                      sizeLabel(point.dcache_bytes),
+                      formatFixed(point.ipc, 3),
+                      formatFixed(point.ttm.value(), 1),
+                      formatDollars(point.cost.value(), 2),
+                      formatFixed(point.ipcPerTtm(), 4),
+                      formatFixed(point.ipcPerCost() * 1e9, 3)});
+    }
+    std::cout << "Pareto-optimal configurations (" << front.size()
+              << " of " << points.size() << " swept):\n"
+              << table.render() << "\n";
+
+    const auto& best_ttm = CacheSweep::bestByIpcPerTtm(points);
+    const auto& best_cost = CacheSweep::bestByIpcPerCost(points);
+    std::cout << "Race-to-market pick (max IPC/TTM):  I$="
+              << sizeLabel(best_ttm.icache_bytes) << " D$="
+              << sizeLabel(best_ttm.dcache_bytes) << "\n";
+    std::cout << "Best-value pick     (max IPC/cost): I$="
+              << sizeLabel(best_cost.icache_bytes) << " D$="
+              << sizeLabel(best_cost.dcache_bytes) << "\n";
+    return 0;
+}

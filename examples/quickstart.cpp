@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: evaluate one chip design's time-to-market, cost, and
+ * Chip Agility Score under the default market snapshot, then stress it
+ * with a capacity cut.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/cas.hh"
+#include "core/ttm_model.hh"
+#include "econ/cost_model.hh"
+#include "support/strutil.hh"
+#include "tech/default_dataset.hh"
+
+int
+main()
+{
+    using namespace ttmcas;
+
+    // 1. A technology snapshot: the paper's Section 5 market estimate.
+    //    Swap in your own TechnologyDb to model your market.
+    const TechnologyDb db = defaultTechnologyDb();
+
+    // 2. Describe your chip. Here: a 2.4B-transistor SoC at 7nm with
+    //    200M unique (unverified) transistors and 14 weeks of
+    //    design/implementation work remaining.
+    ChipDesign soc = makeMonolithicDesign(
+        "my-soc", "7nm", /*total_transistors=*/2.4e9,
+        /*unique_transistors=*/200e6, /*design_time=*/Weeks(14.0));
+
+    // 3. Time-to-market (paper Eq. 1-7) for 5 million units.
+    const double n_chips = 50e6;
+    const TtmModel ttm_model(db);
+    const TtmResult ttm = ttm_model.evaluate(soc, n_chips);
+    std::cout << "Time-to-market for " << formatSi(n_chips, 0)
+              << " chips at 7nm\n"
+              << "  design+impl : " << formatFixed(ttm.design_time.value(), 1)
+              << " weeks\n"
+              << "  tapeout     : "
+              << formatFixed(ttm.tapeout_time.value(), 1) << " weeks ("
+              << formatSi(ttm.tapeout_effort.value(), 1)
+              << " engineering-hours)\n"
+              << "  fabrication : " << formatFixed(ttm.fab_time.value(), 1)
+              << " weeks (bottleneck: " << ttm.fab_bottleneck << ")\n"
+              << "  packaging   : "
+              << formatFixed(ttm.packaging_time.value(), 1) << " weeks\n"
+              << "  TOTAL       : " << formatFixed(ttm.total().value(), 1)
+              << " weeks\n\n";
+
+    // 4. Chip creation cost (Moonwalk-derived model).
+    const CostModel cost_model(db);
+    const CostBreakdown cost = cost_model.evaluate(soc, n_chips);
+    std::cout << "Chip creation cost\n"
+              << "  NRE           : " << formatDollars(cost.nre().value())
+              << " (tapeout " << formatDollars(cost.tapeout_labor.value())
+              << " + masks " << formatDollars(cost.masks.value()) << ")\n"
+              << "  manufacturing : "
+              << formatDollars(cost.manufacturing().value()) << "\n"
+              << "  per chip      : "
+              << formatDollars(cost.total().value() / n_chips) << "\n\n";
+
+    // 5. Agility (paper Eq. 8): how sensitive is TTM to a production-
+    //    side shock at the node you chose?
+    const CasModel cas_model(ttm_model);
+    std::cout << "Chip Agility Score: "
+              << formatFixed(cas_model.cas(soc, n_chips), 1)
+              << " (normalized wafers/week^2; higher = more resilient)\n";
+
+    // 6. What if a severe disruption leaves the 7nm line at 10%
+    //    capacity?
+    MarketConditions crisis;
+    crisis.setCapacityFactor("7nm", 0.1);
+    const TtmResult stressed = ttm_model.evaluate(soc, n_chips, crisis);
+    std::cout << "Under a 90% capacity cut at 7nm, TTM grows "
+              << formatFixed(ttm.total().value(), 1) << " -> "
+              << formatFixed(stressed.total().value(), 1) << " weeks\n";
+
+    // 7. Would an older node have been more resilient? Re-target the
+    //    same architecture (the paper's re-release methodology).
+    const ChipDesign legacy = retargetDesign(soc, "28nm");
+    std::cout << "Same chip re-targeted to 28nm: TTM "
+              << formatFixed(
+                     ttm_model.evaluate(legacy, n_chips).total().value(), 1)
+              << " weeks, CAS "
+              << formatFixed(cas_model.cas(legacy, n_chips), 1) << "\n";
+    return 0;
+}

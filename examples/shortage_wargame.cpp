@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Supply-chain shortage wargame.
+ *
+ * Plays the 2020-2022 shortage against a product portfolio: a phone
+ * SoC (A11-class at 7nm), a desktop CPU (Zen 2-class chiplets), and an
+ * automotive MCU (Raven-class on legacy nodes). Each round applies a
+ * disruption scenario from Section 2.3's catalog and reports how every
+ * product's time-to-market and agility respond — plus which re-release
+ * node the TTM model recommends.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/cas.hh"
+#include "core/reference_designs.hh"
+#include "core/hoarding.hh"
+#include "core/scenario.hh"
+#include "opt/portfolio.hh"
+#include "core/uncertainty.hh"
+#include "report/table.hh"
+#include "stats/histogram.hh"
+#include "support/strutil.hh"
+#include "tech/default_dataset.hh"
+
+namespace {
+
+using namespace ttmcas;
+
+struct Product
+{
+    std::string name;
+    ChipDesign design;
+    double volume;
+};
+
+void
+reportRound(const std::string& title, const TtmModel& model,
+            const CasModel& cas, const std::vector<Product>& portfolio,
+            const MarketConditions& market)
+{
+    std::cout << "--- " << title << "\n";
+    Table table({"Product", "TTM (wk)", "dTTM vs calm", "CAS"});
+    table.setAlign(0, Align::Left);
+    for (const auto& product : portfolio) {
+        const double calm =
+            model.evaluate(product.design, product.volume).total().value();
+        double ttm = 0.0;
+        std::string cas_text = "-";
+        try {
+            ttm = model.evaluate(product.design, product.volume, market)
+                      .total()
+                      .value();
+            cas_text = formatFixed(
+                cas.cas(product.design, product.volume, market), 1);
+        } catch (const ModelError&) {
+            table.addRow({product.name, "BLOCKED", "-", "-"});
+            continue;
+        }
+        table.addRow({product.name, formatFixed(ttm, 1),
+                      "+" + formatFixed(ttm - calm, 1), cas_text});
+    }
+    std::cout << table.render() << "\n";
+}
+
+std::string
+bestReReleaseNode(const TtmModel& model, const ChipDesign& archetype,
+                  double volume, const MarketConditions& market)
+{
+    std::string best;
+    double best_ttm = 0.0;
+    for (const std::string& node :
+         model.technology().availableNames()) {
+        if (market.capacityFactor(node) <= 0.0)
+            continue;
+        const ChipDesign candidate = retargetDesign(archetype, node);
+        const double ttm =
+            model.evaluate(candidate, volume, market).total().value();
+        if (best.empty() || ttm < best_ttm) {
+            best = node;
+            best_ttm = ttm;
+        }
+    }
+    return best + " (" + formatFixed(best_ttm, 1) + " wk)";
+}
+
+} // namespace
+
+int
+main()
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    TtmModel::Options options;
+    options.tapeout_engineers = 100.0;
+    const TtmModel model(db, options);
+    const CasModel cas(model);
+
+    const std::vector<Product> portfolio{
+        {"phone-soc (7nm)", designs::a11("7nm"), 10e6},
+        {"desktop-cpu (7+12nm)",
+         designs::zen2(designs::Zen2Config::Original), 5e6},
+        {"auto-mcu (40nm)", designs::ravenMulticore("40nm"), 200e6},
+    };
+
+    std::cout << "=== Supply chain shortage wargame ===\n\n";
+    reportRound("Round 0: calm market", model, cas, portfolio, {});
+
+    // Round 1: demand surge floods every line with backlog.
+    const MarketConditions surge =
+        scenarios::demandSurge(db.availableNames(), Weeks(2.0)).apply();
+    reportRound("Round 1: demand surge (2-week backlog everywhere)",
+                model, cas, portfolio, surge);
+
+    // Round 2: a fab fire takes the 40nm line out entirely.
+    const MarketConditions fire =
+        scenarios::fabOutage("40nm").apply(surge);
+    reportRound("Round 2: + 40nm fab fire", model, cas, portfolio, fire);
+    std::cout << "Re-release recommendation for the blocked MCU: "
+              << bestReReleaseNode(model,
+                                   designs::ravenMulticore("40nm"),
+                                   200e6, fire)
+              << "\n\n";
+
+    // Round 3: drought rations the advanced nodes to 60%.
+    MarketConditions drought = fire;
+    for (const char* node : {"14nm", "12nm", "7nm", "5nm"})
+        drought = scenarios::capacityCut(node, 0.6).apply(drought);
+    reportRound("Round 3: + drought rationing (-40% at <=14nm)", model,
+                cas, portfolio, drought);
+
+    // Round 4: hoarding feedback. Customers see the long lead times
+    // of Round 3 and start over-ordering; the quoted backlog inflates
+    // beyond the physical one (Fig. 1c's "hoarding exacerbated
+    // shortages").
+    HoardingModel hoarding;
+    hoarding.reference_lead_time = Weeks(2.0);
+    hoarding.gain = 0.35;
+    const Weeks physical_backlog(3.5);
+    std::cout << "--- Round 4: hoarding feedback (gain 0.35)\n";
+    if (hoarding.panics(physical_backlog)) {
+        std::cout << "Quoted lead times DIVERGE (panic regime).\n\n";
+    } else {
+        const Weeks quoted =
+            hoarding.equilibriumLeadTime(physical_backlog);
+        std::cout << "A physical backlog of "
+                  << formatFixed(physical_backlog.value(), 1)
+                  << " weeks is quoted as "
+                  << formatFixed(quoted.value(), 1)
+                  << " weeks once over-ordering settles; panic begins "
+                     "beyond "
+                  << formatFixed(hoarding.criticalBacklog().value(), 1)
+                  << " weeks of real backlog.\n\n";
+    }
+
+    // Round 5: re-plan the whole portfolio with shared capacity and
+    // deadlines (the 40nm line is still down).
+    {
+        std::cout << "--- Round 5: portfolio re-plan under the "
+                     "disruption\n";
+        PortfolioPlanner::Options plan_options;
+        plan_options.candidate_nodes = {"65nm", "28nm", "14nm", "7nm"};
+        const PortfolioPlanner planner(model, plan_options);
+        std::vector<PortfolioProduct> orders;
+        const double deadlines[] = {50.0, 55.0, 30.0};
+        for (std::size_t i = 0; i < portfolio.size(); ++i) {
+            PortfolioProduct order;
+            order.name = portfolio[i].name;
+            order.design = portfolio[i].design;
+            order.n_chips = portfolio[i].volume;
+            order.deadline = Weeks(deadlines[i]);
+            orders.push_back(std::move(order));
+        }
+        const PortfolioPlan plan = planner.plan(orders);
+        Table table({"Product", "Node", "Share", "TTM (wk)",
+                     "Deadline", "Status"});
+        table.setAlign(0, Align::Left).setAlign(5, Align::Left);
+        for (const auto& assignment : plan.assignments) {
+            table.addRow(
+                {assignment.product, assignment.node,
+                 formatFixed(100.0 * assignment.share, 0) + "%",
+                 formatFixed(assignment.ttm.value(), 1),
+                 formatFixed(assignment.deadline.value(), 0),
+                 assignment.onTime()
+                     ? "on time"
+                     : "+" + formatFixed(
+                                 assignment.lateness().value(), 1) +
+                           " wk late"});
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    // How uncertain is the phone SoC's TTM in this market?
+    const UncertaintyAnalysis analysis(db, options);
+    UncertaintyAnalysis::Options mc;
+    mc.band = 0.25;
+    mc.samples = 512;
+    const auto samples =
+        analysis.sampleTtm(designs::a11("7nm"), 10e6, drought, mc);
+    const Summary summary = Summary::of(samples);
+    Histogram histogram(summary.min, summary.max + 1e-9, 12);
+    histogram.addAll(samples);
+    std::cout << "phone-soc TTM distribution under +/-25% input "
+                 "uncertainty (weeks):\n"
+              << histogram.render(40) << "\n";
+    const Interval ci = summary.percentileInterval(0.95);
+    std::cout << "mean " << formatFixed(summary.mean, 1) << " weeks, 95% CI ["
+              << formatFixed(ci.lo, 1) << ", " << formatFixed(ci.hi, 1)
+              << "]\n";
+    return 0;
+}

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Command-line front end to the TTM/CAS/cost models — the "quick
+ * assessment" interface the paper's abstract promises architects.
+ *
+ * Usage:
+ *   ttm_cli --node 7nm --ntt 2.4e9 --nut 2e8 --chips 5e7
+ *           [--design file.csv]   (multi-die design; see core/design_io)
+ *           [--design-weeks 14] [--engineers 100]
+ *           [--capacity 0.8] [--queue 2]
+ *           [--snapshot market.csv] [--all-nodes] [--risk <deadline>]
+ *
+ * With --all-nodes, the design is re-targeted to every in-production
+ * node and the full comparison table is printed. With --risk, a
+ * schedule-risk assessment against the deadline (weeks) is added,
+ * assuming a moderate disruption forecast on the chosen node.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/cas.hh"
+#include "core/design_io.hh"
+#include "core/risk.hh"
+#include "econ/cost_model.hh"
+#include "report/table.hh"
+#include "support/strutil.hh"
+#include "tech/dataset_io.hh"
+#include "tech/default_dataset.hh"
+
+namespace {
+
+using namespace ttmcas;
+
+struct CliArgs
+{
+    std::string node = "7nm";
+    double ntt = 1e9;
+    double nut = 1e8;
+    double chips = 1e7;
+    double design_weeks = 0.0;
+    double engineers = 100.0;
+    double capacity = 1.0;
+    double queue = 0.0;
+    std::string snapshot;
+    bool all_nodes = false;
+    double risk_deadline = 0.0;
+    std::string design_file;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: ttm_cli --node <p> --ntt <n> --nut <n> --chips <n>\n"
+           "              [--design-weeks w] [--engineers e]\n"
+           "              [--capacity f] [--queue w]\n"
+           "              [--snapshot file.csv] [--all-nodes]\n"
+           "              [--risk deadline_weeks]\n";
+    std::exit(2);
+}
+
+CliArgs
+parseArgs(int argc, char** argv)
+{
+    CliArgs args;
+    const std::map<std::string, int> flags{
+        {"--node", 1},       {"--ntt", 1},      {"--nut", 1},
+        {"--chips", 1},      {"--design-weeks", 1},
+        {"--engineers", 1},  {"--capacity", 1}, {"--queue", 1},
+        {"--snapshot", 1},   {"--all-nodes", 0}, {"--risk", 1},
+        {"--design", 1},
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto it = flags.find(flag);
+        if (it == flags.end())
+            usage();
+        std::string value;
+        if (it->second == 1) {
+            if (i + 1 >= argc)
+                usage();
+            value = argv[++i];
+        }
+        try {
+            if (flag == "--node")
+                args.node = value;
+            else if (flag == "--ntt")
+                args.ntt = std::stod(value);
+            else if (flag == "--nut")
+                args.nut = std::stod(value);
+            else if (flag == "--chips")
+                args.chips = std::stod(value);
+            else if (flag == "--design-weeks")
+                args.design_weeks = std::stod(value);
+            else if (flag == "--engineers")
+                args.engineers = std::stod(value);
+            else if (flag == "--capacity")
+                args.capacity = std::stod(value);
+            else if (flag == "--queue")
+                args.queue = std::stod(value);
+            else if (flag == "--snapshot")
+                args.snapshot = value;
+            else if (flag == "--all-nodes")
+                args.all_nodes = true;
+            else if (flag == "--risk")
+                args.risk_deadline = std::stod(value);
+            else if (flag == "--design")
+                args.design_file = value;
+        } catch (const std::exception&) {
+            usage();
+        }
+    }
+    return args;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const CliArgs args = parseArgs(argc, argv);
+
+    try {
+        const TechnologyDb db = args.snapshot.empty()
+                                    ? defaultTechnologyDb()
+                                    : loadTechnologyCsv(args.snapshot);
+        TtmModel::Options options;
+        options.tapeout_engineers = args.engineers;
+        const TtmModel model(db, options);
+        const CasModel cas(model);
+        const CostModel costs(db);
+
+        MarketConditions market;
+        market.setCapacityFactor(args.node, args.capacity);
+        market.setQueueWeeks(args.node, Weeks(args.queue));
+
+        ChipDesign design;
+        if (!args.design_file.empty()) {
+            design = loadDesignCsv(args.design_file);
+            // Market flags apply to every node the design uses.
+            for (const std::string& node : design.processNodes()) {
+                market.setCapacityFactor(node, args.capacity);
+                market.setQueueWeeks(node, Weeks(args.queue));
+            }
+        } else {
+            design = makeMonolithicDesign(
+                "cli-design", args.node, args.ntt, args.nut,
+                Weeks(args.design_weeks));
+        }
+
+        if (args.all_nodes) {
+            Table table(
+                {"Node", "TTM (wk)", "CAS", "Cost", "$/chip"});
+            table.setAlign(0, Align::Left);
+            for (const std::string& node : db.availableNames()) {
+                const ChipDesign candidate =
+                    retargetDesign(design, node);
+                MarketConditions node_market;
+                node_market.setCapacityFactor(node, args.capacity);
+                node_market.setQueueWeeks(node, Weeks(args.queue));
+                const double ttm =
+                    model.evaluate(candidate, args.chips, node_market)
+                        .total()
+                        .value();
+                const double cost =
+                    costs.evaluate(candidate, args.chips).total().value();
+                table.addRow(
+                    {node, formatFixed(ttm, 1),
+                     formatFixed(
+                         cas.cas(candidate, args.chips, node_market), 1),
+                     formatDollars(cost, 2),
+                     formatDollars(cost / args.chips, 2)});
+            }
+            std::cout << table.render();
+        } else {
+            const TtmResult ttm =
+                model.evaluate(design, args.chips, market);
+            const CostBreakdown cost =
+                costs.evaluate(design, args.chips);
+            std::cout << (args.design_file.empty()
+                              ? "node " + args.node
+                              : "design " + design.name)
+                      << ", "
+                      << formatSi(args.chips, 1) << " chips\n"
+                      << "  TTM   " << formatFixed(ttm.total().value(), 1)
+                      << " weeks (tapeout "
+                      << formatFixed(ttm.tapeout_time.value(), 1)
+                      << ", fab " << formatFixed(ttm.fab_time.value(), 1)
+                      << ", pkg "
+                      << formatFixed(ttm.packaging_time.value(), 1)
+                      << ")\n"
+                      << "  CAS   "
+                      << formatFixed(cas.cas(design, args.chips, market),
+                                     1)
+                      << "\n  cost  "
+                      << formatDollars(cost.total().value(), 2) << " ("
+                      << formatDollars(cost.total().value() / args.chips,
+                                       2)
+                      << "/chip)\n";
+        }
+
+        if (args.risk_deadline > 0.0) {
+            const RiskAnalysis risk_engine(model);
+            MarketForecast forecast;
+            for (const std::string& node : design.processNodes())
+                forecast.uniformDisruption(node, 0.5, 1.0, 3.0);
+            const ScheduleRisk risk = risk_engine.assess(
+                design, args.chips, forecast,
+                Weeks(args.risk_deadline), 512);
+            std::cout << "  risk  P[TTM <= "
+                      << formatFixed(args.risk_deadline, 0)
+                      << " wk] = "
+                      << formatFixed(100.0 * risk.p_on_time, 0)
+                      << "% under a moderate " << args.node
+                      << " disruption forecast; p95 TTM "
+                      << formatFixed(risk.ttm.percentile(95.0), 1)
+                      << " wk\n";
+        }
+    } catch (const Error& error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

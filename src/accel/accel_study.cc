@@ -1,0 +1,122 @@
+#include "accel/accel_study.hh"
+
+#include "accel/baseline.hh"
+#include "accel/fft.hh"
+#include "accel/sorting_network.hh"
+#include "core/ttm_model.hh"
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+// Paper Table 3: synthesized transistor counts and reported speed-ups.
+struct PaperRow
+{
+    const char* name;
+    double ntt;
+    double speedup;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"Sorting Stream", 45.62e6, 16.71},
+    {"Sorting Iterative", 18.90e6, 3.07},
+    {"DFT Stream", 37.31e6, 56.36},
+    {"DFT Iterative", 18.18e6, 20.81},
+};
+
+/** Random 2048-block inputs for the software baselines. */
+std::vector<std::int32_t>
+randomSortBlock(std::size_t size, Rng& rng)
+{
+    std::vector<std::int32_t> block;
+    block.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+        block.push_back(static_cast<std::int32_t>(rng.next() & 0x7fffffff));
+    return block;
+}
+
+std::vector<std::complex<double>>
+randomFftBlock(std::size_t size, Rng& rng)
+{
+    std::vector<std::complex<double>> block;
+    block.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+        block.emplace_back(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return block;
+}
+
+} // namespace
+
+std::vector<AcceleratorResult>
+runAccelStudy(const TechnologyDb& db, const AccelStudyOptions& options)
+{
+    TTMCAS_REQUIRE(options.block_size >= 2, "block size too small");
+    const ProcessNode& node = db.node(options.process);
+
+    // Software baselines (averaged over a few random blocks).
+    Rng rng(0xacce1);
+    constexpr int kRuns = 5;
+    double sort_sw_cycles = 0.0;
+    double fft_sw_cycles = 0.0;
+    for (int run = 0; run < kRuns; ++run) {
+        sort_sw_cycles +=
+            arianeSort(randomSortBlock(options.block_size, rng)).cycles;
+        fft_sw_cycles +=
+            arianeFft(randomFftBlock(options.block_size, rng)).cycles;
+    }
+    sort_sw_cycles /= kRuns;
+    fft_sw_cycles /= kRuns;
+
+    // Hardware cycle models.
+    const StreamingSorterModel sort_stream;
+    const IterativeSorterModel sort_iter;
+    const StreamingFftModel fft_stream;
+    const IterativeFftModel fft_iter;
+    const double hw_cycles[] = {
+        sort_stream.cyclesPerBlock(options.block_size),
+        sort_iter.cyclesPerBlock(options.block_size),
+        fft_stream.cyclesPerBlock(options.block_size),
+        fft_iter.cyclesPerBlock(options.block_size),
+    };
+    const double sw_cycles[] = {sort_sw_cycles, sort_sw_cycles,
+                                fft_sw_cycles, fft_sw_cycles};
+    const double analytic[] = {
+        sort_stream.transistorEstimate(options.block_size),
+        sort_iter.transistorEstimate(options.block_size),
+        fft_stream.transistorEstimate(options.block_size),
+        fft_iter.transistorEstimate(options.block_size),
+    };
+
+    TtmModel::Options model_options;
+    model_options.tapeout_engineers = options.tapeout_engineers;
+    const TtmModel ttm(db, model_options);
+    const CostModel costs(db);
+
+    std::vector<AcceleratorResult> results;
+    for (int i = 0; i < 4; ++i) {
+        const PaperRow& row = kPaperRows[i];
+        AcceleratorResult result;
+        result.name = row.name;
+        result.speedup = sw_cycles[i] / hw_cycles[i];
+        result.paper_speedup = row.speedup;
+        result.transistors = row.ntt;
+        result.analytic_transistors = analytic[i];
+        result.area_relative_to_core =
+            row.ntt / options.core_transistors;
+
+        // Section 6.4: all non-memory transistors are unique; the
+        // synthesized N_TT is used as the tapeout size.
+        ChipDesign block = makeMonolithicDesign(
+            row.name, options.process, row.ntt, row.ntt);
+        const TtmResult ttm_result = ttm.evaluate(block, 1.0);
+        result.tapeout_time = ttm_result.tapeout_time;
+        result.tapeout_cost = costs.tapeoutCost(block);
+        (void)node;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,68 @@
+#ifndef TTMCAS_ACCEL_ACCEL_STUDY_HH
+#define TTMCAS_ACCEL_ACCEL_STUDY_HH
+
+/**
+ * @file
+ * The cost-of-specialization study (Section 6.4, Table 3).
+ *
+ * For each accelerator (sorting/DFT x streaming/iterative) the study
+ * reports: speed-up over the Ariane software baseline on 2048-element
+ * blocks, total transistors, area relative to the Ariane core, and the
+ * tapeout time/cost of adding the block at a given process node.
+ *
+ * Transistor counts have two sources: the paper's published synthesis
+ * results (inputs, like the paper's own use of commercial EDA tools)
+ * and this library's analytic estimates (for validation). Speed-ups
+ * are *measured* from our cycle models and functional baselines.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/design.hh"
+#include "econ/cost_model.hh"
+#include "support/units.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+
+/** One accelerator's study row. */
+struct AcceleratorResult
+{
+    std::string name;                 ///< "Sorting Stream", ...
+    double speedup = 0.0;             ///< measured: sw cycles / hw cycles
+    double paper_speedup = 0.0;       ///< Table 3 reference value
+    double transistors = 0.0;         ///< N_TT used for tapeout/cost
+    double analytic_transistors = 0.0;///< our structural estimate
+    double area_relative_to_core = 0.0;
+    Weeks tapeout_time{0.0};
+    Dollars tapeout_cost{0.0};
+};
+
+/** Study configuration. */
+struct AccelStudyOptions
+{
+    std::size_t block_size = 2048; ///< paper's benchmark block
+    std::string process = "5nm";   ///< Table 3's worst-case node
+    double tapeout_engineers = 100.0;
+    /**
+     * Ariane core-logic reference for the relative-area column
+     * (Table 3 normalizes against the core without its caches:
+     * 45.62M / 18.18x = 2.51M).
+     */
+    double core_transistors = 2.51e6;
+};
+
+/**
+ * Run the full Table 3 study against @p db.
+ *
+ * Rows in paper order: Sorting Stream, Sorting Iterative, DFT Stream,
+ * DFT Iterative. Tapeout metrics treat all non-memory transistors as
+ * unique (Section 6.4), approximated as the paper's synthesized N_TT.
+ */
+std::vector<AcceleratorResult>
+runAccelStudy(const TechnologyDb& db, const AccelStudyOptions& options);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_ACCEL_ACCEL_STUDY_HH

@@ -1,0 +1,126 @@
+#include "accel/baseline.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "accel/fft.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+/** Operation-counting quicksort with median-of-three pivots and an
+ * insertion-sort base case (what a tuned libc-style sort does). */
+class CountingSorter
+{
+  public:
+    explicit CountingSorter(std::vector<std::int32_t>& values)
+        : _values(values)
+    {}
+
+    std::uint64_t
+    sort()
+    {
+        if (!_values.empty())
+            quicksort(0, static_cast<std::ptrdiff_t>(_values.size()) - 1);
+        return _comparisons;
+    }
+
+  private:
+    static constexpr std::ptrdiff_t kInsertionThreshold = 16;
+
+    bool
+    less(std::int32_t a, std::int32_t b)
+    {
+        ++_comparisons;
+        return a < b;
+    }
+
+    void
+    insertionSort(std::ptrdiff_t lo, std::ptrdiff_t hi)
+    {
+        for (std::ptrdiff_t i = lo + 1; i <= hi; ++i) {
+            const std::int32_t key = _values[i];
+            std::ptrdiff_t j = i - 1;
+            while (j >= lo && less(key, _values[j])) {
+                _values[j + 1] = _values[j];
+                --j;
+            }
+            _values[j + 1] = key;
+        }
+    }
+
+    void
+    quicksort(std::ptrdiff_t lo, std::ptrdiff_t hi)
+    {
+        while (hi - lo > kInsertionThreshold) {
+            // Median-of-three pivot.
+            const std::ptrdiff_t mid = lo + (hi - lo) / 2;
+            if (less(_values[mid], _values[lo]))
+                std::swap(_values[mid], _values[lo]);
+            if (less(_values[hi], _values[lo]))
+                std::swap(_values[hi], _values[lo]);
+            if (less(_values[hi], _values[mid]))
+                std::swap(_values[hi], _values[mid]);
+            const std::int32_t pivot = _values[mid];
+
+            std::ptrdiff_t i = lo;
+            std::ptrdiff_t j = hi;
+            while (i <= j) {
+                while (less(_values[i], pivot))
+                    ++i;
+                while (less(pivot, _values[j]))
+                    --j;
+                if (i <= j) {
+                    std::swap(_values[i], _values[j]);
+                    ++i;
+                    --j;
+                }
+            }
+            // Recurse into the smaller side to bound the stack.
+            if (j - lo < hi - i) {
+                quicksort(lo, j);
+                lo = i;
+            } else {
+                quicksort(i, hi);
+                hi = j;
+            }
+        }
+        insertionSort(lo, hi);
+    }
+
+    std::vector<std::int32_t>& _values;
+    std::uint64_t _comparisons = 0;
+};
+
+} // namespace
+
+SoftwareSortRun
+arianeSort(std::vector<std::int32_t> values, const ArianeCostModel& costs)
+{
+    SoftwareSortRun run;
+    CountingSorter sorter(values);
+    run.comparisons = sorter.sort();
+    run.cycles = static_cast<double>(run.comparisons) *
+                 costs.cycles_per_sort_compare;
+    run.sorted = std::move(values);
+    return run;
+}
+
+SoftwareFftRun
+arianeFft(std::vector<std::complex<double>> values,
+          const ArianeCostModel& costs)
+{
+    TTMCAS_REQUIRE(values.size() >= 2 && std::has_single_bit(values.size()),
+                   "software FFT needs a power-of-two block");
+    SoftwareFftRun run;
+    run.butterflies = fftButterflyCount(values.size());
+    run.cycles = static_cast<double>(run.butterflies) *
+                 costs.cycles_per_butterfly;
+    fft(values);
+    run.spectrum = std::move(values);
+    return run;
+}
+
+} // namespace ttmcas

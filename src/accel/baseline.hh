@@ -1,0 +1,59 @@
+#ifndef TTMCAS_ACCEL_BASELINE_HH
+#define TTMCAS_ACCEL_BASELINE_HH
+
+/**
+ * @file
+ * Software baselines on the general-purpose (Ariane) core.
+ *
+ * The paper benchmarks the SPIRAL accelerators against Ariane running
+ * 2048-element blocks of the same task. We model the software side by
+ * *running* the algorithms (so results are functionally verifiable)
+ * while counting their dominant operations, then pricing operations in
+ * core cycles:
+ *
+ *  - sort: introsort-style quicksort; dominant op = compare-and-
+ *    possibly-swap with its loads/branch, ~11 cycles each on an
+ *    in-order RV64 with warm caches;
+ *  - FFT: radix-2 butterflies; 4 FP multiplies + 6 FP adds + 4 memory
+ *    ops with partial latency hiding, ~20 cycles each.
+ */
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace ttmcas {
+
+/** Cycle prices of the dominant software operations. */
+struct ArianeCostModel
+{
+    double cycles_per_sort_compare = 11.0;
+    double cycles_per_butterfly = 20.0;
+};
+
+/** Result of one software run: output plus modeled cycles. */
+struct SoftwareSortRun
+{
+    std::vector<std::int32_t> sorted;
+    std::uint64_t comparisons = 0;
+    double cycles = 0.0;
+};
+
+struct SoftwareFftRun
+{
+    std::vector<std::complex<double>> spectrum;
+    std::uint64_t butterflies = 0;
+    double cycles = 0.0;
+};
+
+/** Sort @p values with an operation-counting quicksort. */
+SoftwareSortRun arianeSort(std::vector<std::int32_t> values,
+                           const ArianeCostModel& costs = {});
+
+/** FFT of @p values with operation counting. */
+SoftwareFftRun arianeFft(std::vector<std::complex<double>> values,
+                         const ArianeCostModel& costs = {});
+
+} // namespace ttmcas
+
+#endif // TTMCAS_ACCEL_BASELINE_HH

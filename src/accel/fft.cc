@@ -1,0 +1,166 @@
+#include "accel/fft.hh"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+/** Transistors per complex radix-2 butterfly (4 mult + 6 add, 32b). */
+constexpr double kTransistorsPerButterfly = 45000.0;
+/** SRAM cell transistors per buffered bit. */
+constexpr double kTransistorsPerBufferBit = 7.5;
+/** Twiddle ROM bits per butterfly column per sample. */
+constexpr double kTwiddleBitsPerSample = 64.0;
+/** Control/interconnect overhead multiplier. */
+constexpr double kControlOverhead = 1.5;
+
+void
+bitReversePermute(std::vector<std::complex<double>>& values)
+{
+    const std::size_t n = values.size();
+    std::size_t j = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(values[i], values[j]);
+    }
+}
+
+void
+fftCore(std::vector<std::complex<double>>& values, bool inverse)
+{
+    const std::size_t n = values.size();
+    TTMCAS_REQUIRE(n >= 1 && std::has_single_bit(n),
+                   "FFT size must be a power of two");
+    if (n == 1)
+        return;
+
+    bitReversePermute(values);
+    for (std::size_t len = 2; len <= n; len *= 2) {
+        const double angle = 2.0 * std::numbers::pi / len *
+                             (inverse ? 1.0 : -1.0);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                const std::complex<double> u = values[i + j];
+                const std::complex<double> v =
+                    values[i + j + len / 2] * w;
+                values[i + j] = u + v;
+                values[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        for (auto& value : values)
+            value /= static_cast<double>(n);
+    }
+}
+
+} // namespace
+
+void
+fft(std::vector<std::complex<double>>& values)
+{
+    fftCore(values, /*inverse=*/false);
+}
+
+void
+inverseFft(std::vector<std::complex<double>>& values)
+{
+    fftCore(values, /*inverse=*/true);
+}
+
+std::vector<std::complex<double>>
+naiveDft(const std::vector<std::complex<double>>& values)
+{
+    const std::size_t n = values.size();
+    TTMCAS_REQUIRE(n >= 1, "DFT needs at least one sample");
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc(0.0, 0.0);
+        for (std::size_t t = 0; t < n; ++t) {
+            const double angle = -2.0 * std::numbers::pi *
+                                 static_cast<double>(k * t) /
+                                 static_cast<double>(n);
+            acc += values[t] *
+                   std::complex<double>(std::cos(angle), std::sin(angle));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::size_t
+fftButterflyCount(std::size_t size)
+{
+    TTMCAS_REQUIRE(size >= 2 && std::has_single_bit(size),
+                   "FFT size must be a power of two >= 2");
+    return size / 2 * static_cast<std::size_t>(std::log2(size));
+}
+
+double
+FftHardwareModel::ioCycles(std::size_t block_size) const
+{
+    TTMCAS_REQUIRE(bus_bits > 0, "bus width must be positive");
+    const double bits = static_cast<double>(block_size) * sample_bits;
+    return 2.0 * bits / static_cast<double>(bus_bits);
+}
+
+double
+StreamingFftModel::cyclesPerBlock(std::size_t block_size) const
+{
+    TTMCAS_REQUIRE(width_lanes > 0, "stream width must be positive");
+    // A Pease column permutes across the whole block, so a single block
+    // spends n/w cycles in each of the log2(n) columns.
+    const double columns = std::log2(static_cast<double>(block_size));
+    const double latency =
+        columns * static_cast<double>(block_size) / width_lanes;
+    return std::max(latency, ioCycles(block_size));
+}
+
+double
+StreamingFftModel::transistorEstimate(std::size_t block_size) const
+{
+    const double columns = std::log2(static_cast<double>(block_size));
+    const double butterflies =
+        columns * (width_lanes / 2.0) * kTransistorsPerButterfly;
+    // Each column needs a block permutation buffer plus twiddle ROM.
+    const double buffers = columns * static_cast<double>(block_size) *
+                           sample_bits * kTransistorsPerBufferBit;
+    const double twiddles = columns * static_cast<double>(block_size) *
+                            kTwiddleBitsPerSample;
+    return (butterflies + buffers + twiddles) * kControlOverhead;
+}
+
+double
+IterativeFftModel::cyclesPerBlock(std::size_t block_size) const
+{
+    TTMCAS_REQUIRE(width_lanes > 0, "stream width must be positive");
+    const double passes = std::log2(static_cast<double>(block_size));
+    return passes * static_cast<double>(block_size) / width_lanes;
+}
+
+double
+IterativeFftModel::transistorEstimate(std::size_t block_size) const
+{
+    const double butterflies =
+        (width_lanes / 2.0) * kTransistorsPerButterfly;
+    // Double-buffered working memory plus one twiddle ROM.
+    const double buffers = 2.0 * static_cast<double>(block_size) *
+                           sample_bits * kTransistorsPerBufferBit;
+    const double twiddles =
+        static_cast<double>(block_size) * kTwiddleBitsPerSample;
+    return (butterflies + buffers + twiddles) * kControlOverhead;
+}
+
+} // namespace ttmcas

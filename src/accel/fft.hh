@@ -1,0 +1,75 @@
+#ifndef TTMCAS_ACCEL_FFT_HH
+#define TTMCAS_ACCEL_FFT_HH
+
+/**
+ * @file
+ * Radix-2 FFT: functional model plus hardware cycle/area models for
+ * the SPIRAL-style streaming and iterative DFT accelerators of
+ * Section 6.4 / Table 3.
+ *
+ * The functional transform is an in-place iterative radix-2 DIT FFT;
+ * tests verify it against a naive O(n^2) DFT. The streaming hardware
+ * (Pease dataflow, all log2(n) butterfly columns instantiated) is
+ * I/O-bound on a 64-bit bus for complex data; the iterative hardware
+ * reuses one butterfly column log2(n) times at width w.
+ */
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace ttmcas {
+
+/** In-place iterative radix-2 DIT FFT; size must be a power of two. */
+void fft(std::vector<std::complex<double>>& values);
+
+/** Inverse FFT (scaled by 1/n). */
+void inverseFft(std::vector<std::complex<double>>& values);
+
+/** Naive O(n^2) DFT used as the verification oracle. */
+std::vector<std::complex<double>>
+naiveDft(const std::vector<std::complex<double>>& values);
+
+/** Butterfly count of a radix-2 FFT: (n/2) * log2(n). */
+std::size_t fftButterflyCount(std::size_t size);
+
+/** Shared hardware parameters for the DFT accelerators. */
+struct FftHardwareModel
+{
+    /** Complex samples entering per cycle. */
+    std::uint32_t width_lanes = 4;
+    /** Bits per complex sample (2 x 32-bit fixed/float). */
+    std::uint32_t sample_bits = 64;
+    /** Off-accelerator bus width in bits. */
+    std::uint32_t bus_bits = 64;
+
+    /** Cycles to stream one block in and out. */
+    double ioCycles(std::size_t block_size) const;
+};
+
+/** Fully streaming (Pease) FFT: all columns in silicon. */
+struct StreamingFftModel : FftHardwareModel
+{
+    /** Single-block latency: log2(n) columns of n/w cycles each,
+     *  floored by bus I/O. */
+    double cyclesPerBlock(std::size_t block_size) const;
+
+    /** Analytic transistor estimate (see .cc). */
+    double transistorEstimate(std::size_t block_size) const;
+};
+
+/** Iterative FFT: one butterfly column reused log2(n) times. */
+struct IterativeFftModel : FftHardwareModel
+{
+    IterativeFftModel() { width_lanes = 2; }
+
+    /** log2(n) passes of n/w cycles each. */
+    double cyclesPerBlock(std::size_t block_size) const;
+
+    /** Analytic transistor estimate. */
+    double transistorEstimate(std::size_t block_size) const;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_ACCEL_FFT_HH

@@ -1,0 +1,178 @@
+#include "accel/sorting_network.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+/** Transistors per 32-bit compare-exchange unit (comparator + muxes). */
+constexpr double kTransistorsPerComparator = 1400.0;
+/** SRAM cell transistors per buffered bit (6T + overhead). */
+constexpr double kTransistorsPerBufferBit = 7.5;
+/** Control/interconnect overhead multiplier on the datapath. */
+constexpr double kControlOverhead = 1.5;
+
+} // namespace
+
+OddEvenMergeNetwork::OddEvenMergeNetwork(std::size_t size) : _size(size)
+{
+    TTMCAS_REQUIRE(size >= 2 && std::has_single_bit(size),
+                   "odd-even merge network size must be a power of two "
+                   ">= 2");
+
+    // Batcher's construction: for each merge span p = 1, 2, 4, ...,
+    // sub-steps k = p, p/2, ..., 1 (Knuth 5.3.4, exercise network).
+    for (std::size_t p = 1; p < _size; p *= 2) {
+        for (std::size_t k = p; k >= 1; k /= 2) {
+            std::vector<CompareExchange> stage;
+            for (std::size_t j = k % p; j + k < _size; j += 2 * k) {
+                for (std::size_t i = 0;
+                     i < std::min(k, _size - j - k); ++i) {
+                    // Compare only within the same 2p-block.
+                    if ((i + j) / (2 * p) == (i + j + k) / (2 * p)) {
+                        CompareExchange wire;
+                        wire.low = static_cast<std::uint32_t>(i + j);
+                        wire.high =
+                            static_cast<std::uint32_t>(i + j + k);
+                        stage.push_back(wire);
+                    }
+                }
+            }
+            if (!stage.empty())
+                _stages.push_back(std::move(stage));
+            if (k == 1)
+                break; // k /= 2 would wrap at zero
+        }
+    }
+}
+
+std::size_t
+OddEvenMergeNetwork::comparatorCount() const
+{
+    std::size_t total = 0;
+    for (const auto& stage : _stages)
+        total += stage.size();
+    return total;
+}
+
+void
+OddEvenMergeNetwork::apply(std::vector<std::int32_t>& values) const
+{
+    TTMCAS_REQUIRE(values.size() == _size,
+                   "input size does not match network size");
+    for (const auto& stage : _stages) {
+        for (const auto& wire : stage) {
+            if (values[wire.low] > values[wire.high])
+                std::swap(values[wire.low], values[wire.high]);
+        }
+    }
+}
+
+BitonicNetwork::BitonicNetwork(std::size_t size) : _size(size)
+{
+    TTMCAS_REQUIRE(size >= 2 && std::has_single_bit(size),
+                   "bitonic network size must be a power of two >= 2");
+
+    // Batcher's bitonic sort: for each merge span K, sub-spans J.
+    for (std::size_t span = 2; span <= _size; span *= 2) {
+        for (std::size_t sub = span / 2; sub >= 1; sub /= 2) {
+            std::vector<CompareExchange> stage;
+            stage.reserve(_size / 2);
+            for (std::size_t i = 0; i < _size; ++i) {
+                const std::size_t partner = i ^ sub;
+                if (partner <= i)
+                    continue;
+                // Direction: ascending when bit `span` of i is clear.
+                const bool ascending = (i & span) == 0;
+                CompareExchange wire;
+                wire.low = static_cast<std::uint32_t>(ascending ? i
+                                                                : partner);
+                wire.high = static_cast<std::uint32_t>(ascending ? partner
+                                                                 : i);
+                stage.push_back(wire);
+            }
+            _stages.push_back(std::move(stage));
+        }
+    }
+}
+
+void
+BitonicNetwork::apply(std::vector<std::int32_t>& values) const
+{
+    TTMCAS_REQUIRE(values.size() == _size,
+                   "input size does not match network size");
+    for (const auto& stage : _stages) {
+        for (const auto& wire : stage) {
+            if (values[wire.low] > values[wire.high])
+                std::swap(values[wire.low], values[wire.high]);
+        }
+    }
+}
+
+double
+SorterHardwareModel::ioCycles(std::size_t block_size) const
+{
+    TTMCAS_REQUIRE(bus_bits > 0, "bus width must be positive");
+    const double bits =
+        static_cast<double>(block_size) * element_bits;
+    // Block in + sorted block out.
+    return 2.0 * bits / static_cast<double>(bus_bits);
+}
+
+double
+StreamingSorterModel::cyclesPerBlock(std::size_t block_size) const
+{
+    TTMCAS_REQUIRE(width_lanes > 0, "stream width must be positive");
+    const BitonicNetwork network(block_size);
+    const double per_stage =
+        static_cast<double>(block_size) / width_lanes;
+    const double latency =
+        static_cast<double>(network.stageCount()) * per_stage;
+    return std::max(latency, ioCycles(block_size));
+}
+
+double
+StreamingSorterModel::transistorEstimate(std::size_t block_size) const
+{
+    const BitonicNetwork network(block_size);
+    const double stages = static_cast<double>(network.stageCount());
+    // Each streamed stage holds a block-sized permutation buffer plus
+    // w/2 physical comparators.
+    const double buffers = stages * static_cast<double>(block_size) *
+                           element_bits * kTransistorsPerBufferBit;
+    const double comparators =
+        stages * (width_lanes / 2.0) * kTransistorsPerComparator;
+    return (buffers + comparators) * kControlOverhead;
+}
+
+double
+IterativeSorterModel::cyclesPerBlock(std::size_t block_size) const
+{
+    TTMCAS_REQUIRE(width_lanes > 0, "stream width must be positive");
+    const BitonicNetwork network(block_size);
+    const double per_pass =
+        static_cast<double>(block_size) / width_lanes +
+        turnaround_fraction * static_cast<double>(block_size);
+    return static_cast<double>(network.stageCount()) * per_pass;
+}
+
+double
+IterativeSorterModel::transistorEstimate(std::size_t block_size) const
+{
+    // One physical stage (with its block permutation buffer) plus
+    // double-buffered working memory and the stage's comparators.
+    const double stage_buffer = static_cast<double>(block_size) *
+                                element_bits * kTransistorsPerBufferBit;
+    const double working = 2.0 * static_cast<double>(block_size) *
+                           element_bits * kTransistorsPerBufferBit;
+    const double comparators =
+        (width_lanes / 2.0) * kTransistorsPerComparator;
+    return (stage_buffer + working + comparators) * kControlOverhead;
+}
+
+} // namespace ttmcas

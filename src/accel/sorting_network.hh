@@ -1,0 +1,140 @@
+#ifndef TTMCAS_ACCEL_SORTING_NETWORK_HH
+#define TTMCAS_ACCEL_SORTING_NETWORK_HH
+
+/**
+ * @file
+ * Bitonic sorting networks: functional model plus hardware cycle/area
+ * models for the SPIRAL-style streaming and iterative sorters of the
+ * paper's cost-of-specialization study (Section 6.4, Table 3).
+ *
+ * A bitonic network for n = 2^k elements has k(k+1)/2 compare-exchange
+ * stages of n/2 comparators each. The *streaming* implementation
+ * instantiates every stage with w lanes and is I/O-bound on a 64-bit
+ * bus once w is large enough; the *iterative* implementation builds a
+ * single k-stage merger block of width w and loops blocks through it
+ * log2(n) times [Zuluaga et al. 2016].
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace ttmcas {
+
+/** One compare-exchange wire pair within a stage. */
+struct CompareExchange
+{
+    std::uint32_t low = 0;  ///< index keeping the smaller value
+    std::uint32_t high = 0; ///< index keeping the larger value
+};
+
+/**
+ * A Batcher odd-even merge network: same asymptotics as bitonic
+ * (k(k+1)/2 stages) but ~2/3 the comparators, at the price of
+ * irregular stage widths — the classic area/regularity trade-off
+ * SPIRAL's generator exposes. Functional model for the ablation
+ * comparison against the bitonic datapath.
+ */
+class OddEvenMergeNetwork
+{
+  public:
+    /** @param size element count; must be a power of two >= 2. */
+    explicit OddEvenMergeNetwork(std::size_t size);
+
+    std::size_t size() const { return _size; }
+    std::size_t stageCount() const { return _stages.size(); }
+
+    /** Total compare-exchange units across all stages. */
+    std::size_t comparatorCount() const;
+
+    const std::vector<std::vector<CompareExchange>>& stages() const
+    {
+        return _stages;
+    }
+
+    /** Sort @p values in place by applying every stage. */
+    void apply(std::vector<std::int32_t>& values) const;
+
+  private:
+    std::size_t _size;
+    std::vector<std::vector<CompareExchange>> _stages;
+};
+
+/** A full bitonic network for a power-of-two input size. */
+class BitonicNetwork
+{
+  public:
+    /** @param size element count; must be a power of two >= 2. */
+    explicit BitonicNetwork(std::size_t size);
+
+    std::size_t size() const { return _size; }
+
+    /** Number of compare-exchange stages: k(k+1)/2 for n = 2^k. */
+    std::size_t stageCount() const { return _stages.size(); }
+
+    /** Comparators in one stage (n/2). */
+    std::size_t comparatorsPerStage() const { return _size / 2; }
+
+    const std::vector<std::vector<CompareExchange>>& stages() const
+    {
+        return _stages;
+    }
+
+    /** Sort @p values in place by applying every stage. */
+    void apply(std::vector<std::int32_t>& values) const;
+
+  private:
+    std::size_t _size;
+    std::vector<std::vector<CompareExchange>> _stages;
+};
+
+/** Hardware timing/area model shared by both sorter styles. */
+struct SorterHardwareModel
+{
+    /** Stream width: elements entering per cycle. */
+    std::uint32_t width_lanes = 8;
+    /** Element width in bits (paper: fixed-point sorting). */
+    std::uint32_t element_bits = 32;
+    /** Off-accelerator bus width in bits. */
+    std::uint32_t bus_bits = 64;
+
+    /** Cycles to move one n-element block in *and* out over the bus. */
+    double ioCycles(std::size_t block_size) const;
+};
+
+/** Fully streaming sorter: all stages in silicon, pipelined. */
+struct StreamingSorterModel : SorterHardwareModel
+{
+    /**
+     * Single-block latency: every bitonic stage contains a block-
+     * granular permutation, so a block spends n/w cycles per stage —
+     * stages * n/w total — floored by the bus I/O time. (Back-to-back
+     * blocks pipeline at one block per n/w cycles; the paper's Table 3
+     * compares single 2048-element block tasks.)
+     */
+    double cyclesPerBlock(std::size_t block_size) const;
+
+    /** Analytic transistor estimate (buffers dominate; see .cc). */
+    double transistorEstimate(std::size_t block_size) const;
+};
+
+/** Iterative sorter: one physical stage reused for every pass. */
+struct IterativeSorterModel : SorterHardwareModel
+{
+    IterativeSorterModel() { width_lanes = 2; }
+
+    /**
+     * Extra cycles per pass for the working-buffer swap and refill
+     * between consecutive trips through the physical stage.
+     */
+    double turnaround_fraction = 0.25; ///< of n, per pass
+
+    /** Cycles per block: stages passes of (n/w + turnaround) cycles. */
+    double cyclesPerBlock(std::size_t block_size) const;
+
+    /** Analytic transistor estimate. */
+    double transistorEstimate(std::size_t block_size) const;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_ACCEL_SORTING_NETWORK_HH

@@ -1,0 +1,157 @@
+#include "core/allocation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+AllocationPlanner::AllocationPlanner(TtmModel model)
+    : _model(std::move(model))
+{}
+
+Weeks
+AllocationPlanner::ttmWithShare(const FoundryCustomer& customer,
+                                const std::string& process,
+                                double share) const
+{
+    TTMCAS_REQUIRE(share > 0.0 && share <= 1.0,
+                   "capacity share must be in (0, 1]");
+    const auto nodes = customer.design.processNodes();
+    TTMCAS_REQUIRE(std::find(nodes.begin(), nodes.end(), process) !=
+                       nodes.end(),
+                   "customer '" + customer.name + "' does not use node '" +
+                       process + "'");
+    MarketConditions market;
+    market.setCapacityFactor(process, share);
+    return _model.evaluate(customer.design, customer.n_chips, market)
+        .total();
+}
+
+std::pair<double, double>
+AllocationPlanner::decompose(const FoundryCustomer& customer,
+                             const std::string& process) const
+{
+    // TTM(s) = base + demand_weeks / s for single-node, no-queue
+    // designs: extract both from two full-model evaluations.
+    const double at_full =
+        ttmWithShare(customer, process, 1.0).value();
+    const double at_half =
+        ttmWithShare(customer, process, 0.5).value();
+    const double demand_weeks = at_half - at_full; // d/0.5 - d = d
+    const double base = at_full - demand_weeks;
+    return {base, demand_weeks};
+}
+
+std::vector<AllocationOutcome>
+AllocationPlanner::proportionalAllocation(
+    const std::vector<FoundryCustomer>& customers,
+    const std::string& process) const
+{
+    TTMCAS_REQUIRE(!customers.empty(), "need at least one customer");
+    std::vector<double> demands;
+    double total = 0.0;
+    for (const auto& customer : customers) {
+        const double wafers =
+            _model.waferDemand(customer.design, customer.n_chips, process)
+                .value();
+        TTMCAS_REQUIRE(wafers > 0.0,
+                       "customer '" + customer.name +
+                           "' has no demand at '" + process + "'");
+        demands.push_back(wafers);
+        total += wafers;
+    }
+
+    std::vector<AllocationOutcome> outcomes;
+    for (std::size_t i = 0; i < customers.size(); ++i) {
+        AllocationOutcome outcome;
+        outcome.customer = customers[i].name;
+        outcome.share = demands[i] / total;
+        outcome.ttm =
+            ttmWithShare(customers[i], process, outcome.share);
+        outcomes.push_back(std::move(outcome));
+    }
+    return outcomes;
+}
+
+std::vector<AllocationOutcome>
+AllocationPlanner::minMakespanAllocation(
+    const std::vector<FoundryCustomer>& customers,
+    const std::string& process) const
+{
+    TTMCAS_REQUIRE(!customers.empty(), "need at least one customer");
+
+    // Decompose every customer's TTM into base + demand/s.
+    std::vector<std::pair<double, double>> parts;
+    for (const auto& customer : customers)
+        parts.push_back(decompose(customer, process));
+
+    // Required total share at a common finish time T:
+    //   s_i(T) = demand_i / (T - base_i); feasible when sum <= 1.
+    const auto total_share = [&](double finish) {
+        double sum = 0.0;
+        for (const auto& [base, demand] : parts) {
+            if (finish <= base)
+                return 1e18; // cannot finish by then at any share
+            sum += demand / (finish - base);
+        }
+        return sum;
+    };
+
+    // Bracket: T_low just above the largest base; T_high generous.
+    double lo = 0.0;
+    double hi = 0.0;
+    for (const auto& [base, demand] : parts) {
+        lo = std::max(lo, base);
+        hi = std::max(hi, base + demand);
+    }
+    hi = lo + std::max(1.0, (hi - lo)) * static_cast<double>(
+                                             customers.size()) *
+                  4.0;
+    while (total_share(hi) > 1.0)
+        hi *= 2.0;
+
+    for (int iteration = 0; iteration < 200; ++iteration) {
+        const double mid = 0.5 * (lo + hi);
+        if (total_share(mid) > 1.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const double finish = hi;
+
+    std::vector<AllocationOutcome> outcomes;
+    double assigned = 0.0;
+    for (std::size_t i = 0; i < customers.size(); ++i) {
+        AllocationOutcome outcome;
+        outcome.customer = customers[i].name;
+        outcome.share =
+            parts[i].second / (finish - parts[i].first);
+        assigned += outcome.share;
+        outcomes.push_back(std::move(outcome));
+    }
+    // Hand any numerical slack to every customer proportionally, then
+    // verify against the full model.
+    TTMCAS_INVARIANT(assigned <= 1.0 + 1e-6,
+                     "allocation exceeded full capacity");
+    for (auto& outcome : outcomes)
+        outcome.share = std::min(outcome.share / assigned, 1.0);
+    for (std::size_t i = 0; i < customers.size(); ++i) {
+        outcomes[i].ttm =
+            ttmWithShare(customers[i], process, outcomes[i].share);
+    }
+    return outcomes;
+}
+
+Weeks
+AllocationPlanner::makespan(const std::vector<AllocationOutcome>& outcomes)
+{
+    TTMCAS_REQUIRE(!outcomes.empty(), "makespan of empty allocation");
+    Weeks latest{0.0};
+    for (const auto& outcome : outcomes)
+        latest = std::max(latest, outcome.ttm);
+    return latest;
+}
+
+} // namespace ttmcas

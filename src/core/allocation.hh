@@ -1,0 +1,95 @@
+#ifndef TTMCAS_CORE_ALLOCATION_HH
+#define TTMCAS_CORE_ALLOCATION_HH
+
+/**
+ * @file
+ * Foundry capacity allocation across competing customers.
+ *
+ * Section 2.3: foundries aggregate orders from many firms and route
+ * capacity among them; during a shortage every customer's effective
+ * wafer rate is their *share* of the line, not the line. This module
+ * models a set of customers contending for one node's capacity:
+ *
+ *  - each customer's TTM is evaluated with its share as the node's
+ *    capacity factor;
+ *  - the min-makespan allocation (the split that minimizes the latest
+ *    customer's TTM) equalizes completion times where possible and is
+ *    found by bisection on the common finish time.
+ *
+ * The solver treats each customer's TTM as  base + demand / (mu * s)
+ * in its share s — exact for single-node designs with no queue, and
+ * the solver verifies the resulting TTMs against the full model.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/design.hh"
+#include "core/ttm_model.hh"
+
+namespace ttmcas {
+
+/** One order contending for capacity. */
+struct FoundryCustomer
+{
+    std::string name;
+    ChipDesign design;
+    double n_chips = 0.0;
+};
+
+/** One customer's outcome under an allocation. */
+struct AllocationOutcome
+{
+    std::string customer;
+    double share = 0.0; ///< fraction of the node's capacity
+    Weeks ttm{0.0};
+};
+
+/** Allocates one process node's capacity among customers. */
+class AllocationPlanner
+{
+  public:
+    explicit AllocationPlanner(TtmModel model);
+
+    const TtmModel& model() const { return _model; }
+
+    /**
+     * TTM of @p customer when granted @p share of @p process.
+     * The customer's design must use @p process.
+     */
+    Weeks ttmWithShare(const FoundryCustomer& customer,
+                       const std::string& process, double share) const;
+
+    /**
+     * Proportional-to-demand allocation: shares proportional to each
+     * customer's wafer demand (the "fair by volume" baseline).
+     */
+    std::vector<AllocationOutcome>
+    proportionalAllocation(const std::vector<FoundryCustomer>& customers,
+                           const std::string& process) const;
+
+    /**
+     * Min-makespan allocation: the share split minimizing the latest
+     * customer's TTM, by bisection on the common finish time.
+     * Shares sum to 1.
+     */
+    std::vector<AllocationOutcome>
+    minMakespanAllocation(const std::vector<FoundryCustomer>& customers,
+                          const std::string& process) const;
+
+    /** Latest TTM across the outcomes. */
+    static Weeks
+    makespan(const std::vector<AllocationOutcome>& outcomes);
+
+  private:
+    /** TTM with share -> (base weeks, demand weeks at full capacity). */
+    std::pair<double, double>
+    decompose(const FoundryCustomer& customer,
+              const std::string& process) const;
+
+    TtmModel _model;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_ALLOCATION_HH

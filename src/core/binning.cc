@@ -1,0 +1,94 @@
+#include "core/binning.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+BinningModel::BinningModel(std::vector<SpeedBin> bins)
+    : _bins(std::move(bins))
+{
+    TTMCAS_REQUIRE(!_bins.empty(), "binning model needs at least one bin");
+    double total = 0.0;
+    for (const auto& bin : _bins) {
+        TTMCAS_REQUIRE(!bin.name.empty(), "bin needs a name");
+        TTMCAS_REQUIRE(bin.fraction > 0.0 && bin.fraction <= 1.0,
+                       "bin '" + bin.name +
+                           "': fraction must be in (0, 1]");
+        TTMCAS_REQUIRE(bin.unit_price.value() >= 0.0,
+                       "bin '" + bin.name + "': price must be >= 0");
+        for (const auto& other : _bins) {
+            TTMCAS_REQUIRE(&other == &bin || other.name != bin.name,
+                           "duplicate bin name '" + bin.name + "'");
+        }
+        total += bin.fraction;
+    }
+    TTMCAS_REQUIRE(total <= 1.0 + 1e-12,
+                   "bin fractions must sum to at most 1");
+}
+
+double
+BinningModel::sellableFraction() const
+{
+    double total = 0.0;
+    for (const auto& bin : _bins) {
+        if (bin.unit_price.value() > 0.0)
+            total += bin.fraction;
+    }
+    return total;
+}
+
+const SpeedBin&
+BinningModel::bin(const std::string& name) const
+{
+    auto it = std::find_if(_bins.begin(), _bins.end(),
+                           [&](const SpeedBin& candidate) {
+                               return candidate.name == name;
+                           });
+    TTMCAS_REQUIRE(it != _bins.end(), "unknown bin '" + name + "'");
+    return *it;
+}
+
+double
+BinningModel::goodDiesForDemand(
+    const std::map<std::string, double>& demand) const
+{
+    TTMCAS_REQUIRE(!demand.empty(), "bin demand must not be empty");
+    double dies = 0.0;
+    for (const auto& [name, units] : demand) {
+        TTMCAS_REQUIRE(units >= 0.0,
+                       "demand for bin '" + name + "' must be >= 0");
+        dies = std::max(dies, units / bin(name).fraction);
+    }
+    return dies;
+}
+
+double
+BinningModel::demandMultiplier(const std::string& bin_name) const
+{
+    return 1.0 / bin(bin_name).fraction;
+}
+
+Dollars
+BinningModel::revenuePerGoodDie() const
+{
+    Dollars revenue{0.0};
+    for (const auto& bin : _bins)
+        revenue += bin.unit_price * bin.fraction;
+    return revenue;
+}
+
+BinningModel
+typicalThreeBinSplit(Dollars top_price)
+{
+    TTMCAS_REQUIRE(top_price.value() > 0.0,
+                   "top-bin price must be positive");
+    return BinningModel({
+        {"top", 0.25, top_price},
+        {"mid", 0.55, top_price * 0.75},
+        {"low", 0.15, top_price * 0.55},
+    });
+}
+
+} // namespace ttmcas

@@ -1,0 +1,87 @@
+#ifndef TTMCAS_CORE_BINNING_HH
+#define TTMCAS_CORE_BINNING_HH
+
+/**
+ * @file
+ * Performance binning of good dies.
+ *
+ * Section 2.1: "customers may choose to separate chips by their
+ * performance characteristics or defects, commonly known as
+ * 'binning'". Binning changes wafer demand: if only the top speed
+ * grade counts toward the order, the fraction of *good* dies that
+ * reach that grade divides into the effective good-die rate, exactly
+ * like yield does in Eq. 5/7.
+ *
+ * A BinningModel is a set of named bins with fractions of the good-die
+ * population (anything not covered is scrap/downbin-unsold). Given a
+ * per-bin demand, the fabricated-die requirement is set by the bin
+ * whose demand-to-fraction ratio is largest — dies fill every bin
+ * proportionally, so the tightest bin gates the whole order.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** One speed/power grade. */
+struct SpeedBin
+{
+    std::string name;
+    /** Fraction of good dies landing in this bin, in (0, 1]. */
+    double fraction = 0.0;
+    /** Selling price of a unit binned here (0 = not sold). */
+    Dollars unit_price{0.0};
+};
+
+/** A partition (or sub-partition) of the good-die population. */
+class BinningModel
+{
+  public:
+    /** @param bins named bins; fractions must sum to <= 1. */
+    explicit BinningModel(std::vector<SpeedBin> bins);
+
+    const std::vector<SpeedBin>& bins() const { return _bins; }
+
+    /** Fraction of good dies that land in any sellable bin. */
+    double sellableFraction() const;
+
+    /** Look a bin up by name; throws ModelError when missing. */
+    const SpeedBin& bin(const std::string& name) const;
+
+    /**
+     * Good dies that must be fabricated so that every bin's demand is
+     * met simultaneously (bins fill proportionally; the tightest
+     * demand/fraction ratio gates the order).
+     *
+     * @param demand units wanted per bin name (subset of the bins)
+     */
+    double goodDiesForDemand(
+        const std::map<std::string, double>& demand) const;
+
+    /**
+     * Demand multiplier when only @p bin_name counts toward the order:
+     * 1 / fraction(bin). Multiplies into the n/Y term of Eq. 5/7.
+     */
+    double demandMultiplier(const std::string& bin_name) const;
+
+    /** Average revenue per good die across all bins. */
+    Dollars revenuePerGoodDie() const;
+
+  private:
+    std::vector<SpeedBin> _bins;
+};
+
+/**
+ * A typical three-grade split: 25% top bin, 55% mid bin, 15% low bin,
+ * 5% of good dies failing speed/power screens entirely. Prices scale
+ * from @p top_price by 0.75x and 0.55x.
+ */
+BinningModel typicalThreeBinSplit(Dollars top_price);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_BINNING_HH

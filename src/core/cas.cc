@@ -1,0 +1,91 @@
+#include "core/cas.hh"
+
+#include <cmath>
+
+#include "support/error.hh"
+#include "support/mathutil.hh"
+
+namespace ttmcas {
+
+CasModel::CasModel(TtmModel model) : CasModel(std::move(model), Options{}) {}
+
+CasModel::CasModel(TtmModel model, Options options)
+    : _model(std::move(model)), _options(options)
+{
+    TTMCAS_REQUIRE(_options.derivative_rel_step > 0.0,
+                   "derivative step must be positive");
+    TTMCAS_REQUIRE(_options.normalization > 0.0,
+                   "CAS normalization must be positive");
+}
+
+double
+CasModel::dTtmDMu(const ChipDesign& design, double n_chips,
+                  const MarketConditions& market,
+                  const std::string& process) const
+{
+    const ProcessNode& node = _model.technology().node(process);
+    const WafersPerWeek max_rate = node.waferRate();
+    TTMCAS_REQUIRE(max_rate.value() > 0.0,
+                   "node '" + process + "' has no production to perturb");
+    const double current_rate =
+        market.effectiveWaferRate(node).value();
+    TTMCAS_REQUIRE(current_rate > 0.0,
+                   "node '" + process +
+                       "' has zero effective rate under this market");
+
+    // TTM as a function of this node's effective wafer rate: express the
+    // rate as a capacity factor so every other market setting persists.
+    const auto ttm_of_rate = [&](double rate) {
+        MarketConditions perturbed = market;
+        perturbed.setCapacityFactor(process, rate / max_rate.value());
+        return _model.evaluate(design, n_chips, perturbed).total().value();
+    };
+    return centralDifference(ttm_of_rate, current_rate,
+                             _options.derivative_rel_step);
+}
+
+double
+CasModel::rawCas(const ChipDesign& design, double n_chips,
+                 const MarketConditions& market) const
+{
+    double slope_sum = 0.0;
+    for (const std::string& process : design.processNodes())
+        slope_sum += std::fabs(dTtmDMu(design, n_chips, market, process));
+    TTMCAS_REQUIRE(slope_sum > 0.0,
+                   "TTM of design '" + design.name +
+                       "' is insensitive to every node's production rate; "
+                       "CAS is unbounded");
+    return 1.0 / slope_sum;
+}
+
+double
+CasModel::cas(const ChipDesign& design, double n_chips,
+              const MarketConditions& market) const
+{
+    return rawCas(design, n_chips, market) / _options.normalization;
+}
+
+std::vector<CasPoint>
+CasModel::capacitySweep(const ChipDesign& design, double n_chips,
+                        const std::vector<double>& fractions,
+                        const MarketConditions& base) const
+{
+    std::vector<CasPoint> points;
+    points.reserve(fractions.size());
+    for (double fraction : fractions) {
+        TTMCAS_REQUIRE(fraction > 0.0,
+                       "capacity fraction must be positive");
+        MarketConditions market = base;
+        for (const std::string& process : design.processNodes())
+            market.setCapacityFactor(process, fraction);
+
+        CasPoint point;
+        point.capacity_fraction = fraction;
+        point.ttm = _model.evaluate(design, n_chips, market).total();
+        point.cas = cas(design, n_chips, market);
+        points.push_back(point);
+    }
+    return points;
+}
+
+} // namespace ttmcas

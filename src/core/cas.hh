@@ -1,0 +1,94 @@
+#ifndef TTMCAS_CORE_CAS_HH
+#define TTMCAS_CORE_CAS_HH
+
+/**
+ * @file
+ * The Chip Agility Score (paper Section 4, Eq. 8):
+ *
+ *   CAS = ( sum_{p in d} | dTTM(c, d, n, p) / dmuW(p) | )^(-1)
+ *
+ * The derivative of time-to-market with respect to each used node's
+ * wafer production rate is evaluated numerically (central difference on
+ * the effective rate), the magnitudes are summed over every process
+ * node the design uses, and the inverse is taken so a *higher* CAS
+ * means a more agile (less production-bottlenecked) architecture.
+ *
+ * Raw CAS carries units of wafers/week^2. The paper plots "normalized
+ * wafers/week^2"; we divide by a single fixed constant
+ * (kCasNormalization) chosen once so the A11-at-7nm/10M-chips full-
+ * capacity score lands on the paper's ~175 axis value. Because the
+ * constant is global, every relative comparison is unaffected.
+ */
+
+#include <vector>
+
+#include "core/market.hh"
+#include "core/ttm_model.hh"
+
+namespace ttmcas {
+
+/** Normalization divisor applied to raw CAS for paper-scale plots. */
+inline constexpr double kCasNormalization = 2600.0;
+
+/** One point of a production-capacity sweep (Figs. 3, 9, 12, 13c). */
+struct CasPoint
+{
+    double capacity_fraction = 1.0; ///< % of max production rate / 100
+    Weeks ttm{0.0};
+    double cas = 0.0;               ///< normalized CAS
+};
+
+/** Evaluates Eq. 8 on top of a TtmModel. */
+class CasModel
+{
+  public:
+    struct Options
+    {
+        /** Relative step of the central finite difference. */
+        double derivative_rel_step = 1e-3;
+        /** Divisor applied to raw CAS (see kCasNormalization). */
+        double normalization = kCasNormalization;
+    };
+
+    /** Build with default options (1e-3 step, paper normalization). */
+    explicit CasModel(TtmModel model);
+
+    CasModel(TtmModel model, Options options);
+
+    const TtmModel& ttmModel() const { return _model; }
+
+    /**
+     * dTTM/dmuW for one node of the design, in weeks per (wafer/week),
+     * evaluated at the market's current effective rate. Negative in
+     * normal conditions (more capacity, less time).
+     */
+    double dTtmDMu(const ChipDesign& design, double n_chips,
+                   const MarketConditions& market,
+                   const std::string& process) const;
+
+    /** Raw Eq. 8 score in wafers/week^2. */
+    double rawCas(const ChipDesign& design, double n_chips,
+                  const MarketConditions& market = {}) const;
+
+    /** Normalized score (raw / normalization), the plotted quantity. */
+    double cas(const ChipDesign& design, double n_chips,
+               const MarketConditions& market = {}) const;
+
+    /**
+     * Sweep global production capacity over @p fractions (applied to
+     * *all* nodes the design uses, like the paper's x-axes) and report
+     * TTM and CAS at each point. @p base supplies queue conditions.
+     */
+    std::vector<CasPoint>
+    capacitySweep(const ChipDesign& design, double n_chips,
+                  const std::vector<double>& fractions,
+                  const MarketConditions& base = {}) const;
+
+  private:
+    TtmModel _model;
+    Options _options;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_CAS_HH

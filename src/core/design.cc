@@ -1,0 +1,152 @@
+#include "core/design.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+SquareMm
+Die::areaAt(const ProcessNode& node) const
+{
+    TTMCAS_REQUIRE(node.name == process,
+                   "die '" + name + "' targets " + process +
+                       " but was asked for area at " + node.name);
+    const SquareMm base =
+        area_override.has_value()
+            ? *area_override
+            : SquareMm(total_transistors /
+                       (node.density_mtr_per_mm2 * 1e6));
+    return std::max(base, min_area);
+}
+
+void
+Die::validate() const
+{
+    TTMCAS_REQUIRE(!name.empty(), "die needs a name");
+    TTMCAS_REQUIRE(!process.empty(),
+                   "die '" + name + "' needs a process node");
+    TTMCAS_REQUIRE(total_transistors > 0.0,
+                   "die '" + name + "': total transistors must be positive");
+    TTMCAS_REQUIRE(unique_transistors >= 0.0,
+                   "die '" + name + "': unique transistors must be >= 0");
+    TTMCAS_REQUIRE(unique_transistors <= total_transistors,
+                   "die '" + name + "': unique transistors cannot exceed "
+                   "total transistors");
+    TTMCAS_REQUIRE(count_per_package > 0.0,
+                   "die '" + name + "': count per package must be positive");
+    if (area_override.has_value()) {
+        TTMCAS_REQUIRE(area_override->value() > 0.0,
+                       "die '" + name + "': area override must be positive");
+    }
+    TTMCAS_REQUIRE(min_area.value() >= 0.0,
+                   "die '" + name + "': minimum area must be >= 0");
+    if (yield_override.has_value()) {
+        TTMCAS_REQUIRE(*yield_override > 0.0 && *yield_override <= 1.0,
+                       "die '" + name + "': yield override must be in "
+                       "(0, 1]");
+    }
+}
+
+double
+ChipDesign::diesPerPackage() const
+{
+    double total = 0.0;
+    for (const auto& die : dies)
+        total += die.count_per_package;
+    return total;
+}
+
+double
+ChipDesign::totalTransistorsPerChip() const
+{
+    double total = 0.0;
+    for (const auto& die : dies)
+        total += die.count_per_package * die.total_transistors;
+    return total;
+}
+
+std::vector<std::string>
+ChipDesign::processNodes() const
+{
+    std::vector<std::string> nodes;
+    for (const auto& die : dies) {
+        if (std::find(nodes.begin(), nodes.end(), die.process) ==
+            nodes.end()) {
+            nodes.push_back(die.process);
+        }
+    }
+    return nodes;
+}
+
+double
+ChipDesign::uniqueTransistorsAt(const std::string& process) const
+{
+    double total = 0.0;
+    for (const auto& die : dies) {
+        if (die.process == process)
+            total += die.unique_transistors;
+    }
+    return total;
+}
+
+void
+ChipDesign::validate() const
+{
+    TTMCAS_REQUIRE(!name.empty(), "chip design needs a name");
+    TTMCAS_REQUIRE(!dies.empty(),
+                   "chip design '" + name + "' needs at least one die");
+    TTMCAS_REQUIRE(design_time.value() >= 0.0,
+                   "chip design '" + name + "': design time must be >= 0");
+    for (const auto& die : dies)
+        die.validate();
+}
+
+void
+ChipDesign::validateAgainst(const TechnologyDb& db) const
+{
+    validate();
+    for (const auto& die : dies) {
+        const ProcessNode* node = db.tryNode(die.process);
+        TTMCAS_REQUIRE(node != nullptr,
+                       "design '" + name + "': die '" + die.name +
+                           "' targets unknown process '" + die.process +
+                           "'");
+        const SquareMm area = die.areaAt(*node);
+        TTMCAS_REQUIRE(area.value() > 0.0,
+                       "design '" + name + "': die '" + die.name +
+                           "' has non-positive area");
+    }
+}
+
+ChipDesign
+makeMonolithicDesign(const std::string& name, const std::string& process,
+                     double total_transistors, double unique_transistors,
+                     Weeks design_time)
+{
+    ChipDesign design;
+    design.name = name;
+    design.design_time = design_time;
+    Die die;
+    die.name = name + "-die";
+    die.process = process;
+    die.total_transistors = total_transistors;
+    die.unique_transistors = unique_transistors;
+    die.count_per_package = 1.0;
+    design.dies.push_back(std::move(die));
+    design.validate();
+    return design;
+}
+
+ChipDesign
+retargetDesign(const ChipDesign& design, const std::string& process)
+{
+    ChipDesign retargeted = design;
+    for (auto& die : retargeted.dies) {
+        die.process = process;
+        die.area_override.reset();
+    }
+    return retargeted;
+}
+
+} // namespace ttmcas

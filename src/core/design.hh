@@ -1,0 +1,136 @@
+#ifndef TTMCAS_CORE_DESIGN_HH
+#define TTMCAS_CORE_DESIGN_HH
+
+/**
+ * @file
+ * Architectural description of a chip design.
+ *
+ * A ChipDesign is a set of die *types*. Each die type names the process
+ * node it is fabricated on, its total and unique/unverified transistor
+ * counts (paper Table 1: N_TT and N_UT), how many copies of it are
+ * packaged into one final chip, and optionally a pinned die area (used
+ * when the paper supplies areas directly, e.g. Table 4's Zen 2 dies;
+ * otherwise area follows from the node's transistor density).
+ *
+ * This representation covers every configuration the paper evaluates:
+ * monolithic chips (one die type, count 1), homogeneous chiplets, mixed-
+ * process chiplets (Zen 2: 7nm compute x2 + 12nm I/O), and interposer
+ * designs (the interposer is simply another die type, typically on a
+ * legacy node with near-perfect yield).
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/units.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+
+/** One die type within a chip design. */
+struct Die
+{
+    /** Label for reports, e.g. "compute" or "io". */
+    std::string name;
+
+    /** Process node this die is fabricated on (must exist in the db). */
+    std::string process;
+
+    /** N_TT: total transistors on one copy of this die. */
+    double total_transistors = 0.0;
+
+    /**
+     * N_UT: unique/unverified transistors that must complete the
+     * tapeout phase for this die type (paper Section 3.2). Pre-verified
+     * IP and repeated blocks are excluded by the caller.
+     */
+    double unique_transistors = 0.0;
+
+    /** Copies of this die packaged into each final chip. */
+    double count_per_package = 1.0;
+
+    /**
+     * Pinned die area. When absent, area = N_TT / density(node).
+     * When present, overrides the density-derived area (used when a
+     * real floorplan area is known).
+     */
+    std::optional<SquareMm> area_override;
+
+    /**
+     * Minimum manufacturable die area (pad ring / handling limit). The
+     * paper's Raven study sets this to 1 mm^2 (Section 7). Applied
+     * after the density-derived or pinned area.
+     */
+    SquareMm min_area{0.0};
+
+    /**
+     * Optional yield override in (0, 1]. Used for passive interposers,
+     * which the paper models with an optimistic fixed 99.99% yield
+     * instead of the area-driven Eq. 6.
+     */
+    std::optional<double> yield_override;
+
+    /** Die area at @p node (override or density-derived). */
+    SquareMm areaAt(const ProcessNode& node) const;
+
+    /** Throw ModelError unless the die is well-formed. */
+    void validate() const;
+};
+
+/** A chip design: die types plus design-phase constants. */
+struct ChipDesign
+{
+    std::string name;
+    std::vector<Die> dies;
+
+    /**
+     * T_design+implementation: the paper models this phase as a
+     * per-design constant (Section 3.1).
+     */
+    Weeks design_time{0.0};
+
+    /** Total dies per final package (sum of per-die counts). */
+    double diesPerPackage() const;
+
+    /** Total transistors per final chip (sum over packaged dies). */
+    double totalTransistorsPerChip() const;
+
+    /** Distinct process nodes used, in first-appearance order. */
+    std::vector<std::string> processNodes() const;
+
+    /**
+     * Sum of unique transistors taped out at @p process —
+     * N_UT(d, p) of paper Eq. 2. Each die *type* counts once
+     * regardless of how many copies are packaged.
+     */
+    double uniqueTransistorsAt(const std::string& process) const;
+
+    /** Throw ModelError unless the design is well-formed. */
+    void validate() const;
+
+    /**
+     * Check the design against a technology database: all processes
+     * exist and every die fits on a 300mm wafer at its node.
+     */
+    void validateAgainst(const TechnologyDb& db) const;
+};
+
+/** Convenience builder: a single-die chip at one node. */
+ChipDesign
+makeMonolithicDesign(const std::string& name, const std::string& process,
+                     double total_transistors, double unique_transistors,
+                     Weeks design_time = Weeks(0.0));
+
+/**
+ * Re-target a design to a different process node (the paper's
+ * "re-release at an older node" studies): all dies move to
+ * @p process and density-derived areas re-scale automatically.
+ * Pinned areas are cleared so the new node's density applies.
+ */
+ChipDesign retargetDesign(const ChipDesign& design,
+                          const std::string& process);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_DESIGN_HH

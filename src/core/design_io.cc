@@ -1,0 +1,205 @@
+#include "core/design_io.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hh"
+#include "support/strutil.hh"
+
+namespace ttmcas {
+
+namespace {
+
+const std::vector<std::string>&
+dieColumns()
+{
+    static const std::vector<std::string> columns{
+        "die",
+        "process",
+        "total_transistors",
+        "unique_transistors",
+        "count_per_package",
+        "area_mm2",
+        "min_area_mm2",
+        "yield_override",
+    };
+    return columns;
+}
+
+std::vector<std::string>
+splitLine(const std::string& line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream stream(line);
+    while (std::getline(stream, cell, ','))
+        cells.push_back(cell);
+    if (!line.empty() && line.back() == ',')
+        cells.push_back("");
+    return cells;
+}
+
+std::string
+trim(const std::string& text)
+{
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+double
+parseNumber(const std::string& cell, std::size_t line_number,
+            const std::string& column)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(cell, &consumed);
+        TTMCAS_REQUIRE(consumed == cell.size(),
+                       "line " + std::to_string(line_number) +
+                           ": trailing characters in '" + column + "'");
+        return value;
+    } catch (const std::invalid_argument&) {
+        throw ModelError("line " + std::to_string(line_number) +
+                         ": cannot parse '" + cell + "' in column '" +
+                         column + "'");
+    } catch (const std::out_of_range&) {
+        throw ModelError("line " + std::to_string(line_number) +
+                         ": value out of range in column '" + column +
+                         "'");
+    }
+}
+
+} // namespace
+
+std::string
+designToCsv(const ChipDesign& design)
+{
+    design.validate();
+    std::ostringstream os;
+    os.precision(17);
+    os << "# ttmcas design\n";
+    os << "# name: " << design.name << "\n";
+    os << "# design_weeks: " << design.design_time.value() << "\n";
+    for (std::size_t c = 0; c < dieColumns().size(); ++c) {
+        if (c != 0)
+            os << ",";
+        os << dieColumns()[c];
+    }
+    os << "\n";
+    for (const Die& die : design.dies) {
+        os << die.name << "," << die.process << ","
+           << die.total_transistors << "," << die.unique_transistors
+           << "," << die.count_per_package << ",";
+        if (die.area_override.has_value())
+            os << die.area_override->value();
+        os << ",";
+        if (die.min_area.value() > 0.0)
+            os << die.min_area.value();
+        os << ",";
+        if (die.yield_override.has_value())
+            os << *die.yield_override;
+        os << "\n";
+    }
+    return os.str();
+}
+
+ChipDesign
+designFromCsv(const std::string& csv_text)
+{
+    std::istringstream stream(csv_text);
+    std::string line;
+    std::size_t line_number = 0;
+
+    ChipDesign design;
+    design.name = "unnamed";
+
+    // Pragmas and header.
+    std::map<std::string, std::size_t> column_index;
+    while (std::getline(stream, line)) {
+        ++line_number;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        if (trimmed[0] == '#') {
+            const std::string body = trim(trimmed.substr(1));
+            if (startsWith(body, "name:"))
+                design.name = trim(body.substr(5));
+            else if (startsWith(body, "design_weeks:"))
+                design.design_time = Weeks(parseNumber(
+                    trim(body.substr(13)), line_number, "design_weeks"));
+            continue;
+        }
+        const auto headers = splitLine(trimmed);
+        for (std::size_t i = 0; i < headers.size(); ++i)
+            column_index[trim(headers[i])] = i;
+        break;
+    }
+    for (const std::string& required : dieColumns()) {
+        TTMCAS_REQUIRE(column_index.count(required) == 1,
+                       "design CSV is missing column '" + required +
+                           "'");
+    }
+
+    // Die rows.
+    while (std::getline(stream, line)) {
+        ++line_number;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        const auto cells = splitLine(trimmed);
+        TTMCAS_REQUIRE(cells.size() >= column_index.size(),
+                       "line " + std::to_string(line_number) +
+                           ": too few cells");
+        const auto cell = [&](const std::string& column) {
+            return trim(cells[column_index.at(column)]);
+        };
+        const auto number = [&](const std::string& column) {
+            return parseNumber(cell(column), line_number, column);
+        };
+
+        Die die;
+        die.name = cell("die");
+        die.process = cell("process");
+        die.total_transistors = number("total_transistors");
+        die.unique_transistors = number("unique_transistors");
+        die.count_per_package = number("count_per_package");
+        if (!cell("area_mm2").empty())
+            die.area_override = SquareMm(number("area_mm2"));
+        if (!cell("min_area_mm2").empty())
+            die.min_area = SquareMm(number("min_area_mm2"));
+        if (!cell("yield_override").empty())
+            die.yield_override = number("yield_override");
+        design.dies.push_back(std::move(die));
+    }
+    design.validate();
+    return design;
+}
+
+void
+saveDesignCsv(const ChipDesign& design, const std::string& path)
+{
+    const std::filesystem::path fs_path(path);
+    if (fs_path.has_parent_path())
+        std::filesystem::create_directories(fs_path.parent_path());
+    std::ofstream out(fs_path);
+    TTMCAS_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+    out << designToCsv(design);
+    TTMCAS_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+ChipDesign
+loadDesignCsv(const std::string& path)
+{
+    std::ifstream in(path);
+    TTMCAS_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return designFromCsv(buffer.str());
+}
+
+} // namespace ttmcas

@@ -1,0 +1,44 @@
+#ifndef TTMCAS_CORE_DESIGN_IO_HH
+#define TTMCAS_CORE_DESIGN_IO_HH
+
+/**
+ * @file
+ * CSV serialization of chip designs.
+ *
+ * Companion to tech/dataset_io: a ChipDesign (any number of die types,
+ * chiplets, interposers) round-trips through a small CSV so the CLI
+ * and scripts can evaluate real multi-die architectures without
+ * writing C++.
+ *
+ * Format: pragma comments for the design-level fields, then a header
+ * row and one row per die type. Empty cells mean "unset".
+ *
+ *   # ttmcas design
+ *   # name: zen2-original
+ *   # design_weeks: 0
+ *   die,process,total_transistors,unique_transistors,count_per_package,area_mm2,min_area_mm2,yield_override
+ *   compute,7nm,3.8e9,475e6,2,74,,
+ *   io,12nm,2.1e9,523e6,1,125,,
+ */
+
+#include <string>
+
+#include "core/design.hh"
+
+namespace ttmcas {
+
+/** Serialize @p design to CSV text. */
+std::string designToCsv(const ChipDesign& design);
+
+/** Parse CSV text into a validated design. */
+ChipDesign designFromCsv(const std::string& csv_text);
+
+/** Write @p design to a file (parent directories created). */
+void saveDesignCsv(const ChipDesign& design, const std::string& path);
+
+/** Load a design from a CSV file. */
+ChipDesign loadDesignCsv(const std::string& path);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_DESIGN_IO_HH

@@ -1,0 +1,93 @@
+#include "core/hoarding.hh"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+void
+HoardingModel::validate() const
+{
+    TTMCAS_REQUIRE(reference_lead_time.value() > 0.0,
+                   "reference lead time must be positive");
+    TTMCAS_REQUIRE(gain >= 0.0, "hoarding gain must be >= 0");
+}
+
+double
+HoardingModel::orderInflation(Weeks quoted_lead_time) const
+{
+    validate();
+    TTMCAS_REQUIRE(quoted_lead_time.value() >= 0.0,
+                   "lead time must be >= 0");
+    const double excess =
+        (quoted_lead_time.value() - reference_lead_time.value()) /
+        reference_lead_time.value();
+    return 1.0 + gain * std::max(excess, 0.0);
+}
+
+Weeks
+HoardingModel::equilibriumLeadTime(Weeks real_backlog) const
+{
+    validate();
+    TTMCAS_REQUIRE(real_backlog.value() >= 0.0,
+                   "physical backlog must be >= 0");
+    const double l_real = real_backlog.value();
+    const double l0 = reference_lead_time.value();
+
+    if (gain == 0.0 || l_real <= l0)
+        return real_backlog; // no over-ordering below the reference
+
+    // Fixed point of L = l_real * (1 + g (L - l0)/l0):
+    //   L (1 - g l_real / l0) = l_real (1 - g)
+    const double slope = gain * l_real / l0;
+    TTMCAS_REQUIRE(slope < 1.0,
+                   "hoarding feedback diverges for this backlog "
+                   "(panic regime); see criticalBacklog()");
+    const double equilibrium =
+        l_real * (1.0 - gain) / (1.0 - slope);
+    // The equilibrium can never be below the physical backlog.
+    return Weeks(std::max(equilibrium, l_real));
+}
+
+bool
+HoardingModel::panics(Weeks real_backlog) const
+{
+    validate();
+    if (gain == 0.0 || real_backlog.value() <= reference_lead_time.value())
+        return false;
+    return gain * real_backlog.value() / reference_lead_time.value() >=
+           1.0;
+}
+
+Weeks
+HoardingModel::criticalBacklog() const
+{
+    validate();
+    if (gain == 0.0)
+        return Weeks(std::numeric_limits<double>::infinity());
+    return Weeks(reference_lead_time.value() / gain);
+}
+
+std::vector<double>
+HoardingModel::iterate(Weeks real_backlog, int max_iterations) const
+{
+    validate();
+    TTMCAS_REQUIRE(max_iterations >= 1,
+                   "need at least one iteration");
+    std::vector<double> trajectory;
+    double quoted = real_backlog.value();
+    trajectory.push_back(quoted);
+    for (int i = 0; i < max_iterations; ++i) {
+        quoted = real_backlog.value() *
+                 orderInflation(Weeks(quoted));
+        trajectory.push_back(quoted);
+        if (!std::isfinite(quoted) || quoted > 1e9)
+            break; // diverged
+    }
+    return trajectory;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,75 @@
+#ifndef TTMCAS_CORE_HOARDING_HH
+#define TTMCAS_CORE_HOARDING_HH
+
+/**
+ * @file
+ * Shortage amplification through hoarding.
+ *
+ * Figure 1(c) of the paper: during the 2020-2022 shortage, customers
+ * "hoarded chips, which has exacerbated shortages". This module turns
+ * that feedback loop into a fixed-point model:
+ *
+ *   customers observe the quoted lead time L (weeks of backlog);
+ *   when L exceeds the calm-market reference L0 they over-order by
+ *   a factor  1 + g * (L - L0) / L0  (g = hoarding gain);
+ *   the over-ordering inflates the backlog:  L' = L_real * factor;
+ *   iterate.
+ *
+ * For g below a critical gain the loop converges to an equilibrium
+ * backlog larger than the physical one; above it the backlog diverges
+ * — the panic/bullwhip regime where quoted lead times explode without
+ * any additional physical disruption. The closed-form threshold for
+ * this linear response is  g* = L0 / L_real  (equilibrium
+ * L = L_real / (1 - g L_real / L0) exists only while g < g*).
+ */
+
+#include <vector>
+
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** Parameters of the hoarding feedback loop. */
+struct HoardingModel
+{
+    /** Calm-market reference lead time customers consider normal. */
+    Weeks reference_lead_time{2.0};
+    /**
+     * Hoarding gain g: fractional over-ordering per fractional lead-
+     * time excess. 0 disables the feedback.
+     */
+    double gain = 0.0;
+
+    /** Over-order factor customers apply at quoted lead time @p l. */
+    double orderInflation(Weeks quoted_lead_time) const;
+
+    /**
+     * Equilibrium quoted lead time for a physical backlog of
+     * @p real_backlog weeks. Throws ModelError in the divergent
+     * (panic) regime.
+     */
+    Weeks equilibriumLeadTime(Weeks real_backlog) const;
+
+    /** True when @p real_backlog sits in the divergent regime. */
+    bool panics(Weeks real_backlog) const;
+
+    /**
+     * Largest physical backlog that still converges for this gain:
+     * L_real < L0 / g (infinite when g = 0).
+     */
+    Weeks criticalBacklog() const;
+
+    /**
+     * Iterative solver (exposed for validation): runs the feedback
+     * loop from the physical backlog for @p max_iterations and
+     * returns the trajectory of quoted lead times.
+     */
+    std::vector<double>
+    iterate(Weeks real_backlog, int max_iterations = 64) const;
+
+    void validate() const;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_HOARDING_HH

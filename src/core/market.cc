@@ -1,0 +1,77 @@
+#include "core/market.hh"
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+MarketConditions&
+MarketConditions::setCapacityFactor(const std::string& process,
+                                    double factor)
+{
+    TTMCAS_REQUIRE(factor >= 0.0, "capacity factor must be >= 0");
+    _capacity_factors[process] = factor;
+    return *this;
+}
+
+MarketConditions&
+MarketConditions::setGlobalCapacityFactor(double factor)
+{
+    TTMCAS_REQUIRE(factor >= 0.0, "capacity factor must be >= 0");
+    _global_capacity_factor = factor;
+    _capacity_factors.clear();
+    return *this;
+}
+
+MarketConditions&
+MarketConditions::setQueueWeeks(const std::string& process, Weeks backlog)
+{
+    TTMCAS_REQUIRE(backlog.value() >= 0.0, "queue backlog must be >= 0");
+    _queue_weeks[process] = backlog;
+    return *this;
+}
+
+MarketConditions&
+MarketConditions::setQueueWafers(const std::string& process,
+                                 Wafers backlog)
+{
+    TTMCAS_REQUIRE(backlog.value() >= 0.0, "queue backlog must be >= 0");
+    _queue_wafers[process] = backlog;
+    return *this;
+}
+
+double
+MarketConditions::capacityFactor(const std::string& process) const
+{
+    auto it = _capacity_factors.find(process);
+    if (it != _capacity_factors.end())
+        return it->second;
+    return _global_capacity_factor;
+}
+
+Weeks
+MarketConditions::queueWeeks(const std::string& process) const
+{
+    auto it = _queue_weeks.find(process);
+    if (it != _queue_weeks.end())
+        return it->second;
+    return Weeks(0.0);
+}
+
+WafersPerWeek
+MarketConditions::effectiveWaferRate(const ProcessNode& node) const
+{
+    return node.waferRate() * capacityFactor(node.name);
+}
+
+Wafers
+MarketConditions::queueWafers(const ProcessNode& node) const
+{
+    Wafers backlog(queueWeeks(node.name).value() *
+                   node.waferRate().value());
+    auto it = _queue_wafers.find(node.name);
+    if (it != _queue_wafers.end())
+        backlog += it->second;
+    return backlog;
+}
+
+} // namespace ttmcas

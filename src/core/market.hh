@@ -1,0 +1,90 @@
+#ifndef TTMCAS_CORE_MARKET_HH
+#define TTMCAS_CORE_MARKET_HH
+
+/**
+ * @file
+ * Market conditions: the "c" argument of TTM(c, d, n, p).
+ *
+ * Market conditions modulate the technology snapshot without editing it:
+ *
+ *  - capacity factor per node: the fraction of the node's maximum wafer
+ *    production rate currently usable (the x-axis of the paper's CAS
+ *    figures, "% of Max Production Rate/Capacity");
+ *  - queue depth per node: the foundry backlog ahead of the design,
+ *    expressed in *weeks of full-capacity production*. Following
+ *    Section 6.3, the backlog is a wafer count N_W,ahead = q * muW_max,
+ *    so when capacity drops the same backlog takes proportionally
+ *    longer to drain: T_fab,queue = N_ahead / muW_now (Eq. 4). This is
+ *    exactly the "foundry quotes an initial lead time" behavior that
+ *    produces the steep TTM increases of Fig. 11.
+ */
+
+#include <map>
+#include <string>
+
+#include "support/units.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+
+/** Per-node capacity scaling and queue backlog. */
+class MarketConditions
+{
+  public:
+    /** Default market: every node at 100% capacity with no backlog. */
+    MarketConditions() = default;
+
+    /**
+     * Set the usable fraction of a node's maximum production rate.
+     * @param factor in [0, 1] typically; > 1 models capacity expansion.
+     */
+    MarketConditions& setCapacityFactor(const std::string& process,
+                                        double factor);
+
+    /** Set every node's capacity factor at once. */
+    MarketConditions& setGlobalCapacityFactor(double factor);
+
+    /**
+     * Set the queue backlog at a node in weeks of *full-capacity*
+     * production (Section 6.3's 0/1/2/4-week study).
+     */
+    MarketConditions& setQueueWeeks(const std::string& process,
+                                    Weeks backlog);
+
+    /**
+     * Set the queue backlog at a node directly as a wafer count —
+     * Eq. 4's native N_W,ahead. Adds to (does not replace) any
+     * weeks-denominated backlog set on the same node.
+     */
+    MarketConditions& setQueueWafers(const std::string& process,
+                                     Wafers backlog);
+
+    /** Capacity factor for @p process (1.0 when unset). */
+    double capacityFactor(const std::string& process) const;
+
+    /** Queue backlog for @p process (0 when unset). */
+    Weeks queueWeeks(const std::string& process) const;
+
+    /**
+     * Effective wafer production rate of @p node under these
+     * conditions: muW_max x capacity factor.
+     */
+    WafersPerWeek effectiveWaferRate(const ProcessNode& node) const;
+
+    /**
+     * Backlog wafer count ahead of the design at @p node:
+     * N_W,ahead = queue weeks x muW_max (independent of the current
+     * capacity factor; see file comment).
+     */
+    Wafers queueWafers(const ProcessNode& node) const;
+
+  private:
+    std::map<std::string, double> _capacity_factors;
+    std::map<std::string, Weeks> _queue_weeks;
+    std::map<std::string, Wafers> _queue_wafers;
+    double _global_capacity_factor = 1.0;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_MARKET_HH

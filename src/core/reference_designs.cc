@@ -1,0 +1,219 @@
+#include "core/reference_designs.hh"
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace designs {
+
+namespace {
+
+// Zen 2 structural data (paper Table 4; asterisked values are taken
+// directly from Naffziger et al. / Singh et al.).
+constexpr double kZen2ComputeNtt = 3.8e9;
+constexpr double kZen2ComputeNut = 475e6;
+constexpr double kZen2ComputeArea12 = 206.0; // mm^2 at 14/12nm class
+constexpr double kZen2ComputeArea7 = 74.0;   // mm^2 at 7nm
+constexpr double kZen2IoNtt = 2.1e9;
+constexpr double kZen2IoNut = 523e6; // 25% of I/O transistors (die photos)
+constexpr double kZen2IoArea12 = 125.0;
+constexpr double kZen2IoArea7 = 38.0;
+
+// Passive interposer: mostly routing; tiny active content for test
+// structures, near-perfect yield (Section 6.5).
+constexpr double kInterposerNtt = 10e6;
+constexpr double kInterposerNut = 1e6;
+constexpr double kInterposerYield = 0.9999;
+constexpr double kInterposerAreaScale = 1.2; // 120% of packaged chiplets
+
+Die
+makeDie(std::string name, std::string process, double ntt, double nut,
+        double count)
+{
+    Die die;
+    die.name = std::move(name);
+    die.process = std::move(process);
+    die.total_transistors = ntt;
+    die.unique_transistors = nut;
+    die.count_per_package = count;
+    return die;
+}
+
+/** Append a 65nm-class interposer sized from the existing dies. */
+void
+addInterposer(ChipDesign& design, const std::string& process)
+{
+    double chiplet_area = 0.0;
+    for (const auto& die : design.dies) {
+        TTMCAS_REQUIRE(die.area_override.has_value(),
+                       "interposer sizing needs pinned chiplet areas");
+        chiplet_area += die.count_per_package * die.area_override->value();
+    }
+    Die interposer = makeDie("interposer", process, kInterposerNtt,
+                             kInterposerNut, 1.0);
+    interposer.area_override = SquareMm(chiplet_area * kInterposerAreaScale);
+    interposer.yield_override = kInterposerYield;
+    design.dies.push_back(std::move(interposer));
+}
+
+} // namespace
+
+ChipDesign
+a11(const std::string& process)
+{
+    ChipDesign design;
+    design.name = "A11@" + process;
+    // Re-release of a finished architecture: the design/implementation
+    // phase reduces to a short re-qualification constant.
+    design.design_time = Weeks(2.0);
+    design.dies.push_back(
+        makeDie("a11-soc", process, 4.3e9, 514e6, 1.0));
+    design.validate();
+    return design;
+}
+
+std::vector<Zen2Config>
+allZen2Configs()
+{
+    return {
+        Zen2Config::Original,
+        Zen2Config::OriginalWithInterposer,
+        Zen2Config::Chiplet7nm,
+        Zen2Config::Chiplet7nmWithInterposer,
+        Zen2Config::Monolithic7nm,
+        Zen2Config::Chiplet12nm,
+        Zen2Config::Chiplet12nmWithInterposer,
+        Zen2Config::Monolithic12nm,
+    };
+}
+
+std::string
+zen2ConfigName(Zen2Config config)
+{
+    switch (config) {
+      case Zen2Config::Original:
+        return "Zen 2";
+      case Zen2Config::OriginalWithInterposer:
+        return "Zen 2 w. Interposer";
+      case Zen2Config::Chiplet7nm:
+        return "7nm Chiplet";
+      case Zen2Config::Chiplet7nmWithInterposer:
+        return "7nm Chiplet w. Interposer";
+      case Zen2Config::Monolithic7nm:
+        return "7nm Monolithic";
+      case Zen2Config::Chiplet12nm:
+        return "12nm Chiplet";
+      case Zen2Config::Chiplet12nmWithInterposer:
+        return "12nm Chiplet w. Interposer";
+      case Zen2Config::Monolithic12nm:
+        return "12nm Monolithic";
+    }
+    TTMCAS_INVARIANT(false, "unhandled Zen2Config");
+}
+
+ChipDesign
+zen2(Zen2Config config, const std::string& interposer_process)
+{
+    ChipDesign design;
+    design.name = zen2ConfigName(config);
+    design.design_time = Weeks(0.0); // finished microarchitecture
+
+    const auto compute_at = [&](const std::string& process, double area) {
+        Die die = makeDie("compute", process, kZen2ComputeNtt,
+                          kZen2ComputeNut, 2.0);
+        die.area_override = SquareMm(area);
+        return die;
+    };
+    const auto io_at = [&](const std::string& process, double area) {
+        Die die =
+            makeDie("io", process, kZen2IoNtt, kZen2IoNut, 1.0);
+        die.area_override = SquareMm(area);
+        return die;
+    };
+
+    switch (config) {
+      case Zen2Config::Original:
+      case Zen2Config::OriginalWithInterposer:
+        design.dies.push_back(compute_at("7nm", kZen2ComputeArea7));
+        design.dies.push_back(io_at("12nm", kZen2IoArea12));
+        break;
+      case Zen2Config::Chiplet7nm:
+      case Zen2Config::Chiplet7nmWithInterposer:
+        design.dies.push_back(compute_at("7nm", kZen2ComputeArea7));
+        design.dies.push_back(io_at("7nm", kZen2IoArea7));
+        break;
+      case Zen2Config::Chiplet12nm:
+      case Zen2Config::Chiplet12nmWithInterposer:
+        design.dies.push_back(compute_at("12nm", kZen2ComputeArea12));
+        design.dies.push_back(io_at("12nm", kZen2IoArea12));
+        break;
+      case Zen2Config::Monolithic7nm: {
+        Die die = makeDie("soc", "7nm", 2.0 * kZen2ComputeNtt + kZen2IoNtt,
+                          kZen2ComputeNut + kZen2IoNut, 1.0);
+        die.area_override =
+            SquareMm(2.0 * kZen2ComputeArea7 + kZen2IoArea7);
+        design.dies.push_back(std::move(die));
+        break;
+      }
+      case Zen2Config::Monolithic12nm: {
+        Die die = makeDie("soc", "12nm", 2.0 * kZen2ComputeNtt + kZen2IoNtt,
+                          kZen2ComputeNut + kZen2IoNut, 1.0);
+        die.area_override =
+            SquareMm(2.0 * kZen2ComputeArea12 + kZen2IoArea12);
+        design.dies.push_back(std::move(die));
+        break;
+      }
+    }
+
+    if (config == Zen2Config::OriginalWithInterposer ||
+        config == Zen2Config::Chiplet7nmWithInterposer ||
+        config == Zen2Config::Chiplet12nmWithInterposer) {
+        addInterposer(design, interposer_process);
+        design.name += " (" + interposer_process + " interposer)";
+    }
+
+    design.validate();
+    return design;
+}
+
+ChipDesign
+ravenMulticore(const std::string& process)
+{
+    // 64 PicoRV32-class cores at 0.75M transistors each plus a 9M
+    // transistor uncore (bus fabric, SRAM controller, peripherals).
+    // Unique transistors: one core plus the uncore — the other 63
+    // cores are stamped copies of the verified block (Section 3.2).
+    constexpr double cores = 64.0;
+    constexpr double core_ntt = 0.75e6;
+    constexpr double uncore_ntt = 9e6;
+
+    ChipDesign design;
+    design.name = "raven-multicore@" + process;
+    design.design_time = Weeks(2.0);
+    Die die = makeDie("raven-soc", process, cores * core_ntt + uncore_ntt,
+                      core_ntt + uncore_ntt, 1.0);
+    die.min_area = SquareMm(1.0); // Section 7: minimum die area 1 mm^2
+    design.dies.push_back(std::move(die));
+    design.validate();
+    return design;
+}
+
+ChipDesign
+syntheticChipA()
+{
+    // A wafer-hungry design: a big die on a moderate-capacity node.
+    ChipDesign design = makeMonolithicDesign("Chip A", "40nm", 2.0e9,
+                                             200e6, Weeks(2.0));
+    return design;
+}
+
+ChipDesign
+syntheticChipB()
+{
+    // A lean design: small die, high-capacity node, few wafers needed.
+    ChipDesign design = makeMonolithicDesign("Chip B", "28nm", 600e6,
+                                             150e6, Weeks(2.0));
+    return design;
+}
+
+} // namespace designs
+} // namespace ttmcas

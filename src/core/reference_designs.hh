@@ -1,0 +1,87 @@
+#ifndef TTMCAS_CORE_REFERENCE_DESIGNS_HH
+#define TTMCAS_CORE_REFERENCE_DESIGNS_HH
+
+/**
+ * @file
+ * The concrete chip architectures the paper evaluates.
+ *
+ *  - Apple A11 (Section 6.2): 4.3B transistors, 88 mm^2 at 10nm, with
+ *    ~514M unique transistors (custom CPU/GPU/NPU blocks; the rest is
+ *    pre-verified third-party IP). Tapeout staffed with 100 engineers.
+ *  - Zen 2-like chiplet family (Section 6.5, Table 4): two 7nm compute
+ *    dies + one 12nm I/O die, plus the seven hypothetical variants
+ *    (with/without 65nm interposer, all-7nm, all-12nm, monolithic).
+ *    The paper's Table 4 tapeout weeks imply a 150-engineer team.
+ *  - Raven/PicoRV32-class multicore microcontroller (Section 7):
+ *    low transistor count, 1 mm^2 minimum die, mass-produced at 1B
+ *    units across legacy nodes.
+ *  - "Chip A"/"Chip B" (Fig. 3): two synthetic chips that introduce the
+ *    CAS metric (A needs many wafers; B few).
+ */
+
+#include <vector>
+
+#include "core/design.hh"
+
+namespace ttmcas {
+
+/** Tapeout team sizes the case studies imply (see file comment). */
+inline constexpr double kA11TapeoutEngineers = 100.0;
+inline constexpr double kZen2TapeoutEngineers = 150.0;
+inline constexpr double kRavenTapeoutEngineers = 100.0;
+
+namespace designs {
+
+/**
+ * The A11 re-release study design at @p process.
+ *
+ * N_TT = 4.3B, N_UT = 514M, T_design = 2 weeks (re-verification of an
+ * existing architecture); area follows each node's density (88 mm^2 at
+ * 10nm by construction of the default dataset).
+ */
+ChipDesign a11(const std::string& process);
+
+/** Configurations of the Zen 2 chiplet study (Fig. 13 legend order). */
+enum class Zen2Config
+{
+    Original,                ///< 2x 7nm compute + 12nm I/O
+    OriginalWithInterposer,  ///< + 65nm interposer
+    Chiplet7nm,              ///< 2x 7nm compute + 7nm I/O
+    Chiplet7nmWithInterposer,
+    Monolithic7nm,           ///< one 7nm die with everything
+    Chiplet12nm,             ///< 2x 12nm compute + 12nm I/O
+    Chiplet12nmWithInterposer,
+    Monolithic12nm,
+};
+
+/** All eight configurations in Fig. 13 legend order. */
+std::vector<Zen2Config> allZen2Configs();
+
+/** Display name used in Fig. 13 ("Zen 2", "7nm Chiplet", ...). */
+std::string zen2ConfigName(Zen2Config config);
+
+/**
+ * Build one Zen 2 study configuration (Table 4 transistor counts and
+ * pinned die areas; interposers at @p interposer_process with 120% of
+ * the chiplets' total area and a fixed optimistic 99.99% yield).
+ */
+ChipDesign zen2(Zen2Config config,
+                const std::string& interposer_process = "65nm");
+
+/**
+ * The Raven-class multicore microcontroller at @p process:
+ * 64 PicoRV32-style cores (0.75M transistors each) + 9M uncore;
+ * N_UT = one core + the uncore; 1 mm^2 minimum die area.
+ */
+ChipDesign ravenMulticore(const std::string& process);
+
+/** Fig. 3's synthetic "Chip A": a large, wafer-hungry design. */
+ChipDesign syntheticChipA();
+
+/** Fig. 3's synthetic "Chip B": a small, agile design. */
+ChipDesign syntheticChipB();
+
+} // namespace designs
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_REFERENCE_DESIGNS_HH

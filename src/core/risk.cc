@@ -1,0 +1,125 @@
+#include "core/risk.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+#include "support/mathutil.hh"
+
+namespace ttmcas {
+
+MarketForecast&
+MarketForecast::set(const std::string& process, NodeRisk risk)
+{
+    TTMCAS_REQUIRE(!process.empty(), "process name must not be empty");
+    _risks[process] = std::move(risk);
+    return *this;
+}
+
+MarketForecast&
+MarketForecast::uniformDisruption(const std::string& process,
+                                  double capacity_lo, double capacity_hi,
+                                  double max_queue_weeks)
+{
+    TTMCAS_REQUIRE(capacity_lo > 0.0 && capacity_hi <= 1.0 &&
+                       capacity_lo <= capacity_hi,
+                   "capacity band must satisfy 0 < lo <= hi <= 1");
+    TTMCAS_REQUIRE(max_queue_weeks >= 0.0,
+                   "max queue weeks must be >= 0");
+    NodeRisk risk;
+    risk.capacity = std::make_shared<UniformDistribution>(capacity_lo,
+                                                          capacity_hi);
+    risk.queue_weeks =
+        std::make_shared<UniformDistribution>(0.0, max_queue_weeks);
+    return set(process, std::move(risk));
+}
+
+MarketConditions
+MarketForecast::sample(Rng& rng) const
+{
+    MarketConditions market;
+    for (const auto& [process, risk] : _risks) {
+        if (risk.capacity != nullptr) {
+            const double factor =
+                clamp(risk.capacity->sample(rng), 1e-6, 1.0);
+            market.setCapacityFactor(process, factor);
+        }
+        if (risk.queue_weeks != nullptr) {
+            const double weeks =
+                std::max(risk.queue_weeks->sample(rng), 0.0);
+            market.setQueueWeeks(process, Weeks(weeks));
+        }
+    }
+    return market;
+}
+
+RiskAnalysis::RiskAnalysis(TtmModel model) : _model(std::move(model)) {}
+
+std::vector<double>
+RiskAnalysis::sampleTtm(const ChipDesign& design, double n_chips,
+                        const MarketForecast& forecast,
+                        std::size_t samples, std::uint64_t seed) const
+{
+    TTMCAS_REQUIRE(samples > 0, "sample count must be positive");
+    Rng rng(seed);
+    std::vector<double> draws;
+    draws.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const MarketConditions market = forecast.sample(rng);
+        draws.push_back(
+            _model.evaluate(design, n_chips, market).total().value());
+    }
+    return draws;
+}
+
+ScheduleRisk
+RiskAnalysis::assess(const ChipDesign& design, double n_chips,
+                     const MarketForecast& forecast, Weeks deadline,
+                     std::size_t samples, std::uint64_t seed) const
+{
+    TTMCAS_REQUIRE(deadline.value() > 0.0, "deadline must be positive");
+    const std::vector<double> draws =
+        sampleTtm(design, n_chips, forecast, samples, seed);
+
+    ScheduleRisk risk;
+    risk.deadline = deadline;
+    std::size_t on_time = 0;
+    double lateness_sum = 0.0;
+    std::size_t late = 0;
+    for (double ttm : draws) {
+        if (ttm <= deadline.value()) {
+            ++on_time;
+        } else {
+            ++late;
+            lateness_sum += ttm - deadline.value();
+        }
+    }
+    risk.p_on_time = static_cast<double>(on_time) /
+                     static_cast<double>(draws.size());
+    risk.expected_lateness =
+        Weeks(late == 0 ? 0.0 : lateness_sum / static_cast<double>(late));
+    risk.ttm = Summary::of(draws);
+    return risk;
+}
+
+std::vector<std::pair<std::string, double>>
+RiskAnalysis::rankNodesByOnTime(const ChipDesign& design, double n_chips,
+                                const MarketForecast& forecast,
+                                Weeks deadline, std::size_t samples,
+                                std::uint64_t seed) const
+{
+    std::vector<std::pair<std::string, double>> ranking;
+    for (const std::string& node :
+         _model.technology().availableNames()) {
+        const ChipDesign candidate = retargetDesign(design, node);
+        const ScheduleRisk risk = assess(candidate, n_chips, forecast,
+                                         deadline, samples, seed);
+        ranking.emplace_back(node, risk.p_on_time);
+    }
+    std::stable_sort(ranking.begin(), ranking.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                     });
+    return ranking;
+}
+
+} // namespace ttmcas

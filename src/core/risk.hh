@@ -1,0 +1,108 @@
+#ifndef TTMCAS_CORE_RISK_HH
+#define TTMCAS_CORE_RISK_HH
+
+/**
+ * @file
+ * Schedule risk under stochastic market conditions.
+ *
+ * The uncertainty module (paper Section 5) varies *model inputs*
+ * around point estimates; this module varies the *market itself*:
+ * capacity factors and queue backlogs are drawn from per-node
+ * distributions representing a shortage forecast (Section 2.3's
+ * disruption catalog turned into probabilities). The output is a
+ * time-to-market distribution and the quantities a program manager
+ * actually asks for: P[TTM <= deadline], the schedule quantiles, and
+ * the expected lateness beyond a commit date.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/design.hh"
+#include "core/ttm_model.hh"
+#include "stats/distributions.hh"
+#include "stats/summary.hh"
+
+namespace ttmcas {
+
+/** Stochastic description of one node's market state. */
+struct NodeRisk
+{
+    /** Capacity factor draw (clamped into (0, 1]); null = always 1. */
+    std::shared_ptr<const Distribution> capacity;
+    /** Queue backlog draw in weeks (clamped at 0); null = always 0. */
+    std::shared_ptr<const Distribution> queue_weeks;
+};
+
+/** A market forecast: per-node risks (unlisted nodes are calm). */
+class MarketForecast
+{
+  public:
+    MarketForecast& set(const std::string& process, NodeRisk risk);
+
+    /** Draw one concrete market from the forecast. */
+    MarketConditions sample(Rng& rng) const;
+
+    /**
+     * Convenience: node capacity Uniform[lo, hi] and queue
+     * Uniform[0, max_queue_weeks].
+     */
+    MarketForecast& uniformDisruption(const std::string& process,
+                                      double capacity_lo,
+                                      double capacity_hi,
+                                      double max_queue_weeks);
+
+  private:
+    std::map<std::string, NodeRisk> _risks;
+};
+
+/** Result of a schedule-risk run. */
+struct ScheduleRisk
+{
+    Summary ttm;             ///< distribution of total TTM (weeks)
+    double p_on_time = 0.0;  ///< P[TTM <= deadline]
+    Weeks deadline{0.0};
+    /** Mean lateness beyond the deadline over late samples (0 if none). */
+    Weeks expected_lateness{0.0};
+};
+
+/** Monte-Carlo schedule-risk engine. */
+class RiskAnalysis
+{
+  public:
+    explicit RiskAnalysis(TtmModel model);
+
+    /** TTM samples of @p design under the forecast. */
+    std::vector<double> sampleTtm(const ChipDesign& design,
+                                  double n_chips,
+                                  const MarketForecast& forecast,
+                                  std::size_t samples,
+                                  std::uint64_t seed = 0x715c) const;
+
+    /** Full risk report against @p deadline. */
+    ScheduleRisk assess(const ChipDesign& design, double n_chips,
+                        const MarketForecast& forecast, Weeks deadline,
+                        std::size_t samples = 1024,
+                        std::uint64_t seed = 0x715c) const;
+
+    /**
+     * Compare candidate nodes by on-time probability: re-target
+     * @p design to each in-production node and rank. Returns
+     * (node, P[on time]) sorted best-first.
+     */
+    std::vector<std::pair<std::string, double>>
+    rankNodesByOnTime(const ChipDesign& design, double n_chips,
+                      const MarketForecast& forecast, Weeks deadline,
+                      std::size_t samples = 256,
+                      std::uint64_t seed = 0x715c) const;
+
+  private:
+    TtmModel _model;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_RISK_HH

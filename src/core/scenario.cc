@@ -1,0 +1,99 @@
+#include "core/scenario.hh"
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+Scenario::Scenario(std::string name, std::vector<Disruption> disruptions)
+    : _name(std::move(name)), _disruptions(std::move(disruptions))
+{
+    TTMCAS_REQUIRE(!_name.empty(), "scenario needs a name");
+    for (const auto& disruption : _disruptions) {
+        TTMCAS_REQUIRE(!disruption.process.empty(),
+                       "scenario '" + _name +
+                           "': disruption needs a process node");
+        TTMCAS_REQUIRE(disruption.capacity_scale >= 0.0,
+                       "scenario '" + _name +
+                           "': capacity scale must be >= 0");
+        TTMCAS_REQUIRE(disruption.added_queue.value() >= 0.0,
+                       "scenario '" + _name +
+                           "': added queue must be >= 0");
+    }
+}
+
+MarketConditions
+Scenario::apply(const MarketConditions& base) const
+{
+    MarketConditions market = base;
+    for (const auto& disruption : _disruptions) {
+        market.setCapacityFactor(
+            disruption.process,
+            market.capacityFactor(disruption.process) *
+                disruption.capacity_scale);
+        market.setQueueWeeks(disruption.process,
+                             market.queueWeeks(disruption.process) +
+                                 disruption.added_queue);
+    }
+    return market;
+}
+
+Scenario
+Scenario::then(const Scenario& other) const
+{
+    std::vector<Disruption> combined = _disruptions;
+    combined.insert(combined.end(), other._disruptions.begin(),
+                    other._disruptions.end());
+    return Scenario(_name + "+" + other._name, std::move(combined));
+}
+
+namespace scenarios {
+
+Scenario
+fabOutage(const std::string& process)
+{
+    return Scenario("fab-outage(" + process + ")",
+                    {Disruption{process, 0.0, Weeks(0.0),
+                                "total production outage"}});
+}
+
+Scenario
+capacityCut(const std::string& process, double remaining_fraction)
+{
+    TTMCAS_REQUIRE(remaining_fraction >= 0.0,
+                   "remaining capacity fraction must be >= 0");
+    return Scenario("capacity-cut(" + process + ")",
+                    {Disruption{process, remaining_fraction, Weeks(0.0),
+                                "partial capacity loss"}});
+}
+
+Scenario
+demandSurge(const std::vector<std::string>& processes, Weeks backlog)
+{
+    std::vector<Disruption> disruptions;
+    disruptions.reserve(processes.size());
+    for (const auto& process : processes) {
+        disruptions.push_back(
+            Disruption{process, 1.0, backlog, "demand surge backlog"});
+    }
+    return Scenario("demand-surge", std::move(disruptions));
+}
+
+Scenario
+exportControls(const TechnologyDb& db, double threshold_nm)
+{
+    TTMCAS_REQUIRE(threshold_nm > 0.0, "threshold must be positive");
+    std::vector<Disruption> disruptions;
+    for (const auto& node : db.nodes()) {
+        if (node.feature_nm <= threshold_nm) {
+            disruptions.push_back(Disruption{
+                node.name, 0.0, Weeks(0.0), "export-controlled node"});
+        }
+    }
+    return Scenario("export-controls(<=" +
+                        std::to_string(static_cast<int>(threshold_nm)) +
+                        "nm)",
+                    std::move(disruptions));
+}
+
+} // namespace scenarios
+} // namespace ttmcas

@@ -1,0 +1,80 @@
+#ifndef TTMCAS_CORE_SCENARIO_HH
+#define TTMCAS_CORE_SCENARIO_HH
+
+/**
+ * @file
+ * Named supply-chain disruption scenarios.
+ *
+ * Section 2.3 of the paper catalogs the disruption classes the chip
+ * supply chain has actually experienced: fab shutdowns (Texas snow
+ * storms, the Renesas fire), demand surges that inflate queues
+ * (2020-2022 shortage), drought-driven capacity rationing, and export
+ * controls that remove nodes from the market entirely. A Scenario is a
+ * reusable bundle of such edits applied on top of a baseline
+ * MarketConditions, used by the wargame example and the scenario tests.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/market.hh"
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** One edit to a single node's market state. */
+struct Disruption
+{
+    std::string process;
+    /** Multiplied into the node's existing capacity factor. */
+    double capacity_scale = 1.0;
+    /** Added to the node's existing queue backlog. */
+    Weeks added_queue{0.0};
+    std::string description;
+};
+
+/** A named collection of disruptions. */
+class Scenario
+{
+  public:
+    Scenario(std::string name, std::vector<Disruption> disruptions);
+
+    const std::string& name() const { return _name; }
+    const std::vector<Disruption>& disruptions() const
+    {
+        return _disruptions;
+    }
+
+    /** Apply every disruption on top of @p base. */
+    MarketConditions apply(const MarketConditions& base = {}) const;
+
+    /** Compose: this scenario followed by @p other. */
+    Scenario then(const Scenario& other) const;
+
+  private:
+    std::string _name;
+    std::vector<Disruption> _disruptions;
+};
+
+namespace scenarios {
+
+/** Total outage of one node (fire/flood): capacity to zero. */
+Scenario fabOutage(const std::string& process);
+
+/** Partial capacity loss at one node (e.g. drought rationing). */
+Scenario capacityCut(const std::string& process, double remaining_fraction);
+
+/** Demand surge: add the same queue backlog to every listed node. */
+Scenario demandSurge(const std::vector<std::string>& processes,
+                     Weeks backlog);
+
+/**
+ * Export controls on advanced nodes: every node at or below
+ * @p threshold_nm loses all capacity.
+ */
+Scenario exportControls(const TechnologyDb& db, double threshold_nm);
+
+} // namespace scenarios
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_SCENARIO_HH

@@ -1,0 +1,119 @@
+#include "core/tapeout_plan.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+void
+TapeoutBlock::validate() const
+{
+    TTMCAS_REQUIRE(!name.empty(), "tapeout block needs a name");
+    TTMCAS_REQUIRE(unique_transistors > 0.0,
+                   "block '" + name +
+                       "': unique transistors must be positive");
+    TTMCAS_REQUIRE(max_engineers > 0.0,
+                   "block '" + name +
+                       "': engineer cap must be positive");
+}
+
+TapeoutPlan::TapeoutPlan(std::vector<TapeoutBlock> blocks,
+                         double top_level_unique_transistors,
+                         double top_level_max_engineers)
+    : _blocks(std::move(blocks)),
+      _top_unique(top_level_unique_transistors),
+      _top_max_engineers(top_level_max_engineers)
+{
+    TTMCAS_REQUIRE(!_blocks.empty(),
+                   "tapeout plan needs at least one block");
+    for (const auto& block : _blocks)
+        block.validate();
+    TTMCAS_REQUIRE(_top_unique >= 0.0,
+                   "top-level unique transistors must be >= 0");
+    TTMCAS_REQUIRE(_top_max_engineers > 0.0,
+                   "top-level engineer cap must be positive");
+}
+
+double
+TapeoutPlan::uniqueTransistors() const
+{
+    double total = _top_unique;
+    for (const auto& block : _blocks)
+        total += block.unique_transistors;
+    return total;
+}
+
+EngineeringHours
+TapeoutPlan::effort(const ProcessNode& node) const
+{
+    return EngineeringHours(uniqueTransistors() *
+                            node.tapeout_effort_hours_per_transistor);
+}
+
+Weeks
+TapeoutPlan::calendarWeeks(const ProcessNode& node,
+                           double team_size) const
+{
+    TTMCAS_REQUIRE(team_size > 0.0, "team size must be positive");
+    const double effort_rate = node.tapeout_effort_hours_per_transistor;
+
+    // Block phase: bounded by total team throughput and by the
+    // least-parallelizable block's critical path.
+    double block_hours_total = 0.0;
+    double critical_path_weeks = 0.0;
+    for (const auto& block : _blocks) {
+        const double hours = block.unique_transistors * effort_rate;
+        block_hours_total += hours;
+        const double engineers = std::min(block.max_engineers, team_size);
+        critical_path_weeks =
+            std::max(critical_path_weeks,
+                     hours / (engineers * units::hours_per_work_week));
+    }
+    const double team_bound_weeks =
+        block_hours_total /
+        (team_size * units::hours_per_work_week);
+    const double block_weeks =
+        std::max(team_bound_weeks, critical_path_weeks);
+
+    // Top-level integration serializes after the slowest block.
+    const double top_engineers = std::min(_top_max_engineers, team_size);
+    const double top_weeks =
+        _top_unique * effort_rate /
+        (top_engineers * units::hours_per_work_week);
+
+    return Weeks(block_weeks + top_weeks);
+}
+
+Weeks
+TapeoutPlan::naiveCalendarWeeks(const ProcessNode& node,
+                                double team_size) const
+{
+    return units::calendarTime(effort(node), team_size);
+}
+
+double
+TapeoutPlan::parallelismPenalty(const ProcessNode& node,
+                                double team_size) const
+{
+    return calendarWeeks(node, team_size).value() /
+           naiveCalendarWeeks(node, team_size).value();
+}
+
+TapeoutPlan
+a11TapeoutPlan()
+{
+    // Block shares of the A11's ~514M unique transistors, from the
+    // die-photo block areas Section 6.2 cites: the GPU is the largest
+    // custom block, then the NPU and the two CPU clusters; ~15% of the
+    // unique logic is top-level interconnect/integration.
+    std::vector<TapeoutBlock> blocks{
+        {"big-cpu", 95e6, 30.0},
+        {"little-cpu", 70e6, 25.0},
+        {"gpu", 160e6, 40.0},
+        {"npu", 112e6, 30.0},
+    };
+    return TapeoutPlan(std::move(blocks), 77e6, 25.0);
+}
+
+} // namespace ttmcas

@@ -1,0 +1,111 @@
+#ifndef TTMCAS_CORE_TAPEOUT_PLAN_HH
+#define TTMCAS_CORE_TAPEOUT_PLAN_HH
+
+/**
+ * @file
+ * Block-level tapeout scheduling.
+ *
+ * Paper Section 3.2: Eq. 2 yields *engineering-hours*; "the total time
+ * it takes to complete the tapeout phase depends on the chip's design
+ * hierarchy, the blocks that can be taped out in parallel, and the
+ * number of tapeout engineers". Section 6.2 converts the A11's hours
+ * assuming 100 engineers with "each individual block done in parallel
+ * and then synchronized for the top-level tapeout".
+ *
+ * TapeoutPlan models exactly that: a set of blocks, each with its own
+ * unique-transistor count and a cap on how many engineers can usefully
+ * work it concurrently, followed by a serializing top-level
+ * integration step. Work within a block divides perfectly up to the
+ * cap, so the optimal block-phase makespan has the closed form
+ *
+ *   T_blocks = max( total_hours / (40 E),
+ *                   max_b hours_b / (40 cap_b) )
+ *
+ * (either the team is the bottleneck, or one under-parallelizable
+ * block is), and
+ *
+ *   T = T_blocks + top_hours / (40 min(E, cap_top)).
+ */
+
+#include <string>
+#include <vector>
+
+#include "support/units.hh"
+#include "tech/process_node.hh"
+
+namespace ttmcas {
+
+/** One independently tape-outable block. */
+struct TapeoutBlock
+{
+    std::string name;
+    /** Unique/unverified transistors in this block. */
+    double unique_transistors = 0.0;
+    /** Most engineers that can work this block concurrently. */
+    double max_engineers = 25.0;
+
+    void validate() const;
+};
+
+/** A hierarchical tapeout: parallel blocks + top-level integration. */
+class TapeoutPlan
+{
+  public:
+    /**
+     * @param blocks parallel blocks (at least one)
+     * @param top_level_unique_transistors integration/interconnect
+     *        logic taped out after every block is done
+     * @param top_level_max_engineers concurrency cap of the top level
+     */
+    TapeoutPlan(std::vector<TapeoutBlock> blocks,
+                double top_level_unique_transistors,
+                double top_level_max_engineers = 25.0);
+
+    const std::vector<TapeoutBlock>& blocks() const { return _blocks; }
+    double topLevelUniqueTransistors() const { return _top_unique; }
+
+    /** Total unique transistors (blocks + top level). */
+    double uniqueTransistors() const;
+
+    /** Eq. 2 effort at @p node: NUT x E_tapeout, engineering-hours. */
+    EngineeringHours effort(const ProcessNode& node) const;
+
+    /**
+     * Calendar tapeout time at @p node with @p team_size engineers,
+     * under the optimal parallel schedule (see file comment).
+     */
+    Weeks calendarWeeks(const ProcessNode& node, double team_size) const;
+
+    /**
+     * Calendar time under the *naive* schedule (everything serialized
+     * through the whole team, i.e. total/(40 E)) — the conversion the
+     * plain TtmModel uses. Never exceeds calendarWeeks().
+     */
+    Weeks naiveCalendarWeeks(const ProcessNode& node,
+                             double team_size) const;
+
+    /**
+     * Speedup lost to the critical-path block: calendarWeeks /
+     * naiveCalendarWeeks, >= 1. Equals 1 when the team is the
+     * bottleneck everywhere.
+     */
+    double parallelismPenalty(const ProcessNode& node,
+                              double team_size) const;
+
+  private:
+    std::vector<TapeoutBlock> _blocks;
+    double _top_unique;
+    double _top_max_engineers;
+};
+
+/**
+ * The A11's block structure as Section 6.2 describes it: big CPU,
+ * little CPU, GPU, and NPU custom blocks (unique transistor shares
+ * derived from the die-photo block areas), with the remainder of the
+ * 514M unique transistors as top-level integration.
+ */
+TapeoutPlan a11TapeoutPlan();
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_TAPEOUT_PLAN_HH

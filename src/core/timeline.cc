@@ -1,0 +1,186 @@
+#include "core/timeline.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+CapacityTimeline::CapacityTimeline(double baseline) : _baseline(baseline)
+{
+    TTMCAS_REQUIRE(baseline >= 0.0, "baseline capacity must be >= 0");
+}
+
+CapacityTimeline&
+CapacityTimeline::addPhase(Weeks start, double factor)
+{
+    TTMCAS_REQUIRE(start.value() >= 0.0, "phase start must be >= 0");
+    TTMCAS_REQUIRE(factor >= 0.0, "phase factor must be >= 0");
+    _phases[start.value()] = factor;
+    return *this;
+}
+
+double
+CapacityTimeline::factorAt(Weeks t) const
+{
+    TTMCAS_REQUIRE(t.value() >= 0.0, "time must be >= 0");
+    auto it = _phases.upper_bound(t.value());
+    if (it == _phases.begin())
+        return _baseline;
+    return std::prev(it)->second;
+}
+
+double
+CapacityTimeline::integrate(Weeks from, Weeks to) const
+{
+    TTMCAS_REQUIRE(from.value() >= 0.0 && to.value() >= from.value(),
+                   "integration window must be ordered and non-negative");
+    double acc = 0.0;
+    double cursor = from.value();
+    const double end = to.value();
+    while (cursor < end) {
+        const double factor = factorAt(Weeks(cursor));
+        // Next phase boundary after the cursor, if any, else the end.
+        auto it = _phases.upper_bound(cursor);
+        const double boundary =
+            it == _phases.end() ? end : std::min(it->first, end);
+        acc += factor * (boundary - cursor);
+        cursor = boundary;
+    }
+    return acc;
+}
+
+Weeks
+CapacityTimeline::timeToAccumulate(double capacity_weeks,
+                                   Weeks start) const
+{
+    TTMCAS_REQUIRE(capacity_weeks >= 0.0,
+                   "capacity target must be >= 0");
+    TTMCAS_REQUIRE(start.value() >= 0.0, "start time must be >= 0");
+    if (capacity_weeks == 0.0)
+        return start;
+
+    double remaining = capacity_weeks;
+    double cursor = start.value();
+    for (;;) {
+        const double factor = factorAt(Weeks(cursor));
+        auto it = _phases.upper_bound(cursor);
+        if (it == _phases.end()) {
+            // Final phase runs forever.
+            TTMCAS_REQUIRE(factor > 0.0,
+                           "capacity timeline ends at zero capacity; "
+                           "the target can never be met");
+            return Weeks(cursor + remaining / factor);
+        }
+        const double segment = it->first - cursor;
+        const double produced = factor * segment;
+        if (produced >= remaining && factor > 0.0)
+            return Weeks(cursor + remaining / factor);
+        remaining -= produced;
+        cursor = it->first;
+    }
+}
+
+CapacityTimeline
+CapacityTimeline::outage(Weeks start, Weeks duration,
+                         double recovered_factor)
+{
+    TTMCAS_REQUIRE(duration.value() > 0.0,
+                   "outage duration must be positive");
+    CapacityTimeline timeline(1.0);
+    timeline.addPhase(start, 0.0);
+    timeline.addPhase(start + duration, recovered_factor);
+    return timeline;
+}
+
+CapacityTimeline
+CapacityTimeline::ramp(Weeks start, Weeks duration, double initial,
+                       int steps)
+{
+    TTMCAS_REQUIRE(duration.value() > 0.0,
+                   "ramp duration must be positive");
+    TTMCAS_REQUIRE(initial >= 0.0 && initial <= 1.0,
+                   "ramp must start within [0, 1]");
+    TTMCAS_REQUIRE(steps >= 1, "ramp needs at least one step");
+    // Before the ramp begins the line is down (a fab being built).
+    CapacityTimeline timeline(0.0);
+    for (int step = 0; step < steps; ++step) {
+        const double when =
+            start.value() +
+            duration.value() * static_cast<double>(step) / steps;
+        const double fraction =
+            initial + (1.0 - initial) *
+                          (static_cast<double>(step) / steps);
+        timeline.addPhase(Weeks(when), fraction);
+    }
+    timeline.addPhase(start + duration, 1.0);
+    return timeline;
+}
+
+MarketTimeline&
+MarketTimeline::set(const std::string& process, CapacityTimeline timeline)
+{
+    TTMCAS_REQUIRE(!process.empty(), "process name must not be empty");
+    _timelines.insert_or_assign(process, std::move(timeline));
+    return *this;
+}
+
+const CapacityTimeline&
+MarketTimeline::timeline(const std::string& process) const
+{
+    static const CapacityTimeline full_capacity(1.0);
+    auto it = _timelines.find(process);
+    return it == _timelines.end() ? full_capacity : it->second;
+}
+
+TimelineTtmModel::TimelineTtmModel(TtmModel model)
+    : _model(std::move(model))
+{}
+
+TimelineTtmResult
+TimelineTtmModel::evaluate(
+    const ChipDesign& design, double n_chips, const MarketTimeline& market,
+    const std::map<std::string, double>& queue_weeks) const
+{
+    design.validateAgainst(_model.technology());
+    TTMCAS_REQUIRE(n_chips > 0.0, "number of final chips must be positive");
+
+    // Upstream phases are market-independent; reuse the static model
+    // (evaluated at full capacity just for the time-independent parts).
+    const TtmResult upstream = _model.evaluate(design, n_chips);
+
+    TimelineTtmResult result;
+    result.design_time = upstream.design_time;
+    result.tapeout_time = upstream.tapeout_time;
+
+    const Weeks foundry_start =
+        result.design_time + result.tapeout_time;
+
+    Weeks last_done = foundry_start;
+    for (const std::string& process : design.processNodes()) {
+        const ProcessNode& node = _model.technology().node(process);
+        const CapacityTimeline& timeline = market.timeline(process);
+
+        // Wafers ahead (quoted in weeks of *full* production) plus the
+        // design's own demand, all produced under the timeline.
+        double backlog_weeks = 0.0;
+        if (auto it = queue_weeks.find(process); it != queue_weeks.end())
+            backlog_weeks = it->second;
+        TTMCAS_REQUIRE(backlog_weeks >= 0.0,
+                       "queue backlog must be >= 0");
+        const double demand_weeks =
+            _model.waferDemand(design, n_chips, process).value() /
+            node.waferRate().value();
+        const Weeks produced_at = timeline.timeToAccumulate(
+            backlog_weeks + demand_weeks, foundry_start);
+        const Weeks done = produced_at + node.foundry_latency;
+        result.fab_done.emplace_back(process, done);
+        last_done = std::max(last_done, done);
+    }
+    result.fab_time = last_done - foundry_start;
+    result.packaging_time = upstream.packaging_time;
+    return result;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,138 @@
+#ifndef TTMCAS_CORE_TIMELINE_HH
+#define TTMCAS_CORE_TIMELINE_HH
+
+/**
+ * @file
+ * Time-varying production capacity.
+ *
+ * The static MarketConditions describe one frozen market. Real
+ * disruptions evolve: a fab burns down and recovers over months
+ * (Renesas 2021), a new fab ramps over years (Section 2.3: three to
+ * four years of construction before production), droughts ration
+ * capacity for a season. CapacityTimeline models a node's capacity
+ * factor as a piecewise-constant function of time, and
+ * TimelineTtmModel evaluates the chip-creation model against it by
+ * *integrating* wafer output over the schedule instead of dividing by
+ * a fixed rate.
+ *
+ * Phases are left-closed: a phase starting at week t applies from t
+ * (inclusive) until the next phase starts. Before the first explicit
+ * phase, capacity is the baseline factor (default 1.0).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/design.hh"
+#include "core/ttm_model.hh"
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** Piecewise-constant capacity factor over calendar time. */
+class CapacityTimeline
+{
+  public:
+    /** @param baseline factor in effect before any phase (>= 0). */
+    explicit CapacityTimeline(double baseline = 1.0);
+
+    /**
+     * Set the capacity factor from @p start onward (until the next
+     * later phase). Phases may be added in any order; re-adding a
+     * phase at the same start overwrites it.
+     */
+    CapacityTimeline& addPhase(Weeks start, double factor);
+
+    /** Capacity factor in effect at time @p t. */
+    double factorAt(Weeks t) const;
+
+    /**
+     * Integral of the factor over [from, to] — "effective capacity
+     * weeks" accumulated in the window.
+     */
+    double integrate(Weeks from, Weeks to) const;
+
+    /**
+     * Earliest time at which @p capacity_weeks of effective capacity
+     * have accumulated since @p start. Throws ModelError when the
+     * timeline can never accumulate that much (capacity stuck at 0).
+     */
+    Weeks timeToAccumulate(double capacity_weeks, Weeks start) const;
+
+    /** Convenience: an outage of @p duration starting at @p start,
+     * returning to @p recovered_factor afterwards. */
+    static CapacityTimeline outage(Weeks start, Weeks duration,
+                                   double recovered_factor = 1.0);
+
+    /** Convenience: linear-ish ramp from @p initial to 1.0 in
+     * @p steps equal phases over @p duration starting at @p start. */
+    static CapacityTimeline ramp(Weeks start, Weeks duration,
+                                 double initial, int steps = 4);
+
+  private:
+    double _baseline;
+    std::map<double, double> _phases; ///< start week -> factor
+};
+
+/** Per-node timelines forming an evolving market. */
+class MarketTimeline
+{
+  public:
+    /** Assign a node's timeline (default: constant full capacity). */
+    MarketTimeline& set(const std::string& process,
+                        CapacityTimeline timeline);
+
+    /** The node's timeline (constant 1.0 when unset). */
+    const CapacityTimeline& timeline(const std::string& process) const;
+
+  private:
+    std::map<std::string, CapacityTimeline> _timelines;
+};
+
+/** TtmResult augmented with per-node fabrication completion times. */
+struct TimelineTtmResult
+{
+    Weeks design_time{0.0};
+    Weeks tapeout_time{0.0};
+    /** Absolute week at which each node's wafers are all produced
+     * (including its queue backlog) plus its foundry latency. */
+    std::vector<std::pair<std::string, Weeks>> fab_done;
+    Weeks fab_time{0.0}; ///< max(fab_done) - production start
+    Weeks packaging_time{0.0};
+
+    Weeks total() const
+    {
+        return design_time + tapeout_time + fab_time + packaging_time;
+    }
+};
+
+/**
+ * The chip-creation model over an evolving market: wafer production
+ * integrates each node's capacity timeline from the moment the design
+ * reaches the foundry (after design + tapeout).
+ */
+class TimelineTtmModel
+{
+  public:
+    explicit TimelineTtmModel(TtmModel model);
+
+    const TtmModel& staticModel() const { return _model; }
+
+    /**
+     * Evaluate against @p market. Queue backlogs (in weeks of full
+     * capacity, as in MarketConditions) can be supplied per node via
+     * @p queue_weeks.
+     */
+    TimelineTtmResult
+    evaluate(const ChipDesign& design, double n_chips,
+             const MarketTimeline& market,
+             const std::map<std::string, double>& queue_weeks = {}) const;
+
+  private:
+    TtmModel _model;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_TIMELINE_HH

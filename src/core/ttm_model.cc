@@ -1,0 +1,168 @@
+#include "core/ttm_model.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+/** Scale factors that keep the stored effort magnitudes readable. */
+constexpr double kTestingEffortScale = 1e15;   // transistor-chips
+constexpr double kPackagingEffortScale = 1e9;  // chip-die-mm^2
+
+} // namespace
+
+const NodeFabDetail&
+TtmResult::nodeDetail(const std::string& process) const
+{
+    auto it = std::find_if(node_details.begin(), node_details.end(),
+                           [&](const NodeFabDetail& detail) {
+                               return detail.process == process;
+                           });
+    TTMCAS_REQUIRE(it != node_details.end(),
+                   "no fabrication detail for node '" + process + "'");
+    return *it;
+}
+
+TtmModel::TtmModel(TechnologyDb db) : TtmModel(std::move(db), Options{}) {}
+
+TtmModel::TtmModel(TechnologyDb db, Options options)
+    : _db(std::move(db)), _options(std::move(options))
+{
+    TTMCAS_REQUIRE(!_db.empty(), "TtmModel needs a non-empty technology db");
+    TTMCAS_REQUIRE(_options.tapeout_engineers > 0.0,
+                   "tapeout team size must be positive");
+    TTMCAS_REQUIRE(_options.yield != nullptr, "TtmModel needs a yield model");
+}
+
+double
+TtmModel::dieYield(const Die& die, const ProcessNode& node) const
+{
+    if (die.yield_override.has_value())
+        return *die.yield_override;
+    return _options.yield->dieYield(die.areaAt(node),
+                                    node.defect_density_per_mm2);
+}
+
+Wafers
+TtmModel::waferDemand(const ChipDesign& design, double n_chips,
+                      const std::string& process) const
+{
+    TTMCAS_REQUIRE(n_chips > 0.0, "number of final chips must be positive");
+    const ProcessNode& node = _db.node(process);
+    Wafers total{0.0};
+    for (const auto& die : design.dies) {
+        if (die.process != process)
+            continue;
+        const SquareMm area = die.areaAt(node);
+        const double yield = dieYield(die, node);
+        total += _options.wafer.wafersFor(n_chips * die.count_per_package,
+                                          area, yield);
+    }
+    return total;
+}
+
+TtmResult
+TtmModel::evaluate(const ChipDesign& design, double n_chips,
+                   const MarketConditions& market) const
+{
+    design.validateAgainst(_db);
+    TTMCAS_REQUIRE(n_chips > 0.0, "number of final chips must be positive");
+
+    TtmResult result;
+    result.design_time = design.design_time;
+
+    // --- Tapeout phase (Eq. 2) -----------------------------------------
+    double effort_hours = 0.0;
+    for (const std::string& process : design.processNodes()) {
+        const ProcessNode& node = _db.node(process);
+        effort_hours += design.uniqueTransistorsAt(process) *
+                        node.tapeout_effort_hours_per_transistor;
+    }
+    result.tapeout_effort = EngineeringHours(effort_hours);
+    result.tapeout_time = units::calendarTime(
+        result.tapeout_effort, _options.tapeout_engineers);
+
+    // --- Per-die fabrication demand (Eq. 5/6 inputs) --------------------
+    for (const auto& die : design.dies) {
+        const ProcessNode& node = _db.node(die.process);
+        DieDetail detail;
+        detail.die_name = die.name;
+        detail.process = die.process;
+        detail.area = die.areaAt(node);
+        detail.yield = dieYield(die, node);
+        detail.gross_dies_per_wafer =
+            _options.wafer.grossDiesPerWafer(detail.area);
+        detail.good_dies_per_wafer =
+            _options.wafer.goodDiesPerWafer(detail.area, detail.yield);
+        detail.dies_needed = n_chips * die.count_per_package;
+        detail.wafers = _options.wafer.wafersFor(detail.dies_needed,
+                                                 detail.area, detail.yield);
+        result.die_details.push_back(std::move(detail));
+    }
+
+    // --- Fabrication phase (Eq. 3/4/5): max over nodes ------------------
+    Weeks worst_fab{0.0};
+    for (const std::string& process : design.processNodes()) {
+        const ProcessNode& node = _db.node(process);
+        const WafersPerWeek rate = market.effectiveWaferRate(node);
+        TTMCAS_REQUIRE(rate.value() > 0.0,
+                       "design '" + design.name + "': node '" + process +
+                           "' has no production capacity under the given "
+                           "market conditions");
+
+        NodeFabDetail detail;
+        detail.process = process;
+        detail.effective_rate = rate;
+        for (const auto& die_detail : result.die_details) {
+            if (die_detail.process == process)
+                detail.wafers += die_detail.wafers;
+        }
+        detail.queue_time =
+            units::productionTime(market.queueWafers(node), rate);
+        detail.production_time =
+            units::productionTime(detail.wafers, rate) +
+            node.foundry_latency;
+
+        const Weeks fab = detail.fabTime();
+        if (result.node_details.empty() || fab > worst_fab) {
+            worst_fab = fab;
+            result.fab_bottleneck = process;
+        }
+        result.node_details.push_back(std::move(detail));
+    }
+    result.fab_time = worst_fab;
+
+    // --- Packaging phase (Eq. 7), applied per die type and summed -------
+    Weeks latency{0.0};
+    double testing_weeks = 0.0;
+    double assembly_weeks = 0.0;
+    for (const auto& die : design.dies) {
+        const ProcessNode& node = _db.node(die.process);
+        latency = std::max(latency, node.osat_latency);
+
+        const double yield = dieYield(die, node);
+        const double dies_tested =
+            n_chips * die.count_per_package / yield;
+        testing_weeks += dies_tested * die.total_transistors *
+                         node.testing_effort_weeks_per_e15 /
+                         kTestingEffortScale;
+
+        const SquareMm area = die.areaAt(node);
+        assembly_weeks += n_chips * die.count_per_package * area.value() *
+                          node.packaging_effort_weeks_per_e9_mm2 /
+                          kPackagingEffortScale;
+    }
+    result.packaging_latency = latency;
+    result.testing_time = Weeks(testing_weeks);
+    result.assembly_time = Weeks(assembly_weeks);
+    result.packaging_time =
+        result.packaging_latency + result.testing_time +
+        result.assembly_time;
+
+    return result;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,152 @@
+#ifndef TTMCAS_CORE_TTM_MODEL_HH
+#define TTMCAS_CORE_TTM_MODEL_HH
+
+/**
+ * @file
+ * The chip-creation time-to-market model (paper Section 3).
+ *
+ *   TTM = T_design+impl + T_tapeout + T_fabrication + T_package   (Eq. 1)
+ *
+ *   T_tapeout  = sum_p NUT(d, p) * E_tapeout(p)                   (Eq. 2)
+ *                (engineering-hours; calendar weeks via team size)
+ *   T_fab      = max_p ( T_queue(p) + T_prod(d, n, p) )           (Eq. 3)
+ *   T_queue    = N_W,ahead(c, p) / muW(c, p)                      (Eq. 4)
+ *   T_prod     = N_W(d, n, p) / muW(c, p) + L_fab(p)              (Eq. 5)
+ *   Y(A, p)    = (1 + A * D0(p) / alpha)^(-alpha)                 (Eq. 6)
+ *   T_package  = L_TAP + (n / Y) * N_TT,die * E_testing(p)
+ *              + n * N_die,pkg * A_die * E_package(p)             (Eq. 7)
+ *
+ * The packaging phase is the synchronization point: every die type must
+ * finish fabrication before packaging starts, hence the max over nodes
+ * in Eq. 3. Eq. 7 is applied per die type and summed, which reduces to
+ * the paper's form for single-die designs.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/design.hh"
+#include "core/market.hh"
+#include "core/wafer.hh"
+#include "core/yield.hh"
+#include "support/units.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+
+/** Per-die-type fabrication detail in a TtmResult. */
+struct DieDetail
+{
+    std::string die_name;
+    std::string process;
+    SquareMm area{0.0};
+    double yield = 0.0;
+    std::uint64_t gross_dies_per_wafer = 0;
+    double good_dies_per_wafer = 0.0;
+    double dies_needed = 0.0; ///< n x count_per_package
+    Wafers wafers{0.0};
+};
+
+/** Per-process-node fabrication detail in a TtmResult. */
+struct NodeFabDetail
+{
+    std::string process;
+    Wafers wafers{0.0};            ///< N_W(d, n, p), all dies at this node
+    WafersPerWeek effective_rate{0.0};
+    Weeks queue_time{0.0};         ///< Eq. 4
+    Weeks production_time{0.0};    ///< Eq. 5 (includes L_fab)
+    Weeks fabTime() const { return queue_time + production_time; }
+};
+
+/** Full phase-by-phase output of one TTM evaluation. */
+struct TtmResult
+{
+    Weeks design_time{0.0};
+    EngineeringHours tapeout_effort{0.0}; ///< Eq. 2, engineering-hours
+    Weeks tapeout_time{0.0};              ///< calendar, via team size
+    Weeks fab_time{0.0};                  ///< Eq. 3 (max over nodes)
+    std::string fab_bottleneck;           ///< node that sets fab_time
+    Weeks packaging_latency{0.0};         ///< L_TAP
+    Weeks testing_time{0.0};              ///< Eq. 7 middle term
+    Weeks assembly_time{0.0};             ///< Eq. 7 last term
+    Weeks packaging_time{0.0};            ///< sum of the three above
+
+    std::vector<DieDetail> die_details;
+    std::vector<NodeFabDetail> node_details;
+
+    /** Eq. 1: total calendar time-to-market. */
+    Weeks total() const
+    {
+        return design_time + tapeout_time + fab_time + packaging_time;
+    }
+
+    /** Detail row for a node; throws when the node is not in the result. */
+    const NodeFabDetail& nodeDetail(const std::string& process) const;
+};
+
+/** The time-to-market model over one technology snapshot. */
+class TtmModel
+{
+  public:
+    /** Knobs that are study-wide rather than per-design. */
+    struct Options
+    {
+        /**
+         * Tapeout team size used to convert Eq. 2's engineering-hours
+         * into calendar weeks (the A11 study uses 100 engineers with
+         * blocks taped out in parallel, Section 6.2).
+         */
+        double tapeout_engineers = 100.0;
+
+        /** Wafer geometry (paper: 300mm-equivalent wafers). */
+        WaferGeometry wafer{300.0};
+
+        /** Yield model (paper: negative binomial, alpha = 3). */
+        std::shared_ptr<const YieldModel> yield = defaultYieldModel();
+    };
+
+    /** Build with default options (100 engineers, 300mm, NB yield). */
+    explicit TtmModel(TechnologyDb db);
+
+    /**
+     * @param db technology snapshot (copied: the model is self-contained)
+     * @param options study-wide knobs
+     */
+    TtmModel(TechnologyDb db, Options options);
+
+    const TechnologyDb& technology() const { return _db; }
+    const Options& options() const { return _options; }
+
+    /**
+     * Evaluate the full model (Eq. 1-7).
+     *
+     * @param design the chip architecture
+     * @param n_chips number of final chips wanted (n)
+     * @param market current market conditions (c)
+     *
+     * Throws ModelError when a die's node is unknown, out of
+     * production (muW = 0 under @p market), or the die does not fit
+     * on a wafer.
+     */
+    TtmResult evaluate(const ChipDesign& design, double n_chips,
+                       const MarketConditions& market = {}) const;
+
+    /** Die yield under this model's yield curve (Eq. 6 or override). */
+    double dieYield(const Die& die, const ProcessNode& node) const;
+
+    /**
+     * Wafer demand N_W(d, n, p) of @p design at @p process — the
+     * quantity whose sensitivity to muW defines CAS.
+     */
+    Wafers waferDemand(const ChipDesign& design, double n_chips,
+                       const std::string& process) const;
+
+  private:
+    TechnologyDb _db;
+    Options _options;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_TTM_MODEL_HH

@@ -1,0 +1,249 @@
+#include "core/uncertainty.hh"
+
+#include <memory>
+
+#include "stats/distributions.hh"
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::string
+uncertainInputName(UncertainInput input)
+{
+    switch (input) {
+      case UncertainInput::TotalTransistors:
+        return "NTT";
+      case UncertainInput::UniqueTransistors:
+        return "NUT";
+      case UncertainInput::DefectDensity:
+        return "D0";
+      case UncertainInput::WaferRate:
+        return "muW";
+      case UncertainInput::FoundryLatency:
+        return "Lfab";
+      case UncertainInput::OsatLatency:
+        return "LOSAT";
+    }
+    TTMCAS_INVARIANT(false, "unhandled UncertainInput");
+}
+
+InputFactors
+nominalFactors()
+{
+    InputFactors factors;
+    factors.fill(1.0);
+    return factors;
+}
+
+UncertaintyAnalysis::UncertaintyAnalysis(TechnologyDb db,
+                                         TtmModel::Options model_options)
+    : _db(std::move(db)), _model_options(std::move(model_options))
+{
+    TTMCAS_REQUIRE(!_db.empty(),
+                   "UncertaintyAnalysis needs a non-empty technology db");
+}
+
+ChipDesign
+UncertaintyAnalysis::scaleDesign(const ChipDesign& design, double ntt_factor,
+                                 double nut_factor)
+{
+    TTMCAS_REQUIRE(ntt_factor > 0.0 && nut_factor > 0.0,
+                   "design scale factors must be positive");
+    ChipDesign scaled = design;
+    for (auto& die : scaled.dies) {
+        die.total_transistors *= ntt_factor;
+        die.unique_transistors *= nut_factor;
+        // A die's floorplan grows with its transistor count, so a pinned
+        // area scales with N_TT just like a density-derived one.
+        if (die.area_override.has_value())
+            die.area_override = *die.area_override * ntt_factor;
+        // Unique can exceed total after asymmetric scaling; clamp to keep
+        // the design valid (N_UT <= N_TT by definition).
+        if (die.unique_transistors > die.total_transistors)
+            die.unique_transistors = die.total_transistors;
+    }
+    return scaled;
+}
+
+TechnologyDb
+UncertaintyAnalysis::scaledTechnology(double d0_factor, double mu_factor,
+                                      double lfab_factor,
+                                      double losat_factor) const
+{
+    TTMCAS_REQUIRE(d0_factor >= 0.0 && mu_factor >= 0.0 &&
+                       lfab_factor >= 0.0 && losat_factor >= 0.0,
+                   "technology scale factors must be >= 0");
+    TechnologyDb scaled;
+    for (ProcessNode node : _db.nodes()) {
+        node.defect_density_per_mm2 *= d0_factor;
+        node.wafer_rate_kwpm *= mu_factor;
+        node.foundry_latency *= lfab_factor;
+        node.osat_latency *= losat_factor;
+        scaled.add(std::move(node));
+    }
+    return scaled;
+}
+
+Weeks
+UncertaintyAnalysis::ttmWithFactors(const ChipDesign& design, double n_chips,
+                                    const MarketConditions& market,
+                                    const InputFactors& factors) const
+{
+    using I = UncertainInput;
+    const ChipDesign scaled_design =
+        scaleDesign(design, factors[static_cast<std::size_t>(I::TotalTransistors)],
+                    factors[static_cast<std::size_t>(I::UniqueTransistors)]);
+    const TechnologyDb scaled_db = scaledTechnology(
+        factors[static_cast<std::size_t>(I::DefectDensity)],
+        factors[static_cast<std::size_t>(I::WaferRate)],
+        factors[static_cast<std::size_t>(I::FoundryLatency)],
+        factors[static_cast<std::size_t>(I::OsatLatency)]);
+    const TtmModel model(scaled_db, _model_options);
+    return model.evaluate(scaled_design, n_chips, market).total();
+}
+
+double
+UncertaintyAnalysis::casWithFactors(const ChipDesign& design, double n_chips,
+                                    const MarketConditions& market,
+                                    const InputFactors& factors) const
+{
+    using I = UncertainInput;
+    const ChipDesign scaled_design =
+        scaleDesign(design, factors[static_cast<std::size_t>(I::TotalTransistors)],
+                    factors[static_cast<std::size_t>(I::UniqueTransistors)]);
+    const TechnologyDb scaled_db = scaledTechnology(
+        factors[static_cast<std::size_t>(I::DefectDensity)],
+        factors[static_cast<std::size_t>(I::WaferRate)],
+        factors[static_cast<std::size_t>(I::FoundryLatency)],
+        factors[static_cast<std::size_t>(I::OsatLatency)]);
+    const CasModel cas_model(TtmModel(scaled_db, _model_options));
+    return cas_model.cas(scaled_design, n_chips, market);
+}
+
+namespace {
+
+/** Draw one factor vector: each entry uniform in [1-band, 1+band]. */
+InputFactors
+drawFactors(Rng& rng, double band)
+{
+    InputFactors factors;
+    for (auto& factor : factors)
+        factor = rng.uniform(1.0 - band, 1.0 + band);
+    return factors;
+}
+
+} // namespace
+
+std::vector<double>
+UncertaintyAnalysis::sampleTtm(const ChipDesign& design, double n_chips,
+                               const MarketConditions& market,
+                               const Options& options) const
+{
+    TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
+    TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
+                   "uncertainty band must be in [0, 1)");
+    Rng rng(options.seed);
+    std::vector<double> samples;
+    samples.reserve(options.samples);
+    for (std::size_t i = 0; i < options.samples; ++i) {
+        const InputFactors factors = drawFactors(rng, options.band);
+        samples.push_back(
+            ttmWithFactors(design, n_chips, market, factors).value());
+    }
+    return samples;
+}
+
+std::vector<double>
+UncertaintyAnalysis::sampleCas(const ChipDesign& design, double n_chips,
+                               const MarketConditions& market,
+                               const Options& options) const
+{
+    TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
+    TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
+                   "uncertainty band must be in [0, 1)");
+    Rng rng(options.seed);
+    std::vector<double> samples;
+    samples.reserve(options.samples);
+    for (std::size_t i = 0; i < options.samples; ++i) {
+        const InputFactors factors = drawFactors(rng, options.band);
+        samples.push_back(
+            casWithFactors(design, n_chips, market, factors));
+    }
+    return samples;
+}
+
+std::vector<double>
+UncertaintyAnalysis::sampleWaferDemand(const ChipDesign& design,
+                                       double n_chips,
+                                       const std::string& process,
+                                       const Options& options) const
+{
+    TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
+    TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
+                   "uncertainty band must be in [0, 1)");
+    Rng rng(options.seed);
+    std::vector<double> samples;
+    samples.reserve(options.samples);
+    for (std::size_t i = 0; i < options.samples; ++i) {
+        const double ntt_factor =
+            rng.uniform(1.0 - options.band, 1.0 + options.band);
+        const double d0_factor =
+            rng.uniform(1.0 - options.band, 1.0 + options.band);
+        const ChipDesign scaled_design =
+            scaleDesign(design, ntt_factor, 1.0);
+        const TtmModel model(
+            scaledTechnology(d0_factor, 1.0, 1.0, 1.0),
+            _model_options);
+        samples.push_back(
+            model.waferDemand(scaled_design, n_chips, process).value());
+    }
+    return samples;
+}
+
+Summary
+UncertaintyAnalysis::ttmSummary(const ChipDesign& design, double n_chips,
+                                const MarketConditions& market,
+                                const Options& options) const
+{
+    return Summary::of(sampleTtm(design, n_chips, market, options));
+}
+
+Summary
+UncertaintyAnalysis::casSummary(const ChipDesign& design, double n_chips,
+                                const MarketConditions& market,
+                                const Options& options) const
+{
+    return Summary::of(sampleCas(design, n_chips, market, options));
+}
+
+SobolResult
+UncertaintyAnalysis::ttmSensitivity(const ChipDesign& design, double n_chips,
+                                    const MarketConditions& market,
+                                    const Options& options) const
+{
+    std::vector<std::unique_ptr<Distribution>> owned;
+    std::vector<SensitivityInput> inputs;
+    for (std::size_t i = 0; i < kUncertainInputCount; ++i) {
+        owned.push_back(relativeUniform(1.0, options.band));
+        inputs.push_back(SensitivityInput{
+            uncertainInputName(static_cast<UncertainInput>(i)),
+            owned.back().get()});
+    }
+
+    const auto model = [&](const std::vector<double>& point) {
+        TTMCAS_INVARIANT(point.size() == kUncertainInputCount,
+                         "sensitivity point has wrong arity");
+        InputFactors factors;
+        for (std::size_t i = 0; i < kUncertainInputCount; ++i)
+            factors[i] = point[i];
+        return ttmWithFactors(design, n_chips, market, factors).value();
+    };
+
+    SobolOptions sobol_options;
+    sobol_options.base_samples = options.samples;
+    sobol_options.seed = options.seed;
+    return sobolAnalyze(inputs, model, sobol_options);
+}
+
+} // namespace ttmcas

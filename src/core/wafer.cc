@@ -1,0 +1,82 @@
+#include "core/wafer.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+WaferGeometry::WaferGeometry(double diameter_mm)
+    : WaferGeometry(diameter_mm, Options{})
+{}
+
+WaferGeometry::WaferGeometry(double diameter_mm, Options options)
+    : _diameter_mm(diameter_mm), _options(options)
+{
+    TTMCAS_REQUIRE(diameter_mm > 0.0, "wafer diameter must be positive");
+    TTMCAS_REQUIRE(_options.scribe_mm >= 0.0,
+                   "scribe width must be >= 0");
+    TTMCAS_REQUIRE(_options.edge_exclusion_mm >= 0.0 &&
+                       2.0 * _options.edge_exclusion_mm < diameter_mm,
+                   "edge exclusion must be >= 0 and leave usable wafer");
+}
+
+SquareMm
+WaferGeometry::waferArea() const
+{
+    const double radius = _diameter_mm / 2.0;
+    return SquareMm(std::numbers::pi * radius * radius);
+}
+
+std::uint64_t
+WaferGeometry::grossDiesPerWafer(SquareMm die_area) const
+{
+    TTMCAS_REQUIRE(die_area.value() > 0.0, "die area must be positive");
+    if (_options.reticle_limit_mm2 > 0.0 &&
+        die_area.value() > _options.reticle_limit_mm2) {
+        return 0; // cannot be exposed in a single reticle field
+    }
+
+    // Square-die model: the scribe lane pads each edge before packing.
+    const double side = std::sqrt(die_area.value());
+    const double effective_side = side + _options.scribe_mm;
+    const double area = effective_side * effective_side;
+
+    // Edge exclusion shrinks the usable disc.
+    const double usable_diameter =
+        _diameter_mm - 2.0 * _options.edge_exclusion_mm;
+    const double usable_radius = usable_diameter / 2.0;
+    const double usable_area =
+        std::numbers::pi * usable_radius * usable_radius;
+
+    const double raw = usable_area / area -
+                       std::numbers::pi * usable_diameter /
+                           std::sqrt(2.0 * area);
+    if (raw <= 0.0)
+        return 0;
+    return static_cast<std::uint64_t>(std::floor(raw));
+}
+
+double
+WaferGeometry::goodDiesPerWafer(SquareMm die_area, double die_yield) const
+{
+    TTMCAS_REQUIRE(die_yield > 0.0 && die_yield <= 1.0,
+                   "die yield must be in (0, 1]");
+    return static_cast<double>(grossDiesPerWafer(die_area)) * die_yield;
+}
+
+Wafers
+WaferGeometry::wafersFor(double good_dies, SquareMm die_area,
+                         double die_yield) const
+{
+    TTMCAS_REQUIRE(good_dies >= 0.0, "good die demand must be >= 0");
+    const double per_wafer = goodDiesPerWafer(die_area, die_yield);
+    TTMCAS_REQUIRE(per_wafer > 0.0,
+                   "die of " + std::to_string(die_area.value()) +
+                       " mm^2 does not fit on a " +
+                       std::to_string(_diameter_mm) + " mm wafer");
+    return Wafers(good_dies / per_wafer);
+}
+
+} // namespace ttmcas

@@ -1,0 +1,94 @@
+#ifndef TTMCAS_CORE_WAFER_HH
+#define TTMCAS_CORE_WAFER_HH
+
+/**
+ * @file
+ * Wafer geometry: dies per wafer and wafer demand.
+ *
+ * Paper Section 5: "The number of wafers is found from the final number
+ * of chips multiplied by the die area divided by the wafer area. Our
+ * model also accounts for partial edge dies. All results are calculated
+ * using 300mm diameter equivalent wafers."
+ *
+ * Gross dies per wafer uses the standard partial-edge correction
+ *
+ *     DPW(A) = pi * (D/2)^2 / A  -  pi * D / sqrt(2 * A)
+ *
+ * which subtracts the ring of dies lost on the wafer edge.
+ */
+
+#include <cstdint>
+
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** A circular wafer of a given diameter. */
+class WaferGeometry
+{
+  public:
+    /** Optional second-order geometry refinements. */
+    struct Options
+    {
+        /**
+         * Scribe-lane width in mm added to each die dimension before
+         * packing (dies are modeled as squares of the effective area).
+         * 0 reproduces the paper's plain formula.
+         */
+        double scribe_mm = 0.0;
+        /**
+         * Edge-exclusion ring in mm: the outer annulus no die may
+         * touch (handling/clamping zone). 0 disables it.
+         */
+        double edge_exclusion_mm = 0.0;
+        /**
+         * Single-exposure reticle field limit in mm^2; dies larger
+         * than this cannot be manufactured at all (~858 mm^2 for
+         * standard EUV/DUV fields). <= 0 disables the check.
+         */
+        double reticle_limit_mm2 = 0.0;
+    };
+
+    /** @param diameter_mm physical wafer diameter (default 300mm). */
+    explicit WaferGeometry(double diameter_mm = 300.0);
+
+    WaferGeometry(double diameter_mm, Options options);
+
+    double diameterMm() const { return _diameter_mm; }
+    const Options& options() const { return _options; }
+
+    /** Total wafer surface area. */
+    SquareMm waferArea() const;
+
+    /**
+     * Whole candidate dies per wafer after the partial-edge correction
+     * (paper Section 5). Returns 0 when the die cannot fit at all.
+     */
+    std::uint64_t grossDiesPerWafer(SquareMm die_area) const;
+
+    /**
+     * Expected *good* dies per wafer: gross dies x die yield.
+     * @param die_yield fraction in (0, 1]
+     */
+    double goodDiesPerWafer(SquareMm die_area, double die_yield) const;
+
+    /**
+     * Wafers required to obtain @p good_dies functional dies in
+     * expectation. Fractional: the TTM model treats wafer demand as a
+     * continuous quantity so CAS derivatives stay smooth; the cost
+     * model rounds up when buying wafers.
+     *
+     * Throws ModelError when the die does not fit on the wafer or the
+     * yield is zero.
+     */
+    Wafers wafersFor(double good_dies, SquareMm die_area,
+                     double die_yield) const;
+
+  private:
+    double _diameter_mm;
+    Options _options;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_WAFER_HH

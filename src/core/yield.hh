@@ -1,0 +1,90 @@
+#ifndef TTMCAS_CORE_YIELD_HH
+#define TTMCAS_CORE_YIELD_HH
+
+/**
+ * @file
+ * Die-yield models.
+ *
+ * The paper (Eq. 6) uses the negative-binomial yield model
+ *
+ *     Y(A, p) = (1 + A * D0(p) / alpha)^(-alpha)
+ *
+ * with cluster parameter alpha = 3 for "average defect clustering"
+ * [Cunningham 1990; Stow et al. 2017]. Poisson, Murphy, and Seeds
+ * models are provided as ablation alternatives: they bracket the
+ * negative-binomial curve and let the ablation bench show how the
+ * paper's conclusions react to the yield-model choice.
+ */
+
+#include <memory>
+#include <string>
+
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** Abstract die-yield model: fraction of good dies given area and D0. */
+class YieldModel
+{
+  public:
+    virtual ~YieldModel() = default;
+
+    /**
+     * Expected fraction of functional dies.
+     *
+     * @param area die area
+     * @param defect_density defects per mm^2 (D0)
+     * @return yield in (0, 1]
+     */
+    virtual double dieYield(SquareMm area, double defect_density) const = 0;
+
+    /** Model name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Paper Eq. 6: negative binomial with cluster parameter alpha. */
+class NegativeBinomialYield : public YieldModel
+{
+  public:
+    /** @param alpha defect-clustering parameter (paper uses 3). */
+    explicit NegativeBinomialYield(double alpha = 3.0);
+
+    double dieYield(SquareMm area, double defect_density) const override;
+    std::string name() const override;
+
+    double alpha() const { return _alpha; }
+
+  private:
+    double _alpha;
+};
+
+/** Y = exp(-A * D0): the zero-clustering limit (alpha -> infinity). */
+class PoissonYield : public YieldModel
+{
+  public:
+    double dieYield(SquareMm area, double defect_density) const override;
+    std::string name() const override { return "poisson"; }
+};
+
+/** Murphy's model: Y = ((1 - exp(-A*D0)) / (A*D0))^2. */
+class MurphyYield : public YieldModel
+{
+  public:
+    double dieYield(SquareMm area, double defect_density) const override;
+    std::string name() const override { return "murphy"; }
+};
+
+/** Seeds' model: Y = 1 / (1 + A*D0) (heavy clustering, alpha = 1). */
+class SeedsYield : public YieldModel
+{
+  public:
+    double dieYield(SquareMm area, double defect_density) const override;
+    std::string name() const override { return "seeds"; }
+};
+
+/** The paper's default: negative binomial with alpha = 3. */
+std::shared_ptr<const YieldModel> defaultYieldModel();
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_YIELD_HH

@@ -1,0 +1,99 @@
+#include "econ/cost_model.hh"
+
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+CostModel::CostModel(TechnologyDb db)
+    : CostModel(std::move(db), Options{})
+{}
+
+CostModel::CostModel(TechnologyDb db, Options options)
+    : _model(std::move(db)), _options(options)
+{
+    TTMCAS_REQUIRE(_options.labor_rate_per_hour > 0.0,
+                   "labor rate must be positive");
+    TTMCAS_REQUIRE(_options.eda_multiplier > 0.0,
+                   "EDA multiplier must be positive");
+    TTMCAS_REQUIRE(_options.base_package_cost >= 0.0 &&
+                       _options.package_cost_per_mm2 >= 0.0 &&
+                       _options.test_cost_per_die >= 0.0 &&
+                       _options.test_cost_per_btransistor >= 0.0,
+                   "manufacturing cost rates must be >= 0");
+}
+
+Dollars
+CostModel::tapeoutCost(const ChipDesign& design) const
+{
+    design.validateAgainst(_model.technology());
+    double labor = 0.0;
+    double fixed = 0.0;
+    for (const std::string& process : design.processNodes()) {
+        const ProcessNode& node = _model.technology().node(process);
+        labor += design.uniqueTransistorsAt(process) *
+                 node.tapeout_effort_hours_per_transistor *
+                 _options.labor_rate_per_hour * _options.eda_multiplier;
+        fixed += node.tapeout_fixed_cost.value();
+    }
+    return Dollars(labor + fixed);
+}
+
+CostBreakdown
+CostModel::evaluate(const ChipDesign& design, double n_chips) const
+{
+    design.validateAgainst(_model.technology());
+    TTMCAS_REQUIRE(n_chips > 0.0, "number of final chips must be positive");
+
+    CostBreakdown costs;
+
+    // --- NRE ------------------------------------------------------------
+    for (const std::string& process : design.processNodes()) {
+        const ProcessNode& node = _model.technology().node(process);
+        costs.tapeout_labor += Dollars(
+            design.uniqueTransistorsAt(process) *
+            node.tapeout_effort_hours_per_transistor *
+            _options.labor_rate_per_hour * _options.eda_multiplier);
+        costs.tapeout_fixed += node.tapeout_fixed_cost;
+    }
+    for (const auto& die : design.dies)
+        costs.masks += _model.technology().node(die.process).mask_set_cost;
+
+    // --- Manufacturing ----------------------------------------------------
+    double packaging = n_chips * _options.base_package_cost;
+    for (const auto& die : design.dies) {
+        const ProcessNode& node = _model.technology().node(die.process);
+        const SquareMm area = die.areaAt(node);
+        const double yield = _model.dieYield(die, node);
+
+        // Wafers are bought whole.
+        const double wafers = std::ceil(
+            _model.options().wafer
+                .wafersFor(n_chips * die.count_per_package, area, yield)
+                .value());
+        costs.wafers += node.wafer_cost * wafers;
+
+        // Every fabricated die of this type is tested; only good ones
+        // are packaged (paper Eq. 7 rationale).
+        const double dies_tested =
+            n_chips * die.count_per_package / yield;
+        costs.testing += Dollars(
+            dies_tested * (_options.test_cost_per_die +
+                           die.total_transistors / 1e9 *
+                               _options.test_cost_per_btransistor));
+
+        packaging += n_chips * die.count_per_package * area.value() *
+                     _options.package_cost_per_mm2;
+    }
+    costs.packaging = Dollars(packaging);
+    return costs;
+}
+
+Dollars
+CostModel::perChipCost(const ChipDesign& design, double n_chips) const
+{
+    return evaluate(design, n_chips).total() / n_chips;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,109 @@
+#ifndef TTMCAS_ECON_COST_MODEL_HH
+#define TTMCAS_ECON_COST_MODEL_HH
+
+/**
+ * @file
+ * Chip-creation cost model, adapted from Moonwalk [Khazraee et al.,
+ * ASPLOS'17] the way the paper describes (Section 5): tapeout
+ * engineering (NRE) costs plus manufacturing costs, augmented with
+ * per-node mask-set prices and packaging costs.
+ *
+ * Structure:
+ *
+ *   NRE            = tapeout labor+EDA + fixed signoff NRE + mask sets
+ *   tapeout labor  = sum_p NUT(d,p) * E_tapeout(p) * labor_rate * eda_mult
+ *                    (the same Eq. 2 effort that drives T_tapeout,
+ *                    priced at a loaded engineer rate and multiplied by
+ *                    an EDA/license overhead factor)
+ *   masks          = one full mask set per die *type*
+ *
+ *   manufacturing  = wafers + packaging + testing
+ *   wafers         = ceil(N_W(d, n, p)) * wafer_cost(p) per die type
+ *   packaging      = n * (base package cost
+ *                         + sum_die count * area * per-mm^2 rate)
+ *   testing        = per tested die: fixed handling cost
+ *                    + transistor-count-proportional tester time
+ *
+ * The Table 3 anchor (sorting/DFT accelerators at 5nm) pins the default
+ * labor rate x EDA multiplier: $6.8M/$4.6M tapeout costs for 45.6M/18.9M
+ * unique transistors imply ~$0.082 per unique transistor over a ~$3.0M
+ * fixed intercept.
+ */
+
+#include "core/design.hh"
+#include "core/ttm_model.hh"
+#include "support/units.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+
+/** Itemized chip-creation cost for one (design, n) evaluation. */
+struct CostBreakdown
+{
+    Dollars tapeout_labor{0.0}; ///< engineering + EDA, all nodes
+    Dollars tapeout_fixed{0.0}; ///< signoff/shuttle fixed NRE, all nodes
+    Dollars masks{0.0};         ///< one mask set per die type
+    Dollars wafers{0.0};        ///< purchased wafers
+    Dollars packaging{0.0};     ///< assembly of n final chips
+    Dollars testing{0.0};       ///< die test before packaging
+
+    /** Non-recurring engineering cost (paid once per design). */
+    Dollars nre() const { return tapeout_labor + tapeout_fixed + masks; }
+
+    /** Volume manufacturing cost (scales with n). */
+    Dollars manufacturing() const
+    {
+        return wafers + packaging + testing;
+    }
+
+    Dollars total() const { return nre() + manufacturing(); }
+};
+
+/** Cost model over a technology snapshot. */
+class CostModel
+{
+  public:
+    struct Options
+    {
+        /** Fully loaded tapeout engineer cost, $/engineering-hour. */
+        double labor_rate_per_hour = 150.0;
+        /** EDA license/compute overhead multiplier on labor. */
+        double eda_multiplier = 2.3;
+        /** Fixed assembly cost per final chip, $. */
+        double base_package_cost = 4.0;
+        /** Assembly cost per packaged die mm^2, $. */
+        double package_cost_per_mm2 = 0.01;
+        /** Fixed handling cost per tested die, $. */
+        double test_cost_per_die = 0.30;
+        /** Tester-time cost per billion transistors per die, $. */
+        double test_cost_per_btransistor = 1.0;
+    };
+
+    /** Build with default options (Table 3 calibration). */
+    explicit CostModel(TechnologyDb db);
+    CostModel(TechnologyDb db, Options options);
+
+    const TechnologyDb& technology() const { return _model.technology(); }
+    const Options& options() const { return _options; }
+
+    /**
+     * Full cost of creating @p n_chips of @p design. Market conditions
+     * do not change costs in this model (a queue costs time, not money),
+     * so none are taken.
+     */
+    CostBreakdown evaluate(const ChipDesign& design, double n_chips) const;
+
+    /** Tapeout NRE only (Table 3's C_tapeout column): labor + fixed. */
+    Dollars tapeoutCost(const ChipDesign& design) const;
+
+    /** Average cost per final chip: total / n. */
+    Dollars perChipCost(const ChipDesign& design, double n_chips) const;
+
+  private:
+    TtmModel _model; ///< reused for yield/area/wafer plumbing
+    Options _options;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_ECON_COST_MODEL_HH

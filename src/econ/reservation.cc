@@ -1,0 +1,77 @@
+#include "econ/reservation.hh"
+
+#include <algorithm>
+
+#include "stats/summary.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+void
+ReservationTerms::validate() const
+{
+    TTMCAS_REQUIRE(reserved_price.value() >= 0.0,
+                   "reserved price must be >= 0");
+    TTMCAS_REQUIRE(spot_price.value() > 0.0,
+                   "spot price must be positive");
+}
+
+double
+ReservationTerms::criticalFractile() const
+{
+    validate();
+    const double fractile =
+        1.0 - reserved_price.value() / spot_price.value();
+    return std::max(fractile, 0.0); // no discount -> book nothing
+}
+
+ReservationPlanner::ReservationPlanner(ReservationTerms terms)
+    : _terms(terms)
+{
+    _terms.validate();
+}
+
+Dollars
+ReservationPlanner::expectedCost(
+    double reserved, const std::vector<double>& demand_samples) const
+{
+    TTMCAS_REQUIRE(reserved >= 0.0, "reservation must be >= 0");
+    TTMCAS_REQUIRE(!demand_samples.empty(), "need demand samples");
+    double total = 0.0;
+    for (double demand : demand_samples) {
+        TTMCAS_REQUIRE(demand >= 0.0, "demand samples must be >= 0");
+        total += _terms.reserved_price.value() * reserved +
+                 _terms.spot_price.value() *
+                     std::max(0.0, demand - reserved);
+    }
+    return Dollars(total / static_cast<double>(demand_samples.size()));
+}
+
+ReservationPlan
+ReservationPlanner::optimalReservation(
+    const std::vector<double>& demand_samples) const
+{
+    TTMCAS_REQUIRE(!demand_samples.empty(), "need demand samples");
+    const double fractile = _terms.criticalFractile();
+
+    ReservationPlan plan;
+    if (fractile <= 0.0) {
+        plan.reserved_wafers = 0.0;
+    } else {
+        const Summary demand = Summary::of(demand_samples);
+        plan.reserved_wafers = demand.percentile(100.0 * fractile);
+    }
+    plan.expected_cost =
+        expectedCost(plan.reserved_wafers, demand_samples);
+
+    std::size_t exceed = 0;
+    for (double demand : demand_samples) {
+        if (demand > plan.reserved_wafers)
+            ++exceed;
+    }
+    plan.p_exceed = static_cast<double>(exceed) /
+                    static_cast<double>(demand_samples.size());
+    return plan;
+}
+
+} // namespace ttmcas

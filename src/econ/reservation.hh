@@ -1,0 +1,82 @@
+#ifndef TTMCAS_ECON_RESERVATION_HH
+#define TTMCAS_ECON_RESERVATION_HH
+
+/**
+ * @file
+ * Take-or-pay wafer capacity reservations.
+ *
+ * Section 2.2: "chip designers need to plan far in advance to secure
+ * foundry capacity ... or face long lead times". Foundries sell that
+ * security as take-or-pay agreements: the customer pre-books q wafers
+ * at a discounted price, pays for them whether used or not, and buys
+ * any excess demand at the (higher, availability-permitting) spot
+ * price. With uncertain wafer demand D this is the classic newsvendor
+ * problem:
+ *
+ *   cost(q, D) = reserved$ · q + spot$ · max(0, D − q)
+ *
+ *   overage  Co = reserved$          (a booked wafer nobody used)
+ *   underage Cu = spot$ − reserved$  (a wafer bought at spot instead)
+ *   q* = F_D^{-1}( Cu / (Cu + Co) ) = F_D^{-1}(1 − reserved$/spot$)
+ *
+ * Demand samples come from wherever the caller likes — the natural
+ * source is the uncertainty module's scaled-design wafer demand.
+ */
+
+#include <vector>
+
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** Commercial terms of the reservation. */
+struct ReservationTerms
+{
+    /** Price per pre-booked wafer (paid unconditionally). */
+    Dollars reserved_price{0.0};
+    /** Price per wafer bought beyond the reservation. */
+    Dollars spot_price{0.0};
+
+    void validate() const;
+
+    /** The newsvendor critical fractile 1 - reserved/spot, in [0, 1]. */
+    double criticalFractile() const;
+};
+
+/** Outcome of a reservation decision against a demand distribution. */
+struct ReservationPlan
+{
+    double reserved_wafers = 0.0;
+    Dollars expected_cost{0.0};
+    /** Probability demand exceeds the reservation (spot exposure). */
+    double p_exceed = 0.0;
+};
+
+/** Newsvendor analysis over empirical demand samples. */
+class ReservationPlanner
+{
+  public:
+    explicit ReservationPlanner(ReservationTerms terms);
+
+    const ReservationTerms& terms() const { return _terms; }
+
+    /** Expected cost of booking @p reserved wafers (sample average). */
+    Dollars expectedCost(double reserved,
+                         const std::vector<double>& demand_samples) const;
+
+    /**
+     * The optimal booking: the demand distribution's quantile at the
+     * critical fractile, with expected cost and exceedance probability
+     * evaluated on the samples. Booking 0 is optimal when the
+     * reservation offers no discount.
+     */
+    ReservationPlan
+    optimalReservation(const std::vector<double>& demand_samples) const;
+
+  private:
+    ReservationTerms _terms;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_ECON_RESERVATION_HH

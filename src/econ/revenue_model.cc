@@ -1,0 +1,87 @@
+#include "econ/revenue_model.hh"
+
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+void
+MarketWindow::validate() const
+{
+    TTMCAS_REQUIRE(peak_unit_price.value() > 0.0,
+                   "peak unit price must be positive");
+    TTMCAS_REQUIRE(window.value() > 0.0,
+                   "market window must be positive");
+    TTMCAS_REQUIRE(elasticity > 0.0, "elasticity must be positive");
+}
+
+Dollars
+MarketWindow::unitPrice(Weeks ttm) const
+{
+    validate();
+    TTMCAS_REQUIRE(ttm.value() >= 0.0, "TTM must be >= 0");
+    const double remaining = 1.0 - ttm.value() / window.value();
+    if (remaining <= 0.0)
+        return Dollars(0.0);
+    return peak_unit_price * std::pow(remaining, elasticity);
+}
+
+Dollars
+MarketWindow::revenue(double n_chips, Weeks ttm) const
+{
+    TTMCAS_REQUIRE(n_chips >= 0.0, "chip count must be >= 0");
+    return unitPrice(ttm) * n_chips;
+}
+
+double
+ProfitResult::roi() const
+{
+    TTMCAS_REQUIRE(cost.value() > 0.0, "ROI of a zero-cost result");
+    return profit().value() / cost.value();
+}
+
+ProfitModel::ProfitModel(TtmModel ttm_model, CostModel cost_model,
+                         MarketWindow window)
+    : _ttm_model(std::move(ttm_model)), _cost_model(std::move(cost_model)),
+      _window(window)
+{
+    _window.validate();
+}
+
+ProfitResult
+ProfitModel::evaluate(const ChipDesign& design, double n_chips,
+                      const MarketConditions& market) const
+{
+    ProfitResult result;
+    result.ttm = _ttm_model.evaluate(design, n_chips, market).total();
+    result.revenue = _window.revenue(n_chips, result.ttm);
+    result.cost = _cost_model.evaluate(design, n_chips).total();
+    return result;
+}
+
+std::pair<std::string, ProfitResult>
+ProfitModel::bestNode(const ChipDesign& design, double n_chips,
+                      const MarketConditions& market) const
+{
+    std::pair<std::string, ProfitResult> best;
+    bool have_best = false;
+    for (const std::string& node :
+         _ttm_model.technology().availableNames()) {
+        if (market.capacityFactor(node) <= 0.0)
+            continue;
+        const ChipDesign candidate = retargetDesign(design, node);
+        const ProfitResult result =
+            evaluate(candidate, n_chips, market);
+        if (!have_best ||
+            result.profit().value() > best.second.profit().value()) {
+            best = {node, result};
+            have_best = true;
+        }
+    }
+    TTMCAS_REQUIRE(have_best,
+                   "no node is in production under these conditions");
+    return best;
+}
+
+} // namespace ttmcas

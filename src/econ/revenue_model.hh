@@ -1,0 +1,92 @@
+#ifndef TTMCAS_ECON_REVENUE_MODEL_HH
+#define TTMCAS_ECON_REVENUE_MODEL_HH
+
+/**
+ * @file
+ * Market-window revenue: the reason time-to-market matters.
+ *
+ * Section 2.2 closes with the motivation this module quantifies: "in
+ * order for chip designers to profit, products must meet
+ * time-to-market requirements to maximize revenue" [Philips 2001]. The
+ * standard market-window model prices a unit at its peak when the
+ * product ships instantly and decays the price to zero as
+ * time-to-market approaches the end of the competitive window:
+ *
+ *   unit_price(TTM) = peak * max(0, 1 - TTM / window)^elasticity
+ *
+ * elasticity = 1 is the classic linear window; > 1 models markets
+ * that punish lateness early (consumer electronics), < 1 markets that
+ * stay lucrative until the cliff (contracted automotive parts).
+ *
+ * Combined with CostModel this turns the paper's IPC/TTM frontier
+ * into a profit frontier.
+ */
+
+#include "core/ttm_model.hh"
+#include "econ/cost_model.hh"
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** Time-decaying unit-price model. */
+struct MarketWindow
+{
+    /** Unit price when shipping at TTM = 0. */
+    Dollars peak_unit_price{0.0};
+    /** Weeks until the market no longer pays anything. */
+    Weeks window{104.0};
+    /** Shape of the decay (see file comment). */
+    double elasticity = 1.0;
+
+    /** Unit price when shipping after @p ttm. */
+    Dollars unitPrice(Weeks ttm) const;
+
+    /** Revenue for @p n_chips shipped after @p ttm. */
+    Dollars revenue(double n_chips, Weeks ttm) const;
+
+    /** Throw ModelError unless parameters are sensible. */
+    void validate() const;
+};
+
+/** One profit evaluation. */
+struct ProfitResult
+{
+    Weeks ttm{0.0};
+    Dollars revenue{0.0};
+    Dollars cost{0.0};
+    Dollars profit() const { return revenue - cost; }
+    /** Profit / cost (return on investment). */
+    double roi() const;
+};
+
+/** Profit = window revenue - chip creation cost, end to end. */
+class ProfitModel
+{
+  public:
+    ProfitModel(TtmModel ttm_model, CostModel cost_model,
+                MarketWindow window);
+
+    const MarketWindow& window() const { return _window; }
+
+    /** Evaluate one design at one volume under given conditions. */
+    ProfitResult evaluate(const ChipDesign& design, double n_chips,
+                          const MarketConditions& market = {}) const;
+
+    /**
+     * Among the in-production nodes, the re-target of @p design with
+     * the highest profit (the revenue-aware version of the paper's
+     * fastest-node question). Returns (node name, result).
+     */
+    std::pair<std::string, ProfitResult>
+    bestNode(const ChipDesign& design, double n_chips,
+             const MarketConditions& market = {}) const;
+
+  private:
+    TtmModel _ttm_model;
+    CostModel _cost_model;
+    MarketWindow _window;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_ECON_REVENUE_MODEL_HH

@@ -1,0 +1,84 @@
+#include "opt/cache_optimizer.hh"
+
+#include <algorithm>
+
+#include "core/ttm_model.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+CacheSweep::CacheSweep(TechnologyDb db, MissCurve instruction_curve,
+                       MissCurve data_curve, IpcModel ipc_model,
+                       ArianeChipSpec base)
+    : _db(std::move(db)), _instruction_curve(std::move(instruction_curve)),
+      _data_curve(std::move(data_curve)), _ipc_model(ipc_model), _base(base)
+{
+    TTMCAS_REQUIRE(!_db.empty(), "CacheSweep needs a technology db");
+}
+
+CacheDesignPoint
+CacheSweep::evaluate(std::uint64_t icache_bytes, std::uint64_t dcache_bytes,
+                     const CacheSweepOptions& options) const
+{
+    ArianeChipSpec spec = _base;
+    spec.icache_bytes = icache_bytes;
+    spec.dcache_bytes = dcache_bytes;
+
+    TtmModel::Options model_options;
+    model_options.tapeout_engineers = options.tapeout_engineers;
+    const TtmModel ttm_model(_db, model_options);
+    const CostModel cost_model(_db);
+
+    const ChipDesign design = makeArianeChip(spec, options.process);
+
+    CacheDesignPoint point;
+    point.icache_bytes = icache_bytes;
+    point.dcache_bytes = dcache_bytes;
+    point.ipc = _ipc_model.ipcAt(_instruction_curve, _data_curve,
+                                 icache_bytes, dcache_bytes);
+    point.ttm = ttm_model.evaluate(design, options.n_chips).total();
+    point.cost = cost_model.evaluate(design, options.n_chips).total();
+    point.cache_area_fraction = spec.cores * spec.cacheTransistorsPerCore() /
+                                spec.totalTransistors();
+    return point;
+}
+
+std::vector<CacheDesignPoint>
+CacheSweep::sweep(const CacheSweepOptions& options) const
+{
+    const std::vector<std::uint64_t> sizes =
+        options.sizes_bytes.empty() ? MissCurveOptions::paperSizes()
+                                    : options.sizes_bytes;
+
+    std::vector<CacheDesignPoint> points;
+    points.reserve(sizes.size() * sizes.size());
+    for (std::uint64_t icache : sizes) {
+        for (std::uint64_t dcache : sizes)
+            points.push_back(evaluate(icache, dcache, options));
+    }
+    return points;
+}
+
+const CacheDesignPoint&
+CacheSweep::bestByIpcPerTtm(const std::vector<CacheDesignPoint>& points)
+{
+    TTMCAS_REQUIRE(!points.empty(), "empty cache sweep");
+    return *std::max_element(points.begin(), points.end(),
+                             [](const CacheDesignPoint& a,
+                                const CacheDesignPoint& b) {
+                                 return a.ipcPerTtm() < b.ipcPerTtm();
+                             });
+}
+
+const CacheDesignPoint&
+CacheSweep::bestByIpcPerCost(const std::vector<CacheDesignPoint>& points)
+{
+    TTMCAS_REQUIRE(!points.empty(), "empty cache sweep");
+    return *std::max_element(points.begin(), points.end(),
+                             [](const CacheDesignPoint& a,
+                                const CacheDesignPoint& b) {
+                                 return a.ipcPerCost() < b.ipcPerCost();
+                             });
+}
+
+} // namespace ttmcas

@@ -1,0 +1,91 @@
+#include "opt/node_selector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+NodeSelector::NodeSelector(TtmModel ttm_model, CostModel cost_model)
+    : _ttm_model(ttm_model), _cas_model(std::move(ttm_model)),
+      _cost_model(std::move(cost_model))
+{}
+
+std::vector<NodeScore>
+NodeSelector::rank(const ChipDesign& design, double n_chips,
+                   const ObjectiveWeights& weights,
+                   const MarketConditions& market) const
+{
+    TTMCAS_REQUIRE(weights.ttm >= 0.0 && weights.cost >= 0.0 &&
+                       weights.cas >= 0.0,
+                   "objective weights must be >= 0");
+    const double weight_sum = weights.ttm + weights.cost + weights.cas;
+    TTMCAS_REQUIRE(weight_sum > 0.0,
+                   "at least one objective weight must be positive");
+
+    std::vector<NodeScore> scores;
+    for (const std::string& node :
+         _ttm_model.technology().availableNames()) {
+        if (market.capacityFactor(node) <= 0.0)
+            continue;
+        const ChipDesign candidate = retargetDesign(design, node);
+        NodeScore entry;
+        entry.node = node;
+        entry.ttm =
+            _ttm_model.evaluate(candidate, n_chips, market).total();
+        entry.cost = _cost_model.evaluate(candidate, n_chips).total();
+        entry.cas = _cas_model.cas(candidate, n_chips, market);
+        scores.push_back(std::move(entry));
+    }
+    TTMCAS_REQUIRE(!scores.empty(),
+                   "no node is in production under these conditions");
+
+    double best_ttm = scores.front().ttm.value();
+    double best_cost = scores.front().cost.value();
+    double best_cas = scores.front().cas;
+    for (const NodeScore& entry : scores) {
+        best_ttm = std::min(best_ttm, entry.ttm.value());
+        best_cost = std::min(best_cost, entry.cost.value());
+        best_cas = std::max(best_cas, entry.cas);
+    }
+
+    for (NodeScore& entry : scores) {
+        const double ttm_ratio = best_ttm / entry.ttm.value();
+        const double cost_ratio = best_cost / entry.cost.value();
+        const double cas_ratio = entry.cas / best_cas;
+        entry.score = std::pow(ttm_ratio, weights.ttm / weight_sum) *
+                      std::pow(cost_ratio, weights.cost / weight_sum) *
+                      std::pow(cas_ratio, weights.cas / weight_sum);
+    }
+    std::stable_sort(scores.begin(), scores.end(),
+                     [](const NodeScore& a, const NodeScore& b) {
+                         return a.score > b.score;
+                     });
+    return scores;
+}
+
+std::vector<InterposerChoice>
+sweepInterposerNodes(const TtmModel& ttm_model, const CostModel& costs,
+                     const std::function<ChipDesign(const std::string&)>&
+                         design_with_interposer,
+                     double n_chips,
+                     const std::vector<std::string>& candidates)
+{
+    TTMCAS_REQUIRE(!candidates.empty(),
+                   "need at least one interposer candidate");
+    const CasModel cas(ttm_model);
+    std::vector<InterposerChoice> choices;
+    for (const std::string& node : candidates) {
+        const ChipDesign design = design_with_interposer(node);
+        InterposerChoice choice;
+        choice.interposer_node = node;
+        choice.ttm = ttm_model.evaluate(design, n_chips).total();
+        choice.cost = costs.evaluate(design, n_chips).total();
+        choice.cas = cas.cas(design, n_chips);
+        choices.push_back(std::move(choice));
+    }
+    return choices;
+}
+
+} // namespace ttmcas

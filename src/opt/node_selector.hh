@@ -1,0 +1,96 @@
+#ifndef TTMCAS_OPT_NODE_SELECTOR_HH
+#define TTMCAS_OPT_NODE_SELECTOR_HH
+
+/**
+ * @file
+ * Weighted node selection and interposer placement — the paper's
+ * closing methodology ("minimizes time-to-market and chip creation
+ * costs while maximizing agility") as reusable optimizers.
+ *
+ * NodeSelector scores every in-production node for a design with a
+ * weighted geometric mean of normalized TTM, cost, and CAS, so the
+ * three objectives trade off explicitly instead of being eyeballed
+ * across three figures. InterposerPlanner generalizes Section 6.5's
+ * what-if (moving the Zen 2 interposer from 65nm to 40nm) into a
+ * sweep over candidate interposer nodes.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cas.hh"
+#include "core/design.hh"
+#include "econ/cost_model.hh"
+
+namespace ttmcas {
+
+/** One node's scored evaluation. */
+struct NodeScore
+{
+    std::string node;
+    Weeks ttm{0.0};
+    Dollars cost{0.0};
+    double cas = 0.0;
+    /**
+     * Weighted score in (0, 1]: the geometric mean of
+     * (best_ttm/ttm)^w_ttm, (best_cost/cost)^w_cost, and
+     * (cas/best_cas)^w_cas. 1.0 means best-in-class on every axis.
+     */
+    double score = 0.0;
+};
+
+/** Objective weights (normalized internally; all >= 0, sum > 0). */
+struct ObjectiveWeights
+{
+    double ttm = 1.0;
+    double cost = 1.0;
+    double cas = 1.0;
+};
+
+/** Scores nodes for a re-targetable design. */
+class NodeSelector
+{
+  public:
+    NodeSelector(TtmModel ttm_model, CostModel cost_model);
+
+    /**
+     * Evaluate @p design re-targeted to every in-production node and
+     * rank by the weighted score (best first).
+     */
+    std::vector<NodeScore>
+    rank(const ChipDesign& design, double n_chips,
+         const ObjectiveWeights& weights = {},
+         const MarketConditions& market = {}) const;
+
+  private:
+    TtmModel _ttm_model;
+    CasModel _cas_model;
+    CostModel _cost_model;
+};
+
+/** One interposer-node candidate's evaluation (Section 6.5 sweep). */
+struct InterposerChoice
+{
+    std::string interposer_node;
+    Weeks ttm{0.0};
+    Dollars cost{0.0};
+    double cas = 0.0;
+};
+
+/**
+ * Sweep interposer nodes for a design factory that takes the
+ * interposer node name (e.g. `designs::zen2` with
+ * Zen2Config::OriginalWithInterposer) and return the evaluations in
+ * candidate order.
+ */
+std::vector<InterposerChoice>
+sweepInterposerNodes(const TtmModel& ttm_model, const CostModel& costs,
+                     const std::function<ChipDesign(const std::string&)>&
+                         design_with_interposer,
+                     double n_chips,
+                     const std::vector<std::string>& candidates);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_OPT_NODE_SELECTOR_HH

@@ -1,0 +1,41 @@
+#include "opt/pareto.hh"
+
+namespace ttmcas {
+
+bool
+dominates(const std::vector<double>& a, const std::vector<double>& b,
+          const std::vector<Objective>& directions)
+{
+    TTMCAS_REQUIRE(a.size() == b.size() && a.size() == directions.size(),
+                   "objective arity mismatch");
+    bool strictly_better = false;
+    for (std::size_t k = 0; k < directions.size(); ++k) {
+        const double va = directions[k] == Objective::Maximize ? a[k] : -a[k];
+        const double vb = directions[k] == Objective::Maximize ? b[k] : -b[k];
+        if (va < vb)
+            return false;
+        if (va > vb)
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<std::vector<double>>& scores,
+            const std::vector<Objective>& directions)
+{
+    TTMCAS_REQUIRE(!directions.empty(), "need at least one objective");
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < scores.size() && !dominated; ++j) {
+            if (i != j && dominates(scores[j], scores[i], directions))
+                dominated = true;
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+} // namespace ttmcas

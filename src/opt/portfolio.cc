@@ -1,0 +1,171 @@
+#include "opt/portfolio.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::size_t
+PortfolioPlan::onTimeCount() const
+{
+    std::size_t count = 0;
+    for (const auto& assignment : assignments) {
+        if (assignment.onTime())
+            ++count;
+    }
+    return count;
+}
+
+PortfolioPlanner::PortfolioPlanner(TtmModel model)
+    : PortfolioPlanner(std::move(model), Options{})
+{}
+
+PortfolioPlanner::PortfolioPlanner(TtmModel model, Options options)
+    : _model(std::move(model)), _options(std::move(options))
+{
+    TTMCAS_REQUIRE(_options.max_moves >= 0,
+                   "move budget must be >= 0");
+}
+
+std::vector<std::string>
+PortfolioPlanner::candidates() const
+{
+    if (!_options.candidate_nodes.empty())
+        return _options.candidate_nodes;
+    return _model.technology().availableNames();
+}
+
+PortfolioPlan
+PortfolioPlanner::evaluateAssignment(
+    const std::vector<PortfolioProduct>& products,
+    const std::vector<std::string>& nodes) const
+{
+    TTMCAS_REQUIRE(products.size() == nodes.size(),
+                   "one node per product required");
+    TTMCAS_REQUIRE(!products.empty(), "portfolio must not be empty");
+
+    // Group products by node and split each node's capacity.
+    std::map<std::string, std::vector<std::size_t>> by_node;
+    for (std::size_t i = 0; i < products.size(); ++i)
+        by_node[nodes[i]].push_back(i);
+
+    const AllocationPlanner allocator(_model);
+    PortfolioPlan plan;
+    plan.assignments.resize(products.size());
+
+    for (const auto& [node, indices] : by_node) {
+        std::vector<FoundryCustomer> customers;
+        customers.reserve(indices.size());
+        for (std::size_t index : indices) {
+            FoundryCustomer customer;
+            customer.name = products[index].name;
+            customer.design =
+                retargetDesign(products[index].design, node);
+            customer.n_chips = products[index].n_chips;
+            customers.push_back(std::move(customer));
+        }
+        const auto outcomes =
+            allocator.minMakespanAllocation(customers, node);
+        for (std::size_t k = 0; k < indices.size(); ++k) {
+            const std::size_t index = indices[k];
+            PortfolioAssignment assignment;
+            assignment.product = products[index].name;
+            assignment.node = node;
+            assignment.share = outcomes[k].share;
+            assignment.ttm = outcomes[k].ttm;
+            assignment.deadline = products[index].deadline;
+            plan.assignments[index] = std::move(assignment);
+        }
+    }
+
+    plan.total_weighted_lateness = 0.0;
+    for (std::size_t i = 0; i < products.size(); ++i) {
+        plan.total_weighted_lateness +=
+            products[i].weight *
+            plan.assignments[i].lateness().value();
+    }
+    return plan;
+}
+
+PortfolioPlan
+PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
+{
+    TTMCAS_REQUIRE(!products.empty(), "portfolio must not be empty");
+    for (const auto& product : products) {
+        TTMCAS_REQUIRE(product.n_chips > 0.0,
+                       "product '" + product.name +
+                           "' needs a positive volume");
+        TTMCAS_REQUIRE(product.weight > 0.0,
+                       "product '" + product.name +
+                           "' needs a positive weight");
+        TTMCAS_REQUIRE(product.deadline.value() > 0.0,
+                       "product '" + product.name +
+                           "' needs a positive deadline");
+    }
+    const std::vector<std::string> nodes = candidates();
+    TTMCAS_REQUIRE(!nodes.empty(), "no candidate nodes");
+
+    // Seed: each product's best node assuming a private line.
+    std::vector<std::string> assignment;
+    for (const auto& product : products) {
+        std::string best;
+        double best_ttm = 0.0;
+        for (const std::string& node : nodes) {
+            try {
+                const double ttm =
+                    _model
+                        .evaluate(retargetDesign(product.design, node),
+                                  product.n_chips)
+                        .total()
+                        .value();
+                if (best.empty() || ttm < best_ttm) {
+                    best = node;
+                    best_ttm = ttm;
+                }
+            } catch (const ModelError&) {
+                continue; // die does not fit at this node
+            }
+        }
+        TTMCAS_REQUIRE(!best.empty(),
+                       "product '" + product.name +
+                           "' fits no candidate node");
+        assignment.push_back(best);
+    }
+
+    PortfolioPlan best_plan = evaluateAssignment(products, assignment);
+
+    // Local search: single-product moves, first-improvement.
+    int moves = 0;
+    bool improved = true;
+    while (improved && moves < _options.max_moves) {
+        improved = false;
+        for (std::size_t i = 0;
+             i < products.size() && moves < _options.max_moves; ++i) {
+            for (const std::string& node : nodes) {
+                if (node == assignment[i])
+                    continue;
+                std::vector<std::string> trial = assignment;
+                trial[i] = node;
+                PortfolioPlan trial_plan;
+                try {
+                    trial_plan = evaluateAssignment(products, trial);
+                } catch (const ModelError&) {
+                    continue; // move infeasible (die fit, dead node)
+                }
+                ++moves;
+                if (trial_plan.total_weighted_lateness <
+                    best_plan.total_weighted_lateness - 1e-9) {
+                    best_plan = std::move(trial_plan);
+                    assignment = std::move(trial);
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    return best_plan;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,107 @@
+#include "report/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/strutil.hh"
+
+namespace ttmcas {
+
+AsciiPlot::AsciiPlot() : AsciiPlot(Options{}) {}
+
+AsciiPlot::AsciiPlot(Options options) : _options(std::move(options))
+{
+    TTMCAS_REQUIRE(_options.width >= 8 && _options.height >= 4,
+                   "plot grid too small");
+    TTMCAS_REQUIRE(!_options.markers.empty(),
+                   "need at least one marker character");
+}
+
+std::string
+AsciiPlot::render(const FigureData& figure) const
+{
+    // Gather data bounds.
+    double x_min = _options.x_min, x_max = _options.x_max;
+    double y_min = _options.y_min, y_max = _options.y_max;
+    const bool auto_x = x_min == x_max;
+    const bool auto_y = y_min == y_max;
+    bool any_point = false;
+    for (const Series& series : figure.allSeries()) {
+        for (const SeriesPoint& point : series.points) {
+            if (!any_point) {
+                if (auto_x) {
+                    x_min = x_max = point.x;
+                }
+                if (auto_y) {
+                    y_min = y_max = point.y;
+                }
+                any_point = true;
+                continue;
+            }
+            if (auto_x) {
+                x_min = std::min(x_min, point.x);
+                x_max = std::max(x_max, point.x);
+            }
+            if (auto_y) {
+                y_min = std::min(y_min, point.y);
+                y_max = std::max(y_max, point.y);
+            }
+        }
+    }
+    TTMCAS_REQUIRE(any_point, "cannot plot an empty figure");
+    if (x_max == x_min)
+        x_max = x_min + 1.0;
+    if (y_max == y_min)
+        y_max = y_min + 1.0;
+
+    // Paint the grid.
+    std::vector<std::string> grid(
+        _options.height, std::string(_options.width, ' '));
+    const auto& series_list = figure.allSeries();
+    for (std::size_t s = 0; s < series_list.size(); ++s) {
+        const char marker =
+            _options.markers[s % _options.markers.size()];
+        for (const SeriesPoint& point : series_list[s].points) {
+            const double fx = (point.x - x_min) / (x_max - x_min);
+            const double fy = (point.y - y_min) / (y_max - y_min);
+            if (fx < 0.0 || fx > 1.0 || fy < 0.0 || fy > 1.0)
+                continue; // outside a forced range
+            const auto col = static_cast<std::size_t>(std::llround(
+                fx * static_cast<double>(_options.width - 1)));
+            const auto row_from_bottom =
+                static_cast<std::size_t>(std::llround(
+                    fy * static_cast<double>(_options.height - 1)));
+            const std::size_t row =
+                _options.height - 1 - row_from_bottom;
+            grid[row][col] = marker;
+        }
+    }
+
+    // Assemble with axes and legend.
+    std::ostringstream os;
+    os << figure.title() << "\n";
+    for (std::size_t row = 0; row < _options.height; ++row) {
+        std::string label;
+        if (row == 0)
+            label = formatFixed(y_max, 1);
+        else if (row == _options.height - 1)
+            label = formatFixed(y_min, 1);
+        os << padLeft(label, 10) << " |" << grid[row] << "\n";
+    }
+    os << padLeft("", 10) << " +" << std::string(_options.width, '-')
+       << "\n";
+    os << padLeft("", 12) << padRight(formatFixed(x_min, 1),
+                                      _options.width - 8)
+       << padLeft(formatFixed(x_max, 1), 8) << "\n";
+    os << "  legend:";
+    for (std::size_t s = 0; s < series_list.size(); ++s) {
+        os << "  " << _options.markers[s % _options.markers.size()]
+           << "=" << series_list[s].name;
+    }
+    os << "\n";
+    return os.str();
+}
+
+} // namespace ttmcas

@@ -1,0 +1,51 @@
+#ifndef TTMCAS_REPORT_ASCII_PLOT_HH
+#define TTMCAS_REPORT_ASCII_PLOT_HH
+
+/**
+ * @file
+ * Terminal line/scatter plots for the figure benches.
+ *
+ * Each series gets a marker character; points map onto a fixed-size
+ * character grid with linear axes and labeled ranges, so a bench's
+ * stdout shows the *shape* of the paper figure it regenerates, not
+ * just the numbers.
+ */
+
+#include <string>
+#include <vector>
+
+#include "report/series.hh"
+
+namespace ttmcas {
+
+/** Renders FigureData onto a character grid. */
+class AsciiPlot
+{
+  public:
+    struct Options
+    {
+        std::size_t width = 64;  ///< plot columns (without axes)
+        std::size_t height = 16; ///< plot rows
+        /** Marker per series, cycled when there are more series. */
+        std::string markers = "*o+x#@%&";
+        /** Force axis ranges (auto from data when lo == hi). */
+        double x_min = 0.0, x_max = 0.0;
+        double y_min = 0.0, y_max = 0.0;
+    };
+
+    AsciiPlot();
+    explicit AsciiPlot(Options options);
+
+    /**
+     * Render @p figure: the grid, y-axis labels on the left, the
+     * x-range underneath, and a marker legend.
+     */
+    std::string render(const FigureData& figure) const;
+
+  private:
+    Options _options;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_REPORT_ASCII_PLOT_HH

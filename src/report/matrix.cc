@@ -1,0 +1,142 @@
+#include "report/matrix.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/strutil.hh"
+
+namespace ttmcas {
+
+LabeledMatrix::LabeledMatrix(std::string title,
+                             std::vector<std::string> row_labels,
+                             std::vector<std::string> column_labels)
+    : _title(std::move(title)), _row_labels(std::move(row_labels)),
+      _column_labels(std::move(column_labels)),
+      _cells(_row_labels.size() * _column_labels.size())
+{
+    TTMCAS_REQUIRE(!_row_labels.empty(), "matrix needs rows");
+    TTMCAS_REQUIRE(!_column_labels.empty(), "matrix needs columns");
+}
+
+std::size_t
+LabeledMatrix::index(std::size_t row, std::size_t column) const
+{
+    TTMCAS_REQUIRE(row < rowCount(), "matrix row out of range");
+    TTMCAS_REQUIRE(column < columnCount(), "matrix column out of range");
+    return row * columnCount() + column;
+}
+
+void
+LabeledMatrix::set(std::size_t row, std::size_t column, double value)
+{
+    _cells[index(row, column)] = value;
+}
+
+std::optional<double>
+LabeledMatrix::at(std::size_t row, std::size_t column) const
+{
+    return _cells[index(row, column)];
+}
+
+double
+LabeledMatrix::minValue() const
+{
+    return at(argMin().first, argMin().second).value();
+}
+
+std::pair<std::size_t, std::size_t>
+LabeledMatrix::argMin() const
+{
+    std::optional<std::pair<std::size_t, std::size_t>> best;
+    double best_value = 0.0;
+    for (std::size_t r = 0; r < rowCount(); ++r) {
+        for (std::size_t c = 0; c < columnCount(); ++c) {
+            const auto cell = at(r, c);
+            if (!cell.has_value())
+                continue;
+            if (!best.has_value() || *cell < best_value) {
+                best = {r, c};
+                best_value = *cell;
+            }
+        }
+    }
+    TTMCAS_REQUIRE(best.has_value(), "matrix has no set cells");
+    return *best;
+}
+
+double
+LabeledMatrix::maxValue() const
+{
+    std::optional<double> best;
+    for (const auto& cell : _cells) {
+        if (cell.has_value() && (!best.has_value() || *cell > *best))
+            best = *cell;
+    }
+    TTMCAS_REQUIRE(best.has_value(), "matrix has no set cells");
+    return *best;
+}
+
+std::string
+LabeledMatrix::render(
+    const std::function<std::string(double)>& formatter) const
+{
+    const auto format = formatter
+                            ? formatter
+                            : [](double v) { return formatFixed(v, 1); };
+
+    std::vector<std::size_t> widths(columnCount());
+    for (std::size_t c = 0; c < columnCount(); ++c)
+        widths[c] = _column_labels[c].size();
+    std::size_t label_width = 0;
+    for (const auto& label : _row_labels)
+        label_width = std::max(label_width, label.size());
+
+    std::vector<std::vector<std::string>> rendered(rowCount());
+    for (std::size_t r = 0; r < rowCount(); ++r) {
+        rendered[r].resize(columnCount());
+        for (std::size_t c = 0; c < columnCount(); ++c) {
+            const auto cell = at(r, c);
+            rendered[r][c] = cell.has_value() ? format(*cell) : "-";
+            widths[c] = std::max(widths[c], rendered[r][c].size());
+        }
+    }
+
+    std::ostringstream os;
+    os << _title << "\n";
+    os << padRight("", label_width);
+    for (std::size_t c = 0; c < columnCount(); ++c)
+        os << "  " << padLeft(_column_labels[c], widths[c]);
+    os << "\n";
+    for (std::size_t r = 0; r < rowCount(); ++r) {
+        os << padRight(_row_labels[r], label_width);
+        for (std::size_t c = 0; c < columnCount(); ++c)
+            os << "  " << padLeft(rendered[r][c], widths[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+LabeledMatrix::renderCsv() const
+{
+    std::ostringstream os;
+    os << "# " << _title << "\n";
+    os << "row";
+    for (const auto& column : _column_labels)
+        os << "," << column;
+    os << "\n";
+    for (std::size_t r = 0; r < rowCount(); ++r) {
+        os << _row_labels[r];
+        for (std::size_t c = 0; c < columnCount(); ++c) {
+            os << ",";
+            const auto cell = at(r, c);
+            if (cell.has_value())
+                os << formatFixed(*cell, 6);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ttmcas

@@ -1,0 +1,72 @@
+#ifndef TTMCAS_REPORT_MATRIX_HH
+#define TTMCAS_REPORT_MATRIX_HH
+
+/**
+ * @file
+ * Labeled numeric matrices for the paper's heat-map figures
+ * (Figs. 6, 8, 10, 14): rows x columns of doubles with text labels,
+ * rendered as aligned text or CSV. Cells may be empty (the paper's
+ * triangular Fig. 14 matrices).
+ */
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ttmcas {
+
+/** Row/column labeled matrix of optional doubles. */
+class LabeledMatrix
+{
+  public:
+    LabeledMatrix(std::string title, std::vector<std::string> row_labels,
+                  std::vector<std::string> column_labels);
+
+    const std::string& title() const { return _title; }
+    std::size_t rowCount() const { return _row_labels.size(); }
+    std::size_t columnCount() const { return _column_labels.size(); }
+
+    const std::vector<std::string>& rowLabels() const { return _row_labels; }
+    const std::vector<std::string>& columnLabels() const
+    {
+        return _column_labels;
+    }
+
+    /** Set one cell. */
+    void set(std::size_t row, std::size_t column, double value);
+
+    /** Cell accessor; empty when never set. */
+    std::optional<double> at(std::size_t row, std::size_t column) const;
+
+    /** Smallest set value; throws when the matrix is entirely empty. */
+    double minValue() const;
+
+    /** Position (row, column) of the smallest set value. */
+    std::pair<std::size_t, std::size_t> argMin() const;
+
+    /** Largest set value; throws when the matrix is entirely empty. */
+    double maxValue() const;
+
+    /**
+     * Render as aligned text. @p formatter converts a cell value to a
+     * string (default: 1 decimal place); empty cells render as "-".
+     */
+    std::string
+    render(const std::function<std::string(double)>& formatter = {}) const;
+
+    /** CSV with the row label as the first column. */
+    std::string renderCsv() const;
+
+  private:
+    std::size_t index(std::size_t row, std::size_t column) const;
+
+    std::string _title;
+    std::vector<std::string> _row_labels;
+    std::vector<std::string> _column_labels;
+    std::vector<std::optional<double>> _cells;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_REPORT_MATRIX_HH

@@ -1,0 +1,92 @@
+#include "report/series.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/strutil.hh"
+
+namespace ttmcas {
+
+FigureData::FigureData(std::string title, std::string x_label,
+                       std::string y_label)
+    : _title(std::move(title)), _x_label(std::move(x_label)),
+      _y_label(std::move(y_label))
+{
+    TTMCAS_REQUIRE(!_title.empty(), "figure needs a title");
+}
+
+Series&
+FigureData::series(const std::string& name)
+{
+    for (auto& existing : _series) {
+        if (existing.name == name)
+            return existing;
+    }
+    _series.push_back(Series{name, {}});
+    return _series.back();
+}
+
+std::string
+FigureData::renderCsv() const
+{
+    std::ostringstream os;
+    os << "# " << _title << "\n";
+    os << "series," << _x_label << "," << _y_label
+       << ",ci10_lo,ci10_hi,ci25_lo,ci25_hi\n";
+    const auto cell = [](const std::optional<double>& value) {
+        return value.has_value() ? formatFixed(*value, 6) : std::string();
+    };
+    for (const auto& series : _series) {
+        for (const auto& point : series.points) {
+            os << series.name << "," << formatFixed(point.x, 6) << ","
+               << formatFixed(point.y, 6) << "," << cell(point.band10_lo)
+               << "," << cell(point.band10_hi) << ","
+               << cell(point.band25_lo) << "," << cell(point.band25_hi)
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+FigureData::renderText(int decimals) const
+{
+    std::ostringstream os;
+    os << _title << "  [" << _x_label << " vs " << _y_label << "]\n";
+    for (const auto& series : _series) {
+        os << "  " << series.name << ":\n";
+        for (const auto& point : series.points) {
+            os << "    " << _x_label << "="
+               << formatFixed(point.x, decimals) << "  " << _y_label << "="
+               << formatFixed(point.y, decimals);
+            if (point.band10_lo && point.band10_hi) {
+                os << "  ci10=[" << formatFixed(*point.band10_lo, decimals)
+                   << ", " << formatFixed(*point.band10_hi, decimals)
+                   << "]";
+            }
+            if (point.band25_lo && point.band25_hi) {
+                os << "  ci25=[" << formatFixed(*point.band25_lo, decimals)
+                   << ", " << formatFixed(*point.band25_hi, decimals)
+                   << "]";
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+void
+writeFile(const std::string& path, const std::string& content)
+{
+    const std::filesystem::path fs_path(path);
+    if (fs_path.has_parent_path())
+        std::filesystem::create_directories(fs_path.parent_path());
+    std::ofstream out(fs_path);
+    TTMCAS_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+    out << content;
+    TTMCAS_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+} // namespace ttmcas

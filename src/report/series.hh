@@ -1,0 +1,71 @@
+#ifndef TTMCAS_REPORT_SERIES_HH
+#define TTMCAS_REPORT_SERIES_HH
+
+/**
+ * @file
+ * Figure data series: (x, y [, band]) points grouped under named
+ * series, written to CSV so any plotting tool can regenerate the
+ * paper's figures from the bench outputs.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ttmcas {
+
+/** One sample of a plotted curve, optionally with CI bands. */
+struct SeriesPoint
+{
+    double x = 0.0;
+    double y = 0.0;
+    /** 95% CI under +/-10% input variance (paper pink/light band). */
+    std::optional<double> band10_lo;
+    std::optional<double> band10_hi;
+    /** 95% CI under +/-25% input variance (paper green/dark band). */
+    std::optional<double> band25_lo;
+    std::optional<double> band25_hi;
+};
+
+/** A named curve. */
+struct Series
+{
+    std::string name;
+    std::vector<SeriesPoint> points;
+};
+
+/** A figure: axis labels plus one or more series. */
+class FigureData
+{
+  public:
+    FigureData(std::string title, std::string x_label, std::string y_label);
+
+    const std::string& title() const { return _title; }
+
+    /** Start (or retrieve) a series by name. */
+    Series& series(const std::string& name);
+
+    const std::vector<Series>& allSeries() const { return _series; }
+
+    /** CSV: series,x,y,b10lo,b10hi,b25lo,b25hi (blank when absent). */
+    std::string renderCsv() const;
+
+    /**
+     * Terminal-friendly dump: one line per point,
+     * "series x=... y=... [±band]".
+     */
+    std::string renderText(int decimals = 2) const;
+
+  private:
+    std::string _title;
+    std::string _x_label;
+    std::string _y_label;
+    std::vector<Series> _series;
+};
+
+/** Write @p content to @p path, creating parent directories. */
+void writeFile(const std::string& path, const std::string& content);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_REPORT_SERIES_HH

@@ -1,0 +1,101 @@
+#include "report/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/strutil.hh"
+
+namespace ttmcas {
+
+Table::Table(std::vector<std::string> headers)
+    : _headers(std::move(headers)), _aligns(_headers.size(), Align::Right)
+{
+    TTMCAS_REQUIRE(!_headers.empty(), "table needs at least one column");
+}
+
+Table&
+Table::setAlign(std::size_t column, Align align)
+{
+    TTMCAS_REQUIRE(column < _headers.size(), "column index out of range");
+    _aligns[column] = align;
+    return *this;
+}
+
+Table&
+Table::addRow(std::vector<std::string> cells)
+{
+    TTMCAS_REQUIRE(cells.size() == _headers.size(),
+                   "row has " + std::to_string(cells.size()) +
+                       " cells; table has " +
+                       std::to_string(_headers.size()) + " columns");
+    _rows.push_back(std::move(cells));
+    return *this;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto& row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    const auto render_row = [&](const std::vector<std::string>& cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0)
+                line += "  ";
+            line += _aligns[c] == Align::Left
+                        ? padRight(cells[c], widths[c])
+                        : padLeft(cells[c], widths[c]);
+        }
+        return line;
+    };
+
+    std::ostringstream os;
+    const std::string header = render_row(_headers);
+    os << header << "\n" << std::string(header.size(), '-') << "\n";
+    for (const auto& row : _rows)
+        os << render_row(row) << "\n";
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    const auto escape = [](const std::string& cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string escaped = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                escaped += '"';
+            escaped += ch;
+        }
+        escaped += '"';
+        return escaped;
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < _headers.size(); ++c) {
+        if (c != 0)
+            os << ",";
+        os << escape(_headers[c]);
+    }
+    os << "\n";
+    for (const auto& row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0)
+                os << ",";
+            os << escape(row[c]);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ttmcas

@@ -1,0 +1,55 @@
+#ifndef TTMCAS_REPORT_TABLE_HH
+#define TTMCAS_REPORT_TABLE_HH
+
+/**
+ * @file
+ * ASCII table formatting for the bench harnesses.
+ *
+ * Every bench binary prints the rows of the paper table/figure it
+ * regenerates; Table renders them with aligned columns so the output
+ * is directly comparable against the paper.
+ */
+
+#include <string>
+#include <vector>
+
+namespace ttmcas {
+
+/** Column alignment. */
+enum class Align
+{
+    Left,
+    Right
+};
+
+/** A simple text table with a header row. */
+class Table
+{
+  public:
+    /** @param headers column titles (fixes the column count) */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Set one column's alignment (default: Right). */
+    Table& setAlign(std::size_t column, Align align);
+
+    /** Append a row; must match the header count. */
+    Table& addRow(std::vector<std::string> cells);
+
+    std::size_t rowCount() const { return _rows.size(); }
+    std::size_t columnCount() const { return _headers.size(); }
+
+    /** Render with column separators and a header rule. */
+    std::string render() const;
+
+    /** Render as comma-separated values (headers first). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<Align> _aligns;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_REPORT_TABLE_HH

@@ -1,0 +1,57 @@
+#include "sim/ariane.hh"
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+double
+ArianeChipSpec::cacheTransistorsPerCore() const
+{
+    const double bits =
+        static_cast<double>(icache_bytes + dcache_bytes) * 8.0;
+    return bits * transistors_per_cache_bit;
+}
+
+double
+ArianeChipSpec::totalTransistors() const
+{
+    return cores * (core_logic_transistors + cacheTransistorsPerCore()) +
+           uncore_transistors;
+}
+
+double
+ArianeChipSpec::uniqueTransistors() const
+{
+    return core_logic_transistors +
+           cacheTransistorsPerCore() * cache_unique_fraction +
+           uncore_transistors;
+}
+
+ChipDesign
+makeArianeChip(const ArianeChipSpec& spec, const std::string& process,
+               Weeks design_time)
+{
+    TTMCAS_REQUIRE(spec.cores > 0, "Ariane chip needs at least one core");
+    TTMCAS_REQUIRE(spec.icache_bytes > 0 && spec.dcache_bytes > 0,
+                   "cache capacities must be positive");
+    TTMCAS_REQUIRE(spec.cache_unique_fraction >= 0.0 &&
+                       spec.cache_unique_fraction <= 1.0,
+                   "cache unique fraction must be in [0, 1]");
+
+    ChipDesign design;
+    design.name = "ariane" + std::to_string(spec.cores) + "c@" + process;
+    design.design_time = design_time;
+
+    Die die;
+    die.name = "ariane-soc";
+    die.process = process;
+    die.total_transistors = spec.totalTransistors();
+    die.unique_transistors = spec.uniqueTransistors();
+    die.count_per_package = 1.0;
+    design.dies.push_back(std::move(die));
+
+    design.validate();
+    return design;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,61 @@
+#ifndef TTMCAS_SIM_ARIANE_HH
+#define TTMCAS_SIM_ARIANE_HH
+
+/**
+ * @file
+ * Transistor/area model of the 16-core Ariane chip of Section 6.1.
+ *
+ * Components:
+ *  - core logic: Ariane RV64 in-order pipeline, ~2.5M transistors per
+ *    core (Zaruba & Benini report ~75 kGE of logic plus FPU/MMU);
+ *  - caches: 6T SRAM cells plus ~25% array overhead (decoders, sense
+ *    amps, tags) = 7.5 transistors per bit = 61,440 per KiB;
+ *  - uncore: interconnect, L2-less memory interface, peripherals
+ *    (~20M transistors shared).
+ *
+ * Unique transistors (tapeout): one core's logic, the cache macro
+ * *periphery* (10% of the array — compiled SRAM arrays come
+ * pre-verified from the foundry), and the uncore. The remaining 15
+ * cores are stamped copies (paper Section 3.2).
+ */
+
+#include <cstdint>
+
+#include "core/design.hh"
+
+namespace ttmcas {
+
+/** Parameters of the Ariane multicore design generator. */
+struct ArianeChipSpec
+{
+    std::uint32_t cores = 16;
+    std::uint64_t icache_bytes = 16 * 1024; // paper default
+    std::uint64_t dcache_bytes = 32 * 1024; // paper default
+    double core_logic_transistors = 2.5e6;
+    double transistors_per_cache_bit = 7.5;
+    double uncore_transistors = 20e6;
+    /** Fraction of cache transistors that are unique (periphery). */
+    double cache_unique_fraction = 0.10;
+
+    /** Cache transistors per core (both caches). */
+    double cacheTransistorsPerCore() const;
+
+    /** Total transistors for the whole chip. */
+    double totalTransistors() const;
+
+    /** Unique transistors (one core + cache periphery + uncore). */
+    double uniqueTransistors() const;
+};
+
+/**
+ * Build the multicore Ariane ChipDesign at @p process.
+ * @param design_time per-design constant (default 2 weeks, matching
+ *        the other re-targeting case studies)
+ */
+ChipDesign makeArianeChip(const ArianeChipSpec& spec,
+                          const std::string& process,
+                          Weeks design_time = Weeks(2.0));
+
+} // namespace ttmcas
+
+#endif // TTMCAS_SIM_ARIANE_HH

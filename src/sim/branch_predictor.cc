@@ -1,0 +1,136 @@
+#include "sim/branch_predictor.hh"
+
+#include <bit>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+void
+bump(std::uint8_t& counter, bool taken)
+{
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(std::size_t table_entries)
+    : _counters(table_entries, 1) // weakly not-taken
+{
+    TTMCAS_REQUIRE(table_entries >= 2 &&
+                       std::has_single_bit(table_entries),
+                   "predictor table size must be a power of two >= 2");
+}
+
+std::size_t
+BimodalPredictor::index(std::uint64_t pc) const
+{
+    // Drop the (aligned) low bits before masking.
+    return (pc >> 2) & (_counters.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc) const
+{
+    return _counters[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken)
+{
+    bump(_counters[index(pc)], taken);
+}
+
+GsharePredictor::GsharePredictor(std::size_t table_entries,
+                                 std::uint32_t history_bits)
+    : _counters(table_entries, 1), _history_bits(history_bits)
+{
+    TTMCAS_REQUIRE(table_entries >= 2 &&
+                       std::has_single_bit(table_entries),
+                   "predictor table size must be a power of two >= 2");
+    TTMCAS_REQUIRE(history_bits >= 1 && history_bits <= 16,
+                   "history length must be in [1, 16]");
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return ((pc >> 2) ^ _history) & (_counters.size() - 1);
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc) const
+{
+    return _counters[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    bump(_counters[index(pc)], taken);
+    _history = ((_history << 1) | (taken ? 1U : 0U)) &
+               ((1U << _history_bits) - 1U);
+}
+
+SyntheticBranchWorkload::SyntheticBranchWorkload(Mix mix,
+                                                 std::uint64_t seed)
+    : _rng(seed)
+{
+    TTMCAS_REQUIRE(mix.static_branches >= 1,
+                   "need at least one static branch");
+    const double total = mix.biased + mix.looping + mix.random;
+    TTMCAS_REQUIRE(total > 0.0, "branch mix must not be empty");
+
+    for (std::size_t b = 0; b < mix.static_branches; ++b) {
+        StaticBranch branch;
+        branch.pc = 0x1000 + 4 * static_cast<std::uint64_t>(b) * 16;
+        const double u = _rng.uniform() * total;
+        if (u < mix.biased) {
+            branch.kind = 0;
+            branch.taken_bias =
+                _rng.uniform() < 0.5 ? 0.95 : 0.05;
+        } else if (u < mix.biased + mix.looping) {
+            branch.kind = 1;
+            branch.period =
+                4 + static_cast<std::uint32_t>(_rng.uniformInt(61));
+            branch.position = static_cast<std::uint32_t>(
+                _rng.uniformInt(branch.period));
+        } else {
+            branch.kind = 2;
+            branch.taken_bias = 0.5;
+        }
+        _branches.push_back(branch);
+    }
+}
+
+BranchOutcome
+SyntheticBranchWorkload::next()
+{
+    StaticBranch& branch =
+        _branches[_rng.uniformInt(_branches.size())];
+    BranchOutcome outcome;
+    outcome.pc = branch.pc;
+    switch (branch.kind) {
+      case 0: // biased
+      case 2: // random
+        outcome.taken = _rng.uniform() < branch.taken_bias;
+        break;
+      case 1: // loop back-edge: taken except once per period
+        outcome.taken = branch.position + 1 != branch.period;
+        branch.position = (branch.position + 1) % branch.period;
+        break;
+      default:
+        TTMCAS_INVARIANT(false, "unhandled branch kind");
+    }
+    return outcome;
+}
+
+} // namespace ttmcas

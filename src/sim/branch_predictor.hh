@@ -1,0 +1,134 @@
+#ifndef TTMCAS_SIM_BRANCH_PREDICTOR_HH
+#define TTMCAS_SIM_BRANCH_PREDICTOR_HH
+
+/**
+ * @file
+ * Branch-predictor simulation.
+ *
+ * The pipeline model takes a mispredict *rate* as a parameter; this
+ * module derives that rate from an actual predictor running on a
+ * synthetic branch workload, closing the same assumed-vs-measured gap
+ * the pipeline simulator closes for base CPI.
+ *
+ *  - BimodalPredictor: the classic per-PC table of saturating 2-bit
+ *    counters.
+ *  - GsharePredictor: global history XOR PC indexing into the same
+ *    counter table — captures correlated branches the bimodal table
+ *    cannot.
+ *  - SyntheticBranchWorkload: a population of static branches, some
+ *    heavily biased (loop back-edges, error checks), some pattern-
+ *    driven, some data-dependent coin flips — the textbook mix.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace ttmcas {
+
+/** Saturating 2-bit counter table indexed by PC bits. */
+class BimodalPredictor
+{
+  public:
+    /** @param table_entries power-of-two counter count. */
+    explicit BimodalPredictor(std::size_t table_entries = 1024);
+
+    /** Predicted direction for @p pc. */
+    bool predict(std::uint64_t pc) const;
+
+    /** Train with the resolved direction. */
+    void update(std::uint64_t pc, bool taken);
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    std::vector<std::uint8_t> _counters; // 0..3; >=2 predicts taken
+};
+
+/** Gshare: global-history XOR PC indexing into 2-bit counters. */
+class GsharePredictor
+{
+  public:
+    /**
+     * @param table_entries power-of-two counter count
+     * @param history_bits global history length (<= 16)
+     */
+    explicit GsharePredictor(std::size_t table_entries = 1024,
+                             std::uint32_t history_bits = 8);
+
+    bool predict(std::uint64_t pc) const;
+    void update(std::uint64_t pc, bool taken);
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    std::vector<std::uint8_t> _counters;
+    std::uint32_t _history_bits;
+    std::uint32_t _history = 0;
+};
+
+/** One dynamic branch outcome. */
+struct BranchOutcome
+{
+    std::uint64_t pc = 0;
+    bool taken = false;
+};
+
+/**
+ * Synthetic branch population: biased, patterned (loop with period
+ * k), and random branches in configurable shares.
+ */
+class SyntheticBranchWorkload
+{
+  public:
+    struct Mix
+    {
+        /** Strongly biased branches (~95% one direction). */
+        double biased = 0.60;
+        /** Loop-style T^(k-1) N patterns, k in 4..64. */
+        double looping = 0.25;
+        /** Data-dependent 50/50 branches. */
+        double random = 0.15;
+        /** Distinct static branches in the program. */
+        std::size_t static_branches = 256;
+    };
+
+    SyntheticBranchWorkload(Mix mix, std::uint64_t seed);
+
+    /** Next dynamic branch. */
+    BranchOutcome next();
+
+  private:
+    struct StaticBranch
+    {
+        std::uint64_t pc = 0;
+        int kind = 0;           // 0 biased, 1 looping, 2 random
+        double taken_bias = 0.5;
+        std::uint32_t period = 0;
+        std::uint32_t position = 0;
+    };
+
+    std::vector<StaticBranch> _branches;
+    Rng _rng;
+};
+
+/** Run @p branches through a predictor and return the mispredict rate. */
+template <typename Predictor>
+double
+measureMispredictRate(Predictor& predictor,
+                      SyntheticBranchWorkload& workload,
+                      std::size_t branches)
+{
+    std::size_t mispredicts = 0;
+    for (std::size_t i = 0; i < branches; ++i) {
+        const BranchOutcome outcome = workload.next();
+        if (predictor.predict(outcome.pc) != outcome.taken)
+            ++mispredicts;
+        predictor.update(outcome.pc, outcome.taken);
+    }
+    return static_cast<double>(mispredicts) /
+           static_cast<double>(branches);
+}
+
+} // namespace ttmcas
+
+#endif // TTMCAS_SIM_BRANCH_PREDICTOR_HH

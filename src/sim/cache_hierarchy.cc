@@ -1,0 +1,112 @@
+#include "sim/cache_hierarchy.hh"
+
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+double
+HierarchyStats::l1MissRate() const
+{
+    if (accesses == 0)
+        return 0.0;
+    return static_cast<double>(accesses - l1_hits) /
+           static_cast<double>(accesses);
+}
+
+double
+HierarchyStats::memoryRate() const
+{
+    if (accesses == 0)
+        return 0.0;
+    return static_cast<double>(memoryAccesses()) /
+           static_cast<double>(accesses);
+}
+
+CacheHierarchy::CacheHierarchy(CacheConfig l1i, CacheConfig l1d,
+                               CacheConfig l2, std::uint64_t seed)
+    : _l1i(l1i, seed), _l1d(l1d, seed ^ 0x1), _l2(l2, seed ^ 0x2)
+{
+    TTMCAS_REQUIRE(l2.size_bytes >= l1i.size_bytes &&
+                       l2.size_bytes >= l1d.size_bytes,
+                   "L2 must be at least as large as each L1");
+}
+
+void
+CacheHierarchy::access(Cache& l1, HierarchyStats& stats,
+                       std::uint64_t address)
+{
+    ++stats.accesses;
+    if (l1.access(address)) {
+        ++stats.l1_hits;
+        return;
+    }
+    if (_l2.access(address))
+        ++stats.l2_hits;
+}
+
+void
+CacheHierarchy::fetch(std::uint64_t address)
+{
+    access(_l1i, _istats, address);
+}
+
+void
+CacheHierarchy::data(std::uint64_t address)
+{
+    access(_l1d, _dstats, address);
+}
+
+void
+CacheHierarchy::reset()
+{
+    _l1i.reset();
+    _l1d.reset();
+    _l2.reset();
+    _istats = HierarchyStats{};
+    _dstats = HierarchyStats{};
+}
+
+std::pair<HierarchyStats, HierarchyStats>
+CacheHierarchy::run(const Workload& workload, std::size_t accesses,
+                    std::uint64_t seed)
+{
+    TTMCAS_REQUIRE(workload.instruction_stream != nullptr &&
+                       workload.data_stream != nullptr,
+                   "workload '" + workload.name + "' lacks streams");
+    workload.instruction_stream->reset();
+    workload.data_stream->reset();
+    Rng rng(seed);
+    for (std::size_t i = 0; i < accesses; ++i) {
+        fetch(workload.instruction_stream->next(rng));
+        if (rng.uniform() < workload.memory_ref_fraction)
+            data(workload.data_stream->next(rng));
+    }
+    return {_istats, _dstats};
+}
+
+double
+TwoLevelIpcModel::ipc(const HierarchyStats& instruction,
+                      const HierarchyStats& data) const
+{
+    TTMCAS_REQUIRE(base_cpi > 0.0, "base CPI must be positive");
+    TTMCAS_REQUIRE(instruction.accesses > 0,
+                   "need instruction accesses to compute IPC");
+
+    // Per-instruction penalties: instruction-side rates are already
+    // per instruction; data-side rates are per data access and scale
+    // by the reference fraction.
+    const double i_l2 = (instruction.l1MissRate() -
+                         instruction.memoryRate()) *
+                        l2_hit_penalty;
+    const double i_mem = instruction.memoryRate() * memory_penalty;
+    const double d_l2 =
+        memory_ref_fraction *
+        (data.l1MissRate() - data.memoryRate()) * l2_hit_penalty;
+    const double d_mem =
+        memory_ref_fraction * data.memoryRate() * memory_penalty;
+
+    return 1.0 / (base_cpi + i_l2 + i_mem + d_l2 + d_mem);
+}
+
+} // namespace ttmcas

@@ -1,0 +1,37 @@
+#include "sim/ipc_model.hh"
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+double
+IpcModel::ipc(double instruction_miss_rate, double data_miss_rate) const
+{
+    TTMCAS_REQUIRE(instruction_miss_rate >= 0.0 &&
+                       instruction_miss_rate <= 1.0,
+                   "instruction miss rate must be in [0, 1]");
+    TTMCAS_REQUIRE(data_miss_rate >= 0.0 && data_miss_rate <= 1.0,
+                   "data miss rate must be in [0, 1]");
+    TTMCAS_REQUIRE(base_cpi > 0.0, "base CPI must be positive");
+
+    const double cpi = base_cpi +
+                       instruction_miss_rate * miss_penalty_cycles +
+                       memory_ref_fraction * data_miss_rate *
+                           miss_penalty_cycles;
+    return 1.0 / cpi;
+}
+
+double
+IpcModel::ipcAt(const MissCurve& instruction_curve,
+                const MissCurve& data_curve, std::uint64_t icache_bytes,
+                std::uint64_t dcache_bytes,
+                double workload_mem_fraction) const
+{
+    IpcModel effective = *this;
+    if (workload_mem_fraction >= 0.0)
+        effective.memory_ref_fraction = workload_mem_fraction;
+    return effective.ipc(instruction_curve.at(icache_bytes),
+                         data_curve.at(dcache_bytes));
+}
+
+} // namespace ttmcas

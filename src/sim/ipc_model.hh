@@ -1,0 +1,53 @@
+#ifndef TTMCAS_SIM_IPC_MODEL_HH
+#define TTMCAS_SIM_IPC_MODEL_HH
+
+/**
+ * @file
+ * In-order (Ariane-class) core IPC model.
+ *
+ * The paper's Fig. 4 plots IPC in the 0.12-0.26 range for a 16-core
+ * Ariane across (I$, D$) capacities; that absolute level implies a
+ * memory-stall-dominated CPI. We use the standard additive model
+ *
+ *   CPI = CPI_base + miss_I * penalty + f_mem * miss_D * penalty
+ *   IPC = 1 / CPI
+ *
+ * with a single-level cache hierarchy (misses go to DRAM), which is
+ * Ariane's configuration in the cited silicon [Zaruba & Benini 2019].
+ * Defaults are calibrated so the suite-average miss curves land inside
+ * the paper's IPC range at the swept cache sizes.
+ */
+
+#include <cstdint>
+
+#include "sim/miss_curves.hh"
+
+namespace ttmcas {
+
+/** Additive-CPI in-order core model. */
+struct IpcModel
+{
+    /** Pipeline CPI with perfect caches (hazards, branches, mul/div). */
+    double base_cpi = 3.3;
+    /** Data references per instruction (loads + stores). */
+    double memory_ref_fraction = 0.30;
+    /** Cycles lost per cache miss (DRAM round trip on a miss). */
+    double miss_penalty_cycles = 60.0;
+
+    /** IPC for given per-access miss rates. */
+    double ipc(double instruction_miss_rate, double data_miss_rate) const;
+
+    /**
+     * IPC for an (I$, D$) capacity pair using measured miss curves;
+     * the workload's own memory_ref_fraction overrides the default
+     * when @p workload_mem_fraction >= 0.
+     */
+    double ipcAt(const MissCurve& instruction_curve,
+                 const MissCurve& data_curve, std::uint64_t icache_bytes,
+                 std::uint64_t dcache_bytes,
+                 double workload_mem_fraction = -1.0) const;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_SIM_IPC_MODEL_HH

@@ -1,0 +1,115 @@
+#include "sim/miss_curves.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+double
+MissCurve::at(std::uint64_t size_bytes) const
+{
+    for (std::size_t i = 0; i < sizes_bytes.size(); ++i) {
+        if (sizes_bytes[i] == size_bytes)
+            return miss_rates[i];
+    }
+    throw ModelError("miss curve for '" + workload + "' has no " +
+                     std::to_string(size_bytes) + "-byte point");
+}
+
+std::vector<std::uint64_t>
+MissCurveOptions::paperSizes()
+{
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t size = 1024; size <= 1024 * 1024; size *= 2)
+        sizes.push_back(size);
+    return sizes;
+}
+
+MissCurve
+measureMissCurve(const Workload& workload, bool instruction_stream,
+                 const MissCurveOptions& options)
+{
+    TTMCAS_REQUIRE(options.measured_accesses > 0,
+                   "need a positive measurement window");
+    const std::vector<std::uint64_t> sizes =
+        options.sizes_bytes.empty() ? MissCurveOptions::paperSizes()
+                                    : options.sizes_bytes;
+
+    MissCurve curve;
+    curve.workload = workload.name;
+    curve.instruction_stream = instruction_stream;
+    curve.sizes_bytes = sizes;
+    curve.miss_rates.reserve(sizes.size());
+
+    const auto& generator_ptr = instruction_stream
+                                    ? workload.instruction_stream
+                                    : workload.data_stream;
+    TTMCAS_REQUIRE(generator_ptr != nullptr,
+                   "workload '" + workload.name + "' lacks a stream");
+
+    for (std::uint64_t size : sizes) {
+        CacheConfig config;
+        config.size_bytes = size;
+        config.line_bytes = options.line_bytes;
+        config.associativity = options.associativity;
+        config.policy = options.policy;
+        Cache cache(config, options.seed);
+
+        // Same address sequence at every size: reset position state and
+        // reseed the RNG so curves differ only by capacity.
+        generator_ptr->reset();
+        Rng rng(options.seed);
+
+        for (std::size_t i = 0; i < options.warmup_accesses; ++i)
+            cache.access(generator_ptr->next(rng));
+        const std::uint64_t warm_accesses = cache.stats().accesses;
+        const std::uint64_t warm_hits = cache.stats().hits;
+
+        for (std::size_t i = 0; i < options.measured_accesses; ++i)
+            cache.access(generator_ptr->next(rng));
+
+        const std::uint64_t accesses =
+            cache.stats().accesses - warm_accesses;
+        const std::uint64_t hits = cache.stats().hits - warm_hits;
+        curve.miss_rates.push_back(
+            static_cast<double>(accesses - hits) /
+            static_cast<double>(accesses));
+    }
+    return curve;
+}
+
+std::pair<MissCurve, MissCurve>
+averageMissCurves(const std::vector<Workload>& suite,
+                  const MissCurveOptions& options)
+{
+    TTMCAS_REQUIRE(!suite.empty(), "workload suite must not be empty");
+    const std::vector<std::uint64_t> sizes =
+        options.sizes_bytes.empty() ? MissCurveOptions::paperSizes()
+                                    : options.sizes_bytes;
+
+    MissCurve instr;
+    instr.workload = "suite-average";
+    instr.instruction_stream = true;
+    instr.sizes_bytes = sizes;
+    instr.miss_rates.assign(sizes.size(), 0.0);
+    MissCurve data = instr;
+    data.instruction_stream = false;
+
+    for (const auto& workload : suite) {
+        const MissCurve wi = measureMissCurve(workload, true, options);
+        const MissCurve wd = measureMissCurve(workload, false, options);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            instr.miss_rates[i] += wi.miss_rates[i];
+            data.miss_rates[i] += wd.miss_rates[i];
+        }
+    }
+    const auto n = static_cast<double>(suite.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        instr.miss_rates[i] /= n;
+        data.miss_rates[i] /= n;
+    }
+    return {instr, data};
+}
+
+} // namespace ttmcas

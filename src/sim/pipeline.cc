@@ -1,0 +1,201 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::array<double, 7>
+InstructionMix::cdf() const
+{
+    const double weights[7] = {alu, mul, div, load, store, branch, fpu};
+    double total = 0.0;
+    for (double w : weights) {
+        TTMCAS_REQUIRE(w >= 0.0, "instruction mix weights must be >= 0");
+        total += w;
+    }
+    TTMCAS_REQUIRE(total > 0.0, "instruction mix must not be empty");
+    std::array<double, 7> cdf{};
+    double acc = 0.0;
+    for (int i = 0; i < 7; ++i) {
+        acc += weights[i] / total;
+        cdf[static_cast<std::size_t>(i)] = acc;
+    }
+    cdf[6] = 1.0;
+    return cdf;
+}
+
+double
+PipelineStats::cpi() const
+{
+    TTMCAS_REQUIRE(instructions > 0, "CPI of an empty run");
+    return static_cast<double>(cycles) /
+           static_cast<double>(instructions);
+}
+
+double
+PipelineStats::baseCpi() const
+{
+    TTMCAS_REQUIRE(instructions > 0, "CPI of an empty run");
+    const std::uint64_t stall_total = hazard_stall_cycles +
+                                      branch_penalty_cycles +
+                                      memory_stall_cycles;
+    TTMCAS_INVARIANT(stall_total <= cycles,
+                     "stall attribution exceeds total cycles");
+    return static_cast<double>(cycles - stall_total) /
+           static_cast<double>(instructions);
+}
+
+PipelineSimulator::PipelineSimulator(PipelineConfig config, Cache* icache,
+                                     Cache* dcache)
+    : _config(config), _icache(icache), _dcache(dcache)
+{
+    TTMCAS_REQUIRE(_config.mispredict_rate >= 0.0 &&
+                       _config.mispredict_rate <= 1.0,
+                   "mispredict rate must be in [0, 1]");
+    TTMCAS_REQUIRE(_config.dependency_rate >= 0.0 &&
+                       _config.dependency_rate <= 1.0,
+                   "dependency rate must be in [0, 1]");
+    TTMCAS_REQUIRE(_config.dependency_distance_p > 0.0 &&
+                       _config.dependency_distance_p <= 1.0,
+                   "dependency distance parameter must be in (0, 1]");
+}
+
+PipelineStats
+PipelineSimulator::run(std::uint64_t instructions, std::uint64_t seed,
+                       TraceGenerator* code, TraceGenerator* data)
+{
+    TTMCAS_REQUIRE(instructions > 0, "need at least one instruction");
+    Rng rng(seed);
+    const std::array<double, 7> cdf = _config.mix.cdf();
+
+    // Fallback address streams.
+    SequentialTrace default_code(4, 64 * 1024);
+    ZipfTrace default_data(4096, 1.1, 64);
+    TraceGenerator* code_stream = code != nullptr ? code : &default_code;
+    TraceGenerator* data_stream = data != nullptr ? data : &default_data;
+
+    // Ring of the most recent producers' completion times.
+    constexpr std::size_t kWindow = 64;
+    std::array<std::uint64_t, kWindow> completion{};
+    std::uint64_t issued = 0; // count of issued instructions
+
+    PipelineStats stats;
+    stats.instructions = instructions;
+    std::uint64_t last_issue = 0;   // cycle of the previous issue
+    std::uint64_t last_completion = 0;
+
+    const auto kind_latency = [&](InstrKind kind) -> std::uint32_t {
+        switch (kind) {
+          case InstrKind::Alu:
+            return _config.alu_latency;
+          case InstrKind::Mul:
+            return _config.mul_latency;
+          case InstrKind::Div:
+            return _config.div_latency;
+          case InstrKind::Load:
+            return _config.load_hit_latency;
+          case InstrKind::Store:
+            return 1;
+          case InstrKind::Branch:
+            return 1;
+          case InstrKind::Fpu:
+            return _config.fpu_latency;
+        }
+        TTMCAS_INVARIANT(false, "unhandled InstrKind");
+    };
+
+    for (std::uint64_t i = 0; i < instructions; ++i) {
+        // Pick the kind.
+        const double u = rng.uniform();
+        int kind_index = 0;
+        while (kind_index < 6 &&
+               cdf[static_cast<std::size_t>(kind_index)] < u)
+            ++kind_index;
+        const auto kind = static_cast<InstrKind>(kind_index);
+
+        // Fetch: an I-cache miss delays this instruction's issue.
+        std::uint64_t earliest = last_issue + 1;
+        if (_icache != nullptr &&
+            !_icache->access(code_stream->next(rng))) {
+            earliest += _config.miss_penalty;
+            stats.memory_stall_cycles += _config.miss_penalty;
+        }
+
+        // RAW hazards: up to two sources, each maybe depending on a
+        // recent producer.
+        std::uint64_t operand_ready = 0;
+        for (int source = 0; source < 2; ++source) {
+            if (rng.uniform() >= _config.dependency_rate)
+                continue;
+            // Geometric distance >= 1, capped by the window and by how
+            // many instructions exist.
+            std::uint64_t distance = 1;
+            while (rng.uniform() > _config.dependency_distance_p &&
+                   distance < kWindow)
+                ++distance;
+            if (distance > issued)
+                continue; // depends on pre-loop state: always ready
+            const std::size_t producer =
+                static_cast<std::size_t>((issued - distance) % kWindow);
+            operand_ready = std::max(operand_ready, completion[producer]);
+        }
+        std::uint64_t issue = std::max(earliest, operand_ready);
+        if (operand_ready > earliest)
+            stats.hazard_stall_cycles += operand_ready - earliest;
+
+        // Execute.
+        std::uint64_t done = issue + kind_latency(kind);
+        if (kind == InstrKind::Load || kind == InstrKind::Store) {
+            if (_dcache != nullptr &&
+                !_dcache->access(data_stream->next(rng))) {
+                if (kind == InstrKind::Load) {
+                    // The consumer sees the full memory latency.
+                    done += _config.miss_penalty;
+                }
+                // Stores retire through a buffer; their miss does not
+                // stall issue, only occupies the port (ignored).
+            }
+        }
+
+        // Branch resolution: a mispredict flushes the front end, so
+        // the *next* instruction cannot issue until the penalty
+        // passes — modeled by pushing the issue cursor forward.
+        if (kind == InstrKind::Branch &&
+            rng.uniform() < _config.mispredict_rate) {
+            stats.branch_penalty_cycles += _config.mispredict_penalty;
+            last_issue = issue + _config.mispredict_penalty;
+        } else {
+            last_issue = issue;
+        }
+
+        completion[static_cast<std::size_t>(issued % kWindow)] = done;
+        ++issued;
+        last_completion = std::max(last_completion, done);
+    }
+
+    stats.cycles = std::max(last_completion, last_issue);
+    return stats;
+}
+
+IpcModel
+derivedIpcModel(const PipelineConfig& config, std::uint64_t instructions,
+                std::uint64_t seed)
+{
+    PipelineConfig perfect = config;
+    PipelineSimulator simulator(perfect, nullptr, nullptr);
+    const PipelineStats stats = simulator.run(instructions, seed);
+
+    IpcModel model;
+    model.base_cpi = stats.cpi();
+    const auto cdf = config.mix.cdf();
+    // loads + stores share of the mix (cdf is cumulative in enum order:
+    // alu, mul, div, load, store, branch, fpu).
+    model.memory_ref_fraction = cdf[4] - cdf[2];
+    model.miss_penalty_cycles = config.miss_penalty;
+    return model;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,139 @@
+#ifndef TTMCAS_SIM_PIPELINE_HH
+#define TTMCAS_SIM_PIPELINE_HH
+
+/**
+ * @file
+ * In-order pipeline simulator.
+ *
+ * The cache study's IPC model assumes a base CPI for an Ariane-class
+ * single-issue in-order core; this simulator *derives* it. A synthetic
+ * instruction stream (configurable kind mix, register dependencies
+ * with geometric reuse distance, branch mispredict probability) runs
+ * through a scoreboard model of a classic five-stage pipeline:
+ *
+ *  - one instruction issues per cycle at most;
+ *  - a RAW hazard stalls issue until every source's producer result is
+ *    ready (per-kind execution latencies; loads take the cache's word);
+ *  - mispredicted branches flush the front end for a fixed penalty;
+ *  - loads/stores access a data cache; fetches access an instruction
+ *    cache; misses add the configured memory latency.
+ *
+ * The result decomposes CPI into base/hazard/branch/memory components,
+ * so `derivedIpcModel()` can hand the cache study a base CPI measured
+ * under perfect caches instead of a guessed constant.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "sim/cache.hh"
+#include "sim/ipc_model.hh"
+#include "sim/trace.hh"
+#include "stats/rng.hh"
+
+namespace ttmcas {
+
+/** Instruction classes the synthetic stream draws from. */
+enum class InstrKind : std::uint8_t
+{
+    Alu,
+    Mul,
+    Div,
+    Load,
+    Store,
+    Branch,
+    Fpu,
+};
+
+/** Dynamic instruction mix (fractions; normalized internally). */
+struct InstructionMix
+{
+    double alu = 0.42;
+    double mul = 0.03;
+    double div = 0.01;
+    double load = 0.22;
+    double store = 0.10;
+    double branch = 0.17;
+    double fpu = 0.05;
+
+    /** Normalized cumulative distribution in enum order. */
+    std::array<double, 7> cdf() const;
+};
+
+/** Microarchitectural parameters of the modeled core. */
+struct PipelineConfig
+{
+    InstructionMix mix;
+    /** Result latencies (cycles) per kind; loads add cache time. */
+    std::uint32_t alu_latency = 1;
+    std::uint32_t mul_latency = 3;
+    std::uint32_t div_latency = 20;
+    std::uint32_t load_hit_latency = 2;
+    std::uint32_t fpu_latency = 4;
+    /** Extra cycles when a memory access misses the L1. */
+    std::uint32_t miss_penalty = 60;
+    /** Branch mispredict probability and flush penalty. */
+    double mispredict_rate = 0.10;
+    std::uint32_t mispredict_penalty = 3;
+    /** Probability a source register reads a recent producer. */
+    double dependency_rate = 0.55;
+    /** Geometric parameter of the producer distance (>= 1). */
+    double dependency_distance_p = 0.45;
+};
+
+/** CPI decomposition from one simulation. */
+struct PipelineStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t hazard_stall_cycles = 0;
+    std::uint64_t branch_penalty_cycles = 0;
+    std::uint64_t memory_stall_cycles = 0;
+
+    double cpi() const;
+    double ipc() const { return 1.0 / cpi(); }
+    /** CPI with every stall source removed (the issue-bound floor). */
+    double baseCpi() const;
+};
+
+/** The simulator. */
+class PipelineSimulator
+{
+  public:
+    /**
+     * @param config core parameters
+     * @param icache instruction cache (nullptr = perfect)
+     * @param dcache data cache (nullptr = perfect)
+     */
+    PipelineSimulator(PipelineConfig config, Cache* icache = nullptr,
+                     Cache* dcache = nullptr);
+
+    /**
+     * Simulate @p instructions of the synthetic stream.
+     * @param seed stream seed (deterministic)
+     * @param code instruction-address generator (nullptr = sequential)
+     * @param data data-address generator (nullptr = zipf default)
+     */
+    PipelineStats run(std::uint64_t instructions, std::uint64_t seed,
+                      TraceGenerator* code = nullptr,
+                      TraceGenerator* data = nullptr);
+
+  private:
+    PipelineConfig _config;
+    Cache* _icache;
+    Cache* _dcache;
+};
+
+/**
+ * Build an IpcModel whose base CPI is *measured*: the pipeline runs
+ * with perfect caches and the resulting CPI becomes base_cpi; the
+ * memory-reference fraction comes from the mix; the miss penalty is
+ * taken from the config.
+ */
+IpcModel derivedIpcModel(const PipelineConfig& config,
+                         std::uint64_t instructions = 200'000,
+                         std::uint64_t seed = 0xc0de);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_SIM_PIPELINE_HH

@@ -1,0 +1,198 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::vector<std::uint64_t>
+TraceGenerator::generate(std::size_t count, Rng& rng)
+{
+    std::vector<std::uint64_t> addresses;
+    addresses.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        addresses.push_back(next(rng));
+    return addresses;
+}
+
+SequentialTrace::SequentialTrace(std::uint64_t element_bytes,
+                                 std::uint64_t length_bytes)
+    : _element_bytes(element_bytes), _length_bytes(length_bytes)
+{
+    TTMCAS_REQUIRE(element_bytes > 0, "element size must be positive");
+}
+
+std::uint64_t
+SequentialTrace::next(Rng& rng)
+{
+    (void)rng;
+    const std::uint64_t address = _position;
+    _position += _element_bytes;
+    if (_length_bytes != 0 && _position >= _length_bytes)
+        _position = 0;
+    return address;
+}
+
+StridedTrace::StridedTrace(std::uint64_t stride_bytes,
+                           std::uint64_t length_bytes)
+    : _stride_bytes(stride_bytes), _length_bytes(length_bytes)
+{
+    TTMCAS_REQUIRE(stride_bytes > 0, "stride must be positive");
+    TTMCAS_REQUIRE(length_bytes >= stride_bytes,
+                   "length must cover at least one stride");
+}
+
+std::uint64_t
+StridedTrace::next(Rng& rng)
+{
+    (void)rng;
+    const std::uint64_t address = _position;
+    _position += _stride_bytes;
+    if (_position >= _length_bytes)
+        _position = 0;
+    return address;
+}
+
+LoopTrace::LoopTrace(std::uint64_t working_set_bytes,
+                     std::uint64_t element_bytes)
+    : _working_set_bytes(working_set_bytes), _element_bytes(element_bytes)
+{
+    TTMCAS_REQUIRE(element_bytes > 0, "element size must be positive");
+    TTMCAS_REQUIRE(working_set_bytes >= element_bytes,
+                   "working set must cover at least one element");
+}
+
+std::uint64_t
+LoopTrace::next(Rng& rng)
+{
+    (void)rng;
+    const std::uint64_t address = _position;
+    _position += _element_bytes;
+    if (_position >= _working_set_bytes)
+        _position = 0;
+    return address;
+}
+
+ZipfTrace::ZipfTrace(std::size_t blocks, double exponent,
+                     std::uint64_t block_bytes)
+    : _blocks(blocks), _exponent(exponent), _block_bytes(block_bytes)
+{
+    TTMCAS_REQUIRE(blocks >= 1, "zipf footprint needs at least one block");
+    TTMCAS_REQUIRE(exponent > 0.0, "zipf exponent must be positive");
+    TTMCAS_REQUIRE(block_bytes > 0, "block size must be positive");
+
+    // Cumulative popularity of ranks 1..N under p(r) ~ r^-s.
+    _cdf.resize(blocks);
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < blocks; ++rank) {
+        total += std::pow(static_cast<double>(rank + 1), -exponent);
+        _cdf[rank] = total;
+    }
+    for (double& value : _cdf)
+        value /= total;
+
+    // Scatter ranks over the footprint so popular blocks do not all map
+    // to the same cache sets. Deterministic: a fixed-seed shuffle.
+    _remap.resize(blocks);
+    std::iota(_remap.begin(), _remap.end(), 0);
+    Rng shuffle_rng(0xb10c5);
+    for (std::size_t i = blocks; i > 1; --i) {
+        std::swap(_remap[i - 1],
+                  _remap[shuffle_rng.uniformInt(i)]);
+    }
+}
+
+std::size_t
+ZipfTrace::sampleRank(Rng& rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(_cdf.begin(), _cdf.end(), u);
+    return static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - _cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(_blocks) - 1));
+}
+
+std::uint64_t
+ZipfTrace::next(Rng& rng)
+{
+    const std::size_t rank = sampleRank(rng);
+    const std::uint64_t block = _remap[rank];
+    const std::uint64_t offset = rng.uniformInt(_block_bytes);
+    return block * _block_bytes + offset;
+}
+
+RunTrace::RunTrace(std::shared_ptr<TraceGenerator> base_picker,
+                   std::size_t run_length, std::uint64_t word_bytes)
+    : _base_picker(std::move(base_picker)), _run_length(run_length),
+      _word_bytes(word_bytes)
+{
+    TTMCAS_REQUIRE(_base_picker != nullptr, "run trace needs a base picker");
+    TTMCAS_REQUIRE(run_length >= 1, "run length must be >= 1");
+    TTMCAS_REQUIRE(word_bytes > 0, "word size must be positive");
+}
+
+std::uint64_t
+RunTrace::next(Rng& rng)
+{
+    if (_remaining == 0) {
+        _current = _base_picker->next(rng);
+        _remaining = _run_length;
+    }
+    const std::uint64_t address = _current;
+    _current += _word_bytes;
+    --_remaining;
+    return address;
+}
+
+void
+RunTrace::reset()
+{
+    _base_picker->reset();
+    _current = 0;
+    _remaining = 0;
+}
+
+MixedTrace::MixedTrace(std::vector<Component> components)
+    : _components(std::move(components))
+{
+    TTMCAS_REQUIRE(!_components.empty(), "mixed trace needs components");
+    double total = 0.0;
+    for (const auto& component : _components) {
+        TTMCAS_REQUIRE(component.generator != nullptr,
+                       "mixed trace component needs a generator");
+        TTMCAS_REQUIRE(component.weight > 0.0,
+                       "mixed trace weights must be positive");
+        total += component.weight;
+    }
+    double acc = 0.0;
+    _cdf.reserve(_components.size());
+    for (const auto& component : _components) {
+        acc += component.weight / total;
+        _cdf.push_back(acc);
+    }
+}
+
+std::uint64_t
+MixedTrace::next(Rng& rng)
+{
+    const double u = rng.uniform();
+    std::size_t pick = 0;
+    while (pick + 1 < _cdf.size() && _cdf[pick] < u)
+        ++pick;
+    // Give each component a disjoint 1 TiB region so streams cannot
+    // alias each other in the cache.
+    const std::uint64_t region = static_cast<std::uint64_t>(pick) << 40;
+    return region + _components[pick].generator->next(rng);
+}
+
+void
+MixedTrace::reset()
+{
+    for (auto& component : _components)
+        component.generator->reset();
+}
+
+} // namespace ttmcas

@@ -1,0 +1,185 @@
+#ifndef TTMCAS_SIM_TRACE_HH
+#define TTMCAS_SIM_TRACE_HH
+
+/**
+ * @file
+ * Synthetic memory-address trace generators.
+ *
+ * The paper's cache-sizing case study (Section 6.1) uses SPEC CPU2000
+ * cache-performance data [Cantin & Hill 2001], which is not
+ * redistributable as traces. We substitute synthetic workloads whose
+ * miss-rate-versus-capacity curves have the same structure as real SPEC
+ * curves: monotonically falling with strong diminishing returns
+ * (power-law-shaped), with distinct knees per workload. Generators are
+ * deterministic given a seed.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace ttmcas {
+
+/** Abstract address-stream generator. */
+class TraceGenerator
+{
+  public:
+    virtual ~TraceGenerator() = default;
+
+    /** Next byte address in the stream. */
+    virtual std::uint64_t next(Rng& rng) = 0;
+
+    /** Reset internal position state (not the RNG). */
+    virtual void reset() = 0;
+
+    /** Generator name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Convenience: materialize @p count addresses. */
+    std::vector<std::uint64_t> generate(std::size_t count, Rng& rng);
+};
+
+/** Pure streaming: consecutive addresses with a fixed element size. */
+class SequentialTrace : public TraceGenerator
+{
+  public:
+    /**
+     * @param element_bytes address increment per access
+     * @param length_bytes wrap around after this many bytes (0 = never)
+     */
+    explicit SequentialTrace(std::uint64_t element_bytes = 8,
+                             std::uint64_t length_bytes = 0);
+
+    std::uint64_t next(Rng& rng) override;
+    void reset() override { _position = 0; }
+    std::string name() const override { return "sequential"; }
+
+  private:
+    std::uint64_t _element_bytes;
+    std::uint64_t _length_bytes;
+    std::uint64_t _position = 0;
+};
+
+/** Fixed-stride accesses (column walks, strided BLAS). */
+class StridedTrace : public TraceGenerator
+{
+  public:
+    StridedTrace(std::uint64_t stride_bytes, std::uint64_t length_bytes);
+
+    std::uint64_t next(Rng& rng) override;
+    void reset() override { _position = 0; }
+    std::string name() const override { return "strided"; }
+
+  private:
+    std::uint64_t _stride_bytes;
+    std::uint64_t _length_bytes;
+    std::uint64_t _position = 0;
+};
+
+/**
+ * Loop over a working set: sequential sweep of @p working_set_bytes,
+ * repeated. Hit rate snaps from ~0 to ~1 once the cache covers the
+ * working set — the classic capacity knee.
+ */
+class LoopTrace : public TraceGenerator
+{
+  public:
+    LoopTrace(std::uint64_t working_set_bytes,
+              std::uint64_t element_bytes = 8);
+
+    std::uint64_t next(Rng& rng) override;
+    void reset() override { _position = 0; }
+    std::string name() const override { return "loop"; }
+
+  private:
+    std::uint64_t _working_set_bytes;
+    std::uint64_t _element_bytes;
+    std::uint64_t _position = 0;
+};
+
+/**
+ * Zipf-distributed block popularity over a large footprint: a few hot
+ * blocks dominate, with a long cold tail. Produces smooth power-law
+ * miss curves like pointer-rich SPEC integer codes.
+ */
+class ZipfTrace : public TraceGenerator
+{
+  public:
+    /**
+     * @param blocks number of distinct 64B blocks in the footprint
+     * @param exponent Zipf skew (~0.8-1.2 typical)
+     * @param block_bytes granularity of the popularity distribution
+     */
+    ZipfTrace(std::size_t blocks, double exponent,
+              std::uint64_t block_bytes = 64);
+
+    std::uint64_t next(Rng& rng) override;
+    void reset() override {}
+    std::string name() const override { return "zipf"; }
+
+  private:
+    std::size_t sampleRank(Rng& rng) const;
+
+    std::size_t _blocks;
+    double _exponent;
+    std::uint64_t _block_bytes;
+    std::vector<double> _cdf;          // cumulative popularity
+    std::vector<std::uint64_t> _remap; // rank -> shuffled block id
+};
+
+/**
+ * Spatial-locality wrapper: pick a base address from a child generator,
+ * then emit @p run_length sequential words from it before picking
+ * again. Models basic blocks in instruction streams and multi-word
+ * record/stack accesses in data streams — without it, synthetic traces
+ * lack the within-line reuse every real workload has.
+ */
+class RunTrace : public TraceGenerator
+{
+  public:
+    RunTrace(std::shared_ptr<TraceGenerator> base_picker,
+             std::size_t run_length, std::uint64_t word_bytes);
+
+    std::uint64_t next(Rng& rng) override;
+    void reset() override;
+    std::string name() const override { return "run"; }
+
+  private:
+    std::shared_ptr<TraceGenerator> _base_picker;
+    std::size_t _run_length;
+    std::uint64_t _word_bytes;
+    std::uint64_t _current = 0;
+    std::size_t _remaining = 0;
+};
+
+/**
+ * Weighted mixture of child generators (e.g. 60% zipf heap + 30%
+ * sequential streaming + 10% strided), each in a disjoint address
+ * region so streams do not alias.
+ */
+class MixedTrace : public TraceGenerator
+{
+  public:
+    struct Component
+    {
+        std::shared_ptr<TraceGenerator> generator;
+        double weight = 1.0;
+    };
+
+    explicit MixedTrace(std::vector<Component> components);
+
+    std::uint64_t next(Rng& rng) override;
+    void reset() override;
+    std::string name() const override { return "mixed"; }
+
+  private:
+    std::vector<Component> _components;
+    std::vector<double> _cdf;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_SIM_TRACE_HH

@@ -1,0 +1,130 @@
+#include "sim/workloads.hh"
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+std::shared_ptr<TraceGenerator>
+loop(std::uint64_t bytes)
+{
+    return std::make_shared<LoopTrace>(bytes, 8);
+}
+
+std::shared_ptr<TraceGenerator>
+zipf(std::uint64_t footprint_bytes, double exponent)
+{
+    return std::make_shared<ZipfTrace>(footprint_bytes / 64, exponent, 64);
+}
+
+/** Instruction stream: basic blocks of ~12 RV64 instructions. */
+std::shared_ptr<TraceGenerator>
+code(std::uint64_t footprint_bytes, double exponent)
+{
+    return std::make_shared<RunTrace>(zipf(footprint_bytes, exponent), 12,
+                                      4);
+}
+
+/** Data records: ~4 consecutive 8-byte words per touched address. */
+std::shared_ptr<TraceGenerator>
+records(std::uint64_t footprint_bytes, double exponent)
+{
+    return std::make_shared<RunTrace>(zipf(footprint_bytes, exponent), 4,
+                                      8);
+}
+
+std::shared_ptr<TraceGenerator>
+stream()
+{
+    return std::make_shared<SequentialTrace>(8, 256 * kMiB);
+}
+
+std::shared_ptr<TraceGenerator>
+strided(std::uint64_t stride, std::uint64_t length)
+{
+    return std::make_shared<StridedTrace>(stride, length);
+}
+
+std::shared_ptr<TraceGenerator>
+mix(std::vector<MixedTrace::Component> components)
+{
+    return std::make_shared<MixedTrace>(std::move(components));
+}
+
+Workload
+make(std::string name, double mem_frac,
+     std::shared_ptr<TraceGenerator> instructions,
+     std::shared_ptr<TraceGenerator> data)
+{
+    Workload workload;
+    workload.name = std::move(name);
+    workload.memory_ref_fraction = mem_frac;
+    workload.instruction_stream = std::move(instructions);
+    workload.data_stream = std::move(data);
+    return workload;
+}
+
+} // namespace
+
+std::vector<Workload>
+defaultWorkloadSuite()
+{
+    std::vector<Workload> suite;
+
+    // Small kernel, hot data: everything fits early.
+    suite.push_back(make("tightloop", 0.35, code(4 * kKiB, 1.3),
+                         mix({{loop(12 * kKiB), 0.9}, {stream(), 0.1}})));
+
+    // Pointer-chasing integer code: skewed data footprint, long tail.
+    suite.push_back(make("pointer", 0.40, code(48 * kKiB, 1.25),
+                         records(48 * kKiB, 1.05)));
+
+    // Streaming FP kernel: data never re-used, code tiny.
+    suite.push_back(make("stream", 0.45, code(2 * kKiB, 1.4),
+                         mix({{stream(), 0.7}, {loop(24 * kKiB), 0.3}})));
+
+    // Stencil sweep: strided reuse plus a medium hot region.
+    suite.push_back(
+        make("stencil", 0.42, code(8 * kKiB, 1.3),
+             mix({{strided(4 * kKiB, 128 * kKiB), 0.3},
+                  {loop(24 * kKiB), 0.7}})));
+
+    // Large branchy code footprint (compiler/interpreter-like).
+    suite.push_back(make("branchy", 0.30, code(192 * kKiB, 1.15),
+                         records(96 * kKiB, 1.10)));
+
+    // Database-scan-like: moderate code, big cold data tail.
+    suite.push_back(make("dbscan", 0.38, code(64 * kKiB, 1.3),
+                         mix({{records(96 * kKiB, 1.0), 0.85},
+                              {stream(), 0.15}})));
+
+    // Blocked matrix multiply: tiny code, blocked data reuse.
+    suite.push_back(
+        make("matmul", 0.45, code(2 * kKiB, 1.4),
+             mix({{loop(48 * kKiB), 0.7},
+                  {strided(512, 64 * kKiB), 0.3}})));
+
+    // General integer mix.
+    suite.push_back(
+        make("mixedint", 0.33,
+             mix({{code(24 * kKiB, 1.3), 0.7}, {code(4 * kKiB, 1.2), 0.3}}),
+             mix({{records(32 * kKiB, 1.1), 0.9}, {stream(), 0.1}})));
+
+    return suite;
+}
+
+const Workload&
+findWorkload(const std::vector<Workload>& suite, const std::string& name)
+{
+    for (const auto& workload : suite) {
+        if (workload.name == name)
+            return workload;
+    }
+    throw ModelError("unknown workload '" + name + "'");
+}
+
+} // namespace ttmcas

@@ -1,0 +1,159 @@
+#include "stats/distributions.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/strutil.hh"
+
+namespace ttmcas {
+
+PointDistribution::PointDistribution(double value) : _value(value)
+{
+    TTMCAS_REQUIRE(std::isfinite(value), "point mass must be finite");
+}
+
+double
+PointDistribution::sample(Rng& rng) const
+{
+    (void)rng;
+    return _value;
+}
+
+double
+PointDistribution::quantile(double u) const
+{
+    TTMCAS_REQUIRE(u >= 0.0 && u < 1.0, "quantile argument outside [0,1)");
+    return _value;
+}
+
+std::string
+PointDistribution::describe() const
+{
+    return "Point(" + formatFixed(_value, 4) + ")";
+}
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : _lo(lo), _hi(hi)
+{
+    TTMCAS_REQUIRE(std::isfinite(lo) && std::isfinite(hi),
+                   "uniform bounds must be finite");
+    TTMCAS_REQUIRE(lo <= hi, "uniform bounds must satisfy lo <= hi");
+}
+
+double
+UniformDistribution::sample(Rng& rng) const
+{
+    return rng.uniform(_lo, _hi);
+}
+
+double
+UniformDistribution::quantile(double u) const
+{
+    TTMCAS_REQUIRE(u >= 0.0 && u < 1.0, "quantile argument outside [0,1)");
+    return _lo + (_hi - _lo) * u;
+}
+
+std::string
+UniformDistribution::describe() const
+{
+    return "Uniform[" + formatFixed(_lo, 4) + ", " + formatFixed(_hi, 4) +
+           "]";
+}
+
+NormalDistribution::NormalDistribution(double mean, double stddev,
+                                       bool truncate_at_zero)
+    : _mean(mean), _stddev(stddev), _truncate_at_zero(truncate_at_zero)
+{
+    TTMCAS_REQUIRE(std::isfinite(mean) && std::isfinite(stddev),
+                   "normal parameters must be finite");
+    TTMCAS_REQUIRE(stddev >= 0.0, "stddev must be non-negative");
+}
+
+double
+NormalDistribution::sample(Rng& rng) const
+{
+    const double draw = rng.normal(_mean, _stddev);
+    if (_truncate_at_zero && draw < 0.0)
+        return 0.0;
+    return draw;
+}
+
+double
+NormalDistribution::quantile(double u) const
+{
+    TTMCAS_REQUIRE(u >= 0.0 && u < 1.0, "quantile argument outside [0,1)");
+    // Guard the open endpoints; inverseNormalCdf diverges at 0 and 1.
+    const double clipped = std::min(std::max(u, 1e-12), 1.0 - 1e-12);
+    const double draw = _mean + _stddev * inverseNormalCdf(clipped);
+    if (_truncate_at_zero && draw < 0.0)
+        return 0.0;
+    return draw;
+}
+
+std::string
+NormalDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "Normal(" << formatFixed(_mean, 4) << ", "
+       << formatFixed(_stddev, 4) << ")";
+    if (_truncate_at_zero)
+        os << "+";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+relativeUniform(double estimate, double band)
+{
+    TTMCAS_REQUIRE(band >= 0.0 && band < 1.0,
+                   "relative band must be in [0, 1)");
+    const double lo = estimate * (1.0 - band);
+    const double hi = estimate * (1.0 + band);
+    return std::make_unique<UniformDistribution>(std::min(lo, hi),
+                                                 std::max(lo, hi));
+}
+
+double
+inverseNormalCdf(double p)
+{
+    TTMCAS_REQUIRE(p > 0.0 && p < 1.0,
+                   "inverseNormalCdf argument must be in (0,1)");
+
+    // Peter Acklam's rational approximation (relative error < 1.15e-9).
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double p_low = 0.02425;
+    const double p_high = 1.0 - p_low;
+
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= p_high) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+                1.0);
+    }
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+} // namespace ttmcas

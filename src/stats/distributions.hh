@@ -1,0 +1,115 @@
+#ifndef TTMCAS_STATS_DISTRIBUTIONS_HH
+#define TTMCAS_STATS_DISTRIBUTIONS_HH
+
+/**
+ * @file
+ * Sampling distributions for input-uncertainty modeling.
+ *
+ * The paper varies six closely guarded inputs with a uniform +/-10% (and
+ * +/-25%) error range around point estimates (Section 5). Distribution
+ * objects package that convention so model adapters can be written once
+ * and reused for any uncertainty band.
+ */
+
+#include <memory>
+#include <string>
+
+#include "stats/rng.hh"
+
+namespace ttmcas {
+
+/** Abstract sampling distribution over doubles. */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one sample using @p rng. */
+    virtual double sample(Rng& rng) const = 0;
+
+    /** Expected value of the distribution. */
+    virtual double mean() const = 0;
+
+    /**
+     * Map a uniform [0,1) variate to a sample (inverse CDF).
+     *
+     * The Saltelli sensitivity sampler works in the unit hypercube and
+     * transforms through this; it must be deterministic.
+     */
+    virtual double quantile(double u) const = 0;
+
+    /** Human-readable description for reports. */
+    virtual std::string describe() const = 0;
+};
+
+/** Point mass: always returns the same value. */
+class PointDistribution : public Distribution
+{
+  public:
+    explicit PointDistribution(double value);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return _value; }
+    double quantile(double u) const override;
+    std::string describe() const override;
+
+  private:
+    double _value;
+};
+
+/** Uniform distribution over [lo, hi]. */
+class UniformDistribution : public Distribution
+{
+  public:
+    UniformDistribution(double lo, double hi);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return 0.5 * (_lo + _hi); }
+    double quantile(double u) const override;
+    std::string describe() const override;
+
+    double lo() const { return _lo; }
+    double hi() const { return _hi; }
+
+  private:
+    double _lo;
+    double _hi;
+};
+
+/** Normal distribution, optionally truncated at zero for physical inputs. */
+class NormalDistribution : public Distribution
+{
+  public:
+    /**
+     * @param mean distribution mean
+     * @param stddev standard deviation (>= 0)
+     * @param truncate_at_zero resample/clip negative draws to zero
+     */
+    NormalDistribution(double mean, double stddev,
+                       bool truncate_at_zero = false);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return _mean; }
+    double quantile(double u) const override;
+    std::string describe() const override;
+
+  private:
+    double _mean;
+    double _stddev;
+    bool _truncate_at_zero;
+};
+
+/**
+ * The paper's convention: uniform over [estimate*(1-band), estimate*(1+band)].
+ *
+ * @param estimate the point estimate
+ * @param band relative half-width, e.g. 0.10 for +/-10%
+ */
+std::unique_ptr<Distribution> relativeUniform(double estimate, double band);
+
+/** Inverse standard-normal CDF (Acklam's rational approximation). */
+double inverseNormalCdf(double p);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_STATS_DISTRIBUTIONS_HH

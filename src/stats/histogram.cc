@@ -1,0 +1,86 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/strutil.hh"
+
+namespace ttmcas {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : _lo(lo), _hi(hi), _counts(bins, 0)
+{
+    TTMCAS_REQUIRE(hi > lo, "histogram range must be non-empty");
+    TTMCAS_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double value)
+{
+    ++_total;
+    if (value < _lo) {
+        ++_underflow;
+        return;
+    }
+    if (value >= _hi) {
+        ++_overflow;
+        return;
+    }
+    const double width = (_hi - _lo) / static_cast<double>(_counts.size());
+    auto bin = static_cast<std::size_t>((value - _lo) / width);
+    bin = std::min(bin, _counts.size() - 1); // guard FP edge at _hi
+    ++_counts[bin];
+}
+
+void
+Histogram::addAll(const std::vector<double>& values)
+{
+    for (double v : values)
+        add(v);
+}
+
+std::size_t
+Histogram::count(std::size_t bin) const
+{
+    TTMCAS_REQUIRE(bin < _counts.size(), "histogram bin out of range");
+    return _counts[bin];
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    TTMCAS_REQUIRE(bin < _counts.size(), "histogram bin out of range");
+    const double width = (_hi - _lo) / static_cast<double>(_counts.size());
+    return _lo + width * (static_cast<double>(bin) + 0.5);
+}
+
+double
+Histogram::fraction(std::size_t bin) const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(_total);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    const std::size_t peak =
+        *std::max_element(_counts.begin(), _counts.end());
+    std::ostringstream os;
+    for (std::size_t bin = 0; bin < _counts.size(); ++bin) {
+        const std::size_t bar =
+            peak == 0 ? 0 : _counts[bin] * width / peak;
+        os << padLeft(formatFixed(binCenter(bin), 2), 10) << " |"
+           << std::string(bar, '#') << " " << _counts[bin] << "\n";
+    }
+    if (_underflow != 0)
+        os << "  underflow: " << _underflow << "\n";
+    if (_overflow != 0)
+        os << "  overflow:  " << _overflow << "\n";
+    return os.str();
+}
+
+} // namespace ttmcas

@@ -1,0 +1,62 @@
+#ifndef TTMCAS_STATS_HISTOGRAM_HH
+#define TTMCAS_STATS_HISTOGRAM_HH
+
+/**
+ * @file
+ * Fixed-bin histogram used by diagnostics and the wargame example to
+ * visualize Monte-Carlo output distributions in the terminal.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ttmcas {
+
+/** Equal-width histogram over [lo, hi) with overflow/underflow buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the binned range
+     * @param hi exclusive upper bound of the binned range (> lo)
+     * @param bins number of equal-width bins (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double value);
+
+    /** Record many observations. */
+    void addAll(const std::vector<double>& values);
+
+    std::size_t binCount() const { return _counts.size(); }
+    std::size_t count(std::size_t bin) const;
+    std::size_t underflow() const { return _underflow; }
+    std::size_t overflow() const { return _overflow; }
+    std::size_t total() const { return _total; }
+
+    /** Center x-value of a bin. */
+    double binCenter(std::size_t bin) const;
+
+    /** Fraction of total observations in a bin (0 when empty). */
+    double fraction(std::size_t bin) const;
+
+    /**
+     * Render an ASCII bar chart, one bin per line, bars scaled so the
+     * fullest bin spans @p width characters.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<std::size_t> _counts;
+    std::size_t _underflow = 0;
+    std::size_t _overflow = 0;
+    std::size_t _total = 0;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_STATS_HISTOGRAM_HH

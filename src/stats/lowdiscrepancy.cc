@@ -1,0 +1,63 @@
+#include "stats/lowdiscrepancy.hh"
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::vector<std::uint32_t>
+firstPrimes(std::size_t count)
+{
+    TTMCAS_REQUIRE(count >= 1, "need at least one prime");
+    std::vector<std::uint32_t> primes;
+    primes.reserve(count);
+    std::uint32_t candidate = 2;
+    while (primes.size() < count) {
+        bool is_prime = true;
+        for (std::uint32_t p : primes) {
+            if (p * p > candidate)
+                break;
+            if (candidate % p == 0) {
+                is_prime = false;
+                break;
+            }
+        }
+        if (is_prime)
+            primes.push_back(candidate);
+        ++candidate;
+    }
+    return primes;
+}
+
+HaltonSequence::HaltonSequence(std::size_t dimensions)
+    : _bases(firstPrimes(dimensions))
+{
+    TTMCAS_REQUIRE(dimensions >= 1,
+                   "Halton sequence needs at least one dimension");
+}
+
+double
+HaltonSequence::radicalInverse(std::uint64_t index, std::uint32_t base)
+{
+    TTMCAS_REQUIRE(base >= 2, "radical inverse base must be >= 2");
+    double result = 0.0;
+    double digit_weight = 1.0 / base;
+    while (index > 0) {
+        result += static_cast<double>(index % base) * digit_weight;
+        index /= base;
+        digit_weight /= base;
+    }
+    return result;
+}
+
+std::vector<double>
+HaltonSequence::next()
+{
+    std::vector<double> point;
+    point.reserve(_bases.size());
+    for (std::uint32_t base : _bases)
+        point.push_back(radicalInverse(_index, base));
+    ++_index;
+    return point;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,52 @@
+#ifndef TTMCAS_STATS_LOWDISCREPANCY_HH
+#define TTMCAS_STATS_LOWDISCREPANCY_HH
+
+/**
+ * @file
+ * Low-discrepancy (quasi-random) sequences.
+ *
+ * Variance-based sensitivity analysis converges as ~1/N with plain
+ * Monte-Carlo sampling but ~1/N^(1-eps) with low-discrepancy points.
+ * The Sobol machinery can optionally draw its Saltelli base matrices
+ * from a Halton sequence instead of the RNG (see SobolOptions).
+ *
+ * Implementation: the classic Halton sequence (radical inverse in the
+ * first d prime bases), with the index offset by 20 to skip the most
+ * correlated initial points of the higher bases.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace ttmcas {
+
+/** d-dimensional Halton sequence generator. */
+class HaltonSequence
+{
+  public:
+    /** @param dimensions number of coordinates per point (>= 1). */
+    explicit HaltonSequence(std::size_t dimensions);
+
+    std::size_t dimensions() const { return _bases.size(); }
+
+    /** Next point in [0, 1)^d. */
+    std::vector<double> next();
+
+    /** Skip ahead by @p count points. */
+    void discard(std::size_t count) { _index += count; }
+
+    /** Radical inverse of @p index in @p base (static helper). */
+    static double radicalInverse(std::uint64_t index,
+                                 std::uint32_t base);
+
+  private:
+    std::vector<std::uint32_t> _bases;
+    std::uint64_t _index = 20; // skip the correlated warm-up points
+};
+
+/** The n-th prime (1-based: firstPrimes(3) = {2, 3, 5}). */
+std::vector<std::uint32_t> firstPrimes(std::size_t count);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_STATS_LOWDISCREPANCY_HH

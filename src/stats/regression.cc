@@ -1,0 +1,125 @@
+#include "stats/regression.hh"
+
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+/** Core OLS over pre-transformed coordinates; also reports R^2. */
+LinearFit
+leastSquares(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    const auto n = static_cast<double>(xs.size());
+    double sum_x = 0.0, sum_y = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sum_x += xs[i];
+        sum_y += ys[i];
+    }
+    const double mean_x = sum_x / n;
+    const double mean_y = sum_y / n;
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mean_x;
+        const double dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    TTMCAS_REQUIRE(sxx > 0.0, "regression x values must not all be equal");
+
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = mean_y - fit.slope * mean_x;
+    // R^2 = 1 - SS_res / SS_tot; degenerate all-equal-y data fits exactly.
+    if (syy == 0.0) {
+        fit.r_squared = 1.0;
+    } else {
+        double ss_res = 0.0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double resid = ys[i] - fit(xs[i]);
+            ss_res += resid * resid;
+        }
+        fit.r_squared = 1.0 - ss_res / syy;
+    }
+    return fit;
+}
+
+void
+checkInput(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    TTMCAS_REQUIRE(xs.size() == ys.size(),
+                   "regression needs equal-length xs and ys");
+    TTMCAS_REQUIRE(xs.size() >= 2, "regression needs at least two points");
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        TTMCAS_REQUIRE(std::isfinite(xs[i]) && std::isfinite(ys[i]),
+                       "regression points must be finite");
+    }
+}
+
+} // namespace
+
+double
+ExponentialFit::operator()(double x) const
+{
+    return scale * std::exp(rate * x);
+}
+
+double
+PowerFit::operator()(double x) const
+{
+    return scale * std::pow(x, exponent);
+}
+
+LinearFit
+fitLinear(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    checkInput(xs, ys);
+    return leastSquares(xs, ys);
+}
+
+ExponentialFit
+fitExponential(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    checkInput(xs, ys);
+    std::vector<double> log_ys;
+    log_ys.reserve(ys.size());
+    for (double y : ys) {
+        TTMCAS_REQUIRE(y > 0.0, "exponential fit needs positive y values");
+        log_ys.push_back(std::log(y));
+    }
+    const LinearFit linear = leastSquares(xs, log_ys);
+
+    ExponentialFit fit;
+    fit.scale = std::exp(linear.intercept);
+    fit.rate = linear.slope;
+    fit.r_squared = linear.r_squared;
+    return fit;
+}
+
+PowerFit
+fitPower(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    checkInput(xs, ys);
+    std::vector<double> log_xs, log_ys;
+    log_xs.reserve(xs.size());
+    log_ys.reserve(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        TTMCAS_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0,
+                       "power fit needs positive x and y values");
+        log_xs.push_back(std::log(xs[i]));
+        log_ys.push_back(std::log(ys[i]));
+    }
+    const LinearFit linear = leastSquares(log_xs, log_ys);
+
+    PowerFit fit;
+    fit.scale = std::exp(linear.intercept);
+    fit.exponent = linear.slope;
+    fit.r_squared = linear.r_squared;
+    return fit;
+}
+
+} // namespace ttmcas

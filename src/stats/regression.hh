@@ -1,0 +1,70 @@
+#ifndef TTMCAS_STATS_REGRESSION_HH
+#define TTMCAS_STATS_REGRESSION_HH
+
+/**
+ * @file
+ * Least-squares curve fits used for the effort models.
+ *
+ * Paper Section 5: tapeout effort E_tapeout(p) and packaging effort
+ * E_package(p) are fit with an *exponential* regression over process
+ * nodes; testing effort E_testing(p) uses a *linear* regression. These
+ * fits are re-derived at library-build time from anchor points (see
+ * tech/default_dataset.cc) instead of being hard-coded, so users can
+ * supply their own anchors.
+ */
+
+#include <vector>
+
+namespace ttmcas {
+
+/** y = intercept + slope * x. */
+struct LinearFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r_squared = 0.0;
+
+    double operator()(double x) const { return intercept + slope * x; }
+};
+
+/** y = scale * exp(rate * x); fit by log-linear least squares. */
+struct ExponentialFit
+{
+    double scale = 0.0;
+    double rate = 0.0;
+    double r_squared = 0.0; ///< R^2 in log space
+
+    double operator()(double x) const;
+};
+
+/** y = scale * x^exponent; fit by log-log least squares. */
+struct PowerFit
+{
+    double scale = 0.0;
+    double exponent = 0.0;
+    double r_squared = 0.0; ///< R^2 in log-log space
+
+    double operator()(double x) const;
+};
+
+/** Ordinary least squares through (xs[i], ys[i]); needs >= 2 points. */
+LinearFit fitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+/**
+ * Exponential fit through positive ys; needs >= 2 points.
+ * Internally fits log(y) = log(scale) + rate * x.
+ */
+ExponentialFit fitExponential(const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+/**
+ * Power-law fit through positive xs and ys; needs >= 2 points.
+ * Internally fits log(y) = log(scale) + exponent * log(x).
+ */
+PowerFit fitPower(const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_STATS_REGRESSION_HH

@@ -1,0 +1,71 @@
+#ifndef TTMCAS_STATS_RNG_HH
+#define TTMCAS_STATS_RNG_HH
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The Monte-Carlo sensitivity machinery (paper Section 5) must be exactly
+ * reproducible across platforms and standard-library versions, so we ship
+ * our own generator instead of relying on std::mt19937 distributions
+ * (whose std::uniform_* implementations are not portable).
+ *
+ * The generator is xoshiro256** by Blackman & Vigna: 256 bits of state,
+ * period 2^256 - 1, excellent statistical quality, and trivially seedable
+ * from a single 64-bit value via splitmix64.
+ */
+
+#include <array>
+#include <cstdint>
+
+namespace ttmcas {
+
+/** xoshiro256** pseudo-random generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** UniformRandomBitGenerator interface (for std::shuffle etc.). */
+    std::uint64_t operator()() { return next(); }
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /** Uniform double in [0, 1) with 53 bits of precision. */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound) without modulo bias. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Standard normal deviate (Marsaglia polar method). */
+    double normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Split off an independent child generator.
+     *
+     * Parallel sweeps give each lane its own child so results do not
+     * depend on evaluation order.
+     */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> _state;
+    bool _have_cached_normal = false;
+    double _cached_normal = 0.0;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_STATS_RNG_HH

@@ -1,0 +1,207 @@
+#include "stats/sobol.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/lowdiscrepancy.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::size_t
+SobolResult::dominantInput() const
+{
+    TTMCAS_REQUIRE(!total_effect.empty(), "dominantInput of empty result");
+    return static_cast<std::size_t>(
+        std::max_element(total_effect.begin(), total_effect.end()) -
+        total_effect.begin());
+}
+
+SobolResult
+sobolAnalyze(const std::vector<SensitivityInput>& inputs,
+             const std::function<double(const std::vector<double>&)>& model,
+             const SobolOptions& options, SobolRowData* rows)
+{
+    const std::size_t k = inputs.size();
+    const std::size_t n = options.base_samples;
+    TTMCAS_REQUIRE(k > 0, "sobolAnalyze needs at least one input");
+    TTMCAS_REQUIRE(n >= 2, "sobolAnalyze needs at least two base samples");
+    for (const auto& input : inputs) {
+        TTMCAS_REQUIRE(input.distribution != nullptr,
+                       "sensitivity input '" + input.name +
+                           "' has no distribution");
+    }
+
+    // Draw the two base matrices in the unit hypercube, then transform
+    // through each input's quantile function. The A and B coordinates
+    // come from disjoint dimensions (columns i and k+i of one
+    // 2k-dimensional stream) so they are independent.
+    Rng rng(options.seed);
+    HaltonSequence halton(2 * k);
+    std::vector<std::vector<double>> mat_a(n, std::vector<double>(k));
+    std::vector<std::vector<double>> mat_b(n, std::vector<double>(k));
+    for (std::size_t j = 0; j < n; ++j) {
+        if (options.use_low_discrepancy) {
+            const std::vector<double> point = halton.next();
+            for (std::size_t i = 0; i < k; ++i) {
+                mat_a[j][i] =
+                    inputs[i].distribution->quantile(point[i]);
+                mat_b[j][i] =
+                    inputs[i].distribution->quantile(point[k + i]);
+            }
+        } else {
+            for (std::size_t i = 0; i < k; ++i) {
+                mat_a[j][i] =
+                    inputs[i].distribution->quantile(rng.uniform());
+                mat_b[j][i] =
+                    inputs[i].distribution->quantile(rng.uniform());
+            }
+        }
+    }
+
+    std::vector<double> f_a(n), f_b(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        f_a[j] = model(mat_a[j]);
+        f_b[j] = model(mat_b[j]);
+    }
+
+    // Output variance over the pooled A/B evaluations.
+    RunningStats pooled;
+    for (double y : f_a)
+        pooled.add(y);
+    for (double y : f_b)
+        pooled.add(y);
+    const double variance = pooled.variance();
+
+    SobolResult result;
+    result.output_mean = pooled.mean();
+    result.output_variance = variance;
+    result.evaluations = 2 * n;
+    result.first_order.resize(k, 0.0);
+    result.total_effect.resize(k, 0.0);
+    result.input_names.reserve(k);
+    for (const auto& input : inputs)
+        result.input_names.push_back(input.name);
+
+    if (rows != nullptr) {
+        rows->f_a = f_a;
+        rows->f_b = f_b;
+        rows->f_ab.assign(k, std::vector<double>());
+    }
+
+    std::vector<double> point(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        double first_acc = 0.0;
+        double total_acc = 0.0;
+        std::vector<double>* row_store =
+            rows != nullptr ? &rows->f_ab[i] : nullptr;
+        if (row_store != nullptr)
+            row_store->reserve(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            // A_B^i: row j of A with column i taken from B.
+            point = mat_a[j];
+            point[i] = mat_b[j][i];
+            const double f_abi = model(point);
+            if (row_store != nullptr)
+                row_store->push_back(f_abi);
+            first_acc += f_b[j] * (f_abi - f_a[j]);
+            const double delta = f_a[j] - f_abi;
+            total_acc += delta * delta;
+        }
+        result.evaluations += n;
+
+        if (variance <= 0.0) {
+            // A constant model has no variance to attribute.
+            result.first_order[i] = 0.0;
+            result.total_effect[i] = 0.0;
+            continue;
+        }
+        double s_i = first_acc / static_cast<double>(n) / variance;
+        double s_ti =
+            total_acc / (2.0 * static_cast<double>(n)) / variance;
+        if (options.clip_negative) {
+            s_i = std::max(s_i, 0.0);
+            s_ti = std::max(s_ti, 0.0);
+        }
+        result.first_order[i] = s_i;
+        result.total_effect[i] = s_ti;
+    }
+    return result;
+}
+
+SobolConfidence
+sobolBootstrapCi(const SobolRowData& rows, std::size_t resamples,
+                 double coverage, std::uint64_t seed, bool clip_negative)
+{
+    const std::size_t n = rows.f_a.size();
+    const std::size_t k = rows.f_ab.size();
+    TTMCAS_REQUIRE(n >= 2, "bootstrap needs at least two base rows");
+    TTMCAS_REQUIRE(rows.f_b.size() == n,
+                   "row data arity mismatch (f_b)");
+    for (const auto& column : rows.f_ab) {
+        TTMCAS_REQUIRE(column.size() == n,
+                       "row data arity mismatch (f_ab)");
+    }
+    TTMCAS_REQUIRE(k >= 1, "bootstrap needs at least one input");
+    TTMCAS_REQUIRE(resamples >= 10, "need at least 10 resamples");
+    TTMCAS_REQUIRE(coverage > 0.0 && coverage < 1.0,
+                   "coverage must be in (0, 1)");
+
+    Rng rng(seed);
+    std::vector<std::vector<double>> first_replicates(k);
+    std::vector<std::vector<double>> total_replicates(k);
+    std::vector<std::size_t> picks(n);
+
+    for (std::size_t r = 0; r < resamples; ++r) {
+        for (std::size_t j = 0; j < n; ++j)
+            picks[j] = static_cast<std::size_t>(rng.uniformInt(n));
+
+        // Pooled variance over the resampled A/B evaluations.
+        RunningStats pooled;
+        for (std::size_t j : picks) {
+            pooled.add(rows.f_a[j]);
+            pooled.add(rows.f_b[j]);
+        }
+        const double variance = pooled.variance();
+
+        for (std::size_t i = 0; i < k; ++i) {
+            double first_acc = 0.0;
+            double total_acc = 0.0;
+            for (std::size_t j : picks) {
+                const double f_abi = rows.f_ab[i][j];
+                first_acc += rows.f_b[j] * (f_abi - rows.f_a[j]);
+                const double delta = rows.f_a[j] - f_abi;
+                total_acc += delta * delta;
+            }
+            double s_i = 0.0;
+            double s_ti = 0.0;
+            if (variance > 0.0) {
+                s_i = first_acc / static_cast<double>(n) / variance;
+                s_ti = total_acc / (2.0 * static_cast<double>(n)) /
+                       variance;
+            }
+            if (clip_negative) {
+                s_i = std::max(s_i, 0.0);
+                s_ti = std::max(s_ti, 0.0);
+            }
+            first_replicates[i].push_back(s_i);
+            total_replicates[i].push_back(s_ti);
+        }
+    }
+
+    SobolConfidence confidence;
+    for (std::size_t i = 0; i < k; ++i) {
+        const Summary first = Summary::of(first_replicates[i]);
+        const Summary total = Summary::of(total_replicates[i]);
+        const Interval first_ci = first.percentileInterval(coverage);
+        const Interval total_ci = total.percentileInterval(coverage);
+        confidence.first_order.emplace_back(first_ci.lo, first_ci.hi);
+        confidence.total_effect.emplace_back(total_ci.lo, total_ci.hi);
+    }
+    return confidence;
+}
+
+} // namespace ttmcas
+

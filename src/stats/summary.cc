@@ -1,0 +1,119 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+Interval
+Summary::percentileInterval(double coverage) const
+{
+    TTMCAS_REQUIRE(coverage > 0.0 && coverage < 1.0,
+                   "coverage must be in (0, 1)");
+    const double tail = 100.0 * (1.0 - coverage) / 2.0;
+    return Interval{percentile(tail), percentile(100.0 - tail)};
+}
+
+double
+Summary::percentile(double p) const
+{
+    TTMCAS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+    TTMCAS_REQUIRE(!_sorted.empty(), "percentile of empty summary");
+    if (_sorted.size() == 1)
+        return _sorted.front();
+
+    const double rank = p / 100.0 * static_cast<double>(_sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = std::min(lo + 1, _sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return _sorted[lo] + frac * (_sorted[hi] - _sorted[lo]);
+}
+
+Interval
+Summary::meanConfidence(double coverage) const
+{
+    TTMCAS_REQUIRE(coverage > 0.0 && coverage < 1.0,
+                   "coverage must be in (0, 1)");
+    TTMCAS_REQUIRE(count > 0, "meanConfidence of empty summary");
+    const double z = inverseNormalCdf(0.5 + coverage / 2.0);
+    const double half =
+        z * stddev / std::sqrt(static_cast<double>(count));
+    return Interval{mean - half, mean + half};
+}
+
+Summary
+Summary::of(std::vector<double> samples)
+{
+    TTMCAS_REQUIRE(!samples.empty(), "Summary::of requires samples");
+
+    RunningStats acc;
+    for (double s : samples)
+        acc.add(s);
+
+    Summary summary;
+    summary.count = acc.count();
+    summary.mean = acc.mean();
+    summary.variance = acc.count() >= 2 ? acc.variance() : 0.0;
+    summary.stddev = std::sqrt(summary.variance);
+    summary.min = acc.min();
+    summary.max = acc.max();
+
+    std::sort(samples.begin(), samples.end());
+    summary._sorted = std::move(samples);
+    return summary;
+}
+
+void
+RunningStats::add(double value)
+{
+    if (_count == 0) {
+        _min = value;
+        _max = value;
+    } else {
+        _min = std::min(_min, value);
+        _max = std::max(_max, value);
+    }
+    ++_count;
+    const double delta = value - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (value - _mean);
+}
+
+double
+RunningStats::mean() const
+{
+    TTMCAS_REQUIRE(_count > 0, "mean of empty accumulator");
+    return _mean;
+}
+
+double
+RunningStats::variance() const
+{
+    TTMCAS_REQUIRE(_count >= 2, "variance requires at least two samples");
+    return _m2 / static_cast<double>(_count - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    TTMCAS_REQUIRE(_count > 0, "min of empty accumulator");
+    return _min;
+}
+
+double
+RunningStats::max() const
+{
+    TTMCAS_REQUIRE(_count > 0, "max of empty accumulator");
+    return _max;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,39 @@
+#include "support/error.hh"
+
+#include <sstream>
+
+namespace ttmcas {
+namespace detail {
+
+namespace {
+
+std::string
+formatFailure(const char* kind, const char* file, int line,
+              const char* expr, const std::string& message)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": " << kind << " `" << expr << "` failed";
+    if (!message.empty())
+        os << ": " << message;
+    return os.str();
+}
+
+} // namespace
+
+void
+throwModelError(const char* file, int line, const char* expr,
+                const std::string& message)
+{
+    throw ModelError(formatFailure("requirement", file, line, expr, message));
+}
+
+void
+throwInternalError(const char* file, int line, const char* expr,
+                   const std::string& message)
+{
+    throw InternalError(
+        formatFailure("invariant", file, line, expr, message));
+}
+
+} // namespace detail
+} // namespace ttmcas

@@ -1,0 +1,90 @@
+#ifndef TTMCAS_SUPPORT_ERROR_HH
+#define TTMCAS_SUPPORT_ERROR_HH
+
+/**
+ * @file
+ * Error handling for the ttmcas library.
+ *
+ * Following the gem5 fatal()/panic() distinction:
+ *  - ModelError   : the caller supplied an invalid configuration or
+ *                   parameter (user error; recoverable by fixing inputs).
+ *  - InternalError: an invariant of the library itself was violated
+ *                   (library bug; never the caller's fault).
+ *
+ * Both carry the source location of the failure so that diagnostics from
+ * deep inside a sweep identify the offending check directly.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace ttmcas {
+
+/** Base class for all exceptions thrown by ttmcas. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Invalid user-provided configuration or parameter value.
+ *
+ * Thrown by validation code when the model cannot proceed because of the
+ * caller's inputs (e.g. negative die area, unknown process node).
+ */
+class ModelError : public Error
+{
+  public:
+    explicit ModelError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/** Violation of a library-internal invariant (a ttmcas bug). */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+namespace detail {
+
+/** Build a "file:line: check failed" message and throw ModelError. */
+[[noreturn]] void throwModelError(const char* file, int line,
+                                  const char* expr,
+                                  const std::string& message);
+
+/** Build a "file:line: invariant failed" message and throw InternalError. */
+[[noreturn]] void throwInternalError(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message);
+
+} // namespace detail
+} // namespace ttmcas
+
+/**
+ * Validate a user-facing precondition; throws ttmcas::ModelError with the
+ * failing expression, location, and an explanatory message on failure.
+ */
+#define TTMCAS_REQUIRE(expr, message)                                        \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::ttmcas::detail::throwModelError(__FILE__, __LINE__, #expr,     \
+                                              (message));                   \
+        }                                                                    \
+    } while (false)
+
+/**
+ * Check a library-internal invariant; throws ttmcas::InternalError on
+ * failure. Use for conditions that indicate a ttmcas bug, never bad input.
+ */
+#define TTMCAS_INVARIANT(expr, message)                                      \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::ttmcas::detail::throwInternalError(__FILE__, __LINE__, #expr,  \
+                                                 (message));                 \
+        }                                                                    \
+    } while (false)
+
+#endif // TTMCAS_SUPPORT_ERROR_HH

@@ -1,0 +1,95 @@
+#include "support/mathutil.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+bool
+approxEqual(double a, double b, double tol)
+{
+    const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    return std::fabs(a - b) <= tol * scale;
+}
+
+double
+relativeDifference(double a, double b)
+{
+    const double denom = std::max(std::fabs(a), std::fabs(b));
+    if (denom == 0.0)
+        return 0.0;
+    return std::fabs(a - b) / denom;
+}
+
+double
+clamp(double value, double lo, double hi)
+{
+    TTMCAS_REQUIRE(lo <= hi, "clamp bounds must satisfy lo <= hi");
+    return std::min(std::max(value, lo), hi);
+}
+
+double
+lerp(double a, double b, double t)
+{
+    return a + (b - a) * t;
+}
+
+double
+interpolate(const std::vector<double>& xs, const std::vector<double>& ys,
+            double x)
+{
+    TTMCAS_REQUIRE(xs.size() == ys.size(),
+                   "interpolate: xs and ys must have equal length");
+    TTMCAS_REQUIRE(xs.size() >= 2, "interpolate: need at least two points");
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        TTMCAS_REQUIRE(xs[i] > xs[i - 1],
+                       "interpolate: xs must be strictly increasing");
+    }
+
+    // Pick the segment whose right endpoint is the first x-knot >= x;
+    // segments at the ends also serve extrapolation.
+    std::size_t hi = 1;
+    while (hi + 1 < xs.size() && xs[hi] < x)
+        ++hi;
+    const std::size_t lo = hi - 1;
+    const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+    return lerp(ys[lo], ys[hi], t);
+}
+
+double
+centralDifference(const std::function<double(double)>& f, double x,
+                  double rel_step)
+{
+    TTMCAS_REQUIRE(rel_step > 0.0, "derivative step must be positive");
+    const double h = std::max(std::fabs(x), 1.0) * rel_step;
+    return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+std::size_t
+ceilDiv(std::size_t a, std::size_t b)
+{
+    TTMCAS_REQUIRE(b > 0, "ceilDiv divisor must be positive");
+    return (a + b - 1) / b;
+}
+
+bool
+isFiniteNumber(double value)
+{
+    return std::isfinite(value);
+}
+
+double
+geometricMean(const std::vector<double>& values)
+{
+    TTMCAS_REQUIRE(!values.empty(), "geometricMean of empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        TTMCAS_REQUIRE(v > 0.0, "geometricMean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace ttmcas

@@ -1,0 +1,136 @@
+#include "support/strutil.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::string
+formatFixed(double value, int decimals)
+{
+    TTMCAS_REQUIRE(decimals >= 0, "decimals must be non-negative");
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(decimals);
+    os << value;
+    return os.str();
+}
+
+namespace {
+
+/** Trim a fixed-format number: "3.50" -> "3.5", "3.00" -> "3". */
+std::string
+trimTrailingZeros(std::string text)
+{
+    if (text.find('.') == std::string::npos)
+        return text;
+    while (!text.empty() && text.back() == '0')
+        text.pop_back();
+    if (!text.empty() && text.back() == '.')
+        text.pop_back();
+    return text;
+}
+
+} // namespace
+
+std::string
+formatSi(double value, int decimals)
+{
+    const double magnitude = std::fabs(value);
+    const char* suffix = "";
+    double scaled = value;
+    if (magnitude >= 1e9) {
+        suffix = "B";
+        scaled = value / 1e9;
+    } else if (magnitude >= 1e6) {
+        suffix = "M";
+        scaled = value / 1e6;
+    } else if (magnitude >= 1e3) {
+        suffix = "K";
+        scaled = value / 1e3;
+    }
+    return trimTrailingZeros(formatFixed(scaled, decimals)) + suffix;
+}
+
+std::string
+formatDollars(double dollars, int decimals)
+{
+    const bool negative = dollars < 0.0;
+    const double magnitude = std::fabs(dollars);
+    std::string body;
+    if (magnitude >= 1e9)
+        body = formatFixed(magnitude / 1e9, decimals) + "B";
+    else if (magnitude >= 1e6)
+        body = formatFixed(magnitude / 1e6, decimals) + "M";
+    else if (magnitude >= 1e3)
+        body = formatFixed(magnitude / 1e3, decimals) + "K";
+    else
+        body = formatFixed(magnitude, decimals);
+    return std::string(negative ? "-$" : "$") + body;
+}
+
+std::string
+formatGrouped(long long value)
+{
+    const bool negative = value < 0;
+    std::string digits = std::to_string(negative ? -value : value);
+    std::string grouped;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            grouped.push_back(',');
+        grouped.push_back(*it);
+        ++count;
+    }
+    std::reverse(grouped.begin(), grouped.end());
+    return (negative ? "-" : "") + grouped;
+}
+
+std::string
+padLeft(const std::string& text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return std::string(width - text.size(), ' ') + text;
+}
+
+std::string
+padRight(const std::string& text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return text + std::string(width - text.size(), ' ');
+}
+
+std::string
+join(const std::vector<std::string>& pieces, const std::string& separator)
+{
+    std::string result;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i != 0)
+            result += separator;
+        result += pieces[i];
+    }
+    return result;
+}
+
+std::string
+toLower(std::string text)
+{
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return text;
+}
+
+bool
+startsWith(const std::string& text, const std::string& prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,45 @@
+#ifndef TTMCAS_SUPPORT_STRUTIL_HH
+#define TTMCAS_SUPPORT_STRUTIL_HH
+
+/**
+ * @file
+ * String formatting helpers used by the report layer and benches.
+ */
+
+#include <string>
+#include <vector>
+
+namespace ttmcas {
+
+/** Format with fixed decimal places, e.g. formatFixed(3.14159, 2) = "3.14". */
+std::string formatFixed(double value, int decimals);
+
+/**
+ * Format a count with an SI-style suffix the way the paper labels axes:
+ * 1000 -> "1K", 10'000'000 -> "10M", 1'500'000'000 -> "1.5B".
+ */
+std::string formatSi(double value, int decimals = 1);
+
+/** Format dollars compactly: 6.8e6 -> "$6.8M", 2.1e9 -> "$2.10B". */
+std::string formatDollars(double dollars, int decimals = 2);
+
+/** Group digits with commas: 1234567 -> "1,234,567". */
+std::string formatGrouped(long long value);
+
+/** Left/right pad @p text with spaces to @p width (no-op when longer). */
+std::string padLeft(const std::string& text, std::size_t width);
+std::string padRight(const std::string& text, std::size_t width);
+
+/** Join the pieces with @p separator. */
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& separator);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string text);
+
+/** True when @p text starts with @p prefix. */
+bool startsWith(const std::string& text, const std::string& prefix);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_SUPPORT_STRUTIL_HH

@@ -1,0 +1,138 @@
+#ifndef TTMCAS_SUPPORT_UNITS_HH
+#define TTMCAS_SUPPORT_UNITS_HH
+
+/**
+ * @file
+ * Strong unit types used throughout the ttmcas model.
+ *
+ * The chip-creation model mixes many physically distinct quantities
+ * (calendar weeks, engineering-hours, wafers/week, mm^2, dollars,
+ * transistor counts). Mixing these silently is the classic source of
+ * analytical-model bugs, so each is wrapped in a minimal strong type.
+ *
+ * The wrappers deliberately support only dimensionally meaningful
+ * operations: same-unit addition/subtraction/comparison and scaling by
+ * dimensionless doubles. Cross-unit products that the model needs
+ * (e.g. wafers / (wafers/week) = weeks) are provided as explicit free
+ * functions so every conversion is visible at the call site.
+ */
+
+#include <compare>
+#include <ostream>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+/**
+ * A double tagged with a unit. Tag types are empty structs; they exist
+ * only to make different units incompatible at compile time.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double value) : _value(value) {}
+
+    /** The raw magnitude in this quantity's canonical unit. */
+    constexpr double value() const { return _value; }
+
+    constexpr Quantity operator+(Quantity other) const
+    { return Quantity(_value + other._value); }
+    constexpr Quantity operator-(Quantity other) const
+    { return Quantity(_value - other._value); }
+    constexpr Quantity operator-() const { return Quantity(-_value); }
+
+    constexpr Quantity operator*(double scale) const
+    { return Quantity(_value * scale); }
+    constexpr Quantity operator/(double scale) const
+    { return Quantity(_value / scale); }
+
+    /** Ratio of two same-unit quantities is dimensionless. */
+    constexpr double operator/(Quantity other) const
+    { return _value / other._value; }
+
+    Quantity& operator+=(Quantity other)
+    { _value += other._value; return *this; }
+    Quantity& operator-=(Quantity other)
+    { _value -= other._value; return *this; }
+    Quantity& operator*=(double scale) { _value *= scale; return *this; }
+    Quantity& operator/=(double scale) { _value /= scale; return *this; }
+
+    constexpr auto operator<=>(const Quantity&) const = default;
+
+  private:
+    double _value = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double scale, Quantity<Tag> quantity)
+{
+    return quantity * scale;
+}
+
+template <typename Tag>
+std::ostream&
+operator<<(std::ostream& os, Quantity<Tag> quantity)
+{
+    return os << quantity.value();
+}
+
+/** Calendar time in weeks (the paper reports all times in weeks). */
+using Weeks = Quantity<struct WeeksTag>;
+/** Aggregate human effort in engineering-hours (paper Eq. 2). */
+using EngineeringHours = Quantity<struct EngineeringHoursTag>;
+/** Silicon area in mm^2. */
+using SquareMm = Quantity<struct SquareMmTag>;
+/** Cost in US dollars. */
+using Dollars = Quantity<struct DollarsTag>;
+/** Wafer counts (fractional during intermediate math). */
+using Wafers = Quantity<struct WafersTag>;
+/** Foundry wafer production rate in wafers per calendar week. */
+using WafersPerWeek = Quantity<struct WafersPerWeekTag>;
+
+namespace units {
+
+/** Average weeks per month used for kWafers/month conversion (52/12). */
+inline constexpr double weeks_per_month = 52.0 / 12.0;
+/** Working hours per engineer per calendar week. */
+inline constexpr double hours_per_work_week = 40.0;
+
+/** Convert a foundry rate quoted in kilo-wafers/month into wafers/week. */
+constexpr WafersPerWeek
+kiloWafersPerMonth(double kwpm)
+{
+    return WafersPerWeek(kwpm * 1000.0 / weeks_per_month);
+}
+
+/** Weeks needed to produce @p wafers at rate @p rate (Eq. 4/5 quotient). */
+inline Weeks
+productionTime(Wafers wafers, WafersPerWeek rate)
+{
+    TTMCAS_REQUIRE(rate.value() > 0.0,
+                   "wafer production rate must be positive");
+    return Weeks(wafers.value() / rate.value());
+}
+
+/**
+ * Convert aggregate engineering-hours to calendar weeks for a team.
+ *
+ * @param effort total engineering-hours of work
+ * @param engineers number of engineers working in parallel
+ */
+inline Weeks
+calendarTime(EngineeringHours effort, double engineers)
+{
+    TTMCAS_REQUIRE(engineers > 0.0, "team size must be positive");
+    return Weeks(effort.value() / (engineers * hours_per_work_week));
+}
+
+inline constexpr Dollars million(double m) { return Dollars(m * 1e6); }
+inline constexpr Dollars billion(double b) { return Dollars(b * 1e9); }
+
+} // namespace units
+} // namespace ttmcas
+
+#endif // TTMCAS_SUPPORT_UNITS_HH

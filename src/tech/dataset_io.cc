@@ -1,0 +1,204 @@
+#include "tech/dataset_io.hh"
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+const std::vector<std::string>&
+columnNames()
+{
+    static const std::vector<std::string> names{
+        "name",
+        "feature_nm",
+        "density_mtr_per_mm2",
+        "defect_density_per_mm2",
+        "wafer_rate_kwpm",
+        "foundry_latency_weeks",
+        "osat_latency_weeks",
+        "tapeout_effort_hours_per_transistor",
+        "testing_effort_weeks_per_e15",
+        "packaging_effort_weeks_per_e9_mm2",
+        "wafer_cost_usd",
+        "mask_set_cost_usd",
+        "tapeout_fixed_cost_usd",
+    };
+    return names;
+}
+
+std::vector<std::string>
+splitCsvLine(const std::string& line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream stream(line);
+    while (std::getline(stream, cell, ','))
+        cells.push_back(cell);
+    if (!line.empty() && line.back() == ',')
+        cells.push_back("");
+    return cells;
+}
+
+std::string
+trim(const std::string& text)
+{
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+double
+parseNumber(const std::string& cell, std::size_t line_number,
+            const std::string& column)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(cell, &consumed);
+        TTMCAS_REQUIRE(consumed == cell.size(),
+                       "line " + std::to_string(line_number) +
+                           ": trailing characters in numeric column '" +
+                           column + "': '" + cell + "'");
+        return value;
+    } catch (const std::invalid_argument&) {
+        throw ModelError("line " + std::to_string(line_number) +
+                         ": cannot parse '" + cell +
+                         "' in numeric column '" + column + "'");
+    } catch (const std::out_of_range&) {
+        throw ModelError("line " + std::to_string(line_number) +
+                         ": value out of range in column '" + column +
+                         "'");
+    }
+}
+
+} // namespace
+
+std::string
+technologyToCsv(const TechnologyDb& db)
+{
+    std::ostringstream os;
+    os << "# ttmcas technology snapshot\n";
+    for (std::size_t i = 0; i < columnNames().size(); ++i) {
+        if (i != 0)
+            os << ",";
+        os << columnNames()[i];
+    }
+    os << "\n";
+    os.precision(17);
+    for (const ProcessNode& node : db.nodes()) {
+        os << node.name << "," << node.feature_nm << ","
+           << node.density_mtr_per_mm2 << ","
+           << node.defect_density_per_mm2 << "," << node.wafer_rate_kwpm
+           << "," << node.foundry_latency.value() << ","
+           << node.osat_latency.value() << ","
+           << node.tapeout_effort_hours_per_transistor << ","
+           << node.testing_effort_weeks_per_e15 << ","
+           << node.packaging_effort_weeks_per_e9_mm2 << ","
+           << node.wafer_cost.value() << ","
+           << node.mask_set_cost.value() << ","
+           << node.tapeout_fixed_cost.value() << "\n";
+    }
+    return os.str();
+}
+
+TechnologyDb
+technologyFromCsv(const std::string& csv_text)
+{
+    std::istringstream stream(csv_text);
+    std::string line;
+    std::size_t line_number = 0;
+
+    // Find the header row.
+    std::map<std::string, std::size_t> column_index;
+    while (std::getline(stream, line)) {
+        ++line_number;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        const auto headers = splitCsvLine(trimmed);
+        for (std::size_t i = 0; i < headers.size(); ++i)
+            column_index[trim(headers[i])] = i;
+        break;
+    }
+    for (const std::string& required : columnNames()) {
+        TTMCAS_REQUIRE(column_index.count(required) == 1,
+                       "technology CSV is missing column '" + required +
+                           "'");
+    }
+
+    TechnologyDb db;
+    while (std::getline(stream, line)) {
+        ++line_number;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        const auto cells = splitCsvLine(trimmed);
+        TTMCAS_REQUIRE(cells.size() >= column_index.size(),
+                       "line " + std::to_string(line_number) +
+                           ": expected " +
+                           std::to_string(column_index.size()) +
+                           " cells, found " +
+                           std::to_string(cells.size()));
+        const auto cell = [&](const std::string& column) {
+            return trim(cells[column_index.at(column)]);
+        };
+        const auto number = [&](const std::string& column) {
+            return parseNumber(cell(column), line_number, column);
+        };
+
+        ProcessNode node;
+        node.name = cell("name");
+        node.feature_nm = number("feature_nm");
+        node.density_mtr_per_mm2 = number("density_mtr_per_mm2");
+        node.defect_density_per_mm2 = number("defect_density_per_mm2");
+        node.wafer_rate_kwpm = number("wafer_rate_kwpm");
+        node.foundry_latency = Weeks(number("foundry_latency_weeks"));
+        node.osat_latency = Weeks(number("osat_latency_weeks"));
+        node.tapeout_effort_hours_per_transistor =
+            number("tapeout_effort_hours_per_transistor");
+        node.testing_effort_weeks_per_e15 =
+            number("testing_effort_weeks_per_e15");
+        node.packaging_effort_weeks_per_e9_mm2 =
+            number("packaging_effort_weeks_per_e9_mm2");
+        node.wafer_cost = Dollars(number("wafer_cost_usd"));
+        node.mask_set_cost = Dollars(number("mask_set_cost_usd"));
+        node.tapeout_fixed_cost =
+            Dollars(number("tapeout_fixed_cost_usd"));
+        db.add(std::move(node)); // validates
+    }
+    TTMCAS_REQUIRE(!db.empty(), "technology CSV contains no nodes");
+    return db;
+}
+
+void
+saveTechnologyCsv(const TechnologyDb& db, const std::string& path)
+{
+    const std::filesystem::path fs_path(path);
+    if (fs_path.has_parent_path())
+        std::filesystem::create_directories(fs_path.parent_path());
+    std::ofstream out(fs_path);
+    TTMCAS_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+    out << technologyToCsv(db);
+    TTMCAS_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+TechnologyDb
+loadTechnologyCsv(const std::string& path)
+{
+    std::ifstream in(path);
+    TTMCAS_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return technologyFromCsv(buffer.str());
+}
+
+} // namespace ttmcas

@@ -1,0 +1,45 @@
+#ifndef TTMCAS_TECH_DATASET_IO_HH
+#define TTMCAS_TECH_DATASET_IO_HH
+
+/**
+ * @file
+ * CSV serialization of technology databases.
+ *
+ * The paper's framework is only useful if designers can "easily plug
+ * in their values" (Section 5). This module round-trips a TechnologyDb
+ * through a plain CSV file so market snapshots can be versioned,
+ * diffed, and edited outside C++.
+ *
+ * Format: a header row naming the columns, then one row per node.
+ * Columns (order-insensitive, matched by name):
+ *
+ *   name, feature_nm, density_mtr_per_mm2, defect_density_per_mm2,
+ *   wafer_rate_kwpm, foundry_latency_weeks, osat_latency_weeks,
+ *   tapeout_effort_hours_per_transistor, testing_effort_weeks_per_e15,
+ *   packaging_effort_weeks_per_e9_mm2, wafer_cost_usd,
+ *   mask_set_cost_usd, tapeout_fixed_cost_usd
+ *
+ * Lines starting with '#' are comments. Every loaded node is validated.
+ */
+
+#include <string>
+
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+
+/** Serialize @p db to CSV text (stable column order, full precision). */
+std::string technologyToCsv(const TechnologyDb& db);
+
+/** Parse CSV text into a database; throws ModelError on malformed input. */
+TechnologyDb technologyFromCsv(const std::string& csv_text);
+
+/** Write @p db to a CSV file (parent directories created). */
+void saveTechnologyCsv(const TechnologyDb& db, const std::string& path);
+
+/** Load a database from a CSV file. */
+TechnologyDb loadTechnologyCsv(const std::string& path);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_TECH_DATASET_IO_HH

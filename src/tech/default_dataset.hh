@@ -1,0 +1,32 @@
+#ifndef TTMCAS_TECH_DEFAULT_DATASET_HH
+#define TTMCAS_TECH_DEFAULT_DATASET_HH
+
+/**
+ * @file
+ * The paper's default market snapshot (Section 5 / Table 2).
+ *
+ * Wafer production rates are printed verbatim in the paper's Table 2.
+ * Everything else (densities, D0, latencies, effort and cost
+ * coefficients) is reconstructed from the paper's own reported model
+ * outputs (Fig. 7/9/10, Table 3) plus the public anchor points the
+ * paper cites; see DESIGN.md section "Substitutions" and the comments
+ * in default_dataset.cc for the per-parameter derivation.
+ */
+
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+
+/**
+ * Build the default technology database: twelve paper nodes (250nm ...
+ * 5nm, with 20nm and 10nm present but out of production) plus the 12nm
+ * node used by the Zen 2 chiplet case study.
+ */
+TechnologyDb defaultTechnologyDb();
+
+/** Paper Table 2 wafer production rate in kWafers/month for @p name. */
+double paperWaferRateKwpm(const std::string& name);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_TECH_DEFAULT_DATASET_HH

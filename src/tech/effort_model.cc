@@ -1,0 +1,87 @@
+#include "tech/effort_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/regression.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::string
+effortFormName(EffortForm form)
+{
+    switch (form) {
+      case EffortForm::Linear:
+        return "Linear";
+      case EffortForm::Exponential:
+        return "Exponential";
+      case EffortForm::PowerLaw:
+        return "PowerLaw";
+    }
+    TTMCAS_INVARIANT(false, "unhandled EffortForm");
+}
+
+EffortCurve
+EffortCurve::fit(EffortForm form, const std::vector<EffortAnchor>& anchors)
+{
+    TTMCAS_REQUIRE(anchors.size() >= 2,
+                   "effort fit needs at least two anchors");
+    std::vector<double> xs, ys;
+    xs.reserve(anchors.size());
+    ys.reserve(anchors.size());
+    for (const auto& anchor : anchors) {
+        TTMCAS_REQUIRE(anchor.feature_nm > 0.0,
+                       "effort anchor feature size must be positive");
+        xs.push_back(anchor.feature_nm);
+        ys.push_back(anchor.value);
+    }
+
+    switch (form) {
+      case EffortForm::Linear: {
+        const LinearFit fit = fitLinear(xs, ys);
+        return EffortCurve(form, fit.intercept, fit.slope, fit.r_squared);
+      }
+      case EffortForm::Exponential: {
+        const ExponentialFit fit = fitExponential(xs, ys);
+        return EffortCurve(form, fit.scale, fit.rate, fit.r_squared);
+      }
+      case EffortForm::PowerLaw: {
+        const PowerFit fit = fitPower(xs, ys);
+        return EffortCurve(form, fit.scale, fit.exponent, fit.r_squared);
+      }
+    }
+    TTMCAS_INVARIANT(false, "unhandled EffortForm");
+}
+
+double
+EffortCurve::at(double feature_nm) const
+{
+    TTMCAS_REQUIRE(feature_nm > 0.0, "feature size must be positive");
+    double value = 0.0;
+    switch (_form) {
+      case EffortForm::Linear:
+        value = _a + _b * feature_nm;
+        break;
+      case EffortForm::Exponential:
+        value = _a * std::exp(_b * feature_nm);
+        break;
+      case EffortForm::PowerLaw:
+        value = _a * std::pow(feature_nm, _b);
+        break;
+    }
+    return std::max(value, 0.0);
+}
+
+std::string
+EffortCurve::describe() const
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << effortFormName(_form) << "(a=" << _a << ", b=" << _b
+       << ", R2=" << _r_squared << ")";
+    return os.str();
+}
+
+} // namespace ttmcas

@@ -1,0 +1,81 @@
+#ifndef TTMCAS_TECH_EFFORT_MODEL_HH
+#define TTMCAS_TECH_EFFORT_MODEL_HH
+
+/**
+ * @file
+ * Curve-fit engineering-effort models across process nodes.
+ *
+ * Paper Section 5: tapeout and packaging efforts are fit with an
+ * exponential regression over process nodes and testing effort with a
+ * linear regression, from industry cost anchor points. We do not have
+ * the IBS reports the paper used, so the default dataset stores
+ * reconstructed per-node values; EffortCurve is the utility users apply
+ * to build datasets of their own from sparse anchors, exactly as the
+ * paper did. A power-law form is included because effort-versus-feature-
+ * size data usually shows curvature that a pure exponential in
+ * nanometers cannot capture.
+ */
+
+#include <string>
+#include <vector>
+
+namespace ttmcas {
+
+/** One (feature size, effort value) calibration point. */
+struct EffortAnchor
+{
+    double feature_nm = 0.0;
+    double value = 0.0;
+};
+
+/** Functional form of an effort regression. */
+enum class EffortForm
+{
+    Linear,      ///< value = a + b * nm          (paper: E_testing)
+    Exponential, ///< value = a * exp(b * nm)     (paper: E_tapeout/E_package)
+    PowerLaw     ///< value = a * nm^b            (curvature-friendly variant)
+};
+
+/** Human-readable name of an effort form. */
+std::string effortFormName(EffortForm form);
+
+/** A fitted effort curve, evaluable at any feature size. */
+class EffortCurve
+{
+  public:
+    /**
+     * Least-squares fit of @p form through @p anchors.
+     *
+     * Requires >= 2 anchors with distinct feature sizes; Exponential and
+     * PowerLaw additionally require positive effort values.
+     */
+    static EffortCurve fit(EffortForm form,
+                           const std::vector<EffortAnchor>& anchors);
+
+    /** Effort value at @p feature_nm (clamped to be non-negative). */
+    double at(double feature_nm) const;
+
+    EffortForm form() const { return _form; }
+    double paramA() const { return _a; }
+    double paramB() const { return _b; }
+
+    /** Goodness of fit in the fitting space (R^2). */
+    double rSquared() const { return _r_squared; }
+
+    /** Description such as "PowerLaw(a=3.1e-3, b=-1.14, R2=0.98)". */
+    std::string describe() const;
+
+  private:
+    EffortCurve(EffortForm form, double a, double b, double r_squared)
+        : _form(form), _a(a), _b(b), _r_squared(r_squared)
+    {}
+
+    EffortForm _form;
+    double _a;
+    double _b;
+    double _r_squared;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_TECH_EFFORT_MODEL_HH

@@ -1,0 +1,55 @@
+#include "tech/process_node.hh"
+
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+WafersPerWeek
+ProcessNode::waferRate() const
+{
+    return units::kiloWafersPerMonth(wafer_rate_kwpm);
+}
+
+void
+ProcessNode::validate() const
+{
+    TTMCAS_REQUIRE(!name.empty(), "process node needs a name");
+    TTMCAS_REQUIRE(feature_nm > 0.0,
+                   "node '" + name + "': feature size must be positive");
+    TTMCAS_REQUIRE(density_mtr_per_mm2 > 0.0,
+                   "node '" + name + "': transistor density must be positive");
+    TTMCAS_REQUIRE(defect_density_per_mm2 >= 0.0,
+                   "node '" + name + "': defect density must be >= 0");
+    TTMCAS_REQUIRE(wafer_rate_kwpm >= 0.0,
+                   "node '" + name + "': wafer rate must be >= 0");
+    TTMCAS_REQUIRE(foundry_latency.value() >= 0.0,
+                   "node '" + name + "': foundry latency must be >= 0");
+    TTMCAS_REQUIRE(osat_latency.value() >= 0.0,
+                   "node '" + name + "': OSAT latency must be >= 0");
+    TTMCAS_REQUIRE(tapeout_effort_hours_per_transistor > 0.0,
+                   "node '" + name + "': tapeout effort must be positive");
+    TTMCAS_REQUIRE(testing_effort_weeks_per_e15 >= 0.0,
+                   "node '" + name + "': testing effort must be >= 0");
+    TTMCAS_REQUIRE(packaging_effort_weeks_per_e9_mm2 >= 0.0,
+                   "node '" + name + "': packaging effort must be >= 0");
+    TTMCAS_REQUIRE(wafer_cost.value() >= 0.0,
+                   "node '" + name + "': wafer cost must be >= 0");
+    TTMCAS_REQUIRE(mask_set_cost.value() >= 0.0,
+                   "node '" + name + "': mask cost must be >= 0");
+    TTMCAS_REQUIRE(tapeout_fixed_cost.value() >= 0.0,
+                   "node '" + name + "': fixed tapeout cost must be >= 0");
+    TTMCAS_REQUIRE(std::isfinite(density_mtr_per_mm2) &&
+                       std::isfinite(defect_density_per_mm2) &&
+                       std::isfinite(wafer_rate_kwpm),
+                   "node '" + name + "': parameters must be finite");
+}
+
+bool
+finerThan(const ProcessNode& a, const ProcessNode& b)
+{
+    return a.feature_nm < b.feature_nm;
+}
+
+} // namespace ttmcas

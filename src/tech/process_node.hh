@@ -1,0 +1,104 @@
+#ifndef TTMCAS_TECH_PROCESS_NODE_HH
+#define TTMCAS_TECH_PROCESS_NODE_HH
+
+/**
+ * @file
+ * Per-process-node technology and market parameters.
+ *
+ * A ProcessNode bundles everything the chip-creation model (paper
+ * Section 3) needs to know about one fabrication process: transistor
+ * density, defect density D0, wafer production rate muW, foundry and
+ * OSAT latencies, the three engineering-effort coefficients
+ * (E_tapeout, E_testing, E_package), and the economic parameters used
+ * by the cost model (wafer cost, mask-set cost, fixed tapeout NRE).
+ */
+
+#include <string>
+
+#include "support/units.hh"
+
+namespace ttmcas {
+
+/** All model parameters for a single process node. */
+struct ProcessNode
+{
+    /** Display name, e.g. "28nm". */
+    std::string name;
+
+    /** Nominal feature size in nanometers (used as the fit abscissa). */
+    double feature_nm = 0.0;
+
+    /**
+     * Achievable logic transistor density in millions of transistors
+     * per mm^2. Converts a design's transistor count into die area
+     * when the design does not pin the area explicitly.
+     */
+    double density_mtr_per_mm2 = 0.0;
+
+    /**
+     * Defect density D0 in defects per mm^2 for the negative-binomial
+     * yield model (paper Eq. 6). Low and flat for mature legacy nodes,
+     * rising from 20nm onward (paper Section 5).
+     */
+    double defect_density_per_mm2 = 0.0;
+
+    /**
+     * Foundry wafer production rate muW quoted in kilo-wafers/month
+     * (paper Table 2). Zero means the node is not currently in
+     * production (20nm and 10nm in the paper's snapshot).
+     */
+    double wafer_rate_kwpm = 0.0;
+
+    /** Foundry pipeline latency L_fab (paper Section 5: 12-20 weeks). */
+    Weeks foundry_latency{0.0};
+
+    /** Testing/assembly/packaging latency L_TAP (paper: 6 weeks). */
+    Weeks osat_latency{0.0};
+
+    /**
+     * Tapeout effort E_tapeout(p) in engineering-hours per unique
+     * transistor (paper Eq. 2 coefficient).
+     */
+    double tapeout_effort_hours_per_transistor = 0.0;
+
+    /**
+     * Testing effort E_testing(p) in weeks per 10^15 (transistors x
+     * chips) tested (paper Eq. 7, second term). The scale factor keeps
+     * the stored magnitude readable; see TtmModel for the exact use.
+     */
+    double testing_effort_weeks_per_e15 = 0.0;
+
+    /**
+     * Packaging effort E_package(p) in weeks per 10^9 (chips x dies x
+     * mm^2) assembled (paper Eq. 7, third term).
+     */
+    double packaging_effort_weeks_per_e9_mm2 = 0.0;
+
+    /** Processed 300mm wafer price (cost model). */
+    Dollars wafer_cost{0.0};
+
+    /** Full photomask-set cost for this node (cost model). */
+    Dollars mask_set_cost{0.0};
+
+    /**
+     * Fixed tapeout NRE independent of design size: EDA licenses,
+     * signoff infrastructure, shuttle/fab interface overhead.
+     */
+    Dollars tapeout_fixed_cost{0.0};
+
+    /** True when the foundry currently produces wafers at this node. */
+    bool available() const { return wafer_rate_kwpm > 0.0; }
+
+    /** Production rate muW converted to wafers per calendar week. */
+    WafersPerWeek waferRate() const;
+
+    /** Throw ModelError unless every field is physically sensible. */
+    void validate() const;
+};
+
+/** Ordering helper: finer (smaller feature) nodes sort first. */
+bool finerThan(const ProcessNode& a, const ProcessNode& b);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_TECH_PROCESS_NODE_HH

@@ -1,0 +1,91 @@
+#include "tech/technology_db.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+void
+TechnologyDb::add(ProcessNode node)
+{
+    node.validate();
+    auto it = std::find_if(_nodes.begin(), _nodes.end(),
+                           [&](const ProcessNode& existing) {
+                               return existing.name == node.name;
+                           });
+    if (it != _nodes.end()) {
+        *it = std::move(node);
+        return;
+    }
+    // Keep display order: coarsest feature first, ties by name.
+    auto pos = std::find_if(_nodes.begin(), _nodes.end(),
+                            [&](const ProcessNode& existing) {
+                                return finerThan(existing, node);
+                            });
+    _nodes.insert(pos, std::move(node));
+}
+
+bool
+TechnologyDb::has(const std::string& name) const
+{
+    return tryNode(name) != nullptr;
+}
+
+const ProcessNode&
+TechnologyDb::node(const std::string& name) const
+{
+    const ProcessNode* found = tryNode(name);
+    TTMCAS_REQUIRE(found != nullptr,
+                   "unknown process node '" + name + "'");
+    return *found;
+}
+
+const ProcessNode*
+TechnologyDb::tryNode(const std::string& name) const
+{
+    auto it = std::find_if(_nodes.begin(), _nodes.end(),
+                           [&](const ProcessNode& candidate) {
+                               return candidate.name == name;
+                           });
+    return it == _nodes.end() ? nullptr : &*it;
+}
+
+std::vector<std::string>
+TechnologyDb::names() const
+{
+    std::vector<std::string> result;
+    result.reserve(_nodes.size());
+    for (const auto& node : _nodes)
+        result.push_back(node.name);
+    return result;
+}
+
+std::vector<std::string>
+TechnologyDb::availableNames() const
+{
+    std::vector<std::string> result;
+    for (const auto& node : _nodes) {
+        if (node.available())
+            result.push_back(node.name);
+    }
+    return result;
+}
+
+TechnologyDb
+TechnologyDb::withScaledWaferRate(const std::string& name,
+                                  double factor) const
+{
+    TTMCAS_REQUIRE(factor >= 0.0, "wafer rate scale must be >= 0");
+    TechnologyDb copy = *this;
+    auto it = std::find_if(copy._nodes.begin(), copy._nodes.end(),
+                           [&](const ProcessNode& candidate) {
+                               return candidate.name == name;
+                           });
+    TTMCAS_REQUIRE(it != copy._nodes.end(),
+                   "unknown process node '" + name + "'");
+    it->wafer_rate_kwpm *= factor;
+    return copy;
+}
+
+} // namespace ttmcas

@@ -1,0 +1,69 @@
+#ifndef TTMCAS_TECH_TECHNOLOGY_DB_HH
+#define TTMCAS_TECH_TECHNOLOGY_DB_HH
+
+/**
+ * @file
+ * Registry of process nodes available to a modeling study.
+ *
+ * The database is an ordered collection (coarsest feature size first, the
+ * order the paper's figures use: 250nm ... 5nm). Every model component
+ * looks nodes up by name through the database, so a user can swap in
+ * their own market snapshot without touching model code — the paper's
+ * stated goal of letting users "easily plug in their values".
+ */
+
+#include <string>
+#include <vector>
+
+#include "tech/process_node.hh"
+
+namespace ttmcas {
+
+/** Ordered, name-indexed collection of process nodes. */
+class TechnologyDb
+{
+  public:
+    TechnologyDb() = default;
+
+    /**
+     * Add (or replace) a node. The node is validated; replacing keeps
+     * the original ordering position.
+     */
+    void add(ProcessNode node);
+
+    /** True when a node with this name exists. */
+    bool has(const std::string& name) const;
+
+    /** Look up a node by name; throws ModelError when missing. */
+    const ProcessNode& node(const std::string& name) const;
+
+    /** Pointer lookup that returns nullptr when missing. */
+    const ProcessNode* tryNode(const std::string& name) const;
+
+    /** All nodes, coarsest feature size first. */
+    const std::vector<ProcessNode>& nodes() const { return _nodes; }
+
+    /** Names of all nodes in display order. */
+    std::vector<std::string> names() const;
+
+    /** Names of nodes currently in production (wafer rate > 0). */
+    std::vector<std::string> availableNames() const;
+
+    std::size_t size() const { return _nodes.size(); }
+    bool empty() const { return _nodes.empty(); }
+
+    /**
+     * Copy of this database with one node's wafer production rate
+     * scaled by @p factor — the basic "supply chain disruption" edit
+     * used when sweeping % of max production capacity.
+     */
+    TechnologyDb withScaledWaferRate(const std::string& name,
+                                     double factor) const;
+
+  private:
+    std::vector<ProcessNode> _nodes;
+};
+
+} // namespace ttmcas
+
+#endif // TTMCAS_TECH_TECHNOLOGY_DB_HH

@@ -1,0 +1,129 @@
+#include "accel/accel_study.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class AccelStudyTest : public ::testing::Test
+{
+  protected:
+    AccelStudyTest()
+        : results(runAccelStudy(defaultTechnologyDb(),
+                                AccelStudyOptions{}))
+    {}
+
+    std::vector<AcceleratorResult> results;
+};
+
+TEST_F(AccelStudyTest, FourRowsInPaperOrder)
+{
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].name, "Sorting Stream");
+    EXPECT_EQ(results[1].name, "Sorting Iterative");
+    EXPECT_EQ(results[2].name, "DFT Stream");
+    EXPECT_EQ(results[3].name, "DFT Iterative");
+}
+
+TEST_F(AccelStudyTest, SpeedupsNearPaperValues)
+{
+    // Measured speed-ups should land within ~35% of Table 3 (our cycle
+    // models are reconstructions, not the authors' RTL).
+    for (const auto& row : results) {
+        EXPECT_GT(row.speedup, row.paper_speedup * 0.65) << row.name;
+        EXPECT_LT(row.speedup, row.paper_speedup * 1.35) << row.name;
+    }
+}
+
+TEST_F(AccelStudyTest, StreamingBeatsIterativePerTask)
+{
+    EXPECT_GT(results[0].speedup, results[1].speedup); // sorting
+    EXPECT_GT(results[2].speedup, results[3].speedup); // DFT
+    // And everything beats software.
+    for (const auto& row : results)
+        EXPECT_GT(row.speedup, 1.0) << row.name;
+}
+
+TEST_F(AccelStudyTest, TransistorCountsMatchTable3Inputs)
+{
+    EXPECT_DOUBLE_EQ(results[0].transistors, 45.62e6);
+    EXPECT_DOUBLE_EQ(results[1].transistors, 18.90e6);
+    EXPECT_DOUBLE_EQ(results[2].transistors, 37.31e6);
+    EXPECT_DOUBLE_EQ(results[3].transistors, 18.18e6);
+}
+
+TEST_F(AccelStudyTest, RelativeAreasMatchTable3)
+{
+    EXPECT_NEAR(results[0].area_relative_to_core, 18.18, 0.3);
+    EXPECT_NEAR(results[1].area_relative_to_core, 7.53, 0.2);
+    EXPECT_NEAR(results[2].area_relative_to_core, 14.87, 0.3);
+    EXPECT_NEAR(results[3].area_relative_to_core, 7.24, 0.2);
+}
+
+TEST_F(AccelStudyTest, TapeoutCostsNearPaperValues)
+{
+    // Table 3: $6.8M / $4.6M / $6.1M / $4.6M at 5nm.
+    const double paper_costs[] = {6.8e6, 4.6e6, 6.1e6, 4.6e6};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_NEAR(results[i].tapeout_cost.value(), paper_costs[i],
+                    paper_costs[i] * 0.2)
+            << results[i].name;
+    }
+}
+
+TEST_F(AccelStudyTest, TapeoutTimeTracksTransistorCount)
+{
+    // Bigger blocks take longer to tape out; all under ~a month at a
+    // 100-engineer pace (paper: 1.5-3.5 weeks).
+    EXPECT_GT(results[0].tapeout_time.value(),
+              results[1].tapeout_time.value());
+    EXPECT_GT(results[2].tapeout_time.value(),
+              results[3].tapeout_time.value());
+    for (const auto& row : results) {
+        EXPECT_GT(row.tapeout_time.value(), 0.5) << row.name;
+        EXPECT_LT(row.tapeout_time.value(), 5.0) << row.name;
+    }
+}
+
+TEST_F(AccelStudyTest, AnalyticEstimatesAreSameOrderAsSynthesis)
+{
+    for (const auto& row : results) {
+        EXPECT_GT(row.analytic_transistors, row.transistors / 10.0)
+            << row.name;
+        EXPECT_LT(row.analytic_transistors, row.transistors * 10.0)
+            << row.name;
+    }
+}
+
+TEST(AccelStudyOptionsTest, CheaperNodeLowersTapeoutCost)
+{
+    AccelStudyOptions at_28nm;
+    at_28nm.process = "28nm";
+    const auto legacy =
+        runAccelStudy(defaultTechnologyDb(), at_28nm);
+    const auto advanced =
+        runAccelStudy(defaultTechnologyDb(), AccelStudyOptions{});
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_LT(legacy[i].tapeout_cost.value(),
+                  advanced[i].tapeout_cost.value());
+        EXPECT_LT(legacy[i].tapeout_time.value(),
+                  advanced[i].tapeout_time.value());
+    }
+}
+
+TEST(AccelStudyOptionsTest, RejectsBadConfiguration)
+{
+    AccelStudyOptions bad;
+    bad.block_size = 1;
+    EXPECT_THROW(runAccelStudy(defaultTechnologyDb(), bad), ModelError);
+    AccelStudyOptions unknown;
+    unknown.process = "3nm";
+    EXPECT_THROW(runAccelStudy(defaultTechnologyDb(), unknown),
+                 ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

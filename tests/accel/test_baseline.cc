@@ -1,0 +1,117 @@
+#include "accel/baseline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "accel/fft.hh"
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+std::vector<std::int32_t>
+randomBlock(std::size_t size, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int32_t> block;
+    for (std::size_t i = 0; i < size; ++i)
+        block.push_back(static_cast<std::int32_t>(rng.next()));
+    return block;
+}
+
+TEST(ArianeSortTest, ProducesSortedOutput)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto block = randomBlock(2048, seed);
+        const SoftwareSortRun run = arianeSort(block);
+        EXPECT_TRUE(std::is_sorted(run.sorted.begin(), run.sorted.end()));
+        std::vector<std::int32_t> expected = block;
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(run.sorted, expected);
+    }
+}
+
+TEST(ArianeSortTest, HandlesEdgeCases)
+{
+    EXPECT_TRUE(arianeSort({}).sorted.empty());
+    EXPECT_EQ(arianeSort({5}).sorted, std::vector<std::int32_t>{5});
+    const std::vector<std::int32_t> dups(100, 7);
+    EXPECT_EQ(arianeSort(dups).sorted, dups);
+    std::vector<std::int32_t> reversed;
+    for (int i = 100; i > 0; --i)
+        reversed.push_back(i);
+    const SoftwareSortRun run = arianeSort(reversed);
+    EXPECT_TRUE(std::is_sorted(run.sorted.begin(), run.sorted.end()));
+}
+
+TEST(ArianeSortTest, ComparisonCountIsNearNLogN)
+{
+    const SoftwareSortRun run = arianeSort(randomBlock(2048, 42));
+    const double n_log_n = 2048.0 * std::log2(2048.0);
+    EXPECT_GT(run.comparisons, n_log_n * 0.8);
+    EXPECT_LT(run.comparisons, n_log_n * 2.5);
+}
+
+TEST(ArianeSortTest, CyclesScaleWithCostModel)
+{
+    const auto block = randomBlock(1024, 5);
+    ArianeCostModel cheap;
+    cheap.cycles_per_sort_compare = 1.0;
+    ArianeCostModel expensive;
+    expensive.cycles_per_sort_compare = 11.0;
+    const SoftwareSortRun cheap_run = arianeSort(block, cheap);
+    const SoftwareSortRun expensive_run = arianeSort(block, expensive);
+    EXPECT_NEAR(expensive_run.cycles, 11.0 * cheap_run.cycles, 1e-6);
+    EXPECT_EQ(cheap_run.comparisons, expensive_run.comparisons);
+}
+
+TEST(ArianeFftTest, SpectrumMatchesLibraryFft)
+{
+    Rng rng(9);
+    std::vector<std::complex<double>> signal;
+    for (int i = 0; i < 256; ++i)
+        signal.emplace_back(rng.uniform(-1.0, 1.0),
+                            rng.uniform(-1.0, 1.0));
+    std::vector<std::complex<double>> expected = signal;
+    fft(expected);
+    const SoftwareFftRun run = arianeFft(signal);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_LT(std::abs(run.spectrum[i] - expected[i]), 1e-12);
+}
+
+TEST(ArianeFftTest, ButterflyCountAndCycles)
+{
+    Rng rng(10);
+    std::vector<std::complex<double>> signal(2048);
+    for (auto& sample : signal)
+        sample = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const SoftwareFftRun run = arianeFft(signal);
+    EXPECT_EQ(run.butterflies, 2048u / 2 * 11);
+    EXPECT_NEAR(run.cycles, run.butterflies * 20.0, 1e-6);
+}
+
+TEST(ArianeFftTest, RejectsNonPowerOfTwoBlocks)
+{
+    std::vector<std::complex<double>> bad(100);
+    EXPECT_THROW(arianeFft(bad), ModelError);
+    std::vector<std::complex<double>> one(1);
+    EXPECT_THROW(arianeFft(one), ModelError);
+}
+
+TEST(ArianeBaselineTest, SortedInputCostsFewerCyclesThanRandom)
+{
+    std::vector<std::int32_t> sorted;
+    for (int i = 0; i < 2048; ++i)
+        sorted.push_back(i);
+    const double sorted_cycles = arianeSort(sorted).cycles;
+    const double random_cycles =
+        arianeSort(randomBlock(2048, 77)).cycles;
+    // Median-of-three quicksort degrades gracefully on sorted input.
+    EXPECT_LT(sorted_cycles, random_cycles * 1.2);
+}
+
+} // namespace
+} // namespace ttmcas

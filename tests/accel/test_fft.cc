@@ -1,0 +1,163 @@
+#include "accel/fft.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex>
+randomSignal(std::size_t size, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> signal;
+    signal.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+        signal.emplace_back(rng.uniform(-1.0, 1.0),
+                            rng.uniform(-1.0, 1.0));
+    return signal;
+}
+
+double
+maxError(const std::vector<Complex>& a, const std::vector<Complex>& b)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+TEST(FftTest, MatchesNaiveDftOnRandomSignals)
+{
+    for (std::size_t size : {2u, 8u, 64u, 256u}) {
+        std::vector<Complex> signal = randomSignal(size, size);
+        const std::vector<Complex> expected = naiveDft(signal);
+        fft(signal);
+        EXPECT_LT(maxError(signal, expected), 1e-9) << "n=" << size;
+    }
+}
+
+TEST(FftTest, ImpulseGivesFlatSpectrum)
+{
+    std::vector<Complex> signal(16, Complex(0.0, 0.0));
+    signal[0] = Complex(1.0, 0.0);
+    fft(signal);
+    for (const Complex& bin : signal)
+        EXPECT_NEAR(std::abs(bin - Complex(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(FftTest, PureToneConcentratesInOneBin)
+{
+    constexpr std::size_t n = 64;
+    constexpr std::size_t tone = 5;
+    std::vector<Complex> signal;
+    for (std::size_t t = 0; t < n; ++t) {
+        const double angle = 2.0 * M_PI * tone * t / n;
+        signal.emplace_back(std::cos(angle), std::sin(angle));
+    }
+    fft(signal);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k == tone)
+            EXPECT_NEAR(std::abs(signal[k]), static_cast<double>(n),
+                        1e-9);
+        else
+            EXPECT_NEAR(std::abs(signal[k]), 0.0, 1e-9);
+    }
+}
+
+TEST(FftTest, InverseRoundTrips)
+{
+    std::vector<Complex> signal = randomSignal(128, 7);
+    const std::vector<Complex> original = signal;
+    fft(signal);
+    inverseFft(signal);
+    EXPECT_LT(maxError(signal, original), 1e-12);
+}
+
+TEST(FftTest, LinearityHolds)
+{
+    const auto a = randomSignal(32, 11);
+    const auto b = randomSignal(32, 13);
+    std::vector<Complex> sum(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        sum[i] = 2.0 * a[i] + 3.0 * b[i];
+    std::vector<Complex> fa = a, fb = b;
+    fft(fa);
+    fft(fb);
+    fft(sum);
+    std::vector<Complex> expected(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        expected[i] = 2.0 * fa[i] + 3.0 * fb[i];
+    EXPECT_LT(maxError(sum, expected), 1e-10);
+}
+
+TEST(FftTest, ParsevalEnergyConserved)
+{
+    std::vector<Complex> signal = randomSignal(256, 17);
+    double time_energy = 0.0;
+    for (const Complex& x : signal)
+        time_energy += std::norm(x);
+    fft(signal);
+    double freq_energy = 0.0;
+    for (const Complex& x : signal)
+        freq_energy += std::norm(x);
+    EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-9);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo)
+{
+    std::vector<Complex> bad(12);
+    EXPECT_THROW(fft(bad), ModelError);
+    std::vector<Complex> empty;
+    EXPECT_THROW(fft(empty), ModelError);
+    std::vector<Complex> one{Complex(3.0, 0.0)};
+    EXPECT_NO_THROW(fft(one));
+    EXPECT_NEAR(std::abs(one[0] - Complex(3.0, 0.0)), 0.0, 1e-15);
+}
+
+TEST(FftButterflyCountTest, MatchesHalfNLogN)
+{
+    EXPECT_EQ(fftButterflyCount(2), 1u);
+    EXPECT_EQ(fftButterflyCount(8), 12u);
+    EXPECT_EQ(fftButterflyCount(2048), 2048u / 2 * 11);
+    EXPECT_THROW(fftButterflyCount(3), ModelError);
+}
+
+TEST(StreamingFftTest, LatencyIsColumnsTimesBlockOverWidth)
+{
+    StreamingFftModel model;
+    model.width_lanes = 4;
+    EXPECT_DOUBLE_EQ(model.cyclesPerBlock(2048), 11.0 * 2048.0 / 4.0);
+}
+
+TEST(StreamingFftTest, IoFloorsAtHugeWidths)
+{
+    StreamingFftModel model;
+    model.width_lanes = 4096;
+    EXPECT_DOUBLE_EQ(model.cyclesPerBlock(2048), model.ioCycles(2048));
+    // Complex 64-bit samples over a 64-bit bus: 2 * 2048 cycles.
+    EXPECT_DOUBLE_EQ(model.ioCycles(2048), 4096.0);
+}
+
+TEST(IterativeFftTest, PassesTimesBlockOverWidth)
+{
+    IterativeFftModel model;
+    EXPECT_DOUBLE_EQ(model.cyclesPerBlock(2048), 11.0 * 2048.0 / 2.0);
+    EXPECT_GT(model.cyclesPerBlock(2048),
+              StreamingFftModel{}.cyclesPerBlock(2048));
+}
+
+TEST(FftTransistorTest, StreamingCostsMoreThanIterative)
+{
+    EXPECT_GT(StreamingFftModel{}.transistorEstimate(2048),
+              3.0 * IterativeFftModel{}.transistorEstimate(2048));
+}
+
+} // namespace
+} // namespace ttmcas

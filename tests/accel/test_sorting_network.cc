@@ -1,0 +1,197 @@
+#include "accel/sorting_network.hh"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(BitonicNetworkTest, StageCountIsKTimesKPlus1Over2)
+{
+    EXPECT_EQ(BitonicNetwork(2).stageCount(), 1u);
+    EXPECT_EQ(BitonicNetwork(4).stageCount(), 3u);
+    EXPECT_EQ(BitonicNetwork(8).stageCount(), 6u);
+    EXPECT_EQ(BitonicNetwork(2048).stageCount(), 66u); // 11*12/2
+}
+
+TEST(BitonicNetworkTest, ComparatorsPerStageIsHalf)
+{
+    EXPECT_EQ(BitonicNetwork(8).comparatorsPerStage(), 4u);
+    EXPECT_EQ(BitonicNetwork(2048).comparatorsPerStage(), 1024u);
+    const BitonicNetwork network(16);
+    for (const auto& stage : network.stages())
+        EXPECT_EQ(stage.size(), 8u);
+}
+
+TEST(BitonicNetworkTest, SortsAllPermutationsOfEight)
+{
+    // Exhaustive functional check on n = 8.
+    const BitonicNetwork network(8);
+    std::vector<std::int32_t> values{0, 1, 2, 3, 4, 5, 6, 7};
+    do {
+        std::vector<std::int32_t> sorted = values;
+        network.apply(sorted);
+        EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+    } while (std::next_permutation(values.begin(), values.end()));
+}
+
+TEST(BitonicNetworkTest, ZeroOnePrincipleSpotCheck)
+{
+    // All 2^10 0/1 inputs for n = 10? n must be a power of two: use 16
+    // with random subsets of bit patterns.
+    const BitonicNetwork network(16);
+    for (std::uint32_t pattern = 0; pattern < (1u << 16);
+         pattern += 257) {
+        std::vector<std::int32_t> values;
+        for (int bit = 0; bit < 16; ++bit)
+            values.push_back((pattern >> bit) & 1);
+        network.apply(values);
+        EXPECT_TRUE(std::is_sorted(values.begin(), values.end()))
+            << "pattern " << pattern;
+    }
+}
+
+TEST(BitonicNetworkTest, SortsLargeRandomBlocks)
+{
+    const BitonicNetwork network(2048);
+    Rng rng(1);
+    std::vector<std::int32_t> values;
+    for (int i = 0; i < 2048; ++i)
+        values.push_back(static_cast<std::int32_t>(rng.next()));
+    std::vector<std::int32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    network.apply(values);
+    EXPECT_EQ(values, expected);
+}
+
+TEST(BitonicNetworkTest, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(BitonicNetwork(0), ModelError);
+    EXPECT_THROW(BitonicNetwork(1), ModelError);
+    EXPECT_THROW(BitonicNetwork(12), ModelError);
+    const BitonicNetwork network(8);
+    std::vector<std::int32_t> wrong_size{1, 2, 3};
+    EXPECT_THROW(network.apply(wrong_size), ModelError);
+}
+
+TEST(OddEvenMergeNetworkTest, SortsAllPermutationsOfEight)
+{
+    const OddEvenMergeNetwork network(8);
+    std::vector<std::int32_t> values{0, 1, 2, 3, 4, 5, 6, 7};
+    do {
+        std::vector<std::int32_t> sorted = values;
+        network.apply(sorted);
+        EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+    } while (std::next_permutation(values.begin(), values.end()));
+}
+
+TEST(OddEvenMergeNetworkTest, SortsLargeRandomBlocks)
+{
+    const OddEvenMergeNetwork network(2048);
+    Rng rng(3);
+    std::vector<std::int32_t> values;
+    for (int i = 0; i < 2048; ++i)
+        values.push_back(static_cast<std::int32_t>(rng.next()));
+    std::vector<std::int32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    network.apply(values);
+    EXPECT_EQ(values, expected);
+}
+
+TEST(OddEvenMergeNetworkTest, FewerComparatorsThanBitonic)
+{
+    for (std::size_t size : {16u, 256u, 2048u}) {
+        const OddEvenMergeNetwork odd_even(size);
+        const BitonicNetwork bitonic(size);
+        const std::size_t bitonic_comparators =
+            bitonic.stageCount() * bitonic.comparatorsPerStage();
+        EXPECT_LT(odd_even.comparatorCount(), bitonic_comparators)
+            << size;
+        // Known closed forms at n = 16: odd-even 63, bitonic 80.
+        if (size == 16) {
+            EXPECT_EQ(odd_even.comparatorCount(), 63u);
+            EXPECT_EQ(bitonic_comparators, 80u);
+        }
+    }
+}
+
+TEST(OddEvenMergeNetworkTest, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(OddEvenMergeNetwork(0), ModelError);
+    EXPECT_THROW(OddEvenMergeNetwork(6), ModelError);
+    const OddEvenMergeNetwork network(4);
+    std::vector<std::int32_t> wrong{1, 2};
+    EXPECT_THROW(network.apply(wrong), ModelError);
+}
+
+TEST(SorterHardwareTest, IoCyclesCoverLoadAndStore)
+{
+    const SorterHardwareModel hw;
+    // 2048 x 32-bit in and out over a 64-bit bus = 2048 cycles.
+    EXPECT_DOUBLE_EQ(hw.ioCycles(2048), 2048.0);
+}
+
+TEST(StreamingSorterTest, LatencyIsStagesTimesBlockOverWidth)
+{
+    StreamingSorterModel model;
+    model.width_lanes = 8;
+    EXPECT_DOUBLE_EQ(model.cyclesPerBlock(2048), 66.0 * 2048.0 / 8.0);
+}
+
+TEST(StreamingSorterTest, IoFloorsTheLatencyAtHugeWidths)
+{
+    StreamingSorterModel model;
+    model.width_lanes = 1024;
+    EXPECT_DOUBLE_EQ(model.cyclesPerBlock(2048),
+                     model.ioCycles(2048));
+}
+
+TEST(IterativeSorterTest, SlowerThanStreamingAtSameBlock)
+{
+    const StreamingSorterModel stream;
+    const IterativeSorterModel iter;
+    EXPECT_GT(iter.cyclesPerBlock(2048), stream.cyclesPerBlock(2048));
+}
+
+TEST(IterativeSorterTest, TurnaroundAddsPerPassCost)
+{
+    IterativeSorterModel with_overhead;
+    IterativeSorterModel no_overhead;
+    no_overhead.turnaround_fraction = 0.0;
+    EXPECT_GT(with_overhead.cyclesPerBlock(2048),
+              no_overhead.cyclesPerBlock(2048));
+    EXPECT_DOUBLE_EQ(no_overhead.cyclesPerBlock(2048),
+                     66.0 * 2048.0 / 2.0);
+}
+
+TEST(SorterTransistorTest, StreamingCostsMoreSiliconThanIterative)
+{
+    const StreamingSorterModel stream;
+    const IterativeSorterModel iter;
+    EXPECT_GT(stream.transistorEstimate(2048),
+              5.0 * iter.transistorEstimate(2048));
+}
+
+TEST(SorterTransistorTest, StreamingEstimateNearPaperSynthesis)
+{
+    // Paper Table 3: the streaming sorter synthesized to 45.62M
+    // transistors; the structural estimate should land in its vicinity.
+    const StreamingSorterModel stream;
+    const double estimate = stream.transistorEstimate(2048);
+    EXPECT_GT(estimate, 30e6);
+    EXPECT_LT(estimate, 70e6);
+}
+
+TEST(SorterModelTest, RejectsZeroWidth)
+{
+    StreamingSorterModel model;
+    model.width_lanes = 0;
+    EXPECT_THROW(model.cyclesPerBlock(2048), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

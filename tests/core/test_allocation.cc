@@ -1,0 +1,151 @@
+#include "core/allocation.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class AllocationTest : public ::testing::Test
+{
+  protected:
+    AllocationTest()
+        : planner(TtmModel(defaultTechnologyDb(), [] {
+              TtmModel::Options options;
+              options.tapeout_engineers = kA11TapeoutEngineers;
+              return options;
+          }()))
+    {}
+
+    static FoundryCustomer
+    customer(const std::string& name, double ntt, double chips)
+    {
+        FoundryCustomer c;
+        c.name = name;
+        c.design =
+            makeMonolithicDesign(name, "28nm", ntt, ntt / 10.0,
+                                 Weeks(2.0));
+        c.n_chips = chips;
+        return c;
+    }
+
+    AllocationPlanner planner;
+};
+
+TEST_F(AllocationTest, FullShareMatchesPlainModel)
+{
+    const FoundryCustomer c = customer("solo", 2e9, 10e6);
+    const double expected = planner.model()
+                                .evaluate(c.design, c.n_chips)
+                                .total()
+                                .value();
+    EXPECT_NEAR(planner.ttmWithShare(c, "28nm", 1.0).value(), expected,
+                1e-9);
+}
+
+TEST_F(AllocationTest, SmallerShareMeansLaterDelivery)
+{
+    const FoundryCustomer c = customer("squeezed", 2e9, 50e6);
+    EXPECT_GT(planner.ttmWithShare(c, "28nm", 0.25).value(),
+              planner.ttmWithShare(c, "28nm", 0.5).value());
+    EXPECT_GT(planner.ttmWithShare(c, "28nm", 0.5).value(),
+              planner.ttmWithShare(c, "28nm", 1.0).value());
+}
+
+TEST_F(AllocationTest, ShareValidation)
+{
+    const FoundryCustomer c = customer("x", 1e9, 1e6);
+    EXPECT_THROW(planner.ttmWithShare(c, "28nm", 0.0), ModelError);
+    EXPECT_THROW(planner.ttmWithShare(c, "28nm", 1.5), ModelError);
+    EXPECT_THROW(planner.ttmWithShare(c, "7nm", 0.5), ModelError);
+}
+
+TEST_F(AllocationTest, ProportionalSharesSumToOne)
+{
+    const std::vector<FoundryCustomer> customers{
+        customer("phone", 4e9, 20e6),
+        customer("auto", 0.5e9, 100e6),
+        customer("iot", 0.1e9, 50e6),
+    };
+    const auto outcomes =
+        planner.proportionalAllocation(customers, "28nm");
+    ASSERT_EQ(outcomes.size(), 3u);
+    double total = 0.0;
+    for (const auto& outcome : outcomes)
+        total += outcome.share;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Bigger wafer demand gets the bigger share.
+    EXPECT_GT(outcomes[0].share, outcomes[2].share);
+}
+
+TEST_F(AllocationTest, MinMakespanEqualizesFinishTimes)
+{
+    const std::vector<FoundryCustomer> customers{
+        customer("heavy", 3e9, 40e6),
+        customer("light", 0.5e9, 10e6),
+    };
+    const auto outcomes =
+        planner.minMakespanAllocation(customers, "28nm");
+    ASSERT_EQ(outcomes.size(), 2u);
+    // Both customers finish at (almost) the same time, using all the
+    // capacity.
+    EXPECT_NEAR(outcomes[0].ttm.value(), outcomes[1].ttm.value(), 0.6);
+    double total = 0.0;
+    for (const auto& outcome : outcomes)
+        total += outcome.share;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST_F(AllocationTest, MinMakespanBeatsProportionalSplit)
+{
+    // Heterogeneous bases (different tapeout sizes) are exactly where
+    // proportional-by-volume is suboptimal.
+    const std::vector<FoundryCustomer> customers{
+        customer("big-tapeout", 4e9, 20e6),
+        customer("small-tapeout", 0.2e9, 60e6),
+    };
+    const auto balanced =
+        planner.minMakespanAllocation(customers, "28nm");
+    const auto proportional =
+        planner.proportionalAllocation(customers, "28nm");
+    EXPECT_LE(AllocationPlanner::makespan(balanced).value(),
+              AllocationPlanner::makespan(proportional).value() + 1e-6);
+}
+
+TEST_F(AllocationTest, SingleCustomerGetsEverything)
+{
+    const std::vector<FoundryCustomer> customers{
+        customer("only", 1e9, 20e6)};
+    const auto outcomes =
+        planner.minMakespanAllocation(customers, "28nm");
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_NEAR(outcomes[0].share, 1.0, 1e-6);
+}
+
+TEST_F(AllocationTest, MakespanRejectsEmpty)
+{
+    EXPECT_THROW(AllocationPlanner::makespan({}), ModelError);
+    EXPECT_THROW(planner.proportionalAllocation({}, "28nm"), ModelError);
+    EXPECT_THROW(planner.minMakespanAllocation({}, "28nm"), ModelError);
+}
+
+TEST_F(AllocationTest, ContentionAlwaysDelaysEveryone)
+{
+    const std::vector<FoundryCustomer> customers{
+        customer("a", 2e9, 30e6),
+        customer("b", 2e9, 30e6),
+    };
+    const auto outcomes =
+        planner.minMakespanAllocation(customers, "28nm");
+    for (std::size_t i = 0; i < customers.size(); ++i) {
+        EXPECT_GE(outcomes[i].ttm.value(),
+                  planner.ttmWithShare(customers[i], "28nm", 1.0)
+                      .value());
+    }
+}
+
+} // namespace
+} // namespace ttmcas

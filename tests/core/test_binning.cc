@@ -1,0 +1,96 @@
+#include "core/binning.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+BinningModel
+threeBins()
+{
+    return BinningModel({
+        {"top", 0.25, Dollars(100.0)},
+        {"mid", 0.55, Dollars(75.0)},
+        {"low", 0.15, Dollars(55.0)},
+    });
+}
+
+TEST(BinningModelTest, SellableFractionCountsPricedBins)
+{
+    EXPECT_NEAR(threeBins().sellableFraction(), 0.95, 1e-12);
+    const BinningModel with_scrap_bin(
+        {{"good", 0.8, Dollars(10.0)}, {"screened-out", 0.2, Dollars(0.0)}});
+    EXPECT_NEAR(with_scrap_bin.sellableFraction(), 0.8, 1e-12);
+}
+
+TEST(BinningModelTest, BinLookup)
+{
+    const BinningModel model = threeBins();
+    EXPECT_DOUBLE_EQ(model.bin("mid").fraction, 0.55);
+    EXPECT_THROW(model.bin("ultra"), ModelError);
+}
+
+TEST(BinningModelTest, TightestBinGatesDemand)
+{
+    const BinningModel model = threeBins();
+    // 1M top units alone need 4M good dies (1/0.25).
+    EXPECT_NEAR(model.goodDiesForDemand({{"top", 1e6}}), 4e6, 1.0);
+    // 1M top + 2M mid: top still gates (2M/0.55 = 3.64M < 4M).
+    EXPECT_NEAR(model.goodDiesForDemand({{"top", 1e6}, {"mid", 2e6}}),
+                4e6, 1.0);
+    // 1M top + 3M mid: mid gates (3M/0.55 = 5.45M).
+    EXPECT_NEAR(model.goodDiesForDemand({{"top", 1e6}, {"mid", 3e6}}),
+                3e6 / 0.55, 1.0);
+}
+
+TEST(BinningModelTest, DemandMultiplierIsInverseFraction)
+{
+    const BinningModel model = threeBins();
+    EXPECT_DOUBLE_EQ(model.demandMultiplier("top"), 4.0);
+    EXPECT_NEAR(model.demandMultiplier("mid"), 1.0 / 0.55, 1e-12);
+}
+
+TEST(BinningModelTest, RevenuePerGoodDieIsFractionWeighted)
+{
+    const BinningModel model = threeBins();
+    EXPECT_NEAR(model.revenuePerGoodDie().value(),
+                0.25 * 100.0 + 0.55 * 75.0 + 0.15 * 55.0, 1e-9);
+}
+
+TEST(BinningModelTest, TypicalSplitIsConsistent)
+{
+    const BinningModel model = typicalThreeBinSplit(Dollars(200.0));
+    EXPECT_NEAR(model.sellableFraction(), 0.95, 1e-12);
+    EXPECT_DOUBLE_EQ(model.bin("top").unit_price.value(), 200.0);
+    EXPECT_DOUBLE_EQ(model.bin("mid").unit_price.value(), 150.0);
+    EXPECT_GT(model.revenuePerGoodDie().value(), 0.0);
+    EXPECT_THROW(typicalThreeBinSplit(Dollars(0.0)), ModelError);
+}
+
+TEST(BinningModelTest, ValidationRejectsBadBins)
+{
+    EXPECT_THROW(BinningModel({}), ModelError);
+    EXPECT_THROW(BinningModel({{"", 0.5, Dollars(1.0)}}), ModelError);
+    EXPECT_THROW(BinningModel({{"a", 0.0, Dollars(1.0)}}), ModelError);
+    EXPECT_THROW(BinningModel({{"a", 1.5, Dollars(1.0)}}), ModelError);
+    EXPECT_THROW(BinningModel({{"a", 0.5, Dollars(-1.0)}}), ModelError);
+    EXPECT_THROW(
+        BinningModel({{"a", 0.6, Dollars(1.0)}, {"b", 0.6, Dollars(1.0)}}),
+        ModelError);
+    EXPECT_THROW(
+        BinningModel({{"a", 0.4, Dollars(1.0)}, {"a", 0.4, Dollars(1.0)}}),
+        ModelError);
+}
+
+TEST(BinningModelTest, DemandValidation)
+{
+    const BinningModel model = threeBins();
+    EXPECT_THROW(model.goodDiesForDemand({}), ModelError);
+    EXPECT_THROW(model.goodDiesForDemand({{"ghost", 1.0}}), ModelError);
+    EXPECT_THROW(model.goodDiesForDemand({{"top", -1.0}}), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,149 @@
+#include "core/cas.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class CasModelTest : public ::testing::Test
+{
+  protected:
+    CasModelTest()
+        : cas(TtmModel(defaultTechnologyDb(), [] {
+              TtmModel::Options options;
+              options.tapeout_engineers = kA11TapeoutEngineers;
+              return options;
+          }()))
+    {}
+
+    CasModel cas;
+};
+
+TEST_F(CasModelTest, DerivativeIsNegative)
+{
+    // More capacity -> less time, so dTTM/dmuW < 0 (Section 4).
+    const ChipDesign design = designs::a11("7nm");
+    EXPECT_LT(cas.dTtmDMu(design, 10e6, MarketConditions{}, "7nm"), 0.0);
+}
+
+TEST_F(CasModelTest, DerivativeMatchesAnalyticSingleNodeForm)
+{
+    // With no queue, TTM depends on mu only through N_W/mu, so
+    // dTTM/dmu = -N_W / mu^2 exactly.
+    const ChipDesign design = designs::a11("7nm");
+    const TtmModel& model = cas.ttmModel();
+    const double wafers = model.waferDemand(design, 10e6, "7nm").value();
+    const double mu = model.technology().node("7nm").waferRate().value();
+    const double expected = -wafers / (mu * mu);
+    EXPECT_NEAR(cas.dTtmDMu(design, 10e6, MarketConditions{}, "7nm"),
+                expected, std::abs(expected) * 1e-3);
+}
+
+TEST_F(CasModelTest, RawCasIsInverseOfSlopeSum)
+{
+    const ChipDesign design = designs::a11("7nm");
+    const double slope =
+        cas.dTtmDMu(design, 10e6, MarketConditions{}, "7nm");
+    EXPECT_NEAR(cas.rawCas(design, 10e6), 1.0 / std::abs(slope), 1e-3);
+}
+
+TEST_F(CasModelTest, NormalizationOnlyScales)
+{
+    const ChipDesign design = designs::a11("7nm");
+    EXPECT_NEAR(cas.cas(design, 10e6) * kCasNormalization,
+                cas.rawCas(design, 10e6), 1e-9);
+}
+
+TEST_F(CasModelTest, FewerWafersMeansHigherCas)
+{
+    // 7nm needs far fewer wafers than 40nm for the same chips.
+    EXPECT_GT(cas.cas(designs::a11("7nm"), 10e6),
+              cas.cas(designs::a11("40nm"), 10e6));
+}
+
+TEST_F(CasModelTest, CasFallsAsCapacityFalls)
+{
+    // CAS ~ mu^2/N_W for single-node designs: lower capacity, lower CAS.
+    const ChipDesign design = designs::a11("7nm");
+    MarketConditions low;
+    low.setCapacityFactor("7nm", 0.4);
+    EXPECT_LT(cas.cas(design, 10e6, low),
+              cas.cas(design, 10e6, MarketConditions{}));
+}
+
+TEST_F(CasModelTest, MultiNodeDesignSumsSlopes)
+{
+    const ChipDesign zen = designs::zen2(designs::Zen2Config::Original);
+    const MarketConditions market;
+    const double s7 = std::abs(cas.dTtmDMu(zen, 10e6, market, "7nm"));
+    const double s12 = std::abs(cas.dTtmDMu(zen, 10e6, market, "12nm"));
+    EXPECT_NEAR(cas.rawCas(zen, 10e6, market), 1.0 / (s7 + s12), 1e-2);
+}
+
+TEST_F(CasModelTest, NonBottleneckNodeContributesNoSlope)
+{
+    // At full capacity the 12nm I/O die finishes fabrication well before
+    // the 7nm compute dies (Section 6.5): small 12nm perturbations do
+    // not move the packaging synchronization point.
+    const ChipDesign zen = designs::zen2(designs::Zen2Config::Original);
+    const double s12 =
+        std::abs(cas.dTtmDMu(zen, 10e6, MarketConditions{}, "12nm"));
+    const double s7 =
+        std::abs(cas.dTtmDMu(zen, 10e6, MarketConditions{}, "7nm"));
+    EXPECT_LT(s12, s7 * 1e-3);
+}
+
+TEST_F(CasModelTest, CapacitySweepShapes)
+{
+    const ChipDesign design = designs::a11("7nm");
+    const auto points = cas.capacitySweep(design, 10e6,
+                                          {0.25, 0.5, 0.75, 1.0});
+    ASSERT_EQ(points.size(), 4u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        // TTM falls and CAS rises as capacity recovers.
+        EXPECT_LT(points[i].ttm.value(), points[i - 1].ttm.value());
+        EXPECT_GT(points[i].cas, points[i - 1].cas);
+    }
+}
+
+TEST_F(CasModelTest, QueueReducesMaxCas)
+{
+    // Section 6.3: queue backlog makes TTM more capacity-sensitive.
+    const ChipDesign design = designs::a11("7nm");
+    MarketConditions queued;
+    queued.setQueueWeeks("7nm", Weeks(1.0));
+    EXPECT_LT(cas.cas(design, 10e6, queued),
+              cas.cas(design, 10e6, MarketConditions{}));
+}
+
+TEST_F(CasModelTest, SweepRejectsNonPositiveFractions)
+{
+    const ChipDesign design = designs::a11("7nm");
+    EXPECT_THROW(cas.capacitySweep(design, 1e6, {0.0}), ModelError);
+}
+
+TEST_F(CasModelTest, DerivativeOfIdleNodeThrows)
+{
+    const ChipDesign design = designs::a11("7nm");
+    EXPECT_THROW(cas.dTtmDMu(design, 1e6, MarketConditions{}, "10nm"),
+                 ModelError);
+}
+
+TEST(CasModelConstructionTest, RejectsBadOptions)
+{
+    CasModel::Options bad_step;
+    bad_step.derivative_rel_step = 0.0;
+    EXPECT_THROW(CasModel(TtmModel(defaultTechnologyDb()), bad_step),
+                 ModelError);
+    CasModel::Options bad_norm;
+    bad_norm.normalization = -1.0;
+    EXPECT_THROW(CasModel(TtmModel(defaultTechnologyDb()), bad_norm),
+                 ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

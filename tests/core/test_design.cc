@@ -1,0 +1,151 @@
+#include "core/design.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+Die
+basicDie(const std::string& name, const std::string& process, double ntt,
+         double nut, double count = 1.0)
+{
+    Die die;
+    die.name = name;
+    die.process = process;
+    die.total_transistors = ntt;
+    die.unique_transistors = nut;
+    die.count_per_package = count;
+    return die;
+}
+
+TEST(DieTest, DensityDerivedArea)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    const Die die = basicDie("soc", "10nm", 4.3e9, 514e6);
+    EXPECT_NEAR(die.areaAt(db.node("10nm")).value(), 88.0, 1.0);
+}
+
+TEST(DieTest, AreaOverrideWins)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    Die die = basicDie("compute", "7nm", 3.8e9, 475e6);
+    die.area_override = SquareMm(74.0);
+    EXPECT_DOUBLE_EQ(die.areaAt(db.node("7nm")).value(), 74.0);
+}
+
+TEST(DieTest, MinimumAreaFloorApplies)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    Die die = basicDie("mcu", "5nm", 1e6, 1e6);
+    die.min_area = SquareMm(1.0); // Section 7's 1 mm^2 floor
+    EXPECT_DOUBLE_EQ(die.areaAt(db.node("5nm")).value(), 1.0);
+    // At a coarse node the natural area exceeds the floor.
+    Die coarse = die;
+    coarse.process = "250nm";
+    EXPECT_GT(coarse.areaAt(db.node("250nm")).value(), 0.4);
+}
+
+TEST(DieTest, AreaAtWrongNodeThrows)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    const Die die = basicDie("soc", "7nm", 1e9, 1e8);
+    EXPECT_THROW(die.areaAt(db.node("14nm")), ModelError);
+}
+
+TEST(DieTest, ValidationCatchesBadFields)
+{
+    EXPECT_THROW(basicDie("", "7nm", 1e9, 1e8).validate(), ModelError);
+    EXPECT_THROW(basicDie("d", "", 1e9, 1e8).validate(), ModelError);
+    EXPECT_THROW(basicDie("d", "7nm", 0.0, 0.0).validate(), ModelError);
+    // Unique cannot exceed total.
+    EXPECT_THROW(basicDie("d", "7nm", 1e6, 2e6).validate(), ModelError);
+    EXPECT_THROW(basicDie("d", "7nm", 1e9, 1e8, 0.0).validate(),
+                 ModelError);
+    Die die = basicDie("d", "7nm", 1e9, 1e8);
+    die.yield_override = 1.5;
+    EXPECT_THROW(die.validate(), ModelError);
+    die.yield_override = 0.9999;
+    EXPECT_NO_THROW(die.validate());
+}
+
+TEST(ChipDesignTest, AggregatesAcrossDies)
+{
+    ChipDesign design;
+    design.name = "chiplet";
+    design.dies.push_back(basicDie("compute", "7nm", 3.8e9, 475e6, 2.0));
+    design.dies.push_back(basicDie("io", "12nm", 2.1e9, 523e6, 1.0));
+
+    EXPECT_DOUBLE_EQ(design.diesPerPackage(), 3.0);
+    EXPECT_DOUBLE_EQ(design.totalTransistorsPerChip(), 2 * 3.8e9 + 2.1e9);
+
+    const auto nodes = design.processNodes();
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[0], "7nm");
+    EXPECT_EQ(nodes[1], "12nm");
+}
+
+TEST(ChipDesignTest, UniqueTransistorsCountDieTypesOnce)
+{
+    ChipDesign design;
+    design.name = "chiplet";
+    // Two copies of the compute die: its N_UT is taped out once.
+    design.dies.push_back(basicDie("compute", "7nm", 3.8e9, 475e6, 2.0));
+    design.dies.push_back(basicDie("io", "7nm", 2.1e9, 523e6, 1.0));
+    EXPECT_DOUBLE_EQ(design.uniqueTransistorsAt("7nm"), 475e6 + 523e6);
+    EXPECT_DOUBLE_EQ(design.uniqueTransistorsAt("12nm"), 0.0);
+}
+
+TEST(ChipDesignTest, ValidateRejectsEmptyDesigns)
+{
+    ChipDesign design;
+    design.name = "empty";
+    EXPECT_THROW(design.validate(), ModelError);
+    design.name.clear();
+    design.dies.push_back(basicDie("d", "7nm", 1e9, 1e8));
+    EXPECT_THROW(design.validate(), ModelError);
+}
+
+TEST(ChipDesignTest, ValidateAgainstChecksNodeExistenceAndFit)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    ChipDesign design = makeMonolithicDesign("x", "3nm", 1e9, 1e8);
+    EXPECT_THROW(design.validateAgainst(db), ModelError);
+    design = makeMonolithicDesign("x", "7nm", 1e9, 1e8);
+    EXPECT_NO_THROW(design.validateAgainst(db));
+}
+
+TEST(MakeMonolithicDesignTest, BuildsSingleDieChip)
+{
+    const ChipDesign design =
+        makeMonolithicDesign("a11", "10nm", 4.3e9, 514e6, Weeks(2.0));
+    ASSERT_EQ(design.dies.size(), 1u);
+    EXPECT_DOUBLE_EQ(design.dies[0].count_per_package, 1.0);
+    EXPECT_DOUBLE_EQ(design.design_time.value(), 2.0);
+    EXPECT_DOUBLE_EQ(design.totalTransistorsPerChip(), 4.3e9);
+}
+
+TEST(RetargetDesignTest, MovesAllDiesAndClearsPinnedAreas)
+{
+    ChipDesign design;
+    design.name = "zen";
+    Die die = basicDie("compute", "7nm", 3.8e9, 475e6, 2.0);
+    die.area_override = SquareMm(74.0);
+    design.dies.push_back(die);
+    design.dies.push_back(basicDie("io", "12nm", 2.1e9, 523e6));
+
+    const ChipDesign retargeted = retargetDesign(design, "14nm");
+    for (const auto& retargeted_die : retargeted.dies) {
+        EXPECT_EQ(retargeted_die.process, "14nm");
+        EXPECT_FALSE(retargeted_die.area_override.has_value());
+    }
+    ASSERT_EQ(retargeted.processNodes().size(), 1u);
+    // Original untouched.
+    EXPECT_EQ(design.dies[0].process, "7nm");
+    EXPECT_TRUE(design.dies[0].area_override.has_value());
+}
+
+} // namespace
+} // namespace ttmcas

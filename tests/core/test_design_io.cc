@@ -1,0 +1,110 @@
+#include "core/design_io.hh"
+
+#include "core/ttm_model.hh"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(DesignIoTest, RoundTripsZen2WithInterposerExactly)
+{
+    const ChipDesign original = designs::zen2(
+        designs::Zen2Config::OriginalWithInterposer);
+    const ChipDesign loaded = designFromCsv(designToCsv(original));
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_DOUBLE_EQ(loaded.design_time.value(),
+                     original.design_time.value());
+    ASSERT_EQ(loaded.dies.size(), original.dies.size());
+    for (std::size_t i = 0; i < original.dies.size(); ++i) {
+        const Die& a = original.dies[i];
+        const Die& b = loaded.dies[i];
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.process, a.process);
+        EXPECT_DOUBLE_EQ(b.total_transistors, a.total_transistors);
+        EXPECT_DOUBLE_EQ(b.unique_transistors, a.unique_transistors);
+        EXPECT_DOUBLE_EQ(b.count_per_package, a.count_per_package);
+        EXPECT_EQ(b.area_override.has_value(),
+                  a.area_override.has_value());
+        if (a.area_override.has_value()) {
+            EXPECT_DOUBLE_EQ(b.area_override->value(),
+                             a.area_override->value());
+        }
+        EXPECT_EQ(b.yield_override.has_value(),
+                  a.yield_override.has_value());
+        if (a.yield_override.has_value()) {
+            EXPECT_DOUBLE_EQ(*b.yield_override, *a.yield_override);
+        }
+    }
+}
+
+TEST(DesignIoTest, RoundTripsMinAreaAndDesignTime)
+{
+    const ChipDesign raven = designs::ravenMulticore("40nm");
+    const ChipDesign loaded = designFromCsv(designToCsv(raven));
+    EXPECT_DOUBLE_EQ(loaded.dies[0].min_area.value(), 1.0);
+    EXPECT_DOUBLE_EQ(loaded.design_time.value(), 2.0);
+    // The loaded design evaluates identically.
+    const TtmModel model(defaultTechnologyDb());
+    EXPECT_DOUBLE_EQ(model.evaluate(loaded, 1e8).total().value(),
+                     model.evaluate(raven, 1e8).total().value());
+}
+
+TEST(DesignIoTest, ParsesHandWrittenCsv)
+{
+    const std::string csv =
+        "# ttmcas design\n"
+        "# name: my-chiplet\n"
+        "# design_weeks: 12.5\n"
+        "die,process,total_transistors,unique_transistors,"
+        "count_per_package,area_mm2,min_area_mm2,yield_override\n"
+        "compute,7nm,3.8e9,475e6,2,74,,\n"
+        "interposer,65nm,1e7,1e6,1,328,,0.9999\n";
+    const ChipDesign design = designFromCsv(csv);
+    EXPECT_EQ(design.name, "my-chiplet");
+    EXPECT_DOUBLE_EQ(design.design_time.value(), 12.5);
+    ASSERT_EQ(design.dies.size(), 2u);
+    EXPECT_DOUBLE_EQ(design.dies[1].area_override->value(), 328.0);
+    EXPECT_DOUBLE_EQ(*design.dies[1].yield_override, 0.9999);
+    EXPECT_FALSE(design.dies[0].yield_override.has_value());
+}
+
+TEST(DesignIoTest, RejectsMalformedInput)
+{
+    EXPECT_THROW(designFromCsv(""), ModelError);
+    // Missing column.
+    EXPECT_THROW(designFromCsv("die,process\nx,7nm\n"), ModelError);
+    // No dies at all.
+    const std::string header =
+        "die,process,total_transistors,unique_transistors,"
+        "count_per_package,area_mm2,min_area_mm2,yield_override\n";
+    EXPECT_THROW(designFromCsv(header), ModelError);
+    // Invalid numbers and invalid dies are rejected by validation.
+    EXPECT_THROW(designFromCsv(header + "x,7nm,abc,1,1,,,\n"),
+                 ModelError);
+    EXPECT_THROW(designFromCsv(header + "x,7nm,1e6,2e6,1,,,\n"),
+                 ModelError); // NUT > NTT
+}
+
+TEST(DesignIoTest, FileRoundTrip)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "ttmcas_design_io_test";
+    std::filesystem::remove_all(dir);
+    const std::string path = (dir / "design.csv").string();
+    saveDesignCsv(designs::a11("7nm"), path);
+    const ChipDesign loaded = loadDesignCsv(path);
+    EXPECT_DOUBLE_EQ(loaded.totalTransistorsPerChip(), 4.3e9);
+    std::filesystem::remove_all(dir);
+    EXPECT_THROW(loadDesignCsv(path), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,106 @@
+#include "core/hoarding.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+HoardingModel
+model(double gain, double reference = 2.0)
+{
+    HoardingModel m;
+    m.gain = gain;
+    m.reference_lead_time = Weeks(reference);
+    return m;
+}
+
+TEST(HoardingModelTest, NoGainMeansNoInflation)
+{
+    const HoardingModel calm = model(0.0);
+    EXPECT_DOUBLE_EQ(calm.orderInflation(Weeks(10.0)), 1.0);
+    EXPECT_DOUBLE_EQ(calm.equilibriumLeadTime(Weeks(8.0)).value(), 8.0);
+    EXPECT_FALSE(calm.panics(Weeks(100.0)));
+    EXPECT_TRUE(std::isinf(calm.criticalBacklog().value()));
+}
+
+TEST(HoardingModelTest, NoInflationBelowReference)
+{
+    const HoardingModel m = model(0.5);
+    EXPECT_DOUBLE_EQ(m.orderInflation(Weeks(1.0)), 1.0);
+    EXPECT_DOUBLE_EQ(m.equilibriumLeadTime(Weeks(1.5)).value(), 1.5);
+}
+
+TEST(HoardingModelTest, InflationGrowsLinearlyAboveReference)
+{
+    const HoardingModel m = model(0.4, 2.0);
+    // 6 weeks quoted = 2x excess -> factor 1 + 0.4*2 = 1.8.
+    EXPECT_NEAR(m.orderInflation(Weeks(6.0)), 1.8, 1e-12);
+}
+
+TEST(HoardingModelTest, EquilibriumMatchesClosedForm)
+{
+    const HoardingModel m = model(0.3, 2.0);
+    // l_real = 4: L = 4(1-0.3)/(1-0.3*4/2) = 2.8/0.4 = 7.
+    EXPECT_NEAR(m.equilibriumLeadTime(Weeks(4.0)).value(), 7.0, 1e-9);
+    // Equilibrium never under-reports the physical backlog.
+    EXPECT_GE(m.equilibriumLeadTime(Weeks(3.0)).value(), 3.0);
+}
+
+TEST(HoardingModelTest, IterationConvergesToTheClosedForm)
+{
+    const HoardingModel m = model(0.3, 2.0);
+    const auto trajectory = m.iterate(Weeks(4.0), 128);
+    EXPECT_NEAR(trajectory.back(), 7.0, 1e-6);
+    // Monotone approach from below.
+    for (std::size_t i = 1; i < trajectory.size(); ++i)
+        EXPECT_GE(trajectory[i], trajectory[i - 1] - 1e-9);
+}
+
+TEST(HoardingModelTest, PanicRegimeDetectedAndThrows)
+{
+    const HoardingModel m = model(0.6, 2.0);
+    // Critical backlog = 2 / 0.6 = 3.33 weeks.
+    EXPECT_NEAR(m.criticalBacklog().value(), 2.0 / 0.6, 1e-12);
+    EXPECT_FALSE(m.panics(Weeks(3.0)));
+    EXPECT_TRUE(m.panics(Weeks(4.0)));
+    EXPECT_THROW(m.equilibriumLeadTime(Weeks(4.0)), ModelError);
+    // The iterative loop visibly diverges there.
+    const auto trajectory = m.iterate(Weeks(4.0), 256);
+    EXPECT_GT(trajectory.back(), 1e3);
+}
+
+TEST(HoardingModelTest, HigherGainWorseEquilibrium)
+{
+    const Weeks backlog(3.0);
+    EXPECT_GT(model(0.4).equilibriumLeadTime(backlog).value(),
+              model(0.2).equilibriumLeadTime(backlog).value());
+}
+
+TEST(HoardingModelTest, SmallDisruptionLargeAmplification)
+{
+    // The paper's narrative in numbers: a 2x physical backlog increase
+    // amplifies to much more than 2x quoted lead time near the
+    // critical gain.
+    const HoardingModel m = model(0.45, 2.0);
+    const double quiet = m.equilibriumLeadTime(Weeks(2.2)).value();
+    const double stressed = m.equilibriumLeadTime(Weeks(4.4)).value();
+    EXPECT_GT(stressed / quiet, 4.0);
+}
+
+TEST(HoardingModelTest, Validation)
+{
+    HoardingModel bad = model(0.3);
+    bad.reference_lead_time = Weeks(0.0);
+    EXPECT_THROW(bad.validate(), ModelError);
+    bad = model(-0.1);
+    EXPECT_THROW(bad.validate(), ModelError);
+    EXPECT_THROW(model(0.3).orderInflation(Weeks(-1.0)), ModelError);
+    EXPECT_THROW(model(0.3).iterate(Weeks(1.0), 0), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,115 @@
+#include "core/market.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(MarketConditionsTest, DefaultsToFullCapacityNoQueue)
+{
+    const MarketConditions market;
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 1.0);
+    EXPECT_DOUBLE_EQ(market.queueWeeks("7nm").value(), 0.0);
+}
+
+TEST(MarketConditionsTest, PerNodeCapacityFactor)
+{
+    MarketConditions market;
+    market.setCapacityFactor("7nm", 0.5);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 0.5);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("28nm"), 1.0);
+}
+
+TEST(MarketConditionsTest, GlobalFactorAppliesToUnsetNodes)
+{
+    MarketConditions market;
+    market.setGlobalCapacityFactor(0.8);
+    market.setCapacityFactor("7nm", 0.3);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 0.3);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("28nm"), 0.8);
+}
+
+TEST(MarketConditionsTest, SetGlobalClearsPerNodeOverrides)
+{
+    MarketConditions market;
+    market.setCapacityFactor("7nm", 0.3);
+    market.setGlobalCapacityFactor(0.9);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 0.9);
+}
+
+TEST(MarketConditionsTest, EffectiveRateScalesNodeMaximum)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    MarketConditions market;
+    market.setCapacityFactor("7nm", 0.5);
+    const ProcessNode& node = db.node("7nm");
+    EXPECT_NEAR(market.effectiveWaferRate(node).value(),
+                node.waferRate().value() * 0.5, 1e-9);
+}
+
+TEST(MarketConditionsTest, QueueWafersUseFullCapacityBacklog)
+{
+    // Section 6.3: the backlog is quoted at full capacity; a capacity
+    // drop must NOT shrink the wafer count ahead of the design.
+    const TechnologyDb db = defaultTechnologyDb();
+    const ProcessNode& node = db.node("7nm");
+    MarketConditions market;
+    market.setQueueWeeks("7nm", Weeks(2.0));
+    const double backlog_full = market.queueWafers(node).value();
+    market.setCapacityFactor("7nm", 0.25);
+    const double backlog_cut = market.queueWafers(node).value();
+    EXPECT_DOUBLE_EQ(backlog_full, backlog_cut);
+    EXPECT_NEAR(backlog_full, 2.0 * node.waferRate().value(), 1e-9);
+}
+
+TEST(MarketConditionsTest, WaferDenominatedBacklogAddsToWeeks)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    const ProcessNode& node = db.node("7nm");
+    MarketConditions market;
+    market.setQueueWeeks("7nm", Weeks(1.0));
+    market.setQueueWafers("7nm", Wafers(5000.0));
+    EXPECT_NEAR(market.queueWafers(node).value(),
+                node.waferRate().value() + 5000.0, 1e-9);
+    // Wafer backlog alone works too, and rejects negatives.
+    MarketConditions wafers_only;
+    wafers_only.setQueueWafers("7nm", Wafers(1234.0));
+    EXPECT_DOUBLE_EQ(wafers_only.queueWafers(node).value(), 1234.0);
+    EXPECT_THROW(wafers_only.setQueueWafers("7nm", Wafers(-1.0)),
+                 ModelError);
+}
+
+TEST(MarketConditionsTest, BuilderChainsFluently)
+{
+    MarketConditions market;
+    market.setCapacityFactor("7nm", 0.7)
+        .setQueueWeeks("7nm", Weeks(1.0))
+        .setCapacityFactor("5nm", 0.9);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 0.7);
+    EXPECT_DOUBLE_EQ(market.queueWeeks("7nm").value(), 1.0);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("5nm"), 0.9);
+}
+
+TEST(MarketConditionsTest, RejectsNegativeInputs)
+{
+    MarketConditions market;
+    EXPECT_THROW(market.setCapacityFactor("7nm", -0.1), ModelError);
+    EXPECT_THROW(market.setGlobalCapacityFactor(-1.0), ModelError);
+    EXPECT_THROW(market.setQueueWeeks("7nm", Weeks(-1.0)), ModelError);
+}
+
+TEST(MarketConditionsTest, CopySemantics)
+{
+    MarketConditions a;
+    a.setCapacityFactor("7nm", 0.5);
+    MarketConditions b = a;
+    b.setCapacityFactor("7nm", 0.9);
+    EXPECT_DOUBLE_EQ(a.capacityFactor("7nm"), 0.5);
+    EXPECT_DOUBLE_EQ(b.capacityFactor("7nm"), 0.9);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,132 @@
+#include "core/reference_designs.hh"
+
+#include <gtest/gtest.h>
+
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(A11DesignTest, MatchesSection62Structure)
+{
+    const ChipDesign a11 = designs::a11("10nm");
+    ASSERT_EQ(a11.dies.size(), 1u);
+    EXPECT_DOUBLE_EQ(a11.totalTransistorsPerChip(), 4.3e9);
+    EXPECT_DOUBLE_EQ(a11.uniqueTransistorsAt("10nm"), 514e6);
+    EXPECT_DOUBLE_EQ(a11.design_time.value(), 2.0);
+    EXPECT_NO_THROW(a11.validateAgainst(defaultTechnologyDb()));
+}
+
+TEST(A11DesignTest, RetargetsToAnyNode)
+{
+    for (const char* node : {"250nm", "28nm", "7nm", "5nm"}) {
+        const ChipDesign a11 = designs::a11(node);
+        ASSERT_EQ(a11.processNodes().size(), 1u);
+        EXPECT_EQ(a11.processNodes()[0], node);
+    }
+}
+
+TEST(Zen2DesignTest, AllConfigsEnumerated)
+{
+    const auto configs = designs::allZen2Configs();
+    EXPECT_EQ(configs.size(), 8u);
+    for (const auto config : configs)
+        EXPECT_FALSE(designs::zen2ConfigName(config).empty());
+}
+
+TEST(Zen2DesignTest, OriginalMatchesTable4)
+{
+    const ChipDesign zen = designs::zen2(designs::Zen2Config::Original);
+    ASSERT_EQ(zen.dies.size(), 2u);
+    const Die& compute = zen.dies[0];
+    const Die& io = zen.dies[1];
+    EXPECT_EQ(compute.process, "7nm");
+    EXPECT_DOUBLE_EQ(compute.count_per_package, 2.0);
+    EXPECT_DOUBLE_EQ(compute.total_transistors, 3.8e9);
+    EXPECT_DOUBLE_EQ(compute.unique_transistors, 475e6);
+    EXPECT_DOUBLE_EQ(compute.area_override->value(), 74.0);
+    EXPECT_EQ(io.process, "12nm");
+    EXPECT_DOUBLE_EQ(io.total_transistors, 2.1e9);
+    EXPECT_DOUBLE_EQ(io.unique_transistors, 523e6);
+    EXPECT_DOUBLE_EQ(io.area_override->value(), 125.0);
+    EXPECT_NO_THROW(zen.validateAgainst(defaultTechnologyDb()));
+}
+
+TEST(Zen2DesignTest, InterposerVariantsAddLegacyDie)
+{
+    const ChipDesign zen = designs::zen2(
+        designs::Zen2Config::OriginalWithInterposer);
+    ASSERT_EQ(zen.dies.size(), 3u);
+    const Die& interposer = zen.dies.back();
+    EXPECT_EQ(interposer.process, "65nm");
+    // 120% of packaged chiplet area: 1.2 * (2*74 + 125).
+    EXPECT_NEAR(interposer.area_override->value(),
+                1.2 * (2.0 * 74.0 + 125.0), 1e-9);
+    EXPECT_NEAR(*interposer.yield_override, 0.9999, 1e-12);
+}
+
+TEST(Zen2DesignTest, InterposerNodeIsConfigurable)
+{
+    // Section 6.5's what-if: interposer on 40nm instead of 65nm.
+    const ChipDesign zen = designs::zen2(
+        designs::Zen2Config::Chiplet7nmWithInterposer, "40nm");
+    EXPECT_EQ(zen.dies.back().process, "40nm");
+}
+
+TEST(Zen2DesignTest, MonolithicConsolidatesEverything)
+{
+    const ChipDesign mono =
+        designs::zen2(designs::Zen2Config::Monolithic7nm);
+    ASSERT_EQ(mono.dies.size(), 1u);
+    EXPECT_DOUBLE_EQ(mono.totalTransistorsPerChip(), 2 * 3.8e9 + 2.1e9);
+    EXPECT_DOUBLE_EQ(mono.dies[0].unique_transistors, 475e6 + 523e6);
+    EXPECT_NEAR(mono.dies[0].area_override->value(), 2 * 74.0 + 38.0,
+                1e-9);
+    const ChipDesign mono12 =
+        designs::zen2(designs::Zen2Config::Monolithic12nm);
+    EXPECT_NEAR(mono12.dies[0].area_override->value(), 2 * 206.0 + 125.0,
+                1e-9);
+}
+
+TEST(Zen2DesignTest, TwelveNmChipletUsesBiggerDies)
+{
+    const ChipDesign zen =
+        designs::zen2(designs::Zen2Config::Chiplet12nm);
+    EXPECT_DOUBLE_EQ(zen.dies[0].area_override->value(), 206.0);
+    EXPECT_DOUBLE_EQ(zen.dies[1].area_override->value(), 125.0);
+    for (const auto& die : zen.dies)
+        EXPECT_EQ(die.process, "12nm");
+}
+
+TEST(RavenDesignTest, SmallChipWithMinimumArea)
+{
+    const ChipDesign raven = designs::ravenMulticore("5nm");
+    ASSERT_EQ(raven.dies.size(), 1u);
+    EXPECT_DOUBLE_EQ(raven.dies[0].min_area.value(), 1.0);
+    // 64 cores * 0.75M + 9M uncore.
+    EXPECT_NEAR(raven.totalTransistorsPerChip(), 57e6, 1.0);
+    // Unique: one core + uncore.
+    EXPECT_NEAR(raven.dies[0].unique_transistors, 9.75e6, 1.0);
+    // At 5nm the floor binds.
+    const TechnologyDb db = defaultTechnologyDb();
+    EXPECT_DOUBLE_EQ(raven.dies[0].areaAt(db.node("5nm")).value(), 1.0);
+}
+
+TEST(RavenDesignTest, LegacyNodeAreaAboveFloor)
+{
+    const ChipDesign raven = designs::ravenMulticore("250nm");
+    const TechnologyDb db = defaultTechnologyDb();
+    EXPECT_GT(raven.dies[0].areaAt(db.node("250nm")).value(), 20.0);
+}
+
+TEST(SyntheticChipsTest, ChipAIsHungrierThanChipB)
+{
+    const ChipDesign a = designs::syntheticChipA();
+    const ChipDesign b = designs::syntheticChipB();
+    EXPECT_GT(a.totalTransistorsPerChip(), b.totalTransistorsPerChip());
+    EXPECT_NO_THROW(a.validateAgainst(defaultTechnologyDb()));
+    EXPECT_NO_THROW(b.validateAgainst(defaultTechnologyDb()));
+}
+
+} // namespace
+} // namespace ttmcas

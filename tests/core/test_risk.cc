@@ -1,0 +1,139 @@
+#include "core/risk.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class RiskAnalysisTest : public ::testing::Test
+{
+  protected:
+    RiskAnalysisTest()
+        : analysis(TtmModel(defaultTechnologyDb(), [] {
+              TtmModel::Options options;
+              options.tapeout_engineers = kA11TapeoutEngineers;
+              return options;
+          }()))
+    {}
+
+    RiskAnalysis analysis;
+    ChipDesign a11 = designs::a11("28nm");
+};
+
+TEST_F(RiskAnalysisTest, CalmForecastReproducesStaticTtm)
+{
+    const MarketForecast calm; // no risks registered
+    const auto draws = analysis.sampleTtm(a11, 10e6, calm, 16);
+    const TtmModel model(defaultTechnologyDb(), [] {
+        TtmModel::Options options;
+        options.tapeout_engineers = kA11TapeoutEngineers;
+        return options;
+    }());
+    const double expected = model.evaluate(a11, 10e6).total().value();
+    for (double draw : draws)
+        EXPECT_NEAR(draw, expected, 1e-9);
+}
+
+TEST_F(RiskAnalysisTest, DisruptionWidensAndShiftsTheDistribution)
+{
+    MarketForecast stormy;
+    stormy.uniformDisruption("28nm", 0.3, 1.0, 4.0);
+    const auto draws = analysis.sampleTtm(a11, 10e6, stormy, 512);
+    const Summary summary = Summary::of(draws);
+
+    const MarketForecast calm;
+    const double base =
+        analysis.sampleTtm(a11, 10e6, calm, 1).front();
+    EXPECT_GT(summary.mean, base);       // disruptions only hurt
+    EXPECT_GT(summary.stddev, 0.1);      // and add spread
+    EXPECT_GE(summary.min, base - 1e-9); // never better than calm
+}
+
+TEST_F(RiskAnalysisTest, SamplingIsDeterministicPerSeed)
+{
+    MarketForecast stormy;
+    stormy.uniformDisruption("28nm", 0.5, 1.0, 2.0);
+    EXPECT_EQ(analysis.sampleTtm(a11, 10e6, stormy, 64, 7),
+              analysis.sampleTtm(a11, 10e6, stormy, 64, 7));
+    EXPECT_NE(analysis.sampleTtm(a11, 10e6, stormy, 64, 7),
+              analysis.sampleTtm(a11, 10e6, stormy, 64, 8));
+}
+
+TEST_F(RiskAnalysisTest, AssessComputesOnTimeProbability)
+{
+    MarketForecast stormy;
+    stormy.uniformDisruption("28nm", 0.4, 1.0, 3.0);
+
+    // A generous deadline is always met; an impossible one never.
+    const ScheduleRisk relaxed =
+        analysis.assess(a11, 10e6, stormy, Weeks(500.0), 128);
+    EXPECT_DOUBLE_EQ(relaxed.p_on_time, 1.0);
+    EXPECT_DOUBLE_EQ(relaxed.expected_lateness.value(), 0.0);
+
+    const ScheduleRisk impossible =
+        analysis.assess(a11, 10e6, stormy, Weeks(5.0), 128);
+    EXPECT_DOUBLE_EQ(impossible.p_on_time, 0.0);
+    EXPECT_GT(impossible.expected_lateness.value(), 10.0);
+
+    // A mid deadline splits the distribution.
+    const ScheduleRisk mid =
+        analysis.assess(a11, 10e6, stormy, Weeks(28.0), 512);
+    EXPECT_GT(mid.p_on_time, 0.05);
+    EXPECT_LT(mid.p_on_time, 0.95);
+}
+
+TEST_F(RiskAnalysisTest, TighterDeadlineNeverMoreLikely)
+{
+    MarketForecast stormy;
+    stormy.uniformDisruption("28nm", 0.4, 1.0, 3.0);
+    double previous = 1.1;
+    for (double deadline : {40.0, 32.0, 28.0, 26.0, 24.0}) {
+        const ScheduleRisk risk = analysis.assess(
+            a11, 10e6, stormy, Weeks(deadline), 256);
+        EXPECT_LE(risk.p_on_time, previous) << deadline;
+        previous = risk.p_on_time;
+    }
+}
+
+TEST_F(RiskAnalysisTest, RankNodesPrefersUndisruptedOnes)
+{
+    // Storm hits only the advanced nodes; legacy nodes sail through a
+    // tight-but-feasible deadline.
+    MarketForecast storm_on_advanced;
+    for (const char* node : {"14nm", "12nm", "7nm", "5nm"})
+        storm_on_advanced.uniformDisruption(node, 0.2, 0.6, 6.0);
+
+    const auto ranking = analysis.rankNodesByOnTime(
+        designs::a11("10nm"), 10e6, storm_on_advanced, Weeks(45.0), 64);
+    ASSERT_FALSE(ranking.empty());
+    // Best-ranked node is not one of the disrupted advanced nodes.
+    const std::string& best = ranking.front().first;
+    EXPECT_TRUE(best != "14nm" && best != "12nm" && best != "7nm" &&
+                best != "5nm")
+        << best;
+    // Ranking is sorted best-first.
+    for (std::size_t i = 1; i < ranking.size(); ++i)
+        EXPECT_GE(ranking[i - 1].second, ranking[i].second);
+}
+
+TEST_F(RiskAnalysisTest, Validation)
+{
+    MarketForecast forecast;
+    EXPECT_THROW(forecast.uniformDisruption("7nm", 0.0, 1.0, 1.0),
+                 ModelError);
+    EXPECT_THROW(forecast.uniformDisruption("7nm", 0.8, 0.5, 1.0),
+                 ModelError);
+    EXPECT_THROW(forecast.uniformDisruption("7nm", 0.5, 1.0, -1.0),
+                 ModelError);
+    EXPECT_THROW(analysis.sampleTtm(a11, 10e6, forecast, 0), ModelError);
+    EXPECT_THROW(
+        analysis.assess(a11, 10e6, forecast, Weeks(0.0), 16),
+        ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,103 @@
+#include "core/scenario.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(ScenarioTest, FabOutageZeroesCapacity)
+{
+    const Scenario outage = scenarios::fabOutage("28nm");
+    const MarketConditions market = outage.apply();
+    EXPECT_DOUBLE_EQ(market.capacityFactor("28nm"), 0.0);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 1.0);
+}
+
+TEST(ScenarioTest, CapacityCutScalesExistingFactor)
+{
+    MarketConditions base;
+    base.setCapacityFactor("7nm", 0.8);
+    const MarketConditions market =
+        scenarios::capacityCut("7nm", 0.5).apply(base);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 0.4);
+}
+
+TEST(ScenarioTest, DemandSurgeAddsQueueEverywhereListed)
+{
+    const Scenario surge =
+        scenarios::demandSurge({"7nm", "28nm"}, Weeks(2.0));
+    const MarketConditions market = surge.apply();
+    EXPECT_DOUBLE_EQ(market.queueWeeks("7nm").value(), 2.0);
+    EXPECT_DOUBLE_EQ(market.queueWeeks("28nm").value(), 2.0);
+    EXPECT_DOUBLE_EQ(market.queueWeeks("5nm").value(), 0.0);
+}
+
+TEST(ScenarioTest, QueueAccumulatesAcrossScenarios)
+{
+    const Scenario first = scenarios::demandSurge({"7nm"}, Weeks(1.0));
+    const Scenario second = scenarios::demandSurge({"7nm"}, Weeks(2.0));
+    const MarketConditions market = second.apply(first.apply());
+    EXPECT_DOUBLE_EQ(market.queueWeeks("7nm").value(), 3.0);
+}
+
+TEST(ScenarioTest, ExportControlsRemoveAdvancedNodes)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    const Scenario controls = scenarios::exportControls(db, 14.0);
+    const MarketConditions market = controls.apply();
+    EXPECT_DOUBLE_EQ(market.capacityFactor("14nm"), 0.0);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("12nm"), 0.0);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 0.0);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("5nm"), 0.0);
+    EXPECT_DOUBLE_EQ(market.capacityFactor("28nm"), 1.0);
+}
+
+TEST(ScenarioTest, ThenComposesInOrder)
+{
+    const Scenario combined =
+        scenarios::capacityCut("7nm", 0.5)
+            .then(scenarios::capacityCut("7nm", 0.5));
+    const MarketConditions market = combined.apply();
+    EXPECT_DOUBLE_EQ(market.capacityFactor("7nm"), 0.25);
+    EXPECT_NE(combined.name().find("+"), std::string::npos);
+}
+
+TEST(ScenarioTest, ApplyDoesNotMutateBase)
+{
+    MarketConditions base;
+    scenarios::fabOutage("7nm").apply(base);
+    EXPECT_DOUBLE_EQ(base.capacityFactor("7nm"), 1.0);
+}
+
+TEST(ScenarioTest, ValidationRejectsBadDisruptions)
+{
+    EXPECT_THROW(Scenario("", {}), ModelError);
+    EXPECT_THROW(
+        Scenario("bad", {Disruption{"", 1.0, Weeks(0.0), ""}}),
+        ModelError);
+    EXPECT_THROW(
+        Scenario("bad", {Disruption{"7nm", -1.0, Weeks(0.0), ""}}),
+        ModelError);
+    EXPECT_THROW(
+        Scenario("bad", {Disruption{"7nm", 1.0, Weeks(-1.0), ""}}),
+        ModelError);
+    EXPECT_THROW(scenarios::capacityCut("7nm", -0.5), ModelError);
+    EXPECT_THROW(scenarios::exportControls(defaultTechnologyDb(), 0.0),
+                 ModelError);
+}
+
+TEST(ScenarioTest, NamesDescribeTheScenario)
+{
+    EXPECT_NE(scenarios::fabOutage("28nm").name().find("28nm"),
+              std::string::npos);
+    EXPECT_NE(scenarios::exportControls(defaultTechnologyDb(), 14.0)
+                  .name()
+                  .find("14"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ttmcas

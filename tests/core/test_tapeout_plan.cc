@@ -1,0 +1,141 @@
+#include "core/tapeout_plan.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class TapeoutPlanTest : public ::testing::Test
+{
+  protected:
+    TapeoutPlanTest() : db(defaultTechnologyDb()) {}
+
+    static TapeoutPlan
+    twoBlockPlan(double cap_a = 25.0, double cap_b = 25.0)
+    {
+        return TapeoutPlan({{"a", 100e6, cap_a}, {"b", 100e6, cap_b}},
+                           /*top=*/20e6, /*top cap=*/25.0);
+    }
+
+    TechnologyDb db;
+};
+
+TEST_F(TapeoutPlanTest, UniqueTransistorsSumBlocksAndTop)
+{
+    const TapeoutPlan plan = twoBlockPlan();
+    EXPECT_DOUBLE_EQ(plan.uniqueTransistors(), 220e6);
+    EXPECT_DOUBLE_EQ(plan.topLevelUniqueTransistors(), 20e6);
+}
+
+TEST_F(TapeoutPlanTest, EffortMatchesEquationTwo)
+{
+    const TapeoutPlan plan = twoBlockPlan();
+    const ProcessNode& node = db.node("7nm");
+    EXPECT_NEAR(plan.effort(node).value(),
+                220e6 * node.tapeout_effort_hours_per_transistor, 1e-6);
+}
+
+TEST_F(TapeoutPlanTest, TeamBoundWhenBlocksAreWide)
+{
+    // Huge per-block caps: the whole team is the only constraint, so
+    // the optimal schedule equals the naive one plus nothing extra —
+    // except the top level still serializes through its own cap.
+    const TapeoutPlan plan =
+        TapeoutPlan({{"a", 100e6, 1e6}, {"b", 100e6, 1e6}}, 0.0, 1e6);
+    const ProcessNode& node = db.node("7nm");
+    EXPECT_NEAR(plan.calendarWeeks(node, 100.0).value(),
+                plan.naiveCalendarWeeks(node, 100.0).value(), 1e-9);
+    EXPECT_NEAR(plan.parallelismPenalty(node, 100.0), 1.0, 1e-9);
+}
+
+TEST_F(TapeoutPlanTest, CriticalPathBindsWhenBlockCapIsSmall)
+{
+    // One block can only use 5 engineers: its critical path dominates
+    // a 100-engineer team.
+    const TapeoutPlan plan =
+        TapeoutPlan({{"narrow", 200e6, 5.0}, {"wide", 50e6, 100.0}},
+                    0.0, 100.0);
+    const ProcessNode& node = db.node("7nm");
+    const double hours_narrow =
+        200e6 * node.tapeout_effort_hours_per_transistor;
+    EXPECT_NEAR(plan.calendarWeeks(node, 100.0).value(),
+                hours_narrow / (5.0 * 40.0), 1e-9);
+    EXPECT_GT(plan.parallelismPenalty(node, 100.0), 1.0);
+}
+
+TEST_F(TapeoutPlanTest, OptimalNeverBeatsNaive)
+{
+    const ProcessNode& node = db.node("5nm");
+    for (double team : {10.0, 50.0, 100.0, 400.0}) {
+        const TapeoutPlan plan = twoBlockPlan();
+        EXPECT_GE(plan.calendarWeeks(node, team).value(),
+                  plan.naiveCalendarWeeks(node, team).value() - 1e-12)
+            << "team " << team;
+    }
+}
+
+TEST_F(TapeoutPlanTest, MoreEngineersNeverSlower)
+{
+    const TapeoutPlan plan = twoBlockPlan();
+    const ProcessNode& node = db.node("5nm");
+    double previous = 1e18;
+    for (double team : {10.0, 25.0, 50.0, 100.0, 200.0}) {
+        const double weeks = plan.calendarWeeks(node, team).value();
+        EXPECT_LE(weeks, previous + 1e-12);
+        previous = weeks;
+    }
+}
+
+TEST_F(TapeoutPlanTest, SaturatesOnceEveryCapIsHit)
+{
+    // Beyond the sum of caps, extra engineers change nothing.
+    const TapeoutPlan plan = twoBlockPlan(10.0, 10.0);
+    const ProcessNode& node = db.node("7nm");
+    EXPECT_NEAR(plan.calendarWeeks(node, 500.0).value(),
+                plan.calendarWeeks(node, 5000.0).value(), 1e-12);
+}
+
+TEST_F(TapeoutPlanTest, TopLevelSerializesAfterBlocks)
+{
+    const ProcessNode& node = db.node("7nm");
+    const TapeoutPlan with_top =
+        TapeoutPlan({{"a", 100e6, 50.0}}, 50e6, 10.0);
+    const TapeoutPlan without_top =
+        TapeoutPlan({{"a", 100e6, 50.0}}, 0.0, 10.0);
+    const double top_hours =
+        50e6 * node.tapeout_effort_hours_per_transistor;
+    EXPECT_NEAR(with_top.calendarWeeks(node, 100.0).value() -
+                    without_top.calendarWeeks(node, 100.0).value(),
+                top_hours / (10.0 * 40.0), 1e-9);
+}
+
+TEST_F(TapeoutPlanTest, A11PlanMatchesSection62Setup)
+{
+    const TapeoutPlan plan = a11TapeoutPlan();
+    EXPECT_NEAR(plan.uniqueTransistors(), 514e6, 1e6);
+    // With the 100-engineer team of Section 6.2, the block-parallel
+    // schedule stays within ~50% of the naive conversion the paper
+    // (and our TtmModel) uses — same first-order behavior.
+    const ProcessNode& node = db.node("5nm");
+    const double penalty = plan.parallelismPenalty(node, 100.0);
+    EXPECT_GE(penalty, 1.0);
+    EXPECT_LT(penalty, 1.5);
+}
+
+TEST_F(TapeoutPlanTest, ValidationRejectsBadPlans)
+{
+    EXPECT_THROW(TapeoutPlan({}, 0.0), ModelError);
+    EXPECT_THROW(TapeoutPlan({{"", 1e6, 10.0}}, 0.0), ModelError);
+    EXPECT_THROW(TapeoutPlan({{"a", 0.0, 10.0}}, 0.0), ModelError);
+    EXPECT_THROW(TapeoutPlan({{"a", 1e6, 0.0}}, 0.0), ModelError);
+    EXPECT_THROW(TapeoutPlan({{"a", 1e6, 10.0}}, -1.0), ModelError);
+    EXPECT_THROW(TapeoutPlan({{"a", 1e6, 10.0}}, 0.0, 0.0), ModelError);
+    const TapeoutPlan plan = twoBlockPlan();
+    EXPECT_THROW(plan.calendarWeeks(db.node("7nm"), 0.0), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

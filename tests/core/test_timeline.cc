@@ -1,0 +1,220 @@
+#include "core/timeline.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(CapacityTimelineTest, BaselineAppliesBeforeFirstPhase)
+{
+    CapacityTimeline timeline(0.8);
+    timeline.addPhase(Weeks(10.0), 0.2);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(0.0)), 0.8);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(9.999)), 0.8);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(10.0)), 0.2);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(100.0)), 0.2);
+}
+
+TEST(CapacityTimelineTest, PhasesMayArriveOutOfOrder)
+{
+    CapacityTimeline timeline;
+    timeline.addPhase(Weeks(20.0), 0.5).addPhase(Weeks(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(15.0)), 0.0);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(25.0)), 0.5);
+}
+
+TEST(CapacityTimelineTest, IntegrationAcrossPhases)
+{
+    CapacityTimeline timeline(1.0);
+    timeline.addPhase(Weeks(10.0), 0.0); // outage
+    timeline.addPhase(Weeks(14.0), 0.5); // partial recovery
+    // [0,10): 10 * 1.0 ; [10,14): 0 ; [14,20): 6 * 0.5 = 3.
+    EXPECT_NEAR(timeline.integrate(Weeks(0.0), Weeks(20.0)), 13.0,
+                1e-12);
+    EXPECT_NEAR(timeline.integrate(Weeks(11.0), Weeks(13.0)), 0.0,
+                1e-12);
+    EXPECT_NEAR(timeline.integrate(Weeks(5.0), Weeks(5.0)), 0.0, 1e-12);
+}
+
+TEST(CapacityTimelineTest, TimeToAccumulateInvertsIntegration)
+{
+    CapacityTimeline timeline(1.0);
+    timeline.addPhase(Weeks(10.0), 0.0);
+    timeline.addPhase(Weeks(14.0), 0.5);
+    // 8 capacity-weeks from t=0: all within the full-rate phase.
+    EXPECT_NEAR(timeline.timeToAccumulate(8.0, Weeks(0.0)).value(), 8.0,
+                1e-12);
+    // 12 capacity-weeks: 10 by t=10, outage until 14, then 2/0.5 = 4.
+    EXPECT_NEAR(timeline.timeToAccumulate(12.0, Weeks(0.0)).value(),
+                18.0, 1e-12);
+    // Starting inside the outage.
+    EXPECT_NEAR(timeline.timeToAccumulate(1.0, Weeks(12.0)).value(),
+                16.0, 1e-12);
+    // Zero target: immediate.
+    EXPECT_DOUBLE_EQ(timeline.timeToAccumulate(0.0, Weeks(3.0)).value(),
+                     3.0);
+}
+
+TEST(CapacityTimelineTest, PermanentZeroCapacityThrows)
+{
+    CapacityTimeline dead(0.0);
+    EXPECT_THROW(dead.timeToAccumulate(1.0, Weeks(0.0)), ModelError);
+    CapacityTimeline dies(1.0);
+    dies.addPhase(Weeks(5.0), 0.0);
+    EXPECT_THROW(dies.timeToAccumulate(100.0, Weeks(0.0)), ModelError);
+    EXPECT_NO_THROW(dies.timeToAccumulate(4.0, Weeks(0.0)));
+}
+
+TEST(CapacityTimelineTest, OutageFactoryShape)
+{
+    const CapacityTimeline timeline =
+        CapacityTimeline::outage(Weeks(8.0), Weeks(4.0), 0.9);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(7.9)), 1.0);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(9.0)), 0.0);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(12.0)), 0.9);
+}
+
+TEST(CapacityTimelineTest, RampFactoryIsMonotone)
+{
+    const CapacityTimeline timeline =
+        CapacityTimeline::ramp(Weeks(0.0), Weeks(16.0), 0.2, 4);
+    double previous = -1.0;
+    for (double t = 0.0; t <= 20.0; t += 1.0) {
+        const double factor = timeline.factorAt(Weeks(t));
+        EXPECT_GE(factor, previous - 1e-12) << "t=" << t;
+        previous = factor;
+    }
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(0.0)), 0.2);
+    EXPECT_DOUBLE_EQ(timeline.factorAt(Weeks(17.0)), 1.0);
+}
+
+class TimelineTtmTest : public ::testing::Test
+{
+  protected:
+    TimelineTtmTest()
+        : model(TtmModel(defaultTechnologyDb(), [] {
+              TtmModel::Options options;
+              options.tapeout_engineers = kA11TapeoutEngineers;
+              return options;
+          }()))
+    {}
+
+    TimelineTtmModel model;
+    ChipDesign a11 = designs::a11("7nm");
+};
+
+TEST_F(TimelineTtmTest, ConstantFullCapacityMatchesStaticModel)
+{
+    const TimelineTtmResult dynamic =
+        model.evaluate(a11, 10e6, MarketTimeline{});
+    const TtmResult fixed =
+        model.staticModel().evaluate(a11, 10e6);
+    EXPECT_NEAR(dynamic.total().value(), fixed.total().value(), 1e-9);
+    EXPECT_NEAR(dynamic.fab_time.value(), fixed.fab_time.value(), 1e-9);
+}
+
+TEST_F(TimelineTtmTest, ConstantPartialCapacityMatchesStaticModel)
+{
+    MarketTimeline market;
+    market.set("7nm", CapacityTimeline(0.5));
+    const TimelineTtmResult dynamic = model.evaluate(a11, 10e6, market);
+
+    MarketConditions half;
+    half.setCapacityFactor("7nm", 0.5);
+    const TtmResult fixed =
+        model.staticModel().evaluate(a11, 10e6, half);
+    EXPECT_NEAR(dynamic.fab_time.value(), fixed.fab_time.value(), 1e-9);
+}
+
+TEST_F(TimelineTtmTest, OutageDuringProductionDelaysExactly)
+{
+    // The A11's 7nm production takes ~0.2 weeks at full rate; an
+    // 8-week outage starting right after the design hits the foundry
+    // pushes completion past the recovery point.
+    const TtmResult fixed = model.staticModel().evaluate(a11, 10e6);
+    const double foundry_start = fixed.design_time.value() +
+                                 fixed.tapeout_time.value();
+
+    MarketTimeline market;
+    market.set("7nm",
+               CapacityTimeline::outage(Weeks(foundry_start),
+                                        Weeks(8.0)));
+    const TimelineTtmResult delayed = model.evaluate(a11, 10e6, market);
+    EXPECT_NEAR(delayed.total().value(), fixed.total().value() + 8.0,
+                1e-6);
+}
+
+TEST_F(TimelineTtmTest, OutageBeforeFoundryStartIsInvisible)
+{
+    const TtmResult fixed = model.staticModel().evaluate(a11, 10e6);
+    MarketTimeline market;
+    // Outage entirely inside the design+tapeout window.
+    market.set("7nm",
+               CapacityTimeline::outage(Weeks(1.0), Weeks(5.0)));
+    const TimelineTtmResult result = model.evaluate(a11, 10e6, market);
+    EXPECT_NEAR(result.total().value(), fixed.total().value(), 1e-9);
+}
+
+TEST_F(TimelineTtmTest, QueueBacklogDrainsThroughTimeline)
+{
+    MarketTimeline market; // full capacity
+    const TimelineTtmResult no_queue =
+        model.evaluate(a11, 10e6, market, {});
+    const TimelineTtmResult queued =
+        model.evaluate(a11, 10e6, market, {{"7nm", 2.0}});
+    EXPECT_NEAR(queued.total().value(), no_queue.total().value() + 2.0,
+                1e-9);
+}
+
+TEST_F(TimelineTtmTest, MultiNodeSynchronizationUnderOutage)
+{
+    const ChipDesign zen = designs::zen2(designs::Zen2Config::Original);
+    const TimelineTtmModel zen_model(
+        TtmModel(defaultTechnologyDb(), [] {
+            TtmModel::Options options;
+            options.tapeout_engineers = kZen2TapeoutEngineers;
+            return options;
+        }()));
+
+    const TimelineTtmResult calm =
+        zen_model.evaluate(zen, 10e6, MarketTimeline{});
+    // Long 12nm outage overlapping production: 12nm becomes the
+    // pipeline that gates packaging.
+    const double start = calm.design_time.value() +
+                         calm.tapeout_time.value();
+    MarketTimeline market;
+    market.set("12nm", CapacityTimeline::outage(Weeks(start),
+                                                Weeks(20.0)));
+    const TimelineTtmResult disrupted =
+        zen_model.evaluate(zen, 10e6, market);
+    EXPECT_GT(disrupted.total().value(), calm.total().value() + 10.0);
+
+    // fab_done carries per-node completion.
+    ASSERT_EQ(disrupted.fab_done.size(), 2u);
+    double done_7 = 0.0, done_12 = 0.0;
+    for (const auto& [node, when] : disrupted.fab_done) {
+        if (node == "7nm")
+            done_7 = when.value();
+        else if (node == "12nm")
+            done_12 = when.value();
+    }
+    EXPECT_GT(done_12, done_7);
+}
+
+TEST_F(TimelineTtmTest, RejectsBadInput)
+{
+    EXPECT_THROW(model.evaluate(a11, 0.0, MarketTimeline{}), ModelError);
+    EXPECT_THROW(
+        model.evaluate(a11, 1e6, MarketTimeline{}, {{"7nm", -1.0}}),
+        ModelError);
+    MarketTimeline dead;
+    dead.set("7nm", CapacityTimeline(0.0));
+    EXPECT_THROW(model.evaluate(a11, 1e6, dead), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,235 @@
+#include "core/ttm_model.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class TtmModelTest : public ::testing::Test
+{
+  protected:
+    TtmModelTest() : model(defaultTechnologyDb(), makeOptions()) {}
+
+    static TtmModel::Options
+    makeOptions()
+    {
+        TtmModel::Options options;
+        options.tapeout_engineers = kA11TapeoutEngineers;
+        return options;
+    }
+
+    TtmModel model;
+};
+
+TEST_F(TtmModelTest, TotalIsSumOfPhases)
+{
+    const ChipDesign design = designs::a11("7nm");
+    const TtmResult result = model.evaluate(design, 1e6);
+    EXPECT_NEAR(result.total().value(),
+                result.design_time.value() + result.tapeout_time.value() +
+                    result.fab_time.value() +
+                    result.packaging_time.value(),
+                1e-9);
+}
+
+TEST_F(TtmModelTest, TapeoutMatchesEquationTwo)
+{
+    // T_tapeout = NUT * E_tapeout(p), converted via 100 engineers.
+    const ChipDesign design = designs::a11("28nm");
+    const TtmResult result = model.evaluate(design, 1e3);
+    const double effort =
+        514e6 *
+        model.technology().node("28nm").tapeout_effort_hours_per_transistor;
+    EXPECT_NEAR(result.tapeout_effort.value(), effort, 1.0);
+    EXPECT_NEAR(result.tapeout_time.value(), effort / (100.0 * 40.0),
+                1e-6);
+}
+
+TEST_F(TtmModelTest, MultiNodeTapeoutSumsAcrossNodes)
+{
+    const ChipDesign zen = designs::zen2(designs::Zen2Config::Original);
+    const TtmResult result =
+        TtmModel(defaultTechnologyDb(),
+                 [] {
+                     TtmModel::Options options;
+                     options.tapeout_engineers = kZen2TapeoutEngineers;
+                     return options;
+                 }())
+            .evaluate(zen, 1e6);
+    const auto& db = model.technology();
+    const double expected =
+        475e6 * db.node("7nm").tapeout_effort_hours_per_transistor +
+        523e6 * db.node("12nm").tapeout_effort_hours_per_transistor;
+    EXPECT_NEAR(result.tapeout_effort.value(), expected, 1.0);
+}
+
+TEST_F(TtmModelTest, FabTimeIsMaxOverNodes)
+{
+    const ChipDesign zen = designs::zen2(designs::Zen2Config::Original);
+    const TtmResult result = model.evaluate(zen, 10e6);
+    double max_fab = 0.0;
+    for (const auto& node : result.node_details)
+        max_fab = std::max(max_fab, node.fabTime().value());
+    EXPECT_NEAR(result.fab_time.value(), max_fab, 1e-9);
+    EXPECT_FALSE(result.fab_bottleneck.empty());
+    // The bottleneck node's detail matches the reported fab time.
+    EXPECT_NEAR(
+        result.nodeDetail(result.fab_bottleneck).fabTime().value(),
+        result.fab_time.value(), 1e-9);
+}
+
+TEST_F(TtmModelTest, ProductionTimeMatchesEquationFive)
+{
+    const ChipDesign design = designs::a11("7nm");
+    const TtmResult result = model.evaluate(design, 10e6);
+    const NodeFabDetail& detail = result.nodeDetail("7nm");
+    const ProcessNode& node = model.technology().node("7nm");
+    EXPECT_NEAR(detail.production_time.value(),
+                detail.wafers.value() / node.waferRate().value() +
+                    node.foundry_latency.value(),
+                1e-9);
+    EXPECT_DOUBLE_EQ(detail.queue_time.value(), 0.0);
+}
+
+TEST_F(TtmModelTest, QueueTimeMatchesEquationFour)
+{
+    MarketConditions market;
+    market.setQueueWeeks("7nm", Weeks(2.0));
+    const ChipDesign design = designs::a11("7nm");
+
+    // At full capacity the queue adds exactly its quoted weeks.
+    const TtmResult full = model.evaluate(design, 10e6, market);
+    EXPECT_NEAR(full.nodeDetail("7nm").queue_time.value(), 2.0, 1e-9);
+
+    // At half capacity the same backlog takes twice as long to drain.
+    market.setCapacityFactor("7nm", 0.5);
+    const TtmResult half = model.evaluate(design, 10e6, market);
+    EXPECT_NEAR(half.nodeDetail("7nm").queue_time.value(), 4.0, 1e-9);
+}
+
+TEST_F(TtmModelTest, PackagingDecomposesPerEquationSeven)
+{
+    const ChipDesign design = designs::a11("7nm");
+    const TtmResult result = model.evaluate(design, 10e6);
+    EXPECT_NEAR(result.packaging_time.value(),
+                result.packaging_latency.value() +
+                    result.testing_time.value() +
+                    result.assembly_time.value(),
+                1e-12);
+    EXPECT_DOUBLE_EQ(result.packaging_latency.value(), 6.0); // L_TAP
+    EXPECT_GT(result.testing_time.value(), 0.0);
+    EXPECT_GT(result.assembly_time.value(), 0.0);
+}
+
+TEST_F(TtmModelTest, TtmIsMonotoneInChipCount)
+{
+    const ChipDesign design = designs::a11("28nm");
+    double previous = 0.0;
+    for (double n : {1e3, 1e4, 1e5, 1e6, 1e7, 1e8}) {
+        const double total = model.evaluate(design, n).total().value();
+        EXPECT_GE(total, previous) << "n=" << n;
+        previous = total;
+    }
+}
+
+TEST_F(TtmModelTest, TtmFallsWithMoreCapacity)
+{
+    const ChipDesign design = designs::a11("28nm");
+    MarketConditions low, high;
+    low.setCapacityFactor("28nm", 0.25);
+    high.setCapacityFactor("28nm", 1.0);
+    EXPECT_GT(model.evaluate(design, 10e6, low).total().value(),
+              model.evaluate(design, 10e6, high).total().value());
+}
+
+TEST_F(TtmModelTest, YieldOverrideBypassesAreaYield)
+{
+    ChipDesign design = designs::a11("7nm");
+    design.dies[0].yield_override = 0.9999;
+    const TtmResult with_override = model.evaluate(design, 10e6);
+    design.dies[0].yield_override.reset();
+    const TtmResult without = model.evaluate(design, 10e6);
+    EXPECT_LT(with_override.nodeDetail("7nm").wafers.value(),
+              without.nodeDetail("7nm").wafers.value());
+    EXPECT_NEAR(with_override.die_details[0].yield, 0.9999, 1e-12);
+}
+
+TEST_F(TtmModelTest, WaferDemandAggregatesDieTypesPerNode)
+{
+    const ChipDesign zen =
+        designs::zen2(designs::Zen2Config::Chiplet7nm);
+    const Wafers all = model.waferDemand(zen, 1e6, "7nm");
+    double sum = 0.0;
+    const TtmResult result = model.evaluate(zen, 1e6);
+    for (const auto& die : result.die_details)
+        sum += die.wafers.value();
+    EXPECT_NEAR(all.value(), sum, 1e-6);
+    EXPECT_DOUBLE_EQ(model.waferDemand(zen, 1e6, "5nm").value(), 0.0);
+}
+
+TEST_F(TtmModelTest, RejectsOutOfProductionNodes)
+{
+    // 10nm has rate zero in the paper's snapshot.
+    const ChipDesign design = designs::a11("10nm");
+    EXPECT_THROW(model.evaluate(design, 1e6), ModelError);
+}
+
+TEST_F(TtmModelTest, RejectsNodeDisabledByMarket)
+{
+    const ChipDesign design = designs::a11("7nm");
+    MarketConditions market;
+    market.setCapacityFactor("7nm", 0.0);
+    EXPECT_THROW(model.evaluate(design, 1e6, market), ModelError);
+}
+
+TEST_F(TtmModelTest, RejectsNonPositiveChipCount)
+{
+    const ChipDesign design = designs::a11("7nm");
+    EXPECT_THROW(model.evaluate(design, 0.0), ModelError);
+    EXPECT_THROW(model.evaluate(design, -5.0), ModelError);
+}
+
+TEST_F(TtmModelTest, RejectsUnknownProcess)
+{
+    const ChipDesign design = designs::a11("3nm");
+    EXPECT_THROW(model.evaluate(design, 1e6), ModelError);
+    EXPECT_THROW(model.waferDemand(design, 1e6, "3nm"), ModelError);
+}
+
+TEST_F(TtmModelTest, NodeDetailLookupThrowsForAbsentNode)
+{
+    const TtmResult result = model.evaluate(designs::a11("7nm"), 1e6);
+    EXPECT_THROW(result.nodeDetail("28nm"), ModelError);
+}
+
+TEST_F(TtmModelTest, BiggerTeamShortensTapeoutOnly)
+{
+    TtmModel::Options big_team;
+    big_team.tapeout_engineers = 200.0;
+    const TtmModel fast(defaultTechnologyDb(), big_team);
+    const ChipDesign design = designs::a11("5nm");
+    const TtmResult slow_result = model.evaluate(design, 1e6);
+    const TtmResult fast_result = fast.evaluate(design, 1e6);
+    EXPECT_NEAR(fast_result.tapeout_time.value(),
+                slow_result.tapeout_time.value() / 2.0, 1e-9);
+    EXPECT_NEAR(fast_result.fab_time.value(),
+                slow_result.fab_time.value(), 1e-9);
+}
+
+TEST(TtmModelConstructionTest, RejectsBadConfiguration)
+{
+    EXPECT_THROW(TtmModel(TechnologyDb{}), ModelError);
+    TtmModel::Options options;
+    options.tapeout_engineers = 0.0;
+    EXPECT_THROW(TtmModel(defaultTechnologyDb(), options), ModelError);
+    TtmModel::Options no_yield;
+    no_yield.yield = nullptr;
+    EXPECT_THROW(TtmModel(defaultTechnologyDb(), no_yield), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

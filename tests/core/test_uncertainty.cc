@@ -1,0 +1,219 @@
+#include "core/uncertainty.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class UncertaintyTest : public ::testing::Test
+{
+  protected:
+    UncertaintyTest() : analysis(defaultTechnologyDb(), makeOptions()) {}
+
+    static TtmModel::Options
+    makeOptions()
+    {
+        TtmModel::Options options;
+        options.tapeout_engineers = kA11TapeoutEngineers;
+        return options;
+    }
+
+    static UncertaintyAnalysis::Options
+    fastOptions(double band = 0.10)
+    {
+        UncertaintyAnalysis::Options options;
+        options.band = band;
+        options.samples = 128;
+        options.seed = 7;
+        return options;
+    }
+
+    UncertaintyAnalysis analysis;
+    ChipDesign a11_7nm = designs::a11("7nm");
+};
+
+TEST_F(UncertaintyTest, InputNamesMatchFigure8Rows)
+{
+    EXPECT_EQ(uncertainInputName(UncertainInput::TotalTransistors), "NTT");
+    EXPECT_EQ(uncertainInputName(UncertainInput::UniqueTransistors),
+              "NUT");
+    EXPECT_EQ(uncertainInputName(UncertainInput::DefectDensity), "D0");
+    EXPECT_EQ(uncertainInputName(UncertainInput::WaferRate), "muW");
+    EXPECT_EQ(uncertainInputName(UncertainInput::FoundryLatency), "Lfab");
+    EXPECT_EQ(uncertainInputName(UncertainInput::OsatLatency), "LOSAT");
+}
+
+TEST_F(UncertaintyTest, NominalFactorsReproduceBaseModel)
+{
+    const TtmModel model(defaultTechnologyDb(), makeOptions());
+    const double base = model.evaluate(a11_7nm, 10e6).total().value();
+    const double factored =
+        analysis
+            .ttmWithFactors(a11_7nm, 10e6, MarketConditions{},
+                            nominalFactors())
+            .value();
+    EXPECT_NEAR(factored, base, 1e-9);
+}
+
+TEST_F(UncertaintyTest, ScaleDesignScalesCountsAndPinnedArea)
+{
+    ChipDesign zen = designs::zen2(designs::Zen2Config::Original);
+    const double area = zen.dies[0].area_override->value();
+    const ChipDesign scaled =
+        UncertaintyAnalysis::scaleDesign(zen, 1.1, 0.9);
+    EXPECT_NEAR(scaled.dies[0].total_transistors, 3.8e9 * 1.1, 1.0);
+    EXPECT_NEAR(scaled.dies[0].unique_transistors, 475e6 * 0.9, 1.0);
+    EXPECT_NEAR(scaled.dies[0].area_override->value(), area * 1.1, 1e-9);
+    EXPECT_NO_THROW(scaled.validate());
+}
+
+TEST_F(UncertaintyTest, ScaleDesignClampsUniqueAtTotal)
+{
+    ChipDesign design = makeMonolithicDesign("x", "7nm", 1e9, 0.99e9);
+    const ChipDesign scaled =
+        UncertaintyAnalysis::scaleDesign(design, 0.8, 1.2);
+    EXPECT_LE(scaled.dies[0].unique_transistors,
+              scaled.dies[0].total_transistors);
+    EXPECT_NO_THROW(scaled.validate());
+}
+
+TEST_F(UncertaintyTest, ScaledTechnologyScalesAllFourKnobs)
+{
+    const TechnologyDb scaled =
+        analysis.scaledTechnology(1.1, 0.9, 1.2, 0.8);
+    const TechnologyDb& base = defaultTechnologyDb();
+    const ProcessNode& n7 = scaled.node("7nm");
+    const ProcessNode& b7 = base.node("7nm");
+    EXPECT_NEAR(n7.defect_density_per_mm2,
+                b7.defect_density_per_mm2 * 1.1, 1e-12);
+    EXPECT_NEAR(n7.wafer_rate_kwpm, b7.wafer_rate_kwpm * 0.9, 1e-9);
+    EXPECT_NEAR(n7.foundry_latency.value(),
+                b7.foundry_latency.value() * 1.2, 1e-12);
+    EXPECT_NEAR(n7.osat_latency.value(), b7.osat_latency.value() * 0.8,
+                1e-12);
+}
+
+TEST_F(UncertaintyTest, HigherFactorsMoveTtmTheRightWay)
+{
+    InputFactors factors = nominalFactors();
+    const double base =
+        analysis.ttmWithFactors(a11_7nm, 10e6, {}, factors).value();
+
+    factors[static_cast<std::size_t>(UncertainInput::WaferRate)] = 1.1;
+    EXPECT_LT(analysis.ttmWithFactors(a11_7nm, 10e6, {}, factors).value(),
+              base);
+
+    factors = nominalFactors();
+    factors[static_cast<std::size_t>(UncertainInput::FoundryLatency)] =
+        1.1;
+    EXPECT_GT(analysis.ttmWithFactors(a11_7nm, 10e6, {}, factors).value(),
+              base);
+
+    factors = nominalFactors();
+    factors[static_cast<std::size_t>(UncertainInput::DefectDensity)] =
+        1.25;
+    EXPECT_GT(analysis.ttmWithFactors(a11_7nm, 10e6, {}, factors).value(),
+              base);
+}
+
+TEST_F(UncertaintyTest, SamplesAreDeterministicAndCentered)
+{
+    const auto samples_a =
+        analysis.sampleTtm(a11_7nm, 10e6, {}, fastOptions());
+    const auto samples_b =
+        analysis.sampleTtm(a11_7nm, 10e6, {}, fastOptions());
+    ASSERT_EQ(samples_a.size(), 128u);
+    EXPECT_EQ(samples_a, samples_b);
+
+    const Summary summary = Summary::of(samples_a);
+    const double nominal =
+        analysis.ttmWithFactors(a11_7nm, 10e6, {}, nominalFactors())
+            .value();
+    EXPECT_NEAR(summary.mean, nominal, nominal * 0.03);
+}
+
+TEST_F(UncertaintyTest, WiderBandWidensConfidenceInterval)
+{
+    const Summary narrow =
+        analysis.ttmSummary(a11_7nm, 10e6, {}, fastOptions(0.10));
+    const Summary wide =
+        analysis.ttmSummary(a11_7nm, 10e6, {}, fastOptions(0.25));
+    EXPECT_GT(wide.percentileInterval(0.95).width(),
+              narrow.percentileInterval(0.95).width());
+}
+
+TEST_F(UncertaintyTest, CasSamplesArePositive)
+{
+    const auto samples =
+        analysis.sampleCas(a11_7nm, 10e6, {}, fastOptions());
+    for (double cas : samples)
+        EXPECT_GT(cas, 0.0);
+    const Summary summary =
+        analysis.casSummary(a11_7nm, 10e6, {}, fastOptions());
+    EXPECT_GT(summary.mean, 0.0);
+}
+
+TEST_F(UncertaintyTest, WaferDemandSamplesBracketTheNominal)
+{
+    const TtmModel model(defaultTechnologyDb(), makeOptions());
+    const double nominal =
+        model.waferDemand(a11_7nm, 10e6, "7nm").value();
+    const auto samples =
+        analysis.sampleWaferDemand(a11_7nm, 10e6, "7nm",
+                                   fastOptions(0.10));
+    ASSERT_EQ(samples.size(), 128u);
+    const Summary summary = Summary::of(samples);
+    EXPECT_GT(summary.min, 0.0);
+    // +/-10% on NTT moves area ~ +/-10% and yield a little: the whole
+    // distribution stays within ~15% of nominal and brackets it.
+    EXPECT_GT(summary.max, nominal);
+    EXPECT_LT(summary.min, nominal);
+    EXPECT_LT(summary.max, nominal * 1.2);
+    EXPECT_GT(summary.min, nominal * 0.8);
+    // Deterministic per seed.
+    EXPECT_EQ(samples, analysis.sampleWaferDemand(
+                           a11_7nm, 10e6, "7nm", fastOptions(0.10)));
+}
+
+TEST_F(UncertaintyTest, SensitivityAdvancedNodeDominatedByNut)
+{
+    // Fig. 8: at 5nm, unique transistor count dominates TTM variance.
+    UncertaintyAnalysis::Options options = fastOptions();
+    options.samples = 256;
+    const SobolResult result = analysis.ttmSensitivity(
+        designs::a11("5nm"), 10e6, {}, options);
+    EXPECT_EQ(result.input_names[result.dominantInput()], "NUT");
+}
+
+TEST_F(UncertaintyTest, SensitivityLegacyNodeDominatedByNtt)
+{
+    // Fig. 8: at 250-90nm, total transistor count dominates.
+    UncertaintyAnalysis::Options options = fastOptions();
+    options.samples = 256;
+    const SobolResult result = analysis.ttmSensitivity(
+        designs::a11("250nm"), 10e6, {}, options);
+    EXPECT_EQ(result.input_names[result.dominantInput()], "NTT");
+}
+
+TEST_F(UncertaintyTest, RejectsBadOptions)
+{
+    UncertaintyAnalysis::Options zero_samples = fastOptions();
+    zero_samples.samples = 0;
+    EXPECT_THROW(analysis.sampleTtm(a11_7nm, 1e6, {}, zero_samples),
+                 ModelError);
+    UncertaintyAnalysis::Options bad_band = fastOptions();
+    bad_band.band = 1.0;
+    EXPECT_THROW(analysis.sampleTtm(a11_7nm, 1e6, {}, bad_band),
+                 ModelError);
+    EXPECT_THROW(UncertaintyAnalysis::scaleDesign(a11_7nm, 0.0, 1.0),
+                 ModelError);
+    EXPECT_THROW(analysis.scaledTechnology(-1.0, 1.0, 1.0, 1.0),
+                 ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

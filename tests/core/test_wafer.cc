@@ -1,0 +1,166 @@
+#include "core/wafer.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(WaferGeometryTest, AreaOf300mmWafer)
+{
+    const WaferGeometry wafer(300.0);
+    EXPECT_NEAR(wafer.waferArea().value(),
+                std::numbers::pi * 150.0 * 150.0, 1e-6);
+}
+
+TEST(WaferGeometryTest, GrossDiesMatchesStandardFormula)
+{
+    const WaferGeometry wafer(300.0);
+    const double area = 100.0;
+    const double expected = std::numbers::pi * 150.0 * 150.0 / area -
+                            std::numbers::pi * 300.0 /
+                                std::sqrt(2.0 * area);
+    EXPECT_EQ(wafer.grossDiesPerWafer(SquareMm(area)),
+              static_cast<std::uint64_t>(std::floor(expected)));
+}
+
+TEST(WaferGeometryTest, EdgeCorrectionReducesCount)
+{
+    const WaferGeometry wafer(300.0);
+    const double area = 50.0;
+    const double naive = wafer.waferArea().value() / area;
+    EXPECT_LT(wafer.grossDiesPerWafer(SquareMm(area)),
+              static_cast<std::uint64_t>(naive));
+}
+
+TEST(WaferGeometryTest, HugeDieYieldsZeroDies)
+{
+    const WaferGeometry wafer(300.0);
+    EXPECT_EQ(wafer.grossDiesPerWafer(SquareMm(80000.0)), 0u);
+}
+
+TEST(WaferGeometryTest, MoreDiesOnLargerWafers)
+{
+    const WaferGeometry small(200.0);
+    const WaferGeometry large(300.0);
+    const SquareMm die(80.0);
+    EXPECT_GT(large.grossDiesPerWafer(die), small.grossDiesPerWafer(die));
+}
+
+TEST(WaferGeometryTest, GoodDiesScaleWithYield)
+{
+    const WaferGeometry wafer(300.0);
+    const SquareMm die(100.0);
+    const double full = wafer.goodDiesPerWafer(die, 1.0);
+    const double half = wafer.goodDiesPerWafer(die, 0.5);
+    EXPECT_NEAR(half, full / 2.0, 1e-9);
+}
+
+TEST(WaferGeometryTest, WafersForIsInverseOfGoodDies)
+{
+    const WaferGeometry wafer(300.0);
+    const SquareMm die(68.0);
+    const double yield = 0.93;
+    const double per_wafer = wafer.goodDiesPerWafer(die, yield);
+    const Wafers needed = wafer.wafersFor(1e7, die, yield);
+    EXPECT_NEAR(needed.value() * per_wafer, 1e7, 1e-3);
+}
+
+TEST(WaferGeometryTest, WafersForMonotoneInDemandAndArea)
+{
+    const WaferGeometry wafer(300.0);
+    EXPECT_LT(wafer.wafersFor(1e6, SquareMm(50.0), 0.9).value(),
+              wafer.wafersFor(2e6, SquareMm(50.0), 0.9).value());
+    EXPECT_LT(wafer.wafersFor(1e6, SquareMm(50.0), 0.9).value(),
+              wafer.wafersFor(1e6, SquareMm(200.0), 0.9).value());
+    EXPECT_LT(wafer.wafersFor(1e6, SquareMm(50.0), 0.9).value(),
+              wafer.wafersFor(1e6, SquareMm(50.0), 0.45).value());
+}
+
+TEST(WaferGeometryTest, ZeroDemandNeedsZeroWafers)
+{
+    const WaferGeometry wafer(300.0);
+    EXPECT_DOUBLE_EQ(wafer.wafersFor(0.0, SquareMm(50.0), 0.9).value(),
+                     0.0);
+}
+
+TEST(WaferGeometryOptionsTest, DefaultsReproducePlainFormula)
+{
+    const WaferGeometry plain(300.0);
+    const WaferGeometry with_defaults(300.0, WaferGeometry::Options{});
+    for (double area : {10.0, 88.0, 500.0}) {
+        EXPECT_EQ(plain.grossDiesPerWafer(SquareMm(area)),
+                  with_defaults.grossDiesPerWafer(SquareMm(area)));
+    }
+}
+
+TEST(WaferGeometryOptionsTest, ScribeLanesReduceDies)
+{
+    WaferGeometry::Options options;
+    options.scribe_mm = 0.2;
+    const WaferGeometry scribed(300.0, options);
+    const WaferGeometry plain(300.0);
+    const SquareMm die(88.0);
+    EXPECT_LT(scribed.grossDiesPerWafer(die),
+              plain.grossDiesPerWafer(die));
+    // Small dies lose a larger *fraction* to scribe than big dies.
+    const SquareMm tiny(4.0);
+    const double tiny_ratio =
+        static_cast<double>(scribed.grossDiesPerWafer(tiny)) /
+        static_cast<double>(plain.grossDiesPerWafer(tiny));
+    const double big_ratio =
+        static_cast<double>(scribed.grossDiesPerWafer(die)) /
+        static_cast<double>(plain.grossDiesPerWafer(die));
+    EXPECT_LT(tiny_ratio, big_ratio);
+}
+
+TEST(WaferGeometryOptionsTest, EdgeExclusionReducesDies)
+{
+    WaferGeometry::Options options;
+    options.edge_exclusion_mm = 3.0;
+    const WaferGeometry excluded(300.0, options);
+    const WaferGeometry plain(300.0);
+    EXPECT_LT(excluded.grossDiesPerWafer(SquareMm(88.0)),
+              plain.grossDiesPerWafer(SquareMm(88.0)));
+}
+
+TEST(WaferGeometryOptionsTest, ReticleLimitBlocksGiantDies)
+{
+    WaferGeometry::Options options;
+    options.reticle_limit_mm2 = 858.0;
+    const WaferGeometry limited(300.0, options);
+    EXPECT_GT(limited.grossDiesPerWafer(SquareMm(800.0)), 0u);
+    EXPECT_EQ(limited.grossDiesPerWafer(SquareMm(900.0)), 0u);
+    // Without the limit the 900 mm^2 die still "fits" in the model.
+    EXPECT_GT(WaferGeometry(300.0).grossDiesPerWafer(SquareMm(900.0)),
+              0u);
+}
+
+TEST(WaferGeometryOptionsTest, OptionValidation)
+{
+    WaferGeometry::Options negative_scribe;
+    negative_scribe.scribe_mm = -0.1;
+    EXPECT_THROW(WaferGeometry(300.0, negative_scribe), ModelError);
+    WaferGeometry::Options giant_exclusion;
+    giant_exclusion.edge_exclusion_mm = 150.0;
+    EXPECT_THROW(WaferGeometry(300.0, giant_exclusion), ModelError);
+}
+
+TEST(WaferGeometryTest, RejectsInvalidArguments)
+{
+    const WaferGeometry wafer(300.0);
+    EXPECT_THROW(WaferGeometry(0.0), ModelError);
+    EXPECT_THROW(wafer.grossDiesPerWafer(SquareMm(0.0)), ModelError);
+    EXPECT_THROW(wafer.goodDiesPerWafer(SquareMm(10.0), 0.0), ModelError);
+    EXPECT_THROW(wafer.goodDiesPerWafer(SquareMm(10.0), 1.5), ModelError);
+    EXPECT_THROW(wafer.wafersFor(-1.0, SquareMm(10.0), 0.9), ModelError);
+    // Die bigger than the wafer: no wafer count can satisfy demand.
+    EXPECT_THROW(wafer.wafersFor(1.0, SquareMm(80000.0), 0.9), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

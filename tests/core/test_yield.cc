@@ -1,0 +1,125 @@
+#include "core/yield.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(NegativeBinomialYieldTest, MatchesPaperEquationSix)
+{
+    const NegativeBinomialYield model(3.0);
+    // Y = (1 + A*D0/alpha)^-alpha, hand-computed.
+    EXPECT_NEAR(model.dieYield(SquareMm(100.0), 0.001),
+                std::pow(1.0 + 0.1 / 3.0, -3.0), 1e-12);
+    EXPECT_NEAR(model.dieYield(SquareMm(88.0), 0.0008),
+                std::pow(1.0 + 88.0 * 0.0008 / 3.0, -3.0), 1e-12);
+}
+
+TEST(NegativeBinomialYieldTest, PerfectYieldAtZeroDefects)
+{
+    const NegativeBinomialYield model;
+    EXPECT_DOUBLE_EQ(model.dieYield(SquareMm(500.0), 0.0), 1.0);
+}
+
+TEST(NegativeBinomialYieldTest, YieldFallsWithAreaAndDefects)
+{
+    const NegativeBinomialYield model;
+    const double small = model.dieYield(SquareMm(50.0), 0.001);
+    const double large = model.dieYield(SquareMm(500.0), 0.001);
+    EXPECT_GT(small, large);
+    const double clean = model.dieYield(SquareMm(100.0), 0.0005);
+    const double dirty = model.dieYield(SquareMm(100.0), 0.002);
+    EXPECT_GT(clean, dirty);
+}
+
+TEST(NegativeBinomialYieldTest, A11At250nmYieldsNear48Percent)
+{
+    // Section 6.2: the A11 at 250nm yields about 48%.
+    const NegativeBinomialYield model(3.0);
+    const double area = 4.3e9 / (2.08 * 1e6); // default 250nm density
+    const double yield = model.dieYield(SquareMm(area), 0.0004);
+    EXPECT_NEAR(yield, 0.48, 0.05);
+}
+
+TEST(NegativeBinomialYieldTest, RejectsBadParameters)
+{
+    EXPECT_THROW(NegativeBinomialYield(0.0), ModelError);
+    EXPECT_THROW(NegativeBinomialYield(-1.0), ModelError);
+    const NegativeBinomialYield model;
+    EXPECT_THROW(model.dieYield(SquareMm(0.0), 0.001), ModelError);
+    EXPECT_THROW(model.dieYield(SquareMm(10.0), -0.1), ModelError);
+}
+
+TEST(PoissonYieldTest, MatchesExponentialForm)
+{
+    const PoissonYield model;
+    EXPECT_NEAR(model.dieYield(SquareMm(100.0), 0.001),
+                std::exp(-0.1), 1e-12);
+}
+
+TEST(MurphyYieldTest, MatchesClosedForm)
+{
+    const MurphyYield model;
+    const double d = 100.0 * 0.001;
+    const double expected = std::pow((1.0 - std::exp(-d)) / d, 2.0);
+    EXPECT_NEAR(model.dieYield(SquareMm(100.0), 0.001), expected, 1e-12);
+    EXPECT_DOUBLE_EQ(model.dieYield(SquareMm(100.0), 0.0), 1.0);
+}
+
+TEST(SeedsYieldTest, MatchesClosedForm)
+{
+    const SeedsYield model;
+    EXPECT_NEAR(model.dieYield(SquareMm(100.0), 0.001), 1.0 / 1.1, 1e-12);
+}
+
+TEST(YieldModelTest, ModelsBracketEachOtherConsistently)
+{
+    // For the same defect count: Poisson (no clustering) is the most
+    // pessimistic, Seeds (heavy clustering) the most optimistic, and
+    // negative binomial with alpha = 3 sits between them.
+    const PoissonYield poisson;
+    const NegativeBinomialYield nb3(3.0);
+    const SeedsYield seeds;
+    const SquareMm area(200.0);
+    const double d0 = 0.002;
+    const double y_poisson = poisson.dieYield(area, d0);
+    const double y_nb3 = nb3.dieYield(area, d0);
+    const double y_seeds = seeds.dieYield(area, d0);
+    EXPECT_LT(y_poisson, y_nb3);
+    EXPECT_LT(y_nb3, y_seeds);
+}
+
+TEST(YieldModelTest, NegativeBinomialApproachesPoissonForLargeAlpha)
+{
+    const NegativeBinomialYield nb(1e6);
+    const PoissonYield poisson;
+    const SquareMm area(150.0);
+    EXPECT_NEAR(nb.dieYield(area, 0.001), poisson.dieYield(area, 0.001),
+                1e-6);
+}
+
+TEST(YieldModelTest, NamesIdentifyModels)
+{
+    EXPECT_NE(NegativeBinomialYield(3.0).name().find("negative-binomial"),
+              std::string::npos);
+    EXPECT_EQ(PoissonYield().name(), "poisson");
+    EXPECT_EQ(MurphyYield().name(), "murphy");
+    EXPECT_EQ(SeedsYield().name(), "seeds");
+}
+
+TEST(YieldModelTest, DefaultIsNegativeBinomialAlpha3)
+{
+    const auto model = defaultYieldModel();
+    ASSERT_NE(model, nullptr);
+    const auto* nb =
+        dynamic_cast<const NegativeBinomialYield*>(model.get());
+    ASSERT_NE(nb, nullptr);
+    EXPECT_DOUBLE_EQ(nb->alpha(), 3.0);
+}
+
+} // namespace
+} // namespace ttmcas

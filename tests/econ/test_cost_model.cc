@@ -1,0 +1,152 @@
+#include "econ/cost_model.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class CostModelTest : public ::testing::Test
+{
+  protected:
+    CostModelTest() : costs(defaultTechnologyDb()) {}
+
+    CostModel costs;
+};
+
+TEST_F(CostModelTest, BreakdownSumsToTotal)
+{
+    const CostBreakdown breakdown =
+        costs.evaluate(designs::a11("7nm"), 10e6);
+    EXPECT_NEAR(breakdown.total().value(),
+                breakdown.nre().value() +
+                    breakdown.manufacturing().value(),
+                1e-3);
+    EXPECT_NEAR(breakdown.nre().value(),
+                breakdown.tapeout_labor.value() +
+                    breakdown.tapeout_fixed.value() +
+                    breakdown.masks.value(),
+                1e-3);
+    EXPECT_NEAR(breakdown.manufacturing().value(),
+                breakdown.wafers.value() + breakdown.packaging.value() +
+                    breakdown.testing.value(),
+                1e-3);
+}
+
+TEST_F(CostModelTest, Table3TapeoutCostAnchors)
+{
+    // Paper Table 3: $6.8M / $4.6M tapeout cost at 5nm for the
+    // 45.62M / 18.90M transistor accelerators (all transistors unique).
+    const Dollars stream_cost = costs.tapeoutCost(
+        makeMonolithicDesign("sort-stream", "5nm", 45.62e6, 45.62e6));
+    const Dollars iter_cost = costs.tapeoutCost(
+        makeMonolithicDesign("sort-iter", "5nm", 18.90e6, 18.90e6));
+    EXPECT_NEAR(stream_cost.value(), 6.8e6, 1.0e6);
+    EXPECT_NEAR(iter_cost.value(), 4.6e6, 0.7e6);
+    EXPECT_GT(stream_cost.value(), iter_cost.value());
+}
+
+TEST_F(CostModelTest, MasksChargedPerDieType)
+{
+    const CostBreakdown mono = costs.evaluate(
+        designs::zen2(designs::Zen2Config::Monolithic7nm), 1e6);
+    const CostBreakdown chiplet = costs.evaluate(
+        designs::zen2(designs::Zen2Config::Chiplet7nm), 1e6);
+    // Two die types -> two 7nm mask sets vs one.
+    EXPECT_NEAR(chiplet.masks.value(), 2.0 * mono.masks.value(), 1.0);
+}
+
+TEST_F(CostModelTest, WafersDominateLegacyNodes)
+{
+    // Fig. 7 narrative: legacy node cost is wafer-bound, advanced node
+    // cost is NRE-heavy.
+    const CostBreakdown legacy =
+        costs.evaluate(designs::a11("250nm"), 10e6);
+    EXPECT_GT(legacy.wafers.value(), 0.5 * legacy.total().value());
+    const CostBreakdown advanced =
+        costs.evaluate(designs::a11("5nm"), 10e6);
+    EXPECT_GT(advanced.nre().value(), 0.1 * advanced.total().value());
+    EXPECT_GT(legacy.total().value(), advanced.total().value());
+}
+
+TEST_F(CostModelTest, ManufacturingScalesWithVolumeNreDoesNot)
+{
+    const ChipDesign design = designs::a11("7nm");
+    const CostBreakdown small = costs.evaluate(design, 1e6);
+    const CostBreakdown large = costs.evaluate(design, 10e6);
+    EXPECT_NEAR(large.manufacturing().value(),
+                10.0 * small.manufacturing().value(),
+                0.05 * large.manufacturing().value());
+    EXPECT_NEAR(large.nre().value(), small.nre().value(), 1.0);
+}
+
+TEST_F(CostModelTest, WafersAreBoughtWhole)
+{
+    // Tiny volumes still pay for one whole wafer.
+    const ChipDesign design = designs::a11("7nm");
+    const CostBreakdown one_chip = costs.evaluate(design, 1.0);
+    const double wafer_price =
+        costs.technology().node("7nm").wafer_cost.value();
+    EXPECT_NEAR(one_chip.wafers.value(), wafer_price, 1e-9);
+}
+
+TEST_F(CostModelTest, TestingPaysForYieldLoss)
+{
+    // Low-yield dies require more tested dies per good chip.
+    ChipDesign low_yield = designs::a11("7nm");
+    ChipDesign high_yield = designs::a11("7nm");
+    high_yield.dies[0].yield_override = 0.9999;
+    const CostBreakdown low = costs.evaluate(low_yield, 10e6);
+    const CostBreakdown high = costs.evaluate(high_yield, 10e6);
+    EXPECT_GT(low.testing.value(), high.testing.value());
+}
+
+TEST_F(CostModelTest, InterposerAddsCostEverywhere)
+{
+    const CostBreakdown base = costs.evaluate(
+        designs::zen2(designs::Zen2Config::Original), 10e6);
+    const CostBreakdown with_interposer = costs.evaluate(
+        designs::zen2(designs::Zen2Config::OriginalWithInterposer),
+        10e6);
+    EXPECT_GT(with_interposer.masks.value(), base.masks.value());
+    EXPECT_GT(with_interposer.wafers.value(), base.wafers.value());
+    EXPECT_GT(with_interposer.packaging.value(), base.packaging.value());
+}
+
+TEST_F(CostModelTest, PerChipCostFallsWithVolume)
+{
+    const ChipDesign design = designs::a11("7nm");
+    EXPECT_GT(costs.perChipCost(design, 1e4).value(),
+              costs.perChipCost(design, 1e7).value());
+}
+
+TEST_F(CostModelTest, MixedProcessCostsMoreThanCheapestSingle)
+{
+    // Section 6.5: mixed-process designs pay two tapeouts/mask sets.
+    const CostBreakdown mixed = costs.evaluate(
+        designs::zen2(designs::Zen2Config::Original), 1e4);
+    const CostBreakdown single_12 = costs.evaluate(
+        designs::zen2(designs::Zen2Config::Chiplet12nm), 1e4);
+    EXPECT_GT(mixed.nre().value(), 0.0);
+    EXPECT_GT(mixed.tapeout_fixed.value(),
+              single_12.tapeout_fixed.value());
+}
+
+TEST_F(CostModelTest, RejectsBadInput)
+{
+    EXPECT_THROW(costs.evaluate(designs::a11("7nm"), 0.0), ModelError);
+    EXPECT_THROW(costs.evaluate(designs::a11("3nm"), 1e6), ModelError);
+
+    CostModel::Options bad;
+    bad.labor_rate_per_hour = 0.0;
+    EXPECT_THROW(CostModel(defaultTechnologyDb(), bad), ModelError);
+    CostModel::Options negative;
+    negative.base_package_cost = -1.0;
+    EXPECT_THROW(CostModel(defaultTechnologyDb(), negative), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,108 @@
+#include "econ/reservation.hh"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+ReservationTerms
+terms(double reserved, double spot)
+{
+    ReservationTerms t;
+    t.reserved_price = Dollars(reserved);
+    t.spot_price = Dollars(spot);
+    return t;
+}
+
+TEST(ReservationTermsTest, CriticalFractileFormula)
+{
+    // reserved $2k, spot $10k: Cu = 8k, Co = 2k -> fractile 0.8.
+    EXPECT_NEAR(terms(2000.0, 10000.0).criticalFractile(), 0.8, 1e-12);
+    // No discount: never book.
+    EXPECT_DOUBLE_EQ(terms(10000.0, 10000.0).criticalFractile(), 0.0);
+    EXPECT_DOUBLE_EQ(terms(12000.0, 10000.0).criticalFractile(), 0.0);
+    // Free reservation: book for the worst case.
+    EXPECT_DOUBLE_EQ(terms(0.0, 10000.0).criticalFractile(), 1.0);
+}
+
+TEST(ReservationTermsTest, Validation)
+{
+    EXPECT_THROW(terms(-1.0, 10.0).validate(), ModelError);
+    EXPECT_THROW(terms(1.0, 0.0).validate(), ModelError);
+}
+
+TEST(ReservationPlannerTest, ExpectedCostMatchesHandComputation)
+{
+    const ReservationPlanner planner(terms(2000.0, 10000.0));
+    // Demand 100 or 200 with equal weight; booking 150:
+    // cost = 2000*150 + 0.5 * 10000 * 50 = 300000 + 250000.
+    const std::vector<double> demand{100.0, 200.0};
+    EXPECT_NEAR(planner.expectedCost(150.0, demand).value(),
+                2000.0 * 150.0 + 0.5 * 10000.0 * 50.0, 1e-6);
+    // Booking above max demand: pure reservation cost.
+    EXPECT_NEAR(planner.expectedCost(250.0, demand).value(),
+                2000.0 * 250.0, 1e-6);
+    // Booking zero: pure spot.
+    EXPECT_NEAR(planner.expectedCost(0.0, demand).value(),
+                10000.0 * 150.0, 1e-6);
+}
+
+TEST(ReservationPlannerTest, OptimalBookingIsTheCriticalQuantile)
+{
+    const ReservationPlanner planner(terms(2000.0, 10000.0));
+    Rng rng(1);
+    std::vector<double> demand;
+    for (int i = 0; i < 20000; ++i)
+        demand.push_back(rng.uniform(1000.0, 2000.0));
+    const ReservationPlan plan = planner.optimalReservation(demand);
+    // Fractile 0.8 over U[1000, 2000] -> q* ~ 1800.
+    EXPECT_NEAR(plan.reserved_wafers, 1800.0, 15.0);
+    EXPECT_NEAR(plan.p_exceed, 0.2, 0.02);
+}
+
+TEST(ReservationPlannerTest, OptimumBeatsNeighboringBookings)
+{
+    const ReservationPlanner planner(terms(3000.0, 9000.0));
+    Rng rng(2);
+    std::vector<double> demand;
+    for (int i = 0; i < 20000; ++i)
+        demand.push_back(rng.normal(5000.0, 800.0));
+    for (double& d : demand)
+        d = std::max(d, 0.0);
+    const ReservationPlan plan = planner.optimalReservation(demand);
+    const double optimum = plan.expected_cost.value();
+    for (double delta : {-400.0, -100.0, 100.0, 400.0}) {
+        EXPECT_LE(optimum,
+                  planner
+                      .expectedCost(plan.reserved_wafers + delta,
+                                    demand)
+                      .value() +
+                      1e-6)
+            << "delta " << delta;
+    }
+}
+
+TEST(ReservationPlannerTest, NoDiscountMeansNoBooking)
+{
+    const ReservationPlanner planner(terms(10000.0, 10000.0));
+    const std::vector<double> demand{100.0, 300.0};
+    const ReservationPlan plan = planner.optimalReservation(demand);
+    EXPECT_DOUBLE_EQ(plan.reserved_wafers, 0.0);
+    EXPECT_DOUBLE_EQ(plan.p_exceed, 1.0);
+    EXPECT_NEAR(plan.expected_cost.value(), 10000.0 * 200.0, 1e-6);
+}
+
+TEST(ReservationPlannerTest, Validation)
+{
+    const ReservationPlanner planner(terms(1.0, 2.0));
+    EXPECT_THROW(planner.expectedCost(-1.0, {1.0}), ModelError);
+    EXPECT_THROW(planner.expectedCost(1.0, {}), ModelError);
+    EXPECT_THROW(planner.expectedCost(1.0, {-5.0}), ModelError);
+    EXPECT_THROW(planner.optimalReservation({}), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

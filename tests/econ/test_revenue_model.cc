@@ -1,0 +1,156 @@
+#include "econ/revenue_model.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+MarketWindow
+linearWindow()
+{
+    MarketWindow window;
+    window.peak_unit_price = Dollars(100.0);
+    window.window = Weeks(100.0);
+    window.elasticity = 1.0;
+    return window;
+}
+
+TEST(MarketWindowTest, LinearDecay)
+{
+    const MarketWindow window = linearWindow();
+    EXPECT_DOUBLE_EQ(window.unitPrice(Weeks(0.0)).value(), 100.0);
+    EXPECT_DOUBLE_EQ(window.unitPrice(Weeks(50.0)).value(), 50.0);
+    EXPECT_DOUBLE_EQ(window.unitPrice(Weeks(100.0)).value(), 0.0);
+    EXPECT_DOUBLE_EQ(window.unitPrice(Weeks(150.0)).value(), 0.0);
+}
+
+TEST(MarketWindowTest, ElasticityShapesTheDecay)
+{
+    MarketWindow punishing = linearWindow();
+    punishing.elasticity = 2.0;
+    MarketWindow tolerant = linearWindow();
+    tolerant.elasticity = 0.5;
+    // At mid-window: punishing = 25, linear = 50, tolerant ~ 70.7.
+    EXPECT_NEAR(punishing.unitPrice(Weeks(50.0)).value(), 25.0, 1e-9);
+    EXPECT_NEAR(tolerant.unitPrice(Weeks(50.0)).value(),
+                100.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(MarketWindowTest, RevenueScalesWithVolume)
+{
+    const MarketWindow window = linearWindow();
+    EXPECT_DOUBLE_EQ(window.revenue(1e6, Weeks(50.0)).value(), 50e6);
+    EXPECT_DOUBLE_EQ(window.revenue(0.0, Weeks(0.0)).value(), 0.0);
+}
+
+TEST(MarketWindowTest, Validation)
+{
+    MarketWindow window = linearWindow();
+    window.peak_unit_price = Dollars(0.0);
+    EXPECT_THROW(window.validate(), ModelError);
+    window = linearWindow();
+    window.window = Weeks(0.0);
+    EXPECT_THROW(window.validate(), ModelError);
+    window = linearWindow();
+    window.elasticity = 0.0;
+    EXPECT_THROW(window.validate(), ModelError);
+    EXPECT_THROW(linearWindow().unitPrice(Weeks(-1.0)), ModelError);
+}
+
+class ProfitModelTest : public ::testing::Test
+{
+  protected:
+    ProfitModelTest()
+        : model(TtmModel(defaultTechnologyDb(),
+                         [] {
+                             TtmModel::Options options;
+                             options.tapeout_engineers =
+                                 kA11TapeoutEngineers;
+                             return options;
+                         }()),
+                CostModel(defaultTechnologyDb()), window())
+    {}
+
+    static MarketWindow
+    window()
+    {
+        MarketWindow w;
+        w.peak_unit_price = Dollars(120.0);
+        w.window = Weeks(120.0);
+        return w;
+    }
+
+    ProfitModel model;
+};
+
+TEST_F(ProfitModelTest, ProfitIsRevenueMinusCost)
+{
+    const ProfitResult result =
+        model.evaluate(designs::a11("28nm"), 10e6);
+    EXPECT_GT(result.revenue.value(), 0.0);
+    EXPECT_GT(result.cost.value(), 0.0);
+    EXPECT_NEAR(result.profit().value(),
+                result.revenue.value() - result.cost.value(), 1e-3);
+    EXPECT_NEAR(result.roi(),
+                result.profit().value() / result.cost.value(), 1e-12);
+}
+
+TEST_F(ProfitModelTest, SlowerMarketMeansLessRevenue)
+{
+    const ChipDesign a11 = designs::a11("28nm");
+    MarketConditions squeezed;
+    squeezed.setCapacityFactor("28nm", 0.1);
+    const ProfitResult calm = model.evaluate(a11, 10e6);
+    const ProfitResult late = model.evaluate(a11, 10e6, squeezed);
+    EXPECT_GT(late.ttm.value(), calm.ttm.value());
+    EXPECT_LT(late.revenue.value(), calm.revenue.value());
+    EXPECT_LT(late.profit().value(), calm.profit().value());
+}
+
+TEST_F(ProfitModelTest, BestNodeBalancesTtmAgainstCost)
+{
+    // With a decaying window the best node is a fast one, not the
+    // cheapest: 250nm's 136-week TTM eats the whole window.
+    const auto [node, result] =
+        model.bestNode(designs::a11("10nm"), 10e6);
+    EXPECT_NE(node, "250nm");
+    EXPECT_GT(result.profit().value(), 0.0);
+    // Sanity: the chosen node beats a known-slow alternative.
+    const ProfitResult slow =
+        model.evaluate(designs::a11("250nm"), 10e6);
+    EXPECT_GT(result.profit().value(), slow.profit().value());
+}
+
+TEST_F(ProfitModelTest, BestNodeRespectsMarketOutages)
+{
+    MarketConditions controls;
+    for (const char* node : {"14nm", "12nm", "7nm", "5nm", "28nm"})
+        controls.setCapacityFactor(node, 0.0);
+    const auto [node, result] =
+        model.bestNode(designs::a11("10nm"), 10e6, controls);
+    EXPECT_TRUE(node == "40nm" || node == "65nm" || node == "180nm")
+        << node;
+}
+
+TEST_F(ProfitModelTest, PastWindowProfitIsNegative)
+{
+    MarketWindow short_window;
+    short_window.peak_unit_price = Dollars(50.0);
+    short_window.window = Weeks(10.0); // no node ships inside 10 weeks
+    const ProfitModel impatient{
+        TtmModel(defaultTechnologyDb()),
+        CostModel(defaultTechnologyDb()), short_window};
+    const ProfitResult result =
+        impatient.evaluate(designs::a11("28nm"), 1e6);
+    EXPECT_DOUBLE_EQ(result.revenue.value(), 0.0);
+    EXPECT_LT(result.profit().value(), 0.0);
+}
+
+} // namespace
+} // namespace ttmcas

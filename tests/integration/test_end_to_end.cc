@@ -1,0 +1,210 @@
+/**
+ * @file
+ * End-to-end pipelines across modules: the full studies a user of the
+ * library would run, checked for cross-module consistency rather than
+ * specific values (those live in test_paper_calibration.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accel_study.hh"
+#include "core/cas.hh"
+#include "core/reference_designs.hh"
+#include "core/scenario.hh"
+#include "core/uncertainty.hh"
+#include "econ/cost_model.hh"
+#include "opt/cache_optimizer.hh"
+#include "opt/pareto.hh"
+#include "opt/split_optimizer.hh"
+#include "sim/ariane.hh"
+#include "sim/miss_curves.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(EndToEndTest, FullA11StudyAcrossEveryAvailableNode)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    TtmModel::Options options;
+    options.tapeout_engineers = kA11TapeoutEngineers;
+    const TtmModel model(db, options);
+    const CostModel costs(db);
+
+    for (const std::string& node : db.availableNames()) {
+        const ChipDesign a11 = designs::a11(node);
+        const TtmResult ttm = model.evaluate(a11, 1e7);
+        EXPECT_GT(ttm.total().value(), 0.0) << node;
+        EXPECT_GT(costs.evaluate(a11, 1e7).total().value(), 0.0) << node;
+        // Sanity: no phase is negative.
+        EXPECT_GE(ttm.design_time.value(), 0.0);
+        EXPECT_GE(ttm.tapeout_time.value(), 0.0);
+        EXPECT_GE(ttm.fab_time.value(), 0.0);
+        EXPECT_GE(ttm.packaging_time.value(), 0.0);
+    }
+}
+
+TEST(EndToEndTest, CacheStudyPipelineFromTracesToOptimum)
+{
+    // Small but genuine pipeline: traces -> cache sim -> miss curves ->
+    // IPC -> TTM/cost -> optimizer.
+    MissCurveOptions curve_options;
+    curve_options.warmup_accesses = 10'000;
+    curve_options.measured_accesses = 30'000;
+    curve_options.sizes_bytes = {1024, 16 * 1024, 256 * 1024};
+    const auto suite = defaultWorkloadSuite();
+    const auto [instr, data] = averageMissCurves(suite, curve_options);
+
+    const CacheSweep sweep(defaultTechnologyDb(), instr, data,
+                           IpcModel{});
+    CacheSweepOptions sweep_options;
+    sweep_options.sizes_bytes = curve_options.sizes_bytes;
+    sweep_options.n_chips = 10e6;
+    const auto points = sweep.sweep(sweep_options);
+    ASSERT_EQ(points.size(), 9u);
+
+    const auto& best_ttm = CacheSweep::bestByIpcPerTtm(points);
+    const auto& best_cost = CacheSweep::bestByIpcPerCost(points);
+    EXPECT_GT(best_ttm.ipc, 0.0);
+    EXPECT_GT(best_cost.ipc, 0.0);
+
+    // The two optima are on the (ipc max, ttm min, cost min) Pareto
+    // front of the sweep.
+    std::vector<std::vector<double>> scores;
+    for (const auto& point : points) {
+        scores.push_back(
+            {point.ipc, point.ttm.value(), point.cost.value()});
+    }
+    const auto front = paretoFront(
+        scores, {Objective::Maximize, Objective::Minimize,
+                 Objective::Minimize});
+    const auto on_front = [&](const CacheDesignPoint& candidate) {
+        for (std::size_t index : front) {
+            if (points[index].icache_bytes == candidate.icache_bytes &&
+                points[index].dcache_bytes == candidate.dcache_bytes)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(on_front(best_ttm));
+    EXPECT_TRUE(on_front(best_cost));
+}
+
+TEST(EndToEndTest, DisruptionScenarioChangesTheOptimalNode)
+{
+    // A wargame step: under an advanced-node export-control scenario
+    // the A11's fastest node must be a legacy one.
+    const TechnologyDb db = defaultTechnologyDb();
+    TtmModel::Options options;
+    options.tapeout_engineers = kA11TapeoutEngineers;
+    const TtmModel model(db, options);
+    const MarketConditions controlled =
+        scenarios::exportControls(db, 14.0).apply();
+
+    std::string best_node;
+    double best_ttm = 0.0;
+    for (const std::string& node : db.availableNames()) {
+        if (controlled.capacityFactor(node) == 0.0)
+            continue;
+        const double ttm =
+            model.evaluate(designs::a11(node), 1e7, controlled)
+                .total()
+                .value();
+        if (best_node.empty() || ttm < best_ttm) {
+            best_node = node;
+            best_ttm = ttm;
+        }
+    }
+    EXPECT_EQ(best_node, "28nm");
+    // And the now-banned nodes refuse to evaluate.
+    EXPECT_THROW(model.evaluate(designs::a11("7nm"), 1e7, controlled),
+                 ModelError);
+}
+
+TEST(EndToEndTest, UncertaintyBandsBracketTheNominalResult)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    TtmModel::Options model_options;
+    model_options.tapeout_engineers = kA11TapeoutEngineers;
+    const TtmModel model(db, model_options);
+    const UncertaintyAnalysis analysis(db, model_options);
+
+    const ChipDesign a11 = designs::a11("7nm");
+    const double nominal = model.evaluate(a11, 1e7).total().value();
+
+    UncertaintyAnalysis::Options mc;
+    mc.samples = 200;
+    const Summary summary = analysis.ttmSummary(a11, 1e7, {}, mc);
+    const Interval ci = summary.percentileInterval(0.95);
+    EXPECT_TRUE(ci.contains(nominal));
+    EXPECT_LT(ci.width(), nominal); // bands are informative, not wild
+}
+
+TEST(EndToEndTest, MultiProcessPlannerBeatsSinglesForRaven)
+{
+    TtmModel::Options options;
+    options.tapeout_engineers = kRavenTapeoutEngineers;
+    SplitPlanner::Options plan_options;
+    for (int percent = 10; percent <= 100; percent += 10)
+        plan_options.fractions.push_back(percent / 100.0);
+    const SplitPlanner planner(
+        TtmModel(defaultTechnologyDb(), options),
+        CostModel(defaultTechnologyDb()), plan_options);
+    const DesignFactory raven = [](const std::string& process) {
+        return designs::ravenMulticore(process);
+    };
+
+    const ProductionPlan split =
+        planner.optimizeCas(raven, 1e9, "28nm", "40nm");
+    const ProductionPlan single_28 =
+        planner.singleProcessPlan(raven, 1e9, "28nm");
+    const ProductionPlan single_40 =
+        planner.singleProcessPlan(raven, 1e9, "40nm");
+    EXPECT_GE(split.cas, single_28.cas);
+    EXPECT_GE(split.cas, single_40.cas);
+    EXPECT_LE(split.ttm.value(),
+              std::max(single_28.ttm.value(), single_40.ttm.value()));
+}
+
+TEST(EndToEndTest, AccelStudyIntegratesTimingAndCost)
+{
+    const auto results =
+        runAccelStudy(defaultTechnologyDb(), AccelStudyOptions{});
+    // Tapeout cost ordering matches transistor ordering.
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_GT(results[0].tapeout_cost.value(),
+              results[1].tapeout_cost.value());
+    EXPECT_GT(results[2].tapeout_cost.value(),
+              results[3].tapeout_cost.value());
+}
+
+TEST(EndToEndTest, YieldModelSwapPerturbsButPreservesOrdering)
+{
+    // Ablation hook: swapping the yield model changes absolute TTM but
+    // not the legacy-vs-advanced ranking at volume.
+    TtmModel::Options nb_options;
+    nb_options.tapeout_engineers = kA11TapeoutEngineers;
+    TtmModel::Options poisson_options = nb_options;
+    poisson_options.yield = std::make_shared<PoissonYield>();
+
+    const TtmModel nb(defaultTechnologyDb(), nb_options);
+    const TtmModel poisson(defaultTechnologyDb(), poisson_options);
+
+    const double nb_250 =
+        nb.evaluate(designs::a11("250nm"), 1e7).total().value();
+    const double poisson_250 =
+        poisson.evaluate(designs::a11("250nm"), 1e7).total().value();
+    EXPECT_NE(nb_250, poisson_250);
+    // Poisson is more pessimistic for big dies -> more wafers -> later.
+    EXPECT_GT(poisson_250, nb_250);
+
+    const double nb_28 =
+        nb.evaluate(designs::a11("28nm"), 1e7).total().value();
+    const double poisson_28 =
+        poisson.evaluate(designs::a11("28nm"), 1e7).total().value();
+    EXPECT_LT(nb_28, nb_250);
+    EXPECT_LT(poisson_28, poisson_250);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Randomized robustness sweep: generate random-but-valid designs and
+ * markets, evaluate every model, and check the invariants no input
+ * should be able to break. A cheap fuzzer that has to stay green
+ * forever.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cas.hh"
+#include "econ/cost_model.hh"
+#include "stats/rng.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class FuzzTest : public ::testing::Test
+{
+  protected:
+    FuzzTest()
+        : db(defaultTechnologyDb()), model(db), costs(db), cas(model)
+    {}
+
+    /** Random design with 1-4 die types over random nodes. */
+    ChipDesign
+    randomDesign(Rng& rng)
+    {
+        const auto nodes = db.availableNames();
+        ChipDesign design;
+        design.name = "fuzz";
+        design.design_time = Weeks(rng.uniform(0.0, 30.0));
+        const int die_types = 1 + static_cast<int>(rng.uniformInt(4));
+        for (int d = 0; d < die_types; ++d) {
+            Die die;
+            die.name = "die" + std::to_string(d);
+            die.process = nodes[rng.uniformInt(nodes.size())];
+            // 10M .. ~5B transistors, log-uniform.
+            die.total_transistors =
+                std::exp(rng.uniform(std::log(1e7), std::log(5e9)));
+            die.unique_transistors =
+                die.total_transistors * rng.uniform(0.01, 1.0);
+            die.count_per_package =
+                1.0 + static_cast<double>(rng.uniformInt(4));
+            if (rng.uniform() < 0.3)
+                die.min_area = SquareMm(rng.uniform(0.5, 5.0));
+            if (rng.uniform() < 0.2)
+                die.yield_override = rng.uniform(0.5, 1.0);
+            design.dies.push_back(std::move(die));
+        }
+        return design;
+    }
+
+    /** Random market over the design's nodes. */
+    MarketConditions
+    randomMarket(const ChipDesign& design, Rng& rng)
+    {
+        MarketConditions market;
+        for (const std::string& node : design.processNodes()) {
+            market.setCapacityFactor(node, rng.uniform(0.05, 1.0));
+            if (rng.uniform() < 0.5)
+                market.setQueueWeeks(node,
+                                     Weeks(rng.uniform(0.0, 6.0)));
+        }
+        return market;
+    }
+
+    TechnologyDb db;
+    TtmModel model;
+    CostModel costs;
+    CasModel cas;
+};
+
+TEST_F(FuzzTest, RandomDesignsNeverBreakTheInvariants)
+{
+    Rng rng(0xf022);
+    int evaluated = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const ChipDesign design = randomDesign(rng);
+        const double n_chips =
+            std::exp(rng.uniform(std::log(1e3), std::log(1e8)));
+        const MarketConditions market = randomMarket(design, rng);
+
+        TtmResult ttm;
+        try {
+            ttm = model.evaluate(design, n_chips, market);
+        } catch (const ModelError&) {
+            continue; // huge die at a coarse node may not fit a wafer
+        }
+        ++evaluated;
+
+        // Invariants.
+        EXPECT_GT(ttm.total().value(), 0.0);
+        EXPECT_TRUE(std::isfinite(ttm.total().value()));
+        EXPECT_GE(ttm.fab_time.value(), 0.0);
+        EXPECT_GE(ttm.packaging_time.value(), 0.0);
+
+        // More capacity can only help.
+        const double full =
+            model.evaluate(design, n_chips).total().value();
+        EXPECT_LE(full, ttm.total().value() + 1e-9);
+
+        // More chips can only take longer.
+        const double more = model
+                                .evaluate(design, n_chips * 2.0,
+                                          market)
+                                .total()
+                                .value();
+        EXPECT_GE(more, ttm.total().value() - 1e-9);
+
+        // Cost is finite, positive, and monotone in volume.
+        const double cost =
+            costs.evaluate(design, n_chips).total().value();
+        EXPECT_GT(cost, 0.0);
+        EXPECT_TRUE(std::isfinite(cost));
+        EXPECT_GE(costs.evaluate(design, n_chips * 2.0).total().value(),
+                  cost - 1e-6);
+
+        // CAS is positive and finite.
+        const double agility = cas.cas(design, n_chips, market);
+        EXPECT_GT(agility, 0.0);
+        EXPECT_TRUE(std::isfinite(agility));
+    }
+    // The generator must not be degenerate: most trials evaluate.
+    EXPECT_GT(evaluated, 120);
+}
+
+TEST_F(FuzzTest, EvaluationIsDeterministic)
+{
+    Rng rng(0xf055);
+    for (int trial = 0; trial < 20; ++trial) {
+        const ChipDesign design = randomDesign(rng);
+        const MarketConditions market = randomMarket(design, rng);
+        try {
+            const double a =
+                model.evaluate(design, 1e6, market).total().value();
+            const double b =
+                model.evaluate(design, 1e6, market).total().value();
+            EXPECT_DOUBLE_EQ(a, b);
+        } catch (const ModelError&) {
+            continue;
+        }
+    }
+}
+
+} // namespace
+} // namespace ttmcas

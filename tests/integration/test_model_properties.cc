@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Cross-module property suites: invariants that must hold for *every*
+ * process node and design family, swept with parameterized gtest.
+ * These guard the model's physical sanity independent of any paper
+ * number.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cas.hh"
+#include "core/reference_designs.hh"
+#include "core/uncertainty.hh"
+#include "econ/cost_model.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TtmModel::Options
+standardOptions()
+{
+    TtmModel::Options options;
+    options.tapeout_engineers = kA11TapeoutEngineers;
+    return options;
+}
+
+/** Every in-production node of the default dataset. */
+std::vector<std::string>
+productionNodes()
+{
+    return defaultTechnologyDb().availableNames();
+}
+
+class PerNodePropertyTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    PerNodePropertyTest()
+        : model(defaultTechnologyDb(), standardOptions()),
+          costs(defaultTechnologyDb())
+    {}
+
+    TtmModel model;
+    CostModel costs;
+};
+
+TEST_P(PerNodePropertyTest, TtmStrictlyIncreasesWithVolume)
+{
+    const ChipDesign a11 = designs::a11(GetParam());
+    double previous = 0.0;
+    for (double n : {1e3, 1e5, 1e7, 1e9}) {
+        const double ttm = model.evaluate(a11, n).total().value();
+        EXPECT_GT(ttm, previous) << GetParam() << " n=" << n;
+        previous = ttm;
+    }
+}
+
+TEST_P(PerNodePropertyTest, TtmDecreasesMonotonicallyWithCapacity)
+{
+    const ChipDesign a11 = designs::a11(GetParam());
+    double previous = 1e18;
+    for (double factor : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+        MarketConditions market;
+        market.setCapacityFactor(GetParam(), factor);
+        const double ttm =
+            model.evaluate(a11, 10e6, market).total().value();
+        EXPECT_LT(ttm, previous) << GetParam() << " @ " << factor;
+        previous = ttm;
+    }
+}
+
+TEST_P(PerNodePropertyTest, QueueDelaysExactlyAtFullCapacity)
+{
+    const ChipDesign a11 = designs::a11(GetParam());
+    const double base = model.evaluate(a11, 1e6).total().value();
+    for (double weeks : {0.5, 1.0, 3.0}) {
+        MarketConditions market;
+        market.setQueueWeeks(GetParam(), Weeks(weeks));
+        EXPECT_NEAR(model.evaluate(a11, 1e6, market).total().value(),
+                    base + weeks, 1e-9)
+            << GetParam();
+    }
+}
+
+TEST_P(PerNodePropertyTest, HigherDefectDensityNeverHelps)
+{
+    const UncertaintyAnalysis analysis(defaultTechnologyDb(),
+                                       standardOptions());
+    const ChipDesign a11 = designs::a11(GetParam());
+    InputFactors dirty = nominalFactors();
+    dirty[static_cast<std::size_t>(UncertainInput::DefectDensity)] = 1.5;
+    EXPECT_GE(analysis.ttmWithFactors(a11, 10e6, {}, dirty).value(),
+              analysis.ttmWithFactors(a11, 10e6, {}, nominalFactors())
+                  .value())
+        << GetParam();
+}
+
+TEST_P(PerNodePropertyTest, MoreTransistorsCostMoreAndShipLater)
+{
+    const std::string& node = GetParam();
+    const ChipDesign small =
+        makeMonolithicDesign("s", node, 0.5e9, 50e6);
+    const ChipDesign large = makeMonolithicDesign("l", node, 2e9, 200e6);
+    EXPECT_LT(model.evaluate(small, 1e6).total().value(),
+              model.evaluate(large, 1e6).total().value());
+    EXPECT_LT(costs.evaluate(small, 1e6).total().value(),
+              costs.evaluate(large, 1e6).total().value());
+}
+
+TEST_P(PerNodePropertyTest, CasIsFiniteAndPositive)
+{
+    const CasModel cas(model);
+    const double score = cas.cas(designs::a11(GetParam()), 10e6);
+    EXPECT_GT(score, 0.0) << GetParam();
+    EXPECT_LT(score, 1e7) << GetParam();
+}
+
+TEST_P(PerNodePropertyTest, PhaseBreakdownIsNonNegativeAndConsistent)
+{
+    for (double n : {1e4, 1e7}) {
+        const TtmResult result =
+            model.evaluate(designs::a11(GetParam()), n);
+        EXPECT_GE(result.design_time.value(), 0.0);
+        EXPECT_GE(result.tapeout_time.value(), 0.0);
+        EXPECT_GE(result.fab_time.value(),
+                  model.technology()
+                      .node(GetParam())
+                      .foundry_latency.value());
+        EXPECT_GE(result.packaging_time.value(),
+                  model.technology()
+                      .node(GetParam())
+                      .osat_latency.value());
+        // Die details account for all wafers.
+        double wafers = 0.0;
+        for (const auto& die : result.die_details)
+            wafers += die.wafers.value();
+        EXPECT_NEAR(result.nodeDetail(GetParam()).wafers.value(), wafers,
+                    1e-6);
+    }
+}
+
+TEST_P(PerNodePropertyTest, CostBreakdownNonNegative)
+{
+    const CostBreakdown breakdown =
+        costs.evaluate(designs::a11(GetParam()), 1e6);
+    EXPECT_GE(breakdown.tapeout_labor.value(), 0.0);
+    EXPECT_GE(breakdown.tapeout_fixed.value(), 0.0);
+    EXPECT_GT(breakdown.masks.value(), 0.0);
+    EXPECT_GT(breakdown.wafers.value(), 0.0);
+    EXPECT_GT(breakdown.packaging.value(), 0.0);
+    EXPECT_GT(breakdown.testing.value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProductionNodes, PerNodePropertyTest,
+    ::testing::ValuesIn(productionNodes()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        name.erase(name.find("nm"));
+        return "n" + name;
+    });
+
+/** Design-family sweeps: invariants across the reference designs. */
+class PerDesignPropertyTest
+    : public ::testing::TestWithParam<designs::Zen2Config>
+{};
+
+TEST_P(PerDesignPropertyTest, EveryZen2VariantEvaluatesEverywhere)
+{
+    TtmModel::Options options;
+    options.tapeout_engineers = kZen2TapeoutEngineers;
+    const TtmModel model(defaultTechnologyDb(), options);
+    const CostModel costs(defaultTechnologyDb());
+    const ChipDesign design = designs::zen2(GetParam());
+    for (double n : {1e4, 1e6, 50e6}) {
+        const TtmResult ttm = model.evaluate(design, n);
+        EXPECT_GT(ttm.total().value(), 0.0);
+        EXPECT_GT(costs.evaluate(design, n).total().value(), 0.0);
+    }
+}
+
+TEST_P(PerDesignPropertyTest, InterposerVariantsNeverBeatTheirBase)
+{
+    using designs::Zen2Config;
+    const Zen2Config config = GetParam();
+    Zen2Config base;
+    switch (config) {
+      case Zen2Config::OriginalWithInterposer:
+        base = Zen2Config::Original;
+        break;
+      case Zen2Config::Chiplet7nmWithInterposer:
+        base = Zen2Config::Chiplet7nm;
+        break;
+      case Zen2Config::Chiplet12nmWithInterposer:
+        base = Zen2Config::Chiplet12nm;
+        break;
+      default:
+        GTEST_SKIP() << "not an interposer variant";
+    }
+    TtmModel::Options options;
+    options.tapeout_engineers = kZen2TapeoutEngineers;
+    const TtmModel model(defaultTechnologyDb(), options);
+    for (double n : {1e6, 50e6, 100e6}) {
+        EXPECT_GE(model.evaluate(designs::zen2(config), n).total().value(),
+                  model.evaluate(designs::zen2(base), n).total().value() -
+                      1e-9)
+            << designs::zen2ConfigName(config) << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllZen2Configs, PerDesignPropertyTest,
+    ::testing::ValuesIn(designs::allZen2Configs()),
+    [](const ::testing::TestParamInfo<designs::Zen2Config>& info) {
+        std::string name = designs::zen2ConfigName(info.param);
+        std::string cleaned;
+        for (char ch : name) {
+            if (std::isalnum(static_cast<unsigned char>(ch)))
+                cleaned.push_back(ch);
+        }
+        return cleaned;
+    });
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,145 @@
+#include "opt/cache_optimizer.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+/**
+ * Synthetic miss curves: power-law decay toward a compulsory-miss
+ * floor, the shape of real SPEC capacity curves. The floor matters:
+ * without one, IPC keeps improving at megabyte capacities and the
+ * IPC/TTM optimum degenerates to the largest cache.
+ */
+MissCurve
+syntheticCurve(bool instruction, double scale, double floor)
+{
+    MissCurve curve;
+    curve.workload = "synthetic";
+    curve.instruction_stream = instruction;
+    curve.sizes_bytes = MissCurveOptions::paperSizes();
+    for (std::uint64_t size : curve.sizes_bytes) {
+        curve.miss_rates.push_back(
+            floor +
+            scale / std::pow(static_cast<double>(size) / 1024.0, 0.8));
+    }
+    return curve;
+}
+
+class CacheSweepTest : public ::testing::Test
+{
+  protected:
+    CacheSweepTest()
+        : sweep(defaultTechnologyDb(), syntheticCurve(true, 0.06, 0.0005),
+                syntheticCurve(false, 0.18, 0.02), IpcModel{})
+    {}
+
+    static CacheSweepOptions
+    smallOptions()
+    {
+        CacheSweepOptions options;
+        options.sizes_bytes = {1024, 8 * 1024, 64 * 1024, 1024 * 1024};
+        options.process = "14nm";
+        options.n_chips = 100e6;
+        return options;
+    }
+
+    CacheSweep sweep;
+};
+
+TEST_F(CacheSweepTest, SweepCoversCartesianProduct)
+{
+    const auto points = sweep.sweep(smallOptions());
+    EXPECT_EQ(points.size(), 16u);
+}
+
+TEST_F(CacheSweepTest, IpcRisesWithCacheCapacity)
+{
+    const auto options = smallOptions();
+    const auto small = sweep.evaluate(1024, 1024, options);
+    const auto large =
+        sweep.evaluate(1024 * 1024, 1024 * 1024, options);
+    EXPECT_GT(large.ipc, small.ipc);
+}
+
+TEST_F(CacheSweepTest, TtmAndCostRiseWithCacheCapacity)
+{
+    const auto options = smallOptions();
+    const auto small = sweep.evaluate(1024, 1024, options);
+    const auto large =
+        sweep.evaluate(1024 * 1024, 1024 * 1024, options);
+    EXPECT_GT(large.ttm.value(), small.ttm.value());
+    EXPECT_GT(large.cost.value(), small.cost.value());
+    EXPECT_GT(large.cache_area_fraction, small.cache_area_fraction);
+}
+
+TEST_F(CacheSweepTest, OptimaAreInteriorNotExtremes)
+{
+    // IPC/TTM must peak somewhere between all-minimum and all-maximum
+    // capacity (Fig. 5's headline observation).
+    const auto points = sweep.sweep(smallOptions());
+    const auto& best = CacheSweep::bestByIpcPerTtm(points);
+    const bool all_min =
+        best.icache_bytes == 1024 && best.dcache_bytes == 1024;
+    const bool all_max = best.icache_bytes == 1024 * 1024 &&
+                         best.dcache_bytes == 1024 * 1024;
+    EXPECT_FALSE(all_min);
+    EXPECT_FALSE(all_max);
+}
+
+TEST_F(CacheSweepTest, SelectorsPickArgmax)
+{
+    const auto points = sweep.sweep(smallOptions());
+    const auto& by_ttm = CacheSweep::bestByIpcPerTtm(points);
+    const auto& by_cost = CacheSweep::bestByIpcPerCost(points);
+    for (const auto& point : points) {
+        EXPECT_LE(point.ipcPerTtm(), by_ttm.ipcPerTtm() + 1e-12);
+        EXPECT_LE(point.ipcPerCost(), by_cost.ipcPerCost() + 1e-12);
+    }
+}
+
+TEST_F(CacheSweepTest, LargerDataCachePreferredOverInstruction)
+{
+    // With data misses dominating (scale 0.22 vs 0.06), the IPC/TTM
+    // optimum should not spend more on I$ than on D$.
+    const auto points = sweep.sweep(smallOptions());
+    const auto& best = CacheSweep::bestByIpcPerTtm(points);
+    EXPECT_LE(best.icache_bytes, best.dcache_bytes);
+}
+
+TEST_F(CacheSweepTest, HigherVolumePushesTowardSmallerCaches)
+{
+    // Fig. 6: as quantity rises, wafer demand dominates and the
+    // optimal total cache capacity shrinks (or at least never grows).
+    CacheSweepOptions low = smallOptions();
+    low.n_chips = 1e4;
+    CacheSweepOptions high = smallOptions();
+    high.n_chips = 100e6;
+    const auto low_points = sweep.sweep(low);
+    const auto high_points = sweep.sweep(high);
+    const auto& best_low = CacheSweep::bestByIpcPerTtm(low_points);
+    const auto& best_high = CacheSweep::bestByIpcPerTtm(high_points);
+    EXPECT_LE(best_high.icache_bytes + best_high.dcache_bytes,
+              best_low.icache_bytes + best_low.dcache_bytes);
+}
+
+TEST_F(CacheSweepTest, RejectsEmptySelection)
+{
+    EXPECT_THROW(CacheSweep::bestByIpcPerTtm({}), ModelError);
+    EXPECT_THROW(CacheSweep::bestByIpcPerCost({}), ModelError);
+}
+
+TEST_F(CacheSweepTest, UnknownProcessThrows)
+{
+    CacheSweepOptions options = smallOptions();
+    options.process = "3nm";
+    EXPECT_THROW(sweep.sweep(options), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

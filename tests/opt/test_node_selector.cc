@@ -1,0 +1,138 @@
+#include "opt/node_selector.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class NodeSelectorTest : public ::testing::Test
+{
+  protected:
+    NodeSelectorTest()
+        : selector(TtmModel(defaultTechnologyDb(), makeOptions()),
+                   CostModel(defaultTechnologyDb()))
+    {}
+
+    static TtmModel::Options
+    makeOptions()
+    {
+        TtmModel::Options options;
+        options.tapeout_engineers = kA11TapeoutEngineers;
+        return options;
+    }
+
+    NodeSelector selector;
+    ChipDesign a11 = designs::a11("10nm");
+};
+
+TEST_F(NodeSelectorTest, ScoresAreNormalizedAndSorted)
+{
+    const auto ranking = selector.rank(a11, 10e6);
+    ASSERT_FALSE(ranking.empty());
+    for (const NodeScore& entry : ranking) {
+        EXPECT_GT(entry.score, 0.0) << entry.node;
+        EXPECT_LE(entry.score, 1.0 + 1e-12) << entry.node;
+    }
+    for (std::size_t i = 1; i < ranking.size(); ++i)
+        EXPECT_GE(ranking[i - 1].score, ranking[i].score);
+}
+
+TEST_F(NodeSelectorTest, BestInClassOnEveryAxisScoresOne)
+{
+    // With weight only on TTM, the fastest node must score exactly 1.
+    ObjectiveWeights ttm_only;
+    ttm_only.ttm = 1.0;
+    ttm_only.cost = 0.0;
+    ttm_only.cas = 0.0;
+    const auto ranking = selector.rank(a11, 10e6, ttm_only);
+    EXPECT_NEAR(ranking.front().score, 1.0, 1e-12);
+    // And the winner is the TTM-optimal node for 10M A11 chips: 28nm.
+    EXPECT_EQ(ranking.front().node, "28nm");
+}
+
+TEST_F(NodeSelectorTest, WeightsSteerTheWinner)
+{
+    ObjectiveWeights cas_heavy;
+    cas_heavy.ttm = 0.1;
+    cas_heavy.cost = 0.1;
+    cas_heavy.cas = 10.0;
+    const auto by_cas = selector.rank(a11, 10e6, cas_heavy);
+    // The agility-dominant node for the A11 at 10M chips is 7nm.
+    EXPECT_EQ(by_cas.front().node, "7nm");
+
+    ObjectiveWeights cost_heavy;
+    cost_heavy.ttm = 0.1;
+    cost_heavy.cost = 10.0;
+    cost_heavy.cas = 0.1;
+    const auto by_cost = selector.rank(a11, 10e6, cost_heavy);
+    // Cheapest A11 production sits on the advanced, few-wafer nodes.
+    EXPECT_TRUE(by_cost.front().node == "7nm" ||
+                by_cost.front().node == "5nm" ||
+                by_cost.front().node == "14nm")
+        << by_cost.front().node;
+}
+
+TEST_F(NodeSelectorTest, MarketOutagesDropNodes)
+{
+    MarketConditions market;
+    market.setCapacityFactor("28nm", 0.0);
+    const auto ranking = selector.rank(a11, 10e6, {}, market);
+    for (const NodeScore& entry : ranking)
+        EXPECT_NE(entry.node, "28nm");
+}
+
+TEST_F(NodeSelectorTest, RejectsDegenerateWeights)
+{
+    ObjectiveWeights zero;
+    zero.ttm = zero.cost = zero.cas = 0.0;
+    EXPECT_THROW(selector.rank(a11, 10e6, zero), ModelError);
+    ObjectiveWeights negative;
+    negative.ttm = -1.0;
+    EXPECT_THROW(selector.rank(a11, 10e6, negative), ModelError);
+}
+
+TEST(InterposerSweepTest, ReproducesSection65WhatIf)
+{
+    TtmModel::Options options;
+    options.tapeout_engineers = kZen2TapeoutEngineers;
+    const TtmModel model(defaultTechnologyDb(), options);
+    const CostModel costs(defaultTechnologyDb());
+
+    const auto choices = sweepInterposerNodes(
+        model, costs,
+        [](const std::string& node) {
+            return designs::zen2(
+                designs::Zen2Config::OriginalWithInterposer, node);
+        },
+        100e6, {"65nm", "40nm", "28nm"});
+    ASSERT_EQ(choices.size(), 3u);
+
+    const InterposerChoice& on_65 = choices[0];
+    const InterposerChoice& on_40 = choices[1];
+    // Section 6.5: 40nm interposer is faster and more agile than 65nm.
+    EXPECT_LT(on_40.ttm.value(), on_65.ttm.value());
+    EXPECT_GT(on_40.cas, on_65.cas);
+    EXPECT_GT(on_40.cost.value(), on_65.cost.value());
+}
+
+TEST(InterposerSweepTest, RejectsEmptyCandidateList)
+{
+    const TtmModel model(defaultTechnologyDb());
+    const CostModel costs(defaultTechnologyDb());
+    EXPECT_THROW(sweepInterposerNodes(
+                     model, costs,
+                     [](const std::string& node) {
+                         return designs::zen2(
+                             designs::Zen2Config::OriginalWithInterposer,
+                             node);
+                     },
+                     1e6, {}),
+                 ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

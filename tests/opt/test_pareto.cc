@@ -1,0 +1,106 @@
+#include "opt/pareto.hh"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ttmcas {
+namespace {
+
+const std::vector<Objective> kMaxMin{Objective::Maximize,
+                                     Objective::Minimize};
+
+TEST(DominatesTest, StrictDominance)
+{
+    // Maximize first, minimize second.
+    EXPECT_TRUE(dominates({2.0, 1.0}, {1.0, 2.0}, kMaxMin));
+    EXPECT_FALSE(dominates({1.0, 2.0}, {2.0, 1.0}, kMaxMin));
+}
+
+TEST(DominatesTest, EqualRowsDoNotDominate)
+{
+    EXPECT_FALSE(dominates({1.0, 1.0}, {1.0, 1.0}, kMaxMin));
+}
+
+TEST(DominatesTest, TiedInOneStrictInOther)
+{
+    EXPECT_TRUE(dominates({2.0, 1.0}, {1.0, 1.0}, kMaxMin));
+    EXPECT_TRUE(dominates({1.0, 0.5}, {1.0, 1.0}, kMaxMin));
+}
+
+TEST(DominatesTest, TradeoffRowsAreIncomparable)
+{
+    EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 1.0}, kMaxMin));
+    EXPECT_FALSE(dominates({1.0, 1.0}, {2.0, 2.0}, kMaxMin));
+}
+
+TEST(DominatesTest, RejectsArityMismatch)
+{
+    EXPECT_THROW(dominates({1.0}, {1.0, 2.0}, kMaxMin), ModelError);
+    EXPECT_THROW(dominates({1.0, 2.0}, {1.0, 2.0}, {Objective::Maximize}),
+                 ModelError);
+}
+
+TEST(ParetoFrontTest, ExtractsNonDominatedSet)
+{
+    // (ipc up, ttm down): points c and d are dominated.
+    const std::vector<std::vector<double>> scores{
+        {0.20, 25.0}, // a: front
+        {0.26, 30.0}, // b: front (better ipc, worse ttm)
+        {0.18, 26.0}, // c: dominated by a
+        {0.20, 31.0}, // d: dominated by a and b
+    };
+    const auto front = paretoFront(scores, kMaxMin);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_NE(std::find(front.begin(), front.end(), 0u), front.end());
+    EXPECT_NE(std::find(front.begin(), front.end(), 1u), front.end());
+}
+
+TEST(ParetoFrontTest, AllIncomparablePointsSurvive)
+{
+    const std::vector<std::vector<double>> scores{
+        {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+    EXPECT_EQ(paretoFront(scores, kMaxMin).size(), 3u);
+}
+
+TEST(ParetoFrontTest, SingleBestPointDominatesEverything)
+{
+    const std::vector<std::vector<double>> scores{
+        {5.0, 1.0}, {1.0, 5.0}, {4.0, 2.0}, {5.0, 0.5}};
+    const auto front = paretoFront(scores, kMaxMin);
+    // {5.0, 0.5} dominates {5.0, 1.0} and {4.0, 2.0}; {1.0, 5.0} is
+    // incomparable? No: {5,0.5} dominates it too (higher, lower).
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 3u);
+}
+
+TEST(ParetoFrontTest, DuplicatesAllKept)
+{
+    const std::vector<std::vector<double>> scores{
+        {1.0, 1.0}, {1.0, 1.0}};
+    EXPECT_EQ(paretoFront(scores, kMaxMin).size(), 2u);
+}
+
+TEST(ParetoFrontTest, EmptyInputGivesEmptyFront)
+{
+    EXPECT_TRUE(paretoFront({}, kMaxMin).empty());
+    EXPECT_THROW(paretoFront({{1.0}}, {}), ModelError);
+}
+
+TEST(ParetoFrontTest, ThreeObjectives)
+{
+    const std::vector<Objective> directions{
+        Objective::Maximize, Objective::Minimize, Objective::Maximize};
+    const std::vector<std::vector<double>> scores{
+        {0.2, 25.0, 100.0}, // front
+        {0.2, 25.0, 50.0},  // dominated (same, same, worse CAS)
+        {0.1, 20.0, 100.0}, // front (cheaper TTM)
+    };
+    const auto front = paretoFront(scores, directions);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[0], 0u);
+    EXPECT_EQ(front[1], 2u);
+}
+
+} // namespace
+} // namespace ttmcas

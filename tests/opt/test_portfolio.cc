@@ -1,0 +1,150 @@
+#include "opt/portfolio.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+class PortfolioPlannerTest : public ::testing::Test
+{
+  protected:
+    PortfolioPlannerTest()
+        : planner(TtmModel(defaultTechnologyDb(), makeModelOptions()),
+                  makeOptions())
+    {}
+
+    static TtmModel::Options
+    makeModelOptions()
+    {
+        TtmModel::Options options;
+        options.tapeout_engineers = kA11TapeoutEngineers;
+        return options;
+    }
+
+    static PortfolioPlanner::Options
+    makeOptions()
+    {
+        PortfolioPlanner::Options options;
+        // A focused candidate set keeps the search fast and the test
+        // outcome interpretable.
+        options.candidate_nodes = {"65nm", "40nm", "28nm", "14nm"};
+        return options;
+    }
+
+    static PortfolioProduct
+    product(const std::string& name, double ntt, double chips,
+            double deadline, double weight = 1.0)
+    {
+        PortfolioProduct p;
+        p.name = name;
+        p.design = makeMonolithicDesign(name, "28nm", ntt, ntt / 10.0,
+                                        Weeks(2.0));
+        p.n_chips = chips;
+        p.deadline = Weeks(deadline);
+        p.weight = weight;
+        return p;
+    }
+
+    PortfolioPlanner planner;
+};
+
+TEST_F(PortfolioPlannerTest, SingleProductGetsItsBestNodeAndFullShare)
+{
+    const auto plan = planner.plan({product("solo", 2e9, 10e6, 40.0)});
+    ASSERT_EQ(plan.assignments.size(), 1u);
+    EXPECT_NEAR(plan.assignments[0].share, 1.0, 1e-6);
+    EXPECT_TRUE(plan.assignments[0].onTime());
+    EXPECT_DOUBLE_EQ(plan.total_weighted_lateness, 0.0);
+}
+
+TEST_F(PortfolioPlannerTest, ContendingProductsSpreadAcrossNodes)
+{
+    // Two big orders that would fight for one line: the planner should
+    // separate them (or split shares) such that both are served.
+    const auto plan = planner.plan({
+        product("a", 2e9, 60e6, 30.0),
+        product("b", 2e9, 60e6, 30.0),
+    });
+    ASSERT_EQ(plan.assignments.size(), 2u);
+    // Either different nodes, or same node with shares summing to 1.
+    if (plan.assignments[0].node == plan.assignments[1].node) {
+        EXPECT_NEAR(plan.assignments[0].share +
+                        plan.assignments[1].share,
+                    1.0, 1e-6);
+    } else {
+        EXPECT_NEAR(plan.assignments[0].share, 1.0, 1e-6);
+        EXPECT_NEAR(plan.assignments[1].share, 1.0, 1e-6);
+    }
+}
+
+TEST_F(PortfolioPlannerTest, PlanNeverWorseThanNaiveColocation)
+{
+    const std::vector<PortfolioProduct> products{
+        product("phone", 4e9, 20e6, 30.0, 3.0),
+        product("tablet", 3e9, 15e6, 32.0, 2.0),
+        product("hub", 0.5e9, 40e6, 28.0, 1.0),
+    };
+    const auto plan = planner.plan(products);
+    // Baseline: everything crammed onto 28nm.
+    const auto naive = planner.evaluateAssignment(
+        products, {"28nm", "28nm", "28nm"});
+    EXPECT_LE(plan.total_weighted_lateness,
+              naive.total_weighted_lateness + 1e-9);
+}
+
+TEST_F(PortfolioPlannerTest, WeightsSteerWhoEatsTheLateness)
+{
+    // Capacity-starved scenario: both cannot be on time; the heavier
+    // product should end up no later than the light one.
+    PortfolioPlanner::Options tight;
+    tight.candidate_nodes = {"90nm"}; // one slow node only
+    const PortfolioPlanner constrained(
+        TtmModel(defaultTechnologyDb(), makeModelOptions()), tight);
+    const auto plan = constrained.plan({
+        product("vip", 2e9, 40e6, 25.0, 10.0),
+        product("besteffort", 2e9, 40e6, 25.0, 1.0),
+    });
+    ASSERT_EQ(plan.assignments.size(), 2u);
+    EXPECT_GT(plan.total_weighted_lateness, 0.0);
+    // Min-makespan splits equalize; lateness equality is acceptable,
+    // but the VIP must never be the strictly later one.
+    EXPECT_LE(plan.assignments[0].ttm.value(),
+              plan.assignments[1].ttm.value() + 0.6);
+}
+
+TEST_F(PortfolioPlannerTest, EvaluateAssignmentSumsWeightedLateness)
+{
+    const std::vector<PortfolioProduct> products{
+        product("a", 1e9, 10e6, 10.0, 2.0), // impossible deadline
+        product("b", 1e9, 10e6, 500.0),     // trivially on time
+    };
+    const auto plan =
+        planner.evaluateAssignment(products, {"28nm", "40nm"});
+    ASSERT_EQ(plan.assignments.size(), 2u);
+    EXPECT_FALSE(plan.assignments[0].onTime());
+    EXPECT_TRUE(plan.assignments[1].onTime());
+    EXPECT_NEAR(plan.total_weighted_lateness,
+                2.0 * plan.assignments[0].lateness().value(), 1e-9);
+    EXPECT_EQ(plan.onTimeCount(), 1u);
+}
+
+TEST_F(PortfolioPlannerTest, Validation)
+{
+    EXPECT_THROW(planner.plan({}), ModelError);
+    PortfolioProduct bad = product("x", 1e9, 0.0, 10.0);
+    EXPECT_THROW(planner.plan({bad}), ModelError);
+    bad = product("x", 1e9, 1e6, -1.0);
+    EXPECT_THROW(planner.plan({bad}), ModelError);
+    bad = product("x", 1e9, 1e6, 10.0, 0.0);
+    EXPECT_THROW(planner.plan({bad}), ModelError);
+    EXPECT_THROW(planner.evaluateAssignment(
+                     {product("x", 1e9, 1e6, 10.0)}, {}),
+                 ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

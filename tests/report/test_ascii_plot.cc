@@ -1,0 +1,101 @@
+#include "report/ascii_plot.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+FigureData
+lineFigure()
+{
+    FigureData figure("test figure", "x", "y");
+    for (int i = 0; i <= 10; ++i) {
+        figure.series("up").points.push_back(
+            {static_cast<double>(i), static_cast<double>(i), {}, {}, {},
+             {}});
+    }
+    return figure;
+}
+
+TEST(AsciiPlotTest, RendersTitleLegendAndAxes)
+{
+    const AsciiPlot plot;
+    const std::string out = plot.render(lineFigure());
+    EXPECT_NE(out.find("test figure"), std::string::npos);
+    EXPECT_NE(out.find("*=up"), std::string::npos);
+    EXPECT_NE(out.find("+---"), std::string::npos);
+    EXPECT_NE(out.find("10.0"), std::string::npos); // y max label
+    EXPECT_NE(out.find("0.0"), std::string::npos);  // min labels
+}
+
+TEST(AsciiPlotTest, MonotoneSeriesPaintsADiagonal)
+{
+    AsciiPlot::Options options;
+    options.width = 11;
+    options.height = 11;
+    const AsciiPlot plot(options);
+    const std::string out = plot.render(lineFigure());
+
+    // Extract grid rows (between the '|' and line end).
+    std::vector<std::string> rows;
+    std::istringstream stream(out);
+    std::string line;
+    while (std::getline(stream, line)) {
+        const auto bar = line.find('|');
+        if (bar != std::string::npos)
+            rows.push_back(line.substr(bar + 1));
+    }
+    ASSERT_EQ(rows.size(), 11u);
+    // y grows upward, x rightward: top row has the marker at the far
+    // right, bottom row at the far left.
+    EXPECT_EQ(rows.front().back(), '*');
+    EXPECT_EQ(rows.back().front(), '*');
+}
+
+TEST(AsciiPlotTest, MultipleSeriesGetDistinctMarkers)
+{
+    FigureData figure("two", "x", "y");
+    figure.series("a").points.push_back({0.0, 0.0, {}, {}, {}, {}});
+    figure.series("b").points.push_back({1.0, 1.0, {}, {}, {}, {}});
+    const std::string out = AsciiPlot().render(figure);
+    EXPECT_NE(out.find("*=a"), std::string::npos);
+    EXPECT_NE(out.find("o=b"), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ForcedRangesClipOutsidePoints)
+{
+    AsciiPlot::Options options;
+    options.y_min = 0.0;
+    options.y_max = 5.0;
+    const AsciiPlot plot(options);
+    // Points above y=5 are clipped, not wrapped.
+    const std::string out = plot.render(lineFigure());
+    EXPECT_NE(out.find("5.0"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ConstantSeriesStillRenders)
+{
+    FigureData figure("flat", "x", "y");
+    for (int i = 0; i < 5; ++i)
+        figure.series("c").points.push_back(
+            {static_cast<double>(i), 7.0, {}, {}, {}, {}});
+    EXPECT_NO_THROW(AsciiPlot().render(figure));
+}
+
+TEST(AsciiPlotTest, RejectsEmptyFigureAndTinyGrids)
+{
+    FigureData empty("empty", "x", "y");
+    EXPECT_THROW(AsciiPlot().render(empty), ModelError);
+    AsciiPlot::Options tiny;
+    tiny.width = 2;
+    EXPECT_THROW(AsciiPlot{tiny}, ModelError);
+    AsciiPlot::Options no_markers;
+    no_markers.markers.clear();
+    EXPECT_THROW(AsciiPlot{no_markers}, ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

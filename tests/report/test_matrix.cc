@@ -1,0 +1,101 @@
+#include "report/matrix.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "support/strutil.hh"
+
+namespace ttmcas {
+namespace {
+
+LabeledMatrix
+sampleMatrix()
+{
+    LabeledMatrix matrix("Fig. 10", {"1K", "10M"}, {"28nm", "5nm"});
+    matrix.set(0, 0, 23.3);
+    matrix.set(0, 1, 53.5);
+    matrix.set(1, 0, 24.8);
+    matrix.set(1, 1, 53.7);
+    return matrix;
+}
+
+TEST(LabeledMatrixTest, StoresAndRetrievesCells)
+{
+    const LabeledMatrix matrix = sampleMatrix();
+    EXPECT_DOUBLE_EQ(matrix.at(0, 0).value(), 23.3);
+    EXPECT_DOUBLE_EQ(matrix.at(1, 1).value(), 53.7);
+    EXPECT_EQ(matrix.rowCount(), 2u);
+    EXPECT_EQ(matrix.columnCount(), 2u);
+}
+
+TEST(LabeledMatrixTest, UnsetCellsAreEmpty)
+{
+    LabeledMatrix matrix("tri", {"r0", "r1"}, {"c0", "c1"});
+    matrix.set(0, 1, 5.0);
+    EXPECT_FALSE(matrix.at(0, 0).has_value());
+    EXPECT_TRUE(matrix.at(0, 1).has_value());
+}
+
+TEST(LabeledMatrixTest, MinMaxAndArgMin)
+{
+    const LabeledMatrix matrix = sampleMatrix();
+    EXPECT_DOUBLE_EQ(matrix.minValue(), 23.3);
+    EXPECT_DOUBLE_EQ(matrix.maxValue(), 53.7);
+    const auto [row, column] = matrix.argMin();
+    EXPECT_EQ(row, 0u);
+    EXPECT_EQ(column, 0u);
+}
+
+TEST(LabeledMatrixTest, MinOfEmptyMatrixThrows)
+{
+    LabeledMatrix matrix("empty", {"r"}, {"c"});
+    EXPECT_THROW(matrix.minValue(), ModelError);
+    EXPECT_THROW(matrix.argMin(), ModelError);
+    EXPECT_THROW(matrix.maxValue(), ModelError);
+}
+
+TEST(LabeledMatrixTest, RenderShowsLabelsAndDashForEmpty)
+{
+    LabeledMatrix matrix("tri", {"row0"}, {"colA", "colB"});
+    matrix.set(0, 0, 1.5);
+    const std::string text = matrix.render();
+    EXPECT_NE(text.find("tri"), std::string::npos);
+    EXPECT_NE(text.find("row0"), std::string::npos);
+    EXPECT_NE(text.find("colA"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    EXPECT_NE(text.find("-"), std::string::npos);
+}
+
+TEST(LabeledMatrixTest, CustomFormatterApplies)
+{
+    const LabeledMatrix matrix = sampleMatrix();
+    const std::string text = matrix.render(
+        [](double value) { return formatFixed(value, 3); });
+    EXPECT_NE(text.find("23.300"), std::string::npos);
+}
+
+TEST(LabeledMatrixTest, CsvRoundTripsValues)
+{
+    const LabeledMatrix matrix = sampleMatrix();
+    const std::string csv = matrix.renderCsv();
+    EXPECT_NE(csv.find("row,28nm,5nm"), std::string::npos);
+    EXPECT_NE(csv.find("1K,23.300000,53.500000"), std::string::npos);
+    EXPECT_NE(csv.find("10M,24.800000,53.700000"), std::string::npos);
+}
+
+TEST(LabeledMatrixTest, RejectsOutOfRangeAccess)
+{
+    LabeledMatrix matrix("m", {"r"}, {"c"});
+    EXPECT_THROW(matrix.set(1, 0, 1.0), ModelError);
+    EXPECT_THROW(matrix.set(0, 1, 1.0), ModelError);
+    EXPECT_THROW(matrix.at(2, 0), ModelError);
+}
+
+TEST(LabeledMatrixTest, RejectsEmptyLabels)
+{
+    EXPECT_THROW(LabeledMatrix("m", {}, {"c"}), ModelError);
+    EXPECT_THROW(LabeledMatrix("m", {"r"}, {}), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,89 @@
+#include "report/series.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(FigureDataTest, SeriesAreCreatedOnceAndReused)
+{
+    FigureData figure("Fig. 9", "capacity", "cas");
+    Series& a = figure.series("7nm");
+    a.points.push_back({1.0, 175.0, {}, {}, {}, {}});
+    Series& again = figure.series("7nm");
+    EXPECT_EQ(&a, &again);
+    EXPECT_EQ(figure.allSeries().size(), 1u);
+    figure.series("5nm");
+    EXPECT_EQ(figure.allSeries().size(), 2u);
+}
+
+TEST(FigureDataTest, CsvContainsHeaderAndPoints)
+{
+    FigureData figure("Fig. 11", "pct", "ttm");
+    SeriesPoint point;
+    point.x = 50.0;
+    point.y = 30.5;
+    point.band10_lo = 29.0;
+    point.band10_hi = 32.0;
+    figure.series("No Queue").points.push_back(point);
+    const std::string csv = figure.renderCsv();
+    EXPECT_NE(csv.find("# Fig. 11"), std::string::npos);
+    EXPECT_NE(csv.find("series,pct,ttm"), std::string::npos);
+    EXPECT_NE(csv.find("No Queue,50.000000,30.500000,29.000000"),
+              std::string::npos);
+}
+
+TEST(FigureDataTest, CsvLeavesMissingBandsBlank)
+{
+    FigureData figure("f", "x", "y");
+    figure.series("s").points.push_back({1.0, 2.0, {}, {}, {}, {}});
+    const std::string csv = figure.renderCsv();
+    EXPECT_NE(csv.find("s,1.000000,2.000000,,,,"), std::string::npos);
+}
+
+TEST(FigureDataTest, TextRenderingShowsBands)
+{
+    FigureData figure("Fig. 12", "pct", "cas");
+    SeriesPoint point;
+    point.x = 100.0;
+    point.y = 170.0;
+    point.band25_lo = 150.0;
+    point.band25_hi = 190.0;
+    figure.series("1 Week").points.push_back(point);
+    const std::string text = figure.renderText(1);
+    EXPECT_NE(text.find("1 Week"), std::string::npos);
+    EXPECT_NE(text.find("ci25=[150.0, 190.0]"), std::string::npos);
+}
+
+TEST(FigureDataTest, RejectsEmptyTitle)
+{
+    EXPECT_THROW(FigureData("", "x", "y"), ModelError);
+}
+
+TEST(WriteFileTest, CreatesParentDirectories)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ttmcas_test_series";
+    std::filesystem::remove_all(dir);
+    const std::string path = (dir / "deep" / "figure.csv").string();
+    writeFile(path, "hello\n");
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "hello");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(WriteFileTest, FailsOnUnwritablePath)
+{
+    EXPECT_THROW(writeFile("/proc/ttmcas_cannot_write_here/x.csv", "x"),
+                 std::exception);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,71 @@
+#include "report/table.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    Table table({"node", "ttm"});
+    table.setAlign(0, Align::Left);
+    table.addRow({"28nm", "24.8"});
+    table.addRow({"5nm", "53.7"});
+    const std::string rendered = table.render();
+    EXPECT_NE(rendered.find("node"), std::string::npos);
+    EXPECT_NE(rendered.find("28nm"), std::string::npos);
+    EXPECT_NE(rendered.find("----"), std::string::npos);
+    // Right-aligned numeric column: "24.8" and "53.7" end at the same
+    // offset on their lines.
+    const auto line_of = [&](const std::string& needle) {
+        const auto pos = rendered.find(needle);
+        const auto line_start = rendered.rfind('\n', pos) + 1;
+        const auto line_end = rendered.find('\n', pos);
+        return rendered.substr(line_start, line_end - line_start);
+    };
+    EXPECT_EQ(line_of("24.8").size(), line_of("53.7").size());
+}
+
+TEST(TableTest, CountsRowsAndColumns)
+{
+    Table table({"a", "b", "c"});
+    EXPECT_EQ(table.columnCount(), 3u);
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"1", "2", "3"});
+    EXPECT_EQ(table.rowCount(), 1u);
+}
+
+TEST(TableTest, RejectsMismatchedRows)
+{
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), ModelError);
+    EXPECT_THROW(table.addRow({"1", "2", "3"}), ModelError);
+    EXPECT_THROW(table.setAlign(5, Align::Left), ModelError);
+    EXPECT_THROW(Table({}), ModelError);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters)
+{
+    Table table({"name", "note"});
+    table.addRow({"a,b", "say \"hi\""});
+    table.addRow({"plain", "multi\nline"});
+    const std::string csv = table.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+    EXPECT_NE(csv.find("name,note"), std::string::npos);
+}
+
+TEST(TableTest, CsvHasHeaderPlusRows)
+{
+    Table table({"x", "y"});
+    table.addRow({"1", "2"});
+    table.addRow({"3", "4"});
+    const std::string csv = table.renderCsv();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+} // namespace
+} // namespace ttmcas

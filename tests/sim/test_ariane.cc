@@ -1,0 +1,92 @@
+#include "sim/ariane.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(ArianeChipSpecTest, CacheTransistorsScaleWithCapacity)
+{
+    ArianeChipSpec spec;
+    spec.icache_bytes = 16 * 1024;
+    spec.dcache_bytes = 32 * 1024;
+    // (16 + 32) KiB * 8 bits * 7.5 transistors/bit.
+    EXPECT_NEAR(spec.cacheTransistorsPerCore(),
+                48.0 * 1024 * 8 * 7.5, 1.0);
+    spec.dcache_bytes = 64 * 1024;
+    EXPECT_NEAR(spec.cacheTransistorsPerCore(),
+                80.0 * 1024 * 8 * 7.5, 1.0);
+}
+
+TEST(ArianeChipSpecTest, TotalsAggregateCoresAndUncore)
+{
+    ArianeChipSpec spec;
+    const double expected =
+        16.0 * (2.5e6 + spec.cacheTransistorsPerCore()) + 20e6;
+    EXPECT_NEAR(spec.totalTransistors(), expected, 1.0);
+}
+
+TEST(ArianeChipSpecTest, UniqueIsOneCorePlusPeripheryPlusUncore)
+{
+    ArianeChipSpec spec;
+    const double expected =
+        2.5e6 + 0.10 * spec.cacheTransistorsPerCore() + 20e6;
+    EXPECT_NEAR(spec.uniqueTransistors(), expected, 1.0);
+    EXPECT_LT(spec.uniqueTransistors(), spec.totalTransistors());
+}
+
+TEST(ArianeChipSpecTest, PaperDefaultConfiguration)
+{
+    // Section 6.1's Ariane ships with 16KB I$ and 32KB D$.
+    const ArianeChipSpec spec;
+    EXPECT_EQ(spec.cores, 16u);
+    EXPECT_EQ(spec.icache_bytes, 16u * 1024u);
+    EXPECT_EQ(spec.dcache_bytes, 32u * 1024u);
+}
+
+TEST(MakeArianeChipTest, BuildsValidDesign)
+{
+    const ArianeChipSpec spec;
+    const ChipDesign design = makeArianeChip(spec, "14nm");
+    EXPECT_NO_THROW(design.validateAgainst(defaultTechnologyDb()));
+    ASSERT_EQ(design.dies.size(), 1u);
+    EXPECT_NEAR(design.totalTransistorsPerChip(), spec.totalTransistors(),
+                1.0);
+    EXPECT_NEAR(design.uniqueTransistorsAt("14nm"),
+                spec.uniqueTransistors(), 1.0);
+    EXPECT_NE(design.name.find("14nm"), std::string::npos);
+}
+
+TEST(MakeArianeChipTest, BiggerCachesGrowDieArea)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    ArianeChipSpec small;
+    small.icache_bytes = 1024;
+    small.dcache_bytes = 1024;
+    ArianeChipSpec big;
+    big.icache_bytes = 1024 * 1024;
+    big.dcache_bytes = 1024 * 1024;
+    const ChipDesign small_chip = makeArianeChip(small, "14nm");
+    const ChipDesign big_chip = makeArianeChip(big, "14nm");
+    EXPECT_GT(big_chip.dies[0].areaAt(db.node("14nm")).value(),
+              5.0 * small_chip.dies[0].areaAt(db.node("14nm")).value());
+}
+
+TEST(MakeArianeChipTest, RejectsBadSpecs)
+{
+    ArianeChipSpec spec;
+    spec.cores = 0;
+    EXPECT_THROW(makeArianeChip(spec, "14nm"), ModelError);
+    spec = ArianeChipSpec{};
+    spec.icache_bytes = 0;
+    EXPECT_THROW(makeArianeChip(spec, "14nm"), ModelError);
+    spec = ArianeChipSpec{};
+    spec.cache_unique_fraction = 1.5;
+    EXPECT_THROW(makeArianeChip(spec, "14nm"), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,185 @@
+#include "sim/cache_hierarchy.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+CacheConfig
+config(std::uint64_t size)
+{
+    CacheConfig c;
+    c.size_bytes = size;
+    c.line_bytes = 64;
+    c.associativity = 4;
+    return c;
+}
+
+CacheHierarchy
+smallHierarchy()
+{
+    return CacheHierarchy(config(1024), config(1024), config(16 * 1024));
+}
+
+TEST(HierarchyStatsTest, RatesFromCounters)
+{
+    HierarchyStats stats;
+    stats.accesses = 100;
+    stats.l1_hits = 80;
+    stats.l2_hits = 15;
+    EXPECT_EQ(stats.memoryAccesses(), 5u);
+    EXPECT_DOUBLE_EQ(stats.l1MissRate(), 0.20);
+    EXPECT_DOUBLE_EQ(stats.memoryRate(), 0.05);
+    EXPECT_DOUBLE_EQ(HierarchyStats{}.l1MissRate(), 0.0);
+}
+
+TEST(CacheHierarchyTest, ColdMissGoesToMemoryThenL2ThenL1)
+{
+    CacheHierarchy hierarchy = smallHierarchy();
+    hierarchy.data(0x4000); // cold: memory
+    EXPECT_EQ(hierarchy.dataStats().memoryAccesses(), 1u);
+    hierarchy.data(0x4000); // now in both L1 and L2
+    EXPECT_EQ(hierarchy.dataStats().l1_hits, 1u);
+}
+
+TEST(CacheHierarchyTest, L2CatchesL1CapacityMisses)
+{
+    // Working set of 4 KiB: thrashes a 1 KiB L1 but fits the 16 KiB L2.
+    CacheHierarchy hierarchy = smallHierarchy();
+    for (int pass = 0; pass < 6; ++pass) {
+        for (std::uint64_t address = 0; address < 4096; address += 64)
+            hierarchy.data(address);
+    }
+    const HierarchyStats& stats = hierarchy.dataStats();
+    EXPECT_GT(stats.l1MissRate(), 0.5); // L1 too small for the sweep
+    // After the first pass, everything is at worst an L2 hit.
+    EXPECT_LT(stats.memoryRate(), 0.2);
+    EXPECT_GT(stats.l2_hits, 0u);
+}
+
+TEST(CacheHierarchyTest, InstructionAndDataStreamsAreSeparate)
+{
+    CacheHierarchy hierarchy = smallHierarchy();
+    hierarchy.fetch(0x1000);
+    hierarchy.data(0x2000);
+    EXPECT_EQ(hierarchy.instructionStats().accesses, 1u);
+    EXPECT_EQ(hierarchy.dataStats().accesses, 1u);
+    // The L2 is shared: a data access to a line the I-side brought in
+    // hits at L2.
+    hierarchy.data(0x1000);
+    EXPECT_EQ(hierarchy.dataStats().l2_hits, 1u);
+}
+
+TEST(CacheHierarchyTest, ResetClearsEverything)
+{
+    CacheHierarchy hierarchy = smallHierarchy();
+    hierarchy.data(0x100);
+    hierarchy.fetch(0x200);
+    hierarchy.reset();
+    EXPECT_EQ(hierarchy.dataStats().accesses, 0u);
+    EXPECT_EQ(hierarchy.instructionStats().accesses, 0u);
+    hierarchy.data(0x100);
+    EXPECT_EQ(hierarchy.dataStats().memoryAccesses(), 1u); // cold again
+}
+
+TEST(CacheHierarchyTest, RunDrivesWorkloadStreams)
+{
+    CacheHierarchy hierarchy = smallHierarchy();
+    const auto suite = defaultWorkloadSuite();
+    const auto [istats, dstats] =
+        hierarchy.run(findWorkload(suite, "tightloop"), 20000);
+    EXPECT_EQ(istats.accesses, 20000u);
+    // Data accesses follow the memory reference fraction (~35%).
+    EXPECT_NEAR(static_cast<double>(dstats.accesses), 7000.0, 700.0);
+    EXPECT_GT(istats.l1_hits, 0u);
+}
+
+TEST(CacheHierarchyTest, RejectsL2SmallerThanL1)
+{
+    EXPECT_THROW(
+        CacheHierarchy(config(32 * 1024), config(1024), config(16 * 1024)),
+        ModelError);
+}
+
+TEST(TwoLevelIpcModelTest, PerfectCachesGiveBaseIpc)
+{
+    HierarchyStats perfect;
+    perfect.accesses = 1000;
+    perfect.l1_hits = 1000;
+    TwoLevelIpcModel model;
+    model.base_cpi = 2.0;
+    EXPECT_DOUBLE_EQ(model.ipc(perfect, perfect), 0.5);
+}
+
+TEST(TwoLevelIpcModelTest, MemoryMissesCostMoreThanL2Hits)
+{
+    HierarchyStats clean;
+    clean.accesses = 1000;
+    clean.l1_hits = 1000;
+
+    HierarchyStats l2_bound = clean;
+    l2_bound.l1_hits = 900;
+    l2_bound.l2_hits = 100; // all L1 misses caught by L2
+
+    HierarchyStats memory_bound = clean;
+    memory_bound.l1_hits = 900;
+    memory_bound.l2_hits = 0; // all L1 misses go to memory
+
+    const TwoLevelIpcModel model;
+    const double ipc_l2 = model.ipc(l2_bound, clean);
+    const double ipc_mem = model.ipc(memory_bound, clean);
+    EXPECT_GT(ipc_l2, ipc_mem);
+    EXPECT_GT(model.ipc(clean, clean), ipc_l2);
+}
+
+TEST(TwoLevelIpcModelTest, MatchesHandComputedCpi)
+{
+    HierarchyStats instruction;
+    instruction.accesses = 1000;
+    instruction.l1_hits = 950;
+    instruction.l2_hits = 40; // memory rate 1%
+    HierarchyStats data;
+    data.accesses = 500;
+    data.l1_hits = 400;
+    data.l2_hits = 50; // L1 miss 20%, memory rate 10%
+
+    TwoLevelIpcModel model;
+    model.base_cpi = 3.0;
+    model.memory_ref_fraction = 0.4;
+    model.l2_hit_penalty = 10.0;
+    model.memory_penalty = 100.0;
+    // CPI = 3 + (0.05-0.01)*10 + 0.01*100 + 0.4*[(0.2-0.1)*10 + 0.1*100]
+    //     = 3 + 0.4 + 1.0 + 0.4*11 = 8.8.
+    EXPECT_NEAR(model.ipc(instruction, data), 1.0 / 8.8, 1e-12);
+}
+
+TEST(TwoLevelIpcModelTest, AddingL2AlwaysHelpsVersusL1Only)
+{
+    // Same L1 behavior with and without an L2 absorbing misses.
+    HierarchyStats no_l2;
+    no_l2.accesses = 1000;
+    no_l2.l1_hits = 850;
+    HierarchyStats with_l2 = no_l2;
+    with_l2.l2_hits = 120;
+
+    const TwoLevelIpcModel model;
+    EXPECT_GT(model.ipc(with_l2, with_l2), model.ipc(no_l2, no_l2));
+}
+
+TEST(TwoLevelIpcModelTest, RejectsDegenerateInput)
+{
+    const TwoLevelIpcModel model;
+    EXPECT_THROW(model.ipc(HierarchyStats{}, HierarchyStats{}),
+                 ModelError);
+    TwoLevelIpcModel broken;
+    broken.base_cpi = 0.0;
+    HierarchyStats some;
+    some.accesses = 1;
+    some.l1_hits = 1;
+    EXPECT_THROW(broken.ipc(some, some), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,92 @@
+#include "sim/ipc_model.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(IpcModelTest, PerfectCachesGiveBaseIpc)
+{
+    IpcModel model;
+    model.base_cpi = 2.0;
+    EXPECT_DOUBLE_EQ(model.ipc(0.0, 0.0), 0.5);
+}
+
+TEST(IpcModelTest, MatchesAdditiveCpiFormula)
+{
+    IpcModel model;
+    model.base_cpi = 3.0;
+    model.memory_ref_fraction = 0.4;
+    model.miss_penalty_cycles = 50.0;
+    // CPI = 3 + 0.1*50 + 0.4*0.2*50 = 12.
+    EXPECT_NEAR(model.ipc(0.1, 0.2), 1.0 / 12.0, 1e-12);
+}
+
+TEST(IpcModelTest, IpcFallsWithMisses)
+{
+    const IpcModel model;
+    EXPECT_GT(model.ipc(0.0, 0.0), model.ipc(0.05, 0.0));
+    EXPECT_GT(model.ipc(0.0, 0.0), model.ipc(0.0, 0.1));
+    EXPECT_GT(model.ipc(0.01, 0.05), model.ipc(0.05, 0.20));
+}
+
+TEST(IpcModelTest, DefaultsLandInPaperRange)
+{
+    // Fig. 4: the (I$, D$) sweep spans roughly IPC 0.12-0.26. With
+    // typical best/worst miss pairs the defaults must stay near it.
+    const IpcModel model;
+    const double best = model.ipc(0.001, 0.04);
+    const double worst = model.ipc(0.06, 0.26);
+    EXPECT_GT(best, 0.2);
+    EXPECT_LT(best, 0.35);
+    EXPECT_GT(worst, 0.05);
+    EXPECT_LT(worst, 0.15);
+}
+
+TEST(IpcModelTest, IpcAtUsesCurveLookups)
+{
+    MissCurve instr;
+    instr.sizes_bytes = {1024, 2048};
+    instr.miss_rates = {0.05, 0.02};
+    MissCurve data = instr;
+    data.miss_rates = {0.20, 0.10};
+
+    const IpcModel model;
+    const double direct = model.ipc(0.05, 0.20);
+    EXPECT_DOUBLE_EQ(model.ipcAt(instr, data, 1024, 1024), direct);
+    EXPECT_GT(model.ipcAt(instr, data, 2048, 2048), direct);
+}
+
+TEST(IpcModelTest, WorkloadMemFractionOverride)
+{
+    MissCurve instr;
+    instr.sizes_bytes = {1024};
+    instr.miss_rates = {0.0};
+    MissCurve data = instr;
+    data.miss_rates = {0.5};
+
+    IpcModel model;
+    model.base_cpi = 2.0;
+    model.miss_penalty_cycles = 10.0;
+    model.memory_ref_fraction = 0.2;
+    const double with_default = model.ipcAt(instr, data, 1024, 1024);
+    const double with_half =
+        model.ipcAt(instr, data, 1024, 1024, 0.5);
+    EXPECT_NEAR(with_default, 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(with_half, 1.0 / 4.5, 1e-12);
+}
+
+TEST(IpcModelTest, RejectsInvalidRates)
+{
+    const IpcModel model;
+    EXPECT_THROW(model.ipc(-0.1, 0.0), ModelError);
+    EXPECT_THROW(model.ipc(0.0, 1.5), ModelError);
+    IpcModel broken;
+    broken.base_cpi = 0.0;
+    EXPECT_THROW(broken.ipc(0.0, 0.0), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

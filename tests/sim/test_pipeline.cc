@@ -1,0 +1,185 @@
+#include "sim/pipeline.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+PipelineConfig
+calmConfig()
+{
+    PipelineConfig config;
+    config.mispredict_rate = 0.0;
+    config.dependency_rate = 0.0;
+    return config;
+}
+
+TEST(InstructionMixTest, CdfIsNormalizedAndMonotone)
+{
+    const InstructionMix mix;
+    const auto cdf = mix.cdf();
+    double previous = 0.0;
+    for (double value : cdf) {
+        EXPECT_GE(value, previous);
+        previous = value;
+    }
+    EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(InstructionMixTest, RejectsDegenerateMix)
+{
+    InstructionMix empty;
+    empty.alu = empty.mul = empty.div = empty.load = empty.store =
+        empty.branch = empty.fpu = 0.0;
+    EXPECT_THROW(empty.cdf(), ModelError);
+    InstructionMix negative;
+    negative.alu = -1.0;
+    EXPECT_THROW(negative.cdf(), ModelError);
+}
+
+TEST(PipelineTest, NoHazardsNoMissesApproachesOneCpi)
+{
+    // Single-issue with unit ALU latency and no stall sources: every
+    // instruction issues back-to-back, CPI -> ~1 plus long-latency
+    // kinds' drain effects.
+    PipelineConfig config = calmConfig();
+    config.mix = InstructionMix{};
+    config.mix.div = 0.0; // remove the 20-cycle tail
+    PipelineSimulator simulator(config);
+    const PipelineStats stats = simulator.run(100'000, 1);
+    EXPECT_NEAR(stats.cpi(), 1.0, 0.05);
+    EXPECT_EQ(stats.hazard_stall_cycles, 0u);
+    EXPECT_EQ(stats.branch_penalty_cycles, 0u);
+    EXPECT_EQ(stats.memory_stall_cycles, 0u);
+}
+
+TEST(PipelineTest, DeterministicPerSeed)
+{
+    PipelineConfig config;
+    PipelineSimulator a(config), b(config);
+    const PipelineStats ra = a.run(50'000, 42);
+    const PipelineStats rb = b.run(50'000, 42);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.hazard_stall_cycles, rb.hazard_stall_cycles);
+    PipelineSimulator c(config);
+    EXPECT_NE(c.run(50'000, 43).cycles, ra.cycles);
+}
+
+TEST(PipelineTest, DependenciesAddHazardStalls)
+{
+    PipelineConfig independent = calmConfig();
+    PipelineConfig dependent = calmConfig();
+    dependent.dependency_rate = 0.8;
+    const PipelineStats free_run =
+        PipelineSimulator(independent).run(100'000, 7);
+    const PipelineStats chained =
+        PipelineSimulator(dependent).run(100'000, 7);
+    EXPECT_GT(chained.hazard_stall_cycles, 0u);
+    EXPECT_GT(chained.cpi(), free_run.cpi());
+}
+
+TEST(PipelineTest, MispredictsAddBranchPenalties)
+{
+    PipelineConfig perfect = calmConfig();
+    PipelineConfig sloppy = calmConfig();
+    sloppy.mispredict_rate = 0.5;
+    const PipelineStats clean =
+        PipelineSimulator(perfect).run(100'000, 9);
+    const PipelineStats flushed =
+        PipelineSimulator(sloppy).run(100'000, 9);
+    EXPECT_GT(flushed.branch_penalty_cycles, 0u);
+    EXPECT_GT(flushed.cpi(), clean.cpi());
+    // Expected penalty ~ branch share * rate * penalty per instr.
+    const double expected =
+        0.17 * 0.5 * 3.0 * 100'000;
+    EXPECT_NEAR(static_cast<double>(flushed.branch_penalty_cycles),
+                expected, expected * 0.15);
+}
+
+TEST(PipelineTest, LongLatencyMixRaisesCpi)
+{
+    PipelineConfig divs = calmConfig();
+    divs.dependency_rate = 0.6; // latency only matters to consumers
+    PipelineConfig no_divs = divs;
+    no_divs.mix.div = 0.0;
+    divs.mix.div = 0.10;
+    EXPECT_GT(PipelineSimulator(divs).run(100'000, 11).cpi(),
+              PipelineSimulator(no_divs).run(100'000, 11).cpi());
+}
+
+TEST(PipelineTest, CacheMissesAddMemoryStalls)
+{
+    CacheConfig tiny;
+    tiny.size_bytes = 512;
+    tiny.line_bytes = 64;
+    tiny.associativity = 2;
+    Cache icache(tiny);
+    Cache dcache(tiny);
+    PipelineConfig config = calmConfig();
+    ZipfTrace cold_code(1 << 14, 0.7, 64);
+    ZipfTrace cold_data(1 << 14, 0.7, 64);
+
+    PipelineSimulator with_caches(config, &icache, &dcache);
+    const PipelineStats missy =
+        with_caches.run(50'000, 13, &cold_code, &cold_data);
+    const PipelineStats perfect =
+        PipelineSimulator(config).run(50'000, 13);
+    EXPECT_GT(missy.memory_stall_cycles, 0u);
+    EXPECT_GT(missy.cpi(), perfect.cpi() + 1.0);
+}
+
+TEST(PipelineTest, StallAttributionNeverExceedsTotal)
+{
+    PipelineConfig config; // all stall sources active
+    CacheConfig small;
+    small.size_bytes = 1024;
+    Cache icache(small), dcache(small);
+    PipelineSimulator simulator(config, &icache, &dcache);
+    const PipelineStats stats = simulator.run(100'000, 17);
+    EXPECT_LE(stats.hazard_stall_cycles + stats.branch_penalty_cycles +
+                  stats.memory_stall_cycles,
+              stats.cycles);
+    EXPECT_GT(stats.baseCpi(), 0.5);
+    EXPECT_LE(stats.baseCpi(), stats.cpi());
+}
+
+TEST(PipelineTest, ValidationRejectsBadConfig)
+{
+    PipelineConfig bad;
+    bad.mispredict_rate = 1.5;
+    EXPECT_THROW(PipelineSimulator{bad}, ModelError);
+    bad = PipelineConfig{};
+    bad.dependency_distance_p = 0.0;
+    EXPECT_THROW(PipelineSimulator{bad}, ModelError);
+    PipelineSimulator ok{PipelineConfig{}};
+    EXPECT_THROW(ok.run(0, 1), ModelError);
+}
+
+TEST(DerivedIpcModelTest, BaseCpiComesFromTheSimulator)
+{
+    const PipelineConfig config;
+    const IpcModel model = derivedIpcModel(config, 100'000);
+    // A realistic in-order core with hazards and mispredicts lands in
+    // the 1.2-3.5 CPI band the cache study assumes.
+    EXPECT_GT(model.base_cpi, 1.2);
+    EXPECT_LT(model.base_cpi, 3.5);
+    EXPECT_NEAR(model.memory_ref_fraction, 0.32, 0.02); // load + store
+    EXPECT_DOUBLE_EQ(model.miss_penalty_cycles, 60.0);
+}
+
+TEST(DerivedIpcModelTest, HarderCoreGivesHigherBaseCpi)
+{
+    PipelineConfig easy;
+    easy.dependency_rate = 0.2;
+    easy.mispredict_rate = 0.02;
+    PipelineConfig hard;
+    hard.dependency_rate = 0.8;
+    hard.mispredict_rate = 0.25;
+    EXPECT_GT(derivedIpcModel(hard, 50'000).base_cpi,
+              derivedIpcModel(easy, 50'000).base_cpi);
+}
+
+} // namespace
+} // namespace ttmcas

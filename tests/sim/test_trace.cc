@@ -1,0 +1,184 @@
+#include "sim/trace.hh"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(SequentialTraceTest, StridesByElementSize)
+{
+    SequentialTrace trace(8);
+    Rng rng(1);
+    EXPECT_EQ(trace.next(rng), 0u);
+    EXPECT_EQ(trace.next(rng), 8u);
+    EXPECT_EQ(trace.next(rng), 16u);
+}
+
+TEST(SequentialTraceTest, WrapsAtLength)
+{
+    SequentialTrace trace(8, 24);
+    Rng rng(1);
+    trace.next(rng);
+    trace.next(rng);
+    trace.next(rng);
+    EXPECT_EQ(trace.next(rng), 0u); // wrapped
+}
+
+TEST(SequentialTraceTest, ResetRestartsPosition)
+{
+    SequentialTrace trace(4);
+    Rng rng(1);
+    trace.next(rng);
+    trace.next(rng);
+    trace.reset();
+    EXPECT_EQ(trace.next(rng), 0u);
+}
+
+TEST(StridedTraceTest, WalksByStrideAndWraps)
+{
+    StridedTrace trace(1024, 3 * 1024);
+    Rng rng(1);
+    EXPECT_EQ(trace.next(rng), 0u);
+    EXPECT_EQ(trace.next(rng), 1024u);
+    EXPECT_EQ(trace.next(rng), 2048u);
+    EXPECT_EQ(trace.next(rng), 0u);
+}
+
+TEST(StridedTraceTest, RejectsBadGeometry)
+{
+    EXPECT_THROW(StridedTrace(0, 1024), ModelError);
+    EXPECT_THROW(StridedTrace(2048, 1024), ModelError);
+}
+
+TEST(LoopTraceTest, CoversWorkingSetThenRepeats)
+{
+    LoopTrace trace(32, 8);
+    Rng rng(1);
+    std::vector<std::uint64_t> first_pass;
+    for (int i = 0; i < 4; ++i)
+        first_pass.push_back(trace.next(rng));
+    std::vector<std::uint64_t> second_pass;
+    for (int i = 0; i < 4; ++i)
+        second_pass.push_back(trace.next(rng));
+    EXPECT_EQ(first_pass, second_pass);
+    EXPECT_EQ(first_pass.front(), 0u);
+    EXPECT_EQ(first_pass.back(), 24u);
+}
+
+TEST(ZipfTraceTest, StaysWithinFootprint)
+{
+    ZipfTrace trace(128, 1.0, 64);
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(trace.next(rng), 128u * 64u);
+}
+
+TEST(ZipfTraceTest, PopularBlocksDominate)
+{
+    ZipfTrace trace(1024, 1.2, 64);
+    Rng rng(3);
+    std::map<std::uint64_t, int> counts;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[trace.next(rng) / 64];
+    // The hottest block should take a visibly super-uniform share.
+    int hottest = 0;
+    for (const auto& [block, count] : counts)
+        hottest = std::max(hottest, count);
+    EXPECT_GT(hottest, 10 * n / 1024);
+    // And the footprint should still have a long tail of touched blocks.
+    EXPECT_GT(counts.size(), 400u);
+}
+
+TEST(ZipfTraceTest, HigherExponentConcentratesMore)
+{
+    Rng rng_a(4), rng_b(4);
+    ZipfTrace flat(512, 0.6, 64);
+    ZipfTrace skewed(512, 1.5, 64);
+    std::set<std::uint64_t> flat_blocks, skewed_blocks;
+    for (int i = 0; i < 20000; ++i) {
+        flat_blocks.insert(flat.next(rng_a) / 64);
+        skewed_blocks.insert(skewed.next(rng_b) / 64);
+    }
+    EXPECT_GT(flat_blocks.size(), skewed_blocks.size());
+}
+
+TEST(ZipfTraceTest, RejectsBadParameters)
+{
+    EXPECT_THROW(ZipfTrace(0, 1.0), ModelError);
+    EXPECT_THROW(ZipfTrace(16, 0.0), ModelError);
+    EXPECT_THROW(ZipfTrace(16, 1.0, 0), ModelError);
+}
+
+TEST(RunTraceTest, EmitsSequentialRuns)
+{
+    auto base = std::make_shared<LoopTrace>(1 << 20, 4096);
+    RunTrace trace(base, 4, 8);
+    Rng rng(5);
+    const std::uint64_t a0 = trace.next(rng);
+    EXPECT_EQ(trace.next(rng), a0 + 8);
+    EXPECT_EQ(trace.next(rng), a0 + 16);
+    EXPECT_EQ(trace.next(rng), a0 + 24);
+    // Fifth access starts a new run from the base picker.
+    const std::uint64_t b0 = trace.next(rng);
+    EXPECT_NE(b0, a0 + 32);
+}
+
+TEST(RunTraceTest, RejectsBadParameters)
+{
+    auto base = std::make_shared<LoopTrace>(1024, 8);
+    EXPECT_THROW(RunTrace(nullptr, 4, 8), ModelError);
+    EXPECT_THROW(RunTrace(base, 0, 8), ModelError);
+    EXPECT_THROW(RunTrace(base, 4, 0), ModelError);
+}
+
+TEST(MixedTraceTest, ComponentsLiveInDisjointRegions)
+{
+    MixedTrace trace({{std::make_shared<LoopTrace>(1024, 8), 0.5},
+                      {std::make_shared<LoopTrace>(1024, 8), 0.5}});
+    Rng rng(6);
+    std::set<std::uint64_t> regions;
+    for (int i = 0; i < 1000; ++i)
+        regions.insert(trace.next(rng) >> 40);
+    EXPECT_EQ(regions.size(), 2u);
+}
+
+TEST(MixedTraceTest, WeightsControlComponentFrequency)
+{
+    MixedTrace trace({{std::make_shared<LoopTrace>(1024, 8), 0.9},
+                      {std::make_shared<LoopTrace>(1024, 8), 0.1}});
+    Rng rng(7);
+    int region_zero = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if ((trace.next(rng) >> 40) == 0)
+            ++region_zero;
+    }
+    EXPECT_NEAR(region_zero, 0.9 * n, 0.03 * n);
+}
+
+TEST(MixedTraceTest, RejectsBadComponents)
+{
+    EXPECT_THROW(MixedTrace({}), ModelError);
+    EXPECT_THROW(MixedTrace({{nullptr, 1.0}}), ModelError);
+    EXPECT_THROW(
+        MixedTrace({{std::make_shared<LoopTrace>(1024, 8), 0.0}}),
+        ModelError);
+}
+
+TEST(TraceGeneratorTest, GenerateMaterializesCount)
+{
+    SequentialTrace trace(8);
+    Rng rng(8);
+    const auto addresses = trace.generate(100, rng);
+    EXPECT_EQ(addresses.size(), 100u);
+    EXPECT_EQ(addresses[99], 99u * 8u);
+}
+
+} // namespace
+} // namespace ttmcas

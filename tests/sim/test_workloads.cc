@@ -1,0 +1,84 @@
+#include "sim/workloads.hh"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(WorkloadSuiteTest, HasEightDistinctWorkloads)
+{
+    const auto suite = defaultWorkloadSuite();
+    EXPECT_EQ(suite.size(), 8u);
+    std::set<std::string> names;
+    for (const auto& workload : suite)
+        names.insert(workload.name);
+    EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(WorkloadSuiteTest, AllWorkloadsAreComplete)
+{
+    for (const auto& workload : defaultWorkloadSuite()) {
+        EXPECT_NE(workload.instruction_stream, nullptr) << workload.name;
+        EXPECT_NE(workload.data_stream, nullptr) << workload.name;
+        EXPECT_GT(workload.memory_ref_fraction, 0.0) << workload.name;
+        EXPECT_LT(workload.memory_ref_fraction, 1.0) << workload.name;
+    }
+}
+
+TEST(WorkloadSuiteTest, StreamsProduceAddresses)
+{
+    Rng rng(1);
+    for (const auto& workload : defaultWorkloadSuite()) {
+        std::set<std::uint64_t> distinct;
+        for (int i = 0; i < 1000; ++i)
+            distinct.insert(workload.data_stream->next(rng));
+        EXPECT_GT(distinct.size(), 10u) << workload.name;
+    }
+}
+
+TEST(WorkloadSuiteTest, InstructionStreamsShowSpatialLocality)
+{
+    // Consecutive fetches should frequently land on the same 64B line.
+    Rng rng(2);
+    for (const auto& workload : defaultWorkloadSuite()) {
+        std::uint64_t previous_line = ~0ull;
+        int same_line = 0;
+        constexpr int n = 5000;
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t line =
+                workload.instruction_stream->next(rng) / 64;
+            if (line == previous_line)
+                ++same_line;
+            previous_line = line;
+        }
+        EXPECT_GT(same_line, n / 3) << workload.name;
+    }
+}
+
+TEST(WorkloadSuiteTest, FindWorkloadByName)
+{
+    const auto suite = defaultWorkloadSuite();
+    EXPECT_EQ(findWorkload(suite, "pointer").name, "pointer");
+    EXPECT_EQ(findWorkload(suite, "stream").name, "stream");
+    EXPECT_THROW(findWorkload(suite, "nonexistent"), ModelError);
+}
+
+TEST(WorkloadSuiteTest, ConstructionIsDeterministic)
+{
+    const auto suite_a = defaultWorkloadSuite();
+    const auto suite_b = defaultWorkloadSuite();
+    Rng rng_a(3), rng_b(3);
+    for (std::size_t i = 0; i < suite_a.size(); ++i) {
+        for (int j = 0; j < 100; ++j) {
+            EXPECT_EQ(suite_a[i].data_stream->next(rng_a),
+                      suite_b[i].data_stream->next(rng_b));
+        }
+    }
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,139 @@
+#include "stats/distributions.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(PointDistributionTest, AlwaysReturnsValue)
+{
+    PointDistribution dist(3.5);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(dist.sample(rng), 3.5);
+    EXPECT_DOUBLE_EQ(dist.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.01), 3.5);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.99), 3.5);
+}
+
+TEST(UniformDistributionTest, SamplesWithinBounds)
+{
+    UniformDistribution dist(0.9, 1.1);
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = dist.sample(rng);
+        EXPECT_GE(x, 0.9);
+        EXPECT_LE(x, 1.1);
+    }
+}
+
+TEST(UniformDistributionTest, QuantileIsLinear)
+{
+    UniformDistribution dist(10.0, 20.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.5), 15.0);
+    EXPECT_NEAR(dist.quantile(0.999), 19.99, 1e-9);
+    EXPECT_DOUBLE_EQ(dist.mean(), 15.0);
+}
+
+TEST(UniformDistributionTest, RejectsInvalidBoundsAndArguments)
+{
+    EXPECT_THROW(UniformDistribution(2.0, 1.0), ModelError);
+    UniformDistribution dist(0.0, 1.0);
+    EXPECT_THROW(dist.quantile(-0.1), ModelError);
+    EXPECT_THROW(dist.quantile(1.0), ModelError);
+}
+
+TEST(NormalDistributionTest, SampleMomentsMatch)
+{
+    NormalDistribution dist(5.0, 0.5);
+    Rng rng(3);
+    constexpr int n = 100000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = dist.sample(rng);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 5.0, 0.01);
+    EXPECT_NEAR(sum_sq / n - mean * mean, 0.25, 0.01);
+}
+
+TEST(NormalDistributionTest, QuantileMatchesKnownValues)
+{
+    NormalDistribution dist(0.0, 1.0);
+    EXPECT_NEAR(dist.quantile(0.5), 0.0, 1e-6);
+    EXPECT_NEAR(dist.quantile(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(dist.quantile(0.025), -1.959964, 1e-4);
+}
+
+TEST(NormalDistributionTest, TruncationClipsNegatives)
+{
+    NormalDistribution dist(0.1, 1.0, /*truncate_at_zero=*/true);
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(dist.sample(rng), 0.0);
+    EXPECT_GE(dist.quantile(0.001), 0.0);
+}
+
+TEST(NormalDistributionTest, RejectsNegativeStddev)
+{
+    EXPECT_THROW(NormalDistribution(0.0, -1.0), ModelError);
+}
+
+TEST(RelativeUniformTest, BuildsPaperStyleBand)
+{
+    // The paper's +/-10% band around an estimate.
+    const auto dist = relativeUniform(100.0, 0.10);
+    EXPECT_DOUBLE_EQ(dist->mean(), 100.0);
+    EXPECT_DOUBLE_EQ(dist->quantile(0.0), 90.0);
+    EXPECT_NEAR(dist->quantile(0.99999), 110.0, 1e-2);
+}
+
+TEST(RelativeUniformTest, HandlesNegativeEstimates)
+{
+    const auto dist = relativeUniform(-10.0, 0.25);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const double x = dist->sample(rng);
+        EXPECT_GE(x, -12.5);
+        EXPECT_LE(x, -7.5);
+    }
+}
+
+TEST(RelativeUniformTest, RejectsInvalidBand)
+{
+    EXPECT_THROW(relativeUniform(1.0, -0.1), ModelError);
+    EXPECT_THROW(relativeUniform(1.0, 1.0), ModelError);
+}
+
+TEST(InverseNormalCdfTest, RoundTripsThroughErfc)
+{
+    // Phi(inverseNormalCdf(p)) == p for a spread of probabilities.
+    for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+        const double z = inverseNormalCdf(p);
+        const double phi = 0.5 * std::erfc(-z / std::sqrt(2.0));
+        EXPECT_NEAR(phi, p, 1e-6) << "p=" << p;
+    }
+    EXPECT_THROW(inverseNormalCdf(0.0), ModelError);
+    EXPECT_THROW(inverseNormalCdf(1.0), ModelError);
+}
+
+TEST(DistributionTest, DescribeMentionsParameters)
+{
+    EXPECT_NE(UniformDistribution(1.0, 2.0).describe().find("Uniform"),
+              std::string::npos);
+    EXPECT_NE(NormalDistribution(1.0, 2.0).describe().find("Normal"),
+              std::string::npos);
+    EXPECT_NE(PointDistribution(1.0).describe().find("Point"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,79 @@
+#include "stats/histogram.hh"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(HistogramTest, BinsValuesByRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(3.0);  // bin 1
+    h.add(9.99); // bin 4
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, TracksUnderAndOverflow)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0); // hi is exclusive
+    h.add(0.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, BinCentersAndFractions)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+    h.addAll({1.0, 1.5, 5.0, 5.5});
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(4), 0.0);
+}
+
+TEST(HistogramTest, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), ModelError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ModelError);
+}
+
+TEST(HistogramTest, OutOfRangeBinAccessThrows)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW(h.count(2), ModelError);
+    EXPECT_THROW(h.binCenter(2), ModelError);
+}
+
+TEST(HistogramTest, RenderScalesToPeak)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.addAll({0.1, 0.2, 0.3, 1.5});
+    const std::string rendered = h.render(30);
+    // The fuller bin gets the full bar width.
+    EXPECT_NE(rendered.find(std::string(30, '#')), std::string::npos);
+    EXPECT_NE(rendered.find(" 3"), std::string::npos);
+}
+
+TEST(HistogramTest, UniformSamplesFillBinsEvenly)
+{
+    Histogram h(0.0, 1.0, 10);
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniform());
+    for (std::size_t bin = 0; bin < h.binCount(); ++bin)
+        EXPECT_NEAR(h.fraction(bin), 0.1, 0.01);
+}
+
+} // namespace
+} // namespace ttmcas

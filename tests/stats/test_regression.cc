@@ -1,0 +1,111 @@
+#include "stats/regression.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(LinearFitTest, RecoversExactLine)
+{
+    const LinearFit fit =
+        fitLinear({0.0, 1.0, 2.0, 3.0}, {1.0, 3.0, 5.0, 7.0});
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+    EXPECT_NEAR(fit(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyDataStillCloseWithGoodR2)
+{
+    Rng rng(1);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = i * 0.1;
+        xs.push_back(x);
+        ys.push_back(4.0 - 0.5 * x + rng.normal(0.0, 0.05));
+    }
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.intercept, 4.0, 0.05);
+    EXPECT_NEAR(fit.slope, -0.5, 0.01);
+    EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(LinearFitTest, ConstantYGivesZeroSlopeAndPerfectFit)
+{
+    const LinearFit fit = fitLinear({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0});
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LinearFitTest, RejectsDegenerateInput)
+{
+    EXPECT_THROW(fitLinear({1.0}, {1.0}), ModelError);
+    EXPECT_THROW(fitLinear({1.0, 1.0}, {1.0, 2.0}), ModelError);
+    EXPECT_THROW(fitLinear({1.0, 2.0}, {1.0}), ModelError);
+    EXPECT_THROW(fitLinear({1.0, NAN}, {1.0, 2.0}), ModelError);
+}
+
+TEST(ExponentialFitTest, RecoversExactExponential)
+{
+    // y = 2 * exp(-0.3 x)
+    std::vector<double> xs, ys;
+    for (double x = 0.0; x <= 5.0; x += 0.5) {
+        xs.push_back(x);
+        ys.push_back(2.0 * std::exp(-0.3 * x));
+    }
+    const ExponentialFit fit = fitExponential(xs, ys);
+    EXPECT_NEAR(fit.scale, 2.0, 1e-9);
+    EXPECT_NEAR(fit.rate, -0.3, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+    EXPECT_NEAR(fit(2.0), 2.0 * std::exp(-0.6), 1e-9);
+}
+
+TEST(ExponentialFitTest, RejectsNonPositiveY)
+{
+    EXPECT_THROW(fitExponential({0.0, 1.0}, {1.0, 0.0}), ModelError);
+    EXPECT_THROW(fitExponential({0.0, 1.0}, {1.0, -1.0}), ModelError);
+}
+
+TEST(PowerFitTest, RecoversExactPowerLaw)
+{
+    // y = 3 * x^-1.14 (the shape of the tapeout effort curve).
+    std::vector<double> xs, ys;
+    for (double x : {5.0, 7.0, 14.0, 28.0, 65.0, 130.0, 250.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 * std::pow(x, -1.14));
+    }
+    const PowerFit fit = fitPower(xs, ys);
+    EXPECT_NEAR(fit.scale, 3.0, 1e-9);
+    EXPECT_NEAR(fit.exponent, -1.14, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PowerFitTest, RejectsNonPositiveInput)
+{
+    EXPECT_THROW(fitPower({0.0, 1.0}, {1.0, 1.0}), ModelError);
+    EXPECT_THROW(fitPower({1.0, 2.0}, {1.0, -1.0}), ModelError);
+}
+
+TEST(RegressionTest, R2DegradesWithNoise)
+{
+    Rng rng(2);
+    std::vector<double> xs, clean, noisy;
+    for (int i = 1; i <= 50; ++i) {
+        const double x = i * 0.2;
+        xs.push_back(x);
+        const double y = 2.0 * x + 1.0;
+        clean.push_back(y + rng.normal(0.0, 0.01));
+        noisy.push_back(y + rng.normal(0.0, 2.0));
+    }
+    EXPECT_GT(fitLinear(xs, clean).r_squared,
+              fitLinear(xs, noisy).r_squared);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,126 @@
+#include "stats/summary.hh"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(SummaryTest, BasicMoments)
+{
+    const Summary s = Summary::of({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.variance, 2.5); // unbiased
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(SummaryTest, SingleSample)
+{
+    const Summary s = Summary::of({7.0});
+    EXPECT_DOUBLE_EQ(s.mean, 7.0);
+    EXPECT_DOUBLE_EQ(s.variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+}
+
+TEST(SummaryTest, RejectsEmptyInput)
+{
+    EXPECT_THROW(Summary::of({}), ModelError);
+}
+
+TEST(SummaryTest, PercentilesInterpolate)
+{
+    const Summary s = Summary::of({10.0, 20.0, 30.0, 40.0});
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 25.0);
+    EXPECT_THROW(s.percentile(-1.0), ModelError);
+    EXPECT_THROW(s.percentile(101.0), ModelError);
+}
+
+TEST(SummaryTest, PercentileIntervalCoversCentralMass)
+{
+    Rng rng(1);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i)
+        samples.push_back(rng.uniform());
+    const Summary s = Summary::of(std::move(samples));
+    const Interval ci = s.percentileInterval(0.95);
+    EXPECT_NEAR(ci.lo, 0.025, 0.01);
+    EXPECT_NEAR(ci.hi, 0.975, 0.01);
+    EXPECT_TRUE(ci.contains(0.5));
+    EXPECT_FALSE(ci.contains(0.999));
+}
+
+TEST(SummaryTest, PercentileIntervalRejectsBadCoverage)
+{
+    const Summary s = Summary::of({1.0, 2.0});
+    EXPECT_THROW(s.percentileInterval(0.0), ModelError);
+    EXPECT_THROW(s.percentileInterval(1.0), ModelError);
+}
+
+TEST(SummaryTest, MeanConfidenceShrinksWithSamples)
+{
+    Rng rng(2);
+    std::vector<double> small_batch, large_batch;
+    for (int i = 0; i < 100; ++i)
+        small_batch.push_back(rng.normal());
+    for (int i = 0; i < 10000; ++i)
+        large_batch.push_back(rng.normal());
+    const Interval small_ci =
+        Summary::of(std::move(small_batch)).meanConfidence();
+    const Interval large_ci =
+        Summary::of(std::move(large_batch)).meanConfidence();
+    EXPECT_LT(large_ci.width(), small_ci.width());
+    EXPECT_TRUE(large_ci.contains(0.0));
+}
+
+TEST(SummaryTest, SortedSamplesAvailable)
+{
+    const Summary s = Summary::of({3.0, 1.0, 2.0});
+    ASSERT_EQ(s.sorted().size(), 3u);
+    EXPECT_DOUBLE_EQ(s.sorted().front(), 1.0);
+    EXPECT_DOUBLE_EQ(s.sorted().back(), 3.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchSummary)
+{
+    Rng rng(3);
+    RunningStats acc;
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(5.0, 9.0);
+        acc.add(x);
+        samples.push_back(x);
+    }
+    const Summary s = Summary::of(std::move(samples));
+    EXPECT_NEAR(acc.mean(), s.mean, 1e-12);
+    EXPECT_NEAR(acc.variance(), s.variance, 1e-9);
+    EXPECT_DOUBLE_EQ(acc.min(), s.min);
+    EXPECT_DOUBLE_EQ(acc.max(), s.max);
+    EXPECT_EQ(acc.count(), s.count);
+}
+
+TEST(RunningStatsTest, GuardsEmptyAndSingleSample)
+{
+    RunningStats acc;
+    EXPECT_THROW(acc.mean(), ModelError);
+    acc.add(1.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 1.0);
+    EXPECT_THROW(acc.variance(), ModelError);
+}
+
+TEST(IntervalTest, WidthAndContainment)
+{
+    const Interval interval{2.0, 5.0};
+    EXPECT_DOUBLE_EQ(interval.width(), 3.0);
+    EXPECT_TRUE(interval.contains(2.0));
+    EXPECT_TRUE(interval.contains(5.0));
+    EXPECT_FALSE(interval.contains(5.1));
+}
+
+} // namespace
+} // namespace ttmcas

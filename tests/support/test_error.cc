@@ -1,0 +1,64 @@
+#include "support/error.hh"
+
+#include <gtest/gtest.h>
+
+namespace ttmcas {
+namespace {
+
+TEST(ErrorTest, RequirePassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(TTMCAS_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(ErrorTest, RequireThrowsModelErrorOnFalseCondition)
+{
+    EXPECT_THROW(TTMCAS_REQUIRE(false, "always fails"), ModelError);
+}
+
+TEST(ErrorTest, InvariantThrowsInternalErrorOnFalseCondition)
+{
+    EXPECT_THROW(TTMCAS_INVARIANT(false, "bug"), InternalError);
+}
+
+TEST(ErrorTest, MessageContainsExpressionLocationAndExplanation)
+{
+    try {
+        TTMCAS_REQUIRE(2 > 3, "two is not bigger than three");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("2 > 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("test_error.cc"), std::string::npos) << what;
+        EXPECT_NE(what.find("two is not bigger than three"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(ErrorTest, ModelErrorIsAnError)
+{
+    EXPECT_THROW(TTMCAS_REQUIRE(false, "x"), Error);
+    EXPECT_THROW(TTMCAS_REQUIRE(false, "x"), std::runtime_error);
+}
+
+TEST(ErrorTest, InternalErrorIsDistinctFromModelError)
+{
+    try {
+        TTMCAS_INVARIANT(false, "bug");
+        FAIL() << "expected InternalError";
+    } catch (const ModelError&) {
+        FAIL() << "InternalError must not be a ModelError";
+    } catch (const InternalError&) {
+        SUCCEED();
+    }
+}
+
+TEST(ErrorTest, SideEffectsInConditionEvaluateExactlyOnce)
+{
+    int counter = 0;
+    TTMCAS_REQUIRE(++counter > 0, "increments once");
+    EXPECT_EQ(counter, 1);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,127 @@
+#include "support/mathutil.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(ApproxEqualTest, ExactValuesMatch)
+{
+    EXPECT_TRUE(approxEqual(1.0, 1.0));
+    EXPECT_TRUE(approxEqual(0.0, 0.0));
+}
+
+TEST(ApproxEqualTest, RespectsRelativeTolerance)
+{
+    EXPECT_TRUE(approxEqual(1000.0, 1000.0 + 1e-7, 1e-9));
+    EXPECT_FALSE(approxEqual(1000.0, 1001.0, 1e-9));
+}
+
+TEST(RelativeDifferenceTest, ZeroPairGivesZero)
+{
+    EXPECT_DOUBLE_EQ(relativeDifference(0.0, 0.0), 0.0);
+}
+
+TEST(RelativeDifferenceTest, NormalizesByLargerMagnitude)
+{
+    EXPECT_DOUBLE_EQ(relativeDifference(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeDifference(100.0, 90.0), 0.1);
+}
+
+TEST(ClampTest, ClampsBothSides)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ClampTest, RejectsInvertedBounds)
+{
+    EXPECT_THROW(clamp(0.0, 1.0, 0.0), ModelError);
+}
+
+TEST(InterpolateTest, HitsKnotsExactly)
+{
+    const std::vector<double> xs{1.0, 2.0, 4.0};
+    const std::vector<double> ys{10.0, 20.0, 40.0};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 2.0), 20.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 4.0), 40.0);
+}
+
+TEST(InterpolateTest, InterpolatesBetweenKnots)
+{
+    const std::vector<double> xs{0.0, 10.0};
+    const std::vector<double> ys{0.0, 100.0};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 2.5), 25.0);
+}
+
+TEST(InterpolateTest, ExtrapolatesFromEdgeSegments)
+{
+    const std::vector<double> xs{0.0, 1.0, 2.0};
+    const std::vector<double> ys{0.0, 1.0, 4.0};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 3.0), 7.0);  // slope 3 segment
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, -1.0), -1.0); // slope 1 segment
+}
+
+TEST(InterpolateTest, RejectsUnsortedOrMismatchedInput)
+{
+    EXPECT_THROW(interpolate({1.0, 1.0}, {0.0, 1.0}, 0.5), ModelError);
+    EXPECT_THROW(interpolate({2.0, 1.0}, {0.0, 1.0}, 0.5), ModelError);
+    EXPECT_THROW(interpolate({1.0, 2.0}, {0.0}, 0.5), ModelError);
+    EXPECT_THROW(interpolate({1.0}, {0.0}, 0.5), ModelError);
+}
+
+TEST(CentralDifferenceTest, DifferentiatesPolynomials)
+{
+    const auto square = [](double x) { return x * x; };
+    EXPECT_NEAR(centralDifference(square, 3.0), 6.0, 1e-5);
+    EXPECT_NEAR(centralDifference(square, -2.0), -4.0, 1e-5);
+}
+
+TEST(CentralDifferenceTest, ExactForLinearFunctions)
+{
+    const auto line = [](double x) { return 5.0 * x + 2.0; };
+    EXPECT_NEAR(centralDifference(line, 100.0), 5.0, 1e-9);
+}
+
+TEST(CentralDifferenceTest, UsesRelativeStepNearZero)
+{
+    const auto cube = [](double x) { return x * x * x; };
+    EXPECT_NEAR(centralDifference(cube, 0.0), 0.0, 1e-6);
+}
+
+TEST(CeilDivTest, RoundsUp)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(ceilDiv(0, 3), 0u);
+    EXPECT_THROW(ceilDiv(1, 0), ModelError);
+}
+
+TEST(IsFiniteNumberTest, FlagsNonFiniteValues)
+{
+    EXPECT_TRUE(isFiniteNumber(1.0));
+    EXPECT_FALSE(isFiniteNumber(std::nan("")));
+    EXPECT_FALSE(isFiniteNumber(INFINITY));
+}
+
+TEST(GeometricMeanTest, MatchesHandComputedValues)
+{
+    EXPECT_NEAR(geometricMean({4.0, 9.0}), 6.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(GeometricMeanTest, RejectsEmptyAndNonPositive)
+{
+    EXPECT_THROW(geometricMean({}), ModelError);
+    EXPECT_THROW(geometricMean({1.0, 0.0}), ModelError);
+    EXPECT_THROW(geometricMean({1.0, -2.0}), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

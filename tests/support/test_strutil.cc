@@ -1,0 +1,86 @@
+#include "support/strutil.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(FormatFixedTest, FormatsWithRequestedDecimals)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(3.0, 0), "3");
+    EXPECT_EQ(formatFixed(-1.005, 1), "-1.0");
+}
+
+TEST(FormatFixedTest, RejectsNegativeDecimals)
+{
+    EXPECT_THROW(formatFixed(1.0, -1), ModelError);
+}
+
+TEST(FormatSiTest, PicksSuffixByMagnitude)
+{
+    EXPECT_EQ(formatSi(512.0), "512");
+    EXPECT_EQ(formatSi(1000.0), "1K");
+    EXPECT_EQ(formatSi(10'000'000.0), "10M");
+    EXPECT_EQ(formatSi(4.3e9), "4.3B");
+}
+
+TEST(FormatSiTest, TrimsTrailingZeros)
+{
+    EXPECT_EQ(formatSi(1500.0), "1.5K");
+    EXPECT_EQ(formatSi(2000.0), "2K");
+}
+
+TEST(FormatSiTest, HandlesNegativeValues)
+{
+    EXPECT_EQ(formatSi(-2500.0), "-2.5K");
+}
+
+TEST(FormatDollarsTest, FormatsMagnitudes)
+{
+    EXPECT_EQ(formatDollars(6.8e6, 1), "$6.8M");
+    EXPECT_EQ(formatDollars(2.5e9, 2), "$2.50B");
+    EXPECT_EQ(formatDollars(999.0, 0), "$999");
+    EXPECT_EQ(formatDollars(-1.5e3, 1), "-$1.5K");
+}
+
+TEST(FormatGroupedTest, GroupsThousands)
+{
+    EXPECT_EQ(formatGrouped(0), "0");
+    EXPECT_EQ(formatGrouped(999), "999");
+    EXPECT_EQ(formatGrouped(1234567), "1,234,567");
+    EXPECT_EQ(formatGrouped(-1000), "-1,000");
+}
+
+TEST(PaddingTest, PadsToWidth)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+    EXPECT_EQ(padRight("abcdef", 4), "abcdef");
+}
+
+TEST(JoinTest, JoinsWithSeparator)
+{
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"a"}, ", "), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(ToLowerTest, LowersAsciiOnly)
+{
+    EXPECT_EQ(toLower("AbC123"), "abc123");
+}
+
+TEST(StartsWithTest, ChecksPrefix)
+{
+    EXPECT_TRUE(startsWith("28nm", "28"));
+    EXPECT_FALSE(startsWith("28nm", "nm"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_FALSE(startsWith("", "x"));
+}
+
+} // namespace
+} // namespace ttmcas

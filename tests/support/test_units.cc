@@ -1,0 +1,92 @@
+#include "support/units.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(QuantityTest, ArithmeticWithinOneUnit)
+{
+    const Weeks a(3.0);
+    const Weeks b(4.5);
+    EXPECT_DOUBLE_EQ((a + b).value(), 7.5);
+    EXPECT_DOUBLE_EQ((b - a).value(), 1.5);
+    EXPECT_DOUBLE_EQ((-a).value(), -3.0);
+}
+
+TEST(QuantityTest, ScalarScaling)
+{
+    const Dollars d(100.0);
+    EXPECT_DOUBLE_EQ((d * 2.5).value(), 250.0);
+    EXPECT_DOUBLE_EQ((2.5 * d).value(), 250.0);
+    EXPECT_DOUBLE_EQ((d / 4.0).value(), 25.0);
+}
+
+TEST(QuantityTest, RatioOfSameUnitIsDimensionless)
+{
+    const SquareMm a(50.0);
+    const SquareMm b(200.0);
+    EXPECT_DOUBLE_EQ(b / a, 4.0);
+}
+
+TEST(QuantityTest, CompoundAssignment)
+{
+    Weeks w(1.0);
+    w += Weeks(2.0);
+    w -= Weeks(0.5);
+    w *= 4.0;
+    w /= 2.0;
+    EXPECT_DOUBLE_EQ(w.value(), 5.0);
+}
+
+TEST(QuantityTest, Comparisons)
+{
+    EXPECT_LT(Weeks(1.0), Weeks(2.0));
+    EXPECT_EQ(Weeks(2.0), Weeks(2.0));
+    EXPECT_GE(Weeks(3.0), Weeks(2.0));
+}
+
+TEST(UnitsTest, KiloWafersPerMonthConversion)
+{
+    // 52/12 weeks per month: 350 kwpm = 350000 * 12 / 52 wafers/week.
+    const WafersPerWeek rate = units::kiloWafersPerMonth(350.0);
+    EXPECT_NEAR(rate.value(), 350000.0 * 12.0 / 52.0, 1e-6);
+}
+
+TEST(UnitsTest, ProductionTimeDividesWafersByRate)
+{
+    const Weeks t = units::productionTime(Wafers(1000.0),
+                                          WafersPerWeek(250.0));
+    EXPECT_DOUBLE_EQ(t.value(), 4.0);
+}
+
+TEST(UnitsTest, ProductionTimeRejectsZeroRate)
+{
+    EXPECT_THROW(units::productionTime(Wafers(1.0), WafersPerWeek(0.0)),
+                 ModelError);
+}
+
+TEST(UnitsTest, CalendarTimeConvertsEffortThroughTeamSize)
+{
+    // 8000 engineering-hours / (100 engineers * 40 h/week) = 2 weeks.
+    const Weeks t =
+        units::calendarTime(EngineeringHours(8000.0), 100.0);
+    EXPECT_DOUBLE_EQ(t.value(), 2.0);
+}
+
+TEST(UnitsTest, CalendarTimeRejectsEmptyTeam)
+{
+    EXPECT_THROW(units::calendarTime(EngineeringHours(1.0), 0.0),
+                 ModelError);
+}
+
+TEST(UnitsTest, DollarHelpers)
+{
+    EXPECT_DOUBLE_EQ(units::million(6.8).value(), 6.8e6);
+    EXPECT_DOUBLE_EQ(units::billion(2.5).value(), 2.5e9);
+}
+
+} // namespace
+} // namespace ttmcas

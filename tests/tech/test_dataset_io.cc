@@ -1,0 +1,135 @@
+#include "tech/dataset_io.hh"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(DatasetIoTest, RoundTripsDefaultDatabaseExactly)
+{
+    const TechnologyDb original = defaultTechnologyDb();
+    const TechnologyDb loaded =
+        technologyFromCsv(technologyToCsv(original));
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (const ProcessNode& node : original.nodes()) {
+        const ProcessNode& copy = loaded.node(node.name);
+        EXPECT_DOUBLE_EQ(copy.feature_nm, node.feature_nm);
+        EXPECT_DOUBLE_EQ(copy.density_mtr_per_mm2,
+                         node.density_mtr_per_mm2);
+        EXPECT_DOUBLE_EQ(copy.defect_density_per_mm2,
+                         node.defect_density_per_mm2);
+        EXPECT_DOUBLE_EQ(copy.wafer_rate_kwpm, node.wafer_rate_kwpm);
+        EXPECT_DOUBLE_EQ(copy.foundry_latency.value(),
+                         node.foundry_latency.value());
+        EXPECT_DOUBLE_EQ(copy.osat_latency.value(),
+                         node.osat_latency.value());
+        EXPECT_DOUBLE_EQ(copy.tapeout_effort_hours_per_transistor,
+                         node.tapeout_effort_hours_per_transistor);
+        EXPECT_DOUBLE_EQ(copy.testing_effort_weeks_per_e15,
+                         node.testing_effort_weeks_per_e15);
+        EXPECT_DOUBLE_EQ(copy.packaging_effort_weeks_per_e9_mm2,
+                         node.packaging_effort_weeks_per_e9_mm2);
+        EXPECT_DOUBLE_EQ(copy.wafer_cost.value(),
+                         node.wafer_cost.value());
+        EXPECT_DOUBLE_EQ(copy.mask_set_cost.value(),
+                         node.mask_set_cost.value());
+        EXPECT_DOUBLE_EQ(copy.tapeout_fixed_cost.value(),
+                         node.tapeout_fixed_cost.value());
+    }
+    // Display order is preserved too.
+    EXPECT_EQ(loaded.names(), original.names());
+}
+
+TEST(DatasetIoTest, ParsesColumnsByNameNotPosition)
+{
+    // Shuffled columns must still load.
+    const std::string csv =
+        "feature_nm,name,density_mtr_per_mm2,defect_density_per_mm2,"
+        "wafer_rate_kwpm,foundry_latency_weeks,osat_latency_weeks,"
+        "tapeout_effort_hours_per_transistor,"
+        "testing_effort_weeks_per_e15,packaging_effort_weeks_per_e9_mm2,"
+        "wafer_cost_usd,mask_set_cost_usd,tapeout_fixed_cost_usd\n"
+        "28,28nm,9.1,0.0004,350,12,6,2.57e-5,0.0011,0.06,2891,1.5e6,"
+        "6e5\n";
+    const TechnologyDb db = technologyFromCsv(csv);
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_DOUBLE_EQ(db.node("28nm").feature_nm, 28.0);
+    EXPECT_DOUBLE_EQ(db.node("28nm").wafer_rate_kwpm, 350.0);
+}
+
+TEST(DatasetIoTest, SkipsCommentsAndBlankLines)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    csv = "# leading comment\n\n" + csv + "\n# trailing comment\n";
+    EXPECT_EQ(technologyFromCsv(csv).size(),
+              defaultTechnologyDb().size());
+}
+
+TEST(DatasetIoTest, RejectsMissingColumn)
+{
+    const std::string csv = "name,feature_nm\n28nm,28\n";
+    EXPECT_THROW(technologyFromCsv(csv), ModelError);
+}
+
+TEST(DatasetIoTest, RejectsMalformedNumbers)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    const auto pos = csv.find("41");
+    ASSERT_NE(pos, std::string::npos);
+    csv.replace(pos, 2, "4x");
+    EXPECT_THROW(technologyFromCsv(csv), ModelError);
+}
+
+TEST(DatasetIoTest, RejectsRowsWithTooFewCells)
+{
+    const std::string header =
+        technologyToCsv(defaultTechnologyDb()).substr(
+            0, technologyToCsv(defaultTechnologyDb()).find('\n', 40) + 1);
+    EXPECT_THROW(technologyFromCsv(header + "28nm,28,9.1\n"),
+                 ModelError);
+}
+
+TEST(DatasetIoTest, RejectsEmptyDataset)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    // Keep only the comment and header lines.
+    const auto first = csv.find('\n');
+    const auto second = csv.find('\n', first + 1);
+    EXPECT_THROW(technologyFromCsv(csv.substr(0, second + 1)),
+                 ModelError);
+}
+
+TEST(DatasetIoTest, LoadedNodesAreValidated)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    // Corrupt the 250nm wafer rate to a negative value.
+    const auto pos = csv.find(",41,");
+    ASSERT_NE(pos, std::string::npos);
+    csv.replace(pos, 4, ",-41,");
+    EXPECT_THROW(technologyFromCsv(csv), ModelError);
+}
+
+TEST(DatasetIoTest, FileRoundTrip)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "ttmcas_dataset_io_test";
+    std::filesystem::remove_all(dir);
+    const std::string path = (dir / "snapshot.csv").string();
+
+    saveTechnologyCsv(defaultTechnologyDb(), path);
+    const TechnologyDb loaded = loadTechnologyCsv(path);
+    EXPECT_EQ(loaded.size(), defaultTechnologyDb().size());
+    EXPECT_DOUBLE_EQ(loaded.node("7nm").wafer_rate_kwpm, 252.0);
+
+    std::filesystem::remove_all(dir);
+    EXPECT_THROW(loadTechnologyCsv(path), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

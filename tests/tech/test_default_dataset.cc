@@ -1,0 +1,128 @@
+#include "tech/default_dataset.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+class DefaultDatasetTest : public ::testing::Test
+{
+  protected:
+    TechnologyDb db = defaultTechnologyDb();
+};
+
+TEST_F(DefaultDatasetTest, ContainsAllPaperNodesPlus12nm)
+{
+    for (const char* name :
+         {"250nm", "180nm", "130nm", "90nm", "65nm", "40nm", "28nm",
+          "20nm", "14nm", "12nm", "10nm", "7nm", "5nm"}) {
+        EXPECT_TRUE(db.has(name)) << name;
+    }
+    EXPECT_EQ(db.size(), 13u);
+}
+
+TEST_F(DefaultDatasetTest, WaferRatesMatchPaperTable2)
+{
+    // Paper Table 2, verbatim.
+    const std::pair<const char*, double> expected[] = {
+        {"250nm", 41.0}, {"180nm", 241.0}, {"130nm", 120.0},
+        {"90nm", 79.0},  {"65nm", 189.0},  {"40nm", 284.0},
+        {"28nm", 350.0}, {"20nm", 0.0},    {"14nm", 281.0},
+        {"10nm", 0.0},   {"7nm", 252.0},   {"5nm", 97.0},
+    };
+    for (const auto& [name, kwpm] : expected) {
+        EXPECT_DOUBLE_EQ(db.node(name).wafer_rate_kwpm, kwpm) << name;
+        EXPECT_DOUBLE_EQ(paperWaferRateKwpm(name), kwpm) << name;
+    }
+}
+
+TEST_F(DefaultDatasetTest, TwentyAndTenNmAreOutOfProduction)
+{
+    EXPECT_FALSE(db.node("20nm").available());
+    EXPECT_FALSE(db.node("10nm").available());
+    EXPECT_TRUE(db.node("28nm").available());
+}
+
+TEST_F(DefaultDatasetTest, DensityIncreasesMonotonicallyWithFinerNodes)
+{
+    const auto& nodes = db.nodes(); // coarsest first
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        EXPECT_GT(nodes[i].density_mtr_per_mm2,
+                  nodes[i - 1].density_mtr_per_mm2)
+            << nodes[i].name;
+    }
+}
+
+TEST_F(DefaultDatasetTest, TapeoutEffortGrowsTowardAdvancedNodes)
+{
+    const auto& nodes = db.nodes();
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        EXPECT_GT(nodes[i].tapeout_effort_hours_per_transistor,
+                  nodes[i - 1].tapeout_effort_hours_per_transistor)
+            << nodes[i].name;
+    }
+}
+
+TEST_F(DefaultDatasetTest, DefectDensityLowAndFlatForLegacyRisingAfter20nm)
+{
+    // Section 5: D0 low for legacy, increasing from 20nm.
+    for (const char* legacy :
+         {"250nm", "180nm", "130nm", "90nm", "65nm", "40nm", "28nm"}) {
+        EXPECT_DOUBLE_EQ(db.node(legacy).defect_density_per_mm2, 0.0004)
+            << legacy;
+    }
+    EXPECT_GT(db.node("20nm").defect_density_per_mm2, 0.0004);
+    EXPECT_GT(db.node("5nm").defect_density_per_mm2,
+              db.node("14nm").defect_density_per_mm2);
+}
+
+TEST_F(DefaultDatasetTest, FoundryLatencyRampsFrom12To20Weeks)
+{
+    // Section 5: 12 weeks for legacy up to 20 weeks at 5nm.
+    EXPECT_DOUBLE_EQ(db.node("250nm").foundry_latency.value(), 12.0);
+    EXPECT_DOUBLE_EQ(db.node("28nm").foundry_latency.value(), 12.0);
+    EXPECT_DOUBLE_EQ(db.node("5nm").foundry_latency.value(), 20.0);
+    EXPECT_LT(db.node("14nm").foundry_latency.value(),
+              db.node("7nm").foundry_latency.value());
+}
+
+TEST_F(DefaultDatasetTest, OsatLatencyIsSixWeeksEverywhere)
+{
+    for (const auto& node : db.nodes())
+        EXPECT_DOUBLE_EQ(node.osat_latency.value(), 6.0) << node.name;
+}
+
+TEST_F(DefaultDatasetTest, A11DieIs88mm2At10nm)
+{
+    // Section 6.2: 4.3B transistors, 88 mm^2 at 10nm.
+    const double area =
+        4.3e9 / (db.node("10nm").density_mtr_per_mm2 * 1e6);
+    EXPECT_NEAR(area, 88.0, 1.0);
+}
+
+TEST_F(DefaultDatasetTest, WaferAndMaskCostsGrowTowardAdvancedNodes)
+{
+    EXPECT_LT(db.node("28nm").wafer_cost.value(),
+              db.node("7nm").wafer_cost.value());
+    EXPECT_LT(db.node("7nm").wafer_cost.value(),
+              db.node("5nm").wafer_cost.value());
+    EXPECT_LT(db.node("28nm").mask_set_cost.value(),
+              db.node("5nm").mask_set_cost.value());
+    EXPECT_NEAR(db.node("5nm").tapeout_fixed_cost.value(), 3.04e6, 1e4);
+}
+
+TEST_F(DefaultDatasetTest, EveryNodePassesValidation)
+{
+    for (const auto& node : db.nodes())
+        EXPECT_NO_THROW(node.validate()) << node.name;
+}
+
+TEST_F(DefaultDatasetTest, PaperWaferRateRejectsUnknownNode)
+{
+    EXPECT_THROW(paperWaferRateKwpm("3nm"), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

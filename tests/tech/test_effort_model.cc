@@ -1,0 +1,106 @@
+#include "tech/effort_model.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(EffortCurveTest, LinearFitRecoversLine)
+{
+    const EffortCurve curve = EffortCurve::fit(
+        EffortForm::Linear,
+        {{5.0, 0.0032}, {28.0, 0.0011}, {250.0, 0.0005}});
+    EXPECT_EQ(curve.form(), EffortForm::Linear);
+    // Linear fit through three points is approximate; check direction.
+    EXPECT_LT(curve.paramB(), 0.0); // effort falls with coarser nodes
+    EXPECT_GT(curve.at(5.0), curve.at(250.0));
+}
+
+TEST(EffortCurveTest, ExponentialFitRecoversExactCurve)
+{
+    std::vector<EffortAnchor> anchors;
+    for (double nm : {5.0, 14.0, 40.0, 90.0, 250.0})
+        anchors.push_back({nm, 2e-4 * std::exp(-0.01 * nm)});
+    const EffortCurve curve =
+        EffortCurve::fit(EffortForm::Exponential, anchors);
+    EXPECT_NEAR(curve.paramA(), 2e-4, 1e-8);
+    EXPECT_NEAR(curve.paramB(), -0.01, 1e-8);
+    EXPECT_NEAR(curve.rSquared(), 1.0, 1e-9);
+}
+
+TEST(EffortCurveTest, PowerLawFitRecoversExactCurve)
+{
+    std::vector<EffortAnchor> anchors;
+    for (double nm : {5.0, 14.0, 40.0, 90.0, 250.0})
+        anchors.push_back({nm, 3e-3 * std::pow(nm, -1.14)});
+    const EffortCurve curve =
+        EffortCurve::fit(EffortForm::PowerLaw, anchors);
+    EXPECT_NEAR(curve.paramB(), -1.14, 1e-9);
+    EXPECT_NEAR(curve.rSquared(), 1.0, 1e-9);
+}
+
+TEST(EffortCurveTest, PowerLawFitsDefaultTapeoutEffortsWell)
+{
+    // The calibrated per-node E_tapeout values should be well described
+    // by a power law in feature size (the library's documented family).
+    std::vector<EffortAnchor> anchors;
+    const TechnologyDb db = defaultTechnologyDb();
+    for (const auto& node : db.nodes())
+        anchors.push_back(
+            {node.feature_nm, node.tapeout_effort_hours_per_transistor});
+    const EffortCurve curve =
+        EffortCurve::fit(EffortForm::PowerLaw, anchors);
+    EXPECT_LT(curve.paramB(), -0.5); // strongly decreasing with nm
+    EXPECT_GT(curve.rSquared(), 0.95);
+}
+
+TEST(EffortCurveTest, EvaluationClampsToNonNegative)
+{
+    const EffortCurve curve = EffortCurve::fit(
+        EffortForm::Linear, {{1.0, 1.0}, {2.0, 0.5}});
+    EXPECT_DOUBLE_EQ(curve.at(100.0), 0.0); // line is negative there
+}
+
+TEST(EffortCurveTest, RejectsBadAnchors)
+{
+    EXPECT_THROW(EffortCurve::fit(EffortForm::Linear, {{1.0, 1.0}}),
+                 ModelError);
+    EXPECT_THROW(EffortCurve::fit(EffortForm::Exponential,
+                                  {{1.0, 1.0}, {2.0, -1.0}}),
+                 ModelError);
+    EXPECT_THROW(EffortCurve::fit(EffortForm::PowerLaw,
+                                  {{0.0, 1.0}, {2.0, 1.0}}),
+                 ModelError);
+}
+
+TEST(EffortCurveTest, RejectsNonPositiveEvaluationPoint)
+{
+    const EffortCurve curve = EffortCurve::fit(
+        EffortForm::PowerLaw, {{1.0, 1.0}, {2.0, 0.5}});
+    EXPECT_THROW(curve.at(0.0), ModelError);
+    EXPECT_THROW(curve.at(-5.0), ModelError);
+}
+
+TEST(EffortFormTest, NamesAreStable)
+{
+    EXPECT_EQ(effortFormName(EffortForm::Linear), "Linear");
+    EXPECT_EQ(effortFormName(EffortForm::Exponential), "Exponential");
+    EXPECT_EQ(effortFormName(EffortForm::PowerLaw), "PowerLaw");
+}
+
+TEST(EffortCurveTest, DescribeIncludesFormAndFit)
+{
+    const EffortCurve curve = EffortCurve::fit(
+        EffortForm::Exponential, {{1.0, 1.0}, {2.0, 0.5}});
+    const std::string description = curve.describe();
+    EXPECT_NE(description.find("Exponential"), std::string::npos);
+    EXPECT_NE(description.find("R2"), std::string::npos);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,101 @@
+#include "tech/process_node.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+ProcessNode
+validNode()
+{
+    ProcessNode node;
+    node.name = "28nm";
+    node.feature_nm = 28.0;
+    node.density_mtr_per_mm2 = 9.1;
+    node.defect_density_per_mm2 = 0.0004;
+    node.wafer_rate_kwpm = 350.0;
+    node.foundry_latency = Weeks(12.0);
+    node.osat_latency = Weeks(6.0);
+    node.tapeout_effort_hours_per_transistor = 2.57e-5;
+    node.testing_effort_weeks_per_e15 = 0.0011;
+    node.packaging_effort_weeks_per_e9_mm2 = 0.06;
+    node.wafer_cost = Dollars(2891.0);
+    node.mask_set_cost = units::million(1.5);
+    node.tapeout_fixed_cost = units::million(0.6);
+    return node;
+}
+
+TEST(ProcessNodeTest, ValidNodePassesValidation)
+{
+    EXPECT_NO_THROW(validNode().validate());
+}
+
+TEST(ProcessNodeTest, AvailabilityFollowsWaferRate)
+{
+    ProcessNode node = validNode();
+    EXPECT_TRUE(node.available());
+    node.wafer_rate_kwpm = 0.0;
+    EXPECT_FALSE(node.available());
+    EXPECT_NO_THROW(node.validate()); // zero rate is valid (paper 20/10nm)
+}
+
+TEST(ProcessNodeTest, WaferRateConvertsToWeekly)
+{
+    const ProcessNode node = validNode();
+    EXPECT_NEAR(node.waferRate().value(), 350000.0 * 12.0 / 52.0, 1e-6);
+}
+
+TEST(ProcessNodeTest, ValidationCatchesEachBadField)
+{
+    {
+        ProcessNode node = validNode();
+        node.name.clear();
+        EXPECT_THROW(node.validate(), ModelError);
+    }
+    {
+        ProcessNode node = validNode();
+        node.feature_nm = 0.0;
+        EXPECT_THROW(node.validate(), ModelError);
+    }
+    {
+        ProcessNode node = validNode();
+        node.density_mtr_per_mm2 = -1.0;
+        EXPECT_THROW(node.validate(), ModelError);
+    }
+    {
+        ProcessNode node = validNode();
+        node.defect_density_per_mm2 = -0.1;
+        EXPECT_THROW(node.validate(), ModelError);
+    }
+    {
+        ProcessNode node = validNode();
+        node.foundry_latency = Weeks(-1.0);
+        EXPECT_THROW(node.validate(), ModelError);
+    }
+    {
+        ProcessNode node = validNode();
+        node.tapeout_effort_hours_per_transistor = 0.0;
+        EXPECT_THROW(node.validate(), ModelError);
+    }
+    {
+        ProcessNode node = validNode();
+        node.wafer_cost = Dollars(-1.0);
+        EXPECT_THROW(node.validate(), ModelError);
+    }
+}
+
+TEST(ProcessNodeTest, FinerThanComparesFeatureSize)
+{
+    ProcessNode coarse = validNode();
+    ProcessNode fine = validNode();
+    fine.name = "7nm";
+    fine.feature_nm = 7.0;
+    EXPECT_TRUE(finerThan(fine, coarse));
+    EXPECT_FALSE(finerThan(coarse, fine));
+    EXPECT_FALSE(finerThan(coarse, coarse));
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,110 @@
+#include "tech/technology_db.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+ProcessNode
+minimalNode(const std::string& name, double nm, double kwpm = 100.0)
+{
+    ProcessNode node;
+    node.name = name;
+    node.feature_nm = nm;
+    node.density_mtr_per_mm2 = 10.0;
+    node.defect_density_per_mm2 = 0.0005;
+    node.wafer_rate_kwpm = kwpm;
+    node.foundry_latency = Weeks(12.0);
+    node.osat_latency = Weeks(6.0);
+    node.tapeout_effort_hours_per_transistor = 1e-5;
+    node.testing_effort_weeks_per_e15 = 0.001;
+    node.packaging_effort_weeks_per_e9_mm2 = 0.05;
+    node.wafer_cost = Dollars(3000.0);
+    node.mask_set_cost = units::million(1.0);
+    node.tapeout_fixed_cost = units::million(0.5);
+    return node;
+}
+
+TEST(TechnologyDbTest, AddAndLookup)
+{
+    TechnologyDb db;
+    EXPECT_TRUE(db.empty());
+    db.add(minimalNode("28nm", 28.0));
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_TRUE(db.has("28nm"));
+    EXPECT_FALSE(db.has("7nm"));
+    EXPECT_EQ(db.node("28nm").feature_nm, 28.0);
+    EXPECT_EQ(db.tryNode("7nm"), nullptr);
+    EXPECT_THROW(db.node("7nm"), ModelError);
+}
+
+TEST(TechnologyDbTest, KeepsCoarsestFirstOrder)
+{
+    TechnologyDb db;
+    db.add(minimalNode("7nm", 7.0));
+    db.add(minimalNode("250nm", 250.0));
+    db.add(minimalNode("28nm", 28.0));
+    const auto names = db.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "250nm");
+    EXPECT_EQ(names[1], "28nm");
+    EXPECT_EQ(names[2], "7nm");
+}
+
+TEST(TechnologyDbTest, ReplaceKeepsPosition)
+{
+    TechnologyDb db;
+    db.add(minimalNode("28nm", 28.0));
+    db.add(minimalNode("7nm", 7.0));
+    ProcessNode updated = minimalNode("28nm", 28.0, 500.0);
+    db.add(updated);
+    EXPECT_EQ(db.size(), 2u);
+    EXPECT_EQ(db.names()[0], "28nm");
+    EXPECT_DOUBLE_EQ(db.node("28nm").wafer_rate_kwpm, 500.0);
+}
+
+TEST(TechnologyDbTest, AvailableNamesSkipsIdleNodes)
+{
+    TechnologyDb db;
+    db.add(minimalNode("28nm", 28.0, 350.0));
+    db.add(minimalNode("20nm", 20.0, 0.0));
+    db.add(minimalNode("7nm", 7.0, 252.0));
+    const auto available = db.availableNames();
+    ASSERT_EQ(available.size(), 2u);
+    EXPECT_EQ(available[0], "28nm");
+    EXPECT_EQ(available[1], "7nm");
+}
+
+TEST(TechnologyDbTest, AddValidatesNode)
+{
+    TechnologyDb db;
+    ProcessNode bad = minimalNode("x", 1.0);
+    bad.density_mtr_per_mm2 = 0.0;
+    EXPECT_THROW(db.add(bad), ModelError);
+}
+
+TEST(TechnologyDbTest, WithScaledWaferRateIsNonDestructive)
+{
+    TechnologyDb db;
+    db.add(minimalNode("28nm", 28.0, 350.0));
+    const TechnologyDb scaled = db.withScaledWaferRate("28nm", 0.5);
+    EXPECT_DOUBLE_EQ(scaled.node("28nm").wafer_rate_kwpm, 175.0);
+    EXPECT_DOUBLE_EQ(db.node("28nm").wafer_rate_kwpm, 350.0);
+    EXPECT_THROW(db.withScaledWaferRate("missing", 0.5), ModelError);
+    EXPECT_THROW(db.withScaledWaferRate("28nm", -1.0), ModelError);
+}
+
+TEST(TechnologyDbTest, DefaultDbRoundTripsThroughCopy)
+{
+    const TechnologyDb db = defaultTechnologyDb();
+    const TechnologyDb copy = db; // value semantics
+    EXPECT_EQ(copy.size(), db.size());
+    EXPECT_DOUBLE_EQ(copy.node("7nm").wafer_rate_kwpm,
+                     db.node("7nm").wafer_rate_kwpm);
+}
+
+} // namespace
+} // namespace ttmcas
