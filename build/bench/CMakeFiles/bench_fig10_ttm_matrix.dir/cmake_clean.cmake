@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ttm_matrix.dir/bench_fig10_ttm_matrix.cc.o"
+  "CMakeFiles/bench_fig10_ttm_matrix.dir/bench_fig10_ttm_matrix.cc.o.d"
+  "bench_fig10_ttm_matrix"
+  "bench_fig10_ttm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ttm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

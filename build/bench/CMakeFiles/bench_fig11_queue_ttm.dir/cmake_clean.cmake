@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_queue_ttm.dir/bench_fig11_queue_ttm.cc.o"
+  "CMakeFiles/bench_fig11_queue_ttm.dir/bench_fig11_queue_ttm.cc.o.d"
+  "bench_fig11_queue_ttm"
+  "bench_fig11_queue_ttm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_queue_ttm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_queue_cas.dir/bench_fig12_queue_cas.cc.o"
+  "CMakeFiles/bench_fig12_queue_cas.dir/bench_fig12_queue_cas.cc.o.d"
+  "bench_fig12_queue_cas"
+  "bench_fig12_queue_cas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_queue_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

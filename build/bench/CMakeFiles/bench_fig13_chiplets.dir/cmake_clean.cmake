@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_chiplets.dir/bench_fig13_chiplets.cc.o"
+  "CMakeFiles/bench_fig13_chiplets.dir/bench_fig13_chiplets.cc.o.d"
+  "bench_fig13_chiplets"
+  "bench_fig13_chiplets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_chiplets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_multiprocess.dir/bench_fig14_multiprocess.cc.o"
+  "CMakeFiles/bench_fig14_multiprocess.dir/bench_fig14_multiprocess.cc.o.d"
+  "bench_fig14_multiprocess"
+  "bench_fig14_multiprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_multiprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

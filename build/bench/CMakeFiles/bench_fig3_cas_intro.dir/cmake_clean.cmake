@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cas_intro.dir/bench_fig3_cas_intro.cc.o"
+  "CMakeFiles/bench_fig3_cas_intro.dir/bench_fig3_cas_intro.cc.o.d"
+  "bench_fig3_cas_intro"
+  "bench_fig3_cas_intro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cas_intro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_cache_scatter.cc" "bench/CMakeFiles/bench_fig4_cache_scatter.dir/bench_fig4_cache_scatter.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_cache_scatter.dir/bench_fig4_cache_scatter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/ttmcas_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ttmcas_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/ttmcas_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ttmcas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ttmcas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ttmcas_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cache_normalized.dir/bench_fig5_cache_normalized.cc.o"
+  "CMakeFiles/bench_fig5_cache_normalized.dir/bench_fig5_cache_normalized.cc.o.d"
+  "bench_fig5_cache_normalized"
+  "bench_fig5_cache_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cache_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cache_matrix.dir/bench_fig6_cache_matrix.cc.o"
+  "CMakeFiles/bench_fig6_cache_matrix.dir/bench_fig6_cache_matrix.cc.o.d"
+  "bench_fig6_cache_matrix"
+  "bench_fig6_cache_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cache_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

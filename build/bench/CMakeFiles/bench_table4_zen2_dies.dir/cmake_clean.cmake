@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_zen2_dies.dir/bench_table4_zen2_dies.cc.o"
+  "CMakeFiles/bench_table4_zen2_dies.dir/bench_table4_zen2_dies.cc.o.d"
+  "bench_table4_zen2_dies"
+  "bench_table4_zen2_dies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_zen2_dies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_process_planner.dir/multi_process_planner.cpp.o"
+  "CMakeFiles/multi_process_planner.dir/multi_process_planner.cpp.o.d"
+  "multi_process_planner"
+  "multi_process_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_process_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

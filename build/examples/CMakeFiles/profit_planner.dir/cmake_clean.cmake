@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profit_planner.dir/profit_planner.cpp.o"
+  "CMakeFiles/profit_planner.dir/profit_planner.cpp.o.d"
+  "profit_planner"
+  "profit_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profit_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortage_wargame.dir/shortage_wargame.cpp.o"
+  "CMakeFiles/shortage_wargame.dir/shortage_wargame.cpp.o.d"
+  "shortage_wargame"
+  "shortage_wargame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortage_wargame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

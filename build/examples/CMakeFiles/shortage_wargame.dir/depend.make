@@ -1,0 +1,2 @@
+# Empty dependencies file for shortage_wargame.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttm_cli.dir/ttm_cli.cpp.o"
+  "CMakeFiles/ttm_cli.dir/ttm_cli.cpp.o.d"
+  "ttm_cli"
+  "ttm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[smoke_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[smoke_quickstart]=] PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_cache_design_explorer]=] "/root/repo/build/examples/cache_design_explorer" "14nm" "10")
+set_tests_properties([=[smoke_cache_design_explorer]=] PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_shortage_wargame]=] "/root/repo/build/examples/shortage_wargame")
+set_tests_properties([=[smoke_shortage_wargame]=] PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_multi_process_planner]=] "/root/repo/build/examples/multi_process_planner" "0.5")
+set_tests_properties([=[smoke_multi_process_planner]=] PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_profit_planner]=] "/root/repo/build/examples/profit_planner")
+set_tests_properties([=[smoke_profit_planner]=] PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_ttm_cli]=] "/root/repo/build/examples/ttm_cli" "--node" "7nm" "--ntt" "2.4e9" "--nut" "2e8" "--chips" "5e7" "--risk" "45")
+set_tests_properties([=[smoke_ttm_cli]=] PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

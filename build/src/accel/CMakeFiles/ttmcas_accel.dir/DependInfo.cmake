@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accel_study.cc" "src/accel/CMakeFiles/ttmcas_accel.dir/accel_study.cc.o" "gcc" "src/accel/CMakeFiles/ttmcas_accel.dir/accel_study.cc.o.d"
+  "/root/repo/src/accel/baseline.cc" "src/accel/CMakeFiles/ttmcas_accel.dir/baseline.cc.o" "gcc" "src/accel/CMakeFiles/ttmcas_accel.dir/baseline.cc.o.d"
+  "/root/repo/src/accel/fft.cc" "src/accel/CMakeFiles/ttmcas_accel.dir/fft.cc.o" "gcc" "src/accel/CMakeFiles/ttmcas_accel.dir/fft.cc.o.d"
+  "/root/repo/src/accel/sorting_network.cc" "src/accel/CMakeFiles/ttmcas_accel.dir/sorting_network.cc.o" "gcc" "src/accel/CMakeFiles/ttmcas_accel.dir/sorting_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ttmcas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/ttmcas_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmcas_accel.dir/accel_study.cc.o"
+  "CMakeFiles/ttmcas_accel.dir/accel_study.cc.o.d"
+  "CMakeFiles/ttmcas_accel.dir/baseline.cc.o"
+  "CMakeFiles/ttmcas_accel.dir/baseline.cc.o.d"
+  "CMakeFiles/ttmcas_accel.dir/fft.cc.o"
+  "CMakeFiles/ttmcas_accel.dir/fft.cc.o.d"
+  "CMakeFiles/ttmcas_accel.dir/sorting_network.cc.o"
+  "CMakeFiles/ttmcas_accel.dir/sorting_network.cc.o.d"
+  "libttmcas_accel.a"
+  "libttmcas_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmcas_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

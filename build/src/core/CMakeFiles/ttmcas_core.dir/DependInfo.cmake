@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/ttmcas_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/binning.cc" "src/core/CMakeFiles/ttmcas_core.dir/binning.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/binning.cc.o.d"
+  "/root/repo/src/core/cas.cc" "src/core/CMakeFiles/ttmcas_core.dir/cas.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/cas.cc.o.d"
+  "/root/repo/src/core/design.cc" "src/core/CMakeFiles/ttmcas_core.dir/design.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/design.cc.o.d"
+  "/root/repo/src/core/design_io.cc" "src/core/CMakeFiles/ttmcas_core.dir/design_io.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/design_io.cc.o.d"
+  "/root/repo/src/core/hoarding.cc" "src/core/CMakeFiles/ttmcas_core.dir/hoarding.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/hoarding.cc.o.d"
+  "/root/repo/src/core/market.cc" "src/core/CMakeFiles/ttmcas_core.dir/market.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/market.cc.o.d"
+  "/root/repo/src/core/reference_designs.cc" "src/core/CMakeFiles/ttmcas_core.dir/reference_designs.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/reference_designs.cc.o.d"
+  "/root/repo/src/core/risk.cc" "src/core/CMakeFiles/ttmcas_core.dir/risk.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/risk.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/ttmcas_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/tapeout_plan.cc" "src/core/CMakeFiles/ttmcas_core.dir/tapeout_plan.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/tapeout_plan.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/core/CMakeFiles/ttmcas_core.dir/timeline.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/timeline.cc.o.d"
+  "/root/repo/src/core/ttm_model.cc" "src/core/CMakeFiles/ttmcas_core.dir/ttm_model.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/ttm_model.cc.o.d"
+  "/root/repo/src/core/uncertainty.cc" "src/core/CMakeFiles/ttmcas_core.dir/uncertainty.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/uncertainty.cc.o.d"
+  "/root/repo/src/core/wafer.cc" "src/core/CMakeFiles/ttmcas_core.dir/wafer.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/wafer.cc.o.d"
+  "/root/repo/src/core/yield.cc" "src/core/CMakeFiles/ttmcas_core.dir/yield.cc.o" "gcc" "src/core/CMakeFiles/ttmcas_core.dir/yield.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

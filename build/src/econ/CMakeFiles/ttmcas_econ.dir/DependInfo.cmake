@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/cost_model.cc" "src/econ/CMakeFiles/ttmcas_econ.dir/cost_model.cc.o" "gcc" "src/econ/CMakeFiles/ttmcas_econ.dir/cost_model.cc.o.d"
+  "/root/repo/src/econ/reservation.cc" "src/econ/CMakeFiles/ttmcas_econ.dir/reservation.cc.o" "gcc" "src/econ/CMakeFiles/ttmcas_econ.dir/reservation.cc.o.d"
+  "/root/repo/src/econ/revenue_model.cc" "src/econ/CMakeFiles/ttmcas_econ.dir/revenue_model.cc.o" "gcc" "src/econ/CMakeFiles/ttmcas_econ.dir/revenue_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ttmcas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmcas_econ.dir/cost_model.cc.o"
+  "CMakeFiles/ttmcas_econ.dir/cost_model.cc.o.d"
+  "CMakeFiles/ttmcas_econ.dir/reservation.cc.o"
+  "CMakeFiles/ttmcas_econ.dir/reservation.cc.o.d"
+  "CMakeFiles/ttmcas_econ.dir/revenue_model.cc.o"
+  "CMakeFiles/ttmcas_econ.dir/revenue_model.cc.o.d"
+  "libttmcas_econ.a"
+  "libttmcas_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmcas_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libttmcas_econ.a"
+)

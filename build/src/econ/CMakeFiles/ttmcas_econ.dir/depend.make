@@ -1,0 +1,2 @@
+# Empty dependencies file for ttmcas_econ.
+# This may be replaced when dependencies are built.

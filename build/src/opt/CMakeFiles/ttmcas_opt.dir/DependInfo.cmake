@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cache_optimizer.cc" "src/opt/CMakeFiles/ttmcas_opt.dir/cache_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/ttmcas_opt.dir/cache_optimizer.cc.o.d"
+  "/root/repo/src/opt/node_selector.cc" "src/opt/CMakeFiles/ttmcas_opt.dir/node_selector.cc.o" "gcc" "src/opt/CMakeFiles/ttmcas_opt.dir/node_selector.cc.o.d"
+  "/root/repo/src/opt/pareto.cc" "src/opt/CMakeFiles/ttmcas_opt.dir/pareto.cc.o" "gcc" "src/opt/CMakeFiles/ttmcas_opt.dir/pareto.cc.o.d"
+  "/root/repo/src/opt/portfolio.cc" "src/opt/CMakeFiles/ttmcas_opt.dir/portfolio.cc.o" "gcc" "src/opt/CMakeFiles/ttmcas_opt.dir/portfolio.cc.o.d"
+  "/root/repo/src/opt/split_optimizer.cc" "src/opt/CMakeFiles/ttmcas_opt.dir/split_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/ttmcas_opt.dir/split_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ttmcas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/ttmcas_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ttmcas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmcas_opt.dir/cache_optimizer.cc.o"
+  "CMakeFiles/ttmcas_opt.dir/cache_optimizer.cc.o.d"
+  "CMakeFiles/ttmcas_opt.dir/node_selector.cc.o"
+  "CMakeFiles/ttmcas_opt.dir/node_selector.cc.o.d"
+  "CMakeFiles/ttmcas_opt.dir/pareto.cc.o"
+  "CMakeFiles/ttmcas_opt.dir/pareto.cc.o.d"
+  "CMakeFiles/ttmcas_opt.dir/portfolio.cc.o"
+  "CMakeFiles/ttmcas_opt.dir/portfolio.cc.o.d"
+  "CMakeFiles/ttmcas_opt.dir/split_optimizer.cc.o"
+  "CMakeFiles/ttmcas_opt.dir/split_optimizer.cc.o.d"
+  "libttmcas_opt.a"
+  "libttmcas_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmcas_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmcas_report.dir/ascii_plot.cc.o"
+  "CMakeFiles/ttmcas_report.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/ttmcas_report.dir/matrix.cc.o"
+  "CMakeFiles/ttmcas_report.dir/matrix.cc.o.d"
+  "CMakeFiles/ttmcas_report.dir/series.cc.o"
+  "CMakeFiles/ttmcas_report.dir/series.cc.o.d"
+  "CMakeFiles/ttmcas_report.dir/table.cc.o"
+  "CMakeFiles/ttmcas_report.dir/table.cc.o.d"
+  "libttmcas_report.a"
+  "libttmcas_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmcas_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ariane.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/ariane.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/ariane.cc.o.d"
+  "/root/repo/src/sim/branch_predictor.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/branch_predictor.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/cache_hierarchy.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/cache_hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/cache_hierarchy.cc.o.d"
+  "/root/repo/src/sim/ipc_model.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/ipc_model.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/ipc_model.cc.o.d"
+  "/root/repo/src/sim/miss_curves.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/miss_curves.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/miss_curves.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/pipeline.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/pipeline.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/sim/CMakeFiles/ttmcas_sim.dir/workloads.cc.o" "gcc" "src/sim/CMakeFiles/ttmcas_sim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ttmcas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmcas_sim.dir/ariane.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/ariane.cc.o.d"
+  "CMakeFiles/ttmcas_sim.dir/branch_predictor.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/ttmcas_sim.dir/cache.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/cache.cc.o.d"
+  "CMakeFiles/ttmcas_sim.dir/cache_hierarchy.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/cache_hierarchy.cc.o.d"
+  "CMakeFiles/ttmcas_sim.dir/ipc_model.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/ipc_model.cc.o.d"
+  "CMakeFiles/ttmcas_sim.dir/miss_curves.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/miss_curves.cc.o.d"
+  "CMakeFiles/ttmcas_sim.dir/pipeline.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/ttmcas_sim.dir/trace.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/trace.cc.o.d"
+  "CMakeFiles/ttmcas_sim.dir/workloads.cc.o"
+  "CMakeFiles/ttmcas_sim.dir/workloads.cc.o.d"
+  "libttmcas_sim.a"
+  "libttmcas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmcas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

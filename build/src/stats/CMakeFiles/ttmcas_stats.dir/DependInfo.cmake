@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/ttmcas_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/ttmcas_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/ttmcas_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/ttmcas_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/lowdiscrepancy.cc" "src/stats/CMakeFiles/ttmcas_stats.dir/lowdiscrepancy.cc.o" "gcc" "src/stats/CMakeFiles/ttmcas_stats.dir/lowdiscrepancy.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/ttmcas_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/ttmcas_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/ttmcas_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/ttmcas_stats.dir/rng.cc.o.d"
+  "/root/repo/src/stats/sobol.cc" "src/stats/CMakeFiles/ttmcas_stats.dir/sobol.cc.o" "gcc" "src/stats/CMakeFiles/ttmcas_stats.dir/sobol.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/ttmcas_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/ttmcas_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

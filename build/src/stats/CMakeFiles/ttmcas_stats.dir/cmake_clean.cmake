@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmcas_stats.dir/distributions.cc.o"
+  "CMakeFiles/ttmcas_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/ttmcas_stats.dir/histogram.cc.o"
+  "CMakeFiles/ttmcas_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ttmcas_stats.dir/lowdiscrepancy.cc.o"
+  "CMakeFiles/ttmcas_stats.dir/lowdiscrepancy.cc.o.d"
+  "CMakeFiles/ttmcas_stats.dir/regression.cc.o"
+  "CMakeFiles/ttmcas_stats.dir/regression.cc.o.d"
+  "CMakeFiles/ttmcas_stats.dir/rng.cc.o"
+  "CMakeFiles/ttmcas_stats.dir/rng.cc.o.d"
+  "CMakeFiles/ttmcas_stats.dir/sobol.cc.o"
+  "CMakeFiles/ttmcas_stats.dir/sobol.cc.o.d"
+  "CMakeFiles/ttmcas_stats.dir/summary.cc.o"
+  "CMakeFiles/ttmcas_stats.dir/summary.cc.o.d"
+  "libttmcas_stats.a"
+  "libttmcas_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmcas_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

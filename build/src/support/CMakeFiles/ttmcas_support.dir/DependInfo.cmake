@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/error.cc" "src/support/CMakeFiles/ttmcas_support.dir/error.cc.o" "gcc" "src/support/CMakeFiles/ttmcas_support.dir/error.cc.o.d"
+  "/root/repo/src/support/mathutil.cc" "src/support/CMakeFiles/ttmcas_support.dir/mathutil.cc.o" "gcc" "src/support/CMakeFiles/ttmcas_support.dir/mathutil.cc.o.d"
+  "/root/repo/src/support/strutil.cc" "src/support/CMakeFiles/ttmcas_support.dir/strutil.cc.o" "gcc" "src/support/CMakeFiles/ttmcas_support.dir/strutil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

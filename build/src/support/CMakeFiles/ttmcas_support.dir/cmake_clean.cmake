@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmcas_support.dir/error.cc.o"
+  "CMakeFiles/ttmcas_support.dir/error.cc.o.d"
+  "CMakeFiles/ttmcas_support.dir/mathutil.cc.o"
+  "CMakeFiles/ttmcas_support.dir/mathutil.cc.o.d"
+  "CMakeFiles/ttmcas_support.dir/strutil.cc.o"
+  "CMakeFiles/ttmcas_support.dir/strutil.cc.o.d"
+  "libttmcas_support.a"
+  "libttmcas_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmcas_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

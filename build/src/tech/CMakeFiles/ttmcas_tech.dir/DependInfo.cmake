@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/dataset_io.cc" "src/tech/CMakeFiles/ttmcas_tech.dir/dataset_io.cc.o" "gcc" "src/tech/CMakeFiles/ttmcas_tech.dir/dataset_io.cc.o.d"
+  "/root/repo/src/tech/default_dataset.cc" "src/tech/CMakeFiles/ttmcas_tech.dir/default_dataset.cc.o" "gcc" "src/tech/CMakeFiles/ttmcas_tech.dir/default_dataset.cc.o.d"
+  "/root/repo/src/tech/effort_model.cc" "src/tech/CMakeFiles/ttmcas_tech.dir/effort_model.cc.o" "gcc" "src/tech/CMakeFiles/ttmcas_tech.dir/effort_model.cc.o.d"
+  "/root/repo/src/tech/process_node.cc" "src/tech/CMakeFiles/ttmcas_tech.dir/process_node.cc.o" "gcc" "src/tech/CMakeFiles/ttmcas_tech.dir/process_node.cc.o.d"
+  "/root/repo/src/tech/technology_db.cc" "src/tech/CMakeFiles/ttmcas_tech.dir/technology_db.cc.o" "gcc" "src/tech/CMakeFiles/ttmcas_tech.dir/technology_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

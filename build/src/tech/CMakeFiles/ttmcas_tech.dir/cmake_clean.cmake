@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmcas_tech.dir/dataset_io.cc.o"
+  "CMakeFiles/ttmcas_tech.dir/dataset_io.cc.o.d"
+  "CMakeFiles/ttmcas_tech.dir/default_dataset.cc.o"
+  "CMakeFiles/ttmcas_tech.dir/default_dataset.cc.o.d"
+  "CMakeFiles/ttmcas_tech.dir/effort_model.cc.o"
+  "CMakeFiles/ttmcas_tech.dir/effort_model.cc.o.d"
+  "CMakeFiles/ttmcas_tech.dir/process_node.cc.o"
+  "CMakeFiles/ttmcas_tech.dir/process_node.cc.o.d"
+  "CMakeFiles/ttmcas_tech.dir/technology_db.cc.o"
+  "CMakeFiles/ttmcas_tech.dir/technology_db.cc.o.d"
+  "libttmcas_tech.a"
+  "libttmcas_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmcas_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/accel/test_accel_study.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_accel_study.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_baseline.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_baseline.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_fft.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_fft.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_sorting_network.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_sorting_network.cc.o.d"
+  "test_accel"
+  "test_accel.pdb"
+  "test_accel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

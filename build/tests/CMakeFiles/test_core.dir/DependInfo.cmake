@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_allocation.cc" "tests/CMakeFiles/test_core.dir/core/test_allocation.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_allocation.cc.o.d"
+  "/root/repo/tests/core/test_binning.cc" "tests/CMakeFiles/test_core.dir/core/test_binning.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_binning.cc.o.d"
+  "/root/repo/tests/core/test_cas.cc" "tests/CMakeFiles/test_core.dir/core/test_cas.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cas.cc.o.d"
+  "/root/repo/tests/core/test_design.cc" "tests/CMakeFiles/test_core.dir/core/test_design.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_design.cc.o.d"
+  "/root/repo/tests/core/test_design_io.cc" "tests/CMakeFiles/test_core.dir/core/test_design_io.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_design_io.cc.o.d"
+  "/root/repo/tests/core/test_hoarding.cc" "tests/CMakeFiles/test_core.dir/core/test_hoarding.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hoarding.cc.o.d"
+  "/root/repo/tests/core/test_market.cc" "tests/CMakeFiles/test_core.dir/core/test_market.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_market.cc.o.d"
+  "/root/repo/tests/core/test_reference_designs.cc" "tests/CMakeFiles/test_core.dir/core/test_reference_designs.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_reference_designs.cc.o.d"
+  "/root/repo/tests/core/test_risk.cc" "tests/CMakeFiles/test_core.dir/core/test_risk.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_risk.cc.o.d"
+  "/root/repo/tests/core/test_scenario.cc" "tests/CMakeFiles/test_core.dir/core/test_scenario.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scenario.cc.o.d"
+  "/root/repo/tests/core/test_tapeout_plan.cc" "tests/CMakeFiles/test_core.dir/core/test_tapeout_plan.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_tapeout_plan.cc.o.d"
+  "/root/repo/tests/core/test_timeline.cc" "tests/CMakeFiles/test_core.dir/core/test_timeline.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_timeline.cc.o.d"
+  "/root/repo/tests/core/test_ttm_model.cc" "tests/CMakeFiles/test_core.dir/core/test_ttm_model.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ttm_model.cc.o.d"
+  "/root/repo/tests/core/test_uncertainty.cc" "tests/CMakeFiles/test_core.dir/core/test_uncertainty.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_uncertainty.cc.o.d"
+  "/root/repo/tests/core/test_wafer.cc" "tests/CMakeFiles/test_core.dir/core/test_wafer.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_wafer.cc.o.d"
+  "/root/repo/tests/core/test_yield.cc" "tests/CMakeFiles/test_core.dir/core/test_yield.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_yield.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/ttmcas_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ttmcas_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/ttmcas_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ttmcas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ttmcas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ttmcas_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

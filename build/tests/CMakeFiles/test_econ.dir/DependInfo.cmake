@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/econ/test_cost_model.cc" "tests/CMakeFiles/test_econ.dir/econ/test_cost_model.cc.o" "gcc" "tests/CMakeFiles/test_econ.dir/econ/test_cost_model.cc.o.d"
+  "/root/repo/tests/econ/test_reservation.cc" "tests/CMakeFiles/test_econ.dir/econ/test_reservation.cc.o" "gcc" "tests/CMakeFiles/test_econ.dir/econ/test_reservation.cc.o.d"
+  "/root/repo/tests/econ/test_revenue_model.cc" "tests/CMakeFiles/test_econ.dir/econ/test_revenue_model.cc.o" "gcc" "tests/CMakeFiles/test_econ.dir/econ/test_revenue_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/ttmcas_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ttmcas_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/ttmcas_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ttmcas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ttmcas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ttmcas_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

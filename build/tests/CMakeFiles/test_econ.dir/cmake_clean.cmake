@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_econ.dir/econ/test_cost_model.cc.o"
+  "CMakeFiles/test_econ.dir/econ/test_cost_model.cc.o.d"
+  "CMakeFiles/test_econ.dir/econ/test_reservation.cc.o"
+  "CMakeFiles/test_econ.dir/econ/test_reservation.cc.o.d"
+  "CMakeFiles/test_econ.dir/econ/test_revenue_model.cc.o"
+  "CMakeFiles/test_econ.dir/econ/test_revenue_model.cc.o.d"
+  "test_econ"
+  "test_econ.pdb"
+  "test_econ[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/test_cache_optimizer.cc.o"
+  "CMakeFiles/test_opt.dir/opt/test_cache_optimizer.cc.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_node_selector.cc.o"
+  "CMakeFiles/test_opt.dir/opt/test_node_selector.cc.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_pareto.cc.o"
+  "CMakeFiles/test_opt.dir/opt/test_pareto.cc.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_portfolio.cc.o"
+  "CMakeFiles/test_opt.dir/opt/test_portfolio.cc.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_split_optimizer.cc.o"
+  "CMakeFiles/test_opt.dir/opt/test_split_optimizer.cc.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

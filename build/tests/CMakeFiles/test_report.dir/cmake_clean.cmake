@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report.dir/report/test_ascii_plot.cc.o"
+  "CMakeFiles/test_report.dir/report/test_ascii_plot.cc.o.d"
+  "CMakeFiles/test_report.dir/report/test_matrix.cc.o"
+  "CMakeFiles/test_report.dir/report/test_matrix.cc.o.d"
+  "CMakeFiles/test_report.dir/report/test_series.cc.o"
+  "CMakeFiles/test_report.dir/report/test_series.cc.o.d"
+  "CMakeFiles/test_report.dir/report/test_table.cc.o"
+  "CMakeFiles/test_report.dir/report/test_table.cc.o.d"
+  "test_report"
+  "test_report.pdb"
+  "test_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_ariane.cc" "tests/CMakeFiles/test_sim.dir/sim/test_ariane.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_ariane.cc.o.d"
+  "/root/repo/tests/sim/test_branch_predictor.cc" "tests/CMakeFiles/test_sim.dir/sim/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/sim/test_cache.cc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cc.o.d"
+  "/root/repo/tests/sim/test_cache_hierarchy.cc" "tests/CMakeFiles/test_sim.dir/sim/test_cache_hierarchy.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache_hierarchy.cc.o.d"
+  "/root/repo/tests/sim/test_ipc_model.cc" "tests/CMakeFiles/test_sim.dir/sim/test_ipc_model.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_ipc_model.cc.o.d"
+  "/root/repo/tests/sim/test_miss_curves.cc" "tests/CMakeFiles/test_sim.dir/sim/test_miss_curves.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_miss_curves.cc.o.d"
+  "/root/repo/tests/sim/test_pipeline.cc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline.cc.o.d"
+  "/root/repo/tests/sim/test_trace.cc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  "/root/repo/tests/sim/test_workloads.cc" "tests/CMakeFiles/test_sim.dir/sim/test_workloads.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/ttmcas_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ttmcas_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/ttmcas_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ttmcas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ttmcas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ttmcas_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmcas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ttmcas_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ttmcas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

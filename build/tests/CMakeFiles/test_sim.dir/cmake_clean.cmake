@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_ariane.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_ariane.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_branch_predictor.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_branch_predictor.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cache.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cache_hierarchy.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache_hierarchy.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_ipc_model.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_ipc_model.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_miss_curves.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_miss_curves.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_workloads.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_workloads.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_distributions.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_distributions.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_lowdiscrepancy.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_lowdiscrepancy.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_regression.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_regression.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_rng.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_rng.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_sobol.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_sobol.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_summary.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_summary.cc.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/test_error.cc.o"
+  "CMakeFiles/test_support.dir/support/test_error.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_mathutil.cc.o"
+  "CMakeFiles/test_support.dir/support/test_mathutil.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_strutil.cc.o"
+  "CMakeFiles/test_support.dir/support/test_strutil.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_units.cc.o"
+  "CMakeFiles/test_support.dir/support/test_units.cc.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech.dir/tech/test_dataset_io.cc.o"
+  "CMakeFiles/test_tech.dir/tech/test_dataset_io.cc.o.d"
+  "CMakeFiles/test_tech.dir/tech/test_default_dataset.cc.o"
+  "CMakeFiles/test_tech.dir/tech/test_default_dataset.cc.o.d"
+  "CMakeFiles/test_tech.dir/tech/test_effort_model.cc.o"
+  "CMakeFiles/test_tech.dir/tech/test_effort_model.cc.o.d"
+  "CMakeFiles/test_tech.dir/tech/test_process_node.cc.o"
+  "CMakeFiles/test_tech.dir/tech/test_process_node.cc.o.d"
+  "CMakeFiles/test_tech.dir/tech/test_technology_db.cc.o"
+  "CMakeFiles/test_tech.dir/tech/test_technology_db.cc.o.d"
+  "test_tech"
+  "test_tech.pdb"
+  "test_tech[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
