@@ -3,13 +3,29 @@
  * google-benchmark microbenchmarks of the model-evaluation kernels:
  * how fast can a user sweep designs? These are throughput numbers for
  * the library itself, not paper reproductions.
+ *
+ * The MonteCarloTtm4096/SobolSixInputs256 families take the thread
+ * count as their benchmark argument (1 = the serial path) so the
+ * parallel engine's scaling is measured directly; after the benchmark
+ * pass the driver re-times both kernels at 1/2/4/8 threads, checks
+ * the parallel results are bitwise-identical to serial, and writes
+ * the bench_out/BENCH_parallel.json snapshot.
  */
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "core/cas.hh"
 #include "core/reference_designs.hh"
 #include "core/uncertainty.hh"
+#include "report/series.hh"
 #include "sim/cache.hh"
 #include "sim/pipeline.hh"
 #include "sim/trace.hh"
@@ -122,6 +138,152 @@ BM_SobolSixInputs256(benchmark::State& state)
 }
 BENCHMARK(BM_SobolSixInputs256);
 
+// --- Parallel engine scaling: threads is the benchmark argument. ---
+
+UncertaintyAnalysis::Options
+parallelOptions(std::size_t samples, std::int64_t threads)
+{
+    UncertaintyAnalysis::Options options;
+    options.samples = samples;
+    options.parallel.threads = static_cast<std::size_t>(threads);
+    return options;
+}
+
+void
+BM_MonteCarloTtm4096Threads(benchmark::State& state)
+{
+    const UncertaintyAnalysis analysis(defaultTechnologyDb(),
+                                       a11Options());
+    const ChipDesign a11 = designs::a11("7nm");
+    const auto options = parallelOptions(4096, state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis.sampleTtm(a11, 10e6, {}, options).size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_MonteCarloTtm4096Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_SobolSixInputs256Threads(benchmark::State& state)
+{
+    const UncertaintyAnalysis analysis(defaultTechnologyDb(),
+                                       a11Options());
+    const ChipDesign a11 = designs::a11("7nm");
+    const auto options = parallelOptions(256, state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis.ttmSensitivity(a11, 10e6, {}, options)
+                .total_effect.size());
+    }
+}
+BENCHMARK(BM_SobolSixInputs256Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- BENCH_parallel.json snapshot -----------------------------------
+
+/** Median-of-3 wall-clock milliseconds of @p kernel. */
+template <typename Kernel>
+double
+timeMs(Kernel&& kernel)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        kernel();
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+        if (rep == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/**
+ * Time the two headline kernels at 1/2/4/8 threads, verify the
+ * parallel results are bitwise-identical to serial, and write the
+ * JSON snapshot the verify loop and CHANGES trail reference.
+ */
+void
+writeParallelSnapshot()
+{
+    const UncertaintyAnalysis analysis(defaultTechnologyDb(),
+                                       a11Options());
+    const ChipDesign a11 = designs::a11("7nm");
+    const std::vector<std::int64_t> thread_counts{1, 2, 4, 8};
+
+    std::vector<double> mc_ms, sobol_ms;
+    bool deterministic = true;
+    const auto mc_serial =
+        analysis.sampleTtm(a11, 10e6, {}, parallelOptions(4096, 1));
+    const auto sobol_serial = analysis.ttmSensitivity(
+        a11, 10e6, {}, parallelOptions(256, 1));
+    for (std::int64_t threads : thread_counts) {
+        const auto mc_options = parallelOptions(4096, threads);
+        const auto sobol_options = parallelOptions(256, threads);
+        mc_ms.push_back(timeMs([&] {
+            benchmark::DoNotOptimize(
+                analysis.sampleTtm(a11, 10e6, {}, mc_options).size());
+        }));
+        sobol_ms.push_back(timeMs([&] {
+            benchmark::DoNotOptimize(
+                analysis.ttmSensitivity(a11, 10e6, {}, sobol_options)
+                    .total_effect.size());
+        }));
+        if (analysis.sampleTtm(a11, 10e6, {}, mc_options) != mc_serial)
+            deterministic = false;
+        if (analysis.ttmSensitivity(a11, 10e6, {}, sobol_options)
+                .total_effect != sobol_serial.total_effect)
+            deterministic = false;
+    }
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"deterministic_across_thread_counts\": "
+         << (deterministic ? "true" : "false") << ",\n";
+    const auto emitKernel = [&](const char* name, std::size_t samples,
+                                const std::vector<double>& ms,
+                                bool last) {
+        json << "  \"" << name << "\": {\n"
+             << "    \"samples\": " << samples << ",\n"
+             << "    \"runs\": [\n";
+        for (std::size_t i = 0; i < ms.size(); ++i) {
+            json << "      {\"threads\": " << thread_counts[i]
+                 << ", \"ms\": " << ms[i]
+                 << ", \"speedup\": " << (ms[0] / ms[i]) << "}"
+                 << (i + 1 < ms.size() ? "," : "") << "\n";
+        }
+        json << "    ]\n  }" << (last ? "\n" : ",\n");
+    };
+    emitKernel("monte_carlo_ttm", 4096, mc_ms, false);
+    emitKernel("sobol_six_inputs", 256, sobol_ms, true);
+    json << "}\n";
+
+    const std::string path = "bench_out/BENCH_parallel.json";
+    writeFile(path, json.str());
+    std::cout << "[json] " << path << "\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeParallelSnapshot();
+    return 0;
+}

@@ -133,6 +133,38 @@ drawFactors(Rng& rng, double band)
     return factors;
 }
 
+/**
+ * Shared Monte-Carlo driver behind sampleTtm/sampleCas/
+ * sampleWaferDemand: validates the options, splits one independent
+ * RNG stream per sample off the seed, and evaluates
+ * @p sample(stream_i) for every i — in parallel when configured.
+ *
+ * Splitting per *sample* (not per thread or per chunk) is what makes
+ * the result bitwise-identical for a given seed no matter the thread
+ * count or grain: sample i always sees stream i, and each evaluation
+ * writes only its own output slot.
+ */
+template <typename SampleFn>
+std::vector<double>
+drawSamples(const UncertaintyAnalysis::Options& options, SampleFn&& sample)
+{
+    TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
+    TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
+                   "uncertainty band must be in [0, 1)");
+    Rng parent(options.seed);
+    std::vector<Rng> streams;
+    streams.reserve(options.samples);
+    for (std::size_t i = 0; i < options.samples; ++i)
+        streams.push_back(parent.split());
+    std::vector<double> samples(options.samples);
+    parallelFor(options.parallel, options.samples,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        samples[i] = sample(streams[i]);
+                });
+    return samples;
+}
+
 } // namespace
 
 std::vector<double>
@@ -140,18 +172,10 @@ UncertaintyAnalysis::sampleTtm(const ChipDesign& design, double n_chips,
                                const MarketConditions& market,
                                const Options& options) const
 {
-    TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
-    TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
-                   "uncertainty band must be in [0, 1)");
-    Rng rng(options.seed);
-    std::vector<double> samples;
-    samples.reserve(options.samples);
-    for (std::size_t i = 0; i < options.samples; ++i) {
+    return drawSamples(options, [&](Rng& rng) {
         const InputFactors factors = drawFactors(rng, options.band);
-        samples.push_back(
-            ttmWithFactors(design, n_chips, market, factors).value());
-    }
-    return samples;
+        return ttmWithFactors(design, n_chips, market, factors).value();
+    });
 }
 
 std::vector<double>
@@ -159,18 +183,10 @@ UncertaintyAnalysis::sampleCas(const ChipDesign& design, double n_chips,
                                const MarketConditions& market,
                                const Options& options) const
 {
-    TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
-    TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
-                   "uncertainty band must be in [0, 1)");
-    Rng rng(options.seed);
-    std::vector<double> samples;
-    samples.reserve(options.samples);
-    for (std::size_t i = 0; i < options.samples; ++i) {
+    return drawSamples(options, [&](Rng& rng) {
         const InputFactors factors = drawFactors(rng, options.band);
-        samples.push_back(
-            casWithFactors(design, n_chips, market, factors));
-    }
-    return samples;
+        return casWithFactors(design, n_chips, market, factors);
+    });
 }
 
 std::vector<double>
@@ -179,13 +195,7 @@ UncertaintyAnalysis::sampleWaferDemand(const ChipDesign& design,
                                        const std::string& process,
                                        const Options& options) const
 {
-    TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
-    TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
-                   "uncertainty band must be in [0, 1)");
-    Rng rng(options.seed);
-    std::vector<double> samples;
-    samples.reserve(options.samples);
-    for (std::size_t i = 0; i < options.samples; ++i) {
+    return drawSamples(options, [&](Rng& rng) {
         const double ntt_factor =
             rng.uniform(1.0 - options.band, 1.0 + options.band);
         const double d0_factor =
@@ -195,10 +205,8 @@ UncertaintyAnalysis::sampleWaferDemand(const ChipDesign& design,
         const TtmModel model(
             scaledTechnology(d0_factor, 1.0, 1.0, 1.0),
             _model_options);
-        samples.push_back(
-            model.waferDemand(scaled_design, n_chips, process).value());
-    }
-    return samples;
+        return model.waferDemand(scaled_design, n_chips, process).value();
+    });
 }
 
 Summary
@@ -243,6 +251,9 @@ UncertaintyAnalysis::ttmSensitivity(const ChipDesign& design, double n_chips,
     SobolOptions sobol_options;
     sobol_options.base_samples = options.samples;
     sobol_options.seed = options.seed;
+    // ttmWithFactors builds every model object locally, so the lambda
+    // satisfies sobolAnalyze's thread-safety contract.
+    sobol_options.parallel = options.parallel;
     return sobolAnalyze(inputs, model, sobol_options);
 }
 

@@ -29,6 +29,7 @@
 #include "core/ttm_model.hh"
 #include "stats/sobol.hh"
 #include "stats/summary.hh"
+#include "support/threadpool.hh"
 
 namespace ttmcas {
 
@@ -67,6 +68,13 @@ class UncertaintyAnalysis
         std::size_t samples = 1024;
         /** RNG seed for reproducibility. */
         std::uint64_t seed = 2023;
+        /**
+         * Evaluation parallelism. Each sample gets its own RNG stream
+         * split off the seed, so results are bitwise-identical for a
+         * given seed regardless of thread count; threads = 1 forces
+         * the serial path, threads = 0 uses every core.
+         */
+        ParallelConfig parallel;
     };
 
     /**

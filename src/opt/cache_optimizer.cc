@@ -50,13 +50,15 @@ CacheSweep::sweep(const CacheSweepOptions& options) const
         options.sizes_bytes.empty() ? MissCurveOptions::paperSizes()
                                     : options.sizes_bytes;
 
-    std::vector<CacheDesignPoint> points;
-    points.reserve(sizes.size() * sizes.size());
-    for (std::uint64_t icache : sizes) {
-        for (std::uint64_t dcache : sizes)
-            points.push_back(evaluate(icache, dcache, options));
-    }
-    return points;
+    // Evaluate the grid in parallel; point (i, j) lands in slot
+    // i * |sizes| + j, so the returned order matches the serial
+    // nested-loop sweep exactly.
+    const std::size_t count = sizes.size();
+    return parallelMap<CacheDesignPoint>(
+        options.parallel, count * count, [&](std::size_t flat) {
+            return evaluate(sizes[flat / count], sizes[flat % count],
+                            options);
+        });
 }
 
 const CacheDesignPoint&

@@ -16,6 +16,7 @@
 #include "sim/ariane.hh"
 #include "sim/ipc_model.hh"
 #include "sim/miss_curves.hh"
+#include "support/threadpool.hh"
 #include "support/units.hh"
 #include "tech/technology_db.hh"
 
@@ -46,6 +47,12 @@ struct CacheSweepOptions
     /** Final chips manufactured. */
     double n_chips = 100e6;
     double tapeout_engineers = 100.0;
+    /**
+     * Point-evaluation parallelism (threads = 0 uses every core,
+     * 1 forces the serial path). Point order and the best-point
+     * selections are identical for any thread count.
+     */
+    ParallelConfig parallel;
 };
 
 /** Cache-capacity design-space explorer. */

@@ -1,6 +1,8 @@
 #include "opt/portfolio.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 
 #include "support/error.hh"
@@ -107,29 +109,41 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
     const std::vector<std::string> nodes = candidates();
     TTMCAS_REQUIRE(!nodes.empty(), "no candidate nodes");
 
-    // Seed: each product's best node assuming a private line.
+    // Seed: each product's best node assuming a private line. The
+    // product x node TTM matrix is evaluated in parallel (infinity =
+    // die does not fit); the per-product argmin scans stay serial so
+    // ties break identically for any thread count.
+    const std::size_t node_count = nodes.size();
+    const std::vector<double> seed_ttm = parallelMap<double>(
+        _options.parallel, products.size() * node_count,
+        [&](std::size_t flat) {
+            const PortfolioProduct& product = products[flat / node_count];
+            const std::string& node = nodes[flat % node_count];
+            try {
+                return _model
+                    .evaluate(retargetDesign(product.design, node),
+                              product.n_chips)
+                    .total()
+                    .value();
+            } catch (const ModelError&) {
+                return std::numeric_limits<double>::infinity();
+            }
+        });
     std::vector<std::string> assignment;
-    for (const auto& product : products) {
+    for (std::size_t i = 0; i < products.size(); ++i) {
         std::string best;
         double best_ttm = 0.0;
-        for (const std::string& node : nodes) {
-            try {
-                const double ttm =
-                    _model
-                        .evaluate(retargetDesign(product.design, node),
-                                  product.n_chips)
-                        .total()
-                        .value();
-                if (best.empty() || ttm < best_ttm) {
-                    best = node;
-                    best_ttm = ttm;
-                }
-            } catch (const ModelError&) {
+        for (std::size_t m = 0; m < node_count; ++m) {
+            const double ttm = seed_ttm[i * node_count + m];
+            if (std::isinf(ttm))
                 continue; // die does not fit at this node
+            if (best.empty() || ttm < best_ttm) {
+                best = nodes[m];
+                best_ttm = ttm;
             }
         }
         TTMCAS_REQUIRE(!best.empty(),
-                       "product '" + product.name +
+                       "product '" + products[i].name +
                            "' fits no candidate node");
         assignment.push_back(best);
     }

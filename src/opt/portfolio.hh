@@ -26,6 +26,7 @@
 #include "core/allocation.hh"
 #include "core/design.hh"
 #include "core/ttm_model.hh"
+#include "support/threadpool.hh"
 
 namespace ttmcas {
 
@@ -78,6 +79,13 @@ class PortfolioPlanner
         std::vector<std::string> candidate_nodes;
         /** Local-search move budget. */
         int max_moves = 200;
+        /**
+         * Parallelism of the product x node seeding matrix (threads
+         * = 0 uses every core, 1 forces the serial path). The local
+         * search itself stays serial to preserve first-improvement
+         * semantics, so plans are identical for any thread count.
+         */
+        ParallelConfig parallel;
     };
 
     explicit PortfolioPlanner(TtmModel model);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/error.hh"
 #include "support/mathutil.hh"
@@ -148,29 +149,39 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
     TTMCAS_REQUIRE(primary != secondary,
                    "primary and secondary nodes must differ");
 
-    // Pass 1: TTM of every candidate split, and the best achievable.
-    std::vector<double> ttm_weeks;
-    ttm_weeks.reserve(_options.fractions.size());
+    // Pass 1: TTM of every candidate split (evaluated in parallel,
+    // one slot per fraction), and the best achievable.
+    const std::size_t fraction_count = _options.fractions.size();
+    const std::vector<double> ttm_weeks = parallelMap<double>(
+        _options.parallel, fraction_count, [&](std::size_t i) {
+            return combinedTtmWeeks(factory, n_chips, primary, secondary,
+                                    _options.fractions[i], market);
+        });
     double best_ttm = 0.0;
-    for (std::size_t i = 0; i < _options.fractions.size(); ++i) {
-        const double weeks =
-            combinedTtmWeeks(factory, n_chips, primary, secondary,
-                             _options.fractions[i], market);
-        ttm_weeks.push_back(weeks);
-        if (i == 0 || weeks < best_ttm)
-            best_ttm = weeks;
+    for (std::size_t i = 0; i < fraction_count; ++i) {
+        if (i == 0 || ttm_weeks[i] < best_ttm)
+            best_ttm = ttm_weeks[i];
     }
     const double ttm_limit = best_ttm * (1.0 + _options.ttm_slack);
 
-    // Pass 2: maximize CAS among the near-fastest fractions.
+    // Pass 2: score the near-fastest fractions on CAS in parallel;
+    // the first-strictly-better argmax scan stays serial so the
+    // chosen plan is thread-count independent.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> cas_scores = parallelMap<double>(
+        _options.parallel, fraction_count, [&](std::size_t i) {
+            if (ttm_weeks[i] > ttm_limit)
+                return nan;
+            return cas(factory, n_chips, primary, secondary,
+                       _options.fractions[i], market);
+        });
     ProductionPlan best;
     bool have_best = false;
-    for (std::size_t i = 0; i < _options.fractions.size(); ++i) {
+    for (std::size_t i = 0; i < fraction_count; ++i) {
         if (ttm_weeks[i] > ttm_limit)
             continue;
         const double fraction = _options.fractions[i];
-        const double score =
-            cas(factory, n_chips, primary, secondary, fraction, market);
+        const double score = cas_scores[i];
         if (!have_best || score > best.cas) {
             best.primary = primary;
             best.secondary = fraction < 1.0 ? secondary : "";

@@ -27,6 +27,7 @@
 #include "core/market.hh"
 #include "core/ttm_model.hh"
 #include "econ/cost_model.hh"
+#include "support/threadpool.hh"
 
 namespace ttmcas {
 
@@ -66,6 +67,13 @@ class SplitPlanner
          * plan is strictly slower.
          */
         double ttm_slack = 0.01;
+        /**
+         * Fraction-sweep parallelism (threads = 0 uses every core,
+         * 1 forces the serial path). The returned plan is identical
+         * for any thread count: candidates are scored into per-
+         * fraction slots and the argmax scan stays serial.
+         */
+        ParallelConfig parallel;
     };
 
     SplitPlanner(TtmModel model, CostModel costs);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "stats/lowdiscrepancy.hh"
 #include "stats/rng.hh"
@@ -9,6 +10,38 @@
 #include "support/error.hh"
 
 namespace ttmcas {
+
+namespace {
+
+/**
+ * Chunked loop over [0, n) on an optional shared pool (inline when
+ * @p pool is null). One pool serves every evaluation loop of an
+ * analysis so worker threads are spawned once, not per loop.
+ */
+void
+runChunked(ThreadPool* pool, std::size_t grain, std::size_t n,
+           const std::function<void(std::size_t, std::size_t)>& body)
+{
+    if (pool == nullptr)
+        body(0, n);
+    else
+        pool->parallelFor(n, grain, body);
+}
+
+/** Pool sized per @p config, or null for the inline/serial path. */
+std::unique_ptr<ThreadPool>
+makePool(const ParallelConfig& config, std::size_t items)
+{
+    const std::size_t grain = std::max<std::size_t>(config.grain, 1);
+    const std::size_t chunks = (items + grain - 1) / grain;
+    const std::size_t threads =
+        std::min(config.resolvedThreads(), chunks);
+    if (threads <= 1)
+        return nullptr;
+    return std::make_unique<ThreadPool>(threads);
+}
+
+} // namespace
 
 std::size_t
 SobolResult::dominantInput() const
@@ -61,11 +94,20 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
         }
     }
 
+    // Model evaluations fan out over the pool; every j writes its own
+    // slot, and all reductions below run serially in j order, so the
+    // indices are bitwise-identical for any thread count.
+    const std::unique_ptr<ThreadPool> pool = makePool(options.parallel, n);
+    const std::size_t grain = std::max<std::size_t>(options.parallel.grain, 1);
+
     std::vector<double> f_a(n), f_b(n);
-    for (std::size_t j = 0; j < n; ++j) {
-        f_a[j] = model(mat_a[j]);
-        f_b[j] = model(mat_b[j]);
-    }
+    runChunked(pool.get(), grain, n,
+               [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t j = begin; j < end; ++j) {
+                       f_a[j] = model(mat_a[j]);
+                       f_b[j] = model(mat_b[j]);
+                   }
+               });
 
     // Output variance over the pooled A/B evaluations.
     RunningStats pooled;
@@ -91,25 +133,27 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
         rows->f_ab.assign(k, std::vector<double>());
     }
 
-    std::vector<double> point(k);
+    std::vector<double> f_abi(n);
     for (std::size_t i = 0; i < k; ++i) {
+        runChunked(pool.get(), grain, n,
+                   [&](std::size_t begin, std::size_t end) {
+                       std::vector<double> point(k);
+                       for (std::size_t j = begin; j < end; ++j) {
+                           // A_B^i: row j of A, column i from B.
+                           point = mat_a[j];
+                           point[i] = mat_b[j][i];
+                           f_abi[j] = model(point);
+                       }
+                   });
         double first_acc = 0.0;
         double total_acc = 0.0;
-        std::vector<double>* row_store =
-            rows != nullptr ? &rows->f_ab[i] : nullptr;
-        if (row_store != nullptr)
-            row_store->reserve(n);
         for (std::size_t j = 0; j < n; ++j) {
-            // A_B^i: row j of A with column i taken from B.
-            point = mat_a[j];
-            point[i] = mat_b[j][i];
-            const double f_abi = model(point);
-            if (row_store != nullptr)
-                row_store->push_back(f_abi);
-            first_acc += f_b[j] * (f_abi - f_a[j]);
-            const double delta = f_a[j] - f_abi;
+            first_acc += f_b[j] * (f_abi[j] - f_a[j]);
+            const double delta = f_a[j] - f_abi[j];
             total_acc += delta * delta;
         }
+        if (rows != nullptr)
+            rows->f_ab[i] = f_abi;
         result.evaluations += n;
 
         if (variance <= 0.0) {
@@ -133,7 +177,8 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
 
 SobolConfidence
 sobolBootstrapCi(const SobolRowData& rows, std::size_t resamples,
-                 double coverage, std::uint64_t seed, bool clip_negative)
+                 double coverage, std::uint64_t seed, bool clip_negative,
+                 const ParallelConfig& parallel)
 {
     const std::size_t n = rows.f_a.size();
     const std::size_t k = rows.f_ab.size();
@@ -149,47 +194,57 @@ sobolBootstrapCi(const SobolRowData& rows, std::size_t resamples,
     TTMCAS_REQUIRE(coverage > 0.0 && coverage < 1.0,
                    "coverage must be in (0, 1)");
 
+    // Pre-draw every resample's pick indices serially so the RNG
+    // stream — and therefore each replicate — is independent of how
+    // the resample loop is chunked across threads.
     Rng rng(seed);
-    std::vector<std::vector<double>> first_replicates(k);
-    std::vector<std::vector<double>> total_replicates(k);
-    std::vector<std::size_t> picks(n);
+    std::vector<std::size_t> picks(resamples * n);
+    for (std::size_t j = 0; j < picks.size(); ++j)
+        picks[j] = static_cast<std::size_t>(rng.uniformInt(n));
 
-    for (std::size_t r = 0; r < resamples; ++r) {
-        for (std::size_t j = 0; j < n; ++j)
-            picks[j] = static_cast<std::size_t>(rng.uniformInt(n));
+    std::vector<std::vector<double>> first_replicates(
+        k, std::vector<double>(resamples));
+    std::vector<std::vector<double>> total_replicates(
+        k, std::vector<double>(resamples));
 
-        // Pooled variance over the resampled A/B evaluations.
-        RunningStats pooled;
-        for (std::size_t j : picks) {
-            pooled.add(rows.f_a[j]);
-            pooled.add(rows.f_b[j]);
+    parallelFor(parallel, resamples, [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+            const std::size_t* resample_picks = picks.data() + r * n;
+
+            // Pooled variance over the resampled A/B evaluations.
+            RunningStats pooled;
+            for (std::size_t j = 0; j < n; ++j) {
+                pooled.add(rows.f_a[resample_picks[j]]);
+                pooled.add(rows.f_b[resample_picks[j]]);
+            }
+            const double variance = pooled.variance();
+
+            for (std::size_t i = 0; i < k; ++i) {
+                double first_acc = 0.0;
+                double total_acc = 0.0;
+                for (std::size_t p = 0; p < n; ++p) {
+                    const std::size_t j = resample_picks[p];
+                    const double f_abi = rows.f_ab[i][j];
+                    first_acc += rows.f_b[j] * (f_abi - rows.f_a[j]);
+                    const double delta = rows.f_a[j] - f_abi;
+                    total_acc += delta * delta;
+                }
+                double s_i = 0.0;
+                double s_ti = 0.0;
+                if (variance > 0.0) {
+                    s_i = first_acc / static_cast<double>(n) / variance;
+                    s_ti = total_acc / (2.0 * static_cast<double>(n)) /
+                           variance;
+                }
+                if (clip_negative) {
+                    s_i = std::max(s_i, 0.0);
+                    s_ti = std::max(s_ti, 0.0);
+                }
+                first_replicates[i][r] = s_i;
+                total_replicates[i][r] = s_ti;
+            }
         }
-        const double variance = pooled.variance();
-
-        for (std::size_t i = 0; i < k; ++i) {
-            double first_acc = 0.0;
-            double total_acc = 0.0;
-            for (std::size_t j : picks) {
-                const double f_abi = rows.f_ab[i][j];
-                first_acc += rows.f_b[j] * (f_abi - rows.f_a[j]);
-                const double delta = rows.f_a[j] - f_abi;
-                total_acc += delta * delta;
-            }
-            double s_i = 0.0;
-            double s_ti = 0.0;
-            if (variance > 0.0) {
-                s_i = first_acc / static_cast<double>(n) / variance;
-                s_ti = total_acc / (2.0 * static_cast<double>(n)) /
-                       variance;
-            }
-            if (clip_negative) {
-                s_i = std::max(s_i, 0.0);
-                s_ti = std::max(s_ti, 0.0);
-            }
-            first_replicates[i].push_back(s_i);
-            total_replicates[i].push_back(s_ti);
-        }
-    }
+    });
 
     SobolConfidence confidence;
     for (std::size_t i = 0; i < k; ++i) {

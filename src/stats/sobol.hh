@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "stats/distributions.hh"
+#include "support/threadpool.hh"
 
 namespace ttmcas {
 
@@ -53,6 +54,15 @@ struct SobolOptions
      * at the same N (the seed is then ignored).
      */
     bool use_low_discrepancy = false;
+    /**
+     * Parallelism of the model-evaluation loops. Sampling and the
+     * Jansen-estimator reductions stay serial, so the indices are
+     * bitwise-identical to the serial path for any thread count.
+     * Serial by default because @p model is caller-supplied: opting
+     * into threads > 1 promises the model is safe to call
+     * concurrently.
+     */
+    ParallelConfig parallel = ParallelConfig::serial();
 };
 
 /** Result of a Sobol sensitivity analysis. */
@@ -115,11 +125,15 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
  * @param seed resampling RNG seed
  * @param clip_negative clip index replicates at zero, matching
  *        SobolOptions::clip_negative
+ * @param parallel resample-loop parallelism; the pick indices are
+ *        pre-drawn serially, so the intervals are bitwise-identical
+ *        to the serial path for any thread count
  */
 SobolConfidence
 sobolBootstrapCi(const SobolRowData& rows, std::size_t resamples = 500,
                  double coverage = 0.95, std::uint64_t seed = 0xb007,
-                 bool clip_negative = true);
+                 bool clip_negative = true,
+                 const ParallelConfig& parallel = ParallelConfig::serial());
 
 } // namespace ttmcas
 

@@ -1,0 +1,157 @@
+#include "support/threadpool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+std::size_t
+ParallelConfig::resolvedThreads() const
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    TTMCAS_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+    _workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _task_ready.notify_all();
+    for (std::thread& worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _task_ready.wait(lock,
+                         [this] { return _stop || !_queue.empty(); });
+        if (_queue.empty()) {
+            if (_stop)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(_queue.front());
+        _queue.pop_front();
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+        if (error != nullptr && _first_exception == nullptr) {
+            _first_exception = error;
+            _failed = true;
+        }
+        --_pending;
+        if (_pending == 0)
+            _all_done.notify_all();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    TTMCAS_REQUIRE(task != nullptr, "cannot submit an empty task");
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        TTMCAS_REQUIRE(!_stop, "cannot submit to a stopping pool");
+        _queue.push_back(std::move(task));
+        ++_pending;
+    }
+    _task_ready.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _all_done.wait(lock, [this] { return _pending == 0; });
+    if (_first_exception != nullptr) {
+        std::exception_ptr error = _first_exception;
+        _first_exception = nullptr;
+        _failed = false;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+    const std::size_t chunks = (n + grain - 1) / grain;
+    if (chunks == 1) {
+        body(0, n);
+        return;
+    }
+
+    // Workers claim chunk indices from a shared counter: cheap, and
+    // harmless to determinism because every chunk writes disjoint
+    // state regardless of which worker runs it.
+    const auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    const std::size_t tasks = std::min(chunks, threadCount());
+    for (std::size_t t = 0; t < tasks; ++t) {
+        submit([this, next, chunks, grain, n, &body] {
+            for (;;) {
+                const std::size_t chunk =
+                    next->fetch_add(1, std::memory_order_relaxed);
+                if (chunk >= chunks)
+                    return;
+                {
+                    // Best-effort early exit once any chunk failed.
+                    std::lock_guard<std::mutex> lock(_mutex);
+                    if (_failed)
+                        return;
+                }
+                const std::size_t begin = chunk * grain;
+                const std::size_t end = std::min(n, begin + grain);
+                body(begin, end);
+            }
+        });
+    }
+    wait();
+}
+
+void
+parallelFor(const ParallelConfig& config, std::size_t n,
+            const std::function<void(std::size_t, std::size_t)>& body)
+{
+    if (n == 0)
+        return;
+    const std::size_t grain = std::max<std::size_t>(config.grain, 1);
+    const std::size_t chunks = (n + grain - 1) / grain;
+    const std::size_t threads =
+        std::min(config.resolvedThreads(), chunks);
+    if (threads <= 1) {
+        body(0, n);
+        return;
+    }
+    ThreadPool pool(threads);
+    pool.parallelFor(n, grain, body);
+}
+
+} // namespace ttmcas

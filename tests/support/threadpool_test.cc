@@ -1,0 +1,170 @@
+#include "support/threadpool.hh"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(ParallelConfigTest, ResolvesZeroToHardwareConcurrency)
+{
+    ParallelConfig config;
+    EXPECT_GE(config.resolvedThreads(), 1u);
+
+    config.threads = 3;
+    EXPECT_EQ(config.resolvedThreads(), 3u);
+    EXPECT_FALSE(config.isSerial());
+
+    EXPECT_EQ(ParallelConfig::serial().resolvedThreads(), 1u);
+    EXPECT_TRUE(ParallelConfig::serial().isSerial());
+}
+
+TEST(ThreadPoolTest, StartsAndJoinsRequestedWorkerCount)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    // Destructor joins cleanly with an empty queue.
+}
+
+TEST(ThreadPoolTest, RejectsZeroWorkers)
+{
+    EXPECT_THROW(ThreadPool(0), ModelError);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.submit([] { throw ModelError("boom"); });
+    pool.submit([&count] { ++count; });
+    EXPECT_THROW(pool.wait(), ModelError);
+    // The pool survives a failed batch and keeps accepting work.
+    pool.submit([&count] { ++count; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, NestedSubmitIsSafeAndAwaited)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &count] {
+            pool.submit([&count] { ++count; });
+        });
+    }
+    // wait() covers tasks submitted by tasks: pending only reaches
+    // zero once every nested task has also finished.
+    pool.wait();
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> visits(1000, 0);
+    pool.parallelFor(visits.size(), 7,
+                     [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i)
+                             ++visits[i];
+                     });
+    for (int v : visits)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100, 1,
+                         [](std::size_t begin, std::size_t) {
+                             if (begin == 42)
+                                 throw ModelError("bad chunk");
+                         }),
+        ModelError);
+}
+
+TEST(ParallelForTest, SerialConfigRunsInline)
+{
+    std::vector<int> visits(64, 0);
+    parallelFor(ParallelConfig::serial(), visits.size(),
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        ++visits[i];
+                });
+    for (int v : visits)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp)
+{
+    bool called = false;
+    parallelFor(ParallelConfig{8, 4}, 0,
+                [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ManyThreadsSmallRangeStillCoversOnce)
+{
+    // More threads than chunks: the pool is capped, nothing is lost.
+    std::vector<int> visits(3, 0);
+    parallelFor(ParallelConfig{16, 1}, visits.size(),
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        ++visits[i];
+                });
+    EXPECT_EQ(visits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelMapTest, MatchesSerialEvaluation)
+{
+    const auto square = [](std::size_t i) {
+        return static_cast<double>(i) * static_cast<double>(i);
+    };
+    const std::vector<double> parallel_out =
+        parallelMap<double>(ParallelConfig{8, 3}, 257, square);
+    const std::vector<double> serial_out =
+        parallelMap<double>(ParallelConfig::serial(), 257, square);
+    ASSERT_EQ(parallel_out.size(), 257u);
+    EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelMapTest, PropagatesException)
+{
+    EXPECT_THROW(parallelMap<int>(ParallelConfig{4, 1}, 32,
+                                  [](std::size_t i) -> int {
+                                      if (i == 7)
+                                          throw ModelError("bad item");
+                                      return static_cast<int>(i);
+                                  }),
+                 ModelError);
+}
+
+} // namespace
+} // namespace ttmcas
