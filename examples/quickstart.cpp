@@ -13,7 +13,9 @@
 
 #include "core/cas.hh"
 #include "core/ttm_model.hh"
+#include "core/uncertainty.hh"
 #include "econ/cost_model.hh"
+#include "support/outcome.hh"
 #include "support/strutil.hh"
 #include "tech/default_dataset.hh"
 
@@ -87,6 +89,26 @@ main()
               << formatFixed(
                      ttm_model.evaluate(legacy, n_chips).total().value(), 1)
               << " weeks, CAS "
-              << formatFixed(cas_model.cas(legacy, n_chips), 1) << "\n";
+              << formatFixed(cas_model.cas(legacy, n_chips), 1) << "\n\n";
+
+    // 8. Fault-tolerant batch evaluation: a long Monte-Carlo study
+    //    should not lose an hour of work to one bad sample. Opt into
+    //    skip-and-record and hand the sampler a FailureReport — failed
+    //    points are dropped (deterministically, for any thread count)
+    //    and accounted for instead of aborting the run.
+    const UncertaintyAnalysis uncertainty(db);
+    UncertaintyAnalysis::Options mc;
+    mc.samples = 2000;
+    mc.failure_policy = FailurePolicy::skipAndRecord();
+    FailureReport report;
+    mc.failure_report = &report;
+    const Summary mc_ttm = uncertainty.ttmSummary(soc, n_chips, {}, mc);
+    std::cout << "Monte-Carlo TTM under +/-10% input uncertainty: median "
+              << formatFixed(mc_ttm.percentile(50.0), 1) << " wk, p95 "
+              << formatFixed(mc_ttm.percentile(95.0), 1) << " wk ("
+              << report.pointCount() - report.failureCount() << "/"
+              << report.pointCount() << " samples usable)\n";
+    if (!report.empty())
+        std::cout << report.summary() << "\n";
     return 0;
 }

@@ -9,23 +9,30 @@
  *           [--design-weeks 14] [--engineers 100]
  *           [--capacity 0.8] [--queue 2]
  *           [--snapshot market.csv] [--all-nodes] [--risk <deadline>]
+ *           [--skip-failures]
  *
  * With --all-nodes, the design is re-targeted to every in-production
  * node and the full comparison table is printed. With --risk, a
  * schedule-risk assessment against the deadline (weeks) is added,
  * assuming a moderate disruption forecast on the chosen node.
+ *
+ * --skip-failures turns the --all-nodes sweep fault-tolerant: a node
+ * whose evaluation fails is dropped from the table, the failure report
+ * goes to stderr, and the exit code is 2 (0 = clean, 1 = hard error).
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/cas.hh"
 #include "core/design_io.hh"
 #include "core/risk.hh"
 #include "econ/cost_model.hh"
 #include "report/table.hh"
+#include "support/outcome.hh"
 #include "support/strutil.hh"
 #include "tech/dataset_io.hh"
 #include "tech/default_dataset.hh"
@@ -48,6 +55,7 @@ struct CliArgs
     bool all_nodes = false;
     double risk_deadline = 0.0;
     std::string design_file;
+    bool skip_failures = false;
 };
 
 [[noreturn]] void
@@ -58,7 +66,7 @@ usage()
            "              [--design-weeks w] [--engineers e]\n"
            "              [--capacity f] [--queue w]\n"
            "              [--snapshot file.csv] [--all-nodes]\n"
-           "              [--risk deadline_weeks]\n";
+           "              [--risk deadline_weeks] [--skip-failures]\n";
     std::exit(2);
 }
 
@@ -71,7 +79,7 @@ parseArgs(int argc, char** argv)
         {"--chips", 1},      {"--design-weeks", 1},
         {"--engineers", 1},  {"--capacity", 1}, {"--queue", 1},
         {"--snapshot", 1},   {"--all-nodes", 0}, {"--risk", 1},
-        {"--design", 1},
+        {"--design", 1},     {"--skip-failures", 0},
     };
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -109,6 +117,8 @@ parseArgs(int argc, char** argv)
                 args.risk_deadline = std::stod(value);
             else if (flag == "--design")
                 args.design_file = value;
+            else if (flag == "--skip-failures")
+                args.skip_failures = true;
         } catch (const std::exception&) {
             usage();
         }
@@ -122,6 +132,7 @@ int
 main(int argc, char** argv)
 {
     const CliArgs args = parseArgs(argc, argv);
+    bool skipped_failures = false;
 
     try {
         const TechnologyDb db = args.snapshot.empty()
@@ -155,26 +166,61 @@ main(int argc, char** argv)
             Table table(
                 {"Node", "TTM (wk)", "CAS", "Cost", "$/chip"});
             table.setAlign(0, Align::Left);
-            for (const std::string& node : db.availableNames()) {
-                const ChipDesign candidate =
-                    retargetDesign(design, node);
-                MarketConditions node_market;
-                node_market.setCapacityFactor(node, args.capacity);
-                node_market.setQueueWeeks(node, Weeks(args.queue));
-                const double ttm =
-                    model.evaluate(candidate, args.chips, node_market)
-                        .total()
-                        .value();
-                const double cost =
-                    costs.evaluate(candidate, args.chips).total().value();
-                table.addRow(
-                    {node, formatFixed(ttm, 1),
-                     formatFixed(
-                         cas.cas(candidate, args.chips, node_market), 1),
-                     formatDollars(cost, 2),
-                     formatDollars(cost / args.chips, 2)});
+            const std::vector<std::string> nodes = db.availableNames();
+            std::vector<Outcome<std::vector<std::string>>> rows(
+                nodes.size());
+            for (std::size_t i = 0; i < nodes.size(); ++i) {
+                const std::string& node = nodes[i];
+                const auto evaluateRow =
+                    [&]() -> std::vector<std::string> {
+                    const ChipDesign candidate =
+                        retargetDesign(design, node);
+                    MarketConditions node_market;
+                    node_market.setCapacityFactor(node, args.capacity);
+                    node_market.setQueueWeeks(node, Weeks(args.queue));
+                    const double ttm =
+                        model.evaluate(candidate, args.chips, node_market)
+                            .total()
+                            .value();
+                    const double cost = costs.evaluate(candidate, args.chips)
+                                            .total()
+                                            .value();
+                    return {node, formatFixed(ttm, 1),
+                            formatFixed(
+                                cas.cas(candidate, args.chips, node_market),
+                                1),
+                            formatDollars(cost, 2),
+                            formatDollars(cost / args.chips, 2)};
+                };
+                if (args.skip_failures) {
+                    rows[i] = guardedPoint(i, evaluateRow);
+                } else {
+                    // Legacy behavior: the first failing node aborts the
+                    // sweep with its original error.
+                    rows[i] = Outcome<std::vector<std::string>>::success(
+                        evaluateRow());
+                }
+            }
+            FailureReport report;
+            enforcePolicy(rows,
+                          args.skip_failures ? FailurePolicy::skipAndRecord()
+                                             : FailurePolicy(),
+                          &report, "ttm_cli --all-nodes");
+            for (const auto& row : rows) {
+                if (row.ok())
+                    table.addRow(row.value());
             }
             std::cout << table.render();
+            if (!report.empty()) {
+                for (std::size_t i = 0; i < nodes.size(); ++i) {
+                    if (!rows[i].ok())
+                        std::cerr << "warning: skipped node '" << nodes[i]
+                                  << "': "
+                                  << rows[i].diagnostic().message << "\n";
+                }
+                std::cerr << report.summary() << "\n";
+                skipped_failures = true;
+            }
         } else {
             const TtmResult ttm =
                 model.evaluate(design, args.chips, market);
@@ -223,5 +269,6 @@ main(int argc, char** argv)
         std::cerr << "error: " << error.what() << "\n";
         return 1;
     }
-    return 0;
+    // 0 = clean run, 2 = completed but some nodes were skipped.
+    return skipped_failures ? 2 : 0;
 }

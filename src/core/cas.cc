@@ -4,6 +4,7 @@
 
 #include "support/error.hh"
 #include "support/mathutil.hh"
+#include "support/outcome.hh"
 
 namespace ttmcas {
 
@@ -51,6 +52,8 @@ CasModel::rawCas(const ChipDesign& design, double n_chips,
     double slope_sum = 0.0;
     for (const std::string& process : design.processNodes())
         slope_sum += std::fabs(dTtmDMu(design, n_chips, market, process));
+    finiteOr(slope_sum, DiagCode::NonFiniteCas,
+             "CAS slope sum of design '" + design.name + "'");
     TTMCAS_REQUIRE(slope_sum > 0.0,
                    "TTM of design '" + design.name +
                        "' is insensitive to every node's production rate; "

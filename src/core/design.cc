@@ -1,6 +1,7 @@
 #include "core/design.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/error.hh"
 
@@ -23,29 +24,47 @@ Die::areaAt(const ProcessNode& node) const
 void
 Die::validate() const
 {
-    TTMCAS_REQUIRE(!name.empty(), "die needs a name");
-    TTMCAS_REQUIRE(!process.empty(),
-                   "die '" + name + "' needs a process node");
-    TTMCAS_REQUIRE(total_transistors > 0.0,
-                   "die '" + name + "': total transistors must be positive");
-    TTMCAS_REQUIRE(unique_transistors >= 0.0,
-                   "die '" + name + "': unique transistors must be >= 0");
-    TTMCAS_REQUIRE(unique_transistors <= total_transistors,
-                   "die '" + name + "': unique transistors cannot exceed "
-                   "total transistors");
-    TTMCAS_REQUIRE(count_per_package > 0.0,
-                   "die '" + name + "': count per package must be positive");
+    const std::vector<std::string> problems = violations();
+    TTMCAS_REQUIRE(problems.empty(), problems.front());
+}
+
+std::vector<std::string>
+Die::violations() const
+{
+    std::vector<std::string> problems;
+    const auto check = [&](bool ok, const std::string& message) {
+        if (!ok)
+            problems.push_back(message);
+    };
+    check(!name.empty(), "die needs a name");
+    check(!process.empty(), "die '" + name + "' needs a process node");
+    check(total_transistors > 0.0,
+          "die '" + name + "': total transistors must be positive");
+    check(unique_transistors >= 0.0,
+          "die '" + name + "': unique transistors must be >= 0");
+    check(unique_transistors <= total_transistors,
+          "die '" + name + "': unique transistors cannot exceed "
+          "total transistors");
+    check(count_per_package > 0.0,
+          "die '" + name + "': count per package must be positive");
     if (area_override.has_value()) {
-        TTMCAS_REQUIRE(area_override->value() > 0.0,
-                       "die '" + name + "': area override must be positive");
+        check(area_override->value() > 0.0,
+              "die '" + name + "': area override must be positive");
     }
-    TTMCAS_REQUIRE(min_area.value() >= 0.0,
-                   "die '" + name + "': minimum area must be >= 0");
+    check(min_area.value() >= 0.0,
+          "die '" + name + "': minimum area must be >= 0");
     if (yield_override.has_value()) {
-        TTMCAS_REQUIRE(*yield_override > 0.0 && *yield_override <= 1.0,
-                       "die '" + name + "': yield override must be in "
-                       "(0, 1]");
+        check(*yield_override > 0.0 && *yield_override <= 1.0,
+              "die '" + name + "': yield override must be in (0, 1]");
     }
+    check(std::isfinite(total_transistors) &&
+              std::isfinite(unique_transistors) &&
+              std::isfinite(count_per_package) &&
+              std::isfinite(min_area.value()) &&
+              (!area_override.has_value() ||
+               std::isfinite(area_override->value())),
+          "die '" + name + "': parameters must be finite");
+    return problems;
 }
 
 double
@@ -93,30 +112,56 @@ ChipDesign::uniqueTransistorsAt(const std::string& process) const
 void
 ChipDesign::validate() const
 {
-    TTMCAS_REQUIRE(!name.empty(), "chip design needs a name");
-    TTMCAS_REQUIRE(!dies.empty(),
-                   "chip design '" + name + "' needs at least one die");
-    TTMCAS_REQUIRE(design_time.value() >= 0.0,
-                   "chip design '" + name + "': design time must be >= 0");
-    for (const auto& die : dies)
-        die.validate();
+    const std::vector<std::string> problems = violations();
+    TTMCAS_REQUIRE(problems.empty(), problems.front());
 }
 
 void
 ChipDesign::validateAgainst(const TechnologyDb& db) const
 {
-    validate();
+    const std::vector<std::string> problems = violationsAgainst(db);
+    TTMCAS_REQUIRE(problems.empty(), problems.front());
+}
+
+std::vector<std::string>
+ChipDesign::violations() const
+{
+    std::vector<std::string> problems;
+    const auto check = [&](bool ok, const std::string& message) {
+        if (!ok)
+            problems.push_back(message);
+    };
+    check(!name.empty(), "chip design needs a name");
+    check(!dies.empty(), "chip design '" + name + "' needs at least one die");
+    check(design_time.value() >= 0.0,
+          "chip design '" + name + "': design time must be >= 0");
+    check(std::isfinite(design_time.value()),
+          "chip design '" + name + "': design time must be finite");
+    for (const auto& die : dies) {
+        for (const std::string& problem : die.violations())
+            problems.push_back(problem);
+    }
+    return problems;
+}
+
+std::vector<std::string>
+ChipDesign::violationsAgainst(const TechnologyDb& db) const
+{
+    std::vector<std::string> problems = violations();
     for (const auto& die : dies) {
         const ProcessNode* node = db.tryNode(die.process);
-        TTMCAS_REQUIRE(node != nullptr,
-                       "design '" + name + "': die '" + die.name +
-                           "' targets unknown process '" + die.process +
-                           "'");
-        const SquareMm area = die.areaAt(*node);
-        TTMCAS_REQUIRE(area.value() > 0.0,
-                       "design '" + name + "': die '" + die.name +
-                           "' has non-positive area");
+        if (node == nullptr) {
+            problems.push_back("design '" + name + "': die '" + die.name +
+                               "' targets unknown process '" + die.process +
+                               "'");
+            continue;
+        }
+        if (!(die.areaAt(*node).value() > 0.0)) {
+            problems.push_back("design '" + name + "': die '" + die.name +
+                               "' has non-positive area");
+        }
     }
+    return problems;
 }
 
 ChipDesign

@@ -76,6 +76,13 @@ struct Die
 
     /** Throw ModelError unless the die is well-formed. */
     void validate() const;
+
+    /**
+     * Every validation problem with this die, in field order; empty
+     * when the die is well-formed. Unlike validate(), which throws on
+     * the first violation, this reports all of them at once.
+     */
+    std::vector<std::string> violations() const;
 };
 
 /** A chip design: die types plus design-phase constants. */
@@ -114,6 +121,20 @@ struct ChipDesign
      * exist and every die fits on a 300mm wafer at its node.
      */
     void validateAgainst(const TechnologyDb& db) const;
+
+    /**
+     * Every validation problem with the design (including each die's);
+     * empty when the design is well-formed. The all-at-once companion
+     * to validate().
+     */
+    std::vector<std::string> violations() const;
+
+    /**
+     * Every validation problem against a technology database: the
+     * design's own violations() plus unknown-process and degenerate-
+     * area problems. The all-at-once companion to validateAgainst().
+     */
+    std::vector<std::string> violationsAgainst(const TechnologyDb& db) const;
 };
 
 /** Convenience builder: a single-die chip at one node. */

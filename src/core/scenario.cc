@@ -7,18 +7,30 @@ namespace ttmcas {
 Scenario::Scenario(std::string name, std::vector<Disruption> disruptions)
     : _name(std::move(name)), _disruptions(std::move(disruptions))
 {
-    TTMCAS_REQUIRE(!_name.empty(), "scenario needs a name");
-    for (const auto& disruption : _disruptions) {
-        TTMCAS_REQUIRE(!disruption.process.empty(),
-                       "scenario '" + _name +
-                           "': disruption needs a process node");
-        TTMCAS_REQUIRE(disruption.capacity_scale >= 0.0,
-                       "scenario '" + _name +
-                           "': capacity scale must be >= 0");
-        TTMCAS_REQUIRE(disruption.added_queue.value() >= 0.0,
-                       "scenario '" + _name +
-                           "': added queue must be >= 0");
+    const std::vector<std::string> problems =
+        violations(_name, _disruptions);
+    TTMCAS_REQUIRE(problems.empty(), problems.front());
+}
+
+std::vector<std::string>
+Scenario::violations(const std::string& name,
+                     const std::vector<Disruption>& disruptions)
+{
+    std::vector<std::string> problems;
+    const auto check = [&](bool ok, const std::string& message) {
+        if (!ok)
+            problems.push_back(message);
+    };
+    check(!name.empty(), "scenario needs a name");
+    for (const auto& disruption : disruptions) {
+        check(!disruption.process.empty(),
+              "scenario '" + name + "': disruption needs a process node");
+        check(disruption.capacity_scale >= 0.0,
+              "scenario '" + name + "': capacity scale must be >= 0");
+        check(disruption.added_queue.value() >= 0.0,
+              "scenario '" + name + "': added queue must be >= 0");
     }
+    return problems;
 }
 
 MarketConditions

@@ -51,6 +51,14 @@ class Scenario
     /** Compose: this scenario followed by @p other. */
     Scenario then(const Scenario& other) const;
 
+    /**
+     * Every validation problem a Scenario(name, disruptions)
+     * construction would reject, reported all at once instead of
+     * first-throw; empty when the inputs are valid.
+     */
+    static std::vector<std::string> violations(
+        const std::string& name, const std::vector<Disruption>& disruptions);
+
   private:
     std::string _name;
     std::vector<Disruption> _disruptions;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hh"
+#include "support/outcome.hh"
 
 namespace ttmcas {
 
@@ -161,6 +162,11 @@ TtmModel::evaluate(const ChipDesign& design, double n_chips,
     result.packaging_time =
         result.packaging_latency + result.testing_time +
         result.assembly_time;
+
+    // Boundary guard: a finite, valid input set must never leak a NaN
+    // or infinite schedule out of the model.
+    finiteOr(result.total().value(), DiagCode::NonFiniteTtm,
+             "TTM of design '" + design.name + "'");
 
     return result;
 }

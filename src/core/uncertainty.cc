@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "stats/distributions.hh"
+#include "stats/fault_injection.hh"
 #include "stats/rng.hh"
 #include "support/error.hh"
 
@@ -146,7 +147,8 @@ drawFactors(Rng& rng, double band)
  */
 template <typename SampleFn>
 std::vector<double>
-drawSamples(const UncertaintyAnalysis::Options& options, SampleFn&& sample)
+drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
+            SampleFn&& sample)
 {
     TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
     TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
@@ -156,12 +158,44 @@ drawSamples(const UncertaintyAnalysis::Options& options, SampleFn&& sample)
     streams.reserve(options.samples);
     for (std::size_t i = 0; i < options.samples; ++i)
         streams.push_back(parent.split());
-    std::vector<double> samples(options.samples);
+
+    // Fast path: no isolation requested. Kept separate so the default
+    // Abort-with-no-injection configuration runs the exact legacy code.
+    const FaultInjector* injector = options.fault_injector;
+    const bool isolated = options.failure_policy.skips() ||
+                          options.failure_report != nullptr ||
+                          (injector != nullptr && injector->enabled());
+    if (!isolated) {
+        std::vector<double> samples(options.samples);
+        parallelFor(options.parallel, options.samples,
+                    [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                            samples[i] = sample(streams[i]);
+                    });
+        return samples;
+    }
+
+    // Isolated path: every sample lands in its own Outcome slot; the
+    // serial enforcePolicy pass then builds the (thread-count-
+    // independent) report and applies the policy. Failed samples are
+    // dropped, preserving index order of the survivors.
+    std::vector<Outcome<double>> outcomes(options.samples);
     parallelFor(options.parallel, options.samples,
                 [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t i = begin; i < end; ++i)
-                        samples[i] = sample(streams[i]);
+                    for (std::size_t i = begin; i < end; ++i) {
+                        outcomes[i] = guardedScalarPoint(
+                            injector, DiagCode::NonFiniteOutput, kernel, i,
+                            [&] { return sample(streams[i]); });
+                    }
                 });
+    enforcePolicy(outcomes, options.failure_policy, options.failure_report,
+                  kernel);
+    std::vector<double> samples;
+    samples.reserve(options.samples);
+    for (const Outcome<double>& outcome : outcomes) {
+        if (outcome.ok())
+            samples.push_back(outcome.value());
+    }
     return samples;
 }
 
@@ -172,7 +206,7 @@ UncertaintyAnalysis::sampleTtm(const ChipDesign& design, double n_chips,
                                const MarketConditions& market,
                                const Options& options) const
 {
-    return drawSamples(options, [&](Rng& rng) {
+    return drawSamples(options, "sampleTtm", [&](Rng& rng) {
         const InputFactors factors = drawFactors(rng, options.band);
         return ttmWithFactors(design, n_chips, market, factors).value();
     });
@@ -183,7 +217,7 @@ UncertaintyAnalysis::sampleCas(const ChipDesign& design, double n_chips,
                                const MarketConditions& market,
                                const Options& options) const
 {
-    return drawSamples(options, [&](Rng& rng) {
+    return drawSamples(options, "sampleCas", [&](Rng& rng) {
         const InputFactors factors = drawFactors(rng, options.band);
         return casWithFactors(design, n_chips, market, factors);
     });
@@ -195,7 +229,7 @@ UncertaintyAnalysis::sampleWaferDemand(const ChipDesign& design,
                                        const std::string& process,
                                        const Options& options) const
 {
-    return drawSamples(options, [&](Rng& rng) {
+    return drawSamples(options, "sampleWaferDemand", [&](Rng& rng) {
         const double ntt_factor =
             rng.uniform(1.0 - options.band, 1.0 + options.band);
         const double d0_factor =
@@ -254,6 +288,9 @@ UncertaintyAnalysis::ttmSensitivity(const ChipDesign& design, double n_chips,
     // ttmWithFactors builds every model object locally, so the lambda
     // satisfies sobolAnalyze's thread-safety contract.
     sobol_options.parallel = options.parallel;
+    sobol_options.failure_policy = options.failure_policy;
+    sobol_options.fault_injector = options.fault_injector;
+    sobol_options.failure_report = options.failure_report;
     return sobolAnalyze(inputs, model, sobol_options);
 }
 

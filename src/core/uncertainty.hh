@@ -29,9 +29,12 @@
 #include "core/ttm_model.hh"
 #include "stats/sobol.hh"
 #include "stats/summary.hh"
+#include "support/outcome.hh"
 #include "support/threadpool.hh"
 
 namespace ttmcas {
+
+class FaultInjector;
 
 /** The paper's six varied inputs, in Fig. 8 row order. */
 enum class UncertainInput : std::size_t
@@ -75,6 +78,22 @@ class UncertaintyAnalysis
          * the serial path, threads = 0 uses every core.
          */
         ParallelConfig parallel;
+        /**
+         * Per-sample failure handling: Abort (default, legacy
+         * first-throw) or SkipAndRecord, which drops failed samples
+         * from the returned vector and records their diagnostics.
+         */
+        FailurePolicy failure_policy;
+        /**
+         * Optional deterministic fault injector (robustness testing);
+         * unowned, may be null.
+         */
+        const FaultInjector* fault_injector = nullptr;
+        /**
+         * When non-null, receives the batch's FailureReport —
+         * bitwise-identical for any thread count. Unowned.
+         */
+        FailureReport* failure_report = nullptr;
     };
 
     /**

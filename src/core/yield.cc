@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/error.hh"
+#include "support/outcome.hh"
 
 namespace ttmcas {
 
@@ -14,6 +15,14 @@ checkArgs(SquareMm area, double defect_density)
 {
     TTMCAS_REQUIRE(area.value() > 0.0, "die area must be positive");
     TTMCAS_REQUIRE(defect_density >= 0.0, "defect density must be >= 0");
+}
+
+/** Boundary guard: every yield model output must be finite. */
+double
+guardYield(double yield, const char* model)
+{
+    return finiteOr(yield, DiagCode::NonFiniteYield,
+                    std::string(model) + " yield");
 }
 
 } // namespace
@@ -28,7 +37,8 @@ NegativeBinomialYield::dieYield(SquareMm area, double defect_density) const
 {
     checkArgs(area, defect_density);
     const double defects = area.value() * defect_density;
-    return std::pow(1.0 + defects / _alpha, -_alpha);
+    return guardYield(std::pow(1.0 + defects / _alpha, -_alpha),
+                      "negative-binomial");
 }
 
 std::string
@@ -43,7 +53,7 @@ double
 PoissonYield::dieYield(SquareMm area, double defect_density) const
 {
     checkArgs(area, defect_density);
-    return std::exp(-area.value() * defect_density);
+    return guardYield(std::exp(-area.value() * defect_density), "poisson");
 }
 
 double
@@ -54,14 +64,14 @@ MurphyYield::dieYield(SquareMm area, double defect_density) const
     if (defects == 0.0)
         return 1.0;
     const double factor = (1.0 - std::exp(-defects)) / defects;
-    return factor * factor;
+    return guardYield(factor * factor, "murphy");
 }
 
 double
 SeedsYield::dieYield(SquareMm area, double defect_density) const
 {
     checkArgs(area, defect_density);
-    return 1.0 / (1.0 + area.value() * defect_density);
+    return guardYield(1.0 / (1.0 + area.value() * defect_density), "seeds");
 }
 
 std::shared_ptr<const YieldModel>

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/error.hh"
+#include "support/outcome.hh"
 
 namespace ttmcas {
 
@@ -87,6 +88,12 @@ CostModel::evaluate(const ChipDesign& design, double n_chips) const
                      _options.package_cost_per_mm2;
     }
     costs.packaging = Dollars(packaging);
+
+    // Boundary guard: valid inputs must never leak a NaN or infinite
+    // cost out of the model.
+    finiteOr(costs.total().value(), DiagCode::NonFiniteCost,
+             "cost of design '" + design.name + "'");
+
     return costs;
 }
 

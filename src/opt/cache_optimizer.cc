@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/ttm_model.hh"
+#include "stats/fault_injection.hh"
 #include "support/error.hh"
 
 namespace ttmcas {
@@ -54,11 +55,57 @@ CacheSweep::sweep(const CacheSweepOptions& options) const
     // i * |sizes| + j, so the returned order matches the serial
     // nested-loop sweep exactly.
     const std::size_t count = sizes.size();
-    return parallelMap<CacheDesignPoint>(
-        options.parallel, count * count, [&](std::size_t flat) {
-            return evaluate(sizes[flat / count], sizes[flat % count],
-                            options);
-        });
+    const std::size_t total = count * count;
+    const FaultInjector* injector = options.fault_injector;
+    const bool isolated = options.failure_policy.skips() ||
+                          options.failure_report != nullptr ||
+                          (injector != nullptr && injector->enabled());
+    if (!isolated) {
+        return parallelMap<CacheDesignPoint>(
+            options.parallel, total, [&](std::size_t flat) {
+                return evaluate(sizes[flat / count], sizes[flat % count],
+                                options);
+            });
+    }
+
+    // Isolated path: each grid point evaluates into an Outcome slot;
+    // failed points are dropped, keeping the survivors' grid order.
+    std::vector<Outcome<CacheDesignPoint>> outcomes(total);
+    parallelFor(options.parallel, total,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t flat = begin; flat < end; ++flat) {
+                        outcomes[flat] = guardedPoint(flat, [&] {
+                            CacheSweepOptions point_options = options;
+                            if (injector != nullptr) {
+                                point_options.n_chips =
+                                    injector->corruptInput(options.n_chips,
+                                                           flat);
+                            }
+                            const CacheDesignPoint point =
+                                evaluate(sizes[flat / count],
+                                         sizes[flat % count],
+                                         point_options);
+                            finiteOr(point.ipc, DiagCode::NonFiniteOutput,
+                                     "CacheSweep::sweep IPC");
+                            finiteOr(point.ttm.value(),
+                                     DiagCode::NonFiniteTtm,
+                                     "CacheSweep::sweep TTM");
+                            finiteOr(point.cost.value(),
+                                     DiagCode::NonFiniteCost,
+                                     "CacheSweep::sweep cost");
+                            return point;
+                        });
+                    }
+                });
+    enforcePolicy(outcomes, options.failure_policy, options.failure_report,
+                  "CacheSweep::sweep");
+    std::vector<CacheDesignPoint> points;
+    points.reserve(total);
+    for (const Outcome<CacheDesignPoint>& outcome : outcomes) {
+        if (outcome.ok())
+            points.push_back(outcome.value());
+    }
+    return points;
 }
 
 const CacheDesignPoint&

@@ -16,11 +16,14 @@
 #include "sim/ariane.hh"
 #include "sim/ipc_model.hh"
 #include "sim/miss_curves.hh"
+#include "support/outcome.hh"
 #include "support/threadpool.hh"
 #include "support/units.hh"
 #include "tech/technology_db.hh"
 
 namespace ttmcas {
+
+class FaultInjector;
 
 /** One (I$, D$) point of the sweep. */
 struct CacheDesignPoint
@@ -53,6 +56,16 @@ struct CacheSweepOptions
      * selections are identical for any thread count.
      */
     ParallelConfig parallel;
+    /**
+     * Per-point failure handling: Abort (default) or SkipAndRecord,
+     * which drops failed grid points from the returned sweep. Point
+     * (i, j) has index i * |sizes| + j.
+     */
+    FailurePolicy failure_policy;
+    /** Optional deterministic fault injector; unowned, may be null. */
+    const FaultInjector* fault_injector = nullptr;
+    /** When non-null, receives the sweep's FailureReport. Unowned. */
+    FailureReport* failure_report = nullptr;
 };
 
 /** Cache-capacity design-space explorer. */

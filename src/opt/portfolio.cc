@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 
+#include "stats/fault_injection.hh"
 #include "support/error.hh"
 
 namespace ttmcas {
@@ -114,21 +115,73 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
     // die does not fit); the per-product argmin scans stay serial so
     // ties break identically for any thread count.
     const std::size_t node_count = nodes.size();
-    const std::vector<double> seed_ttm = parallelMap<double>(
-        _options.parallel, products.size() * node_count,
-        [&](std::size_t flat) {
-            const PortfolioProduct& product = products[flat / node_count];
-            const std::string& node = nodes[flat % node_count];
-            try {
-                return _model
-                    .evaluate(retargetDesign(product.design, node),
-                              product.n_chips)
-                    .total()
-                    .value();
-            } catch (const ModelError&) {
-                return std::numeric_limits<double>::infinity();
-            }
-        });
+    const std::size_t seed_points = products.size() * node_count;
+    const FaultInjector* injector = _options.fault_injector;
+    const bool isolated = _options.failure_policy.skips() ||
+                          _options.failure_report != nullptr ||
+                          (injector != nullptr && injector->enabled());
+    std::vector<double> seed_ttm;
+    if (!isolated) {
+        seed_ttm = parallelMap<double>(
+            _options.parallel, seed_points, [&](std::size_t flat) {
+                const PortfolioProduct& product =
+                    products[flat / node_count];
+                const std::string& node = nodes[flat % node_count];
+                try {
+                    return _model
+                        .evaluate(retargetDesign(product.design, node),
+                                  product.n_chips)
+                        .total()
+                        .value();
+                } catch (const ModelError&) {
+                    return std::numeric_limits<double>::infinity();
+                }
+            });
+    } else {
+        // Isolated path: infeasibility (ModelError: die fit, dead
+        // node) stays a clean infinity sentinel exactly like the fast
+        // path; only numeric faults — NumericError from the model's
+        // finiteOr guards or an injected fault — become diagnostics.
+        std::vector<Outcome<double>> outcomes(seed_points);
+        parallelFor(
+            _options.parallel, seed_points,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t flat = begin; flat < end; ++flat) {
+                    outcomes[flat] = guardedPoint(flat, [&]() -> double {
+                        if (injector != nullptr &&
+                            injector->armedAt(flat)) {
+                            return finiteOr(injector->faultValue(flat),
+                                            DiagCode::NonFiniteTtm,
+                                            "PortfolioPlanner::plan");
+                        }
+                        const PortfolioProduct& product =
+                            products[flat / node_count];
+                        const std::string& node = nodes[flat % node_count];
+                        try {
+                            return _model
+                                .evaluate(
+                                    retargetDesign(product.design, node),
+                                    product.n_chips)
+                                .total()
+                                .value();
+                        } catch (const NumericError&) {
+                            throw;
+                        } catch (const ModelError&) {
+                            return std::numeric_limits<
+                                double>::infinity();
+                        }
+                    });
+                }
+            });
+        enforcePolicy(outcomes, _options.failure_policy,
+                      _options.failure_report, "PortfolioPlanner::plan");
+        seed_ttm.reserve(seed_points);
+        for (const Outcome<double>& outcome : outcomes) {
+            // A failed point is not a seed candidate, like a non-fit.
+            seed_ttm.push_back(
+                outcome.valueOr(std::numeric_limits<double>::infinity()));
+        }
+    }
     std::vector<std::string> assignment;
     for (std::size_t i = 0; i < products.size(); ++i) {
         std::string best;

@@ -26,9 +26,12 @@
 #include "core/allocation.hh"
 #include "core/design.hh"
 #include "core/ttm_model.hh"
+#include "support/outcome.hh"
 #include "support/threadpool.hh"
 
 namespace ttmcas {
+
+class FaultInjector;
 
 /** One product in the portfolio. */
 struct PortfolioProduct
@@ -86,6 +89,18 @@ class PortfolioPlanner
          * semantics, so plans are identical for any thread count.
          */
         ParallelConfig parallel;
+        /**
+         * Failure handling of the seeding matrix (point = product *
+         * |nodes| + node). A die that fits no node is a domain outcome,
+         * not a failure: it is never recorded. Only numeric faults and
+         * injected faults land in the report; under SkipAndRecord the
+         * affected (product, node) pair is simply not a seed candidate.
+         */
+        FailurePolicy failure_policy;
+        /** Optional deterministic fault injector; unowned, may be null. */
+        const FaultInjector* fault_injector = nullptr;
+        /** When non-null, receives the seeding FailureReport. Unowned. */
+        FailureReport* failure_report = nullptr;
     };
 
     explicit PortfolioPlanner(TtmModel model);

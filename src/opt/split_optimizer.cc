@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "stats/fault_injection.hh"
 #include "support/error.hh"
 #include "support/mathutil.hh"
 
@@ -149,39 +150,129 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
     TTMCAS_REQUIRE(primary != secondary,
                    "primary and secondary nodes must differ");
 
-    // Pass 1: TTM of every candidate split (evaluated in parallel,
-    // one slot per fraction), and the best achievable.
     const std::size_t fraction_count = _options.fractions.size();
-    const std::vector<double> ttm_weeks = parallelMap<double>(
-        _options.parallel, fraction_count, [&](std::size_t i) {
-            return combinedTtmWeeks(factory, n_chips, primary, secondary,
+    const FaultInjector* injector = _options.fault_injector;
+    const bool isolated = _options.failure_policy.skips() ||
+                          _options.failure_report != nullptr ||
+                          (injector != nullptr && injector->enabled());
+    if (!isolated) {
+        // Pass 1: TTM of every candidate split (evaluated in parallel,
+        // one slot per fraction), and the best achievable.
+        const std::vector<double> ttm_weeks = parallelMap<double>(
+            _options.parallel, fraction_count, [&](std::size_t i) {
+                return combinedTtmWeeks(factory, n_chips, primary,
+                                        secondary, _options.fractions[i],
+                                        market);
+            });
+        double best_ttm = 0.0;
+        for (std::size_t i = 0; i < fraction_count; ++i) {
+            if (i == 0 || ttm_weeks[i] < best_ttm)
+                best_ttm = ttm_weeks[i];
+        }
+        const double ttm_limit = best_ttm * (1.0 + _options.ttm_slack);
+
+        // Pass 2: score the near-fastest fractions on CAS in parallel;
+        // the first-strictly-better argmax scan stays serial so the
+        // chosen plan is thread-count independent.
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        const std::vector<double> cas_scores = parallelMap<double>(
+            _options.parallel, fraction_count, [&](std::size_t i) {
+                if (ttm_weeks[i] > ttm_limit)
+                    return nan;
+                return cas(factory, n_chips, primary, secondary,
+                           _options.fractions[i], market);
+            });
+        ProductionPlan best;
+        bool have_best = false;
+        for (std::size_t i = 0; i < fraction_count; ++i) {
+            if (ttm_weeks[i] > ttm_limit)
+                continue;
+            const double fraction = _options.fractions[i];
+            const double score = cas_scores[i];
+            if (!have_best || score > best.cas) {
+                best.primary = primary;
+                best.secondary = fraction < 1.0 ? secondary : "";
+                best.primary_fraction = fraction;
+                best.cas = score;
+                have_best = true;
+            }
+        }
+        TTMCAS_INVARIANT(have_best, "split sweep evaluated no fractions");
+        best.ttm = ttm(factory, n_chips, best.primary,
+                       best.singleProcess() ? "" : best.secondary,
+                       best.primary_fraction, market);
+        best.cost = cost(factory, n_chips, best.primary,
+                         best.singleProcess() ? "" : best.secondary,
+                         best.primary_fraction);
+        return best;
+    }
+
+    // Isolated path. Pass 1 evaluates fraction i as point i (where the
+    // injector arms); a fraction whose TTM failed is out of the race
+    // but does not abort the sweep.
+    std::vector<Outcome<double>> ttm_outcomes(fraction_count);
+    parallelFor(_options.parallel, fraction_count,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                        ttm_outcomes[i] = guardedScalarPoint(
+                            injector, DiagCode::NonFiniteTtm,
+                            "SplitPlanner::optimizeCas", i, [&] {
+                                return combinedTtmWeeks(
+                                    factory, n_chips, primary, secondary,
                                     _options.fractions[i], market);
-        });
+                            });
+                    }
+                });
     double best_ttm = 0.0;
+    bool have_ttm = false;
     for (std::size_t i = 0; i < fraction_count; ++i) {
-        if (i == 0 || ttm_weeks[i] < best_ttm)
-            best_ttm = ttm_weeks[i];
+        if (!ttm_outcomes[i].ok())
+            continue;
+        if (!have_ttm || ttm_outcomes[i].value() < best_ttm)
+            best_ttm = ttm_outcomes[i].value();
+        have_ttm = true;
     }
     const double ttm_limit = best_ttm * (1.0 + _options.ttm_slack);
 
-    // Pass 2: score the near-fastest fractions on CAS in parallel;
-    // the first-strictly-better argmax scan stays serial so the
-    // chosen plan is thread-count independent.
+    // Pass 2 scores the surviving near-fastest fractions on CAS as
+    // points [F, 2F). Fractions out of the race hold a clean NaN
+    // sentinel slot (matching the fast path's over-limit marker) so
+    // the report's point count stays 2F for any outcome.
     const double nan = std::numeric_limits<double>::quiet_NaN();
-    const std::vector<double> cas_scores = parallelMap<double>(
-        _options.parallel, fraction_count, [&](std::size_t i) {
-            if (ttm_weeks[i] > ttm_limit)
-                return nan;
-            return cas(factory, n_chips, primary, secondary,
-                       _options.fractions[i], market);
-        });
+    std::vector<Outcome<double>> cas_outcomes(fraction_count);
+    parallelFor(_options.parallel, fraction_count,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                        if (!ttm_outcomes[i].ok() ||
+                            ttm_outcomes[i].value() > ttm_limit) {
+                            cas_outcomes[i] = Outcome<double>::success(nan);
+                            continue;
+                        }
+                        cas_outcomes[i] = guardedScalarPoint(
+                            nullptr, DiagCode::NonFiniteCas,
+                            "SplitPlanner::optimizeCas",
+                            fraction_count + i, [&] {
+                                return cas(factory, n_chips, primary,
+                                           secondary,
+                                           _options.fractions[i], market);
+                            });
+                    }
+                });
+
+    std::vector<Outcome<double>> all_outcomes = ttm_outcomes;
+    all_outcomes.insert(all_outcomes.end(), cas_outcomes.begin(),
+                        cas_outcomes.end());
+    enforcePolicy(all_outcomes, _options.failure_policy,
+                  _options.failure_report, "SplitPlanner::optimizeCas");
+
     ProductionPlan best;
     bool have_best = false;
     for (std::size_t i = 0; i < fraction_count; ++i) {
-        if (ttm_weeks[i] > ttm_limit)
+        if (!ttm_outcomes[i].ok() || ttm_outcomes[i].value() > ttm_limit ||
+            !cas_outcomes[i].ok() || std::isnan(cas_outcomes[i].value()))
             continue;
         const double fraction = _options.fractions[i];
-        const double score = cas_scores[i];
+        const double score = cas_outcomes[i].value();
         if (!have_best || score > best.cas) {
             best.primary = primary;
             best.secondary = fraction < 1.0 ? secondary : "";
@@ -190,7 +281,9 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
             have_best = true;
         }
     }
-    TTMCAS_INVARIANT(have_best, "split sweep evaluated no fractions");
+    TTMCAS_REQUIRE(have_best,
+                   "SplitPlanner::optimizeCas: no split fraction survived "
+                   "failure isolation");
     best.ttm = ttm(factory, n_chips, best.primary,
                    best.singleProcess() ? "" : best.secondary,
                    best.primary_fraction, market);

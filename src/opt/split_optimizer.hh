@@ -27,9 +27,12 @@
 #include "core/market.hh"
 #include "core/ttm_model.hh"
 #include "econ/cost_model.hh"
+#include "support/outcome.hh"
 #include "support/threadpool.hh"
 
 namespace ttmcas {
+
+class FaultInjector;
 
 /** Builds the architecture re-targeted to a given process node. */
 using DesignFactory = std::function<ChipDesign(const std::string&)>;
@@ -74,6 +77,18 @@ class SplitPlanner
          * fraction slots and the argmax scan stays serial.
          */
         ParallelConfig parallel;
+        /**
+         * Per-fraction failure handling in optimizeCas: Abort
+         * (default) or SkipAndRecord, which drops failed fractions
+         * from the sweep. Point indices [0, F) are the pass-1 TTM
+         * evaluations (F = fraction count), [F, 2F) the pass-2 CAS
+         * evaluations; the fault injector arms pass-1 points only.
+         */
+        FailurePolicy failure_policy;
+        /** Optional deterministic fault injector; unowned, may be null. */
+        const FaultInjector* fault_injector = nullptr;
+        /** When non-null, receives the sweep's FailureReport. Unowned. */
+        FailureReport* failure_report = nullptr;
     };
 
     SplitPlanner(TtmModel model, CostModel costs);

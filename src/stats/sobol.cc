@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "stats/fault_injection.hh"
 #include "stats/lowdiscrepancy.hh"
 #include "stats/rng.hh"
 #include "stats/summary.hh"
@@ -39,6 +40,37 @@ makePool(const ParallelConfig& config, std::size_t items)
     if (threads <= 1)
         return nullptr;
     return std::make_unique<ThreadPool>(threads);
+}
+
+/**
+ * Jansen estimators for one input over aligned row vectors: returns
+ * (S_i, S_Ti). Serial, ascending-j accumulation — the fixed
+ * floating-point association both sobolAnalyze paths share.
+ */
+std::pair<double, double>
+jansenIndices(const std::vector<double>& f_a, const std::vector<double>& f_b,
+              const std::vector<double>& f_abi, double variance,
+              bool clip_negative)
+{
+    const std::size_t n = f_a.size();
+    double first_acc = 0.0;
+    double total_acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        first_acc += f_b[j] * (f_abi[j] - f_a[j]);
+        const double delta = f_a[j] - f_abi[j];
+        total_acc += delta * delta;
+    }
+    if (variance <= 0.0) {
+        // A constant model has no variance to attribute.
+        return {0.0, 0.0};
+    }
+    double s_i = first_acc / static_cast<double>(n) / variance;
+    double s_ti = total_acc / (2.0 * static_cast<double>(n)) / variance;
+    if (clip_negative) {
+        s_i = std::max(s_i, 0.0);
+        s_ti = std::max(s_ti, 0.0);
+    }
+    return {s_i, s_ti};
 }
 
 } // namespace
@@ -100,6 +132,119 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
     const std::unique_ptr<ThreadPool> pool = makePool(options.parallel, n);
     const std::size_t grain = std::max<std::size_t>(options.parallel.grain, 1);
 
+    SobolResult result;
+    result.evaluations = (k + 2) * n;
+    result.first_order.resize(k, 0.0);
+    result.total_effect.resize(k, 0.0);
+    result.input_names.reserve(k);
+    for (const auto& input : inputs)
+        result.input_names.push_back(input.name);
+
+    const FaultInjector* injector = options.fault_injector;
+    const bool isolated = options.failure_policy.skips() ||
+                          options.failure_report != nullptr ||
+                          (injector != nullptr && injector->enabled());
+    if (isolated) {
+        // Isolated path: every evaluation lands in an Outcome slot,
+        // indexed f(A)_j = j, f(B)_j = n + j, f(A_B^i)_j = (2+i)*n + j.
+        // A base row survives only when A, B, and all k hybrid
+        // evaluations of it succeeded; the estimators then run over the
+        // surviving rows in ascending j order.
+        std::vector<Outcome<double>> out_a(n), out_b(n);
+        runChunked(pool.get(), grain, n,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t j = begin; j < end; ++j) {
+                           out_a[j] = guardedScalarPoint(
+                               injector, DiagCode::NonFiniteOutput,
+                               "sobolAnalyze", j,
+                               [&] { return model(mat_a[j]); });
+                           out_b[j] = guardedScalarPoint(
+                               injector, DiagCode::NonFiniteOutput,
+                               "sobolAnalyze", n + j,
+                               [&] { return model(mat_b[j]); });
+                       }
+                   });
+        std::vector<std::vector<Outcome<double>>> out_ab(
+            k, std::vector<Outcome<double>>(n));
+        for (std::size_t i = 0; i < k; ++i) {
+            runChunked(pool.get(), grain, n,
+                       [&](std::size_t begin, std::size_t end) {
+                           std::vector<double> point(k);
+                           for (std::size_t j = begin; j < end; ++j) {
+                               // A_B^i: row j of A, column i from B.
+                               point = mat_a[j];
+                               point[i] = mat_b[j][i];
+                               out_ab[i][j] = guardedScalarPoint(
+                                   injector, DiagCode::NonFiniteOutput,
+                                   "sobolAnalyze", (2 + i) * n + j,
+                                   [&] { return model(point); });
+                           }
+                       });
+        }
+
+        std::vector<Outcome<double>> flat;
+        flat.reserve((k + 2) * n);
+        for (std::size_t j = 0; j < n; ++j)
+            flat.push_back(out_a[j]);
+        for (std::size_t j = 0; j < n; ++j)
+            flat.push_back(out_b[j]);
+        for (std::size_t i = 0; i < k; ++i) {
+            for (std::size_t j = 0; j < n; ++j)
+                flat.push_back(out_ab[i][j]);
+        }
+        enforcePolicy(flat, options.failure_policy, options.failure_report,
+                      "sobolAnalyze");
+
+        std::vector<std::size_t> survivors;
+        survivors.reserve(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            bool row_ok = out_a[j].ok() && out_b[j].ok();
+            for (std::size_t i = 0; row_ok && i < k; ++i)
+                row_ok = out_ab[i][j].ok();
+            if (row_ok)
+                survivors.push_back(j);
+        }
+        TTMCAS_REQUIRE(survivors.size() >= 2,
+                       "sobolAnalyze: fewer than two base rows survived "
+                       "failure isolation");
+
+        std::vector<double> f_a, f_b;
+        f_a.reserve(survivors.size());
+        f_b.reserve(survivors.size());
+        for (std::size_t j : survivors) {
+            f_a.push_back(out_a[j].value());
+            f_b.push_back(out_b[j].value());
+        }
+        RunningStats pooled;
+        for (double y : f_a)
+            pooled.add(y);
+        for (double y : f_b)
+            pooled.add(y);
+        const double variance = pooled.variance();
+        result.output_mean = pooled.mean();
+        result.output_variance = variance;
+
+        if (rows != nullptr) {
+            rows->f_a = f_a;
+            rows->f_b = f_b;
+            rows->f_ab.assign(k, std::vector<double>());
+        }
+        std::vector<double> f_abi;
+        for (std::size_t i = 0; i < k; ++i) {
+            f_abi.clear();
+            f_abi.reserve(survivors.size());
+            for (std::size_t j : survivors)
+                f_abi.push_back(out_ab[i][j].value());
+            if (rows != nullptr)
+                rows->f_ab[i] = f_abi;
+            const auto [s_i, s_ti] = jansenIndices(
+                f_a, f_b, f_abi, variance, options.clip_negative);
+            result.first_order[i] = s_i;
+            result.total_effect[i] = s_ti;
+        }
+        return result;
+    }
+
     std::vector<double> f_a(n), f_b(n);
     runChunked(pool.get(), grain, n,
                [&](std::size_t begin, std::size_t end) {
@@ -116,16 +261,8 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
     for (double y : f_b)
         pooled.add(y);
     const double variance = pooled.variance();
-
-    SobolResult result;
     result.output_mean = pooled.mean();
     result.output_variance = variance;
-    result.evaluations = 2 * n;
-    result.first_order.resize(k, 0.0);
-    result.total_effect.resize(k, 0.0);
-    result.input_names.reserve(k);
-    for (const auto& input : inputs)
-        result.input_names.push_back(input.name);
 
     if (rows != nullptr) {
         rows->f_a = f_a;
@@ -145,30 +282,10 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
                            f_abi[j] = model(point);
                        }
                    });
-        double first_acc = 0.0;
-        double total_acc = 0.0;
-        for (std::size_t j = 0; j < n; ++j) {
-            first_acc += f_b[j] * (f_abi[j] - f_a[j]);
-            const double delta = f_a[j] - f_abi[j];
-            total_acc += delta * delta;
-        }
         if (rows != nullptr)
             rows->f_ab[i] = f_abi;
-        result.evaluations += n;
-
-        if (variance <= 0.0) {
-            // A constant model has no variance to attribute.
-            result.first_order[i] = 0.0;
-            result.total_effect[i] = 0.0;
-            continue;
-        }
-        double s_i = first_acc / static_cast<double>(n) / variance;
-        double s_ti =
-            total_acc / (2.0 * static_cast<double>(n)) / variance;
-        if (options.clip_negative) {
-            s_i = std::max(s_i, 0.0);
-            s_ti = std::max(s_ti, 0.0);
-        }
+        const auto [s_i, s_ti] = jansenIndices(
+            f_a, f_b, f_abi, variance, options.clip_negative);
         result.first_order[i] = s_i;
         result.total_effect[i] = s_ti;
     }
@@ -180,8 +297,22 @@ sobolBootstrapCi(const SobolRowData& rows, std::size_t resamples,
                  double coverage, std::uint64_t seed, bool clip_negative,
                  const ParallelConfig& parallel)
 {
+    SobolBootstrapOptions options;
+    options.resamples = resamples;
+    options.coverage = coverage;
+    options.seed = seed;
+    options.clip_negative = clip_negative;
+    options.parallel = parallel;
+    return sobolBootstrapCi(rows, options);
+}
+
+SobolConfidence
+sobolBootstrapCi(const SobolRowData& rows,
+                 const SobolBootstrapOptions& options)
+{
     const std::size_t n = rows.f_a.size();
     const std::size_t k = rows.f_ab.size();
+    const std::size_t resamples = options.resamples;
     TTMCAS_REQUIRE(n >= 2, "bootstrap needs at least two base rows");
     TTMCAS_REQUIRE(rows.f_b.size() == n,
                    "row data arity mismatch (f_b)");
@@ -191,71 +322,142 @@ sobolBootstrapCi(const SobolRowData& rows, std::size_t resamples,
     }
     TTMCAS_REQUIRE(k >= 1, "bootstrap needs at least one input");
     TTMCAS_REQUIRE(resamples >= 10, "need at least 10 resamples");
-    TTMCAS_REQUIRE(coverage > 0.0 && coverage < 1.0,
+    TTMCAS_REQUIRE(options.coverage > 0.0 && options.coverage < 1.0,
                    "coverage must be in (0, 1)");
 
     // Pre-draw every resample's pick indices serially so the RNG
     // stream — and therefore each replicate — is independent of how
     // the resample loop is chunked across threads.
-    Rng rng(seed);
+    Rng rng(options.seed);
     std::vector<std::size_t> picks(resamples * n);
     for (std::size_t j = 0; j < picks.size(); ++j)
         picks[j] = static_cast<std::size_t>(rng.uniformInt(n));
 
-    std::vector<std::vector<double>> first_replicates(
-        k, std::vector<double>(resamples));
-    std::vector<std::vector<double>> total_replicates(
-        k, std::vector<double>(resamples));
+    // One bootstrap replicate: Jansen estimators over the resampled
+    // rows. Writes S_i into first_out[i] and S_Ti into total_out[i].
+    const auto computeReplicate = [&](std::size_t r, double* first_out,
+                                      double* total_out) {
+        const std::size_t* resample_picks = picks.data() + r * n;
 
-    parallelFor(parallel, resamples, [&](std::size_t rb, std::size_t re) {
-        for (std::size_t r = rb; r < re; ++r) {
-            const std::size_t* resample_picks = picks.data() + r * n;
-
-            // Pooled variance over the resampled A/B evaluations.
-            RunningStats pooled;
-            for (std::size_t j = 0; j < n; ++j) {
-                pooled.add(rows.f_a[resample_picks[j]]);
-                pooled.add(rows.f_b[resample_picks[j]]);
-            }
-            const double variance = pooled.variance();
-
-            for (std::size_t i = 0; i < k; ++i) {
-                double first_acc = 0.0;
-                double total_acc = 0.0;
-                for (std::size_t p = 0; p < n; ++p) {
-                    const std::size_t j = resample_picks[p];
-                    const double f_abi = rows.f_ab[i][j];
-                    first_acc += rows.f_b[j] * (f_abi - rows.f_a[j]);
-                    const double delta = rows.f_a[j] - f_abi;
-                    total_acc += delta * delta;
-                }
-                double s_i = 0.0;
-                double s_ti = 0.0;
-                if (variance > 0.0) {
-                    s_i = first_acc / static_cast<double>(n) / variance;
-                    s_ti = total_acc / (2.0 * static_cast<double>(n)) /
-                           variance;
-                }
-                if (clip_negative) {
-                    s_i = std::max(s_i, 0.0);
-                    s_ti = std::max(s_ti, 0.0);
-                }
-                first_replicates[i][r] = s_i;
-                total_replicates[i][r] = s_ti;
-            }
+        // Pooled variance over the resampled A/B evaluations.
+        RunningStats pooled;
+        for (std::size_t j = 0; j < n; ++j) {
+            pooled.add(rows.f_a[resample_picks[j]]);
+            pooled.add(rows.f_b[resample_picks[j]]);
         }
-    });
+        const double variance = pooled.variance();
 
-    SobolConfidence confidence;
-    for (std::size_t i = 0; i < k; ++i) {
-        const Summary first = Summary::of(first_replicates[i]);
-        const Summary total = Summary::of(total_replicates[i]);
-        const Interval first_ci = first.percentileInterval(coverage);
-        const Interval total_ci = total.percentileInterval(coverage);
-        confidence.first_order.emplace_back(first_ci.lo, first_ci.hi);
-        confidence.total_effect.emplace_back(total_ci.lo, total_ci.hi);
+        for (std::size_t i = 0; i < k; ++i) {
+            double first_acc = 0.0;
+            double total_acc = 0.0;
+            for (std::size_t p = 0; p < n; ++p) {
+                const std::size_t j = resample_picks[p];
+                const double f_abi = rows.f_ab[i][j];
+                first_acc += rows.f_b[j] * (f_abi - rows.f_a[j]);
+                const double delta = rows.f_a[j] - f_abi;
+                total_acc += delta * delta;
+            }
+            double s_i = 0.0;
+            double s_ti = 0.0;
+            if (variance > 0.0) {
+                s_i = first_acc / static_cast<double>(n) / variance;
+                s_ti = total_acc / (2.0 * static_cast<double>(n)) /
+                       variance;
+            }
+            if (options.clip_negative) {
+                s_i = std::max(s_i, 0.0);
+                s_ti = std::max(s_ti, 0.0);
+            }
+            first_out[i] = s_i;
+            total_out[i] = s_ti;
+        }
+    };
+
+    const auto buildConfidence =
+        [&](const std::vector<std::vector<double>>& first_replicates,
+            const std::vector<std::vector<double>>& total_replicates) {
+            SobolConfidence confidence;
+            for (std::size_t i = 0; i < k; ++i) {
+                const Summary first = Summary::of(first_replicates[i]);
+                const Summary total = Summary::of(total_replicates[i]);
+                const Interval first_ci =
+                    first.percentileInterval(options.coverage);
+                const Interval total_ci =
+                    total.percentileInterval(options.coverage);
+                confidence.first_order.emplace_back(first_ci.lo,
+                                                    first_ci.hi);
+                confidence.total_effect.emplace_back(total_ci.lo,
+                                                     total_ci.hi);
+            }
+            return confidence;
+        };
+
+    const FaultInjector* injector = options.fault_injector;
+    const bool isolated = options.failure_policy.skips() ||
+                          options.failure_report != nullptr ||
+                          (injector != nullptr && injector->enabled());
+    if (!isolated) {
+        std::vector<std::vector<double>> first_replicates(
+            k, std::vector<double>(resamples));
+        std::vector<std::vector<double>> total_replicates(
+            k, std::vector<double>(resamples));
+        parallelFor(options.parallel, resamples,
+                    [&](std::size_t rb, std::size_t re) {
+                        std::vector<double> first(k), total(k);
+                        for (std::size_t r = rb; r < re; ++r) {
+                            computeReplicate(r, first.data(), total.data());
+                            for (std::size_t i = 0; i < k; ++i) {
+                                first_replicates[i][r] = first[i];
+                                total_replicates[i][r] = total[i];
+                            }
+                        }
+                    });
+        return buildConfidence(first_replicates, total_replicates);
     }
-    return confidence;
+
+    // Isolated path: one resample = one point; a replicate's 2k index
+    // estimates travel in one Outcome slot and failed replicates are
+    // dropped from the percentile intervals.
+    std::vector<Outcome<std::vector<double>>> outcomes(resamples);
+    parallelFor(options.parallel, resamples,
+                [&](std::size_t rb, std::size_t re) {
+                    for (std::size_t r = rb; r < re; ++r) {
+                        outcomes[r] = guardedPoint(
+                            r, [&]() -> std::vector<double> {
+                                if (injector != nullptr &&
+                                    injector->armedAt(r)) {
+                                    finiteOr(injector->faultValue(r),
+                                             DiagCode::NonFiniteOutput,
+                                             "sobolBootstrapCi");
+                                }
+                                std::vector<double> values(2 * k);
+                                computeReplicate(r, values.data(),
+                                                 values.data() + k);
+                                for (double value : values)
+                                    finiteOr(value,
+                                             DiagCode::NonFiniteOutput,
+                                             "sobolBootstrapCi");
+                                return values;
+                            });
+                    }
+                });
+    enforcePolicy(outcomes, options.failure_policy, options.failure_report,
+                  "sobolBootstrapCi");
+
+    std::vector<std::vector<double>> first_valid(k), total_valid(k);
+    for (const Outcome<std::vector<double>>& outcome : outcomes) {
+        if (!outcome.ok())
+            continue;
+        const std::vector<double>& values = outcome.value();
+        for (std::size_t i = 0; i < k; ++i) {
+            first_valid[i].push_back(values[i]);
+            total_valid[i].push_back(values[k + i]);
+        }
+    }
+    TTMCAS_REQUIRE(first_valid[0].size() >= 2,
+                   "sobolBootstrapCi: fewer than two replicates survived "
+                   "failure isolation");
+    return buildConfidence(first_valid, total_valid);
 }
 
 } // namespace ttmcas

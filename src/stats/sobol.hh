@@ -25,9 +25,12 @@
 #include <vector>
 
 #include "stats/distributions.hh"
+#include "support/outcome.hh"
 #include "support/threadpool.hh"
 
 namespace ttmcas {
+
+class FaultInjector;
 
 /** One uncertain model input: a label plus its sampling distribution. */
 struct SensitivityInput
@@ -63,6 +66,18 @@ struct SobolOptions
      * concurrently.
      */
     ParallelConfig parallel = ParallelConfig::serial();
+    /**
+     * Per-evaluation failure handling: Abort (default) or
+     * SkipAndRecord, which drops every base row touched by a failed
+     * evaluation and computes the indices over the surviving rows.
+     * Evaluation points are indexed f(A)_j = j, f(B)_j = N + j,
+     * f(A_B^i)_j = (2 + i) * N + j.
+     */
+    FailurePolicy failure_policy;
+    /** Optional deterministic fault injector; unowned, may be null. */
+    const FaultInjector* fault_injector = nullptr;
+    /** When non-null, receives the run's FailureReport. Unowned. */
+    FailureReport* failure_report = nullptr;
 };
 
 /** Result of a Sobol sensitivity analysis. */
@@ -134,6 +149,34 @@ sobolBootstrapCi(const SobolRowData& rows, std::size_t resamples = 500,
                  double coverage = 0.95, std::uint64_t seed = 0xb007,
                  bool clip_negative = true,
                  const ParallelConfig& parallel = ParallelConfig::serial());
+
+/** Full configuration for sobolBootstrapCi (one resample = one point). */
+struct SobolBootstrapOptions
+{
+    /** Bootstrap replicate count (>= 10). */
+    std::size_t resamples = 500;
+    /** Central coverage of the intervals, in (0, 1). */
+    double coverage = 0.95;
+    /** Resampling RNG seed. */
+    std::uint64_t seed = 0xb007;
+    /** Clip index replicates at zero (see SobolOptions). */
+    bool clip_negative = true;
+    /** Resample-loop parallelism (picks are pre-drawn serially). */
+    ParallelConfig parallel = ParallelConfig::serial();
+    /**
+     * Per-resample failure handling: Abort (default) or SkipAndRecord,
+     * which drops failed replicates from the percentile intervals.
+     */
+    FailurePolicy failure_policy;
+    /** Optional deterministic fault injector; unowned, may be null. */
+    const FaultInjector* fault_injector = nullptr;
+    /** When non-null, receives the run's FailureReport. Unowned. */
+    FailureReport* failure_report = nullptr;
+};
+
+/** sobolBootstrapCi with the full option set (failure isolation). */
+SobolConfidence sobolBootstrapCi(const SobolRowData& rows,
+                                 const SobolBootstrapOptions& options);
 
 } // namespace ttmcas
 

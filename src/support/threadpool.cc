@@ -58,10 +58,8 @@ ThreadPool::workerLoop()
             error = std::current_exception();
         }
         lock.lock();
-        if (error != nullptr && _first_exception == nullptr) {
+        if (error != nullptr && _first_exception == nullptr)
             _first_exception = error;
-            _failed = true;
-        }
         --_pending;
         if (_pending == 0)
             _all_done.notify_all();
@@ -89,7 +87,6 @@ ThreadPool::wait()
     if (_first_exception != nullptr) {
         std::exception_ptr error = _first_exception;
         _first_exception = nullptr;
-        _failed = false;
         std::rethrow_exception(error);
     }
 }
@@ -109,31 +106,59 @@ ThreadPool::parallelFor(
         return;
     }
 
+    // Deterministic failure propagation: when several chunks throw, the
+    // exception from the *lowest* chunk index wins, matching what the
+    // serial path would raise first. Each chunk's exception is caught
+    // here (never surfaced through the pool's first-to-fail wait()
+    // path, which stays thread-count-dependent for raw submit() use)
+    // and kept only if its chunk index is the lowest seen.
+    struct LoopFailure
+    {
+        std::mutex mutex;
+        std::size_t chunk = static_cast<std::size_t>(-1);
+        std::exception_ptr error;
+    };
+    const auto failure = std::make_shared<LoopFailure>();
+
     // Workers claim chunk indices from a shared counter: cheap, and
     // harmless to determinism because every chunk writes disjoint
     // state regardless of which worker runs it.
     const auto next = std::make_shared<std::atomic<std::size_t>>(0);
     const std::size_t tasks = std::min(chunks, threadCount());
     for (std::size_t t = 0; t < tasks; ++t) {
-        submit([this, next, chunks, grain, n, &body] {
+        submit([next, failure, chunks, grain, n, &body] {
             for (;;) {
                 const std::size_t chunk =
                     next->fetch_add(1, std::memory_order_relaxed);
                 if (chunk >= chunks)
                     return;
                 {
-                    // Best-effort early exit once any chunk failed.
-                    std::lock_guard<std::mutex> lock(_mutex);
-                    if (_failed)
+                    // Best-effort early exit — but only for chunks
+                    // *above* the lowest failure seen so far: a lower
+                    // chunk must still run, because it could fail too
+                    // and would then define the propagated exception.
+                    std::lock_guard<std::mutex> lock(failure->mutex);
+                    if (failure->error != nullptr &&
+                        chunk > failure->chunk)
                         return;
                 }
                 const std::size_t begin = chunk * grain;
                 const std::size_t end = std::min(n, begin + grain);
-                body(begin, end);
+                try {
+                    body(begin, end);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(failure->mutex);
+                    if (chunk < failure->chunk) {
+                        failure->chunk = chunk;
+                        failure->error = std::current_exception();
+                    }
+                }
             }
         });
     }
     wait();
+    if (failure->error != nullptr)
+        std::rethrow_exception(failure->error);
 }
 
 void

@@ -103,8 +103,11 @@ class ThreadPool
      * Run @p body over [0, n) in contiguous chunks of @p grain items
      * distributed over the workers; blocks until the range is done.
      * The body must be safe to run concurrently on disjoint ranges.
-     * Rethrows the first exception a chunk threw; on error the
-     * remaining chunks are skipped (best effort), never half-run.
+     * When chunks throw, rethrows the exception from the *lowest*
+     * chunk index — deterministic for any worker count, matching the
+     * first exception the serial path would raise. Chunks above a
+     * failed chunk are skipped (best effort), never half-run; chunks
+     * below it still run so the lowest failure is always found.
      */
     void parallelFor(std::size_t n, std::size_t grain,
                      const std::function<void(std::size_t, std::size_t)>&
@@ -120,7 +123,6 @@ class ThreadPool
     std::condition_variable _all_done;
     std::size_t _pending = 0;
     std::exception_ptr _first_exception;
-    bool _failed = false; ///< mirror of _first_exception for fast checks
     bool _stop = false;
 };
 

@@ -57,24 +57,32 @@ trim(const std::string& text)
     return text.substr(first, last - first + 1);
 }
 
+/** "line L, column C" prefix of every cell-level parse error. */
+std::string
+cellLocation(std::size_t line_number, std::size_t column_number)
+{
+    return "line " + std::to_string(line_number) + ", column " +
+           std::to_string(column_number);
+}
+
 double
 parseNumber(const std::string& cell, std::size_t line_number,
-            const std::string& column)
+            std::size_t column_number, const std::string& column)
 {
     try {
         std::size_t consumed = 0;
         const double value = std::stod(cell, &consumed);
         TTMCAS_REQUIRE(consumed == cell.size(),
-                       "line " + std::to_string(line_number) +
+                       cellLocation(line_number, column_number) +
                            ": trailing characters in numeric column '" +
                            column + "': '" + cell + "'");
         return value;
     } catch (const std::invalid_argument&) {
-        throw ModelError("line " + std::to_string(line_number) +
+        throw ModelError(cellLocation(line_number, column_number) +
                          ": cannot parse '" + cell +
                          "' in numeric column '" + column + "'");
     } catch (const std::out_of_range&) {
-        throw ModelError("line " + std::to_string(line_number) +
+        throw ModelError(cellLocation(line_number, column_number) +
                          ": value out of range in column '" + column +
                          "'");
     }
@@ -119,20 +127,31 @@ technologyFromCsv(const std::string& csv_text)
 
     // Find the header row.
     std::map<std::string, std::size_t> column_index;
+    std::size_t header_line = 0;
     while (std::getline(stream, line)) {
         ++line_number;
         const std::string trimmed = trim(line);
         if (trimmed.empty() || trimmed[0] == '#')
             continue;
+        header_line = line_number;
         const auto headers = splitCsvLine(trimmed);
-        for (std::size_t i = 0; i < headers.size(); ++i)
-            column_index[trim(headers[i])] = i;
+        for (std::size_t i = 0; i < headers.size(); ++i) {
+            const std::string header = trim(headers[i]);
+            TTMCAS_REQUIRE(column_index.count(header) == 0,
+                           cellLocation(line_number, i + 1) +
+                               ": duplicate header '" + header + "'");
+            column_index[header] = i;
+        }
         break;
     }
     for (const std::string& required : columnNames()) {
         TTMCAS_REQUIRE(column_index.count(required) == 1,
-                       "technology CSV is missing column '" + required +
-                           "'");
+                       header_line == 0
+                           ? "technology CSV is missing column '" +
+                                 required + "' (no header row found)"
+                           : "line " + std::to_string(header_line) +
+                                 ": technology CSV is missing column '" +
+                                 required + "'");
     }
 
     TechnologyDb db;
@@ -152,7 +171,8 @@ technologyFromCsv(const std::string& csv_text)
             return trim(cells[column_index.at(column)]);
         };
         const auto number = [&](const std::string& column) {
-            return parseNumber(cell(column), line_number, column);
+            return parseNumber(cell(column), line_number,
+                               column_index.at(column) + 1, column);
         };
 
         ProcessNode node;
@@ -173,7 +193,14 @@ technologyFromCsv(const std::string& csv_text)
         node.mask_set_cost = Dollars(number("mask_set_cost_usd"));
         node.tapeout_fixed_cost =
             Dollars(number("tapeout_fixed_cost_usd"));
-        db.add(std::move(node)); // validates
+        try {
+            db.add(std::move(node)); // validates
+        } catch (const ModelError& error) {
+            // Field validation knows nothing about the file; attach
+            // the row so the user can find the offending record.
+            throw ModelError("line " + std::to_string(line_number) +
+                             ": " + error.what());
+        }
     }
     TTMCAS_REQUIRE(!db.empty(), "technology CSV contains no nodes");
     return db;

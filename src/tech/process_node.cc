@@ -15,35 +15,56 @@ ProcessNode::waferRate() const
 void
 ProcessNode::validate() const
 {
-    TTMCAS_REQUIRE(!name.empty(), "process node needs a name");
-    TTMCAS_REQUIRE(feature_nm > 0.0,
-                   "node '" + name + "': feature size must be positive");
-    TTMCAS_REQUIRE(density_mtr_per_mm2 > 0.0,
-                   "node '" + name + "': transistor density must be positive");
-    TTMCAS_REQUIRE(defect_density_per_mm2 >= 0.0,
-                   "node '" + name + "': defect density must be >= 0");
-    TTMCAS_REQUIRE(wafer_rate_kwpm >= 0.0,
-                   "node '" + name + "': wafer rate must be >= 0");
-    TTMCAS_REQUIRE(foundry_latency.value() >= 0.0,
-                   "node '" + name + "': foundry latency must be >= 0");
-    TTMCAS_REQUIRE(osat_latency.value() >= 0.0,
-                   "node '" + name + "': OSAT latency must be >= 0");
-    TTMCAS_REQUIRE(tapeout_effort_hours_per_transistor > 0.0,
-                   "node '" + name + "': tapeout effort must be positive");
-    TTMCAS_REQUIRE(testing_effort_weeks_per_e15 >= 0.0,
-                   "node '" + name + "': testing effort must be >= 0");
-    TTMCAS_REQUIRE(packaging_effort_weeks_per_e9_mm2 >= 0.0,
-                   "node '" + name + "': packaging effort must be >= 0");
-    TTMCAS_REQUIRE(wafer_cost.value() >= 0.0,
-                   "node '" + name + "': wafer cost must be >= 0");
-    TTMCAS_REQUIRE(mask_set_cost.value() >= 0.0,
-                   "node '" + name + "': mask cost must be >= 0");
-    TTMCAS_REQUIRE(tapeout_fixed_cost.value() >= 0.0,
-                   "node '" + name + "': fixed tapeout cost must be >= 0");
-    TTMCAS_REQUIRE(std::isfinite(density_mtr_per_mm2) &&
-                       std::isfinite(defect_density_per_mm2) &&
-                       std::isfinite(wafer_rate_kwpm),
-                   "node '" + name + "': parameters must be finite");
+    const std::vector<std::string> problems = violations();
+    TTMCAS_REQUIRE(problems.empty(), problems.front());
+}
+
+std::vector<std::string>
+ProcessNode::violations() const
+{
+    std::vector<std::string> problems;
+    const auto check = [&](bool ok, const std::string& message) {
+        if (!ok)
+            problems.push_back(message);
+    };
+    check(!name.empty(), "process node needs a name");
+    check(feature_nm > 0.0,
+          "node '" + name + "': feature size must be positive");
+    check(density_mtr_per_mm2 > 0.0,
+          "node '" + name + "': transistor density must be positive");
+    check(defect_density_per_mm2 >= 0.0,
+          "node '" + name + "': defect density must be >= 0");
+    check(wafer_rate_kwpm >= 0.0,
+          "node '" + name + "': wafer rate must be >= 0");
+    check(foundry_latency.value() >= 0.0,
+          "node '" + name + "': foundry latency must be >= 0");
+    check(osat_latency.value() >= 0.0,
+          "node '" + name + "': OSAT latency must be >= 0");
+    check(tapeout_effort_hours_per_transistor > 0.0,
+          "node '" + name + "': tapeout effort must be positive");
+    check(testing_effort_weeks_per_e15 >= 0.0,
+          "node '" + name + "': testing effort must be >= 0");
+    check(packaging_effort_weeks_per_e9_mm2 >= 0.0,
+          "node '" + name + "': packaging effort must be >= 0");
+    check(wafer_cost.value() >= 0.0,
+          "node '" + name + "': wafer cost must be >= 0");
+    check(mask_set_cost.value() >= 0.0,
+          "node '" + name + "': mask cost must be >= 0");
+    check(tapeout_fixed_cost.value() >= 0.0,
+          "node '" + name + "': fixed tapeout cost must be >= 0");
+    check(std::isfinite(feature_nm) && std::isfinite(density_mtr_per_mm2) &&
+              std::isfinite(defect_density_per_mm2) &&
+              std::isfinite(wafer_rate_kwpm) &&
+              std::isfinite(foundry_latency.value()) &&
+              std::isfinite(osat_latency.value()) &&
+              std::isfinite(tapeout_effort_hours_per_transistor) &&
+              std::isfinite(testing_effort_weeks_per_e15) &&
+              std::isfinite(packaging_effort_weeks_per_e9_mm2) &&
+              std::isfinite(wafer_cost.value()) &&
+              std::isfinite(mask_set_cost.value()) &&
+              std::isfinite(tapeout_fixed_cost.value()),
+          "node '" + name + "': parameters must be finite");
+    return problems;
 }
 
 bool

@@ -14,6 +14,7 @@
  */
 
 #include <string>
+#include <vector>
 
 #include "support/units.hh"
 
@@ -94,6 +95,14 @@ struct ProcessNode
 
     /** Throw ModelError unless every field is physically sensible. */
     void validate() const;
+
+    /**
+     * Every validation problem with this node, in field order; empty
+     * when the node is valid. Unlike validate(), which throws on the
+     * first violation, this reports all of them at once so a caller
+     * fixing a hand-written dataset sees the full repair list.
+     */
+    std::vector<std::string> violations() const;
 };
 
 /** Ordering helper: finer (smaller feature) nodes sort first. */

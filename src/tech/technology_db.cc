@@ -72,6 +72,17 @@ TechnologyDb::availableNames() const
     return result;
 }
 
+std::vector<std::string>
+TechnologyDb::violations() const
+{
+    std::vector<std::string> problems;
+    for (const auto& node : _nodes) {
+        for (const std::string& problem : node.violations())
+            problems.push_back(problem);
+    }
+    return problems;
+}
+
 TechnologyDb
 TechnologyDb::withScaledWaferRate(const std::string& name,
                                   double factor) const

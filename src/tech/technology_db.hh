@@ -60,6 +60,16 @@ class TechnologyDb
     TechnologyDb withScaledWaferRate(const std::string& name,
                                      double factor) const;
 
+    /**
+     * Every validation problem across all nodes, each prefixed so the
+     * offending node is identifiable; empty when the database is
+     * valid. Nodes already in the database were validated by add(), so
+     * this matters for field-by-field edits made after insertion, or
+     * for pre-flighting nodes assembled elsewhere via
+     * ProcessNode::violations().
+     */
+    std::vector<std::string> violations() const;
+
   private:
     std::vector<ProcessNode> _nodes;
 };

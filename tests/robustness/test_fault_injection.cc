@@ -1,0 +1,200 @@
+#include "stats/fault_injection.hh"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "support/outcome.hh"
+
+namespace ttmcas {
+namespace {
+
+FaultInjector
+injector(double probability, std::uint64_t seed = 0xfa017ULL)
+{
+    FaultInjector::Options options;
+    options.probability = probability;
+    options.seed = seed;
+    return FaultInjector(options);
+}
+
+TEST(FaultInjectorTest, DisarmedByDefaultAndAtZeroProbability)
+{
+    EXPECT_FALSE(FaultInjector().enabled());
+    const FaultInjector off = injector(0.0);
+    EXPECT_FALSE(off.enabled());
+    for (std::size_t point = 0; point < 256; ++point)
+        EXPECT_FALSE(off.armedAt(point));
+    EXPECT_EQ(off.armedCount(256), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneArmsEveryPoint)
+{
+    const FaultInjector on = injector(1.0);
+    EXPECT_TRUE(on.enabled());
+    for (std::size_t point = 0; point < 256; ++point)
+        EXPECT_TRUE(on.armedAt(point));
+    EXPECT_EQ(on.armedCount(256), 256u);
+}
+
+TEST(FaultInjectorTest, ArmingIsRandomAccessDeterministic)
+{
+    const FaultInjector a = injector(0.3);
+    const FaultInjector b = injector(0.3);
+    // Query b in reverse order: arming depends only on (seed, index),
+    // never on query order — the property the parallel kernels rely on.
+    std::vector<bool> forward, backward(512);
+    for (std::size_t point = 0; point < 512; ++point)
+        forward.push_back(a.armedAt(point));
+    for (std::size_t point = 512; point-- > 0;)
+        backward[point] = b.armedAt(point);
+    EXPECT_EQ(forward, backward);
+}
+
+TEST(FaultInjectorTest, ArmedCountMatchesExplicitScan)
+{
+    const FaultInjector faults = injector(0.25);
+    std::size_t scanned = 0;
+    for (std::size_t point = 0; point < 1000; ++point)
+        scanned += faults.armedAt(point) ? 1u : 0u;
+    EXPECT_EQ(faults.armedCount(1000), scanned);
+}
+
+TEST(FaultInjectorTest, ArmedFractionTracksProbability)
+{
+    const FaultInjector faults = injector(0.3);
+    const double fraction =
+        static_cast<double>(faults.armedCount(20000)) / 20000.0;
+    EXPECT_NEAR(fraction, 0.3, 0.02);
+}
+
+TEST(FaultInjectorTest, SeedSelectsTheArmedSet)
+{
+    const FaultInjector a = injector(0.5, 1);
+    const FaultInjector b = injector(0.5, 2);
+    std::size_t differences = 0;
+    for (std::size_t point = 0; point < 512; ++point)
+        differences += a.armedAt(point) != b.armedAt(point) ? 1u : 0u;
+    EXPECT_GT(differences, 0u);
+}
+
+TEST(FaultInjectorTest, CorruptInputPassesCleanValueWhenNotArmed)
+{
+    const FaultInjector off = injector(0.0);
+    EXPECT_DOUBLE_EQ(off.corruptInput(42.0, 0), 42.0);
+    const FaultInjector some = injector(0.5);
+    for (std::size_t point = 0; point < 128; ++point) {
+        if (!some.armedAt(point)) {
+            EXPECT_DOUBLE_EQ(some.corruptInput(42.0, point), 42.0);
+        }
+    }
+}
+
+TEST(FaultInjectorTest, CorruptInputMatchesTheAnnouncedKind)
+{
+    const FaultInjector on = injector(1.0);
+    for (std::size_t point = 0; point < 64; ++point) {
+        switch (on.kindAt(point)) {
+        case FaultInjector::FaultKind::NanValue:
+            EXPECT_TRUE(std::isnan(on.corruptInput(42.0, point)));
+            break;
+        case FaultInjector::FaultKind::InfValue:
+            EXPECT_TRUE(std::isinf(on.corruptInput(42.0, point)));
+            break;
+        case FaultInjector::FaultKind::OutOfDomain:
+            EXPECT_LT(on.corruptInput(42.0, point), 0.0);
+            break;
+        case FaultInjector::FaultKind::Throw:
+            try {
+                on.corruptInput(42.0, point);
+                FAIL() << "Throw kind did not throw";
+            } catch (const NumericError& error) {
+                EXPECT_EQ(error.diagnostic().code,
+                          DiagCode::InjectedFault);
+                EXPECT_EQ(error.diagnostic().point_index, point);
+            }
+            break;
+        }
+    }
+}
+
+TEST(FaultInjectorTest, AllKindsOccurAcrossPoints)
+{
+    const FaultInjector on = injector(1.0);
+    std::array<bool, 4> seen{};
+    for (std::size_t point = 0; point < 256; ++point)
+        seen[static_cast<std::size_t>(on.kindAt(point))] = true;
+    for (const bool kind_seen : seen)
+        EXPECT_TRUE(kind_seen);
+}
+
+TEST(FaultInjectorTest, FaultValueIsNonFiniteOrThrowsInjected)
+{
+    const FaultInjector on = injector(1.0);
+    for (std::size_t point = 0; point < 64; ++point) {
+        if (on.kindAt(point) == FaultInjector::FaultKind::Throw) {
+            EXPECT_THROW(on.faultValue(point), NumericError);
+        } else {
+            EXPECT_FALSE(std::isfinite(on.faultValue(point)));
+        }
+    }
+}
+
+TEST(GuardedScalarPointTest, CleanEvaluationPassesThrough)
+{
+    const auto outcome = guardedScalarPoint(
+        nullptr, DiagCode::NonFiniteOutput, "kernel", 0,
+        [] { return 2.5; });
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_DOUBLE_EQ(outcome.value(), 2.5);
+}
+
+TEST(GuardedScalarPointTest, NonFiniteResultBecomesTaggedDiagnostic)
+{
+    const auto outcome = guardedScalarPoint(
+        nullptr, DiagCode::NonFiniteCas, "kernel", 9,
+        [] { return std::numeric_limits<double>::quiet_NaN(); });
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.diagnostic().code, DiagCode::NonFiniteCas);
+    EXPECT_EQ(outcome.diagnostic().point_index, 9u);
+}
+
+TEST(GuardedScalarPointTest, EveryInjectedFaultLandsInTheOutcome)
+{
+    const FaultInjector on = injector(1.0);
+    for (std::size_t point = 0; point < 64; ++point) {
+        const auto outcome = guardedScalarPoint(
+            &on, DiagCode::NonFiniteOutput, "kernel", point,
+            [] { return 1.0; });
+        ASSERT_FALSE(outcome.ok()) << "point " << point;
+        EXPECT_EQ(outcome.diagnostic().point_index, point);
+        // NaN/Inf faults trip the boundary guard; Throw faults carry
+        // the injection code directly.
+        const DiagCode code = outcome.diagnostic().code;
+        EXPECT_TRUE(code == DiagCode::NonFiniteOutput ||
+                    code == DiagCode::InjectedFault)
+            << "point " << point;
+    }
+}
+
+TEST(GuardedScalarPointTest, UnarmedPointsAreUntouched)
+{
+    const FaultInjector some = injector(0.4);
+    for (std::size_t point = 0; point < 64; ++point) {
+        const auto outcome = guardedScalarPoint(
+            &some, DiagCode::NonFiniteOutput, "kernel", point,
+            [&] { return static_cast<double>(point); });
+        if (some.armedAt(point)) {
+            EXPECT_FALSE(outcome.ok());
+        } else {
+            ASSERT_TRUE(outcome.ok());
+            EXPECT_DOUBLE_EQ(outcome.value(),
+                             static_cast<double>(point));
+        }
+    }
+}
+
+} // namespace
+} // namespace ttmcas

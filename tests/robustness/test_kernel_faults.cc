@@ -1,0 +1,642 @@
+/**
+ * @file
+ * The fault-injection contract, kernel by kernel: under
+ * FailurePolicy::skipAndRecord every batch kernel survives a
+ * deterministic fault injection, the FailureReport counts exactly the
+ * injected points, and the report (and the surviving results) are
+ * bitwise-identical for any thread count. With the default Abort
+ * policy and no injector, the isolated machinery is provably inert:
+ * opting into skip-and-record with zero faults reproduces the fast
+ * path bit for bit.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/reference_designs.hh"
+#include "core/uncertainty.hh"
+#include "opt/cache_optimizer.hh"
+#include "opt/portfolio.hh"
+#include "opt/split_optimizer.hh"
+#include "stats/fault_injection.hh"
+#include "stats/sobol.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+FaultInjector
+injector(double probability, std::uint64_t seed = 0xfa017ULL)
+{
+    FaultInjector::Options options;
+    options.probability = probability;
+    options.seed = seed;
+    return FaultInjector(options);
+}
+
+ParallelConfig
+withThreads(std::size_t threads)
+{
+    ParallelConfig parallel;
+    parallel.threads = threads;
+    parallel.grain = 1; // maximal interleaving stresses determinism
+    return parallel;
+}
+
+bool
+isInjectionCode(DiagCode code)
+{
+    return code == DiagCode::InjectedFault ||
+           code == DiagCode::NonFiniteOutput ||
+           code == DiagCode::NonFiniteTtm ||
+           code == DiagCode::NonFiniteCas ||
+           code == DiagCode::NonFiniteCost ||
+           code == DiagCode::InvalidInput;
+}
+
+// ---------------------------------------------------------------- //
+// Monte-Carlo sampling (core/uncertainty drawSamples)
+// ---------------------------------------------------------------- //
+
+class MonteCarloFaultTest : public ::testing::Test
+{
+  protected:
+    MonteCarloFaultTest()
+        : analysis(defaultTechnologyDb()),
+          design(makeMonolithicDesign("robust-soc", "28nm", 2e9, 2e8,
+                                      Weeks(10.0)))
+    {}
+
+    UncertaintyAnalysis::Options
+    options(std::size_t threads) const
+    {
+        UncertaintyAnalysis::Options options;
+        options.samples = 64;
+        options.parallel = withThreads(threads);
+        return options;
+    }
+
+    UncertaintyAnalysis analysis;
+    ChipDesign design;
+    double n_chips = 10e6;
+};
+
+TEST_F(MonteCarloFaultTest, SurvivesInjectionAndCountsExactly)
+{
+    const FaultInjector faults = injector(0.15);
+    const std::size_t armed = faults.armedCount(64);
+    ASSERT_GT(armed, 0u);
+    ASSERT_LT(armed, 64u);
+
+    auto mc = options(1);
+    mc.failure_policy = FailurePolicy::skipAndRecord();
+    mc.fault_injector = &faults;
+    FailureReport report;
+    mc.failure_report = &report;
+
+    const std::vector<double> samples =
+        analysis.sampleTtm(design, n_chips, {}, mc);
+
+    EXPECT_EQ(samples.size(), 64u - armed);
+    EXPECT_EQ(report.pointCount(), 64u);
+    EXPECT_EQ(report.failureCount(), armed);
+    for (const Diagnostic& diagnostic : report.detailed())
+        EXPECT_TRUE(isInjectionCode(diagnostic.code));
+    for (const double sample : samples)
+        EXPECT_TRUE(std::isfinite(sample));
+}
+
+TEST_F(MonteCarloFaultTest, ReportAndSurvivorsAreThreadCountInvariant)
+{
+    const FaultInjector faults = injector(0.15);
+    const auto run = [&](std::size_t threads) {
+        auto mc = options(threads);
+        mc.failure_policy = FailurePolicy::skipAndRecord();
+        mc.fault_injector = &faults;
+        FailureReport report;
+        mc.failure_report = &report;
+        return std::make_pair(
+            analysis.sampleTtm(design, n_chips, {}, mc), report);
+    };
+    const auto [serial_samples, serial_report] = run(1);
+    const auto [parallel_samples, parallel_report] = run(8);
+    EXPECT_EQ(serial_samples, parallel_samples);
+    EXPECT_EQ(serial_report, parallel_report);
+    EXPECT_EQ(serial_report.summary(), parallel_report.summary());
+}
+
+TEST_F(MonteCarloFaultTest, ZeroFaultSkipPathMatchesFastPath)
+{
+    const std::vector<double> fast =
+        analysis.sampleTtm(design, n_chips, {}, options(1));
+
+    auto mc = options(1);
+    mc.failure_policy = FailurePolicy::skipAndRecord();
+    FailureReport report;
+    mc.failure_report = &report;
+    const std::vector<double> isolated =
+        analysis.sampleTtm(design, n_chips, {}, mc);
+
+    EXPECT_EQ(fast, isolated);
+    EXPECT_TRUE(report.empty());
+    EXPECT_EQ(report.pointCount(), 64u);
+}
+
+TEST_F(MonteCarloFaultTest, AbortPolicyRethrowsUnderInjection)
+{
+    const FaultInjector faults = injector(0.15);
+    auto mc = options(1);
+    mc.fault_injector = &faults; // policy stays Abort
+    EXPECT_THROW(analysis.sampleTtm(design, n_chips, {}, mc),
+                 NumericError);
+}
+
+TEST_F(MonteCarloFaultTest, CircuitBreakerTripsOnMassiveFailure)
+{
+    const FaultInjector faults = injector(0.5);
+    auto mc = options(1);
+    mc.failure_policy = FailurePolicy::skipAndRecord(0.1);
+    mc.fault_injector = &faults;
+    EXPECT_THROW(analysis.sampleTtm(design, n_chips, {}, mc),
+                 NumericError);
+}
+
+// ---------------------------------------------------------------- //
+// Saltelli/Sobol analysis (stats/sobol)
+// ---------------------------------------------------------------- //
+
+/** Hold distributions alive alongside the input descriptors. */
+struct InputSet
+{
+    std::vector<std::unique_ptr<Distribution>> owned;
+    std::vector<SensitivityInput> inputs;
+
+    void
+    add(const std::string& name, double lo, double hi)
+    {
+        owned.push_back(std::make_unique<UniformDistribution>(lo, hi));
+        inputs.push_back(SensitivityInput{name, owned.back().get()});
+    }
+};
+
+double
+linearModel(const std::vector<double>& x)
+{
+    return 2.0 * x[0] + x[1];
+}
+
+TEST(SobolFaultTest, SurvivesInjectionAndCountsExactly)
+{
+    InputSet set;
+    set.add("x1", -1.0, 1.0);
+    set.add("x2", -1.0, 1.0);
+
+    SobolOptions options;
+    options.base_samples = 64;
+    const std::size_t points = (set.inputs.size() + 2) * 64; // 256
+    const FaultInjector faults = injector(0.05);
+    const std::size_t armed = faults.armedCount(points);
+    ASSERT_GT(armed, 0u);
+    ASSERT_LT(armed, 64u); // enough base rows must survive
+
+    options.failure_policy = FailurePolicy::skipAndRecord();
+    options.fault_injector = &faults;
+    FailureReport report;
+    options.failure_report = &report;
+
+    const SobolResult result =
+        sobolAnalyze(set.inputs, linearModel, options);
+
+    EXPECT_EQ(report.pointCount(), points);
+    EXPECT_EQ(report.failureCount(), armed);
+    EXPECT_EQ(result.evaluations, points);
+    for (std::size_t i = 0; i < set.inputs.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(result.first_order[i]));
+        EXPECT_TRUE(std::isfinite(result.total_effect[i]));
+    }
+    // The injected faults are sparse: the estimates stay recognizable.
+    EXPECT_NEAR(result.first_order[0], 0.8, 0.25);
+}
+
+TEST(SobolFaultTest, ReportAndIndicesAreThreadCountInvariant)
+{
+    InputSet set;
+    set.add("x1", -1.0, 1.0);
+    set.add("x2", -1.0, 1.0);
+    const FaultInjector faults = injector(0.05);
+
+    const auto run = [&](std::size_t threads) {
+        SobolOptions options;
+        options.base_samples = 64;
+        options.parallel = withThreads(threads);
+        options.failure_policy = FailurePolicy::skipAndRecord();
+        options.fault_injector = &faults;
+        FailureReport report;
+        options.failure_report = &report;
+        const SobolResult result =
+            sobolAnalyze(set.inputs, linearModel, options);
+        return std::make_pair(result, report);
+    };
+    const auto [serial_result, serial_report] = run(1);
+    const auto [parallel_result, parallel_report] = run(8);
+    EXPECT_EQ(serial_result.first_order, parallel_result.first_order);
+    EXPECT_EQ(serial_result.total_effect, parallel_result.total_effect);
+    EXPECT_EQ(serial_report, parallel_report);
+    EXPECT_EQ(serial_report.summary(), parallel_report.summary());
+}
+
+TEST(SobolFaultTest, ZeroFaultSkipPathMatchesFastPath)
+{
+    InputSet set;
+    set.add("x1", -1.0, 1.0);
+    set.add("x2", -1.0, 1.0);
+
+    SobolOptions fast_options;
+    fast_options.base_samples = 128;
+    const SobolResult fast =
+        sobolAnalyze(set.inputs, linearModel, fast_options);
+
+    SobolOptions isolated_options = fast_options;
+    isolated_options.failure_policy = FailurePolicy::skipAndRecord();
+    FailureReport report;
+    isolated_options.failure_report = &report;
+    const SobolResult isolated =
+        sobolAnalyze(set.inputs, linearModel, isolated_options);
+
+    EXPECT_EQ(fast.first_order, isolated.first_order);
+    EXPECT_EQ(fast.total_effect, isolated.total_effect);
+    EXPECT_EQ(fast.output_variance, isolated.output_variance);
+    EXPECT_TRUE(report.empty());
+}
+
+TEST(SobolFaultTest, BootstrapSurvivesInjectionAndCountsExactly)
+{
+    InputSet set;
+    set.add("x1", -1.0, 1.0);
+    set.add("x2", -1.0, 1.0);
+
+    SobolOptions analyze_options;
+    analyze_options.base_samples = 128;
+    SobolRowData rows;
+    sobolAnalyze(set.inputs, linearModel, analyze_options, &rows);
+
+    const FaultInjector faults = injector(0.1);
+    const std::size_t armed = faults.armedCount(64);
+    ASSERT_GT(armed, 0u);
+    ASSERT_LT(armed, 62u); // >= 2 replicates must survive
+
+    const auto run = [&](std::size_t threads) {
+        SobolBootstrapOptions options;
+        options.resamples = 64;
+        options.parallel = withThreads(threads);
+        options.failure_policy = FailurePolicy::skipAndRecord();
+        options.fault_injector = &faults;
+        FailureReport report;
+        options.failure_report = &report;
+        const SobolConfidence ci = sobolBootstrapCi(rows, options);
+        return std::make_pair(ci, report);
+    };
+    const auto [serial_ci, serial_report] = run(1);
+    const auto [parallel_ci, parallel_report] = run(8);
+
+    EXPECT_EQ(serial_report.pointCount(), 64u);
+    EXPECT_EQ(serial_report.failureCount(), armed);
+    EXPECT_EQ(serial_ci.first_order, parallel_ci.first_order);
+    EXPECT_EQ(serial_ci.total_effect, parallel_ci.total_effect);
+    EXPECT_EQ(serial_report, parallel_report);
+    EXPECT_EQ(serial_report.summary(), parallel_report.summary());
+    for (const auto& [lo, hi] : serial_ci.total_effect) {
+        EXPECT_TRUE(std::isfinite(lo));
+        EXPECT_TRUE(std::isfinite(hi));
+        EXPECT_LE(lo, hi);
+    }
+}
+
+TEST(SobolFaultTest, BootstrapZeroFaultSkipPathMatchesFastPath)
+{
+    InputSet set;
+    set.add("x1", -1.0, 1.0);
+    set.add("x2", -1.0, 1.0);
+
+    SobolOptions analyze_options;
+    analyze_options.base_samples = 128;
+    SobolRowData rows;
+    sobolAnalyze(set.inputs, linearModel, analyze_options, &rows);
+
+    const SobolConfidence fast = sobolBootstrapCi(rows, 64);
+
+    SobolBootstrapOptions options;
+    options.resamples = 64;
+    options.failure_policy = FailurePolicy::skipAndRecord();
+    FailureReport report;
+    options.failure_report = &report;
+    const SobolConfidence isolated = sobolBootstrapCi(rows, options);
+
+    EXPECT_EQ(fast.first_order, isolated.first_order);
+    EXPECT_EQ(fast.total_effect, isolated.total_effect);
+    EXPECT_TRUE(report.empty());
+}
+
+// ---------------------------------------------------------------- //
+// Cache design-space sweep (opt/cache_optimizer)
+// ---------------------------------------------------------------- //
+
+MissCurve
+syntheticCurve(bool instruction, double scale, double floor)
+{
+    MissCurve curve;
+    curve.workload = "synthetic";
+    curve.instruction_stream = instruction;
+    curve.sizes_bytes = MissCurveOptions::paperSizes();
+    for (std::uint64_t size : curve.sizes_bytes) {
+        curve.miss_rates.push_back(
+            floor +
+            scale / std::pow(static_cast<double>(size) / 1024.0, 0.8));
+    }
+    return curve;
+}
+
+class CacheSweepFaultTest : public ::testing::Test
+{
+  protected:
+    CacheSweepFaultTest()
+        : sweep(defaultTechnologyDb(), syntheticCurve(true, 0.06, 0.0005),
+                syntheticCurve(false, 0.18, 0.02), IpcModel{})
+    {}
+
+    static CacheSweepOptions
+    gridOptions(std::size_t threads)
+    {
+        CacheSweepOptions options;
+        options.sizes_bytes = {1024, 8 * 1024, 64 * 1024, 1024 * 1024};
+        options.process = "14nm";
+        options.n_chips = 100e6;
+        options.parallel = withThreads(threads);
+        return options;
+    }
+
+    CacheSweep sweep;
+};
+
+TEST_F(CacheSweepFaultTest, SurvivesInjectionAndCountsExactly)
+{
+    const FaultInjector faults = injector(0.3);
+    const std::size_t armed = faults.armedCount(16);
+    ASSERT_GT(armed, 0u);
+    ASSERT_LT(armed, 16u);
+
+    const auto run = [&](std::size_t threads) {
+        auto options = gridOptions(threads);
+        options.failure_policy = FailurePolicy::skipAndRecord();
+        options.fault_injector = &faults;
+        FailureReport report;
+        options.failure_report = &report;
+        return std::make_pair(sweep.sweep(options), report);
+    };
+    const auto [serial_points, serial_report] = run(1);
+    const auto [parallel_points, parallel_report] = run(8);
+
+    EXPECT_EQ(serial_points.size(), 16u - armed);
+    EXPECT_EQ(serial_report.pointCount(), 16u);
+    EXPECT_EQ(serial_report.failureCount(), armed);
+    EXPECT_EQ(serial_points.size(), parallel_points.size());
+    for (std::size_t i = 0; i < serial_points.size(); ++i) {
+        EXPECT_EQ(serial_points[i].icache_bytes,
+                  parallel_points[i].icache_bytes);
+        EXPECT_EQ(serial_points[i].dcache_bytes,
+                  parallel_points[i].dcache_bytes);
+        EXPECT_DOUBLE_EQ(serial_points[i].ipc, parallel_points[i].ipc);
+    }
+    EXPECT_EQ(serial_report, parallel_report);
+    EXPECT_EQ(serial_report.summary(), parallel_report.summary());
+}
+
+TEST_F(CacheSweepFaultTest, ZeroFaultSkipPathMatchesFastPath)
+{
+    const auto fast = sweep.sweep(gridOptions(1));
+
+    auto options = gridOptions(1);
+    options.failure_policy = FailurePolicy::skipAndRecord();
+    FailureReport report;
+    options.failure_report = &report;
+    const auto isolated = sweep.sweep(options);
+
+    ASSERT_EQ(fast.size(), isolated.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(fast[i].icache_bytes, isolated[i].icache_bytes);
+        EXPECT_EQ(fast[i].dcache_bytes, isolated[i].dcache_bytes);
+        EXPECT_DOUBLE_EQ(fast[i].ipc, isolated[i].ipc);
+        EXPECT_DOUBLE_EQ(fast[i].ttm.value(), isolated[i].ttm.value());
+        EXPECT_DOUBLE_EQ(fast[i].cost.value(), isolated[i].cost.value());
+    }
+    EXPECT_TRUE(report.empty());
+}
+
+// ---------------------------------------------------------------- //
+// Production-split sweep (opt/split_optimizer)
+// ---------------------------------------------------------------- //
+
+class SplitFaultTest : public ::testing::Test
+{
+  protected:
+    static SplitPlanner
+    makePlanner(std::size_t threads, const FaultInjector* faults,
+                FailureReport* report)
+    {
+        TtmModel::Options model_options;
+        model_options.tapeout_engineers = kRavenTapeoutEngineers;
+        SplitPlanner::Options options;
+        for (int percent = 5; percent <= 100; percent += 5)
+            options.fractions.push_back(percent / 100.0);
+        options.parallel = withThreads(threads);
+        if (faults != nullptr) {
+            options.failure_policy = FailurePolicy::skipAndRecord();
+            options.fault_injector = faults;
+        }
+        options.failure_report = report;
+        return SplitPlanner(
+            TtmModel(defaultTechnologyDb(), model_options),
+            CostModel(defaultTechnologyDb()), options);
+    }
+
+    static ChipDesign
+    raven(const std::string& process)
+    {
+        return designs::ravenMulticore(process);
+    }
+
+    double n = 1e9;
+};
+
+TEST_F(SplitFaultTest, SurvivesInjectionAndCountsExactly)
+{
+    const FaultInjector faults = injector(0.2);
+    // The injector arms pass-1 TTM points only: [0, 20).
+    const std::size_t armed = faults.armedCount(20);
+    ASSERT_GT(armed, 0u);
+    ASSERT_LT(armed, 20u);
+
+    const auto run = [&](std::size_t threads) {
+        FailureReport report;
+        const SplitPlanner planner = makePlanner(threads, &faults, &report);
+        const ProductionPlan plan =
+            planner.optimizeCas(raven, n, "28nm", "40nm");
+        return std::make_pair(plan, report);
+    };
+    const auto [serial_plan, serial_report] = run(1);
+    const auto [parallel_plan, parallel_report] = run(8);
+
+    // Point space is 2F: pass-1 TTM plus pass-2 CAS slots.
+    EXPECT_EQ(serial_report.pointCount(), 40u);
+    EXPECT_EQ(serial_report.failureCount(), armed);
+    EXPECT_EQ(serial_plan.primary_fraction,
+              parallel_plan.primary_fraction);
+    EXPECT_DOUBLE_EQ(serial_plan.cas, parallel_plan.cas);
+    EXPECT_EQ(serial_report, parallel_report);
+    EXPECT_EQ(serial_report.summary(), parallel_report.summary());
+}
+
+TEST_F(SplitFaultTest, ZeroFaultSkipPathMatchesFastPath)
+{
+    const SplitPlanner fast = makePlanner(1, nullptr, nullptr);
+    const ProductionPlan fast_plan =
+        fast.optimizeCas(raven, n, "28nm", "40nm");
+
+    FailureReport report;
+    const FaultInjector disarmed = injector(0.0);
+    SplitPlanner::Options options;
+    // Re-build with skip-and-record explicitly (helper arms only when
+    // an enabled injector is supplied).
+    TtmModel::Options model_options;
+    model_options.tapeout_engineers = kRavenTapeoutEngineers;
+    for (int percent = 5; percent <= 100; percent += 5)
+        options.fractions.push_back(percent / 100.0);
+    options.parallel = withThreads(1);
+    options.failure_policy = FailurePolicy::skipAndRecord();
+    options.fault_injector = &disarmed;
+    options.failure_report = &report;
+    const SplitPlanner isolated(
+        TtmModel(defaultTechnologyDb(), model_options),
+        CostModel(defaultTechnologyDb()), options);
+    const ProductionPlan isolated_plan =
+        isolated.optimizeCas(raven, n, "28nm", "40nm");
+
+    EXPECT_EQ(fast_plan.primary, isolated_plan.primary);
+    EXPECT_EQ(fast_plan.secondary, isolated_plan.secondary);
+    EXPECT_DOUBLE_EQ(fast_plan.primary_fraction,
+                     isolated_plan.primary_fraction);
+    EXPECT_DOUBLE_EQ(fast_plan.cas, isolated_plan.cas);
+    EXPECT_DOUBLE_EQ(fast_plan.ttm.value(), isolated_plan.ttm.value());
+    EXPECT_DOUBLE_EQ(fast_plan.cost.value(), isolated_plan.cost.value());
+    EXPECT_TRUE(report.empty());
+    EXPECT_EQ(report.pointCount(), 40u);
+}
+
+// ---------------------------------------------------------------- //
+// Portfolio seeding (opt/portfolio)
+// ---------------------------------------------------------------- //
+
+class PortfolioFaultTest : public ::testing::Test
+{
+  protected:
+    static PortfolioPlanner
+    makePlanner(std::size_t threads, const FaultInjector* faults,
+                FailureReport* report)
+    {
+        TtmModel::Options model_options;
+        model_options.tapeout_engineers = kA11TapeoutEngineers;
+        PortfolioPlanner::Options options;
+        options.candidate_nodes = {"65nm", "40nm", "28nm", "14nm"};
+        options.parallel = withThreads(threads);
+        if (faults != nullptr) {
+            options.failure_policy = FailurePolicy::skipAndRecord();
+            options.fault_injector = faults;
+        }
+        options.failure_report = report;
+        return PortfolioPlanner(
+            TtmModel(defaultTechnologyDb(), model_options), options);
+    }
+
+    static PortfolioProduct
+    product(const std::string& name, double ntt, double chips,
+            double deadline)
+    {
+        PortfolioProduct p;
+        p.name = name;
+        p.design = makeMonolithicDesign(name, "28nm", ntt, ntt / 10.0,
+                                        Weeks(2.0));
+        p.n_chips = chips;
+        p.deadline = Weeks(deadline);
+        return p;
+    }
+};
+
+TEST_F(PortfolioFaultTest, SurvivesInjectionAndCountsExactly)
+{
+    // 2 products x 4 candidate nodes = 8 seeding points.
+    const FaultInjector faults = injector(0.25, 3);
+    const std::size_t armed = faults.armedCount(8);
+    ASSERT_GT(armed, 0u);
+    ASSERT_LT(armed, 4u); // each product must keep an unarmed node
+
+    const std::vector<PortfolioProduct> products{
+        product("a", 2e9, 10e6, 40.0),
+        product("b", 1e9, 20e6, 40.0),
+    };
+    const auto run = [&](std::size_t threads) {
+        FailureReport report;
+        const PortfolioPlanner planner =
+            makePlanner(threads, &faults, &report);
+        return std::make_pair(planner.plan(products), report);
+    };
+    const auto [serial_plan, serial_report] = run(1);
+    const auto [parallel_plan, parallel_report] = run(8);
+
+    EXPECT_EQ(serial_report.pointCount(), 8u);
+    EXPECT_EQ(serial_report.failureCount(), armed);
+    ASSERT_EQ(serial_plan.assignments.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(serial_plan.assignments[i].node,
+                  parallel_plan.assignments[i].node);
+        EXPECT_DOUBLE_EQ(serial_plan.assignments[i].ttm.value(),
+                         parallel_plan.assignments[i].ttm.value());
+    }
+    EXPECT_EQ(serial_report, parallel_report);
+    EXPECT_EQ(serial_report.summary(), parallel_report.summary());
+}
+
+TEST_F(PortfolioFaultTest, ZeroFaultSkipPathMatchesFastPath)
+{
+    const std::vector<PortfolioProduct> products{
+        product("a", 2e9, 10e6, 40.0),
+        product("b", 1e9, 20e6, 40.0),
+    };
+    const PortfolioPlanner fast = makePlanner(1, nullptr, nullptr);
+    const PortfolioPlan fast_plan = fast.plan(products);
+
+    FailureReport report;
+    const FaultInjector disarmed = injector(0.0);
+    const PortfolioPlanner isolated = makePlanner(1, &disarmed, &report);
+    const PortfolioPlan isolated_plan = isolated.plan(products);
+
+    ASSERT_EQ(fast_plan.assignments.size(),
+              isolated_plan.assignments.size());
+    for (std::size_t i = 0; i < fast_plan.assignments.size(); ++i) {
+        EXPECT_EQ(fast_plan.assignments[i].node,
+                  isolated_plan.assignments[i].node);
+        EXPECT_DOUBLE_EQ(fast_plan.assignments[i].share,
+                         isolated_plan.assignments[i].share);
+        EXPECT_DOUBLE_EQ(fast_plan.assignments[i].ttm.value(),
+                         isolated_plan.assignments[i].ttm.value());
+    }
+    EXPECT_DOUBLE_EQ(fast_plan.total_weighted_lateness,
+                     isolated_plan.total_weighted_lateness);
+    EXPECT_TRUE(report.empty());
+    EXPECT_EQ(report.pointCount(), 8u);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,6 +1,7 @@
 #include "support/threadpool.hh"
 
 #include <atomic>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -153,6 +154,55 @@ TEST(ParallelMapTest, MatchesSerialEvaluation)
         parallelMap<double>(ParallelConfig::serial(), 257, square);
     ASSERT_EQ(parallel_out.size(), 257u);
     EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelForTest, PropagatesLowestChunkIndexException)
+{
+    // Two chunks fail with distinct messages; whichever thread finishes
+    // first, the lowest-index chunk's exception must win — that is what
+    // makes parallel failure deterministic and serial-identical.
+    const auto body = [](std::size_t begin, std::size_t) {
+        if (begin == 2)
+            throw ModelError("failure at chunk 2");
+        if (begin == 10)
+            throw ModelError("failure at chunk 10");
+    };
+    for (int repeat = 0; repeat < 20; ++repeat) {
+        try {
+            parallelFor(ParallelConfig{8, 1}, 64, body);
+            FAIL() << "parallelFor did not propagate the exception";
+        } catch (const ModelError& error) {
+            EXPECT_NE(std::string(error.what()).find("chunk 2"),
+                      std::string::npos)
+                << "got: " << error.what();
+        }
+    }
+    // A serial chunk-by-chunk walk agrees: it hits chunk 2 first by
+    // construction, so the parallel winner is exactly the serial one.
+    try {
+        for (std::size_t begin = 0; begin < 64; ++begin)
+            body(begin, begin + 1);
+        FAIL() << "serial walk did not throw";
+    } catch (const ModelError& error) {
+        EXPECT_NE(std::string(error.what()).find("chunk 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(ParallelForTest, AllChunksFailingPropagatesChunkZero)
+{
+    try {
+        parallelFor(ParallelConfig{8, 1}, 32,
+                    [](std::size_t begin, std::size_t) {
+                        throw ModelError("failure at chunk " +
+                                         std::to_string(begin));
+                    });
+        FAIL() << "parallelFor did not propagate the exception";
+    } catch (const ModelError& error) {
+        EXPECT_NE(std::string(error.what()).find("chunk 0"),
+                  std::string::npos)
+            << "got: " << error.what();
+    }
 }
 
 TEST(ParallelMapTest, PropagatesException)

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Randomized robustness of the technology CSV codec:
+ *
+ *  - every randomly generated *valid* TechnologyDb must survive a
+ *    save -> load round trip exactly (value-identical, order-identical);
+ *  - every random single-byte corruption of a valid snapshot must
+ *    either still load (the corruption landed somewhere harmless, e.g.
+ *    a comment or a digit swap) or throw ModelError — never crash,
+ *    never loop, never produce an invalid database.
+ */
+
+#include "tech/dataset_io.hh"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "support/error.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+namespace {
+
+ProcessNode
+randomNode(Rng& rng, std::size_t index)
+{
+    ProcessNode node;
+    node.name = "node" + std::to_string(index);
+    node.feature_nm = rng.uniform(1.0, 500.0);
+    node.density_mtr_per_mm2 = rng.uniform(0.01, 300.0);
+    node.defect_density_per_mm2 = rng.uniform(0.0, 0.01);
+    node.wafer_rate_kwpm = rng.uniform(0.0, 500.0);
+    node.foundry_latency = Weeks(rng.uniform(0.0, 30.0));
+    node.osat_latency = Weeks(rng.uniform(0.0, 12.0));
+    node.tapeout_effort_hours_per_transistor = rng.uniform(1e-6, 1e-3);
+    node.testing_effort_weeks_per_e15 = rng.uniform(0.0, 0.01);
+    node.packaging_effort_weeks_per_e9_mm2 = rng.uniform(0.0, 0.5);
+    node.wafer_cost = Dollars(rng.uniform(0.0, 20000.0));
+    node.mask_set_cost = Dollars(rng.uniform(0.0, 5e6));
+    node.tapeout_fixed_cost = Dollars(rng.uniform(0.0, 5e6));
+    return node;
+}
+
+TechnologyDb
+randomDb(Rng& rng)
+{
+    TechnologyDb db;
+    const std::size_t nodes = 1 + rng.uniformInt(8);
+    for (std::size_t i = 0; i < nodes; ++i)
+        db.add(randomNode(rng, i));
+    return db;
+}
+
+TEST(DatasetIoRoundTripTest, RandomValidDatabasesRoundTripExactly)
+{
+    Rng rng(0x20260806ULL);
+    for (int trial = 0; trial < 25; ++trial) {
+        const TechnologyDb original = randomDb(rng);
+        const TechnologyDb loaded =
+            technologyFromCsv(technologyToCsv(original));
+
+        ASSERT_EQ(loaded.size(), original.size()) << "trial " << trial;
+        ASSERT_EQ(loaded.names(), original.names()) << "trial " << trial;
+        for (const ProcessNode& node : original.nodes()) {
+            const ProcessNode& copy = loaded.node(node.name);
+            // 17 significant digits in the writer: bit-exact doubles.
+            EXPECT_EQ(copy.feature_nm, node.feature_nm);
+            EXPECT_EQ(copy.density_mtr_per_mm2, node.density_mtr_per_mm2);
+            EXPECT_EQ(copy.defect_density_per_mm2,
+                      node.defect_density_per_mm2);
+            EXPECT_EQ(copy.wafer_rate_kwpm, node.wafer_rate_kwpm);
+            EXPECT_EQ(copy.foundry_latency.value(),
+                      node.foundry_latency.value());
+            EXPECT_EQ(copy.osat_latency.value(),
+                      node.osat_latency.value());
+            EXPECT_EQ(copy.tapeout_effort_hours_per_transistor,
+                      node.tapeout_effort_hours_per_transistor);
+            EXPECT_EQ(copy.testing_effort_weeks_per_e15,
+                      node.testing_effort_weeks_per_e15);
+            EXPECT_EQ(copy.packaging_effort_weeks_per_e9_mm2,
+                      node.packaging_effort_weeks_per_e9_mm2);
+            EXPECT_EQ(copy.wafer_cost.value(), node.wafer_cost.value());
+            EXPECT_EQ(copy.mask_set_cost.value(),
+                      node.mask_set_cost.value());
+            EXPECT_EQ(copy.tapeout_fixed_cost.value(),
+                      node.tapeout_fixed_cost.value());
+        }
+    }
+}
+
+TEST(DatasetIoRoundTripTest, RandomByteCorruptionsLoadOrThrowModelError)
+{
+    Rng rng(0xc0441257ULL);
+    const std::string clean = technologyToCsv(randomDb(rng));
+    // Printable noise plus the separators and controls most likely to
+    // confuse a line-and-cell oriented parser.
+    std::string alphabet =
+        ",.-+eE#\n\r\t 0123456789abcxyzNANINF\"';|";
+    alphabet.push_back('\0'); // embedded NUL must not break the parser
+
+    std::size_t survived = 0, rejected = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string corrupted = clean;
+        const std::size_t position = rng.uniformInt(corrupted.size());
+        corrupted[position] =
+            alphabet[rng.uniformInt(alphabet.size())];
+        try {
+            const TechnologyDb db = technologyFromCsv(corrupted);
+            // Whatever loaded must be a *valid* database.
+            for (const ProcessNode& node : db.nodes())
+                EXPECT_TRUE(node.violations().empty());
+            ++survived;
+        } catch (const ModelError&) {
+            ++rejected; // structured rejection is the contract
+        }
+        // Anything else (segfault, InternalError, std::bad_alloc,
+        // an uncaught std exception) fails the test by escaping.
+    }
+    // The corpus must exercise both outcomes to mean anything.
+    EXPECT_GT(survived, 0u);
+    EXPECT_GT(rejected, 0u);
+}
+
+TEST(DatasetIoRoundTripTest, TruncationsLoadOrThrowModelError)
+{
+    Rng rng(0x7254c473ULL);
+    const std::string clean = technologyToCsv(randomDb(rng));
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::string truncated =
+            clean.substr(0, rng.uniformInt(clean.size()));
+        try {
+            technologyFromCsv(truncated);
+        } catch (const ModelError&) {
+            // expected for most cut points
+        }
+    }
+}
+
+} // namespace
+} // namespace ttmcas

@@ -115,6 +115,125 @@ TEST(DatasetIoTest, LoadedNodesAreValidated)
     EXPECT_THROW(technologyFromCsv(csv), ModelError);
 }
 
+TEST(DatasetIoTest, RejectsDuplicateHeadersWithLocation)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    // Duplicate the first header column: "name,..." -> "name,name,...".
+    const auto pos = csv.find("name,");
+    ASSERT_NE(pos, std::string::npos);
+    csv.insert(pos, "name,");
+    try {
+        technologyFromCsv(csv);
+        FAIL() << "duplicate header was accepted";
+    } catch (const ModelError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("duplicate header 'name'"),
+                  std::string::npos)
+            << "got: " << what;
+        // Header is on line 2 (after the comment); the duplicate is
+        // column 2.
+        EXPECT_NE(what.find("line 2, column 2"), std::string::npos)
+            << "got: " << what;
+    }
+}
+
+TEST(DatasetIoTest, AcceptsCrlfLineEndingsAndTrailingWhitespace)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    // Re-render with Windows line endings and trailing blanks.
+    std::string crlf;
+    for (const char c : csv) {
+        if (c == '\n')
+            crlf += "  \t\r\n";
+        else
+            crlf += c;
+    }
+    const TechnologyDb db = technologyFromCsv(crlf);
+    EXPECT_EQ(db.size(), defaultTechnologyDb().size());
+    EXPECT_DOUBLE_EQ(db.node("7nm").wafer_rate_kwpm, 252.0);
+}
+
+TEST(DatasetIoTest, MalformedNumberErrorsCarryLineAndColumn)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    // Corrupt the first data row's feature_nm (line 3, column 2).
+    const auto header_end = csv.find('\n', csv.find("name,"));
+    const auto cell_start = csv.find(',', header_end) + 1;
+    const auto cell_end = csv.find(',', cell_start);
+    csv.replace(cell_start, cell_end - cell_start, "oops");
+    try {
+        technologyFromCsv(csv);
+        FAIL() << "malformed number was accepted";
+    } catch (const ModelError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("line 3, column 2"), std::string::npos)
+            << "got: " << what;
+        EXPECT_NE(what.find("'oops'"), std::string::npos);
+        EXPECT_NE(what.find("feature_nm"), std::string::npos);
+    }
+}
+
+TEST(DatasetIoTest, TrailingGarbageInNumberCarriesLineAndColumn)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    const auto pos = csv.find(",41,");
+    ASSERT_NE(pos, std::string::npos);
+    csv.replace(pos, 4, ",41abc,");
+    try {
+        technologyFromCsv(csv);
+        FAIL() << "trailing garbage was accepted";
+    } catch (const ModelError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("trailing characters"), std::string::npos);
+        EXPECT_NE(what.find("line "), std::string::npos);
+        EXPECT_NE(what.find(", column "), std::string::npos);
+    }
+}
+
+TEST(DatasetIoTest, ValidationErrorsNameTheOffendingLine)
+{
+    std::string csv = technologyToCsv(defaultTechnologyDb());
+    // Negative wafer rate on the first data row: validation rejects
+    // it, and the error must point at the CSV row (line 3: comment,
+    // header, first record).
+    const auto pos = csv.find(",41,");
+    ASSERT_NE(pos, std::string::npos);
+    csv.replace(pos, 4, ",-41,");
+    try {
+        technologyFromCsv(csv);
+        FAIL() << "invalid node was accepted";
+    } catch (const ModelError& error) {
+        EXPECT_NE(std::string(error.what()).find("line 3:"),
+                  std::string::npos)
+            << "got: " << error.what();
+    }
+}
+
+TEST(DatasetIoTest, MissingColumnErrorNamesTheHeaderLine)
+{
+    try {
+        technologyFromCsv("name,feature_nm\n28nm,28\n");
+        FAIL() << "missing columns were accepted";
+    } catch (const ModelError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("missing column"), std::string::npos);
+        EXPECT_NE(what.find("line 1"), std::string::npos)
+            << "got: " << what;
+    }
+}
+
+TEST(DatasetIoTest, HeaderlessInputReportsNoHeaderRow)
+{
+    try {
+        technologyFromCsv("# only a comment\n");
+        FAIL() << "headerless input was accepted";
+    } catch (const ModelError& error) {
+        EXPECT_NE(std::string(error.what()).find("no header row found"),
+                  std::string::npos)
+            << "got: " << error.what();
+    }
+}
+
 TEST(DatasetIoTest, FileRoundTrip)
 {
     const auto dir = std::filesystem::temp_directory_path() /
