@@ -1,5 +1,9 @@
 #include "bench_common.hh"
 
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/metrics.hh"
+
 namespace ttmcas::bench {
 
 void
@@ -14,6 +18,29 @@ emitCsv(const std::string& name, const std::string& content)
     const std::string path = std::string(kOutputDir) + "/" + name;
     writeFile(path, content);
     std::cout << "[csv] " << path << "\n";
+}
+
+void
+emitBenchJson(const std::string& name, const std::string& json_object)
+{
+    TTMCAS_REQUIRE(!json_object.empty() && json_object.front() == '{' &&
+                       json_object.back() == '}',
+                   "emitBenchJson needs a JSON object");
+    std::string content = json_object;
+    const obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    if (!snapshot.counters.empty() || !snapshot.gauges.empty() ||
+        !snapshot.histograms.empty()) {
+        // Splice "metrics": {...} in front of the closing brace.
+        const bool empty_object =
+            content.find_first_not_of(" \t\r\n", 1) == content.size() - 1;
+        std::string tail = empty_object ? "" : ",";
+        tail += "\"metrics\":" + snapshot.toJson() + "}";
+        content.replace(content.size() - 1, 1, tail);
+    }
+    parseJson(content); // fail loudly on malformed output
+    const std::string path = std::string(kOutputDir) + "/" + name;
+    writeFile(path, content);
+    std::cout << "[json] " << path << "\n";
 }
 
 const std::vector<std::string>&

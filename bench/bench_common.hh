@@ -32,6 +32,21 @@ void banner(const std::string& title);
 /** Write CSV content under bench_out/ and announce the path. */
 void emitCsv(const std::string& name, const std::string& content);
 
+/**
+ * Write a JSON object under bench_out/ and announce the path. When the
+ * metrics registry holds any data (see support/metrics.hh), a
+ * "metrics" block with the merged snapshot is spliced into the
+ * top-level object so BENCH_*.json files carry the run's counters and
+ * latency histograms alongside the benchmark figures. The result is
+ * re-parsed before writing, so malformed JSON fails loudly instead of
+ * landing in bench_out/.
+ *
+ * @param name file name under bench_out/ (e.g. "BENCH_parallel.json")
+ * @param json_object a complete JSON object ("{...}")
+ */
+void emitBenchJson(const std::string& name,
+                   const std::string& json_object);
+
 /** The ten process nodes of the paper's figures, coarsest first. */
 const std::vector<std::string>& paperNodes();
 

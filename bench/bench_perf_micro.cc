@@ -22,6 +22,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "core/cas.hh"
 #include "core/reference_designs.hh"
 #include "core/uncertainty.hh"
@@ -30,6 +31,8 @@
 #include "sim/pipeline.hh"
 #include "sim/trace.hh"
 #include "stats/rng.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 #include "tech/default_dataset.hh"
 
 namespace {
@@ -138,6 +141,47 @@ BM_SobolSixInputs256(benchmark::State& state)
 }
 BENCHMARK(BM_SobolSixInputs256);
 
+// --- Observability disabled-path overhead ---------------------------
+//
+// The zero-overhead-when-disabled contract (support/trace.hh,
+// support/metrics.hh): with recording off, a span or counter op is one
+// relaxed atomic load plus a branch — no clock read, no lock, no
+// allocation. These benchmarks pin that down in nanoseconds.
+
+void
+BM_DisabledSpanOverhead(benchmark::State& state)
+{
+    obs::setTracingEnabled(false);
+    for (auto _ : state) {
+        const obs::ScopedSpan span("bench", "disabled");
+        benchmark::DoNotOptimize(&span);
+    }
+}
+BENCHMARK(BM_DisabledSpanOverhead);
+
+void
+BM_DisabledCounterOverhead(benchmark::State& state)
+{
+    obs::setMetricsEnabled(false);
+    static const obs::Counter counter("bench.disabled_counter");
+    for (auto _ : state)
+        counter.increment();
+}
+BENCHMARK(BM_DisabledCounterOverhead);
+
+void
+BM_DisabledTimerOverhead(benchmark::State& state)
+{
+    obs::setMetricsEnabled(false);
+    static const obs::Histogram histogram("bench.disabled_timer_us",
+                                          {1.0, 10.0, 100.0});
+    for (auto _ : state) {
+        const obs::ScopedTimer timer(histogram);
+        benchmark::DoNotOptimize(&timer);
+    }
+}
+BENCHMARK(BM_DisabledTimerOverhead);
+
 // --- Parallel engine scaling: threads is the benchmark argument. ---
 
 UncertaintyAnalysis::Options
@@ -215,6 +259,10 @@ timeMs(Kernel&& kernel)
 void
 writeParallelSnapshot()
 {
+    // The BM_ loops above run with observability off (measuring the
+    // disabled path); the snapshot pass records metrics so the JSON
+    // gains a "metrics" block (mc.samples, sobol.evaluations, pool.*).
+    obs::setMetricsEnabled(true);
     const UncertaintyAnalysis analysis(defaultTechnologyDb(),
                                        a11Options());
     const ChipDesign a11 = designs::a11("7nm");
@@ -267,11 +315,10 @@ writeParallelSnapshot()
     };
     emitKernel("monte_carlo_ttm", 4096, mc_ms, false);
     emitKernel("sobol_six_inputs", 256, sobol_ms, true);
-    json << "}\n";
+    json << "}";
 
-    const std::string path = "bench_out/BENCH_parallel.json";
-    writeFile(path, json.str());
-    std::cout << "[json] " << path << "\n";
+    bench::emitBenchJson("BENCH_parallel.json", json.str());
+    obs::setMetricsEnabled(false);
 }
 
 } // namespace

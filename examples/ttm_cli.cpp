@@ -10,6 +10,8 @@
  *           [--capacity 0.8] [--queue 2]
  *           [--snapshot market.csv] [--all-nodes] [--risk <deadline>]
  *           [--skip-failures]
+ *           [--trace=trace.json] [--metrics=metrics.json]
+ *           [--manifest=manifest.json]
  *
  * With --all-nodes, the design is re-targeted to every in-production
  * node and the full comparison table is printed. With --risk, a
@@ -19,21 +21,39 @@
  * --skip-failures turns the --all-nodes sweep fault-tolerant: a node
  * whose evaluation fails is dropped from the table, the failure report
  * goes to stderr, and the exit code is 2 (0 = clean, 1 = hard error).
+ *
+ * --trace / --metrics / --manifest turn on the observability layer
+ * (docs/OBSERVABILITY.md): in addition to the normal evaluation, a
+ * compact sweep exercises every instrumented batch kernel (Monte-
+ * Carlo sampling, Sobol analysis + bootstrap, the cache sweep, the
+ * split planner, and the portfolio planner) so the emitted Chrome
+ * trace, metrics snapshot, and run manifest cover the full span
+ * taxonomy. All three flags accept "--flag value" or "--flag=value".
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/cas.hh"
 #include "core/design_io.hh"
 #include "core/risk.hh"
+#include "core/uncertainty.hh"
 #include "econ/cost_model.hh"
+#include "opt/cache_optimizer.hh"
+#include "opt/portfolio.hh"
+#include "opt/split_optimizer.hh"
 #include "report/table.hh"
+#include "stats/distributions.hh"
+#include "stats/sobol.hh"
+#include "support/metrics.hh"
 #include "support/outcome.hh"
+#include "support/run_manifest.hh"
 #include "support/strutil.hh"
+#include "support/trace.hh"
 #include "tech/dataset_io.hh"
 #include "tech/default_dataset.hh"
 
@@ -56,6 +76,15 @@ struct CliArgs
     double risk_deadline = 0.0;
     std::string design_file;
     bool skip_failures = false;
+    std::string trace_file;
+    std::string metrics_file;
+    std::string manifest_file;
+
+    bool wantsObservability() const
+    {
+        return !trace_file.empty() || !metrics_file.empty() ||
+               !manifest_file.empty();
+    }
 };
 
 [[noreturn]] void
@@ -66,7 +95,9 @@ usage()
            "              [--design-weeks w] [--engineers e]\n"
            "              [--capacity f] [--queue w]\n"
            "              [--snapshot file.csv] [--all-nodes]\n"
-           "              [--risk deadline_weeks] [--skip-failures]\n";
+           "              [--risk deadline_weeks] [--skip-failures]\n"
+           "              [--trace=file.json] [--metrics=file.json]\n"
+           "              [--manifest=file.json]\n";
     std::exit(2);
 }
 
@@ -80,17 +111,33 @@ parseArgs(int argc, char** argv)
         {"--engineers", 1},  {"--capacity", 1}, {"--queue", 1},
         {"--snapshot", 1},   {"--all-nodes", 0}, {"--risk", 1},
         {"--design", 1},     {"--skip-failures", 0},
+        {"--trace", 1},      {"--metrics", 1},  {"--manifest", 1},
     };
     for (int i = 1; i < argc; ++i) {
-        const std::string flag = argv[i];
+        std::string flag = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline_value = false;
+        const std::size_t equals = flag.find('=');
+        if (equals != std::string::npos) {
+            inline_value = flag.substr(equals + 1);
+            flag = flag.substr(0, equals);
+            has_inline_value = true;
+        }
         auto it = flags.find(flag);
         if (it == flags.end())
             usage();
         std::string value;
         if (it->second == 1) {
-            if (i + 1 >= argc)
-                usage();
-            value = argv[++i];
+            if (has_inline_value) {
+                value = inline_value;
+            } else {
+                if (i + 1 >= argc)
+                    usage();
+                value = argv[++i];
+            }
+        } else if (has_inline_value) {
+            usage();
         }
         try {
             if (flag == "--node")
@@ -119,11 +166,175 @@ parseArgs(int argc, char** argv)
                 args.design_file = value;
             else if (flag == "--skip-failures")
                 args.skip_failures = true;
+            else if (flag == "--trace")
+                args.trace_file = value;
+            else if (flag == "--metrics")
+                args.metrics_file = value;
+            else if (flag == "--manifest")
+                args.manifest_file = value;
         } catch (const std::exception&) {
             usage();
         }
     }
     return args;
+}
+
+/** A synthetic miss curve covering exactly @p sizes (for the sweep). */
+MissCurve
+syntheticMissCurve(const std::string& workload, bool instruction_stream,
+                   const std::vector<std::uint64_t>& sizes)
+{
+    MissCurve curve;
+    curve.workload = workload;
+    curve.instruction_stream = instruction_stream;
+    curve.sizes_bytes = sizes;
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        curve.miss_rates.push_back(0.2 / static_cast<double>(i + 1));
+    return curve;
+}
+
+/**
+ * Exercise every instrumented batch kernel once with small workloads
+ * so the emitted trace/metrics/manifest cover the full span taxonomy:
+ * sampleTtm (Monte-Carlo), sobolAnalyze + sobolBootstrapCi,
+ * CacheSweep::sweep, SplitPlanner::optimizeCas, and
+ * PortfolioPlanner::plan.
+ */
+void
+runObservabilitySweep(const TechnologyDb& db, const ChipDesign& design,
+                      const CliArgs& args, obs::RunManifest& manifest)
+{
+    TtmModel::Options model_options;
+    model_options.tapeout_engineers = args.engineers;
+    const TtmModel model(db, model_options);
+    const double n_chips = 1e6;
+    constexpr std::uint64_t kSweepSeed = 2023;
+
+    // 1. Monte-Carlo uncertainty propagation (drawSamples).
+    const UncertaintyAnalysis analysis(db, model_options);
+    UncertaintyAnalysis::Options mc;
+    mc.samples = 64;
+    mc.band = 0.05;
+    mc.seed = kSweepSeed;
+    {
+        obs::ManifestKernelScope scope(manifest, "sampleTtm");
+        scope.setPoints(mc.samples);
+        analysis.sampleTtm(design, n_chips, {}, mc);
+    }
+
+    // 2. Sobol sensitivity + bootstrap confidence intervals over three
+    // scale factors (N_TT, D0, L_fab).
+    {
+        const std::vector<std::unique_ptr<Distribution>> owned = [] {
+            std::vector<std::unique_ptr<Distribution>> dists;
+            for (int i = 0; i < 3; ++i)
+                dists.push_back(relativeUniform(1.0, 0.05));
+            return dists;
+        }();
+        const std::vector<SensitivityInput> inputs{
+            {"NTT", owned[0].get()},
+            {"D0", owned[1].get()},
+            {"Lfab", owned[2].get()}};
+        const auto sobol_model =
+            [&](const std::vector<double>& point) {
+                InputFactors factors = nominalFactors();
+                factors[0] = point[0]; // N_TT
+                factors[2] = point[1]; // D0
+                factors[4] = point[2]; // L_fab
+                return analysis.ttmWithFactors(design, n_chips, {}, factors)
+                    .value();
+            };
+        SobolOptions sobol_options;
+        sobol_options.base_samples = 32;
+        sobol_options.seed = kSweepSeed;
+        SobolRowData rows;
+        {
+            obs::ManifestKernelScope scope(manifest, "sobolAnalyze");
+            scope.setPoints((inputs.size() + 2) *
+                            sobol_options.base_samples);
+            sobolAnalyze(inputs, sobol_model, sobol_options, &rows);
+        }
+        SobolBootstrapOptions bootstrap;
+        bootstrap.resamples = 16;
+        bootstrap.coverage = 0.9;
+        bootstrap.seed = kSweepSeed;
+        {
+            obs::ManifestKernelScope scope(manifest, "sobolBootstrapCi");
+            scope.setPoints(bootstrap.resamples);
+            sobolBootstrapCi(rows, bootstrap);
+        }
+    }
+
+    // 3. Cache design-space sweep on a synthetic 3x3 miss-curve grid.
+    {
+        const std::vector<std::uint64_t> sizes{4096, 16384, 65536};
+        const CacheSweep cache_sweep(
+            db, syntheticMissCurve("obs-sweep", true, sizes),
+            syntheticMissCurve("obs-sweep", false, sizes), IpcModel{},
+            ArianeChipSpec{});
+        CacheSweepOptions sweep_options;
+        sweep_options.sizes_bytes = sizes;
+        sweep_options.process = args.node;
+        sweep_options.n_chips = n_chips;
+        obs::ManifestKernelScope scope(manifest, "CacheSweep::sweep");
+        scope.setPoints(sizes.size() * sizes.size());
+        cache_sweep.sweep(sweep_options);
+    }
+
+    // The split/portfolio kernels retarget the design across nodes, so
+    // probe for two nodes the die actually fits first.
+    std::vector<std::string> feasible;
+    for (const std::string& node : db.availableNames()) {
+        if (feasible.size() >= 2)
+            break;
+        try {
+            model.evaluate(retargetDesign(design, node), n_chips);
+            feasible.push_back(node);
+        } catch (const ModelError&) {
+            // die does not fit / node out of production: not a candidate
+        }
+    }
+    if (feasible.size() < 2) {
+        std::cerr << "warning: observability sweep found fewer than two "
+                     "feasible nodes; skipping split/portfolio kernels\n";
+        return;
+    }
+    const DesignFactory factory = [&](const std::string& node) {
+        return retargetDesign(design, node);
+    };
+
+    // 4. Production split planner.
+    {
+        SplitPlanner::Options split_options;
+        split_options.fractions = {0.25, 0.5, 0.75, 1.0};
+        const SplitPlanner planner(model, CostModel(db), split_options);
+        obs::ManifestKernelScope scope(manifest,
+                                       "SplitPlanner::optimizeCas");
+        scope.setPoints(2 * split_options.fractions.size());
+        planner.optimizeCas(factory, n_chips, feasible[0], feasible[1],
+                            {});
+    }
+
+    // 5. Portfolio planner over two products and the feasible nodes.
+    {
+        PortfolioPlanner::Options portfolio_options;
+        portfolio_options.candidate_nodes = feasible;
+        portfolio_options.max_moves = 4;
+        const PortfolioPlanner planner(model, portfolio_options);
+        std::vector<PortfolioProduct> products(2);
+        products[0].name = "obs-a";
+        products[1].name = "obs-b";
+        for (auto& product : products) {
+            product.design = design;
+            product.n_chips = n_chips;
+            product.deadline = Weeks(1000.0);
+            product.weight = 1.0;
+        }
+        obs::ManifestKernelScope scope(manifest,
+                                       "PortfolioPlanner::plan");
+        scope.setPoints(products.size() * feasible.size());
+        planner.plan(products);
+    }
 }
 
 } // namespace
@@ -133,6 +344,19 @@ main(int argc, char** argv)
 {
     const CliArgs args = parseArgs(argc, argv);
     bool skipped_failures = false;
+
+    obs::RunManifest manifest;
+    if (args.wantsObservability()) {
+        obs::setTracingEnabled(!args.trace_file.empty());
+        obs::setMetricsEnabled(true);
+        manifest.tool = "ttm_cli";
+        manifest.git_hash = obs::buildGitHash();
+        manifest.seed = 2023;
+        manifest.threads = ParallelConfig{}.resolvedThreads();
+        manifest.setPolicy(args.skip_failures
+                               ? FailurePolicy::skipAndRecord()
+                               : FailurePolicy());
+    }
 
     try {
         const TechnologyDb db = args.snapshot.empty()
@@ -264,6 +488,19 @@ main(int argc, char** argv)
                       << " disruption forecast; p95 TTM "
                       << formatFixed(risk.ttm.percentile(95.0), 1)
                       << " wk\n";
+        }
+
+        if (args.wantsObservability()) {
+            {
+                const obs::ScopedSpan span("cli", "observability_sweep");
+                runObservabilitySweep(db, design, args, manifest);
+            }
+            if (!args.trace_file.empty())
+                obs::writeChromeTrace(args.trace_file);
+            if (!args.metrics_file.empty())
+                obs::writeMetrics(args.metrics_file);
+            if (!args.manifest_file.empty())
+                manifest.write(args.manifest_file);
         }
     } catch (const Error& error) {
         std::cerr << "error: " << error.what() << "\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hh"
+#include "support/metrics.hh"
 #include "support/outcome.hh"
 
 namespace ttmcas {
@@ -12,6 +13,14 @@ namespace {
 /** Scale factors that keep the stored effort magnitudes readable. */
 constexpr double kTestingEffortScale = 1e15;   // transistor-chips
 constexpr double kPackagingEffortScale = 1e9;  // chip-die-mm^2
+
+/** Shared bucket bounds for the per-stage wall-clock histograms. */
+std::vector<double>
+stageBounds()
+{
+    return {0.5,    1.0,    2.0,     5.0,     10.0,     50.0,
+            100.0,  500.0,  1000.0,  10000.0, 100000.0, 1000000.0};
+}
 
 } // namespace
 
@@ -72,96 +81,125 @@ TtmModel::evaluate(const ChipDesign& design, double n_chips,
     design.validateAgainst(_db);
     TTMCAS_REQUIRE(n_chips > 0.0, "number of final chips must be positive");
 
+    // Stage wall-clock accounting (docs/OBSERVABILITY.md): one
+    // histogram per model phase, all no-ops while metrics are off.
+    static const obs::Counter evaluations("ttm.evaluations");
+    static const obs::Histogram design_us("ttm.stage.design_us",
+                                          stageBounds());
+    static const obs::Histogram tapeout_us("ttm.stage.tapeout_us",
+                                           stageBounds());
+    static const obs::Histogram fab_us("ttm.stage.fab_us", stageBounds());
+    static const obs::Histogram package_us("ttm.stage.package_us",
+                                           stageBounds());
+    evaluations.increment();
+
     TtmResult result;
-    result.design_time = design.design_time;
-
-    // --- Tapeout phase (Eq. 2) -----------------------------------------
-    double effort_hours = 0.0;
-    for (const std::string& process : design.processNodes()) {
-        const ProcessNode& node = _db.node(process);
-        effort_hours += design.uniqueTransistorsAt(process) *
-                        node.tapeout_effort_hours_per_transistor;
-    }
-    result.tapeout_effort = EngineeringHours(effort_hours);
-    result.tapeout_time = units::calendarTime(
-        result.tapeout_effort, _options.tapeout_engineers);
-
-    // --- Per-die fabrication demand (Eq. 5/6 inputs) --------------------
-    for (const auto& die : design.dies) {
-        const ProcessNode& node = _db.node(die.process);
-        DieDetail detail;
-        detail.die_name = die.name;
-        detail.process = die.process;
-        detail.area = die.areaAt(node);
-        detail.yield = dieYield(die, node);
-        detail.gross_dies_per_wafer =
-            _options.wafer.grossDiesPerWafer(detail.area);
-        detail.good_dies_per_wafer =
-            _options.wafer.goodDiesPerWafer(detail.area, detail.yield);
-        detail.dies_needed = n_chips * die.count_per_package;
-        detail.wafers = _options.wafer.wafersFor(detail.dies_needed,
-                                                 detail.area, detail.yield);
-        result.die_details.push_back(std::move(detail));
+    {
+        // --- Design phase (Eq. 1 input): fixed schedule term --------
+        const obs::ScopedTimer timer(design_us);
+        result.design_time = design.design_time;
     }
 
-    // --- Fabrication phase (Eq. 3/4/5): max over nodes ------------------
-    Weeks worst_fab{0.0};
-    for (const std::string& process : design.processNodes()) {
-        const ProcessNode& node = _db.node(process);
-        const WafersPerWeek rate = market.effectiveWaferRate(node);
-        TTMCAS_REQUIRE(rate.value() > 0.0,
-                       "design '" + design.name + "': node '" + process +
-                           "' has no production capacity under the given "
-                           "market conditions");
-
-        NodeFabDetail detail;
-        detail.process = process;
-        detail.effective_rate = rate;
-        for (const auto& die_detail : result.die_details) {
-            if (die_detail.process == process)
-                detail.wafers += die_detail.wafers;
+    {
+        // --- Tapeout phase (Eq. 2) ----------------------------------
+        const obs::ScopedTimer timer(tapeout_us);
+        double effort_hours = 0.0;
+        for (const std::string& process : design.processNodes()) {
+            const ProcessNode& node = _db.node(process);
+            effort_hours += design.uniqueTransistorsAt(process) *
+                            node.tapeout_effort_hours_per_transistor;
         }
-        detail.queue_time =
-            units::productionTime(market.queueWafers(node), rate);
-        detail.production_time =
-            units::productionTime(detail.wafers, rate) +
-            node.foundry_latency;
+        result.tapeout_effort = EngineeringHours(effort_hours);
+        result.tapeout_time = units::calendarTime(
+            result.tapeout_effort, _options.tapeout_engineers);
+    }
 
-        const Weeks fab = detail.fabTime();
-        if (result.node_details.empty() || fab > worst_fab) {
-            worst_fab = fab;
-            result.fab_bottleneck = process;
+    {
+        // Fab stage: per-die demand plus the queue+production phase.
+        const obs::ScopedTimer timer(fab_us);
+
+        // --- Per-die fabrication demand (Eq. 5/6 inputs) ------------
+        for (const auto& die : design.dies) {
+            const ProcessNode& node = _db.node(die.process);
+            DieDetail detail;
+            detail.die_name = die.name;
+            detail.process = die.process;
+            detail.area = die.areaAt(node);
+            detail.yield = dieYield(die, node);
+            detail.gross_dies_per_wafer =
+                _options.wafer.grossDiesPerWafer(detail.area);
+            detail.good_dies_per_wafer =
+                _options.wafer.goodDiesPerWafer(detail.area, detail.yield);
+            detail.dies_needed = n_chips * die.count_per_package;
+            detail.wafers = _options.wafer.wafersFor(
+                detail.dies_needed, detail.area, detail.yield);
+            result.die_details.push_back(std::move(detail));
         }
-        result.node_details.push_back(std::move(detail));
+
+        // --- Fabrication phase (Eq. 3/4/5): max over nodes ----------
+        Weeks worst_fab{0.0};
+        for (const std::string& process : design.processNodes()) {
+            const ProcessNode& node = _db.node(process);
+            const WafersPerWeek rate = market.effectiveWaferRate(node);
+            TTMCAS_REQUIRE(rate.value() > 0.0,
+                           "design '" + design.name + "': node '" +
+                               process +
+                               "' has no production capacity under the "
+                               "given market conditions");
+
+            NodeFabDetail detail;
+            detail.process = process;
+            detail.effective_rate = rate;
+            for (const auto& die_detail : result.die_details) {
+                if (die_detail.process == process)
+                    detail.wafers += die_detail.wafers;
+            }
+            detail.queue_time =
+                units::productionTime(market.queueWafers(node), rate);
+            detail.production_time =
+                units::productionTime(detail.wafers, rate) +
+                node.foundry_latency;
+
+            const Weeks fab = detail.fabTime();
+            if (result.node_details.empty() || fab > worst_fab) {
+                worst_fab = fab;
+                result.fab_bottleneck = process;
+            }
+            result.node_details.push_back(std::move(detail));
+        }
+        result.fab_time = worst_fab;
     }
-    result.fab_time = worst_fab;
 
-    // --- Packaging phase (Eq. 7), applied per die type and summed -------
-    Weeks latency{0.0};
-    double testing_weeks = 0.0;
-    double assembly_weeks = 0.0;
-    for (const auto& die : design.dies) {
-        const ProcessNode& node = _db.node(die.process);
-        latency = std::max(latency, node.osat_latency);
+    {
+        // --- Packaging phase (Eq. 7): test + assembly per die type --
+        const obs::ScopedTimer timer(package_us);
+        Weeks latency{0.0};
+        double testing_weeks = 0.0;
+        double assembly_weeks = 0.0;
+        for (const auto& die : design.dies) {
+            const ProcessNode& node = _db.node(die.process);
+            latency = std::max(latency, node.osat_latency);
 
-        const double yield = dieYield(die, node);
-        const double dies_tested =
-            n_chips * die.count_per_package / yield;
-        testing_weeks += dies_tested * die.total_transistors *
-                         node.testing_effort_weeks_per_e15 /
-                         kTestingEffortScale;
+            const double yield = dieYield(die, node);
+            const double dies_tested =
+                n_chips * die.count_per_package / yield;
+            testing_weeks += dies_tested * die.total_transistors *
+                             node.testing_effort_weeks_per_e15 /
+                             kTestingEffortScale;
 
-        const SquareMm area = die.areaAt(node);
-        assembly_weeks += n_chips * die.count_per_package * area.value() *
-                          node.packaging_effort_weeks_per_e9_mm2 /
-                          kPackagingEffortScale;
+            const SquareMm area = die.areaAt(node);
+            assembly_weeks += n_chips * die.count_per_package *
+                              area.value() *
+                              node.packaging_effort_weeks_per_e9_mm2 /
+                              kPackagingEffortScale;
+        }
+        result.packaging_latency = latency;
+        result.testing_time = Weeks(testing_weeks);
+        result.assembly_time = Weeks(assembly_weeks);
+        result.packaging_time =
+            result.packaging_latency + result.testing_time +
+            result.assembly_time;
     }
-    result.packaging_latency = latency;
-    result.testing_time = Weeks(testing_weeks);
-    result.assembly_time = Weeks(assembly_weeks);
-    result.packaging_time =
-        result.packaging_latency + result.testing_time +
-        result.assembly_time;
 
     // Boundary guard: a finite, valid input set must never leak a NaN
     // or infinite schedule out of the model.

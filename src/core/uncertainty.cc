@@ -6,6 +6,8 @@
 #include "stats/fault_injection.hh"
 #include "stats/rng.hh"
 #include "support/error.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace ttmcas {
 
@@ -153,6 +155,11 @@ drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
     TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
     TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
                    "uncertainty band must be in [0, 1)");
+    // Observability: one span per invocation, one count per drawn
+    // sample. The counter is bumped per chunk inside the loop bodies,
+    // so the merged total is n for any thread count or grain.
+    const obs::ScopedSpan span("mc", kernel);
+    static const obs::Counter samples_drawn("mc.samples");
     Rng parent(options.seed);
     std::vector<Rng> streams;
     streams.reserve(options.samples);
@@ -171,6 +178,7 @@ drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
                     [&](std::size_t begin, std::size_t end) {
                         for (std::size_t i = begin; i < end; ++i)
                             samples[i] = sample(streams[i]);
+                        samples_drawn.add(end - begin);
                     });
         return samples;
     }
@@ -187,6 +195,7 @@ drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
                             injector, DiagCode::NonFiniteOutput, kernel, i,
                             [&] { return sample(streams[i]); });
                     }
+                    samples_drawn.add(end - begin);
                 });
     enforcePolicy(outcomes, options.failure_policy, options.failure_report,
                   kernel);

@@ -5,6 +5,8 @@
 #include "core/ttm_model.hh"
 #include "stats/fault_injection.hh"
 #include "support/error.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace ttmcas {
 
@@ -47,6 +49,9 @@ CacheSweep::evaluate(std::uint64_t icache_bytes, std::uint64_t dcache_bytes,
 std::vector<CacheDesignPoint>
 CacheSweep::sweep(const CacheSweepOptions& options) const
 {
+    const obs::ScopedSpan span("sweep", "CacheSweep::sweep");
+    static const obs::Counter points_evaluated("sweep.points");
+
     const std::vector<std::uint64_t> sizes =
         options.sizes_bytes.empty() ? MissCurveOptions::paperSizes()
                                     : options.sizes_bytes;
@@ -63,6 +68,7 @@ CacheSweep::sweep(const CacheSweepOptions& options) const
     if (!isolated) {
         return parallelMap<CacheDesignPoint>(
             options.parallel, total, [&](std::size_t flat) {
+                points_evaluated.increment();
                 return evaluate(sizes[flat / count], sizes[flat % count],
                                 options);
             });
@@ -96,6 +102,7 @@ CacheSweep::sweep(const CacheSweepOptions& options) const
                             return point;
                         });
                     }
+                    points_evaluated.add(end - begin);
                 });
     enforcePolicy(outcomes, options.failure_policy, options.failure_report,
                   "CacheSweep::sweep");

@@ -7,6 +7,8 @@
 
 #include "stats/fault_injection.hh"
 #include "support/error.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace ttmcas {
 
@@ -110,6 +112,10 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
     const std::vector<std::string> nodes = candidates();
     TTMCAS_REQUIRE(!nodes.empty(), "no candidate nodes");
 
+    const obs::ScopedSpan span("opt", "PortfolioPlanner::plan");
+    static const obs::Counter seed_counter("opt.portfolio_seed_points");
+    static const obs::Counter move_counter("opt.portfolio_moves");
+
     // Seed: each product's best node assuming a private line. The
     // product x node TTM matrix is evaluated in parallel (infinity =
     // die does not fit); the per-product argmin scans stay serial so
@@ -124,6 +130,7 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
     if (!isolated) {
         seed_ttm = parallelMap<double>(
             _options.parallel, seed_points, [&](std::size_t flat) {
+                seed_counter.increment();
                 const PortfolioProduct& product =
                     products[flat / node_count];
                 const std::string& node = nodes[flat % node_count];
@@ -172,6 +179,7 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
                         }
                     });
                 }
+                seed_counter.add(end - begin);
             });
         enforcePolicy(outcomes, _options.failure_policy,
                       _options.failure_report, "PortfolioPlanner::plan");
@@ -222,6 +230,7 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
                     continue; // move infeasible (die fit, dead node)
                 }
                 ++moves;
+                move_counter.increment();
                 if (trial_plan.total_weighted_lateness <
                     best_plan.total_weighted_lateness - 1e-9) {
                     best_plan = std::move(trial_plan);

@@ -7,6 +7,8 @@
 #include "stats/fault_injection.hh"
 #include "support/error.hh"
 #include "support/mathutil.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace ttmcas {
 
@@ -150,6 +152,9 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
     TTMCAS_REQUIRE(primary != secondary,
                    "primary and secondary nodes must differ");
 
+    const obs::ScopedSpan obs_span("opt", "SplitPlanner::optimizeCas");
+    static const obs::Counter split_points("opt.split_points");
+
     const std::size_t fraction_count = _options.fractions.size();
     const FaultInjector* injector = _options.fault_injector;
     const bool isolated = _options.failure_policy.skips() ||
@@ -160,6 +165,7 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
         // one slot per fraction), and the best achievable.
         const std::vector<double> ttm_weeks = parallelMap<double>(
             _options.parallel, fraction_count, [&](std::size_t i) {
+                split_points.increment();
                 return combinedTtmWeeks(factory, n_chips, primary,
                                         secondary, _options.fractions[i],
                                         market);
@@ -177,6 +183,7 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
         const double nan = std::numeric_limits<double>::quiet_NaN();
         const std::vector<double> cas_scores = parallelMap<double>(
             _options.parallel, fraction_count, [&](std::size_t i) {
+                split_points.increment();
                 if (ttm_weeks[i] > ttm_limit)
                     return nan;
                 return cas(factory, n_chips, primary, secondary,
@@ -222,6 +229,7 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
                                     _options.fractions[i], market);
                             });
                     }
+                    split_points.add(end - begin);
                 });
     double best_ttm = 0.0;
     bool have_ttm = false;
@@ -257,6 +265,7 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
                                            _options.fractions[i], market);
                             });
                     }
+                    split_points.add(end - begin);
                 });
 
     std::vector<Outcome<double>> all_outcomes = ttm_outcomes;

@@ -40,6 +40,7 @@ class FaultInjector
         Throw = 3,       ///< throw NumericError (a ModelError)
     };
 
+    /** Arming configuration. */
     struct Options
     {
         /** Per-point fault probability in [0, 1]. */
@@ -51,8 +52,10 @@ class FaultInjector
     /** A disarmed injector (probability 0). */
     FaultInjector() = default;
 
+    /** An injector arming points per @p options (validates them). */
     explicit FaultInjector(Options options);
 
+    /** The arming configuration this injector was built with. */
     const Options& options() const { return _options; }
 
     /** True when the injector can arm any point at all. */

@@ -9,6 +9,8 @@
 #include "stats/rng.hh"
 #include "stats/summary.hh"
 #include "support/error.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace ttmcas {
 
@@ -89,6 +91,9 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
              const std::function<double(const std::vector<double>&)>& model,
              const SobolOptions& options, SobolRowData* rows)
 {
+    const obs::ScopedSpan span("sobol", "sobolAnalyze");
+    static const obs::Counter evaluations("sobol.evaluations");
+
     const std::size_t k = inputs.size();
     const std::size_t n = options.base_samples;
     TTMCAS_REQUIRE(k > 0, "sobolAnalyze needs at least one input");
@@ -163,6 +168,7 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
                                "sobolAnalyze", n + j,
                                [&] { return model(mat_b[j]); });
                        }
+                       evaluations.add(2 * (end - begin));
                    });
         std::vector<std::vector<Outcome<double>>> out_ab(
             k, std::vector<Outcome<double>>(n));
@@ -179,6 +185,7 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
                                    "sobolAnalyze", (2 + i) * n + j,
                                    [&] { return model(point); });
                            }
+                           evaluations.add(end - begin);
                        });
         }
 
@@ -252,6 +259,7 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
                        f_a[j] = model(mat_a[j]);
                        f_b[j] = model(mat_b[j]);
                    }
+                   evaluations.add(2 * (end - begin));
                });
 
     // Output variance over the pooled A/B evaluations.
@@ -281,6 +289,7 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
                            point[i] = mat_b[j][i];
                            f_abi[j] = model(point);
                        }
+                       evaluations.add(end - begin);
                    });
         if (rows != nullptr)
             rows->f_ab[i] = f_abi;
@@ -310,6 +319,9 @@ SobolConfidence
 sobolBootstrapCi(const SobolRowData& rows,
                  const SobolBootstrapOptions& options)
 {
+    const obs::ScopedSpan span("sobol", "sobolBootstrapCi");
+    static const obs::Counter resample_count("sobol.bootstrap_resamples");
+
     const std::size_t n = rows.f_a.size();
     const std::size_t k = rows.f_ab.size();
     const std::size_t resamples = options.resamples;
@@ -411,6 +423,7 @@ sobolBootstrapCi(const SobolRowData& rows,
                                 total_replicates[i][r] = total[i];
                             }
                         }
+                        resample_count.add(re - rb);
                     });
         return buildConfidence(first_replicates, total_replicates);
     }
@@ -440,6 +453,7 @@ sobolBootstrapCi(const SobolRowData& rows,
                                 return values;
                             });
                     }
+                    resample_count.add(re - rb);
                 });
     enforcePolicy(outcomes, options.failure_policy, options.failure_report,
                   "sobolBootstrapCi");

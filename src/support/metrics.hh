@@ -1,0 +1,184 @@
+#ifndef TTMCAS_SUPPORT_METRICS_HH
+#define TTMCAS_SUPPORT_METRICS_HH
+
+/**
+ * @file
+ * Counters, gauges, and fixed-bucket histograms (part of ttmcas_obs).
+ *
+ * The registry hands out lightweight handles (Counter, Gauge,
+ * Histogram) identified by name. Recording goes to lock-free
+ * per-thread shards — fixed-size arrays of relaxed `std::atomic`
+ * slots, so there are no growth races and recording is TSan-clean —
+ * and shards are merged deterministically at snapshot time: shards
+ * are combined in registration order and metrics are reported sorted
+ * by name. Counter totals are unsigned integer sums, so the merged
+ * value is bitwise identical for any thread count; the same holds for
+ * histogram bucket counts and for histogram sums of exactly
+ * representable values (the serial-vs-parallel determinism tests rely
+ * on this).
+ *
+ * Zero-overhead-when-disabled contract: recording first checks a
+ * process-global atomic flag with a relaxed load and does nothing —
+ * no clock read, no shard lookup — when metrics are off (the
+ * default).
+ *
+ * Naming convention: `layer.metric[.unit]`, e.g. `mc.samples`,
+ * `pool.queue_depth_max`, `ttm.stage.fab_us`. docs/OBSERVABILITY.md
+ * lists every metric the library emits.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ttmcas::obs {
+
+/** Turn metric recording on or off process-wide (off by default). */
+void setMetricsEnabled(bool enabled);
+
+/** True when metrics are currently being recorded. */
+bool metricsEnabled();
+
+/**
+ * Monotonic counter handle. Construction registers (or finds) the
+ * name in the global registry; handles are cheap to copy and are
+ * typically created once as function-local statics at the recording
+ * site.
+ */
+class Counter
+{
+  public:
+    /** Register (or look up) the counter named @p name. */
+    explicit Counter(const char* name);
+
+    /** Add @p n to the counter (no-op while metrics are disabled). */
+    void add(std::uint64_t n) const;
+
+    /** Shorthand for add(1). */
+    void increment() const { add(1); }
+
+  private:
+    std::size_t _id;
+};
+
+/**
+ * Gauge handle: a single global double cell. set() is last-writer-wins
+ * (use from one thread); recordMax() is a CAS max and safe from many
+ * threads — the merged value is deterministic for a fixed set of
+ * recorded values regardless of thread interleaving.
+ */
+class Gauge
+{
+  public:
+    /** Register (or look up) the gauge named @p name. */
+    explicit Gauge(const char* name);
+
+    /** Overwrite the gauge (no-op while metrics are disabled). */
+    void set(double value) const;
+
+    /** Raise the gauge to @p value if larger (atomic max). */
+    void recordMax(double value) const;
+
+  private:
+    std::size_t _id;
+};
+
+/**
+ * Fixed-bucket histogram handle. Bucket upper bounds are fixed at
+ * registration (at most 16, strictly increasing); one implicit
+ * overflow bucket catches values above the last bound. record() is
+ * lock-free per thread.
+ */
+class Histogram
+{
+  public:
+    /**
+     * Register (or look up) the histogram named @p name with the
+     * given strictly increasing upper @p bounds. A second
+     * registration of the same name reuses the first bounds.
+     */
+    Histogram(const char* name, std::vector<double> bounds);
+
+    /** Record one observation (no-op while metrics are disabled). */
+    void record(double value) const;
+
+  private:
+    std::size_t _id;
+    std::vector<double> _bounds; // cached copy; recording takes no lock
+};
+
+/**
+ * RAII wall-clock timer: records the scope's duration in microseconds
+ * into @p histogram on destruction. Reads no clock while metrics are
+ * disabled.
+ */
+class ScopedTimer
+{
+  public:
+    /** Start timing into @p histogram (held by reference). */
+    explicit ScopedTimer(const Histogram& histogram);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    const Histogram& _histogram;
+    bool _active = false;
+    std::chrono::steady_clock::time_point _start{};
+};
+
+/** A merged counter value at snapshot time. */
+struct CounterSnapshot
+{
+    std::string name;    ///< registered counter name
+    std::uint64_t value; ///< sum over all per-thread shards
+};
+
+/** A gauge value at snapshot time. */
+struct GaugeSnapshot
+{
+    std::string name; ///< registered gauge name
+    double value;     ///< current cell value
+};
+
+/** A merged histogram at snapshot time. */
+struct HistogramSnapshot
+{
+    std::string name;                 ///< registered histogram name
+    std::vector<double> bounds;       ///< bucket upper bounds
+    std::vector<std::uint64_t> counts; ///< bounds.size()+1 buckets
+    std::uint64_t count = 0;          ///< total observations
+    double sum = 0.0;                 ///< sum of observed values
+};
+
+/** Deterministic point-in-time view of every registered metric. */
+struct MetricsSnapshot
+{
+    std::vector<CounterSnapshot> counters;     ///< sorted by name
+    std::vector<GaugeSnapshot> gauges;         ///< sorted by name
+    std::vector<HistogramSnapshot> histograms; ///< sorted by name
+
+    /** Look up a counter value by name; throws ModelError if absent. */
+    std::uint64_t counterValue(const std::string& name) const;
+
+    /** Render as a JSON object {"counters":{},"gauges":{},...}. */
+    std::string toJson() const;
+};
+
+/** Merge all shards into a snapshot (safe while recording continues). */
+MetricsSnapshot snapshotMetrics();
+
+/** Zero every counter, gauge, and histogram (registrations persist). */
+void resetMetrics();
+
+/**
+ * Write snapshotMetrics().toJson() to @p path, creating parent
+ * directories. Throws ModelError when the file cannot be written.
+ */
+void writeMetrics(const std::string& path);
+
+} // namespace ttmcas::obs
+
+#endif // TTMCAS_SUPPORT_METRICS_HH

@@ -69,11 +69,13 @@ const char* diagCodeName(DiagCode code);
 /** Structured record of one failed evaluation. */
 struct Diagnostic
 {
+    /** Machine-readable failure category. */
     DiagCode code = DiagCode::Unknown;
     /** Human-readable failure message (deterministic per point). */
     std::string message;
     /** Source file of the failed check; empty when unknown. */
     std::string file;
+    /** Source line of the failed check; 0 when unknown. */
     int line = 0;
     /** Index of the failed point within its batch. */
     std::size_t point_index = kNoPointIndex;
@@ -84,6 +86,7 @@ struct Diagnostic
     /** One-line rendering: "[code] point N: message (file:line)". */
     std::string describe() const;
 
+    /** Field-wise equality (used by determinism tests). */
     bool operator==(const Diagnostic& other) const = default;
 };
 
@@ -98,8 +101,10 @@ struct Diagnostic
 class NumericError : public ModelError
 {
   public:
+    /** Wrap @p diagnostic; what() renders diagnostic.describe(). */
     explicit NumericError(Diagnostic diagnostic);
 
+    /** The structured failure record this exception carries. */
     const Diagnostic& diagnostic() const { return _diagnostic; }
 
   private:
@@ -119,6 +124,7 @@ double finiteOr(double value, DiagCode code, const std::string& context,
 /** What a batch kernel does when a point evaluation fails. */
 struct FailurePolicy
 {
+    /** The two failure-handling modes. */
     enum class Mode : std::uint8_t
     {
         /** Rethrow the lowest-index failure (legacy behavior). */
@@ -127,6 +133,7 @@ struct FailurePolicy
         SkipAndRecord,
     };
 
+    /** Active failure handling mode (Abort by default). */
     Mode mode = Mode::Abort;
 
     /**
@@ -136,10 +143,13 @@ struct FailurePolicy
      */
     double max_failure_fraction = 1.0;
 
+    /** True under SkipAndRecord (failed points are skipped). */
     bool skips() const { return mode == Mode::SkipAndRecord; }
 
+    /** The legacy first-throw policy (the default). */
     static FailurePolicy abort() { return FailurePolicy{}; }
 
+    /** Skip-and-record with an optional circuit-breaker fraction. */
     static FailurePolicy skipAndRecord(double max_fraction = 1.0)
     {
         return FailurePolicy{Mode::SkipAndRecord, max_fraction};
@@ -160,7 +170,9 @@ class FailureReport
     /** Detailed records kept (first N failures in point order). */
     static constexpr std::size_t kDefaultDetailLimit = 16;
 
+    /** An empty report keeping kDefaultDetailLimit detailed records. */
     FailureReport() = default;
+    /** An empty report keeping at most @p detail_limit records. */
     explicit FailureReport(std::size_t detail_limit)
         : _detail_limit(detail_limit)
     {}
@@ -180,6 +192,7 @@ class FailureReport
     /** Total failed points. */
     std::size_t failureCount() const { return _failures; }
 
+    /** True when no point has failed. */
     bool empty() const { return _failures == 0; }
 
     /** failures / points, 0 for an empty batch. */
@@ -200,6 +213,7 @@ class FailureReport
      */
     std::string summary() const;
 
+    /** Field-wise equality (used by determinism tests). */
     bool operator==(const FailureReport& other) const = default;
 
   private:
@@ -221,6 +235,7 @@ class Outcome
                            "", 0, kNoPointIndex})
     {}
 
+    /** A successful outcome holding @p value. */
     static Outcome success(T value)
     {
         Outcome outcome;
@@ -228,6 +243,7 @@ class Outcome
         return outcome;
     }
 
+    /** A failed outcome holding @p diagnostic. */
     static Outcome failure(Diagnostic diagnostic)
     {
         Outcome outcome;
@@ -235,7 +251,9 @@ class Outcome
         return outcome;
     }
 
+    /** True when the evaluation succeeded (a value is held). */
     bool ok() const { return std::holds_alternative<T>(_data); }
+    /** Same as ok(): `if (outcome)` tests for success. */
     explicit operator bool() const { return ok(); }
 
     /** The value; throws the held Diagnostic as NumericError if failed. */

@@ -2,11 +2,51 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 #include "support/error.hh"
+#include "support/metrics.hh"
 
 namespace ttmcas {
+
+namespace {
+
+// Pool observability (see docs/OBSERVABILITY.md): queue-depth high
+// water, total worker busy time, task count, and chunk sizes. All
+// recording no-ops while metrics are disabled.
+const obs::Gauge&
+queueDepthGauge()
+{
+    static const obs::Gauge gauge("pool.queue_depth_max");
+    return gauge;
+}
+
+const obs::Counter&
+busyCounter()
+{
+    static const obs::Counter counter("pool.busy_us");
+    return counter;
+}
+
+const obs::Counter&
+taskCounter()
+{
+    static const obs::Counter counter("pool.tasks");
+    return counter;
+}
+
+const obs::Histogram&
+chunkSizeHistogram()
+{
+    static const obs::Histogram histogram(
+        "pool.chunk_size",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0,
+         4096.0});
+    return histogram;
+}
+
+} // namespace
 
 std::size_t
 ParallelConfig::resolvedThreads() const
@@ -51,11 +91,24 @@ ThreadPool::workerLoop()
         std::function<void()> task = std::move(_queue.front());
         _queue.pop_front();
         lock.unlock();
+        const bool timed = obs::metricsEnabled();
+        const auto busy_start = timed
+                                    ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
         std::exception_ptr error;
         try {
             task();
         } catch (...) {
             error = std::current_exception();
+        }
+        if (timed) {
+            const auto busy =
+                std::chrono::steady_clock::now() - busy_start;
+            busyCounter().add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    busy)
+                    .count()));
+            taskCounter().increment();
         }
         lock.lock();
         if (error != nullptr && _first_exception == nullptr)
@@ -70,12 +123,15 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     TTMCAS_REQUIRE(task != nullptr, "cannot submit an empty task");
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         TTMCAS_REQUIRE(!_stop, "cannot submit to a stopping pool");
         _queue.push_back(std::move(task));
         ++_pending;
+        depth = _queue.size();
     }
+    queueDepthGauge().recordMax(static_cast<double>(depth));
     _task_ready.notify_one();
 }
 
@@ -102,6 +158,7 @@ ThreadPool::parallelFor(
         grain = 1;
     const std::size_t chunks = (n + grain - 1) / grain;
     if (chunks == 1) {
+        chunkSizeHistogram().record(static_cast<double>(n));
         body(0, n);
         return;
     }
@@ -144,6 +201,8 @@ ThreadPool::parallelFor(
                 }
                 const std::size_t begin = chunk * grain;
                 const std::size_t end = std::min(n, begin + grain);
+                chunkSizeHistogram().record(
+                    static_cast<double>(end - begin));
                 try {
                     body(begin, end);
                 } catch (...) {

@@ -77,10 +77,11 @@ class ThreadPool
   public:
     /** Spawn exactly @p threads workers (>= 1). */
     explicit ThreadPool(std::size_t threads);
+    /** Drain the queue and join all workers. */
     ~ThreadPool();
 
-    ThreadPool(const ThreadPool&) = delete;
-    ThreadPool& operator=(const ThreadPool&) = delete;
+    ThreadPool(const ThreadPool&) = delete;            ///< non-copyable
+    ThreadPool& operator=(const ThreadPool&) = delete; ///< non-copyable
 
     /** Worker count (fixed for the pool's lifetime). */
     std::size_t threadCount() const { return _workers.size(); }

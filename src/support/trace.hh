@@ -1,0 +1,97 @@
+#ifndef TTMCAS_SUPPORT_TRACE_HH
+#define TTMCAS_SUPPORT_TRACE_HH
+
+/**
+ * @file
+ * Scoped-span tracing for the batch kernels (part of ttmcas_obs).
+ *
+ * Spans are RAII objects: constructing a ScopedSpan stamps a start
+ * time, destroying it stamps the duration and appends one complete
+ * event ("ph":"X") to a thread-local buffer. Buffers are flushed to a
+ * Chrome `trace_event` JSON document loadable in chrome://tracing or
+ * https://ui.perfetto.dev.
+ *
+ * Zero-overhead-when-disabled contract: tracing is off by default and
+ * every ScopedSpan constructor first checks a process-global atomic
+ * flag with a relaxed load. When the flag is clear the span records
+ * nothing — no clock read, no allocation, no lock. Enabling tracing is
+ * therefore safe to leave compiled into release binaries (this is what
+ * the `bench_perf_micro` disabled-overhead benchmarks assert).
+ *
+ * Thread safety: each thread appends to its own shard; the shard list
+ * itself is guarded by a mutex taken only on first use per thread and
+ * at flush time. Shards are kept alive by shared_ptr so a flush after
+ * worker threads have exited still sees their events.
+ *
+ * Span taxonomy (see docs/OBSERVABILITY.md for the full list): the
+ * `cat` field is the layer ("mc", "sobol", "sweep", "opt", "pool",
+ * "cli", "bench") and the `name` field is the kernel or phase, e.g.
+ * `{"cat":"sobol","name":"sobolAnalyze"}`.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ttmcas::obs {
+
+/** Turn span recording on or off process-wide (off by default). */
+void setTracingEnabled(bool enabled);
+
+/** True when spans are currently being recorded. */
+bool tracingEnabled();
+
+/**
+ * RAII scoped span. Records one Chrome complete event covering the
+ * object's lifetime — if tracing was enabled at construction time.
+ *
+ * @code
+ *   {
+ *       obs::ScopedSpan span("sobol", "sobolAnalyze");
+ *       ... work ...
+ *   } // span end recorded here
+ * @endcode
+ */
+class ScopedSpan
+{
+  public:
+    /**
+     * Open a span. @p category is a static string naming the layer;
+     * @p name names the kernel or phase (copied when tracing is on).
+     */
+    ScopedSpan(const char* category, std::string name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  private:
+    bool _active = false;
+    const char* _category = nullptr;
+    std::string _name;
+    std::chrono::steady_clock::time_point _start{};
+};
+
+/** Number of completed spans recorded so far (all threads). */
+std::size_t traceEventCount();
+
+/**
+ * Render all recorded spans as a Chrome `trace_event` JSON document
+ * (object form: {"traceEvents":[...], "displayTimeUnit":"ms"}).
+ * Events are sorted by (tid, start, name) so output is deterministic
+ * for a fixed set of recorded spans.
+ */
+std::string chromeTraceJson();
+
+/**
+ * Write chromeTraceJson() to @p path, creating parent directories.
+ * Throws ModelError when the file cannot be written.
+ */
+void writeChromeTrace(const std::string& path);
+
+/** Discard all recorded spans (e.g. between test cases). */
+void clearTrace();
+
+} // namespace ttmcas::obs
+
+#endif // TTMCAS_SUPPORT_TRACE_HH

@@ -1,0 +1,238 @@
+#include "support/metrics.hh"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/threadpool.hh"
+
+namespace ttmcas {
+namespace {
+
+/** Zeroes every metric and restores the disabled default per test. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setMetricsEnabled(false);
+        obs::resetMetrics();
+    }
+    void TearDown() override
+    {
+        obs::setMetricsEnabled(false);
+        obs::resetMetrics();
+    }
+};
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp)
+{
+    const obs::Counter counter("test.disabled_counter");
+    const obs::Gauge gauge("test.disabled_gauge");
+    const obs::Histogram histogram("test.disabled_hist", {1.0, 2.0});
+    counter.add(5);
+    gauge.set(3.0);
+    gauge.recordMax(9.0);
+    histogram.record(1.5);
+    const obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    EXPECT_EQ(snapshot.counterValue("test.disabled_counter"), 0u);
+}
+
+TEST_F(MetricsTest, CounterSumsAcrossHandles)
+{
+    obs::setMetricsEnabled(true);
+    const obs::Counter first("test.shared_counter");
+    const obs::Counter second("test.shared_counter");
+    first.add(3);
+    second.increment();
+    EXPECT_EQ(obs::snapshotMetrics().counterValue("test.shared_counter"),
+              4u);
+}
+
+TEST_F(MetricsTest, GaugeSetAndRecordMax)
+{
+    obs::setMetricsEnabled(true);
+    const obs::Gauge gauge("test.gauge");
+    gauge.set(2.5);
+    gauge.recordMax(1.0); // below current value: no change
+    gauge.recordMax(7.5);
+    const obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    for (const auto& entry : snapshot.gauges) {
+        if (entry.name == "test.gauge")
+            EXPECT_DOUBLE_EQ(entry.value, 7.5);
+    }
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndOverflow)
+{
+    obs::setMetricsEnabled(true);
+    const obs::Histogram histogram("test.hist", {1.0, 10.0, 100.0});
+    histogram.record(0.5);   // bucket 0 (<= 1)
+    histogram.record(1.0);   // bucket 0 (bounds are inclusive)
+    histogram.record(5.0);   // bucket 1
+    histogram.record(1000.0); // overflow bucket
+    const obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    bool found = false;
+    for (const auto& entry : snapshot.histograms) {
+        if (entry.name != "test.hist")
+            continue;
+        found = true;
+        ASSERT_EQ(entry.counts.size(), 4u);
+        EXPECT_EQ(entry.counts[0], 2u);
+        EXPECT_EQ(entry.counts[1], 1u);
+        EXPECT_EQ(entry.counts[2], 0u);
+        EXPECT_EQ(entry.counts[3], 1u);
+        EXPECT_EQ(entry.count, 4u);
+        EXPECT_DOUBLE_EQ(entry.sum, 1006.5);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, ConcurrentCountersLoseNothing)
+{
+    // 8 workers, grain 1: adds land on many per-thread shards; the
+    // merged total must be exact (the CI TSan job runs this test).
+    obs::setMetricsEnabled(true);
+    const obs::Counter counter("test.concurrent_counter");
+    const obs::Histogram histogram("test.concurrent_hist", {10.0, 100.0});
+    constexpr std::size_t kItems = 500;
+    parallelFor(ParallelConfig{8, 1}, kItems,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                        counter.increment();
+                        histogram.record(static_cast<double>(i % 20));
+                    }
+                });
+    const obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    EXPECT_EQ(snapshot.counterValue("test.concurrent_counter"), kItems);
+    for (const auto& entry : snapshot.histograms) {
+        if (entry.name == "test.concurrent_hist")
+            EXPECT_EQ(entry.count, kItems);
+    }
+}
+
+TEST_F(MetricsTest, SerialAndEightThreadTotalsAreBitwiseIdentical)
+{
+    // The determinism contract: integer counter totals and histogram
+    // bucket counts merged from any number of shards must equal the
+    // serial run exactly — not approximately.
+    obs::setMetricsEnabled(true);
+    const obs::Counter counter("test.determinism_counter");
+    const obs::Histogram histogram("test.determinism_hist",
+                                   {4.0, 16.0, 64.0});
+    constexpr std::size_t kItems = 333;
+
+    const auto record = [&](const ParallelConfig& config) {
+        parallelFor(config, kItems,
+                    [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                            histogram.record(static_cast<double>(i % 80));
+                        counter.add(end - begin);
+                    });
+        return obs::snapshotMetrics();
+    };
+
+    const obs::MetricsSnapshot serial = record(ParallelConfig::serial());
+    obs::resetMetrics();
+    const obs::MetricsSnapshot threaded = record(ParallelConfig{8, 4});
+
+    EXPECT_EQ(serial.counterValue("test.determinism_counter"), kItems);
+    EXPECT_EQ(serial.counterValue("test.determinism_counter"),
+              threaded.counterValue("test.determinism_counter"));
+
+    // Compare the test-owned histogram by *name*: the threaded run also
+    // records the pool's own instrumentation (pool.chunk_size), which
+    // the serial path legitimately never emits, so positions differ.
+    const auto find = [](const obs::MetricsSnapshot& snapshot) {
+        for (const auto& entry : snapshot.histograms)
+            if (entry.name == "test.determinism_hist")
+                return entry;
+        ADD_FAILURE() << "test.determinism_hist missing from snapshot";
+        return decltype(snapshot.histograms)::value_type{};
+    };
+    const auto lhs = find(serial);
+    const auto rhs = find(threaded);
+    EXPECT_EQ(lhs.counts, rhs.counts);
+    EXPECT_EQ(lhs.count, rhs.count);
+    // Integer-valued observations: the sum is exact either way.
+    EXPECT_EQ(lhs.sum, rhs.sum);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName)
+{
+    obs::setMetricsEnabled(true);
+    const obs::Counter zulu("test.zz_counter");
+    const obs::Counter alpha("test.aa_counter");
+    zulu.increment();
+    alpha.increment();
+    const obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    for (std::size_t i = 1; i < snapshot.counters.size(); ++i)
+        EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+}
+
+TEST_F(MetricsTest, CounterValueThrowsOnUnknownName)
+{
+    EXPECT_THROW(obs::snapshotMetrics().counterValue("test.no_such"),
+                 ModelError);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsRegistrations)
+{
+    obs::setMetricsEnabled(true);
+    const obs::Counter counter("test.reset_counter");
+    counter.add(9);
+    obs::resetMetrics();
+    EXPECT_EQ(obs::snapshotMetrics().counterValue("test.reset_counter"),
+              0u);
+    counter.add(2);
+    EXPECT_EQ(obs::snapshotMetrics().counterValue("test.reset_counter"),
+              2u);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsOnlyWhenEnabled)
+{
+    const obs::Histogram histogram("test.timer_us",
+                                   {1.0, 1000.0, 1000000.0});
+    {
+        const obs::ScopedTimer timer(histogram); // disabled: no record
+    }
+    obs::setMetricsEnabled(true);
+    {
+        const obs::ScopedTimer timer(histogram);
+    }
+    const obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    for (const auto& entry : snapshot.histograms) {
+        if (entry.name == "test.timer_us")
+            EXPECT_EQ(entry.count, 1u);
+    }
+}
+
+TEST_F(MetricsTest, ToJsonIsValidJson)
+{
+    obs::setMetricsEnabled(true);
+    const obs::Counter counter("test.json_counter");
+    const obs::Histogram histogram("test.json_hist", {1.0});
+    counter.add(7);
+    histogram.record(0.5);
+    const JsonValue document =
+        parseJson(obs::snapshotMetrics().toJson());
+    EXPECT_DOUBLE_EQ(
+        document.at("counters").at("test.json_counter").asNumber(), 7.0);
+    const JsonValue& hist =
+        document.at("histograms").at("test.json_hist");
+    EXPECT_DOUBLE_EQ(hist.at("count").asNumber(), 1.0);
+}
+
+TEST_F(MetricsTest, HistogramRejectsBadBounds)
+{
+    EXPECT_THROW(obs::Histogram("test.bad_bounds_empty", {}), Error);
+    EXPECT_THROW(obs::Histogram("test.bad_bounds_order", {2.0, 1.0}),
+                 Error);
+}
+
+} // namespace
+} // namespace ttmcas

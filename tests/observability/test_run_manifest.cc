@@ -1,0 +1,147 @@
+#include "support/run_manifest.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+#include "support/outcome.hh"
+
+namespace ttmcas {
+namespace {
+
+obs::RunManifest
+sampleManifest()
+{
+    obs::RunManifest manifest;
+    manifest.tool = "test_harness";
+    manifest.git_hash = "abc1234";
+    manifest.seed = 2023;
+    manifest.threads = 8;
+    manifest.setPolicy(FailurePolicy::skipAndRecord(0.25));
+    manifest.addKernel({"sampleTtm", 12.5, 1024, 2});
+    manifest.addKernel({"sobolAnalyze", 3.25, 256, 0});
+    return manifest;
+}
+
+TEST(RunManifestTest, BuildGitHashIsNonEmpty)
+{
+    EXPECT_FALSE(obs::buildGitHash().empty());
+}
+
+TEST(RunManifestTest, SetPolicyCopiesModeAndCircuitBreaker)
+{
+    obs::RunManifest manifest;
+    manifest.setPolicy(FailurePolicy::abort());
+    EXPECT_EQ(manifest.failure_policy, "abort");
+    manifest.setPolicy(FailurePolicy::skipAndRecord(0.5));
+    EXPECT_EQ(manifest.failure_policy, "skip_and_record");
+    EXPECT_DOUBLE_EQ(manifest.max_failure_fraction, 0.5);
+}
+
+TEST(RunManifestTest, AddKernelFoldsTotals)
+{
+    const obs::RunManifest manifest = sampleManifest();
+    ASSERT_EQ(manifest.kernels.size(), 2u);
+    EXPECT_EQ(manifest.total_points, 1280u);
+    EXPECT_EQ(manifest.total_failures, 2u);
+}
+
+TEST(RunManifestTest, AddFailureReportRecordsPerCodeCounts)
+{
+    FailureReport report;
+    Diagnostic diagnostic;
+    diagnostic.code = DiagCode::NonFiniteTtm;
+    report.addPoint();
+    report.record(diagnostic);
+    diagnostic.code = DiagCode::InjectedFault;
+    report.addPoint();
+    report.record(diagnostic);
+    report.addPoint();
+    report.record(diagnostic);
+
+    obs::RunManifest manifest;
+    manifest.addFailureReport(report);
+    bool ttm_seen = false, injected_seen = false;
+    for (const auto& [code, count] : manifest.failure_counts) {
+        if (code == diagCodeName(DiagCode::NonFiniteTtm)) {
+            EXPECT_EQ(count, 1u);
+            ttm_seen = true;
+        }
+        if (code == diagCodeName(DiagCode::InjectedFault)) {
+            EXPECT_EQ(count, 2u);
+            injected_seen = true;
+        }
+    }
+    EXPECT_TRUE(ttm_seen);
+    EXPECT_TRUE(injected_seen);
+}
+
+TEST(RunManifestTest, JsonRoundTripIsLossless)
+{
+    const obs::RunManifest manifest = sampleManifest();
+    const obs::RunManifest reparsed =
+        obs::RunManifest::fromJson(manifest.toJson());
+    EXPECT_EQ(manifest, reparsed);
+}
+
+TEST(RunManifestTest, RoundTripKeepsFailureCounts)
+{
+    FailureReport report;
+    Diagnostic diagnostic;
+    diagnostic.code = DiagCode::InvalidInput;
+    report.addPoint();
+    report.record(diagnostic);
+    obs::RunManifest manifest = sampleManifest();
+    manifest.addFailureReport(report);
+    const obs::RunManifest reparsed =
+        obs::RunManifest::fromJson(manifest.toJson());
+    EXPECT_EQ(manifest, reparsed);
+}
+
+TEST(RunManifestTest, ToJsonIsAValidJsonObject)
+{
+    const JsonValue document = parseJson(sampleManifest().toJson());
+    EXPECT_EQ(document.at("tool").asString(), "test_harness");
+    EXPECT_DOUBLE_EQ(document.at("seed").asNumber(), 2023.0);
+    EXPECT_EQ(document.at("failure_policy").asString(),
+              "skip_and_record");
+    const auto& kernels = document.at("kernels").asArray();
+    ASSERT_EQ(kernels.size(), 2u);
+    EXPECT_EQ(kernels[0].at("kernel").asString(), "sampleTtm");
+    EXPECT_DOUBLE_EQ(kernels[0].at("points").asNumber(), 1024.0);
+}
+
+TEST(RunManifestTest, FromJsonRejectsMalformedInput)
+{
+    EXPECT_THROW(obs::RunManifest::fromJson("not json"), ModelError);
+    EXPECT_THROW(obs::RunManifest::fromJson("{}"), ModelError);
+}
+
+TEST(RunManifestTest, KernelScopeAppendsTiming)
+{
+    obs::RunManifest manifest;
+    {
+        obs::ManifestKernelScope scope(manifest, "CacheSweep::sweep");
+        scope.setPoints(9);
+        scope.setFailures(1);
+    }
+    ASSERT_EQ(manifest.kernels.size(), 1u);
+    EXPECT_EQ(manifest.kernels[0].kernel, "CacheSweep::sweep");
+    EXPECT_EQ(manifest.kernels[0].points, 9u);
+    EXPECT_EQ(manifest.kernels[0].failures, 1u);
+    EXPECT_GE(manifest.kernels[0].wall_ms, 0.0);
+    EXPECT_EQ(manifest.total_points, 9u);
+}
+
+TEST(RunManifestTest, KernelScopeFinishIsIdempotent)
+{
+    obs::RunManifest manifest;
+    {
+        obs::ManifestKernelScope scope(manifest, "once");
+        scope.finish();
+        scope.finish(); // second call must not double-record
+    }
+    EXPECT_EQ(manifest.kernels.size(), 1u);
+}
+
+} // namespace
+} // namespace ttmcas

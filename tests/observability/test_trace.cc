@@ -1,0 +1,111 @@
+#include "support/trace.hh"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+#include "support/threadpool.hh"
+
+namespace ttmcas {
+namespace {
+
+/** Restores the disabled default and clears the buffer per test. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setTracingEnabled(false);
+        obs::clearTrace();
+    }
+    void TearDown() override
+    {
+        obs::setTracingEnabled(false);
+        obs::clearTrace();
+    }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing)
+{
+    {
+        const obs::ScopedSpan span("mc", "disabled");
+    }
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpansRecordCompleteEvents)
+{
+    obs::setTracingEnabled(true);
+    {
+        const obs::ScopedSpan outer("opt", "outer");
+        const obs::ScopedSpan inner("mc", "inner");
+    }
+    EXPECT_EQ(obs::traceEventCount(), 2u);
+}
+
+TEST_F(TraceTest, SpanActiveAtConstructionSurvivesDisable)
+{
+    // The enabled flag is latched at construction; disabling mid-span
+    // must not lose or corrupt the already-open event.
+    obs::setTracingEnabled(true);
+    {
+        const obs::ScopedSpan span("mc", "latched");
+        obs::setTracingEnabled(false);
+    }
+    EXPECT_EQ(obs::traceEventCount(), 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndCarriesSpanFields)
+{
+    obs::setTracingEnabled(true);
+    {
+        const obs::ScopedSpan span("sobol", "sobolAnalyze");
+    }
+    const JsonValue document = parseJson(obs::chromeTraceJson());
+    EXPECT_EQ(document.at("displayTimeUnit").asString(), "ms");
+    const auto& events = document.at("traceEvents").asArray();
+    ASSERT_EQ(events.size(), 1u);
+    const JsonValue& event = events[0];
+    EXPECT_EQ(event.at("name").asString(), "sobolAnalyze");
+    EXPECT_EQ(event.at("cat").asString(), "sobol");
+    EXPECT_EQ(event.at("ph").asString(), "X");
+    EXPECT_DOUBLE_EQ(event.at("pid").asNumber(), 1.0);
+    EXPECT_GE(event.at("tid").asNumber(), 1.0);
+    EXPECT_GE(event.at("ts").asNumber(), 0.0);
+    EXPECT_GE(event.at("dur").asNumber(), 0.0);
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllFlush)
+{
+    // One span per item across 8 workers; every span must land in the
+    // flushed document exactly once (the CI TSan job runs this test).
+    obs::setTracingEnabled(true);
+    constexpr std::size_t kSpans = 64;
+    parallelFor(ParallelConfig{8, 1}, kSpans,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                        const obs::ScopedSpan span("pool", "worker_span");
+                    }
+                });
+    EXPECT_EQ(obs::traceEventCount(), kSpans);
+    const JsonValue document = parseJson(obs::chromeTraceJson());
+    EXPECT_EQ(document.at("traceEvents").asArray().size(), kSpans);
+}
+
+TEST_F(TraceTest, ClearTraceDropsEverything)
+{
+    obs::setTracingEnabled(true);
+    {
+        const obs::ScopedSpan span("cli", "short");
+    }
+    ASSERT_GT(obs::traceEventCount(), 0u);
+    obs::clearTrace();
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+    const JsonValue document = parseJson(obs::chromeTraceJson());
+    EXPECT_TRUE(document.at("traceEvents").asArray().empty());
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Check relative links and anchors in the repository's Markdown files.
+
+Walks every tracked *.md file, extracts inline links/images, and fails
+(exit 1) when a relative link points at a file that does not exist or
+at a heading anchor that no target document defines. External links
+(http/https/mailto) are *not* fetched -- CI must stay deterministic and
+offline -- so only repository-local references are validated.
+
+Standard library only; run from anywhere:
+
+    python3 tools/check_markdown_links.py [--root REPO_ROOT] [-v]
+
+Registered as the `docs`-labeled ctest (`ctest -L docs`) and run by the
+docs CI job on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Inline links and images: [text](target) / ![alt](target "title").
+# The target stops at whitespace or the closing parenthesis, which is
+# enough for every link this repository writes (no nested parens).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# Directories never containing authored docs (build trees, artifacts).
+_SKIP_DIRS = {".git", ".github", "bench_out", "obs_out", "third_party"}
+
+
+def findMarkdownFiles(root: str) -> list[str]:
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in _SKIP_DIRS and not d.startswith("build")
+        )
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return found
+
+
+def stripCode(lines: list[str]) -> list[str]:
+    """Blank out fenced code blocks and inline code spans."""
+    out = []
+    in_fence = False
+    for line in lines:
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else _CODE_SPAN_RE.sub("", line))
+    return out
+
+
+def headingAnchors(path: str) -> set[str]:
+    """GitHub-style slugs of every heading in the file.
+
+    GitHub slugs: lowercase, drop everything but word characters,
+    spaces, and hyphens, then turn spaces into hyphens. Duplicate
+    headings get -1, -2, ... suffixes.
+    """
+    with open(path, encoding="utf-8") as handle:
+        lines = stripCode(handle.read().splitlines())
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for line in lines:
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", match.group(2))
+        slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+        slug = slug.replace(" ", "-")
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def checkFile(path: str, root: str, anchor_cache: dict[str, set[str]],
+              verbose: bool) -> list[str]:
+    errors = []
+    with open(path, encoding="utf-8") as handle:
+        lines = stripCode(handle.read().splitlines())
+    rel = os.path.relpath(path, root)
+    for lineno, line in enumerate(lines, start=1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_SCHEMES):
+                continue
+            if verbose:
+                print(f"  {rel}:{lineno}: {target}")
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), path_part))
+            else:
+                resolved = path  # same-file anchor
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}:{lineno}: broken link `{target}` "
+                              f"(no such file: {path_part})")
+                continue
+            if not anchor or not resolved.lower().endswith(".md"):
+                continue
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = headingAnchors(resolved)
+            if anchor.lower() not in anchor_cache[resolved]:
+                errors.append(f"{rel}:{lineno}: broken anchor `{target}` "
+                              f"(no heading slug `{anchor}` in "
+                              f"{os.path.relpath(resolved, root)})")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root to scan (default: repo)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every link as it is checked")
+    args = parser.parse_args()
+
+    files = findMarkdownFiles(args.root)
+    if not files:
+        print(f"error: no markdown files under {args.root}",
+              file=sys.stderr)
+        return 1
+
+    anchor_cache: dict[str, set[str]] = {}
+    errors: list[str] = []
+    for path in files:
+        errors.extend(checkFile(path, args.root, anchor_cache,
+                                args.verbose))
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
