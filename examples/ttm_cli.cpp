@@ -12,6 +12,8 @@
  *           [--skip-failures]
  *           [--trace=trace.json] [--metrics=metrics.json]
  *           [--manifest=manifest.json]
+ *           [--sobol[=N]] [--seed s] [--threads t] [--retries r]
+ *           [--deadline=seconds] [--checkpoint=file] [--resume=file]
  *
  * With --all-nodes, the design is re-targeted to every in-production
  * node and the full comparison table is printed. With --risk, a
@@ -29,8 +31,22 @@
  * split planner, and the portfolio planner) so the emitted Chrome
  * trace, metrics snapshot, and run manifest cover the full span
  * taxonomy. All three flags accept "--flag value" or "--flag=value".
+ *
+ * --sobol[=N] switches to resumable-batch mode: a Sobol sensitivity
+ * analysis of TTM over three scale factors with N base samples
+ * (default 128), printed with %.17g so runs can be diffed bitwise.
+ * --deadline bounds the batch by wall-clock seconds, --checkpoint
+ * persists completed points atomically as the batch runs, --resume
+ * restores them bit-exactly, and Ctrl-C stops the batch cleanly after
+ * flushing the checkpoint (docs/RESILIENCE.md).
+ *
+ * Exit codes: 0 = clean run; 1 = hard error; 2 = completed but
+ * degraded (--skip-failures dropped points) or a usage error; 3 =
+ * --deadline fired and the partial batch was checkpointed; 130 =
+ * SIGINT stopped the batch after the checkpoint flush.
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -49,8 +65,11 @@
 #include "report/table.hh"
 #include "stats/distributions.hh"
 #include "stats/sobol.hh"
+#include "support/cancel.hh"
+#include "support/checkpoint.hh"
 #include "support/metrics.hh"
 #include "support/outcome.hh"
+#include "support/retry.hh"
 #include "support/run_manifest.hh"
 #include "support/strutil.hh"
 #include "support/trace.hh"
@@ -79,6 +98,13 @@ struct CliArgs
     std::string trace_file;
     std::string metrics_file;
     std::string manifest_file;
+    std::size_t sobol_samples = 0; ///< 0 = batch mode off
+    std::uint64_t seed = 2023;
+    std::size_t threads = 0;
+    std::uint32_t retries = 1;
+    double deadline_s = 0.0;
+    std::string checkpoint_file;
+    std::string resume_file;
 
     bool wantsObservability() const
     {
@@ -97,7 +123,10 @@ usage()
            "              [--snapshot file.csv] [--all-nodes]\n"
            "              [--risk deadline_weeks] [--skip-failures]\n"
            "              [--trace=file.json] [--metrics=file.json]\n"
-           "              [--manifest=file.json]\n";
+           "              [--manifest=file.json]\n"
+           "              [--sobol[=N]] [--seed s] [--threads t]\n"
+           "              [--retries r] [--deadline=seconds]\n"
+           "              [--checkpoint=file] [--resume=file]\n";
     std::exit(2);
 }
 
@@ -105,6 +134,7 @@ CliArgs
 parseArgs(int argc, char** argv)
 {
     CliArgs args;
+    // Arity 2 = optional value: "--flag", "--flag value", "--flag=value".
     const std::map<std::string, int> flags{
         {"--node", 1},       {"--ntt", 1},      {"--nut", 1},
         {"--chips", 1},      {"--design-weeks", 1},
@@ -112,6 +142,9 @@ parseArgs(int argc, char** argv)
         {"--snapshot", 1},   {"--all-nodes", 0}, {"--risk", 1},
         {"--design", 1},     {"--skip-failures", 0},
         {"--trace", 1},      {"--metrics", 1},  {"--manifest", 1},
+        {"--sobol", 2},      {"--seed", 1},     {"--threads", 1},
+        {"--retries", 1},    {"--deadline", 1}, {"--checkpoint", 1},
+        {"--resume", 1},
     };
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -134,6 +167,12 @@ parseArgs(int argc, char** argv)
             } else {
                 if (i + 1 >= argc)
                     usage();
+                value = argv[++i];
+            }
+        } else if (it->second == 2) {
+            if (has_inline_value) {
+                value = inline_value;
+            } else if (i + 1 < argc && argv[i + 1][0] != '-') {
                 value = argv[++i];
             }
         } else if (has_inline_value) {
@@ -172,6 +211,22 @@ parseArgs(int argc, char** argv)
                 args.metrics_file = value;
             else if (flag == "--manifest")
                 args.manifest_file = value;
+            else if (flag == "--sobol")
+                args.sobol_samples =
+                    value.empty() ? 128 : std::stoull(value);
+            else if (flag == "--seed")
+                args.seed = std::stoull(value);
+            else if (flag == "--threads")
+                args.threads = std::stoull(value);
+            else if (flag == "--retries")
+                args.retries =
+                    static_cast<std::uint32_t>(std::stoul(value));
+            else if (flag == "--deadline")
+                args.deadline_s = std::stod(value);
+            else if (flag == "--checkpoint")
+                args.checkpoint_file = value;
+            else if (flag == "--resume")
+                args.resume_file = value;
         } catch (const std::exception&) {
             usage();
         }
@@ -337,6 +392,140 @@ runObservabilitySweep(const TechnologyDb& db, const ChipDesign& design,
     }
 }
 
+/** Shortest round-trippable decimal rendering of a double. */
+std::string
+g17(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+/**
+ * Resumable-batch mode (--sobol): a Sobol sensitivity analysis of TTM
+ * over three scale factors (N_TT, D0, L_fab), wired into the
+ * resilience layer: cooperative deadline/SIGINT stop, deterministic
+ * per-point retry, and atomic checkpoint/resume. Indices print with
+ * %.17g, so a straight run and a killed-and-resumed run produce
+ * bitwise-identical stdout. Returns the process exit code.
+ */
+int
+runSobolBatch(const TechnologyDb& db, const ChipDesign& design,
+              const CliArgs& args, obs::RunManifest& manifest)
+{
+    TtmModel::Options model_options;
+    model_options.tapeout_engineers = args.engineers;
+    const UncertaintyAnalysis analysis(db, model_options);
+
+    const std::vector<std::unique_ptr<Distribution>> owned = [] {
+        std::vector<std::unique_ptr<Distribution>> dists;
+        for (int i = 0; i < 3; ++i)
+            dists.push_back(relativeUniform(1.0, 0.05));
+        return dists;
+    }();
+    const std::vector<SensitivityInput> inputs{{"NTT", owned[0].get()},
+                                               {"D0", owned[1].get()},
+                                               {"Lfab", owned[2].get()}};
+    const auto model = [&](const std::vector<double>& point) {
+        InputFactors factors = nominalFactors();
+        factors[0] = point[0]; // N_TT
+        factors[2] = point[1]; // D0
+        factors[4] = point[2]; // L_fab
+        return analysis.ttmWithFactors(design, args.chips, {}, factors)
+            .value();
+    };
+
+    CancellationToken token;
+    const ScopedSigintCancel sigint(token);
+    if (args.deadline_s > 0.0)
+        token.setDeadlineAfter(args.deadline_s);
+
+    SobolOptions options;
+    options.base_samples = args.sobol_samples;
+    options.seed = args.seed;
+    options.parallel.threads = args.threads;
+    options.failure_policy = args.skip_failures
+                                 ? FailurePolicy::skipAndRecord()
+                                 : FailurePolicy();
+    options.cancel = &token;
+    if (args.retries > 1) {
+        options.retry = RetryPolicy::immediate(args.retries);
+        options.retry.seed = args.seed;
+    }
+    RetryStats retry_stats;
+    options.retry_stats = &retry_stats;
+    FailureReport report;
+    options.failure_report = &report;
+
+    std::unique_ptr<SweepCheckpoint> resume;
+    if (!args.resume_file.empty()) {
+        resume = std::make_unique<SweepCheckpoint>(
+            SweepCheckpoint::load(args.resume_file));
+        options.resume_from = resume.get();
+        manifest.disposition = "resumed";
+        manifest.parent_checkpoint = args.resume_file;
+    }
+    SweepCheckpoint checkpoint;
+    if (!args.checkpoint_file.empty()) {
+        checkpoint.enableAutoFlush(args.checkpoint_file, 16);
+        if (resume != nullptr)
+            checkpoint.setParent(args.resume_file);
+        options.checkpoint = &checkpoint;
+    }
+
+    const std::size_t total_points =
+        (inputs.size() + 2) * options.base_samples;
+    SobolResult result;
+    bool finished = false;
+    try {
+        obs::ManifestKernelScope scope(manifest, "sobolAnalyze");
+        scope.setPoints(total_points);
+        result = sobolAnalyze(inputs, model, options);
+        scope.setFailures(report.failureCount());
+        finished = !token.stopRequested();
+    } catch (const Error&) {
+        // Under the default Abort policy a stop surfaces as the
+        // structured Cancelled/DeadlineExceeded error; anything else
+        // is a real failure and propagates.
+        if (!token.stopRequested())
+            throw;
+    }
+
+    manifest.total_retries = retry_stats.extra_attempts;
+    manifest.addFailureReport(report);
+    if (options.checkpoint != nullptr) {
+        // Final flush: the auto-flush cadence only covers multiples of
+        // its period, and a stopped run must persist its last points.
+        checkpoint.writeAtomic(args.checkpoint_file);
+        manifest.checkpoint_points = checkpoint.completedCount();
+    }
+
+    if (!finished) {
+        const bool cancelled = token.cancelRequested();
+        manifest.disposition =
+            cancelled ? "cancelled" : "deadline_exceeded";
+        std::cerr << "ttm_cli: sobol batch stopped ("
+                  << manifest.disposition << "); "
+                  << checkpoint.completedCount() << "/" << total_points
+                  << " points checkpointed\n";
+        return cancelled ? 130 : 3;
+    }
+
+    std::cout << "sobol " << inputs.size() << " inputs, "
+              << options.base_samples << " base samples, " << total_points
+              << " evaluations, seed " << args.seed << "\n";
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        std::cout << "  " << result.input_names[i]
+                  << " S1=" << g17(result.first_order[i])
+                  << " ST=" << g17(result.total_effect[i]) << "\n";
+    }
+    if (!report.empty()) {
+        std::cerr << report.summary() << "\n";
+        return 2;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -346,13 +535,14 @@ main(int argc, char** argv)
     bool skipped_failures = false;
 
     obs::RunManifest manifest;
-    if (args.wantsObservability()) {
+    if (args.wantsObservability() || args.sobol_samples > 0) {
         obs::setTracingEnabled(!args.trace_file.empty());
         obs::setMetricsEnabled(true);
         manifest.tool = "ttm_cli";
         manifest.git_hash = obs::buildGitHash();
-        manifest.seed = 2023;
-        manifest.threads = ParallelConfig{}.resolvedThreads();
+        manifest.seed = args.seed;
+        manifest.threads =
+            ParallelConfig{args.threads}.resolvedThreads();
         manifest.setPolicy(args.skip_failures
                                ? FailurePolicy::skipAndRecord()
                                : FailurePolicy());
@@ -384,6 +574,17 @@ main(int argc, char** argv)
             design = makeMonolithicDesign(
                 "cli-design", args.node, args.ntt, args.nut,
                 Weeks(args.design_weeks));
+        }
+
+        if (args.sobol_samples > 0) {
+            const int code = runSobolBatch(db, design, args, manifest);
+            if (!args.trace_file.empty())
+                obs::writeChromeTrace(args.trace_file);
+            if (!args.metrics_file.empty())
+                obs::writeMetrics(args.metrics_file);
+            if (!args.manifest_file.empty())
+                manifest.write(args.manifest_file);
+            return code;
         }
 
         if (args.all_nodes) {

@@ -5,6 +5,8 @@
 #include "stats/distributions.hh"
 #include "stats/fault_injection.hh"
 #include "stats/rng.hh"
+#include "support/cancel.hh"
+#include "support/checkpoint.hh"
 #include "support/error.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -169,9 +171,13 @@ drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
     // Fast path: no isolation requested. Kept separate so the default
     // Abort-with-no-injection configuration runs the exact legacy code.
     const FaultInjector* injector = options.fault_injector;
+    const bool resilient =
+        options.cancel != nullptr || options.retry.enabled() ||
+        options.resume_from != nullptr || options.checkpoint != nullptr;
     const bool isolated = options.failure_policy.skips() ||
                           options.failure_report != nullptr ||
-                          (injector != nullptr && injector->enabled());
+                          (injector != nullptr && injector->enabled()) ||
+                          resilient;
     if (!isolated) {
         std::vector<double> samples(options.samples);
         parallelFor(options.parallel, options.samples,
@@ -187,16 +193,60 @@ drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
     // serial enforcePolicy pass then builds the (thread-count-
     // independent) report and applies the policy. Failed samples are
     // dropped, preserving index order of the survivors.
+    //
+    // Resume/checkpoint keep the counters and values bitwise equal to
+    // an uninterrupted run: restored points are counted as drawn (the
+    // chunk add below) and re-recorded into the new checkpoint, and
+    // their values are bit-exact IEEE-754 patterns.
+    if (options.resume_from != nullptr)
+        options.resume_from->requireMatches(kernel, options.seed,
+                                            options.samples);
+    if (options.checkpoint != nullptr)
+        options.checkpoint->bind(kernel, options.seed, options.samples);
+    const RetryPolicy* retry =
+        options.retry.enabled() ? &options.retry : nullptr;
+    std::vector<std::uint32_t> attempts(options.samples, 0);
     std::vector<Outcome<double>> outcomes(options.samples);
-    parallelFor(options.parallel, options.samples,
-                [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t i = begin; i < end; ++i) {
-                        outcomes[i] = guardedScalarPoint(
-                            injector, DiagCode::NonFiniteOutput, kernel, i,
-                            [&] { return sample(streams[i]); });
-                    }
-                    samples_drawn.add(end - begin);
-                });
+    parallelFor(
+        options.parallel, options.samples,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                if (options.resume_from != nullptr &&
+                    options.resume_from->has(i)) {
+                    outcomes[i] = Outcome<double>::success(
+                        options.resume_from->value(i));
+                } else {
+                    outcomes[i] = guardedScalarPoint(
+                        injector, DiagCode::NonFiniteOutput, kernel, i,
+                        [&] { return sample(streams[i]); }, retry,
+                        &attempts[i]);
+                }
+                if (options.checkpoint != nullptr && outcomes[i].ok())
+                    options.checkpoint->record(i, outcomes[i].value());
+            }
+            samples_drawn.add(end - begin);
+        },
+        options.cancel);
+    if (options.cancel != nullptr && options.cancel->stopRequested())
+        markUnevaluated(outcomes, *options.cancel, kernel);
+    if (retry != nullptr) {
+        RetryStats stats;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (attempts[i] > 1) {
+                ++stats.retried_points;
+                stats.extra_attempts += attempts[i] - 1;
+                if (outcomes[i].ok())
+                    ++stats.recovered_points;
+            }
+            if (!outcomes[i].ok() && attempts[i] == retry->max_attempts)
+                ++stats.exhausted_points;
+        }
+        recordRetryMetrics(stats);
+        if (options.retry_stats != nullptr)
+            *options.retry_stats = stats;
+    } else if (options.retry_stats != nullptr) {
+        *options.retry_stats = RetryStats{};
+    }
     enforcePolicy(outcomes, options.failure_policy, options.failure_report,
                   kernel);
     std::vector<double> samples;
@@ -300,6 +350,11 @@ UncertaintyAnalysis::ttmSensitivity(const ChipDesign& design, double n_chips,
     sobol_options.failure_policy = options.failure_policy;
     sobol_options.fault_injector = options.fault_injector;
     sobol_options.failure_report = options.failure_report;
+    sobol_options.cancel = options.cancel;
+    sobol_options.retry = options.retry;
+    sobol_options.retry_stats = options.retry_stats;
+    sobol_options.resume_from = options.resume_from;
+    sobol_options.checkpoint = options.checkpoint;
     return sobolAnalyze(inputs, model, sobol_options);
 }
 

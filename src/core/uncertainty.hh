@@ -30,11 +30,14 @@
 #include "stats/sobol.hh"
 #include "stats/summary.hh"
 #include "support/outcome.hh"
+#include "support/retry.hh"
 #include "support/threadpool.hh"
 
 namespace ttmcas {
 
 class FaultInjector;
+class CancellationToken;
+class SweepCheckpoint;
 
 /** The paper's six varied inputs, in Fig. 8 row order. */
 enum class UncertainInput : std::size_t
@@ -94,6 +97,33 @@ class UncertaintyAnalysis
          * bitwise-identical for any thread count. Unowned.
          */
         FailureReport* failure_report = nullptr;
+        /**
+         * Cooperative stop (deadline / SIGINT), checked at chunk
+         * granularity; points the stop prevented are recorded as
+         * Cancelled/DeadlineExceeded failures. Unowned, may be null.
+         */
+        const CancellationToken* cancel = nullptr;
+        /**
+         * Per-sample retry schedule (support/retry.hh). Disabled by
+         * default (max_attempts = 1).
+         */
+        RetryPolicy retry;
+        /**
+         * When non-null, receives the run's retry tally (thread-count
+         * invariant; also mirrored into retry.* metrics). Unowned.
+         */
+        RetryStats* retry_stats = nullptr;
+        /**
+         * Completed points from a previous interrupted run; restored
+         * bit-exactly instead of re-evaluated. Must match (kernel,
+         * seed, sample count). Unowned, may be null.
+         */
+        const SweepCheckpoint* resume_from = nullptr;
+        /**
+         * When non-null, completed points are recorded here (bound to
+         * this run) for a later --resume. Unowned.
+         */
+        SweepCheckpoint* checkpoint = nullptr;
     };
 
     /**

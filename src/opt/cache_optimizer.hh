@@ -17,6 +17,7 @@
 #include "sim/ipc_model.hh"
 #include "sim/miss_curves.hh"
 #include "support/outcome.hh"
+#include "support/retry.hh"
 #include "support/threadpool.hh"
 #include "support/units.hh"
 #include "tech/technology_db.hh"
@@ -24,6 +25,7 @@
 namespace ttmcas {
 
 class FaultInjector;
+class CancellationToken;
 
 /** One (I$, D$) point of the sweep. */
 struct CacheDesignPoint
@@ -66,6 +68,16 @@ struct CacheSweepOptions
     const FaultInjector* fault_injector = nullptr;
     /** When non-null, receives the sweep's FailureReport. Unowned. */
     FailureReport* failure_report = nullptr;
+    /**
+     * Cooperative stop (deadline / SIGINT), checked at chunk
+     * granularity; grid points the stop prevented are recorded as
+     * Cancelled/DeadlineExceeded failures. Unowned, may be null.
+     */
+    const CancellationToken* cancel = nullptr;
+    /** Per-point retry schedule (support/retry.hh); off by default. */
+    RetryPolicy retry;
+    /** When non-null, receives the sweep's retry tally. Unowned. */
+    RetryStats* retry_stats = nullptr;
 };
 
 /** Cache-capacity design-space explorer. */

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "stats/fault_injection.hh"
+#include "support/cancel.hh"
 #include "support/error.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -125,7 +126,8 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
     const FaultInjector* injector = _options.fault_injector;
     const bool isolated = _options.failure_policy.skips() ||
                           _options.failure_report != nullptr ||
-                          (injector != nullptr && injector->enabled());
+                          (injector != nullptr && injector->enabled()) ||
+                          _options.cancel != nullptr;
     std::vector<double> seed_ttm;
     if (!isolated) {
         seed_ttm = parallelMap<double>(
@@ -180,7 +182,13 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
                     });
                 }
                 seed_counter.add(end - begin);
-            });
+            },
+            _options.cancel);
+        if (_options.cancel != nullptr &&
+            _options.cancel->stopRequested()) {
+            markUnevaluated(outcomes, *_options.cancel,
+                            "PortfolioPlanner::plan");
+        }
         enforcePolicy(outcomes, _options.failure_policy,
                       _options.failure_report, "PortfolioPlanner::plan");
         seed_ttm.reserve(seed_points);
@@ -211,13 +219,22 @@ PortfolioPlanner::plan(const std::vector<PortfolioProduct>& products) const
 
     PortfolioPlan best_plan = evaluateAssignment(products, assignment);
 
-    // Local search: single-product moves, first-improvement.
+    // Local search: single-product moves, first-improvement. A
+    // cooperative stop between moves keeps the best plan found so
+    // far — every intermediate plan is a complete, feasible plan, so
+    // there is nothing partial to discard.
     int moves = 0;
     bool improved = true;
     while (improved && moves < _options.max_moves) {
         improved = false;
+        if (_options.cancel != nullptr &&
+            _options.cancel->stopRequested())
+            break;
         for (std::size_t i = 0;
              i < products.size() && moves < _options.max_moves; ++i) {
+            if (_options.cancel != nullptr &&
+                _options.cancel->stopRequested())
+                break;
             for (const std::string& node : nodes) {
                 if (node == assignment[i])
                     continue;

@@ -32,6 +32,7 @@
 namespace ttmcas {
 
 class FaultInjector;
+class CancellationToken;
 
 /** One product in the portfolio. */
 struct PortfolioProduct
@@ -101,6 +102,18 @@ class PortfolioPlanner
         const FaultInjector* fault_injector = nullptr;
         /** When non-null, receives the seeding FailureReport. Unowned. */
         FailureReport* failure_report = nullptr;
+        /**
+         * Cooperative stop (deadline / SIGINT). During the seeding
+         * matrix the token is checked at chunk granularity and pairs
+         * the stop prevented become Cancelled/DeadlineExceeded
+         * failures: under Abort (default) plan() throws the structured
+         * NumericError, under SkipAndRecord the pairs leave the seed
+         * race like non-fits (a product whose whole row was stopped
+         * then throws ModelError "fits no candidate node"). Once
+         * seeding is done the local search checks the token between
+         * moves and returns the best plan found so far. Unowned.
+         */
+        const CancellationToken* cancel = nullptr;
     };
 
     explicit PortfolioPlanner(TtmModel model);

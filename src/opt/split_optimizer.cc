@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "stats/fault_injection.hh"
+#include "support/cancel.hh"
 #include "support/error.hh"
 #include "support/mathutil.hh"
 #include "support/metrics.hh"
@@ -157,9 +158,12 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
 
     const std::size_t fraction_count = _options.fractions.size();
     const FaultInjector* injector = _options.fault_injector;
+    const bool resilient =
+        _options.cancel != nullptr || _options.retry.enabled();
     const bool isolated = _options.failure_policy.skips() ||
                           _options.failure_report != nullptr ||
-                          (injector != nullptr && injector->enabled());
+                          (injector != nullptr && injector->enabled()) ||
+                          resilient;
     if (!isolated) {
         // Pass 1: TTM of every candidate split (evaluated in parallel,
         // one slot per fraction), and the best achievable.
@@ -215,22 +219,29 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
     }
 
     // Isolated path. Pass 1 evaluates fraction i as point i (where the
-    // injector arms); a fraction whose TTM failed is out of the race
-    // but does not abort the sweep.
+    // injector arms); a fraction whose TTM failed — or was never
+    // evaluated before a stop — is out of the race but does not abort
+    // the sweep.
+    const RetryPolicy* retry =
+        _options.retry.enabled() ? &_options.retry : nullptr;
+    std::vector<std::uint32_t> attempts(2 * fraction_count, 0);
     std::vector<Outcome<double>> ttm_outcomes(fraction_count);
     parallelFor(_options.parallel, fraction_count,
                 [&](std::size_t begin, std::size_t end) {
                     for (std::size_t i = begin; i < end; ++i) {
                         ttm_outcomes[i] = guardedScalarPoint(
                             injector, DiagCode::NonFiniteTtm,
-                            "SplitPlanner::optimizeCas", i, [&] {
+                            "SplitPlanner::optimizeCas", i,
+                            [&] {
                                 return combinedTtmWeeks(
                                     factory, n_chips, primary, secondary,
                                     _options.fractions[i], market);
-                            });
+                            },
+                            retry, &attempts[i]);
                     }
                     split_points.add(end - begin);
-                });
+                },
+                _options.cancel);
     double best_ttm = 0.0;
     bool have_ttm = false;
     for (std::size_t i = 0; i < fraction_count; ++i) {
@@ -259,18 +270,42 @@ SplitPlanner::optimizeCas(const DesignFactory& factory, double n_chips,
                         cas_outcomes[i] = guardedScalarPoint(
                             nullptr, DiagCode::NonFiniteCas,
                             "SplitPlanner::optimizeCas",
-                            fraction_count + i, [&] {
+                            fraction_count + i,
+                            [&] {
                                 return cas(factory, n_chips, primary,
                                            secondary,
                                            _options.fractions[i], market);
-                            });
+                            },
+                            retry, &attempts[fraction_count + i]);
                     }
                     split_points.add(end - begin);
-                });
+                },
+                _options.cancel);
 
     std::vector<Outcome<double>> all_outcomes = ttm_outcomes;
     all_outcomes.insert(all_outcomes.end(), cas_outcomes.begin(),
                         cas_outcomes.end());
+    if (_options.cancel != nullptr && _options.cancel->stopRequested())
+        markUnevaluated(all_outcomes, *_options.cancel,
+                        "SplitPlanner::optimizeCas");
+    if (retry != nullptr) {
+        RetryStats stats;
+        for (std::size_t p = 0; p < all_outcomes.size(); ++p) {
+            if (attempts[p] > 1) {
+                ++stats.retried_points;
+                stats.extra_attempts += attempts[p] - 1;
+                if (all_outcomes[p].ok())
+                    ++stats.recovered_points;
+            }
+            if (!all_outcomes[p].ok() && attempts[p] == retry->max_attempts)
+                ++stats.exhausted_points;
+        }
+        recordRetryMetrics(stats);
+        if (_options.retry_stats != nullptr)
+            *_options.retry_stats = stats;
+    } else if (_options.retry_stats != nullptr) {
+        *_options.retry_stats = RetryStats{};
+    }
     enforcePolicy(all_outcomes, _options.failure_policy,
                   _options.failure_report, "SplitPlanner::optimizeCas");
 

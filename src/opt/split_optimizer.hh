@@ -28,11 +28,13 @@
 #include "core/ttm_model.hh"
 #include "econ/cost_model.hh"
 #include "support/outcome.hh"
+#include "support/retry.hh"
 #include "support/threadpool.hh"
 
 namespace ttmcas {
 
 class FaultInjector;
+class CancellationToken;
 
 /** Builds the architecture re-targeted to a given process node. */
 using DesignFactory = std::function<ChipDesign(const std::string&)>;
@@ -89,6 +91,18 @@ class SplitPlanner
         const FaultInjector* fault_injector = nullptr;
         /** When non-null, receives the sweep's FailureReport. Unowned. */
         FailureReport* failure_report = nullptr;
+        /**
+         * Cooperative stop (deadline / SIGINT), checked at chunk
+         * granularity. Fractions the stop prevented are recorded as
+         * Cancelled/DeadlineExceeded failures and leave the race; when
+         * no fraction survives, optimizeCas throws a structured
+         * NumericError instead of returning a plan. Unowned.
+         */
+        const CancellationToken* cancel = nullptr;
+        /** Per-point retry schedule (support/retry.hh); off by default. */
+        RetryPolicy retry;
+        /** When non-null, receives the sweep's retry tally. Unowned. */
+        RetryStats* retry_stats = nullptr;
     };
 
     SplitPlanner(TtmModel model, CostModel costs);

@@ -8,6 +8,8 @@
 #include "stats/lowdiscrepancy.hh"
 #include "stats/rng.hh"
 #include "stats/summary.hh"
+#include "support/cancel.hh"
+#include "support/checkpoint.hh"
 #include "support/error.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -23,12 +25,25 @@ namespace {
  */
 void
 runChunked(ThreadPool* pool, std::size_t grain, std::size_t n,
-           const std::function<void(std::size_t, std::size_t)>& body)
+           const std::function<void(std::size_t, std::size_t)>& body,
+           const CancellationToken* cancel = nullptr)
 {
-    if (pool == nullptr)
-        body(0, n);
-    else
-        pool->parallelFor(n, grain, body);
+    if (pool == nullptr) {
+        if (cancel == nullptr) {
+            body(0, n);
+            return;
+        }
+        // Inline path matches the pooled chunk granularity so a
+        // deadline stops a serial analysis at the same boundaries.
+        const std::size_t step = std::max<std::size_t>(grain, 1);
+        for (std::size_t begin = 0; begin < n; begin += step) {
+            if (cancel->stopRequested())
+                return;
+            body(begin, std::min(n, begin + step));
+        }
+    } else {
+        pool->parallelFor(n, grain, body, cancel);
+    }
 }
 
 /** Pool sized per @p config, or null for the inline/serial path. */
@@ -146,30 +161,62 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
         result.input_names.push_back(input.name);
 
     const FaultInjector* injector = options.fault_injector;
+    const bool resilient =
+        options.cancel != nullptr || options.retry.enabled() ||
+        options.resume_from != nullptr || options.checkpoint != nullptr;
     const bool isolated = options.failure_policy.skips() ||
                           options.failure_report != nullptr ||
-                          (injector != nullptr && injector->enabled());
+                          (injector != nullptr && injector->enabled()) ||
+                          resilient;
     if (isolated) {
         // Isolated path: every evaluation lands in an Outcome slot,
         // indexed f(A)_j = j, f(B)_j = n + j, f(A_B^i)_j = (2+i)*n + j.
         // A base row survives only when A, B, and all k hybrid
         // evaluations of it succeeded; the estimators then run over the
         // surviving rows in ascending j order.
+        //
+        // The same global point index keys the checkpoint, so a
+        // resumed analysis restores exactly the evaluations the
+        // interrupted one finished, bit-for-bit.
+        const std::size_t total_points = (k + 2) * n;
+        if (options.resume_from != nullptr)
+            options.resume_from->requireMatches("sobolAnalyze",
+                                                options.seed, total_points);
+        if (options.checkpoint != nullptr)
+            options.checkpoint->bind("sobolAnalyze", options.seed,
+                                     total_points);
+        const RetryPolicy* retry =
+            options.retry.enabled() ? &options.retry : nullptr;
+        std::vector<std::uint32_t> attempts(total_points, 0);
+        const auto evalPoint = [&](std::size_t point,
+                                   auto&& fn) -> Outcome<double> {
+            Outcome<double> outcome;
+            if (options.resume_from != nullptr &&
+                options.resume_from->has(point)) {
+                outcome = Outcome<double>::success(
+                    options.resume_from->value(point));
+            } else {
+                outcome = guardedScalarPoint(
+                    injector, DiagCode::NonFiniteOutput, "sobolAnalyze",
+                    point, fn, retry, &attempts[point]);
+            }
+            if (options.checkpoint != nullptr && outcome.ok())
+                options.checkpoint->record(point, outcome.value());
+            return outcome;
+        };
+
         std::vector<Outcome<double>> out_a(n), out_b(n);
         runChunked(pool.get(), grain, n,
                    [&](std::size_t begin, std::size_t end) {
                        for (std::size_t j = begin; j < end; ++j) {
-                           out_a[j] = guardedScalarPoint(
-                               injector, DiagCode::NonFiniteOutput,
-                               "sobolAnalyze", j,
-                               [&] { return model(mat_a[j]); });
-                           out_b[j] = guardedScalarPoint(
-                               injector, DiagCode::NonFiniteOutput,
-                               "sobolAnalyze", n + j,
-                               [&] { return model(mat_b[j]); });
+                           out_a[j] = evalPoint(
+                               j, [&] { return model(mat_a[j]); });
+                           out_b[j] = evalPoint(
+                               n + j, [&] { return model(mat_b[j]); });
                        }
                        evaluations.add(2 * (end - begin));
-                   });
+                   },
+                   options.cancel);
         std::vector<std::vector<Outcome<double>>> out_ab(
             k, std::vector<Outcome<double>>(n));
         for (std::size_t i = 0; i < k; ++i) {
@@ -180,17 +227,17 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
                                // A_B^i: row j of A, column i from B.
                                point = mat_a[j];
                                point[i] = mat_b[j][i];
-                               out_ab[i][j] = guardedScalarPoint(
-                                   injector, DiagCode::NonFiniteOutput,
-                                   "sobolAnalyze", (2 + i) * n + j,
+                               out_ab[i][j] = evalPoint(
+                                   (2 + i) * n + j,
                                    [&] { return model(point); });
                            }
                            evaluations.add(end - begin);
-                       });
+                       },
+                       options.cancel);
         }
 
         std::vector<Outcome<double>> flat;
-        flat.reserve((k + 2) * n);
+        flat.reserve(total_points);
         for (std::size_t j = 0; j < n; ++j)
             flat.push_back(out_a[j]);
         for (std::size_t j = 0; j < n; ++j)
@@ -198,6 +245,26 @@ sobolAnalyze(const std::vector<SensitivityInput>& inputs,
         for (std::size_t i = 0; i < k; ++i) {
             for (std::size_t j = 0; j < n; ++j)
                 flat.push_back(out_ab[i][j]);
+        }
+        if (options.cancel != nullptr && options.cancel->stopRequested())
+            markUnevaluated(flat, *options.cancel, "sobolAnalyze");
+        if (retry != nullptr) {
+            RetryStats stats;
+            for (std::size_t p = 0; p < flat.size(); ++p) {
+                if (attempts[p] > 1) {
+                    ++stats.retried_points;
+                    stats.extra_attempts += attempts[p] - 1;
+                    if (flat[p].ok())
+                        ++stats.recovered_points;
+                }
+                if (!flat[p].ok() && attempts[p] == retry->max_attempts)
+                    ++stats.exhausted_points;
+            }
+            recordRetryMetrics(stats);
+            if (options.retry_stats != nullptr)
+                *options.retry_stats = stats;
+        } else if (options.retry_stats != nullptr) {
+            *options.retry_stats = RetryStats{};
         }
         enforcePolicy(flat, options.failure_policy, options.failure_report,
                       "sobolAnalyze");
@@ -407,7 +474,8 @@ sobolBootstrapCi(const SobolRowData& rows,
     const FaultInjector* injector = options.fault_injector;
     const bool isolated = options.failure_policy.skips() ||
                           options.failure_report != nullptr ||
-                          (injector != nullptr && injector->enabled());
+                          (injector != nullptr && injector->enabled()) ||
+                          options.cancel != nullptr;
     if (!isolated) {
         std::vector<std::vector<double>> first_replicates(
             k, std::vector<double>(resamples));
@@ -454,7 +522,10 @@ sobolBootstrapCi(const SobolRowData& rows,
                             });
                     }
                     resample_count.add(re - rb);
-                });
+                },
+                options.cancel);
+    if (options.cancel != nullptr && options.cancel->stopRequested())
+        markUnevaluated(outcomes, *options.cancel, "sobolBootstrapCi");
     enforcePolicy(outcomes, options.failure_policy, options.failure_report,
                   "sobolBootstrapCi");
 

@@ -26,11 +26,14 @@
 
 #include "stats/distributions.hh"
 #include "support/outcome.hh"
+#include "support/retry.hh"
 #include "support/threadpool.hh"
 
 namespace ttmcas {
 
 class FaultInjector;
+class CancellationToken;
+class SweepCheckpoint;
 
 /** One uncertain model input: a label plus its sampling distribution. */
 struct SensitivityInput
@@ -78,6 +81,26 @@ struct SobolOptions
     const FaultInjector* fault_injector = nullptr;
     /** When non-null, receives the run's FailureReport. Unowned. */
     FailureReport* failure_report = nullptr;
+    /**
+     * Cooperative stop (deadline / SIGINT), checked at chunk
+     * granularity; evaluations the stop prevented are recorded as
+     * Cancelled/DeadlineExceeded failures and their base rows dropped
+     * like any other failed row. Unowned, may be null.
+     */
+    const CancellationToken* cancel = nullptr;
+    /** Per-evaluation retry schedule (support/retry.hh); off by default. */
+    RetryPolicy retry;
+    /** When non-null, receives the run's retry tally. Unowned. */
+    RetryStats* retry_stats = nullptr;
+    /**
+     * Completed evaluations from a previous interrupted run, restored
+     * bit-exactly by global point index (f(A)_j = j, f(B)_j = N + j,
+     * f(A_B^i)_j = (2 + i) * N + j). Must match (kernel, seed,
+     * (k + 2) * N points). Unowned, may be null.
+     */
+    const SweepCheckpoint* resume_from = nullptr;
+    /** When non-null, completed evaluations are recorded here. Unowned. */
+    SweepCheckpoint* checkpoint = nullptr;
 };
 
 /** Result of a Sobol sensitivity analysis. */
@@ -172,6 +195,12 @@ struct SobolBootstrapOptions
     const FaultInjector* fault_injector = nullptr;
     /** When non-null, receives the run's FailureReport. Unowned. */
     FailureReport* failure_report = nullptr;
+    /**
+     * Cooperative stop checked at chunk granularity; replicates the
+     * stop prevented are dropped from the percentile intervals (at
+     * least two must survive). Unowned, may be null.
+     */
+    const CancellationToken* cancel = nullptr;
 };
 
 /** sobolBootstrapCi with the full option set (failure isolation). */

@@ -1,0 +1,112 @@
+#include "support/cancel.hh"
+
+#include <csignal>
+
+#include "support/error.hh"
+
+namespace ttmcas {
+
+namespace {
+
+std::int64_t
+toNanos(std::chrono::steady_clock::time_point when)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               when.time_since_epoch())
+        .count();
+}
+
+/** The token the active ScopedSigintCancel forwards SIGINT to. */
+std::atomic<CancellationToken*> g_sigint_token{nullptr};
+
+extern "C" void
+sigintToToken(int)
+{
+    // Only lock-free atomic operations: async-signal-safe.
+    CancellationToken* token =
+        g_sigint_token.load(std::memory_order_relaxed);
+    if (token != nullptr)
+        token->requestCancel();
+}
+
+} // namespace
+
+void
+CancellationToken::setDeadlineAfter(double seconds)
+{
+    TTMCAS_REQUIRE(seconds >= 0.0, "deadline must be >= 0 seconds");
+    setDeadline(std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds)));
+}
+
+void
+CancellationToken::setDeadline(std::chrono::steady_clock::time_point deadline)
+{
+    // Deliberately leaves _expired alone: once a deadline has fired,
+    // re-arming must not flip stopRequested() back to false — kernels
+    // rely on the stop state being monotone for the lifetime of a run.
+    // reset() is the only way to disarm an expired token.
+    _deadline_ns.store(toNanos(deadline), std::memory_order_relaxed);
+}
+
+bool
+CancellationToken::deadlineExpired() const noexcept
+{
+    const std::int64_t deadline =
+        _deadline_ns.load(std::memory_order_relaxed);
+    if (deadline == kNoDeadline)
+        return false;
+    if (_expired.load(std::memory_order_relaxed))
+        return true;
+    if (toNanos(std::chrono::steady_clock::now()) >= deadline) {
+        _expired.store(true, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+Diagnostic
+CancellationToken::stopDiagnostic(std::size_t point,
+                                  const char* kernel) const
+{
+    Diagnostic diagnostic;
+    diagnostic.code = stopCode();
+    diagnostic.message =
+        std::string(kernel) +
+        (diagnostic.code == DiagCode::Cancelled
+             ? ": evaluation cancelled before this point"
+             : ": deadline exceeded before this point");
+    diagnostic.point_index = point;
+    return diagnostic;
+}
+
+void
+CancellationToken::reset() noexcept
+{
+    _cancelled.store(false, std::memory_order_relaxed);
+    _expired.store(false, std::memory_order_relaxed);
+    _deadline_ns.store(kNoDeadline, std::memory_order_relaxed);
+}
+
+ScopedSigintCancel::ScopedSigintCancel(CancellationToken& token)
+{
+    CancellationToken* expected = nullptr;
+    TTMCAS_REQUIRE(g_sigint_token.compare_exchange_strong(
+                       expected, &token, std::memory_order_relaxed),
+                   "only one ScopedSigintCancel may be active at a time");
+    _previous = std::signal(SIGINT, sigintToToken);
+    if (_previous == SIG_ERR) {
+        g_sigint_token.store(nullptr, std::memory_order_relaxed);
+        TTMCAS_REQUIRE(false, "cannot install SIGINT handler");
+    }
+}
+
+ScopedSigintCancel::~ScopedSigintCancel()
+{
+    std::signal(SIGINT, _previous);
+    g_sigint_token.store(nullptr, std::memory_order_relaxed);
+}
+
+} // namespace ttmcas

@@ -325,6 +325,33 @@ class JsonParser
     }
 
   private:
+    /**
+     * Container-nesting cap. Checkpoints make this parser a
+     * crash-recovery path, so a hostile or corrupted document must
+     * produce a structured ModelError — never the stack overflow that
+     * unbounded recursive descent would hit on "[[[[...".
+     */
+    static constexpr std::size_t kMaxDepth = 256;
+
+    /** RAII nesting counter: entering an object/array costs one level. */
+    class DepthGuard
+    {
+      public:
+        explicit DepthGuard(JsonParser& parser) : _parser(parser)
+        {
+            if (++_parser._depth > kMaxDepth)
+                _parser.fail("nesting deeper than " +
+                             std::to_string(kMaxDepth) + " levels");
+        }
+        ~DepthGuard() { --_parser._depth; }
+
+        DepthGuard(const DepthGuard&) = delete;
+        DepthGuard& operator=(const DepthGuard&) = delete;
+
+      private:
+        JsonParser& _parser;
+    };
+
     [[noreturn]] void fail(const std::string& what) const
     {
         throw ModelError("JSON parse error at byte " +
@@ -372,8 +399,14 @@ class JsonParser
         skipWhitespace();
         const char c = peek();
         switch (c) {
-        case '{': return parseObject();
-        case '[': return parseArray();
+        case '{': {
+            const DepthGuard guard(*this);
+            return parseObject();
+        }
+        case '[': {
+            const DepthGuard guard(*this);
+            return parseArray();
+        }
         case '"': return JsonValue::makeString(parseString());
         case 't':
             if (consumeLiteral("true"))
@@ -557,6 +590,7 @@ class JsonParser
 
     const std::string& _text;
     std::size_t _pos = 0;
+    std::size_t _depth = 0;
 };
 
 } // namespace

@@ -26,6 +26,10 @@ diagCodeName(DiagCode code)
         return "injected-fault";
       case DiagCode::Unknown:
         return "unknown";
+      case DiagCode::Cancelled:
+        return "cancelled";
+      case DiagCode::DeadlineExceeded:
+        return "deadline-exceeded";
     }
     TTMCAS_INVARIANT(false, "unhandled DiagCode");
 }

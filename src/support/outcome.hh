@@ -58,10 +58,12 @@ enum class DiagCode : std::uint8_t
     NonFiniteOutput = 6,///< kernel-boundary non-finite result
     InjectedFault = 7,  ///< deterministic fault-injection harness
     Unknown = 8,        ///< any other std::exception
+    Cancelled = 9,      ///< run stopped by explicit cancellation
+    DeadlineExceeded = 10, ///< run stopped by a wall-clock deadline
 };
 
 /** Number of DiagCode values (FailureReport count-array size). */
-inline constexpr std::size_t kDiagCodeCount = 9;
+inline constexpr std::size_t kDiagCodeCount = 11;
 
 /** Stable display name of a code ("invalid-input", "injected-fault"). */
 const char* diagCodeName(DiagCode code);
@@ -253,6 +255,20 @@ class Outcome
 
     /** True when the evaluation succeeded (a value is held). */
     bool ok() const { return std::holds_alternative<T>(_data); }
+
+    /**
+     * True when this slot still holds the default-constructed "point
+     * was never evaluated" state — i.e. no success, failure, or resume
+     * restore was ever written to it. A cancelled parallel loop leaves
+     * exactly these slots behind; markUnevaluated() (support/cancel.hh)
+     * converts them to structured Cancelled/DeadlineExceeded records.
+     */
+    bool unevaluated() const
+    {
+        return !ok() &&
+               std::get<Diagnostic>(_data).point_index == kNoPointIndex &&
+               std::get<Diagnostic>(_data).code == DiagCode::Unknown;
+    }
     /** Same as ok(): `if (outcome)` tests for success. */
     explicit operator bool() const { return ok(); }
 

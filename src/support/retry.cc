@@ -1,0 +1,77 @@
+#include "support/retry.hh"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "support/error.hh"
+#include "support/metrics.hh"
+
+namespace ttmcas {
+
+namespace {
+
+/**
+ * splitmix64 finalizer (Vigna). support/ cannot depend on stats/Rng,
+ * so the jitter hash lives here; it matches the stats-layer stream
+ * splitter bit-for-bit by construction but shares no code.
+ */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from the top 53 bits of @p bits. */
+double
+unitDouble(std::uint64_t bits)
+{
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+double
+RetryPolicy::delayMs(std::uint32_t attempt, std::size_t site) const
+{
+    TTMCAS_REQUIRE(base_ms >= 0.0, "retry base_ms must be >= 0");
+    TTMCAS_REQUIRE(multiplier >= 1.0, "retry multiplier must be >= 1");
+    TTMCAS_REQUIRE(jitter_fraction >= 0.0 && jitter_fraction <= 1.0,
+                   "retry jitter_fraction must be in [0, 1]");
+    const double nominal =
+        base_ms * std::pow(multiplier, static_cast<double>(attempt));
+    if (jitter_fraction == 0.0)
+        return nominal;
+    // Factor in [1 - j, 1 + j], a pure function of (seed, site, attempt).
+    const std::uint64_t bits = splitmix64(
+        splitmix64(seed ^ static_cast<std::uint64_t>(site)) ^
+        static_cast<std::uint64_t>(attempt));
+    const double factor =
+        1.0 + jitter_fraction * (2.0 * unitDouble(bits) - 1.0);
+    return nominal * factor;
+}
+
+void
+RetryPolicy::backoff(std::uint32_t attempt, std::size_t site) const
+{
+    const double delay = delayMs(attempt, site);
+    if (delay <= 0.0)
+        return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+}
+
+void
+recordRetryMetrics(const RetryStats& stats)
+{
+    static const obs::Counter attempts("retry.attempts");
+    static const obs::Counter recovered("retry.recovered");
+    static const obs::Counter exhausted("retry.exhausted");
+    attempts.add(stats.extra_attempts);
+    recovered.add(stats.recovered_points);
+    exhausted.add(stats.exhausted_points);
+}
+
+} // namespace ttmcas

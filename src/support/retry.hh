@@ -1,0 +1,103 @@
+#ifndef TTMCAS_SUPPORT_RETRY_HH
+#define TTMCAS_SUPPORT_RETRY_HH
+
+/**
+ * @file
+ * Deterministic exponential-backoff retry for per-point evaluations.
+ *
+ * Transient faults — a flaky filesystem read, a racy external probe,
+ * the injector's transient class (stats/fault_injection.hh) — deserve
+ * a cheap local retry before a point is written off. RetryPolicy
+ * describes the schedule: up to max_attempts tries, exponential
+ * backoff base_ms * multiplier^attempt, and an optional *seeded*
+ * jitter so that the full delay sequence is a pure function of
+ * (seed, site, attempt). Nothing here reads a clock or a global RNG:
+ * tests assert exact delay schedules, and production runs stay
+ * reproducible point-by-point.
+ *
+ * Determinism contract: whether a retried point ultimately succeeds
+ * depends only on the evaluation itself (per-point RNG streams, the
+ * injector's per-(point, attempt) schedule), never on wall-clock
+ * time. base_ms = 0 (the test default) makes backoff() a no-op, so
+ * retry-path tests are instant and sleep-free.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ttmcas {
+
+/** Deterministic exponential-backoff retry schedule. */
+struct RetryPolicy
+{
+    /** Total attempts per point (1 = no retry, the default). */
+    std::uint32_t max_attempts = 1;
+    /** Delay before the first retry, in milliseconds (0 = no sleep). */
+    double base_ms = 0.0;
+    /** Backoff growth factor per retry. */
+    double multiplier = 2.0;
+    /**
+     * Jitter amplitude as a fraction of the nominal delay; the actual
+     * factor in [1 - jitter_fraction, 1 + jitter_fraction] is drawn
+     * from a splitmix64 hash of (seed, site, attempt), never a clock.
+     */
+    double jitter_fraction = 0.0;
+    /** Seed feeding the jitter hash. */
+    std::uint64_t seed = 0;
+
+    /** True when more than one attempt is allowed. */
+    bool enabled() const { return max_attempts > 1; }
+
+    /**
+     * Nominal-plus-jitter delay in milliseconds before retry number
+     * @p attempt (0 = first retry) of point/site @p site. Pure
+     * function of the policy fields and its arguments.
+     */
+    double delayMs(std::uint32_t attempt, std::size_t site) const;
+
+    /**
+     * Sleep for delayMs(attempt, site). A no-op when base_ms == 0, so
+     * deterministic tests never touch the clock.
+     */
+    void backoff(std::uint32_t attempt, std::size_t site) const;
+
+    /** A policy retrying up to @p attempts times with no sleeping. */
+    static RetryPolicy immediate(std::uint32_t attempts)
+    {
+        RetryPolicy policy;
+        policy.max_attempts = attempts;
+        return policy;
+    }
+};
+
+/**
+ * Serial per-run retry tally, built by the kernels from per-point
+ * attempt slots in index order (thread-count invariant) and surfaced
+ * in metrics (recordRetryMetrics) and the run manifest.
+ */
+struct RetryStats
+{
+    /** Points that needed more than one attempt. */
+    std::uint64_t retried_points = 0;
+    /** Attempts beyond the first, summed over all points. */
+    std::uint64_t extra_attempts = 0;
+    /** Retried points that ultimately succeeded. */
+    std::uint64_t recovered_points = 0;
+    /** Points that failed every allowed attempt. */
+    std::uint64_t exhausted_points = 0;
+
+    /** Field-wise equality (used by determinism tests). */
+    bool operator==(const RetryStats& other) const = default;
+};
+
+/**
+ * Bump the retry.* metrics counters (retry.attempts, retry.recovered,
+ * retry.exhausted) by @p stats. Call once per run, from the serial
+ * post-pass, so totals are thread-count invariant. No-op when metrics
+ * are disabled.
+ */
+void recordRetryMetrics(const RetryStats& stats);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_SUPPORT_RETRY_HH

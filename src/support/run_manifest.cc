@@ -83,6 +83,10 @@ RunManifest::toJson() const
     for (const auto& [name, count] : failure_counts)
         json.field(name, count);
     json.endObject();
+    json.field("disposition", disposition);
+    json.field("total_retries", total_retries);
+    json.field("parent_checkpoint", parent_checkpoint);
+    json.field("checkpoint_points", checkpoint_points);
     json.endObject();
     return json.str();
 }
@@ -120,6 +124,21 @@ RunManifest::fromJson(const std::string& text)
         manifest.failure_counts.emplace_back(
             name,
             static_cast<std::uint64_t>(counts.at(name).asNumber()));
+    }
+    // Resilience fields arrived after the first manifest release, so
+    // they stay optional on parse: old manifests load with defaults.
+    if (root.has("disposition"))
+        manifest.disposition = root.at("disposition").asString();
+    if (root.has("total_retries")) {
+        manifest.total_retries = static_cast<std::uint64_t>(
+            root.at("total_retries").asNumber());
+    }
+    if (root.has("parent_checkpoint"))
+        manifest.parent_checkpoint =
+            root.at("parent_checkpoint").asString();
+    if (root.has("checkpoint_points")) {
+        manifest.checkpoint_points = static_cast<std::uint64_t>(
+            root.at("checkpoint_points").asNumber());
     }
     return manifest;
 }

@@ -68,6 +68,19 @@ struct RunManifest
     std::uint64_t total_failures = 0;
     /** Per-DiagCode failure counts rendered as {"code-name": n}. */
     std::vector<std::pair<std::string, std::uint64_t>> failure_counts;
+    /**
+     * How the run ended: "completed" (default), "deadline_exceeded"
+     * (the --deadline fired and a checkpoint holds partial results),
+     * "cancelled" (SIGINT), or "resumed" (this run restored completed
+     * points from a parent checkpoint and finished the remainder).
+     */
+    std::string disposition = "completed";
+    /** Extra evaluation attempts spent by the retry layer (sum). */
+    std::uint64_t total_retries = 0;
+    /** Lineage: path of the checkpoint this run resumed from. */
+    std::string parent_checkpoint;
+    /** Completed points carried in the checkpoint this run wrote. */
+    std::uint64_t checkpoint_points = 0;
 
     /** Copy mode + circuit breaker from a FailurePolicy. */
     void setPolicy(const FailurePolicy& policy);

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <memory>
 
+#include "support/cancel.hh"
 #include "support/error.hh"
 #include "support/metrics.hh"
 
@@ -150,7 +151,8 @@ ThreadPool::wait()
 void
 ThreadPool::parallelFor(
     std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& body)
+    const std::function<void(std::size_t, std::size_t)>& body,
+    const CancellationToken* cancel)
 {
     if (n == 0)
         return;
@@ -158,6 +160,8 @@ ThreadPool::parallelFor(
         grain = 1;
     const std::size_t chunks = (n + grain - 1) / grain;
     if (chunks == 1) {
+        if (cancel != nullptr && cancel->stopRequested())
+            return;
         chunkSizeHistogram().record(static_cast<double>(n));
         body(0, n);
         return;
@@ -183,8 +187,12 @@ ThreadPool::parallelFor(
     const auto next = std::make_shared<std::atomic<std::size_t>>(0);
     const std::size_t tasks = std::min(chunks, threadCount());
     for (std::size_t t = 0; t < tasks; ++t) {
-        submit([next, failure, chunks, grain, n, &body] {
+        submit([next, failure, chunks, grain, n, &body, cancel] {
             for (;;) {
+                // Cooperative cancellation: stop claiming chunks once
+                // the token fires; unclaimed chunks simply never run.
+                if (cancel != nullptr && cancel->stopRequested())
+                    return;
                 const std::size_t chunk =
                     next->fetch_add(1, std::memory_order_relaxed);
                 if (chunk >= chunks)
@@ -222,7 +230,8 @@ ThreadPool::parallelFor(
 
 void
 parallelFor(const ParallelConfig& config, std::size_t n,
-            const std::function<void(std::size_t, std::size_t)>& body)
+            const std::function<void(std::size_t, std::size_t)>& body,
+            const CancellationToken* cancel)
 {
     if (n == 0)
         return;
@@ -231,11 +240,22 @@ parallelFor(const ParallelConfig& config, std::size_t n,
     const std::size_t threads =
         std::min(config.resolvedThreads(), chunks);
     if (threads <= 1) {
-        body(0, n);
+        if (cancel == nullptr) {
+            body(0, n);
+            return;
+        }
+        // Inline path honors the token at the same chunk granularity
+        // as the pooled path, so a deadline stops a serial sweep too.
+        for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+            if (cancel->stopRequested())
+                return;
+            const std::size_t begin = chunk * grain;
+            body(begin, std::min(n, begin + grain));
+        }
         return;
     }
     ThreadPool pool(threads);
-    pool.parallelFor(n, grain, body);
+    pool.parallelFor(n, grain, body, cancel);
 }
 
 } // namespace ttmcas

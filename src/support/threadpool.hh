@@ -43,6 +43,8 @@
 
 namespace ttmcas {
 
+class CancellationToken;
+
 /**
  * Parallelism knob threaded through UncertaintyAnalysis::Options,
  * SobolOptions, and the optimizers' option structs.
@@ -109,10 +111,19 @@ class ThreadPool
      * first exception the serial path would raise. Chunks above a
      * failed chunk are skipped (best effort), never half-run; chunks
      * below it still run so the lowest failure is always found.
+     *
+     * When @p cancel is non-null the token is checked once per chunk:
+     * after it fires, workers stop claiming chunks and return, so the
+     * loop completes with some chunks never run (their output slots
+     * stay untouched — the kernels' markUnevaluated() post-pass turns
+     * them into structured Cancelled/DeadlineExceeded records). A
+     * chunk already executing is never interrupted mid-body, so every
+     * slot is either fully written or fully untouched.
      */
     void parallelFor(std::size_t n, std::size_t grain,
                      const std::function<void(std::size_t, std::size_t)>&
-                         body);
+                         body,
+                     const CancellationToken* cancel = nullptr);
 
   private:
     void workerLoop();
@@ -131,26 +142,32 @@ class ThreadPool
  * One-shot deterministic parallel loop: runs @p body over [0, n) on a
  * transient pool sized per @p config, or inline when the config is
  * serial (or the range fits a single chunk). See the file comment for
- * the determinism contract the body must obey.
+ * the determinism contract the body must obey. @p cancel, when
+ * non-null, is honored at chunk granularity on both the pooled and
+ * the inline path (ThreadPool::parallelFor documents the semantics).
  */
 void parallelFor(const ParallelConfig& config, std::size_t n,
-                 const std::function<void(std::size_t, std::size_t)>& body);
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 const CancellationToken* cancel = nullptr);
 
 /**
  * Deterministic parallel map: out[i] = fn(i) for i in [0, n), with
- * the same scheduling and determinism rules as parallelFor. T must be
- * default-constructible.
+ * the same scheduling, determinism, and cancellation rules as
+ * parallelFor. T must be default-constructible; slots of chunks the
+ * token stopped keep their default-constructed value.
  */
 template <typename T, typename Fn>
 std::vector<T>
-parallelMap(const ParallelConfig& config, std::size_t n, Fn&& fn)
+parallelMap(const ParallelConfig& config, std::size_t n, Fn&& fn,
+            const CancellationToken* cancel = nullptr)
 {
     std::vector<T> out(n);
     parallelFor(config, n,
                 [&](std::size_t begin, std::size_t end) {
                     for (std::size_t i = begin; i < end; ++i)
                         out[i] = fn(i);
-                });
+                },
+                cancel);
     return out;
 }
 

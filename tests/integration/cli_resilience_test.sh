@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Integration test for the ttm_cli resilience contract:
+#
+#   1. A straight Sobol batch run exits 0.
+#   2. --deadline with --checkpoint exits 3 when the budget expires,
+#      leaving a well-formed checkpoint and manifest
+#      (disposition=deadline_exceeded).
+#   3. --resume from that checkpoint finishes the run and produces
+#      stdout bitwise identical to the straight run, at 1 and 8
+#      threads, with manifest disposition=resumed and parent lineage.
+#   4. SIGINT mid-run flushes the checkpoint and exits 130.
+#
+# Usage: cli_resilience_test.sh /path/to/ttm_cli
+set -u
+
+CLI="${1:?usage: cli_resilience_test.sh /path/to/ttm_cli}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ttmcas_cli_resilience.XXXXXX")"
+trap 'rm -rf "${WORK}"' EXIT
+
+FAILURES=0
+fail() {
+    echo "FAIL: $*" >&2
+    FAILURES=$((FAILURES + 1))
+}
+
+SOBOL_ARGS=(--sobol 512 --seed 2023)
+
+# ---------------------------------------------------------------- #
+# 1. Straight run: exit 0, reference output.
+# ---------------------------------------------------------------- #
+"${CLI}" "${SOBOL_ARGS[@]}" --threads 1 > "${WORK}/straight.out"
+code=$?
+[ "${code}" -eq 0 ] || fail "straight run exited ${code}, expected 0"
+[ -s "${WORK}/straight.out" ] || fail "straight run produced no output"
+
+# ---------------------------------------------------------------- #
+# 2. Deadline exit: an already-expired budget must stop the run
+#    before any point, exit 3, and still write a well-formed
+#    checkpoint + manifest. Deterministic: the deadline is armed
+#    before the first chunk is claimed.
+# ---------------------------------------------------------------- #
+"${CLI}" "${SOBOL_ARGS[@]}" --threads 1 \
+    --deadline 0.000001 \
+    --checkpoint "${WORK}/ck.json" \
+    --manifest "${WORK}/deadline_manifest.json" \
+    > "${WORK}/deadline.out" 2> "${WORK}/deadline.err"
+code=$?
+[ "${code}" -eq 3 ] || fail "deadline run exited ${code}, expected 3"
+[ -s "${WORK}/ck.json" ] || fail "deadline run left no checkpoint"
+grep -q '"kernel"' "${WORK}/ck.json" ||
+    fail "checkpoint is not well-formed JSON"
+grep -q '"disposition": *"deadline_exceeded"' \
+    "${WORK}/deadline_manifest.json" ||
+    fail "manifest disposition is not deadline_exceeded"
+# The atomic write never leaves its staging file behind.
+[ ! -e "${WORK}/ck.json.tmp" ] || fail "staging file survived the rename"
+
+# ---------------------------------------------------------------- #
+# 3. Resume: finish from the checkpoint; stdout must be bitwise
+#    identical to the straight run at 1 and 8 threads.
+# ---------------------------------------------------------------- #
+for threads in 1 8; do
+    "${CLI}" "${SOBOL_ARGS[@]}" --threads "${threads}" \
+        --resume "${WORK}/ck.json" \
+        --checkpoint "${WORK}/ck_resumed_${threads}.json" \
+        --manifest "${WORK}/resume_manifest_${threads}.json" \
+        > "${WORK}/resumed_${threads}.out"
+    code=$?
+    [ "${code}" -eq 0 ] ||
+        fail "resume (${threads} threads) exited ${code}, expected 0"
+    cmp -s "${WORK}/straight.out" "${WORK}/resumed_${threads}.out" ||
+        fail "resumed stdout (${threads} threads) differs from straight run"
+    grep -q '"disposition": *"resumed"' \
+        "${WORK}/resume_manifest_${threads}.json" ||
+        fail "resume manifest (${threads} threads) disposition wrong"
+    grep -q "\"parent_checkpoint\": *\"${WORK}/ck.json\"" \
+        "${WORK}/resume_manifest_${threads}.json" ||
+        fail "resume manifest (${threads} threads) lost parent lineage"
+done
+
+# ---------------------------------------------------------------- #
+# 4. SIGINT mid-run: flush the checkpoint, exit 130. Timing-
+#    dependent (the signal must land while the sweep is running), so
+#    retry with a growing workload before declaring failure.
+# ---------------------------------------------------------------- #
+sigint_ok=0
+for samples in 8192 32768 131072; do
+    "${CLI}" --sobol "${samples}" --seed 2023 --threads 1 \
+        --checkpoint "${WORK}/ck_sigint.json" \
+        > "${WORK}/sigint.out" 2> "${WORK}/sigint.err" &
+    pid=$!
+    sleep 0.3
+    kill -INT "${pid}" 2> /dev/null
+    wait "${pid}"
+    code=$?
+    if [ "${code}" -eq 130 ]; then
+        sigint_ok=1
+        [ -s "${WORK}/ck_sigint.json" ] ||
+            fail "SIGINT exit did not flush the checkpoint"
+        break
+    fi
+    # Exit 0 means the run finished before the signal landed: grow
+    # the workload and try again. Any other code is a real failure.
+    [ "${code}" -eq 0 ] || fail "SIGINT run exited ${code}, expected 130"
+done
+[ "${sigint_ok}" -eq 1 ] ||
+    fail "SIGINT never interrupted the run (machine too fast?)"
+
+if [ "${FAILURES}" -ne 0 ]; then
+    echo "${FAILURES} check(s) failed" >&2
+    exit 1
+fi
+echo "all CLI resilience checks passed"

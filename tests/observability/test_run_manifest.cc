@@ -97,6 +97,71 @@ TEST(RunManifestTest, RoundTripKeepsFailureCounts)
     EXPECT_EQ(manifest, reparsed);
 }
 
+TEST(RunManifestTest, ResilienceFieldsRoundTrip)
+{
+    obs::RunManifest manifest = sampleManifest();
+    manifest.disposition = "resumed";
+    manifest.total_retries = 17;
+    manifest.parent_checkpoint = "runs/ck.json";
+    manifest.checkpoint_points = 1280;
+    const obs::RunManifest reparsed =
+        obs::RunManifest::fromJson(manifest.toJson());
+    EXPECT_EQ(manifest, reparsed);
+    EXPECT_EQ(reparsed.disposition, "resumed");
+    EXPECT_EQ(reparsed.total_retries, 17u);
+    EXPECT_EQ(reparsed.parent_checkpoint, "runs/ck.json");
+    EXPECT_EQ(reparsed.checkpoint_points, 1280u);
+}
+
+void
+rewriteValue(JsonWriter& json, const JsonValue& value)
+{
+    switch (value.kind()) {
+    case JsonValue::Kind::Null: json.null(); break;
+    case JsonValue::Kind::Boolean: json.value(value.asBool()); break;
+    case JsonValue::Kind::Number: json.value(value.asNumber()); break;
+    case JsonValue::Kind::String: json.value(value.asString()); break;
+    case JsonValue::Kind::Array:
+        json.beginArray();
+        for (const JsonValue& element : value.asArray())
+            rewriteValue(json, element);
+        json.endArray();
+        break;
+    case JsonValue::Kind::Object:
+        json.beginObject();
+        for (const std::string& key : value.keys()) {
+            json.key(key);
+            rewriteValue(json, value.at(key));
+        }
+        json.endObject();
+        break;
+    }
+}
+
+TEST(RunManifestTest, ManifestsWithoutResilienceFieldsStillParse)
+{
+    // The resilience fields postdate the first manifest release:
+    // documents written before them must load with the defaults.
+    const obs::RunManifest manifest = sampleManifest();
+    const JsonValue document = parseJson(manifest.toJson());
+    JsonWriter stripped;
+    stripped.beginObject();
+    for (const std::string& key : document.keys()) {
+        if (key == "disposition" || key == "total_retries" ||
+            key == "parent_checkpoint" || key == "checkpoint_points")
+            continue;
+        stripped.key(key);
+        rewriteValue(stripped, document.at(key));
+    }
+    stripped.endObject();
+    const obs::RunManifest reparsed =
+        obs::RunManifest::fromJson(stripped.str());
+    EXPECT_EQ(reparsed.disposition, "completed");
+    EXPECT_EQ(reparsed.total_retries, 0u);
+    EXPECT_TRUE(reparsed.parent_checkpoint.empty());
+    EXPECT_EQ(reparsed.checkpoint_points, 0u);
+}
+
 TEST(RunManifestTest, ToJsonIsAValidJsonObject)
 {
     const JsonValue document = parseJson(sampleManifest().toJson());

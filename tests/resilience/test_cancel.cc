@@ -1,0 +1,210 @@
+/**
+ * @file
+ * CancellationToken / ScopedSigintCancel unit contract: relaxed-atomic
+ * stop flags, latched wall-clock deadlines, structured stop
+ * diagnostics, the markUnevaluated post-pass, and cooperative chunk
+ * claiming inside ThreadPool::parallelFor.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/cancel.hh"
+#include "support/error.hh"
+#include "support/threadpool.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(CancellationToken, StartsClean)
+{
+    const CancellationToken token;
+    EXPECT_FALSE(token.cancelRequested());
+    EXPECT_FALSE(token.hasDeadline());
+    EXPECT_FALSE(token.deadlineExpired());
+    EXPECT_FALSE(token.stopRequested());
+}
+
+TEST(CancellationToken, ExplicitCancelFiresAndIsIdempotent)
+{
+    CancellationToken token;
+    token.requestCancel();
+    token.requestCancel();
+    EXPECT_TRUE(token.cancelRequested());
+    EXPECT_TRUE(token.stopRequested());
+    EXPECT_EQ(token.stopCode(), DiagCode::Cancelled);
+}
+
+TEST(CancellationToken, PastDeadlineExpires)
+{
+    CancellationToken token;
+    token.setDeadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+    EXPECT_TRUE(token.hasDeadline());
+    EXPECT_TRUE(token.deadlineExpired());
+    EXPECT_TRUE(token.stopRequested());
+    EXPECT_EQ(token.stopCode(), DiagCode::DeadlineExceeded);
+}
+
+TEST(CancellationToken, FutureDeadlineDoesNotFireEarly)
+{
+    CancellationToken token;
+    token.setDeadlineAfter(3600.0);
+    EXPECT_TRUE(token.hasDeadline());
+    EXPECT_FALSE(token.deadlineExpired());
+    EXPECT_FALSE(token.stopRequested());
+}
+
+TEST(CancellationToken, NegativeDeadlineIsRejected)
+{
+    CancellationToken token;
+    EXPECT_THROW(token.setDeadlineAfter(-1.0), ModelError);
+}
+
+TEST(CancellationToken, ExpiredDeadlineLatches)
+{
+    CancellationToken token;
+    token.setDeadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+    ASSERT_TRUE(token.deadlineExpired());
+    // Re-arming further in the future does not un-expire the token:
+    // kernels rely on stopRequested() never flipping back to false
+    // mid-run.
+    token.setDeadline(std::chrono::steady_clock::now() +
+                      std::chrono::hours(1));
+    EXPECT_TRUE(token.deadlineExpired());
+}
+
+TEST(CancellationToken, ExplicitCancelWinsTheStopCodeRace)
+{
+    CancellationToken token;
+    token.setDeadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+    token.requestCancel();
+    EXPECT_EQ(token.stopCode(), DiagCode::Cancelled);
+}
+
+TEST(CancellationToken, StopDiagnosticIsStructured)
+{
+    CancellationToken token;
+    token.requestCancel();
+    const Diagnostic diagnostic = token.stopDiagnostic(17, "testKernel");
+    EXPECT_EQ(diagnostic.code, DiagCode::Cancelled);
+    EXPECT_EQ(diagnostic.point_index, 17u);
+    EXPECT_NE(diagnostic.message.find("testKernel"), std::string::npos);
+}
+
+TEST(CancellationToken, ResetDisarmsEverything)
+{
+    CancellationToken token;
+    token.requestCancel();
+    token.setDeadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+    ASSERT_TRUE(token.stopRequested());
+    token.reset();
+    EXPECT_FALSE(token.cancelRequested());
+    EXPECT_FALSE(token.hasDeadline());
+    EXPECT_FALSE(token.deadlineExpired());
+    EXPECT_FALSE(token.stopRequested());
+}
+
+TEST(MarkUnevaluated, MarksOnlyNeverEvaluatedSlots)
+{
+    CancellationToken token;
+    token.requestCancel();
+    std::vector<Outcome<double>> outcomes(4);
+    outcomes[0] = Outcome<double>::success(1.5);
+    Diagnostic real;
+    real.code = DiagCode::NonFiniteOutput;
+    real.message = "real failure";
+    real.point_index = 2;
+    outcomes[2] = Outcome<double>::failure(real);
+
+    const std::size_t marked =
+        markUnevaluated(outcomes, token, "testKernel");
+
+    EXPECT_EQ(marked, 2u);
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_EQ(outcomes[1].diagnostic().code, DiagCode::Cancelled);
+    EXPECT_EQ(outcomes[1].diagnostic().point_index, 1u);
+    EXPECT_EQ(outcomes[2].diagnostic().code, DiagCode::NonFiniteOutput);
+    EXPECT_EQ(outcomes[3].diagnostic().code, DiagCode::Cancelled);
+    EXPECT_EQ(outcomes[3].diagnostic().point_index, 3u);
+}
+
+TEST(ParallelForCancel, PreCancelledTokenRunsNoChunk)
+{
+    CancellationToken token;
+    token.requestCancel();
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ParallelConfig parallel;
+        parallel.threads = threads;
+        parallel.grain = 1;
+        std::atomic<std::size_t> calls{0};
+        parallelFor(
+            parallel, 64,
+            [&](std::size_t, std::size_t) { calls.fetch_add(1); },
+            &token);
+        EXPECT_EQ(calls.load(), 0u) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelForCancel, MidRunCancelStopsClaimingChunks)
+{
+    CancellationToken token;
+    ParallelConfig parallel;
+    parallel.threads = 2;
+    parallel.grain = 1;
+    std::atomic<std::size_t> calls{0};
+    parallelFor(
+        parallel, 1024,
+        [&](std::size_t, std::size_t) {
+            if (calls.fetch_add(1) + 1 >= 8)
+                token.requestCancel();
+        },
+        &token);
+    EXPECT_GE(calls.load(), 8u);
+    EXPECT_LT(calls.load(), 1024u);
+}
+
+TEST(ParallelForCancel, NullTokenIsTheLegacyFastPath)
+{
+    ParallelConfig parallel;
+    parallel.threads = 2;
+    parallel.grain = 4;
+    std::atomic<std::size_t> items{0};
+    parallelFor(parallel, 100,
+                [&](std::size_t begin, std::size_t end) {
+                    items.fetch_add(end - begin);
+                });
+    EXPECT_EQ(items.load(), 100u);
+}
+
+TEST(ScopedSigintCancel, RoutesSigintToTheToken)
+{
+    CancellationToken token;
+    {
+        const ScopedSigintCancel guard(token);
+        EXPECT_FALSE(token.cancelRequested());
+        std::raise(SIGINT);
+        EXPECT_TRUE(token.cancelRequested());
+    }
+    // After the guard is gone the token no longer observes signals
+    // (we cannot safely raise SIGINT here: the default disposition
+    // would kill the test binary).
+}
+
+TEST(ScopedSigintCancel, SecondConcurrentInstanceIsRejected)
+{
+    CancellationToken first;
+    CancellationToken second;
+    const ScopedSigintCancel guard(first);
+    EXPECT_THROW(ScopedSigintCancel another(second), ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Deterministic retry contract: the exponential-backoff schedule is a
+ * pure function of (policy, attempt, site) with seeded jitter, the
+ * fault injector's transient/permanent split leaves its arming set
+ * untouched, and guardedScalarPoint recovers transient faults on
+ * exactly the scheduled attempt while permanent faults exhaust.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "stats/fault_injection.hh"
+#include "support/error.hh"
+#include "support/outcome.hh"
+#include "support/retry.hh"
+
+namespace ttmcas {
+namespace {
+
+TEST(RetryPolicy, DefaultIsDisabled)
+{
+    const RetryPolicy policy;
+    EXPECT_FALSE(policy.enabled());
+    EXPECT_EQ(policy.max_attempts, 1u);
+    EXPECT_EQ(policy.base_ms, 0.0);
+}
+
+TEST(RetryPolicy, ImmediateEnablesWithoutSleeping)
+{
+    const RetryPolicy policy = RetryPolicy::immediate(3);
+    EXPECT_TRUE(policy.enabled());
+    EXPECT_EQ(policy.max_attempts, 3u);
+    EXPECT_EQ(policy.delayMs(0, 0), 0.0);
+    EXPECT_EQ(policy.delayMs(5, 99), 0.0);
+}
+
+TEST(RetryPolicy, BackoffGrowsByTheMultiplier)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.base_ms = 10.0;
+    policy.multiplier = 2.0;
+    EXPECT_DOUBLE_EQ(policy.delayMs(0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(policy.delayMs(1, 0), 20.0);
+    EXPECT_DOUBLE_EQ(policy.delayMs(2, 0), 40.0);
+}
+
+TEST(RetryPolicy, JitterIsSeededAndBounded)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.base_ms = 100.0;
+    policy.multiplier = 1.0;
+    policy.jitter_fraction = 0.25;
+    policy.seed = 42;
+
+    bool varies = false;
+    for (std::size_t site = 0; site < 32; ++site) {
+        const double delay = policy.delayMs(0, site);
+        // Pure function: same (attempt, site) always lands on the
+        // same delay — no wall-clock randomness anywhere.
+        EXPECT_EQ(delay, policy.delayMs(0, site));
+        EXPECT_GE(delay, 75.0);
+        EXPECT_LE(delay, 125.0);
+        if (delay != 100.0)
+            varies = true;
+    }
+    EXPECT_TRUE(varies);
+
+    RetryPolicy reseeded = policy;
+    reseeded.seed = 43;
+    EXPECT_NE(policy.delayMs(0, 7), reseeded.delayMs(0, 7));
+}
+
+TEST(RetryPolicy, InvalidParametersAreRejected)
+{
+    RetryPolicy policy;
+    policy.base_ms = -1.0;
+    EXPECT_THROW(policy.delayMs(0, 0), ModelError);
+    policy.base_ms = 1.0;
+    policy.multiplier = 0.5;
+    EXPECT_THROW(policy.delayMs(0, 0), ModelError);
+    policy.multiplier = 2.0;
+    policy.jitter_fraction = 1.5;
+    EXPECT_THROW(policy.delayMs(0, 0), ModelError);
+}
+
+TEST(RetryStats, RecordMetricsAcceptsAnyTally)
+{
+    RetryStats stats;
+    stats.retried_points = 3;
+    stats.extra_attempts = 5;
+    stats.recovered_points = 2;
+    stats.exhausted_points = 1;
+    recordRetryMetrics(stats); // must not throw, enabled or not
+    EXPECT_EQ(stats, stats);
+    EXPECT_NE(stats, RetryStats{});
+}
+
+// ---------------------------------------------------------------- //
+// Transient/permanent fault classification
+// ---------------------------------------------------------------- //
+
+FaultInjector
+transientInjector(double probability, double transient_fraction,
+                  std::size_t transient_attempts = 1)
+{
+    FaultInjector::Options options;
+    options.probability = probability;
+    options.seed = 0xfa017ULL;
+    options.transient_fraction = transient_fraction;
+    options.transient_attempts = transient_attempts;
+    return FaultInjector(options);
+}
+
+TEST(TransientFaults, ClassificationLeavesTheArmingSetUntouched)
+{
+    const FaultInjector permanent = transientInjector(0.2, 0.0);
+    const FaultInjector mixed = transientInjector(0.2, 0.5);
+    for (std::size_t point = 0; point < 256; ++point) {
+        // Attempt 0 arming is the pre-existing schedule: adding the
+        // transient split must not move a single armed point.
+        EXPECT_EQ(permanent.armedAt(point), mixed.armedAt(point))
+            << "point " << point;
+        EXPECT_EQ(permanent.armedAt(point, 0), permanent.armedAt(point));
+    }
+    EXPECT_EQ(permanent.armedCount(256), mixed.armedCount(256));
+}
+
+TEST(TransientFaults, TransientFaultsClearAfterScheduledAttempts)
+{
+    const FaultInjector faults = transientInjector(0.3, 1.0, 2);
+    const std::size_t armed = faults.armedCount(128);
+    ASSERT_GT(armed, 0u);
+    for (std::size_t point = 0; point < 128; ++point) {
+        if (!faults.armedAt(point))
+            continue;
+        EXPECT_TRUE(faults.transientAt(point));
+        EXPECT_TRUE(faults.armedAt(point, 0));
+        EXPECT_TRUE(faults.armedAt(point, 1));
+        EXPECT_FALSE(faults.armedAt(point, 2));
+        EXPECT_FALSE(faults.armedAt(point, 3));
+    }
+    EXPECT_EQ(faults.armedCount(128, 2), 0u);
+}
+
+TEST(TransientFaults, PermanentFaultsNeverClear)
+{
+    const FaultInjector faults = transientInjector(0.3, 0.0);
+    for (std::size_t point = 0; point < 128; ++point) {
+        if (!faults.armedAt(point))
+            continue;
+        EXPECT_FALSE(faults.transientAt(point));
+        for (std::uint32_t attempt = 0; attempt < 4; ++attempt)
+            EXPECT_TRUE(faults.armedAt(point, attempt));
+    }
+}
+
+TEST(TransientFaults, InvalidOptionsAreRejected)
+{
+    FaultInjector::Options options;
+    options.probability = 0.1;
+    options.transient_fraction = 1.5;
+    EXPECT_THROW(FaultInjector{options}, ModelError);
+    options.transient_fraction = 0.5;
+    options.transient_attempts = 0;
+    EXPECT_THROW(FaultInjector{options}, ModelError);
+}
+
+// ---------------------------------------------------------------- //
+// guardedScalarPoint retry loop
+// ---------------------------------------------------------------- //
+
+TEST(GuardedRetry, TransientFaultRecoversOnTheScheduledAttempt)
+{
+    const FaultInjector faults = transientInjector(1.0, 1.0, 2);
+    ASSERT_TRUE(faults.armedAt(0));
+    const RetryPolicy policy = RetryPolicy::immediate(4);
+
+    std::uint32_t attempts = 0;
+    const Outcome<double> outcome = guardedScalarPoint(
+        &faults, DiagCode::NonFiniteOutput, "retryTest", 0,
+        [] { return 7.0; }, &policy, &attempts);
+
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value(), 7.0);
+    // Attempts 0 and 1 hit the injected fault; attempt 2 is clean.
+    EXPECT_EQ(attempts, 3u);
+}
+
+TEST(GuardedRetry, PermanentFaultExhaustsEveryAttempt)
+{
+    const FaultInjector faults = transientInjector(1.0, 0.0);
+    const RetryPolicy policy = RetryPolicy::immediate(3);
+
+    std::uint32_t attempts = 0;
+    const Outcome<double> outcome = guardedScalarPoint(
+        &faults, DiagCode::NonFiniteOutput, "retryTest", 0,
+        [] { return 7.0; }, &policy, &attempts);
+
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(attempts, 3u);
+}
+
+TEST(GuardedRetry, NullPolicyEvaluatesExactlyOnce)
+{
+    std::uint32_t attempts = 0;
+    const Outcome<double> outcome = guardedScalarPoint(
+        nullptr, DiagCode::NonFiniteOutput, "retryTest", 5,
+        [] { return 2.5; }, nullptr, &attempts);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(attempts, 1u);
+}
+
+} // namespace
+} // namespace ttmcas
