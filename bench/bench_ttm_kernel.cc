@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Kernel microbench: ns/sample of the Monte-Carlo TTM kernel through
+ * the legacy scalar path (EvalPath::kScalar — per-sample design copy,
+ * technology rescale, and TtmModel rebuild) versus the compiled SoA
+ * batch path (EvalPath::kBatch — precomputed node constants, Eq. 1-7
+ * over contiguous lanes, zero per-sample allocation), at batch sizes
+ * 1 / 64 / 4096 / 65536. Verifies the two paths agree bitwise at every
+ * size while timing them, and writes bench_out/BENCH_ttm_kernel.json
+ * (with the ttm.batch.* metrics block) for the CI artifact trail.
+ * docs/PERFORMANCE.md explains how to read the output.
+ */
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/reference_designs.hh"
+#include "core/uncertainty.hh"
+#include "support/metrics.hh"
+#include "tech/default_dataset.hh"
+
+namespace {
+
+using namespace ttmcas;
+
+/** Best-of-3 wall-clock milliseconds of @p kernel. */
+template <typename Kernel>
+double
+timeMs(Kernel&& kernel)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        kernel();
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+        if (rep == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+UncertaintyAnalysis::Options
+mcOptions(std::size_t samples, EvalPath path)
+{
+    UncertaintyAnalysis::Options options;
+    options.samples = samples;
+    options.seed = 20230806;
+    options.parallel.threads = 1; // single-core ns/sample, no pool noise
+    options.eval_path = path;
+    return options;
+}
+
+struct SizeRow
+{
+    std::size_t samples = 0;
+    double scalar_ns_per_sample = 0.0;
+    double batch_ns_per_sample = 0.0;
+    bool bitwise_identical = false;
+
+    double speedup() const
+    {
+        return scalar_ns_per_sample / batch_ns_per_sample;
+    }
+    static double perSecond(double ns_per_sample)
+    {
+        return 1e9 / ns_per_sample;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("TTM kernel: scalar vs compiled SoA batch path");
+
+    // Metrics on, so the emitted JSON carries the ttm.batch.size /
+    // ttm.batch.ns_per_sample histograms next to the timings.
+    obs::setMetricsEnabled(true);
+
+    const UncertaintyAnalysis analysis(defaultTechnologyDb(),
+                                       bench::a11ModelOptions());
+    const ChipDesign a11 = designs::a11("7nm");
+    const double n_chips = 10e6;
+    const std::vector<std::size_t> sizes{1, 64, 4096, 65536};
+
+    std::vector<SizeRow> rows;
+    std::cout << "      N    scalar ns/sample    batch ns/sample"
+                 "    speedup    batch samples/s\n";
+    for (const std::size_t n : sizes) {
+        SizeRow row;
+        row.samples = n;
+        const auto scalar_options = mcOptions(n, EvalPath::kScalar);
+        const auto batch_options = mcOptions(n, EvalPath::kBatch);
+        // Warm-up draw also provides the identity check.
+        const auto scalar =
+            analysis.sampleTtm(a11, n_chips, {}, scalar_options);
+        const auto batch =
+            analysis.sampleTtm(a11, n_chips, {}, batch_options);
+        row.bitwise_identical = scalar == batch;
+
+        const double scalar_ms = timeMs([&] {
+            analysis.sampleTtm(a11, n_chips, {}, scalar_options);
+        });
+        const double batch_ms = timeMs([&] {
+            analysis.sampleTtm(a11, n_chips, {}, batch_options);
+        });
+        row.scalar_ns_per_sample =
+            scalar_ms * 1e6 / static_cast<double>(n);
+        row.batch_ns_per_sample =
+            batch_ms * 1e6 / static_cast<double>(n);
+        rows.push_back(row);
+
+        std::printf("%7zu %19.1f %18.1f %9.2fx %18.0f%s\n", n,
+                    row.scalar_ns_per_sample, row.batch_ns_per_sample,
+                    row.speedup(),
+                    SizeRow::perSecond(row.batch_ns_per_sample),
+                    row.bitwise_identical ? "" : "  [MISMATCH]");
+    }
+
+    std::ostringstream json;
+    json << "{\n  \"design\": \"a11-7nm\",\n  \"kernel\": \"sampleTtm\""
+         << ",\n  \"threads\": 1,\n  \"sizes\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SizeRow& row = rows[i];
+        json << "    {\"samples\": " << row.samples
+             << ", \"scalar_ns_per_sample\": " << row.scalar_ns_per_sample
+             << ", \"batch_ns_per_sample\": " << row.batch_ns_per_sample
+             << ", \"speedup\": " << row.speedup()
+             << ", \"batch_samples_per_sec\": "
+             << SizeRow::perSecond(row.batch_ns_per_sample)
+             << ", \"bitwise_identical\": "
+             << (row.bitwise_identical ? "true" : "false") << "}"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}";
+    bench::emitBenchJson("BENCH_ttm_kernel.json", json.str());
+    obs::setMetricsEnabled(false);
+
+    // Fail loudly (a CI-visible exit code) if identity broke.
+    for (const SizeRow& row : rows) {
+        if (!row.bitwise_identical) {
+            std::cerr << "batch/scalar mismatch at N=" << row.samples
+                      << "\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -582,8 +582,10 @@ main(int argc, char** argv)
                 obs::writeChromeTrace(args.trace_file);
             if (!args.metrics_file.empty())
                 obs::writeMetrics(args.metrics_file);
-            if (!args.manifest_file.empty())
+            if (!args.manifest_file.empty()) {
+                manifest.captureKernelMetrics(obs::snapshotMetrics());
                 manifest.write(args.manifest_file);
+            }
             return code;
         }
 
@@ -700,8 +702,10 @@ main(int argc, char** argv)
                 obs::writeChromeTrace(args.trace_file);
             if (!args.metrics_file.empty())
                 obs::writeMetrics(args.metrics_file);
-            if (!args.manifest_file.empty())
+            if (!args.manifest_file.empty()) {
+                manifest.captureKernelMetrics(obs::snapshotMetrics());
                 manifest.write(args.manifest_file);
+            }
         }
     } catch (const Error& error) {
         std::cerr << "error: " << error.what() << "\n";

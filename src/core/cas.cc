@@ -1,6 +1,7 @@
 #include "core/cas.hh"
 
 #include <cmath>
+#include <optional>
 
 #include "support/error.hh"
 #include "support/mathutil.hh"
@@ -73,17 +74,50 @@ CasModel::capacitySweep(const ChipDesign& design, double n_chips,
                         const std::vector<double>& fractions,
                         const MarketConditions& base) const
 {
+    // The sweep re-evaluates the same design at every fraction, so the
+    // compiled kernel's one-time precompute amortizes across the whole
+    // sweep: only the fab phase depends on the capacity factors. Any
+    // point the kernel cannot certify re-runs the scalar chain, which
+    // produces the identical value or the identical diagnostic.
+    std::optional<CompiledDesign> compiled;
+    if (_options.eval_path == EvalPath::kBatch)
+        compiled = CompiledDesign::tryCompile(design, _model.technology(),
+                                              _model.options(), base,
+                                              n_chips);
+    std::vector<double> capacity_factors;
+    if (compiled.has_value())
+        capacity_factors.resize(compiled->processCount());
+    // Multiplying by 1.0 is a bitwise no-op, so the all-ones factor
+    // vector makes the kernel compute exactly the unperturbed model.
+    const CompiledDesign::Factors nominal{1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
     std::vector<CasPoint> points;
     points.reserve(fractions.size());
     for (double fraction : fractions) {
         TTMCAS_REQUIRE(fraction > 0.0,
                        "capacity fraction must be positive");
-        MarketConditions market = base;
-        for (const std::string& process : design.processNodes())
-            market.setCapacityFactor(process, fraction);
 
         CasPoint point;
         point.capacity_fraction = fraction;
+        if (compiled.has_value()) {
+            capacity_factors.assign(capacity_factors.size(), fraction);
+            double ttm_value = 0.0;
+            double cas_value = 0.0;
+            if (compiled->ttmOneAt(nominal,
+                                   capacity_factors.data(), &ttm_value) &&
+                compiled->casOne(nominal, _options.derivative_rel_step,
+                                 _options.normalization,
+                                 capacity_factors.data(), &cas_value)) {
+                point.ttm = Weeks(ttm_value);
+                point.cas = cas_value;
+                points.push_back(point);
+                continue;
+            }
+        }
+
+        MarketConditions market = base;
+        for (const std::string& process : design.processNodes())
+            market.setCapacityFactor(process, fraction);
         point.ttm = _model.evaluate(design, n_chips, market).total();
         point.cas = cas(design, n_chips, market);
         points.push_back(point);

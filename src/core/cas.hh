@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/market.hh"
+#include "core/ttm_batch.hh"
 #include "core/ttm_model.hh"
 
 namespace ttmcas {
@@ -48,6 +49,13 @@ class CasModel
         double derivative_rel_step = 1e-3;
         /** Divisor applied to raw CAS (see kCasNormalization). */
         double normalization = kCasNormalization;
+        /**
+         * Engine for capacitySweep: the compiled batch kernels
+         * (default) or the legacy scalar oracle. Results are bitwise
+         * identical either way (ctest -L kernel enforces it); kScalar
+         * exists for oracle comparison and debugging.
+         */
+        EvalPath eval_path = EvalPath::kBatch;
     };
 
     /** Build with default options (1e-3 step, paper normalization). */

@@ -81,6 +81,20 @@ TtmModel::evaluate(const ChipDesign& design, double n_chips,
     design.validateAgainst(_db);
     TTMCAS_REQUIRE(n_chips > 0.0, "number of final chips must be positive");
 
+    // Hoist the string-keyed node lookups out of the per-phase loops:
+    // evaluate() is the Monte-Carlo/sweep hot path, and each map probe
+    // costs a hash of the process-name string. One pointer per die and
+    // per process, resolved once, serves all four phases below.
+    const std::vector<std::string>& process_names = design.processNodes();
+    std::vector<const ProcessNode*> die_nodes;
+    die_nodes.reserve(design.dies.size());
+    for (const auto& die : design.dies)
+        die_nodes.push_back(&_db.node(die.process));
+    std::vector<const ProcessNode*> process_nodes;
+    process_nodes.reserve(process_names.size());
+    for (const std::string& process : process_names)
+        process_nodes.push_back(&_db.node(process));
+
     // Stage wall-clock accounting (docs/OBSERVABILITY.md): one
     // histogram per model phase, all no-ops while metrics are off.
     static const obs::Counter evaluations("ttm.evaluations");
@@ -104,9 +118,9 @@ TtmModel::evaluate(const ChipDesign& design, double n_chips,
         // --- Tapeout phase (Eq. 2) ----------------------------------
         const obs::ScopedTimer timer(tapeout_us);
         double effort_hours = 0.0;
-        for (const std::string& process : design.processNodes()) {
-            const ProcessNode& node = _db.node(process);
-            effort_hours += design.uniqueTransistorsAt(process) *
+        for (std::size_t p = 0; p < process_names.size(); ++p) {
+            const ProcessNode& node = *process_nodes[p];
+            effort_hours += design.uniqueTransistorsAt(process_names[p]) *
                             node.tapeout_effort_hours_per_transistor;
         }
         result.tapeout_effort = EngineeringHours(effort_hours);
@@ -119,8 +133,9 @@ TtmModel::evaluate(const ChipDesign& design, double n_chips,
         const obs::ScopedTimer timer(fab_us);
 
         // --- Per-die fabrication demand (Eq. 5/6 inputs) ------------
-        for (const auto& die : design.dies) {
-            const ProcessNode& node = _db.node(die.process);
+        for (std::size_t d = 0; d < design.dies.size(); ++d) {
+            const auto& die = design.dies[d];
+            const ProcessNode& node = *die_nodes[d];
             DieDetail detail;
             detail.die_name = die.name;
             detail.process = die.process;
@@ -138,8 +153,9 @@ TtmModel::evaluate(const ChipDesign& design, double n_chips,
 
         // --- Fabrication phase (Eq. 3/4/5): max over nodes ----------
         Weeks worst_fab{0.0};
-        for (const std::string& process : design.processNodes()) {
-            const ProcessNode& node = _db.node(process);
+        for (std::size_t p = 0; p < process_names.size(); ++p) {
+            const std::string& process = process_names[p];
+            const ProcessNode& node = *process_nodes[p];
             const WafersPerWeek rate = market.effectiveWaferRate(node);
             TTMCAS_REQUIRE(rate.value() > 0.0,
                            "design '" + design.name + "': node '" +
@@ -176,18 +192,22 @@ TtmModel::evaluate(const ChipDesign& design, double n_chips,
         Weeks latency{0.0};
         double testing_weeks = 0.0;
         double assembly_weeks = 0.0;
-        for (const auto& die : design.dies) {
-            const ProcessNode& node = _db.node(die.process);
+        for (std::size_t d = 0; d < design.dies.size(); ++d) {
+            const auto& die = design.dies[d];
+            const ProcessNode& node = *die_nodes[d];
             latency = std::max(latency, node.osat_latency);
 
-            const double yield = dieYield(die, node);
+            // The fab stage already computed this die's yield and area;
+            // reusing the stored values skips a pow() per die and is
+            // bitwise-identical (same doubles, same expression chain).
+            const double yield = result.die_details[d].yield;
             const double dies_tested =
                 n_chips * die.count_per_package / yield;
             testing_weeks += dies_tested * die.total_transistors *
                              node.testing_effort_weeks_per_e15 /
                              kTestingEffortScale;
 
-            const SquareMm area = die.areaAt(node);
+            const SquareMm area = result.die_details[d].area;
             assembly_weeks += n_chips * die.count_per_package *
                               area.value() *
                               node.packaging_effort_weeks_per_e9_mm2 /

@@ -1,6 +1,8 @@
 #include "core/uncertainty.hh"
 
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "stats/distributions.hh"
 #include "stats/fault_injection.hh"
@@ -148,11 +150,18 @@ drawFactors(Rng& rng, double band)
  * the result bitwise-identical for a given seed no matter the thread
  * count or grain: sample i always sees stream i, and each evaluation
  * writes only its own output slot.
+ *
+ * When @p batched is true, the fast (non-isolated) path hands whole
+ * chunks to @p chunk(streams, begin, end, out) so a compiled batch
+ * kernel can evaluate them SoA-style; @p sample remains the per-point
+ * evaluator the isolated path (skip/inject/cancel/retry/checkpoint)
+ * routes through guardedScalarPoint, preserving those contracts
+ * unchanged. Both callables must produce bitwise-identical values.
  */
-template <typename SampleFn>
+template <typename SampleFn, typename ChunkFn>
 std::vector<double>
 drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
-            SampleFn&& sample)
+            SampleFn&& sample, ChunkFn&& chunk, bool batched)
 {
     TTMCAS_REQUIRE(options.samples > 0, "sample count must be positive");
     TTMCAS_REQUIRE(options.band >= 0.0 && options.band < 1.0,
@@ -182,8 +191,11 @@ drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
         std::vector<double> samples(options.samples);
         parallelFor(options.parallel, options.samples,
                     [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t i = begin; i < end; ++i)
-                            samples[i] = sample(streams[i]);
+                        if (batched)
+                            chunk(streams, begin, end, samples);
+                        else
+                            for (std::size_t i = begin; i < end; ++i)
+                                samples[i] = sample(streams[i]);
                         samples_drawn.add(end - begin);
                     });
         return samples;
@@ -258,6 +270,25 @@ drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
     return samples;
 }
 
+/** Chunk-callable placeholder for kernels without a batch path. */
+struct NoChunk
+{
+    void
+    operator()(std::vector<Rng>&, std::size_t, std::size_t,
+               std::vector<double>&) const
+    {}
+};
+
+/** Point-at-a-time drawSamples (no batch kernel available). */
+template <typename SampleFn>
+std::vector<double>
+drawSamples(const UncertaintyAnalysis::Options& options, const char* kernel,
+            SampleFn&& sample)
+{
+    return drawSamples(options, kernel, std::forward<SampleFn>(sample),
+                       NoChunk{}, false);
+}
+
 } // namespace
 
 std::vector<double>
@@ -265,10 +296,65 @@ UncertaintyAnalysis::sampleTtm(const ChipDesign& design, double n_chips,
                                const MarketConditions& market,
                                const Options& options) const
 {
-    return drawSamples(options, "sampleTtm", [&](Rng& rng) {
+    std::optional<CompiledDesign> compiled;
+    if (options.eval_path == EvalPath::kBatch)
+        compiled = CompiledDesign::tryCompile(design, _db, _model_options,
+                                              market, n_chips);
+    if (!compiled.has_value()) {
+        return drawSamples(options, "sampleTtm", [&](Rng& rng) {
+            const InputFactors factors = drawFactors(rng, options.band);
+            return ttmWithFactors(design, n_chips, market, factors).value();
+        });
+    }
+
+    // Fast path: per-point via the compiled kernel (isolated path),
+    // whole chunks through the SoA kernel otherwise. A lane the kernel
+    // flags re-runs the exact scalar chain, which either produces the
+    // identical value or throws the identical scalar diagnostic.
+    const CompiledDesign& fast = *compiled;
+    const auto sample = [&](Rng& rng) {
         const InputFactors factors = drawFactors(rng, options.band);
+        double value = 0.0;
+        if (fast.ttmOne(factors, &value))
+            return value;
         return ttmWithFactors(design, n_chips, market, factors).value();
-    });
+    };
+    const auto chunk = [&](std::vector<Rng>& streams, std::size_t begin,
+                           std::size_t end, std::vector<double>& out) {
+        thread_local std::array<std::vector<double>, 6> columns;
+        thread_local std::vector<double> values;
+        thread_local std::vector<unsigned char> lane_ok;
+        const std::size_t n = end - begin;
+        for (auto& column : columns)
+            column.resize(n);
+        values.resize(n);
+        lane_ok.resize(n);
+        for (std::size_t i = begin; i < end; ++i) {
+            const InputFactors factors =
+                drawFactors(streams[i], options.band);
+            for (std::size_t k = 0; k < kUncertainInputCount; ++k)
+                columns[k][i - begin] = factors[k];
+        }
+        const std::array<const double*, 6> pointers{
+            columns[0].data(), columns[1].data(), columns[2].data(),
+            columns[3].data(), columns[4].data(), columns[5].data()};
+        fast.ttmBatch(pointers, n, values.data(), lane_ok.data());
+        // Ascending fallback scan: the first flagged lane throws
+        // exactly what a serial scalar loop would have thrown first.
+        for (std::size_t j = 0; j < n; ++j) {
+            if (lane_ok[j]) {
+                out[begin + j] = values[j];
+            } else {
+                InputFactors factors;
+                for (std::size_t k = 0; k < kUncertainInputCount; ++k)
+                    factors[k] = columns[k][j];
+                out[begin + j] =
+                    ttmWithFactors(design, n_chips, market, factors)
+                        .value();
+            }
+        }
+    };
+    return drawSamples(options, "sampleTtm", sample, chunk, true);
 }
 
 std::vector<double>
@@ -276,8 +362,29 @@ UncertaintyAnalysis::sampleCas(const ChipDesign& design, double n_chips,
                                const MarketConditions& market,
                                const Options& options) const
 {
+    std::optional<CompiledDesign> compiled;
+    if (options.eval_path == EvalPath::kBatch)
+        compiled = CompiledDesign::tryCompile(design, _db, _model_options,
+                                              market, n_chips);
+    if (!compiled.has_value()) {
+        return drawSamples(options, "sampleCas", [&](Rng& rng) {
+            const InputFactors factors = drawFactors(rng, options.band);
+            return casWithFactors(design, n_chips, market, factors);
+        });
+    }
+
+    // CAS is derivative-shaped (2 x P perturbed evaluations per
+    // sample), so the win comes from the compiled per-sample kernel:
+    // the die phase runs once and only the fab phase re-runs per
+    // perturbation. casWithFactors uses CasModel's default options.
+    const CasModel::Options cas_options;
+    const CompiledDesign& fast = *compiled;
     return drawSamples(options, "sampleCas", [&](Rng& rng) {
         const InputFactors factors = drawFactors(rng, options.band);
+        double value = 0.0;
+        if (fast.casOne(factors, cas_options.derivative_rel_step,
+                        cas_options.normalization, nullptr, &value))
+            return value;
         return casWithFactors(design, n_chips, market, factors);
     });
 }
@@ -288,7 +395,7 @@ UncertaintyAnalysis::sampleWaferDemand(const ChipDesign& design,
                                        const std::string& process,
                                        const Options& options) const
 {
-    return drawSamples(options, "sampleWaferDemand", [&](Rng& rng) {
+    const auto scalar_sample = [&](Rng& rng) {
         const double ntt_factor =
             rng.uniform(1.0 - options.band, 1.0 + options.band);
         const double d0_factor =
@@ -299,7 +406,72 @@ UncertaintyAnalysis::sampleWaferDemand(const ChipDesign& design,
             scaledTechnology(d0_factor, 1.0, 1.0, 1.0),
             _model_options);
         return model.waferDemand(scaled_design, n_chips, process).value();
-    });
+    };
+
+    std::optional<CompiledDesign> compiled;
+    // An unknown process throws per sample on the scalar path; keep
+    // that path so the diagnostic stays identical.
+    if (options.eval_path == EvalPath::kBatch && _db.has(process))
+        compiled = CompiledDesign::tryCompile(design, _db, _model_options,
+                                              MarketConditions{}, n_chips);
+    if (!compiled.has_value())
+        return drawSamples(options, "sampleWaferDemand", scalar_sample);
+
+    const CompiledDesign& fast = *compiled;
+    const int process_index = fast.processIndex(process);
+    const auto sample = [&](Rng& rng) {
+        const double ntt_factor =
+            rng.uniform(1.0 - options.band, 1.0 + options.band);
+        const double d0_factor =
+            rng.uniform(1.0 - options.band, 1.0 + options.band);
+        double value = 0.0;
+        if (fast.waferDemandOne(process_index, ntt_factor, d0_factor,
+                                &value))
+            return value;
+        const ChipDesign scaled_design =
+            scaleDesign(design, ntt_factor, 1.0);
+        const TtmModel model(
+            scaledTechnology(d0_factor, 1.0, 1.0, 1.0),
+            _model_options);
+        return model.waferDemand(scaled_design, n_chips, process).value();
+    };
+    const auto chunk = [&](std::vector<Rng>& streams, std::size_t begin,
+                           std::size_t end, std::vector<double>& out) {
+        thread_local std::vector<double> ntt_column;
+        thread_local std::vector<double> d0_column;
+        thread_local std::vector<double> values;
+        thread_local std::vector<unsigned char> lane_ok;
+        const std::size_t n = end - begin;
+        ntt_column.resize(n);
+        d0_column.resize(n);
+        values.resize(n);
+        lane_ok.resize(n);
+        for (std::size_t i = begin; i < end; ++i) {
+            // Same draw order as the scalar sample: N_TT then D0.
+            ntt_column[i - begin] =
+                streams[i].uniform(1.0 - options.band, 1.0 + options.band);
+            d0_column[i - begin] =
+                streams[i].uniform(1.0 - options.band, 1.0 + options.band);
+        }
+        fast.waferDemandBatch(process_index, ntt_column.data(),
+                              d0_column.data(), n, values.data(),
+                              lane_ok.data());
+        for (std::size_t j = 0; j < n; ++j) {
+            if (lane_ok[j]) {
+                out[begin + j] = values[j];
+            } else {
+                const ChipDesign scaled_design =
+                    scaleDesign(design, ntt_column[j], 1.0);
+                const TtmModel model(
+                    scaledTechnology(d0_column[j], 1.0, 1.0, 1.0),
+                    _model_options);
+                out[begin + j] =
+                    model.waferDemand(scaled_design, n_chips, process)
+                        .value();
+            }
+        }
+    };
+    return drawSamples(options, "sampleWaferDemand", sample, chunk, true);
 }
 
 Summary
@@ -332,12 +504,24 @@ UncertaintyAnalysis::ttmSensitivity(const ChipDesign& design, double n_chips,
             owned.back().get()});
     }
 
+    // Sobol evaluates the model one point at a time (the pick-and-
+    // freeze matrices are built upstream), so the win here is the
+    // compiled per-point kernel with scalar fallback per flagged lane.
+    std::optional<CompiledDesign> compiled;
+    if (options.eval_path == EvalPath::kBatch)
+        compiled = CompiledDesign::tryCompile(design, _db, _model_options,
+                                              market, n_chips);
     const auto model = [&](const std::vector<double>& point) {
         TTMCAS_INVARIANT(point.size() == kUncertainInputCount,
                          "sensitivity point has wrong arity");
         InputFactors factors;
         for (std::size_t i = 0; i < kUncertainInputCount; ++i)
             factors[i] = point[i];
+        if (compiled.has_value()) {
+            double value = 0.0;
+            if (compiled->ttmOne(factors, &value))
+                return value;
+        }
         return ttmWithFactors(design, n_chips, market, factors).value();
     };
 

@@ -26,6 +26,7 @@
 #include "core/cas.hh"
 #include "core/design.hh"
 #include "core/market.hh"
+#include "core/ttm_batch.hh"
 #include "core/ttm_model.hh"
 #include "stats/sobol.hh"
 #include "stats/summary.hh"
@@ -124,6 +125,15 @@ class UncertaintyAnalysis
          * this run) for a later --resume. Unowned.
          */
         SweepCheckpoint* checkpoint = nullptr;
+        /**
+         * Evaluation engine: the compiled SoA batch kernels (default)
+         * or the legacy scalar path. Values are bitwise identical
+         * either way (ctest -L kernel enforces it); kScalar exists as
+         * the reference oracle. When a configuration cannot be
+         * compiled (custom yield model, invalid base design, ...) the
+         * kernels fall back to the scalar path automatically.
+         */
+        EvalPath eval_path = EvalPath::kBatch;
     };
 
     /**

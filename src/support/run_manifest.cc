@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "support/json.hh"
+#include "support/metrics.hh"
 
 #ifndef TTMCAS_GIT_HASH
 #define TTMCAS_GIT_HASH "unknown"
@@ -54,6 +55,24 @@ RunManifest::addFailureReport(const FailureReport& report)
     }
 }
 
+void
+RunManifest::captureKernelMetrics(const MetricsSnapshot& snapshot)
+{
+    for (const HistogramSnapshot& histogram : snapshot.histograms) {
+        if (histogram.name == "ttm.batch.size") {
+            kernel_metrics.batches = histogram.count;
+            kernel_metrics.samples =
+                static_cast<std::uint64_t>(histogram.sum);
+        } else if (histogram.name == "ttm.batch.ns_per_sample") {
+            kernel_metrics.mean_ns_per_sample =
+                histogram.count == 0
+                    ? 0.0
+                    : histogram.sum /
+                          static_cast<double>(histogram.count);
+        }
+    }
+}
+
 std::string
 RunManifest::toJson() const
 {
@@ -87,6 +106,12 @@ RunManifest::toJson() const
     json.field("total_retries", total_retries);
     json.field("parent_checkpoint", parent_checkpoint);
     json.field("checkpoint_points", checkpoint_points);
+    json.key("kernel_metrics");
+    json.beginObject();
+    json.field("batches", kernel_metrics.batches);
+    json.field("samples", kernel_metrics.samples);
+    json.field("mean_ns_per_sample", kernel_metrics.mean_ns_per_sample);
+    json.endObject();
     json.endObject();
     return json.str();
 }
@@ -139,6 +164,17 @@ RunManifest::fromJson(const std::string& text)
     if (root.has("checkpoint_points")) {
         manifest.checkpoint_points = static_cast<std::uint64_t>(
             root.at("checkpoint_points").asNumber());
+    }
+    // kernel_metrics arrived with the compiled batch path; optional on
+    // parse so pre-batch manifests load with the zero defaults.
+    if (root.has("kernel_metrics")) {
+        const JsonValue& metrics = root.at("kernel_metrics");
+        manifest.kernel_metrics.batches = static_cast<std::uint64_t>(
+            metrics.at("batches").asNumber());
+        manifest.kernel_metrics.samples = static_cast<std::uint64_t>(
+            metrics.at("samples").asNumber());
+        manifest.kernel_metrics.mean_ns_per_sample =
+            metrics.at("mean_ns_per_sample").asNumber();
     }
     return manifest;
 }

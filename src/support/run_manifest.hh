@@ -27,8 +27,28 @@
 
 namespace ttmcas::obs {
 
+struct MetricsSnapshot;
+
 /** The git hash the library was compiled from ("unknown" outside git). */
 std::string buildGitHash();
+
+/**
+ * Throughput summary of the compiled SoA batch path (core/ttm_batch),
+ * lifted from the ttm.batch.* histograms of a MetricsSnapshot. All
+ * zeros when the run never exercised the batch path (scalar fallback,
+ * metrics disabled, or no TTM kernel invoked).
+ */
+struct BatchKernelMetrics
+{
+    /** Batches evaluated through the compiled kernels. */
+    std::uint64_t batches = 0;
+    /** Samples across those batches (sum of batch sizes). */
+    std::uint64_t samples = 0;
+    /** Mean amortized ns/sample across batches (0 when none ran). */
+    double mean_ns_per_sample = 0.0;
+
+    bool operator==(const BatchKernelMetrics& other) const = default;
+};
 
 /** Wall-clock accounting for one instrumented kernel invocation. */
 struct KernelTiming
@@ -81,9 +101,19 @@ struct RunManifest
     std::string parent_checkpoint;
     /** Completed points carried in the checkpoint this run wrote. */
     std::uint64_t checkpoint_points = 0;
+    /** Compiled batch-path throughput (docs/PERFORMANCE.md). */
+    BatchKernelMetrics kernel_metrics;
 
     /** Copy mode + circuit breaker from a FailurePolicy. */
     void setPolicy(const FailurePolicy& policy);
+
+    /**
+     * Fill kernel_metrics from @p snapshot's ttm.batch.size /
+     * ttm.batch.ns_per_sample histograms (absent histograms leave the
+     * zero defaults). Call once after the instrumented kernels ran,
+     * typically with obs::snapshotMetrics().
+     */
+    void captureKernelMetrics(const MetricsSnapshot& snapshot);
 
     /**
      * Record one kernel invocation and fold its point/failure counts

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/reference_designs.hh"
+#include "core/uncertainty.hh"
 #include "support/json.hh"
+#include "support/metrics.hh"
 #include "support/outcome.hh"
+#include "tech/default_dataset.hh"
 
 namespace ttmcas {
 namespace {
@@ -206,6 +210,77 @@ TEST(RunManifestTest, KernelScopeFinishIsIdempotent)
         scope.finish(); // second call must not double-record
     }
     EXPECT_EQ(manifest.kernels.size(), 1u);
+}
+
+TEST(RunManifestTest, KernelMetricsRoundTrip)
+{
+    obs::RunManifest manifest = sampleManifest();
+    manifest.kernel_metrics.batches = 12;
+    manifest.kernel_metrics.samples = 4096;
+    manifest.kernel_metrics.mean_ns_per_sample = 87.5;
+    const obs::RunManifest parsed =
+        obs::RunManifest::fromJson(manifest.toJson());
+    EXPECT_EQ(parsed, manifest);
+    EXPECT_EQ(parsed.kernel_metrics.batches, 12u);
+    EXPECT_EQ(parsed.kernel_metrics.samples, 4096u);
+    EXPECT_DOUBLE_EQ(parsed.kernel_metrics.mean_ns_per_sample, 87.5);
+}
+
+TEST(RunManifestTest, ManifestsWithoutKernelMetricsStillParse)
+{
+    obs::RunManifest manifest = sampleManifest();
+    std::string json = manifest.toJson();
+    const std::size_t at = json.find(",\"kernel_metrics\"");
+    ASSERT_NE(at, std::string::npos);
+    json.erase(at, json.rfind('}') - at); // drop the trailing object
+    const obs::RunManifest parsed = obs::RunManifest::fromJson(json);
+    EXPECT_EQ(parsed.kernel_metrics.batches, 0u);
+    EXPECT_EQ(parsed.kernel_metrics.samples, 0u);
+    EXPECT_DOUBLE_EQ(parsed.kernel_metrics.mean_ns_per_sample, 0.0);
+}
+
+TEST(RunManifestTest, CaptureKernelMetricsReadsBatchHistograms)
+{
+    obs::MetricsSnapshot snapshot;
+    obs::HistogramSnapshot size;
+    size.name = "ttm.batch.size";
+    size.count = 3;
+    size.sum = 96.0 + 96.0 + 64.0;
+    obs::HistogramSnapshot ns;
+    ns.name = "ttm.batch.ns_per_sample";
+    ns.count = 3;
+    ns.sum = 300.0;
+    snapshot.histograms = {ns, size};
+
+    obs::RunManifest manifest;
+    manifest.captureKernelMetrics(snapshot);
+    EXPECT_EQ(manifest.kernel_metrics.batches, 3u);
+    EXPECT_EQ(manifest.kernel_metrics.samples, 256u);
+    EXPECT_DOUBLE_EQ(manifest.kernel_metrics.mean_ns_per_sample, 100.0);
+
+    // An empty snapshot leaves the zero defaults untouched.
+    obs::RunManifest untouched;
+    untouched.captureKernelMetrics(obs::MetricsSnapshot{});
+    EXPECT_EQ(untouched.kernel_metrics, obs::BatchKernelMetrics{});
+}
+
+TEST(RunManifestTest, LiveBatchRunPopulatesKernelMetrics)
+{
+    // End-to-end: a real batch-path Monte-Carlo run with metrics on
+    // must surface nonzero batch counters through the manifest.
+    obs::setMetricsEnabled(true);
+    const UncertaintyAnalysis analysis(defaultTechnologyDb());
+    UncertaintyAnalysis::Options options;
+    options.samples = 32;
+    options.parallel.threads = 1;
+    analysis.sampleTtm(designs::a11("7nm"), 10e6, {}, options);
+    obs::RunManifest manifest;
+    manifest.captureKernelMetrics(obs::snapshotMetrics());
+    obs::setMetricsEnabled(false);
+
+    EXPECT_GT(manifest.kernel_metrics.batches, 0u);
+    EXPECT_GE(manifest.kernel_metrics.samples, 32u);
+    EXPECT_GT(manifest.kernel_metrics.mean_ns_per_sample, 0.0);
 }
 
 } // namespace

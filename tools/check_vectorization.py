@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Assert the compiled batch-kernel TU actually vectorized.
+
+Reads the GCC vectorization report produced by configuring with
+-DTTMCAS_VEC_REPORT=ON (src/core/CMakeLists.txt captures
+`-fopt-info-vec-optimized` for ttm_batch.cc into
+<build>/vec_report_ttm_batch.txt) and fails (exit 1) unless at least
+--min-loops lines report a vectorized loop inside the kernel source
+file. This guards the SoA hot loops of docs/PERFORMANCE.md against
+silently de-vectorizing — e.g. by introducing a lane-crossing
+dependence, an opaque call, or a branch the vectorizer cannot if-convert
+into the inner loops.
+
+Standard library only; run from anywhere:
+
+    python3 tools/check_vectorization.py --report build/vec_report_ttm_batch.txt
+
+Run by the kernel-bench CI job after the Release build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+# GCC emits "<file>:<line>:<col>: optimized: loop vectorized using ...".
+# "basic block part vectorized" lines are SLP, not loop vectorization,
+# and do not count toward the threshold.
+_LOOP_MARK = "loop vectorized"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--report",
+        required=True,
+        help="path to the captured -fopt-info-vec-optimized output")
+    parser.add_argument(
+        "--source",
+        default="ttm_batch.cc",
+        help="source file the vectorized loops must belong to "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--min-loops",
+        type=int,
+        default=1,
+        help="minimum vectorized-loop count to pass (default: "
+             "%(default)s)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+    except OSError as error:
+        print(f"error: cannot read report: {error}", file=sys.stderr)
+        return 1
+
+    vectorized = [
+        line.strip()
+        for line in lines
+        if args.source in line and _LOOP_MARK in line
+    ]
+    for line in vectorized:
+        print(line)
+    print(f"{len(vectorized)} vectorized loop(s) in {args.source} "
+          f"(minimum required: {args.min_loops})")
+    if len(vectorized) < args.min_loops:
+        print(
+            f"error: expected at least {args.min_loops} vectorized "
+            f"loop(s) in {args.source}; the batch kernel hot loops "
+            "appear to have de-vectorized (see docs/PERFORMANCE.md)",
+            file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
