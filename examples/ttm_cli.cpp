@@ -63,6 +63,7 @@
 #include "opt/portfolio.hh"
 #include "opt/split_optimizer.hh"
 #include "report/table.hh"
+#include "serve/content_hash.hh"
 #include "stats/distributions.hh"
 #include "stats/sobol.hh"
 #include "support/cancel.hh"
@@ -511,9 +512,25 @@ runSobolBatch(const TechnologyDb& db, const ChipDesign& design,
         return cancelled ? 130 : 3;
     }
 
+    // Content-addressed key of this batch, from the same helper the
+    // ttm_serve result cache uses (serve/content_hash.hh), so a CLI
+    // run can be correlated with server cache entries. inputs=3
+    // records the CLI's three-factor model: the server's six-input
+    // sobol_ttm key can never alias it.
+    serve::EvalKeyParams key_params;
+    key_params.kernel = "sobol_ttm";
+    key_params.seed = args.seed;
+    key_params.n_chips = args.chips;
+    key_params.samples = options.base_samples;
+    key_params.band = 0.05;
+    key_params.inputs = inputs.size();
+    const std::string cache_key =
+        serve::evalCacheKey(design, MarketConditions{}, key_params);
+
     std::cout << "sobol " << inputs.size() << " inputs, "
               << options.base_samples << " base samples, " << total_points
-              << " evaluations, seed " << args.seed << "\n";
+              << " evaluations, seed " << args.seed << ", key "
+              << cache_key << "\n";
     for (std::size_t i = 0; i < inputs.size(); ++i) {
         std::cout << "  " << result.input_names[i]
                   << " S1=" << g17(result.first_order[i])

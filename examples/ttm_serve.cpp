@@ -1,0 +1,498 @@
+/**
+ * @file
+ * ttm_serve: a long-lived evaluation daemon for the TTM/CAS models
+ * (docs/SERVING.md documents the wire format and operations story).
+ *
+ * Clients send newline-delimited JSON requests (Monte-Carlo TTM/CAS,
+ * Sobol sensitivity, capacity sweeps, health, stats) and receive one
+ * JSON reply line per request. Two transports share the same engine
+ * (serve/server.hh):
+ *
+ *   --socket PATH   Unix-domain stream socket, one thread per
+ *                   connection (bounded by --max-connections).
+ *   --pipe          stdin -> stdout, for deterministic testing and
+ *                   shell pipelines.
+ *
+ * Robustness contract:
+ *  - malformed input never kills the process: every line produces a
+ *    structured reply (serve/request.hh is the trust boundary);
+ *  - admission is bounded (--queue): overload sheds with a structured
+ *    "overloaded" reply instead of queueing unboundedly;
+ *  - every request runs under a wall-clock deadline (--deadline or
+ *    the request's own, capped), returning partial-but-well-formed
+ *    results with status "deadline_exceeded";
+ *  - SIGTERM/SIGINT drain gracefully: stop admitting, give in-flight
+ *    work --drain-grace seconds to finish, then cancel it
+ *    cooperatively, flush observability state, and exit 0;
+ *  - complete results enter a content-addressed cache (--cache-dir)
+ *    persisted with atomic temp-then-rename writes, so kill -9 can
+ *    never tear an entry and a restart recovers the cache intact.
+ *
+ * Exit codes: 0 = clean drain (EOF, SIGTERM, or SIGINT); 1 = hard
+ * startup/transport error; 2 = usage error.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/server.hh"
+#include "support/cancel.hh"
+#include "support/metrics.hh"
+#include "support/run_manifest.hh"
+#include "tech/default_dataset.hh"
+
+namespace {
+
+using namespace ttmcas;
+
+struct ServeArgs
+{
+    std::string socket_path;
+    bool pipe = false;
+    std::size_t workers = 4;
+    std::size_t queue = 16;
+    double deadline_s = 30.0;
+    std::string cache_dir;
+    std::size_t cache_entries = 1024;
+    std::size_t max_request_bytes = 1 << 20;
+    std::size_t max_connections = 64;
+    double drain_grace_s = 5.0;
+    std::string metrics_file;
+    std::string manifest_file;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: ttm_serve (--socket PATH | --pipe)\n"
+           "                 [--workers n] [--queue n] [--deadline s]\n"
+           "                 [--cache-dir dir] [--cache-entries n]\n"
+           "                 [--max-request-bytes n]\n"
+           "                 [--max-connections n] [--drain-grace s]\n"
+           "                 [--metrics file.json] [--manifest file.json]\n";
+    std::exit(2);
+}
+
+ServeArgs
+parseArgs(int argc, char** argv)
+{
+    ServeArgs args;
+    const std::map<std::string, int> flags{
+        {"--socket", 1},        {"--pipe", 0},
+        {"--workers", 1},       {"--queue", 1},
+        {"--deadline", 1},      {"--cache-dir", 1},
+        {"--cache-entries", 1}, {"--max-request-bytes", 1},
+        {"--max-connections", 1}, {"--drain-grace", 1},
+        {"--metrics", 1},       {"--manifest", 1},
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        std::string inline_value;
+        bool has_inline_value = false;
+        const std::size_t equals = flag.find('=');
+        if (equals != std::string::npos) {
+            inline_value = flag.substr(equals + 1);
+            flag = flag.substr(0, equals);
+            has_inline_value = true;
+        }
+        const auto it = flags.find(flag);
+        if (it == flags.end())
+            usage();
+        std::string value;
+        if (it->second == 1) {
+            if (has_inline_value) {
+                value = inline_value;
+            } else {
+                if (i + 1 >= argc)
+                    usage();
+                value = argv[++i];
+            }
+        } else if (has_inline_value) {
+            usage();
+        }
+        try {
+            if (flag == "--socket")
+                args.socket_path = value;
+            else if (flag == "--pipe")
+                args.pipe = true;
+            else if (flag == "--workers")
+                args.workers = std::stoull(value);
+            else if (flag == "--queue")
+                args.queue = std::stoull(value);
+            else if (flag == "--deadline")
+                args.deadline_s = std::stod(value);
+            else if (flag == "--cache-dir")
+                args.cache_dir = value;
+            else if (flag == "--cache-entries")
+                args.cache_entries = std::stoull(value);
+            else if (flag == "--max-request-bytes")
+                args.max_request_bytes = std::stoull(value);
+            else if (flag == "--max-connections")
+                args.max_connections = std::stoull(value);
+            else if (flag == "--drain-grace")
+                args.drain_grace_s = std::stod(value);
+            else if (flag == "--metrics")
+                args.metrics_file = value;
+            else if (flag == "--manifest")
+                args.manifest_file = value;
+        } catch (const std::exception&) {
+            usage();
+        }
+    }
+    // Exactly one transport: --pipe, or --socket PATH.
+    if (args.pipe != args.socket_path.empty() ||
+        args.workers < 1 || args.queue < 1)
+        usage();
+    return args;
+}
+
+/**
+ * Incremental NDJSON line splitter with an oversized-line guard: a
+ * line that exceeds the limit *without a newline in sight* is cut off
+ * and handed over as-is (handleLine then produces the structured
+ * "limit-exceeded" reply), and the remainder of the physical line is
+ * discarded — one hostile client cannot make the server buffer
+ * unboundedly.
+ */
+class LineSplitter
+{
+  public:
+    explicit LineSplitter(std::size_t max_line_bytes)
+        : _max_line_bytes(max_line_bytes)
+    {}
+
+    /** Feed received bytes; call nextLine() until it returns false. */
+    void feed(const char* data, std::size_t size)
+    {
+        for (std::size_t i = 0; i < size; ++i) {
+            const char c = data[i];
+            if (c == '\n') {
+                if (_discarding)
+                    _discarding = false;
+                else
+                    _complete.push_back(std::move(_partial));
+                _partial.clear();
+                continue;
+            }
+            if (_discarding)
+                continue;
+            _partial.push_back(c);
+            if (_partial.size() > _max_line_bytes) {
+                // Cut the runaway line: emit what we have (already
+                // over the limit, so the reply is a structured
+                // error) and skip until the next newline.
+                _complete.push_back(std::move(_partial));
+                _partial.clear();
+                _discarding = true;
+            }
+        }
+    }
+
+    /** Pop the next complete line into @p line. */
+    bool nextLine(std::string& line)
+    {
+        if (_complete.empty())
+            return false;
+        line = std::move(_complete.front());
+        _complete.erase(_complete.begin());
+        return true;
+    }
+
+    /** A trailing unterminated line at EOF ("" when none). */
+    std::string flushPartial()
+    {
+        _discarding = false;
+        std::string rest = std::move(_partial);
+        _partial.clear();
+        return rest;
+    }
+
+  private:
+    std::size_t _max_line_bytes;
+    std::string _partial;
+    std::vector<std::string> _complete;
+    bool _discarding = false;
+};
+
+/** Write all of @p data to @p fd, retrying short writes. */
+bool
+writeAll(int fd, const std::string& data)
+{
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + written, data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * stdin -> stdout transport. The read side polls at 100ms so a
+ * SIGTERM arriving while the server idles on a quiet pipe still
+ * drains promptly instead of blocking in read(2) forever.
+ */
+void
+runPipe(serve::EvalServer& server, const CancellationToken& token,
+        const ServeArgs& args)
+{
+    LineSplitter splitter(args.max_request_bytes + 1);
+    char chunk[4096];
+    std::string line;
+    bool eof = false;
+    while (!eof && !token.stopRequested()) {
+        pollfd pfd{STDIN_FILENO, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+        if (n == 0) {
+            eof = true;
+            break;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        splitter.feed(chunk, static_cast<std::size_t>(n));
+        while (splitter.nextLine(line)) {
+            if (line.empty())
+                continue;
+            writeAll(STDOUT_FILENO, server.handleLine(line) + "\n");
+        }
+    }
+    const std::string rest = splitter.flushPartial();
+    if (eof && !rest.empty())
+        writeAll(STDOUT_FILENO, server.handleLine(rest) + "\n");
+}
+
+/** Per-connection loop of the socket transport. */
+void
+serveConnection(int fd, serve::EvalServer& server,
+                const CancellationToken& token,
+                const ServeArgs& args)
+{
+    LineSplitter splitter(args.max_request_bytes + 1);
+    char chunk[4096];
+    std::string line;
+    while (!token.stopRequested()) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break; // client closed (or hard error): end of session
+        }
+        splitter.feed(chunk, static_cast<std::size_t>(n));
+        bool write_failed = false;
+        while (splitter.nextLine(line)) {
+            if (line.empty())
+                continue;
+            if (!writeAll(fd, server.handleLine(line) + "\n")) {
+                write_failed = true;
+                break;
+            }
+        }
+        if (write_failed)
+            break;
+    }
+    ::close(fd);
+}
+
+/** Detached-connection-thread accounting for shutdown. */
+struct ConnectionTracker
+{
+    std::atomic<std::size_t> active{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+
+    void threadDone()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --active;
+        }
+        done_cv.notify_all();
+    }
+
+    /** Wait for every connection thread to exit; true when none left. */
+    bool awaitZero(std::chrono::milliseconds timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        return done_cv.wait_for(lock, timeout,
+                                [this] { return active.load() == 0; });
+    }
+};
+
+/** Accept loop of the socket transport. Returns false on hard error. */
+bool
+runSocket(serve::EvalServer& server, const CancellationToken& token,
+          const ServeArgs& args, ConnectionTracker& tracker)
+{
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        std::cerr << "ttm_serve: socket(): " << std::strerror(errno)
+                  << "\n";
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (args.socket_path.size() >= sizeof(addr.sun_path)) {
+        std::cerr << "ttm_serve: socket path too long: "
+                  << args.socket_path << "\n";
+        ::close(listen_fd);
+        return false;
+    }
+    std::strncpy(addr.sun_path, args.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(args.socket_path.c_str()); // stale socket from a crash
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 64) != 0) {
+        std::cerr << "ttm_serve: cannot listen on " << args.socket_path
+                  << ": " << std::strerror(errno) << "\n";
+        ::close(listen_fd);
+        return false;
+    }
+
+    // Readiness line: shell tests and supervisors wait for this.
+    std::cout << "ttm_serve ready socket=" << args.socket_path
+              << " workers=" << args.workers << " queue=" << args.queue
+              << " recovered=" << server.recoveredEntries() << std::endl;
+
+    while (!token.stopRequested()) {
+        pollfd pfd{listen_fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        if (tracker.active.load() >= args.max_connections) {
+            // Connection-level shedding mirrors request-level shedding.
+            writeAll(fd, serve::overloadedReply("", args.max_connections,
+                                                args.max_connections) +
+                             "\n");
+            ::close(fd);
+            continue;
+        }
+        ++tracker.active;
+        std::thread([fd, &server, &token, &args, &tracker] {
+            serveConnection(fd, server, token, args);
+            tracker.threadDone();
+        }).detach();
+    }
+    ::close(listen_fd);
+    ::unlink(args.socket_path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const ServeArgs args = parseArgs(argc, argv);
+
+    if (!args.metrics_file.empty() || !args.manifest_file.empty())
+        obs::setMetricsEnabled(true);
+
+    CancellationToken stop;
+    const ScopedSigintCancel signals(stop); // SIGINT + SIGTERM -> drain
+
+    try {
+        serve::ServeOptions options;
+        options.workers = args.workers;
+        options.queue_bound = args.queue;
+        options.default_deadline_s = args.deadline_s;
+        options.limits.max_request_bytes = args.max_request_bytes;
+        options.cache.dir = args.cache_dir;
+        options.cache.max_entries = args.cache_entries;
+
+        serve::EvalServer server(defaultTechnologyDb(), options);
+
+        ConnectionTracker tracker;
+        bool transport_ok = true;
+        if (args.pipe) {
+            std::cout << "ttm_serve ready pipe workers=" << args.workers
+                      << " queue=" << args.queue
+                      << " recovered=" << server.recoveredEntries()
+                      << std::endl;
+            runPipe(server, stop, args);
+        } else {
+            transport_ok = runSocket(server, stop, args, tracker);
+        }
+
+        // Graceful drain: stop admitting, give in-flight work its
+        // grace period, then cancel cooperatively and wait again.
+        // Connection threads unblock as their requests finish, so the
+        // tracker is awaited last.
+        server.beginDrain(/*cancel_in_flight=*/false);
+        const auto grace = std::chrono::milliseconds(
+            static_cast<long>(args.drain_grace_s * 1000.0));
+        if (!server.awaitIdle(grace)) {
+            server.beginDrain(/*cancel_in_flight=*/true);
+            server.awaitIdle(std::chrono::milliseconds(30000));
+        }
+        tracker.awaitZero(std::chrono::milliseconds(15000));
+
+        const serve::ServerStats stats = server.stats();
+        std::cerr << "ttm_serve: drained after " << stats.requests
+                  << " requests (ok " << stats.ok << ", errors "
+                  << stats.errors << ", shed " << stats.shed
+                  << ", deadline " << stats.deadline_exceeded
+                  << ", cache hits " << stats.cache.hits << ")\n";
+
+        if (!args.metrics_file.empty())
+            obs::writeMetrics(args.metrics_file);
+        if (!args.manifest_file.empty()) {
+            obs::RunManifest manifest;
+            manifest.tool = "ttm_serve";
+            manifest.git_hash = obs::buildGitHash();
+            manifest.threads = args.workers;
+            manifest.failure_policy = "skip_and_record";
+            manifest.disposition =
+                stop.cancelRequested() ? "drained" : "completed";
+            obs::KernelTiming timing;
+            timing.kernel = "serve.session";
+            timing.points = stats.requests;
+            timing.failures = stats.errors;
+            manifest.addKernel(timing);
+            manifest.write(args.manifest_file);
+        }
+        if (!transport_ok)
+            return 1;
+    } catch (const std::exception& error) {
+        std::cerr << "ttm_serve: fatal: " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -78,6 +78,34 @@ class MarketConditions
      */
     Wafers queueWafers(const ProcessNode& node) const;
 
+    /** @name Content inspection (serve-layer cache hashing)
+     * Read-only views of every field that distinguishes two market
+     * conditions, in deterministic (sorted-map) order, so a canonical
+     * content hash can cover the whole state (serve/content_hash.hh).
+     */
+    ///@{
+    /** Per-node capacity factors, sorted by node name. */
+    const std::map<std::string, double>& capacityFactors() const
+    {
+        return _capacity_factors;
+    }
+    /** Per-node weeks-denominated backlogs, sorted by node name. */
+    const std::map<std::string, Weeks>& queueWeeksByNode() const
+    {
+        return _queue_weeks;
+    }
+    /** Per-node wafer-denominated backlogs, sorted by node name. */
+    const std::map<std::string, Wafers>& queueWafersByNode() const
+    {
+        return _queue_wafers;
+    }
+    /** The fallback capacity factor for nodes with no explicit entry. */
+    double globalCapacityFactor() const
+    {
+        return _global_capacity_factor;
+    }
+    ///@}
+
   private:
     std::map<std::string, double> _capacity_factors;
     std::map<std::string, Weeks> _queue_weeks;

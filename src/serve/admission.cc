@@ -1,0 +1,64 @@
+#include "serve/admission.hh"
+
+#include "support/error.hh"
+
+namespace ttmcas::serve {
+
+AdmissionGate::AdmissionGate(std::size_t capacity) : _capacity(capacity)
+{
+    TTMCAS_REQUIRE(capacity >= 1, "admission gate needs capacity >= 1");
+}
+
+AdmissionGate::Decision
+AdmissionGate::tryEnter()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_draining)
+        return Decision::Draining;
+    if (_in_flight >= _capacity)
+        return Decision::Shed;
+    ++_in_flight;
+    return Decision::Admitted;
+}
+
+void
+AdmissionGate::leave()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    TTMCAS_REQUIRE(_in_flight > 0, "admission gate leave() without enter");
+    if (--_in_flight == 0)
+        _idle.notify_all();
+}
+
+void
+AdmissionGate::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _draining = true;
+    if (_in_flight == 0)
+        _idle.notify_all();
+}
+
+bool
+AdmissionGate::draining() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _draining;
+}
+
+std::size_t
+AdmissionGate::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _in_flight;
+}
+
+bool
+AdmissionGate::awaitIdle(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    return _idle.wait_for(lock, timeout,
+                          [this] { return _in_flight == 0; });
+}
+
+} // namespace ttmcas::serve

@@ -1,0 +1,113 @@
+#ifndef TTMCAS_SERVE_ADMISSION_HH
+#define TTMCAS_SERVE_ADMISSION_HH
+
+/**
+ * @file
+ * Bounded admission control for ttm_serve.
+ *
+ * The gate sits in front of the evaluation thread pool and bounds how
+ * many requests may be in flight (queued + executing) at once. A
+ * request that arrives while the gate is full is *shed* immediately
+ * with a structured "overloaded" reply instead of queueing unboundedly
+ * — under flood the server stays responsive (health checks and cache
+ * hits bypass the gate entirely) and memory stays bounded.
+ *
+ * Drain is a one-way latch: beginDrain() makes every subsequent
+ * tryEnter() return Draining, and awaitIdle() lets the shutdown path
+ * wait (with a timeout) for in-flight work to finish or get cancelled.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace ttmcas::serve {
+
+/** Counting gate with a shed decision and a drain latch. */
+class AdmissionGate
+{
+  public:
+    /** What happened to an arriving request. */
+    enum class Decision : std::uint8_t
+    {
+        Admitted, ///< a slot was taken; caller must leave() when done
+        Shed,     ///< gate full — reply "overloaded"
+        Draining, ///< server shutting down — reply "draining"
+    };
+
+    /** A gate admitting at most @p capacity concurrent requests. */
+    explicit AdmissionGate(std::size_t capacity);
+
+    /** Try to take a slot. Admitted requires a matching leave(). */
+    Decision tryEnter();
+
+    /** Release a slot taken by a successful tryEnter(). */
+    void leave();
+
+    /** Latch the drain state: no further admissions. Idempotent. */
+    void beginDrain();
+
+    /** True once beginDrain() was called. */
+    bool draining() const;
+
+    /** Requests currently holding a slot. */
+    std::size_t inFlight() const;
+
+    /** The admission bound. */
+    std::size_t capacity() const { return _capacity; }
+
+    /**
+     * Block until no request holds a slot, or @p timeout elapses.
+     * Returns true when idle was reached.
+     */
+    bool awaitIdle(std::chrono::milliseconds timeout);
+
+  private:
+    const std::size_t _capacity;
+    mutable std::mutex _mutex;
+    std::condition_variable _idle;
+    std::size_t _in_flight = 0;
+    bool _draining = false;
+};
+
+/** RAII slot holder: leave() exactly once for an admitted request. */
+class AdmissionSlot
+{
+  public:
+    AdmissionSlot() = default;
+    explicit AdmissionSlot(AdmissionGate& gate) : _gate(&gate) {}
+    ~AdmissionSlot() { release(); }
+
+    AdmissionSlot(AdmissionSlot&& other) noexcept : _gate(other._gate)
+    {
+        other._gate = nullptr;
+    }
+    AdmissionSlot& operator=(AdmissionSlot&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            _gate = other._gate;
+            other._gate = nullptr;
+        }
+        return *this;
+    }
+    AdmissionSlot(const AdmissionSlot&) = delete;
+    AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+    /** Release the slot early (destructor is then a no-op). */
+    void release()
+    {
+        if (_gate != nullptr) {
+            _gate->leave();
+            _gate = nullptr;
+        }
+    }
+
+  private:
+    AdmissionGate* _gate = nullptr;
+};
+
+} // namespace ttmcas::serve
+
+#endif // TTMCAS_SERVE_ADMISSION_HH

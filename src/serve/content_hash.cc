@@ -1,0 +1,128 @@
+#include "serve/content_hash.hh"
+
+#include <bit>
+#include <cstdio>
+
+namespace ttmcas::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+} // namespace
+
+ContentHasher&
+ContentHasher::mix(std::string_view bytes)
+{
+    // Length-prefix the chunk so "ab" + "c" != "a" + "bc".
+    mix(static_cast<std::uint64_t>(bytes.size()));
+    for (const char c : bytes) {
+        _state ^= static_cast<unsigned char>(c);
+        _state *= kFnvPrime;
+    }
+    return *this;
+}
+
+ContentHasher&
+ContentHasher::mix(double value)
+{
+    return mix(std::bit_cast<std::uint64_t>(value));
+}
+
+ContentHasher&
+ContentHasher::mix(std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8) {
+        _state ^= (value >> shift) & 0xffu;
+        _state *= kFnvPrime;
+    }
+    return *this;
+}
+
+ContentHasher&
+ContentHasher::mix(bool present)
+{
+    _state ^= present ? 0x01u : 0x00u;
+    _state *= kFnvPrime;
+    return *this;
+}
+
+ContentHasher&
+ContentHasher::tag(std::string_view name)
+{
+    return mix(name).mix(std::string_view("="));
+}
+
+std::string
+ContentHasher::hex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(_state));
+    return buf;
+}
+
+std::string
+designHash(const ChipDesign& design)
+{
+    ContentHasher hasher;
+    hasher.tag("design").mix(design.name);
+    hasher.tag("design_weeks").mix(design.design_time.value());
+    hasher.tag("dies").mix(static_cast<std::uint64_t>(design.dies.size()));
+    for (const Die& die : design.dies) {
+        hasher.tag("die").mix(die.name);
+        hasher.tag("process").mix(die.process);
+        hasher.tag("ntt").mix(die.total_transistors);
+        hasher.tag("nut").mix(die.unique_transistors);
+        hasher.tag("count").mix(die.count_per_package);
+        hasher.tag("area").mix(die.area_override.has_value());
+        if (die.area_override)
+            hasher.mix(die.area_override->value());
+        hasher.tag("min_area").mix(die.min_area.value());
+        hasher.tag("yield").mix(die.yield_override.has_value());
+        if (die.yield_override)
+            hasher.mix(*die.yield_override);
+    }
+    return hasher.hex();
+}
+
+std::string
+marketHash(const MarketConditions& market)
+{
+    ContentHasher hasher;
+    hasher.tag("market");
+    hasher.tag("global").mix(market.globalCapacityFactor());
+    hasher.tag("capacity").mix(
+        static_cast<std::uint64_t>(market.capacityFactors().size()));
+    for (const auto& [node, factor] : market.capacityFactors())
+        hasher.mix(node).mix(factor);
+    hasher.tag("queue_weeks").mix(
+        static_cast<std::uint64_t>(market.queueWeeksByNode().size()));
+    for (const auto& [node, weeks] : market.queueWeeksByNode())
+        hasher.mix(node).mix(weeks.value());
+    hasher.tag("queue_wafers").mix(
+        static_cast<std::uint64_t>(market.queueWafersByNode().size()));
+    for (const auto& [node, wafers] : market.queueWafersByNode())
+        hasher.mix(node).mix(wafers.value());
+    return hasher.hex();
+}
+
+std::string
+evalCacheKey(const ChipDesign& design, const MarketConditions& market,
+             const EvalKeyParams& params)
+{
+    ContentHasher hasher;
+    hasher.tag("kernel").mix(params.kernel);
+    hasher.tag("seed").mix(params.seed);
+    hasher.tag("n_chips").mix(params.n_chips);
+    hasher.tag("samples").mix(params.samples);
+    hasher.tag("band").mix(params.band);
+    hasher.tag("inputs").mix(params.inputs);
+    hasher.tag("grid").mix(static_cast<std::uint64_t>(params.grid.size()));
+    for (const double value : params.grid)
+        hasher.mix(value);
+    return designHash(design) + "-" + marketHash(market) + "-" +
+           hasher.hex();
+}
+
+} // namespace ttmcas::serve

@@ -1,0 +1,108 @@
+#ifndef TTMCAS_SERVE_CONTENT_HASH_HH
+#define TTMCAS_SERVE_CONTENT_HASH_HH
+
+/**
+ * @file
+ * Content-addressed cache keys for evaluation requests.
+ *
+ * The ttm_serve result cache (serve/result_cache.hh) is keyed by
+ * *content*, not by request identity: two requests asking for the same
+ * evaluation of the same design under the same market conditions with
+ * the same seed and kernel parameters must map to the same key, no
+ * matter which client sent them or how the JSON was formatted. The
+ * canonical hash here walks every semantically relevant field in a
+ * fixed order:
+ *
+ *  - doubles are hashed as their IEEE-754 bit patterns (bit-exact, no
+ *    decimal rendering ambiguity);
+ *  - optional fields hash a presence flag before the value, so
+ *    "absent" and "present with value 0" differ;
+ *  - every field is prefixed with a short tag, so adjacent fields
+ *    cannot alias (e.g. {a=12, b=3} vs {a=1, b=23});
+ *  - map-backed state (market conditions) is hashed in sorted-key
+ *    order, which std::map provides.
+ *
+ * The same helpers serve both sides of the wire: ttm_serve derives
+ * cache keys from parsed requests, and `ttm_cli --sobol` stamps its
+ * batch runs with the key of the equivalent server query, so CLI
+ * output and server cache entries can be correlated (a unit test
+ * pins the two paths to identical hashes).
+ *
+ * The hash is FNV-1a 64-bit — not cryptographic. Keys gate a cache of
+ * deterministic recomputable results, so a collision costs a wrong
+ * cache hit in a 2^-64 corner, not an integrity failure; the 16-hex
+ * rendering doubles as the on-disk cache file name.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/design.hh"
+#include "core/market.hh"
+
+namespace ttmcas::serve {
+
+/** Streaming FNV-1a 64-bit hasher over tagged canonical fields. */
+class ContentHasher
+{
+  public:
+    /** Mix raw bytes. */
+    ContentHasher& mix(std::string_view bytes);
+    /** Mix a double as its IEEE-754 bit pattern. */
+    ContentHasher& mix(double value);
+    /** Mix an unsigned integer (little-endian byte order). */
+    ContentHasher& mix(std::uint64_t value);
+    /** Mix a presence flag (for optional fields). */
+    ContentHasher& mix(bool present);
+    /** Mix a field tag: "name=" prefix preventing field aliasing. */
+    ContentHasher& tag(std::string_view name);
+
+    /** The current 64-bit digest. */
+    std::uint64_t digest() const { return _state; }
+
+    /** The digest as 16 lowercase hex characters. */
+    std::string hex() const;
+
+  private:
+    std::uint64_t _state = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+};
+
+/** Canonical hash of every semantic field of @p design (16 hex). */
+std::string designHash(const ChipDesign& design);
+
+/** Canonical hash of every semantic field of @p market (16 hex). */
+std::string marketHash(const MarketConditions& market);
+
+/**
+ * Kernel parameters that distinguish two evaluations of the same
+ * (design, market) pair. `kernel` is the request-kind name ("mc_ttm",
+ * "sobol_ttm", ...); `inputs` is the varied-input count of a
+ * sensitivity analysis (0 when not applicable) so e.g. the CLI's
+ * 3-factor Sobol batch and the server's 6-input ttmSensitivity can
+ * never alias; `grid` carries sweep points (capacity factors).
+ */
+struct EvalKeyParams
+{
+    std::string kernel;
+    std::uint64_t seed = 0;
+    double n_chips = 0.0;
+    std::uint64_t samples = 0;
+    double band = 0.0;
+    std::uint64_t inputs = 0;
+    std::vector<double> grid;
+};
+
+/**
+ * The content-addressed cache key of one evaluation:
+ * "<design-hash>-<market-hash>-<param-hash>" (3 x 16 hex). The
+ * design and market digests stay visible in the key so operators can
+ * grep a cache directory for "every entry of this design".
+ */
+std::string evalCacheKey(const ChipDesign& design,
+                         const MarketConditions& market,
+                         const EvalKeyParams& params);
+
+} // namespace ttmcas::serve
+
+#endif // TTMCAS_SERVE_CONTENT_HASH_HH

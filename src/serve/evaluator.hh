@@ -1,0 +1,86 @@
+#ifndef TTMCAS_SERVE_EVALUATOR_HH
+#define TTMCAS_SERVE_EVALUATOR_HH
+
+/**
+ * @file
+ * Request evaluation for ttm_serve: EvalRequest in, deterministic
+ * JSON result payload out.
+ *
+ * The evaluator wraps the analysis layer (UncertaintyAnalysis for
+ * Monte-Carlo and Sobol, TtmModel/CasModel for capacity sweeps) with
+ * the robustness options a long-lived server needs:
+ *
+ *  - every run takes the per-request CancellationToken, so a deadline
+ *    or drain stops the evaluation cooperatively at chunk granularity;
+ *  - FailurePolicy::skipAndRecord isolates per-point failures — a
+ *    numerically hostile design yields a partial result plus failure
+ *    counts, never an exception escaping the worker thread;
+ *  - payloads are rendered with JsonWriter's deterministic number
+ *    formatting, so an identical request re-rendered later (or served
+ *    from the recovered cache) is byte-for-byte identical.
+ *
+ * Partial results are honest: EvalOutcome::complete is true only when
+ * every point evaluated cleanly, and only complete payloads may enter
+ * the result cache (the server enforces this).
+ */
+
+#include <string>
+
+#include "core/uncertainty.hh"
+#include "serve/content_hash.hh"
+#include "serve/request.hh"
+#include "support/cancel.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas::serve {
+
+/** The rendered result of one evaluation. */
+struct EvalOutcome
+{
+    /** The result payload (a JSON object, deterministic rendering). */
+    std::string payload;
+    /** "ok", "deadline_exceeded", or "cancelled". */
+    std::string status = "ok";
+    /** True when every point completed cleanly (cacheable). */
+    bool complete = false;
+};
+
+/** Maps parsed requests onto the analysis layer. */
+class Evaluator
+{
+  public:
+    /** Evaluate against @p db (copied; the evaluator is immutable). */
+    explicit Evaluator(TechnologyDb db);
+
+    /**
+     * Run one evaluation request under @p token. Never throws for
+     * request-level problems: model failures are isolated per point
+     * and reported inside the payload's "failures" object.
+     */
+    EvalOutcome evaluate(const EvalRequest& request,
+                         const CancellationToken& token) const;
+
+    /**
+     * The cache-key parameters of @p request — the single source of
+     * truth shared with `ttm_cli --sobol` so CLI batch runs and
+     * server cache entries agree on keys (see content_hash.hh).
+     */
+    static EvalKeyParams keyParams(const EvalRequest& request);
+
+    /** The full content-addressed cache key of @p request. */
+    static std::string cacheKey(const EvalRequest& request);
+
+  private:
+    EvalOutcome evaluateMc(const EvalRequest& request,
+                           const CancellationToken& token) const;
+    EvalOutcome evaluateSobol(const EvalRequest& request,
+                              const CancellationToken& token) const;
+    EvalOutcome evaluateSweep(const EvalRequest& request,
+                              const CancellationToken& token) const;
+
+    TechnologyDb _db;
+};
+
+} // namespace ttmcas::serve
+
+#endif // TTMCAS_SERVE_EVALUATOR_HH

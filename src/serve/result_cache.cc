@@ -1,0 +1,233 @@
+#include "serve/result_cache.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hh"
+#include "support/json.hh"
+
+namespace ttmcas::serve {
+
+namespace {
+
+constexpr const char* kEntryFormat = "ttmcas-serve-cache-v1";
+
+/** Render the on-disk entry envelope for one cache entry. */
+std::string
+renderEntry(const std::string& key, const std::string& kernel,
+            const std::string& payload)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("format", kEntryFormat);
+    json.field("key", key);
+    json.field("kernel", kernel);
+    json.field("payload_bytes", static_cast<std::uint64_t>(payload.size()));
+    json.field("payload", payload);
+    json.endObject();
+    return json.str();
+}
+
+/**
+ * Parse one on-disk entry; returns the payload or nullopt when the
+ * file is torn, truncated, or not a cache entry. The payload_bytes
+ * length check catches a payload truncated *inside* valid JSON (it
+ * cannot happen with atomic renames, but recovery trusts nothing).
+ */
+std::optional<std::string>
+parseEntry(const std::string& document, const std::string& expected_key)
+{
+    try {
+        const JsonValue doc = parseJson(document);
+        if (doc.kind() != JsonValue::Kind::Object)
+            return std::nullopt;
+        if (!doc.has("format") ||
+            doc.at("format").asString() != kEntryFormat)
+            return std::nullopt;
+        if (!doc.has("key") || doc.at("key").asString() != expected_key)
+            return std::nullopt;
+        if (!doc.has("payload") || !doc.has("payload_bytes"))
+            return std::nullopt;
+        std::string payload = doc.at("payload").asString();
+        const double declared = doc.at("payload_bytes").asNumber();
+        if (declared != static_cast<double>(payload.size()))
+            return std::nullopt;
+        return payload;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : _options(std::move(options))
+{
+    TTMCAS_REQUIRE(_options.max_entries >= 1,
+                   "result cache needs max_entries >= 1");
+    if (!_options.dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(_options.dir, ec);
+        TTMCAS_REQUIRE(!ec, "cannot create cache directory " +
+                                _options.dir + ": " + ec.message());
+    }
+}
+
+std::size_t
+ResultCache::recover()
+{
+    if (_options.dir.empty())
+        return 0;
+
+    struct DiskEntry
+    {
+        std::filesystem::path path;
+        std::filesystem::file_time_type mtime;
+    };
+    std::vector<DiskEntry> found;
+    std::error_code ec;
+    for (const auto& item :
+         std::filesystem::directory_iterator(_options.dir, ec)) {
+        const std::filesystem::path& path = item.path();
+        if (path.extension() == ".tmp") {
+            // Orphaned staging file from a writer killed mid-write:
+            // the rename never happened, so the entry never existed.
+            std::error_code remove_ec;
+            std::filesystem::remove(path, remove_ec);
+            continue;
+        }
+        if (path.extension() != ".json")
+            continue;
+        std::error_code time_ec;
+        const auto mtime = std::filesystem::last_write_time(path, time_ec);
+        found.push_back({path, time_ec ? std::filesystem::file_time_type{}
+                                       : mtime});
+    }
+    TTMCAS_REQUIRE(!ec, "cannot scan cache directory " + _options.dir +
+                            ": " + ec.message());
+
+    // Newest entries win the max_entries budget.
+    std::sort(found.begin(), found.end(),
+              [](const DiskEntry& a, const DiskEntry& b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime > b.mtime;
+                  return a.path.filename() < b.path.filename();
+              });
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const DiskEntry& entry : found) {
+        if (_entries.size() >= _options.max_entries)
+            break;
+        const std::string key = entry.path.stem().string();
+        if (_entries.count(key) != 0)
+            continue;
+        std::ifstream in(entry.path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        std::optional<std::string> payload;
+        if (in.good() || in.eof())
+            payload = parseEntry(buffer.str(), key);
+        if (!payload) {
+            ++_stats.torn_skipped;
+            continue;
+        }
+        _entries.emplace(key, std::move(*payload));
+        _insertion_order.push_back(key);
+        ++_stats.recovered;
+    }
+    return static_cast<std::size_t>(_stats.recovered);
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    ++_stats.hits;
+    return it->second;
+}
+
+bool
+ResultCache::insert(const std::string& key, const std::string& kernel,
+                    const std::string& payload)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_entries.count(key) != 0)
+            return true;
+        _entries.emplace(key, payload);
+        _insertion_order.push_back(key);
+        ++_stats.insertions;
+        evictLockedIfNeeded();
+    }
+    // Persist outside the lock: disk latency must not serialize
+    // lookups. A concurrent insert of the same key writes the same
+    // bytes, and rename() makes the last writer win atomically.
+    if (_options.dir.empty())
+        return true;
+    return persistEntry(key, kernel, payload);
+}
+
+void
+ResultCache::evictLockedIfNeeded()
+{
+    while (_entries.size() > _options.max_entries &&
+           !_insertion_order.empty()) {
+        _entries.erase(_insertion_order.front());
+        _insertion_order.pop_front();
+        ++_stats.evictions;
+    }
+}
+
+bool
+ResultCache::persistEntry(const std::string& key, const std::string& kernel,
+                          const std::string& payload)
+{
+    const std::string document = renderEntry(key, kernel, payload);
+    const std::filesystem::path target =
+        std::filesystem::path(_options.dir) / (key + ".json");
+    // Temp file beside the target: rename() is only atomic within one
+    // filesystem, so the staging file must live in the same directory.
+    const std::filesystem::path staging =
+        std::filesystem::path(_options.dir) / (key + ".json.tmp");
+    {
+        std::ofstream out(staging, std::ios::trunc);
+        if (!out.good())
+            return false;
+        out << document << '\n';
+        out.flush();
+        if (!out.good())
+            return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(staging, target, ec);
+    if (ec) {
+        std::error_code remove_ec;
+        std::filesystem::remove(staging, remove_ec);
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+} // namespace ttmcas::serve

@@ -1,0 +1,120 @@
+#ifndef TTMCAS_SERVE_RESULT_CACHE_HH
+#define TTMCAS_SERVE_RESULT_CACHE_HH
+
+/**
+ * @file
+ * Crash-safe content-addressed result cache for ttm_serve.
+ *
+ * The cache maps a content-addressed key (serve/content_hash.hh) to
+ * the pre-rendered JSON result payload of a completed evaluation.
+ * Payloads are rendered once with deterministic number formatting
+ * (%.17g via jsonNumber), so a hit returns a byte-for-byte identical
+ * reply to the miss that populated it — the crash-recovery test pins
+ * this.
+ *
+ * Two tiers:
+ *
+ *  - An in-memory map with FIFO insertion-order eviction bounded by
+ *    Options::max_entries. Every lookup/insert goes through this tier.
+ *  - An optional on-disk tier (Options::dir): each entry persists as
+ *    `<dir>/<key>.json` written with the temp-then-rename idiom
+ *    (stage to `<key>.json.tmp`, flush, std::filesystem::rename), so
+ *    `kill -9` at any instant leaves either no entry or a complete
+ *    one — never a torn file. recover() deletes orphaned `.tmp`
+ *    staging files, validates every `*.json` entry envelope, skips
+ *    (and counts) torn or corrupt ones, and reloads the rest, so a
+ *    restarted server answers repeat queries from cache byte-for-byte.
+ *
+ * Eviction is memory-only: the disk tier is a cold archive that the
+ * next recover() reloads (newest-first up to max_entries). Operators
+ * bound it by clearing the directory; docs/SERVING.md documents the
+ * layout.
+ *
+ * Thread safety: every public method is safe to call concurrently.
+ */
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace ttmcas::serve {
+
+/** Configuration for a ResultCache. */
+struct ResultCacheOptions
+{
+    /** Persistence directory; empty = memory-only cache. */
+    std::string dir;
+    /** In-memory entry bound (FIFO eviction beyond it). */
+    std::size_t max_entries = 1024;
+};
+
+/** Monotonic operation counters (all since construction). */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;         ///< lookups that found an entry
+    std::uint64_t misses = 0;       ///< lookups that found nothing
+    std::uint64_t insertions = 0;   ///< successful insert() calls
+    std::uint64_t evictions = 0;    ///< in-memory FIFO evictions
+    std::uint64_t recovered = 0;    ///< entries reloaded by recover()
+    std::uint64_t torn_skipped = 0; ///< corrupt/torn files skipped
+};
+
+/** Bounded, optionally-persistent map from content key to payload. */
+class ResultCache
+{
+  public:
+    /**
+     * Create the cache; creates Options::dir when set. Does NOT scan
+     * the directory — call recover() for that (the server does this
+     * once at startup, before accepting requests).
+     */
+    explicit ResultCache(ResultCacheOptions options);
+
+    /**
+     * Scan the persistence directory: delete `*.tmp` staging leftovers
+     * from a crashed writer, load every valid `*.json` entry (newest
+     * first, up to max_entries), and skip + count invalid ones.
+     * Returns the number of entries recovered. No-op when memory-only.
+     */
+    std::size_t recover();
+
+    /** The payload cached under @p key, or nullopt. Counts hit/miss. */
+    std::optional<std::string> lookup(const std::string& key);
+
+    /**
+     * Cache @p payload under @p key (@p kernel is recorded in the
+     * entry envelope for operators). Persists atomically when a
+     * directory is configured; re-inserting an existing key is a
+     * no-op. Returns false when persistence failed (the entry is
+     * still served from memory).
+     */
+    bool insert(const std::string& key, const std::string& kernel,
+                const std::string& payload);
+
+    /** Current in-memory entry count. */
+    std::size_t size() const;
+
+    /** Counters since construction. */
+    ResultCacheStats stats() const;
+
+    /** The persistence directory ("" when memory-only). */
+    const std::string& dir() const { return _options.dir; }
+
+  private:
+    void evictLockedIfNeeded();
+    bool persistEntry(const std::string& key, const std::string& kernel,
+                      const std::string& payload);
+
+    ResultCacheOptions _options;
+    mutable std::mutex _mutex;
+    std::map<std::string, std::string> _entries;  // key -> payload
+    std::list<std::string> _insertion_order;      // FIFO eviction queue
+    ResultCacheStats _stats;
+};
+
+} // namespace ttmcas::serve
+
+#endif // TTMCAS_SERVE_RESULT_CACHE_HH

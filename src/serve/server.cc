@@ -1,0 +1,297 @@
+#include "serve/server.hh"
+
+#include <condition_variable>
+#include <utility>
+
+#include "support/json.hh"
+#include "support/metrics.hh"
+
+namespace ttmcas::serve {
+
+namespace {
+
+/** serve.* metric handles (docs/OBSERVABILITY.md lists them). */
+struct ServeMetrics
+{
+    obs::Counter requests{"serve.requests"};
+    obs::Counter ok{"serve.responses.ok"};
+    obs::Counter errors{"serve.responses.error"};
+    obs::Counter shed{"serve.shed"};
+    obs::Counter deadline{"serve.deadline_exceeded"};
+    obs::Counter cache_hit{"serve.cache.hit"};
+    obs::Counter cache_miss{"serve.cache.miss"};
+    obs::Counter cache_insert{"serve.cache.insert"};
+    obs::Gauge queue_depth{"serve.queue_depth_max"};
+};
+
+ServeMetrics&
+serveMetrics()
+{
+    static ServeMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+EvalServer::EvalServer(TechnologyDb db, ServeOptions options)
+    : _options(options),
+      _evaluator(std::move(db)),
+      _cache(options.cache),
+      _gate(options.queue_bound),
+      _pool(options.workers)
+{
+    _recovered = _cache.recover();
+}
+
+EvalServer::~EvalServer()
+{
+    beginDrain(/*cancel_in_flight=*/true);
+    // Bounded wait: every job observes its cancelled token at chunk
+    // granularity, so this converges quickly even mid-evaluation.
+    awaitIdle(std::chrono::milliseconds(30000));
+    _pool.wait();
+}
+
+std::string
+EvalServer::handleLine(const std::string& line)
+{
+    _requests.fetch_add(1, std::memory_order_relaxed);
+    serveMetrics().requests.increment();
+
+    const ParsedRequest parsed = parseRequestLine(line, _options.limits);
+    if (!parsed.ok) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        serveMetrics().errors.increment();
+        return errorReply(parsed.error);
+    }
+    const EvalRequest& request = parsed.request;
+
+    // Health and stats stay answerable while draining: they are how
+    // an operator watches the drain finish.
+    if (request.kind == RequestKind::Health) {
+        _ok.fetch_add(1, std::memory_order_relaxed);
+        serveMetrics().ok.increment();
+        return healthReply(request.id);
+    }
+    if (request.kind == RequestKind::Stats) {
+        _ok.fetch_add(1, std::memory_order_relaxed);
+        serveMetrics().ok.increment();
+        return statsReply(request.id);
+    }
+    return handleEval(request);
+}
+
+std::string
+EvalServer::handleEval(const EvalRequest& request)
+{
+    const std::string key = Evaluator::cacheKey(request);
+
+    // Cache hits bypass admission entirely: they cost microseconds and
+    // must keep working under flood and during drain.
+    if (!request.no_cache) {
+        if (std::optional<std::string> payload = _cache.lookup(key)) {
+            _ok.fetch_add(1, std::memory_order_relaxed);
+            serveMetrics().ok.increment();
+            serveMetrics().cache_hit.increment();
+            return resultReply(request.id, request.kind, "ok", "hit", key,
+                               *payload);
+        }
+        serveMetrics().cache_miss.increment();
+    }
+
+    switch (_gate.tryEnter()) {
+    case AdmissionGate::Decision::Shed:
+        _shed.fetch_add(1, std::memory_order_relaxed);
+        serveMetrics().shed.increment();
+        return overloadedReply(request.id, _gate.inFlight(),
+                               _gate.capacity());
+    case AdmissionGate::Decision::Draining:
+        _rejected_draining.fetch_add(1, std::memory_order_relaxed);
+        return drainingReply(request.id);
+    case AdmissionGate::Decision::Admitted: break;
+    }
+    AdmissionSlot slot(_gate);
+    serveMetrics().queue_depth.recordMax(
+        static_cast<double>(_gate.inFlight()));
+
+    // Per-request cancellation: the client's deadline (capped by the
+    // parser) or the server default, plus drain-time cancellation via
+    // the active-token registry.
+    auto token = std::make_shared<CancellationToken>();
+    const double deadline_s = request.deadline_s > 0.0
+                                  ? request.deadline_s
+                                  : _options.default_deadline_s;
+    if (deadline_s > 0.0)
+        token->setDeadlineAfter(deadline_s);
+    {
+        std::lock_guard<std::mutex> lock(_active_mutex);
+        if (_gate.draining())
+            token->requestCancel();
+        _active.insert(token);
+    }
+
+    struct Job
+    {
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        bool done = false;
+        bool internal_error = false;
+        std::string internal_message;
+        EvalOutcome outcome;
+    };
+    auto job = std::make_shared<Job>();
+    _pool.submit([this, job, token, request] {
+        EvalOutcome outcome;
+        bool failed = false;
+        std::string message;
+        try {
+            outcome = _evaluator.evaluate(request, *token);
+        } catch (const std::exception& error) {
+            // Belt and braces: evaluation isolates per-point failures,
+            // but nothing that *does* escape may reach the pool (its
+            // wait() would rethrow on the shutdown path).
+            failed = true;
+            message = error.what();
+        }
+        std::lock_guard<std::mutex> lock(job->mutex);
+        job->outcome = std::move(outcome);
+        job->internal_error = failed;
+        job->internal_message = std::move(message);
+        job->done = true;
+        job->done_cv.notify_all();
+    });
+
+    EvalOutcome outcome;
+    bool internal_error = false;
+    std::string internal_message;
+    {
+        std::unique_lock<std::mutex> lock(job->mutex);
+        job->done_cv.wait(lock, [&] { return job->done; });
+        outcome = std::move(job->outcome);
+        internal_error = job->internal_error;
+        internal_message = std::move(job->internal_message);
+    }
+    {
+        std::lock_guard<std::mutex> lock(_active_mutex);
+        _active.erase(token);
+    }
+    slot.release();
+
+    if (internal_error) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        serveMetrics().errors.increment();
+        RequestError error;
+        error.id = request.id;
+        error.code = "internal";
+        error.message = internal_message;
+        return errorReply(error);
+    }
+
+    std::string cache_state = "bypass";
+    if (!request.no_cache && outcome.complete) {
+        _cache.insert(key, requestKindName(request.kind), outcome.payload);
+        serveMetrics().cache_insert.increment();
+        cache_state = "miss";
+    }
+
+    if (outcome.status == "ok") {
+        _ok.fetch_add(1, std::memory_order_relaxed);
+        serveMetrics().ok.increment();
+    } else if (outcome.status == "deadline_exceeded") {
+        _deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        serveMetrics().deadline.increment();
+    } else {
+        _cancelled.fetch_add(1, std::memory_order_relaxed);
+    }
+    return resultReply(request.id, request.kind, outcome.status,
+                       cache_state, key, outcome.payload);
+}
+
+void
+EvalServer::beginDrain(bool cancel_in_flight)
+{
+    _gate.beginDrain();
+    if (!cancel_in_flight)
+        return;
+    std::lock_guard<std::mutex> lock(_active_mutex);
+    for (const auto& token : _active)
+        token->requestCancel();
+}
+
+bool
+EvalServer::awaitIdle(std::chrono::milliseconds timeout)
+{
+    return _gate.awaitIdle(timeout);
+}
+
+ServerStats
+EvalServer::stats() const
+{
+    ServerStats stats;
+    stats.requests = _requests.load(std::memory_order_relaxed);
+    stats.ok = _ok.load(std::memory_order_relaxed);
+    stats.errors = _errors.load(std::memory_order_relaxed);
+    stats.shed = _shed.load(std::memory_order_relaxed);
+    stats.rejected_draining =
+        _rejected_draining.load(std::memory_order_relaxed);
+    stats.deadline_exceeded =
+        _deadline_exceeded.load(std::memory_order_relaxed);
+    stats.cancelled = _cancelled.load(std::memory_order_relaxed);
+    stats.in_flight = _gate.inFlight();
+    stats.cache_entries = _cache.size();
+    stats.cache = _cache.stats();
+    return stats;
+}
+
+std::string
+EvalServer::healthReply(const std::string& id) const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("id", id);
+    json.field("status", "ok");
+    json.field("kind", "health");
+    json.field("draining", _gate.draining());
+    json.field("in_flight",
+               static_cast<std::uint64_t>(_gate.inFlight()));
+    json.field("capacity",
+               static_cast<std::uint64_t>(_gate.capacity()));
+    json.field("workers",
+               static_cast<std::uint64_t>(_pool.threadCount()));
+    json.endObject();
+    return json.str();
+}
+
+std::string
+EvalServer::statsReply(const std::string& id) const
+{
+    const ServerStats stats = this->stats();
+    JsonWriter json;
+    json.beginObject();
+    json.field("id", id);
+    json.field("status", "ok");
+    json.field("kind", "stats");
+    json.field("requests", stats.requests);
+    json.field("ok", stats.ok);
+    json.field("errors", stats.errors);
+    json.field("shed", stats.shed);
+    json.field("rejected_draining", stats.rejected_draining);
+    json.field("deadline_exceeded", stats.deadline_exceeded);
+    json.field("cancelled", stats.cancelled);
+    json.field("in_flight", static_cast<std::uint64_t>(stats.in_flight));
+    json.key("cache");
+    json.beginObject();
+    json.field("entries",
+               static_cast<std::uint64_t>(stats.cache_entries));
+    json.field("hits", stats.cache.hits);
+    json.field("misses", stats.cache.misses);
+    json.field("insertions", stats.cache.insertions);
+    json.field("evictions", stats.cache.evictions);
+    json.field("recovered", stats.cache.recovered);
+    json.field("torn_skipped", stats.cache.torn_skipped);
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+} // namespace ttmcas::serve

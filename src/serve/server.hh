@@ -1,0 +1,155 @@
+#ifndef TTMCAS_SERVE_SERVER_HH
+#define TTMCAS_SERVE_SERVER_HH
+
+/**
+ * @file
+ * The ttm_serve request engine, transport-agnostic.
+ *
+ * EvalServer::handleLine() maps one NDJSON request line to one reply
+ * line. Transports (the Unix-socket accept loop and the stdin pipe
+ * loop in examples/ttm_serve.cpp) call it from their own threads; the
+ * method is fully thread-safe and NEVER throws on client input — any
+ * line, hostile or not, produces exactly one structured reply.
+ *
+ * Request flow:
+ *
+ *   parse (trust boundary, serve/request.hh)
+ *     -> health/stats answered inline (they work even while draining)
+ *     -> result-cache lookup (hits bypass admission entirely)
+ *     -> admission gate (full -> "overloaded", draining -> "draining")
+ *     -> thread-pool evaluation under a per-request CancellationToken
+ *        with a wall-clock deadline
+ *     -> complete results enter the crash-safe cache; partial results
+ *        are returned with status "deadline_exceeded"/"cancelled"
+ *
+ * Graceful drain: beginDrain() latches the admission gate (every new
+ * evaluation request is answered "draining"), optionally cancels
+ * in-flight tokens, and awaitIdle() lets the shutdown path bound the
+ * wait. Health/stats stay answerable throughout, so an operator can
+ * watch a drain finish.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "serve/admission.hh"
+#include "serve/evaluator.hh"
+#include "serve/request.hh"
+#include "serve/result_cache.hh"
+#include "support/threadpool.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas::serve {
+
+/** Configuration of an EvalServer. */
+struct ServeOptions
+{
+    /** Evaluation worker threads. */
+    std::size_t workers = 4;
+    /**
+     * Admission bound: requests in flight (queued + executing) before
+     * the server sheds with "overloaded". Must be >= workers to make
+     * the extra slots act as a bounded queue.
+     */
+    std::size_t queue_bound = 16;
+    /** Default per-request wall-clock deadline; 0 = none. */
+    double default_deadline_s = 30.0;
+    /** Wire-format and resource limits for request parsing. */
+    ServeLimits limits;
+    /** Result-cache configuration (dir = "" for memory-only). */
+    ResultCacheOptions cache;
+};
+
+/** Point-in-time server statistics (the "stats" reply's source). */
+struct ServerStats
+{
+    std::uint64_t requests = 0;      ///< lines received
+    std::uint64_t ok = 0;            ///< replies with status "ok"
+    std::uint64_t errors = 0;        ///< structured error replies
+    std::uint64_t shed = 0;          ///< "overloaded" replies
+    std::uint64_t rejected_draining = 0; ///< "draining" replies
+    std::uint64_t deadline_exceeded = 0; ///< partial results (deadline)
+    std::uint64_t cancelled = 0;         ///< partial results (cancel)
+    std::size_t in_flight = 0;       ///< currently admitted requests
+    std::size_t cache_entries = 0;   ///< in-memory cache occupancy
+    ResultCacheStats cache;          ///< cache operation counters
+};
+
+/** Thread-safe NDJSON request engine (see file comment). */
+class EvalServer
+{
+  public:
+    /**
+     * Build the engine: creates the pool and the cache, then runs
+     * cache recovery (deleting torn staging files and reloading valid
+     * entries) before any request can arrive.
+     */
+    EvalServer(TechnologyDb db, ServeOptions options);
+
+    /** Drains (cancelling in-flight work) and joins the pool. */
+    ~EvalServer();
+
+    EvalServer(const EvalServer&) = delete;
+    EvalServer& operator=(const EvalServer&) = delete;
+
+    /**
+     * Handle one request line; returns exactly one reply line (no
+     * trailing newline). Never throws on client input.
+     */
+    std::string handleLine(const std::string& line);
+
+    /**
+     * Stop admitting evaluation requests (idempotent). With
+     * @p cancel_in_flight every active request's token is cancelled,
+     * so running evaluations return partial results promptly.
+     */
+    void beginDrain(bool cancel_in_flight);
+
+    /** True once beginDrain() was called. */
+    bool draining() const { return _gate.draining(); }
+
+    /** Wait until no request is in flight; true when idle. */
+    bool awaitIdle(std::chrono::milliseconds timeout);
+
+    /** Current statistics snapshot. */
+    ServerStats stats() const;
+
+    /** Entries reloaded by startup cache recovery. */
+    std::size_t recoveredEntries() const { return _recovered; }
+
+    /** The configuration this server runs with. */
+    const ServeOptions& options() const { return _options; }
+
+  private:
+    std::string handleEval(const EvalRequest& request);
+    std::string healthReply(const std::string& id) const;
+    std::string statsReply(const std::string& id) const;
+
+    ServeOptions _options;
+    Evaluator _evaluator;
+    ResultCache _cache;
+    AdmissionGate _gate;
+    ThreadPool _pool;
+    std::size_t _recovered = 0;
+
+    std::atomic<std::uint64_t> _requests{0};
+    std::atomic<std::uint64_t> _ok{0};
+    std::atomic<std::uint64_t> _errors{0};
+    std::atomic<std::uint64_t> _shed{0};
+    std::atomic<std::uint64_t> _rejected_draining{0};
+    std::atomic<std::uint64_t> _deadline_exceeded{0};
+    std::atomic<std::uint64_t> _cancelled{0};
+
+    /** Tokens of in-flight requests, for drain-time cancellation. */
+    mutable std::mutex _active_mutex;
+    std::unordered_set<std::shared_ptr<CancellationToken>> _active;
+};
+
+} // namespace ttmcas::serve
+
+#endif // TTMCAS_SERVE_SERVER_HH

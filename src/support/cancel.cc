@@ -16,13 +16,14 @@ toNanos(std::chrono::steady_clock::time_point when)
         .count();
 }
 
-/** The token the active ScopedSigintCancel forwards SIGINT to. */
+/** The token the active ScopedSigintCancel forwards stop signals to. */
 std::atomic<CancellationToken*> g_sigint_token{nullptr};
 
 extern "C" void
 sigintToToken(int)
 {
-    // Only lock-free atomic operations: async-signal-safe.
+    // Only lock-free atomic operations: async-signal-safe. Shared by
+    // SIGINT and SIGTERM — both mean "stop cleanly".
     CancellationToken* token =
         g_sigint_token.load(std::memory_order_relaxed);
     if (token != nullptr)
@@ -96,16 +97,25 @@ ScopedSigintCancel::ScopedSigintCancel(CancellationToken& token)
     TTMCAS_REQUIRE(g_sigint_token.compare_exchange_strong(
                        expected, &token, std::memory_order_relaxed),
                    "only one ScopedSigintCancel may be active at a time");
-    _previous = std::signal(SIGINT, sigintToToken);
-    if (_previous == SIG_ERR) {
+    _previous_int = std::signal(SIGINT, sigintToToken);
+    if (_previous_int == SIG_ERR) {
         g_sigint_token.store(nullptr, std::memory_order_relaxed);
         TTMCAS_REQUIRE(false, "cannot install SIGINT handler");
+    }
+    // Daemon stops are SIGTERM-first: latch it onto the same token so
+    // a supervisor-initiated shutdown drains exactly like Ctrl-C.
+    _previous_term = std::signal(SIGTERM, sigintToToken);
+    if (_previous_term == SIG_ERR) {
+        std::signal(SIGINT, _previous_int);
+        g_sigint_token.store(nullptr, std::memory_order_relaxed);
+        TTMCAS_REQUIRE(false, "cannot install SIGTERM handler");
     }
 }
 
 ScopedSigintCancel::~ScopedSigintCancel()
 {
-    std::signal(SIGINT, _previous);
+    std::signal(SIGINT, _previous_int);
+    std::signal(SIGTERM, _previous_term);
     g_sigint_token.store(nullptr, std::memory_order_relaxed);
 }
 

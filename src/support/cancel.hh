@@ -130,10 +130,13 @@ class CancellationToken
 };
 
 /**
- * RAII SIGINT-to-token bridge: while alive, Ctrl-C requests
+ * RAII stop-signal-to-token bridge: while alive, SIGINT (Ctrl-C) and
+ * SIGTERM (the signal daemon supervisors send first) request
  * cancellation on @p token instead of killing the process; the
- * previous handler is restored on destruction. At most one instance
- * may be alive at a time (enforced).
+ * previous handlers are restored on destruction. At most one instance
+ * may be alive at a time (enforced). The handler performs only a
+ * lock-free atomic store, so it is async-signal-safe for both
+ * signals.
  */
 class ScopedSigintCancel
 {
@@ -145,7 +148,8 @@ class ScopedSigintCancel
     ScopedSigintCancel& operator=(const ScopedSigintCancel&) = delete;
 
   private:
-    void (*_previous)(int) = nullptr;
+    void (*_previous_int)(int) = nullptr;
+    void (*_previous_term)(int) = nullptr;
 };
 
 /**

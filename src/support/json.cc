@@ -313,10 +313,19 @@ namespace {
 class JsonParser
 {
   public:
-    explicit JsonParser(const std::string& text) : _text(text) {}
+    JsonParser(const std::string& text, const JsonLimits& limits)
+        : _text(text), _limits(limits)
+    {}
 
     JsonValue parse()
     {
+        if (_limits.max_input_bytes != 0 &&
+            _text.size() > _limits.max_input_bytes) {
+            fail("document of " + std::to_string(_text.size()) +
+                 " bytes exceeds the " +
+                 std::to_string(_limits.max_input_bytes) +
+                 "-byte input limit");
+        }
         JsonValue value = parseValue();
         skipWhitespace();
         if (_pos != _text.size())
@@ -325,23 +334,17 @@ class JsonParser
     }
 
   private:
-    /**
-     * Container-nesting cap. Checkpoints make this parser a
-     * crash-recovery path, so a hostile or corrupted document must
-     * produce a structured ModelError — never the stack overflow that
-     * unbounded recursive descent would hit on "[[[[...".
-     */
-    static constexpr std::size_t kMaxDepth = 256;
-
     /** RAII nesting counter: entering an object/array costs one level. */
     class DepthGuard
     {
       public:
         explicit DepthGuard(JsonParser& parser) : _parser(parser)
         {
-            if (++_parser._depth > kMaxDepth)
-                _parser.fail("nesting deeper than " +
-                             std::to_string(kMaxDepth) + " levels");
+            if (++_parser._depth > _parser._limits.max_depth)
+                _parser.fail(
+                    "nesting deeper than " +
+                    std::to_string(_parser._limits.max_depth) +
+                    " levels");
         }
         ~DepthGuard() { --_parser._depth; }
 
@@ -495,6 +498,15 @@ class JsonParser
         return JsonValue::makeArray(std::move(items));
     }
 
+    void checkStringLength(const std::string& out)
+    {
+        if (_limits.max_string_bytes != 0 &&
+            out.size() > _limits.max_string_bytes) {
+            fail("string longer than " +
+                 std::to_string(_limits.max_string_bytes) + " bytes");
+        }
+    }
+
     std::string parseString()
     {
         expect('"');
@@ -503,10 +515,19 @@ class JsonParser
             if (_pos >= _text.size())
                 fail("unterminated string");
             const char c = _text[_pos++];
-            if (c == '"')
+            if (c == '"') {
+                checkStringLength(out);
                 return out;
+            }
             if (c != '\\') {
+                if (_limits.reject_control_chars &&
+                    static_cast<unsigned char>(c) < 0x20) {
+                    --_pos;
+                    fail("raw control character in string (must be "
+                         "\\u-escaped)");
+                }
                 out += c;
+                checkStringLength(out);
                 continue;
             }
             if (_pos >= _text.size())
@@ -589,6 +610,7 @@ class JsonParser
     }
 
     const std::string& _text;
+    const JsonLimits& _limits;
     std::size_t _pos = 0;
     std::size_t _depth = 0;
 };
@@ -598,7 +620,16 @@ class JsonParser
 JsonValue
 parseJson(const std::string& text)
 {
-    return JsonParser(text).parse();
+    const JsonLimits limits;
+    return JsonParser(text, limits).parse();
+}
+
+JsonValue
+parseJson(const std::string& text, const JsonLimits& limits)
+{
+    TTMCAS_REQUIRE(limits.max_depth >= 1,
+                   "JsonLimits.max_depth must be >= 1");
+    return JsonParser(text, limits).parse();
 }
 
 } // namespace ttmcas

@@ -173,10 +173,56 @@ class JsonValue
 };
 
 /**
+ * Resource limits for parsing untrusted input.
+ *
+ * The default-constructed limits preserve the parser's historical
+ * behavior (unbounded input and strings, 256-level nesting, raw
+ * control characters tolerated inside strings) for trusted artifacts
+ * the library wrote itself — checkpoints, manifests, metrics. Wire
+ * input from clients (the ttm_serve request envelope) must use
+ * untrustedWire() instead: a hostile payload then produces a
+ * structured ModelError long before it can exhaust memory or the
+ * stack.
+ */
+struct JsonLimits
+{
+    /** Maximum document size in bytes; 0 = unlimited. */
+    std::size_t max_input_bytes = 0;
+    /** Maximum decoded string/key length in bytes; 0 = unlimited. */
+    std::size_t max_string_bytes = 0;
+    /** Maximum object/array nesting depth (>= 1). */
+    std::size_t max_depth = 256;
+    /**
+     * Reject raw (unescaped) control characters inside strings, as
+     * RFC 8259 requires; the default tolerates them because older
+     * artifacts may carry them through pass-through escapes.
+     */
+    bool reject_control_chars = false;
+
+    /** Strict limits for client-supplied wire input. */
+    static JsonLimits untrustedWire(std::size_t max_input = 1 << 20)
+    {
+        JsonLimits limits;
+        limits.max_input_bytes = max_input;
+        limits.max_string_bytes = 1 << 16;
+        limits.max_depth = 64;
+        limits.reject_control_chars = true;
+        return limits;
+    }
+};
+
+/**
  * Parse a complete JSON document. Trailing non-whitespace and any
  * syntax error throw ModelError with the byte offset of the problem.
  */
 JsonValue parseJson(const std::string& text);
+
+/**
+ * Parse with explicit resource @p limits (see JsonLimits); every
+ * violated limit throws ModelError with the byte offset, exactly like
+ * a syntax error.
+ */
+JsonValue parseJson(const std::string& text, const JsonLimits& limits);
 
 } // namespace ttmcas
 

@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Soak contract of ttm_serve (socket mode): N concurrent clients each
+# send a mixed stream of valid, malformed, and introspection requests
+# on one long-lived connection. The server must
+#
+#   1. answer every line with exactly one structured JSON reply
+#      (status ok / error / overloaded — never silence, never a crash),
+#   2. keep malformed lines isolated (the same connection's later
+#      requests still succeed),
+#   3. stay deterministic: every "ok" reply to the canonical request,
+#      from any client at any time, carries a byte-identical result
+#      payload,
+#   4. still be healthy afterwards, and drain cleanly on SIGTERM
+#      (exit 0 and the summary line on stderr).
+#
+# Usage: serve_soak_test.sh /path/to/ttm_serve /path/to/python3
+set -u
+
+SERVE="${1:?usage: serve_soak_test.sh /path/to/ttm_serve /path/to/python3}"
+PY="${2:?usage: serve_soak_test.sh /path/to/ttm_serve /path/to/python3}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ttmcas_serve_soak.XXXXXX")"
+SERVER_PID=""
+cleanup() {
+    [ -n "${SERVER_PID}" ] && kill -9 "${SERVER_PID}" 2> /dev/null
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+FAILURES=0
+fail() {
+    echo "FAIL: $*" >&2
+    FAILURES=$((FAILURES + 1))
+}
+
+SOCK="${WORK}/serve.sock"
+CLIENTS=6
+ROUNDS=40
+
+CANONICAL='{"id":"canon","kind":"mc_ttm","design":{"dies":[{"name":"soc","process":"7nm","total_transistors":2.4e9,"unique_transistors":2e8}]},"samples":32}'
+
+# Soak client: one connection, ROUNDS lines rotating through the
+# canonical request, a health probe, deliberate garbage, and a small
+# per-client workload. Checks the one-reply-per-line framing, status
+# vocabulary, and canonical-payload determinism; exits nonzero on any
+# violation so the harness sees it.
+cat > "${WORK}/soak_client.py" <<'PYEOF'
+import json, socket, sys
+
+path, rounds, idx = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+canonical = sys.argv[4]
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.settimeout(120)
+sock.connect(path)
+stream = sock.makefile("rwb")
+
+def ask(line):
+    stream.write(line.encode() + b"\n")
+    stream.flush()
+    reply = stream.readline()
+    if not reply:
+        raise SystemExit(f"client {idx}: connection closed mid-stream")
+    if not reply.endswith(b"\n") or b"\n" in reply[:-1]:
+        raise SystemExit(f"client {idx}: reply framing broken")
+    return reply[:-1].decode()
+
+canon_payloads = set()
+for i in range(rounds):
+    shape = i % 4
+    if shape == 0:
+        line = canonical
+    elif shape == 1:
+        line = '{"id":"h%d-%d","kind":"health"}' % (idx, i)
+    elif shape == 2:
+        line = 'garbage { not json %d-%d' % (idx, i)
+    else:
+        line = (
+            '{"id":"w%d-%d","kind":"mc_ttm","design":{"dies":[{'
+            '"name":"soc","process":"7nm","total_transistors":2.4e9,'
+            '"unique_transistors":2e8}]},"samples":16,"seed":%d}'
+            % (idx, i, idx % 3 + 1)
+        )
+    reply = ask(line)
+    doc = json.loads(reply)  # raises -> nonzero exit, the point
+    status = doc["status"]
+    if status not in ("ok", "error", "overloaded"):
+        raise SystemExit(f"client {idx}: unexpected status {status!r}")
+    if shape == 1 and status != "ok":
+        raise SystemExit(f"client {idx}: health probe got {status!r}")
+    if shape == 2 and status != "error":
+        raise SystemExit(f"client {idx}: garbage line got {status!r}")
+    if shape == 0 and status == "ok":
+        canon_payloads.add(reply.split('"result":', 1)[1])
+if len(canon_payloads) > 1:
+    raise SystemExit(f"client {idx}: canonical replies diverged")
+PYEOF
+
+wait_ready() {
+    local out="$1" i=0
+    while [ "${i}" -lt 200 ]; do
+        grep -q "ttm_serve ready" "${out}" 2> /dev/null && return 0
+        sleep 0.1
+        i=$((i + 1))
+    done
+    return 1
+}
+
+# Deliberately small queue relative to the client count so the soak
+# also exercises the overloaded path (shed replies must be structured
+# too, and a shed canonical request must not poison determinism).
+"${SERVE}" --socket "${SOCK}" --cache-dir "${WORK}/cache" \
+    --workers 4 --queue 8 \
+    > "${WORK}/server.out" 2> "${WORK}/server.err" &
+SERVER_PID=$!
+wait_ready "${WORK}/server.out" || fail "server never became ready"
+
+pids=""
+for idx in $(seq 1 "${CLIENTS}"); do
+    "${PY}" "${WORK}/soak_client.py" "${SOCK}" "${ROUNDS}" "${idx}" \
+        "${CANONICAL}" > "${WORK}/client${idx}.out" 2>&1 &
+    pids="${pids} $!"
+done
+for pid in ${pids}; do
+    wait "${pid}" || {
+        fail "a soak client reported a violation:"
+        cat "${WORK}"/client*.out >&2
+    }
+done
+
+kill -0 "${SERVER_PID}" 2> /dev/null ||
+    fail "server died during the soak"
+
+# The server must still be healthy and still deterministic afterwards.
+cat > "${WORK}/client.py" <<'PYEOF'
+import socket, sys
+
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.settimeout(60)
+sock.connect(sys.argv[1])
+stream = sock.makefile("rwb")
+for line in sys.stdin.read().split("\n"):
+    if not line.strip():
+        continue
+    stream.write(line.encode() + b"\n")
+    stream.flush()
+    reply = stream.readline()
+    if not reply:
+        sys.exit(3)
+    sys.stdout.write(reply.decode())
+PYEOF
+post="$(printf '%s\n%s\n' '{"id":"after","kind":"health"}' "${CANONICAL}" |
+    "${PY}" "${WORK}/client.py" "${SOCK}")"
+case "${post}" in
+*'"status":"ok"'*) : ;;
+*) fail "post-soak health/canonical check failed: ${post}" ;;
+esac
+case "${post}" in
+*'"cache":"hit"'*) : ;;
+*) fail "post-soak canonical request was not served from cache" ;;
+esac
+
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}"
+code=$?
+SERVER_PID=""
+[ "${code}" -eq 0 ] || fail "SIGTERM drain exited ${code}, expected 0"
+grep -q "drained after" "${WORK}/server.err" ||
+    fail "drain summary missing from stderr"
+
+if [ "${FAILURES}" -ne 0 ]; then
+    echo "${FAILURES} check(s) failed" >&2
+    exit 1
+fi
+echo "all serve soak checks passed"

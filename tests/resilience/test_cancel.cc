@@ -198,6 +198,58 @@ TEST(ScopedSigintCancel, RoutesSigintToTheToken)
     // would kill the test binary).
 }
 
+TEST(ScopedSigintCancel, RoutesSigtermToTheToken)
+{
+    // Daemon supervisors (systemd, Kubernetes, ttm_serve's own drain
+    // contract) send SIGTERM first; the guard must latch it exactly
+    // like SIGINT so a supervised run drains instead of dying.
+    CancellationToken token;
+    {
+        const ScopedSigintCancel guard(token);
+        EXPECT_FALSE(token.cancelRequested());
+        std::raise(SIGTERM);
+        EXPECT_TRUE(token.cancelRequested());
+    }
+}
+
+TEST(ScopedSigintCancel, BothSignalsLatchTheSameToken)
+{
+    CancellationToken token;
+    const ScopedSigintCancel guard(token);
+    std::raise(SIGINT);
+    EXPECT_TRUE(token.cancelRequested());
+    // A follow-up SIGTERM (supervisor escalation) stays a no-op latch,
+    // not a crash: the handler is still installed and idempotent.
+    std::raise(SIGTERM);
+    EXPECT_TRUE(token.cancelRequested());
+    EXPECT_EQ(token.stopCode(), DiagCode::Cancelled);
+}
+
+TEST(ScopedSigintCancel, HandlersAreRestoredAfterScope)
+{
+    // Install our own markers, wrap a guard scope around them, and
+    // check both dispositions come back — the destructor must restore
+    // SIGTERM as well as SIGINT.
+    static std::atomic<int> hits{0};
+    const auto marker = [](int) { hits.fetch_add(1); };
+    void (*prev_int)(int) = std::signal(SIGINT, marker);
+    void (*prev_term)(int) = std::signal(SIGTERM, marker);
+    ASSERT_NE(prev_int, SIG_ERR);
+    ASSERT_NE(prev_term, SIG_ERR);
+    {
+        CancellationToken token;
+        const ScopedSigintCancel guard(token);
+        std::raise(SIGTERM);
+        EXPECT_TRUE(token.cancelRequested());
+        EXPECT_EQ(hits.load(), 0);
+    }
+    std::raise(SIGINT);
+    std::raise(SIGTERM);
+    EXPECT_EQ(hits.load(), 2);
+    std::signal(SIGINT, prev_int);
+    std::signal(SIGTERM, prev_term);
+}
+
 TEST(ScopedSigintCancel, SecondConcurrentInstanceIsRejected)
 {
     CancellationToken first;

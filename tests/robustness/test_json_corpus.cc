@@ -187,6 +187,90 @@ TEST(JsonCorpus, RandomMutationsNeverEscapeTheErrorContract)
     EXPECT_GT(rejected, 100u);
 }
 
+// --- Server envelope corpus: the limits ttm_serve applies to wire
+// input. Every case below is something a hostile or broken client can
+// actually send over the socket; each must produce a structured
+// ModelError, never an allocation blow-up or a stack overflow.
+
+TEST(JsonCorpus, WireLimitsRejectOversizedInput)
+{
+    const JsonLimits limits = JsonLimits::untrustedWire(64);
+    // A document one byte over the cap fails before any parsing work.
+    std::string oversized = "[";
+    oversized += std::string(64, ' ');
+    oversized += "]";
+    EXPECT_THROW(parseJson(oversized, limits), ModelError);
+    // At the cap it still parses.
+    std::string at_cap = "[1]";
+    at_cap += std::string(64 - at_cap.size(), ' ');
+    EXPECT_NO_THROW(parseJson(at_cap, limits));
+    // Default limits keep the historical unbounded behavior.
+    EXPECT_NO_THROW(parseJson(oversized));
+}
+
+TEST(JsonCorpus, WireLimitsRejectOverlongStrings)
+{
+    JsonLimits limits = JsonLimits::untrustedWire();
+    limits.max_string_bytes = 8;
+    EXPECT_NO_THROW(parseJson(R"("12345678")", limits));
+    EXPECT_THROW(parseJson(R"("123456789")", limits), ModelError);
+    // Keys count too: a giant key is the same attack as a giant value.
+    EXPECT_THROW(parseJson(R"({"123456789":1})", limits), ModelError);
+    // The limit applies to the *decoded* length: "\t\t\t\t\t\t\t\t"
+    // spells 16 source bytes inside the quotes but decodes to 8.
+    EXPECT_NO_THROW(parseJson(R"("\t\t\t\t\t\t\t\t")", limits));
+    EXPECT_THROW(parseJson(R"("\t\t\t\t\t\t\t\t\t")", limits),
+                 ModelError);
+}
+
+TEST(JsonCorpus, WireLimitsCapNestingBelowTheTrustedDepth)
+{
+    const JsonLimits limits = JsonLimits::untrustedWire();
+    // 64 levels is the wire cap; 100 parses fine under trusted limits
+    // but must fail as wire input.
+    std::string document(100, '[');
+    document += '0';
+    document += std::string(100, ']');
+    EXPECT_NO_THROW(parseJson(document));
+    EXPECT_THROW(parseJson(document, limits), ModelError);
+    std::string shallow(63, '[');
+    shallow += '0';
+    shallow += std::string(63, ']');
+    EXPECT_NO_THROW(parseJson(shallow, limits));
+}
+
+TEST(JsonCorpus, WireLimitsRejectRawControlCharacters)
+{
+    const JsonLimits limits = JsonLimits::untrustedWire();
+    std::string raw_tab = "\"a\tb\"";
+    std::string raw_nul = std::string("\"a") + '\0' + "b\"";
+    // Trusted parsing tolerates the raw tab (legacy artifacts).
+    EXPECT_NO_THROW(parseJson(raw_tab));
+    // Wire parsing follows RFC 8259 and rejects both.
+    EXPECT_THROW(parseJson(raw_tab, limits), ModelError);
+    EXPECT_THROW(parseJson(raw_nul, limits), ModelError);
+    // The escaped forms remain fine.
+    EXPECT_NO_THROW(parseJson(R"("a\tb c")", limits));
+}
+
+TEST(JsonCorpus, WireLimitsKeepStructuralRejections)
+{
+    // The envelope failures ttm_serve sees most: truncation mid-object
+    // and duplicate keys. Truncation must still throw under wire
+    // limits; duplicate keys keep last-wins semantics (the request
+    // validator layers field checks on top).
+    const JsonLimits limits = JsonLimits::untrustedWire();
+    const std::string document = referenceDocument();
+    for (const std::size_t len :
+         {std::size_t{1}, document.size() / 2, document.size() - 1})
+        EXPECT_THROW(parseJson(document.substr(0, len), limits),
+                     ModelError)
+            << len;
+    const JsonValue doc =
+        parseJson(R"({"id":"a","id":"b"})", limits);
+    EXPECT_EQ(doc.at("id").asString(), "b");
+}
+
 TEST(JsonCorpus, DeepRandomDocumentsRoundTripThroughTheWriter)
 {
     std::uint64_t state = 0xfeedface;

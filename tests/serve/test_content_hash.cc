@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Content-addressed cache-key contract: the canonical hash must be
+ * deterministic across runs and platforms (cache files persist across
+ * restarts), free of field aliasing, sensitive to every semantic
+ * field, and — the satellite requirement — identical between the
+ * server's Evaluator::cacheKey path and the hand-built EvalKeyParams
+ * path that `ttm_cli --sobol` uses to stamp batch runs.
+ */
+
+#include <cctype>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/design.hh"
+#include "core/market.hh"
+#include "core/uncertainty.hh"
+#include "serve/content_hash.hh"
+#include "serve/evaluator.hh"
+#include "serve/request.hh"
+
+namespace ttmcas::serve {
+namespace {
+
+ChipDesign
+referenceDesign()
+{
+    Die die;
+    die.name = "soc";
+    die.process = "7nm";
+    die.total_transistors = 2.4e9;
+    die.unique_transistors = 2e8;
+    ChipDesign design;
+    design.name = "ref";
+    design.dies = {die};
+    return design;
+}
+
+bool
+isHex16(const std::string& text)
+{
+    if (text.size() != 16)
+        return false;
+    for (const char c : text) {
+        if (!std::isxdigit(static_cast<unsigned char>(c)) ||
+            (std::isalpha(static_cast<unsigned char>(c)) &&
+             !std::islower(static_cast<unsigned char>(c))))
+            return false;
+    }
+    return true;
+}
+
+TEST(ContentHasher, IsDeterministic)
+{
+    const auto run = [] {
+        ContentHasher hasher;
+        hasher.tag("a").mix(12.5);
+        hasher.tag("b").mix(std::uint64_t{42});
+        hasher.tag("c").mix(std::string_view{"text"});
+        return hasher.hex();
+    };
+    EXPECT_EQ(run(), run());
+    EXPECT_TRUE(isHex16(run())) << run();
+}
+
+TEST(ContentHasher, LengthPrefixPreventsStringAliasing)
+{
+    // "ab" + "c" must not hash like "a" + "bc": mix() is
+    // length-prefixed, so concatenation boundaries are part of the
+    // digest.
+    ContentHasher split_early;
+    split_early.mix(std::string_view{"ab"}).mix(std::string_view{"c"});
+    ContentHasher split_late;
+    split_late.mix(std::string_view{"a"}).mix(std::string_view{"bc"});
+    EXPECT_NE(split_early.digest(), split_late.digest());
+}
+
+TEST(ContentHasher, TagsPreventFieldAliasing)
+{
+    ContentHasher one;
+    one.tag("seed").mix(std::uint64_t{1});
+    ContentHasher two;
+    two.tag("samples").mix(std::uint64_t{1});
+    EXPECT_NE(one.digest(), two.digest());
+}
+
+TEST(ContentHashDesign, EqualDesignsShareTheHash)
+{
+    EXPECT_EQ(designHash(referenceDesign()), designHash(referenceDesign()));
+}
+
+TEST(ContentHashDesign, EverySemanticFieldMovesTheHash)
+{
+    const std::string base = designHash(referenceDesign());
+
+    ChipDesign renamed = referenceDesign();
+    renamed.dies[0].name = "gpu";
+    EXPECT_NE(designHash(renamed), base);
+
+    ChipDesign other_node = referenceDesign();
+    other_node.dies[0].process = "14nm";
+    EXPECT_NE(designHash(other_node), base);
+
+    ChipDesign more_transistors = referenceDesign();
+    more_transistors.dies[0].total_transistors += 1.0;
+    EXPECT_NE(designHash(more_transistors), base);
+}
+
+TEST(ContentHashDesign, AbsentAndZeroOptionalsDiffer)
+{
+    // yield_override absent vs present-with-0 must not collide: the
+    // hash mixes a presence flag before optional values.
+    ChipDesign absent = referenceDesign();
+    ChipDesign zeroed = referenceDesign();
+    zeroed.dies[0].yield_override = 0.0;
+    EXPECT_NE(designHash(absent), designHash(zeroed));
+}
+
+TEST(ContentHashMarket, MapStateIsOrderIndependent)
+{
+    MarketConditions forward;
+    forward.setCapacityFactor("7nm", 0.5);
+    forward.setCapacityFactor("14nm", 0.8);
+    MarketConditions reverse;
+    reverse.setCapacityFactor("14nm", 0.8);
+    reverse.setCapacityFactor("7nm", 0.5);
+    EXPECT_EQ(marketHash(forward), marketHash(reverse));
+
+    MarketConditions different;
+    different.setCapacityFactor("7nm", 0.6);
+    different.setCapacityFactor("14nm", 0.8);
+    EXPECT_NE(marketHash(forward), marketHash(different));
+}
+
+TEST(EvalCacheKey, HasTheDocumentedThreePartFormat)
+{
+    EvalKeyParams params;
+    params.kernel = "mc_ttm";
+    params.seed = 2023;
+    params.n_chips = 1e7;
+    params.samples = 256;
+    params.band = 0.10;
+    const std::string key =
+        evalCacheKey(referenceDesign(), MarketConditions{}, params);
+    ASSERT_EQ(key.size(), 16u + 1 + 16 + 1 + 16);
+    EXPECT_EQ(key[16], '-');
+    EXPECT_EQ(key[33], '-');
+    EXPECT_TRUE(isHex16(key.substr(0, 16)));
+    EXPECT_TRUE(isHex16(key.substr(17, 16)));
+    EXPECT_TRUE(isHex16(key.substr(34, 16)));
+    // The design digest is the first component, so operators can grep
+    // a cache directory for every entry of one design.
+    EXPECT_EQ(key.substr(0, 16), designHash(referenceDesign()));
+}
+
+TEST(EvalCacheKey, KernelParametersAreAllSignificant)
+{
+    EvalKeyParams base;
+    base.kernel = "mc_ttm";
+    base.seed = 2023;
+    base.n_chips = 1e7;
+    base.samples = 256;
+    base.band = 0.10;
+    const ChipDesign design = referenceDesign();
+    const MarketConditions market;
+    const std::string key = evalCacheKey(design, market, base);
+
+    EvalKeyParams other = base;
+    other.kernel = "mc_cas";
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+    other = base;
+    other.seed += 1;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+    other = base;
+    other.samples += 1;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+    other = base;
+    other.grid = {0.5, 1.0};
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+}
+
+TEST(EvalCacheKey, SensitivityInputCountDisambiguates)
+{
+    // The CLI's 3-factor Sobol batch and the server's 6-input
+    // ttmSensitivity share kernel name and seed; only the `inputs`
+    // field keeps their cache keys from aliasing.
+    EvalKeyParams cli;
+    cli.kernel = "sobol_ttm";
+    cli.seed = 7;
+    cli.n_chips = 5e7;
+    cli.samples = 512;
+    cli.band = 0.05;
+    cli.inputs = 3;
+    EvalKeyParams server = cli;
+    server.inputs = kUncertainInputCount;
+    const ChipDesign design = referenceDesign();
+    EXPECT_NE(evalCacheKey(design, MarketConditions{}, cli),
+              evalCacheKey(design, MarketConditions{}, server));
+}
+
+TEST(EvalCacheKey, CliAndServerPathsProduceIdenticalKeys)
+{
+    // Satellite contract: `ttm_cli --sobol` stamps its run with a
+    // hand-built EvalKeyParams; the server derives its key through
+    // parseRequestLine -> Evaluator::keyParams. Identical evaluation
+    // parameters must meet at the same key through both code paths.
+    const std::string line =
+        R"({"id":"s1","kind":"sobol_ttm","design":{"dies":[)"
+        R"({"name":"soc","process":"7nm","total_transistors":2.4e9,)"
+        R"("unique_transistors":2e8}]},)"
+        R"("n_chips":5e7,"seed":7,"samples":512,"band":0.05})";
+    const ParsedRequest parsed = parseRequestLine(line, ServeLimits{});
+    ASSERT_TRUE(parsed.ok) << parsed.error.message;
+
+    EvalKeyParams manual;
+    manual.kernel = "sobol_ttm";
+    manual.seed = 7;
+    manual.n_chips = 5e7;
+    manual.samples = 512;
+    manual.band = 0.05;
+    manual.inputs = kUncertainInputCount;
+    const std::string cli_style_key = evalCacheKey(
+        parsed.request.design, parsed.request.market, manual);
+
+    EXPECT_EQ(Evaluator::cacheKey(parsed.request), cli_style_key);
+}
+
+} // namespace
+} // namespace ttmcas::serve

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * parseRequestLine() is the server's trust boundary: every byte a
+ * client sends flows through it. These tests pin the contract that any
+ * input — malformed, oversized, type-confused, or semantically invalid
+ * — maps to a structured RequestError (never an exception), that valid
+ * requests fill documented defaults, and that every reply builder
+ * emits a parseable single-line JSON object.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/request.hh"
+#include "support/json.hh"
+
+namespace ttmcas::serve {
+namespace {
+
+const char* const kValidDies =
+    R"("design":{"dies":[{"name":"soc","process":"7nm",)"
+    R"("total_transistors":2.4e9,"unique_transistors":2e8}]})";
+
+std::string
+mcRequest(const std::string& extra = "")
+{
+    std::string line = R"({"id":"r1","kind":"mc_ttm",)";
+    line += kValidDies;
+    line += extra;
+    line += "}";
+    return line;
+}
+
+TEST(ParseRequest, MinimalMcTtmGetsTheDocumentedDefaults)
+{
+    const ParsedRequest parsed = parseRequestLine(mcRequest(), ServeLimits{});
+    ASSERT_TRUE(parsed.ok) << parsed.error.message;
+    EXPECT_EQ(parsed.request.id, "r1");
+    EXPECT_EQ(parsed.request.kind, RequestKind::McTtm);
+    EXPECT_EQ(parsed.request.design.dies.size(), 1u);
+    EXPECT_DOUBLE_EQ(parsed.request.n_chips, 1e7);
+    EXPECT_EQ(parsed.request.seed, 2023u);
+    EXPECT_EQ(parsed.request.samples, 256u);
+    EXPECT_DOUBLE_EQ(parsed.request.band, 0.10);
+    EXPECT_DOUBLE_EQ(parsed.request.deadline_s, 0.0);
+    EXPECT_FALSE(parsed.request.no_cache);
+    EXPECT_TRUE(parsed.request.grid.empty());
+}
+
+TEST(ParseRequest, HealthAndStatsNeedNoDesign)
+{
+    for (const char* kind : {"health", "stats"}) {
+        const std::string line =
+            std::string(R"({"id":"h","kind":")") + kind + R"("})";
+        const ParsedRequest parsed = parseRequestLine(line, ServeLimits{});
+        EXPECT_TRUE(parsed.ok) << kind << ": " << parsed.error.message;
+    }
+}
+
+TEST(ParseRequest, MalformedJsonIsAStructuredError)
+{
+    for (const char* line :
+         {"", "{", "not json", R"({"id":)", "\"unterminated"}) {
+        const ParsedRequest parsed = parseRequestLine(line, ServeLimits{});
+        ASSERT_FALSE(parsed.ok) << line;
+        EXPECT_EQ(parsed.error.code, "malformed-json") << line;
+        EXPECT_FALSE(parsed.error.message.empty());
+    }
+}
+
+TEST(ParseRequest, IdIsEchoedIntoLaterFailures)
+{
+    const ParsedRequest parsed = parseRequestLine(
+        R"({"id":"correlate-me","kind":"warp_drive"})", ServeLimits{});
+    ASSERT_FALSE(parsed.ok);
+    EXPECT_EQ(parsed.error.code, "unknown-kind");
+    EXPECT_EQ(parsed.error.id, "correlate-me");
+    EXPECT_NE(parsed.error.message.find("warp_drive"), std::string::npos);
+}
+
+TEST(ParseRequest, MissingKindAndMissingDesignAreInvalid)
+{
+    const ParsedRequest no_kind =
+        parseRequestLine(R"({"id":"a"})", ServeLimits{});
+    ASSERT_FALSE(no_kind.ok);
+    EXPECT_EQ(no_kind.error.code, "invalid-request");
+
+    const ParsedRequest no_design =
+        parseRequestLine(R"({"id":"a","kind":"mc_ttm"})", ServeLimits{});
+    ASSERT_FALSE(no_design.ok);
+    EXPECT_EQ(no_design.error.code, "invalid-request");
+    EXPECT_NE(no_design.error.message.find("design"), std::string::npos);
+}
+
+TEST(ParseRequest, UnknownFieldsAreRejectedNotIgnored)
+{
+    // A typo'd field name must fail loudly; silently defaulting would
+    // give the client a confidently wrong answer.
+    const ParsedRequest top = parseRequestLine(
+        mcRequest(R"(,"sample":512)"), ServeLimits{});
+    ASSERT_FALSE(top.ok);
+    EXPECT_EQ(top.error.code, "invalid-request");
+    EXPECT_NE(top.error.message.find("sample"), std::string::npos);
+
+    const ParsedRequest die_field = parseRequestLine(
+        R"({"kind":"mc_ttm","design":{"dies":[{"process":"7nm",)"
+        R"("total_transistors":1e9,"unique_transistors":1e8,)"
+        R"("total_transitors":1e9}]}})",
+        ServeLimits{});
+    ASSERT_FALSE(die_field.ok);
+    EXPECT_NE(die_field.error.message.find("total_transitors"),
+              std::string::npos);
+}
+
+TEST(ParseRequest, InvalidDesignReportsEveryViolationAtOnce)
+{
+    // unique > total AND a bad yield override: both must be named in
+    // the single reply (the all-at-once violations() contract).
+    const ParsedRequest parsed = parseRequestLine(
+        R"({"id":"v","kind":"mc_ttm","design":{"dies":[)"
+        R"({"name":"bad","process":"7nm","total_transistors":1e8,)"
+        R"("unique_transistors":2e8,"yield_override":1.5}]}})",
+        ServeLimits{});
+    ASSERT_FALSE(parsed.ok);
+    EXPECT_EQ(parsed.error.code, "invalid-design");
+    EXPECT_GE(parsed.error.violations.size(), 2u);
+}
+
+TEST(ParseRequest, LimitsAreEnforcedPerRequest)
+{
+    ServeLimits limits;
+    limits.max_samples = 1000;
+    const ParsedRequest samples = parseRequestLine(
+        mcRequest(R"(,"samples":1001)"), limits);
+    ASSERT_FALSE(samples.ok);
+    EXPECT_EQ(samples.error.code, "limit-exceeded");
+
+    ServeLimits die_limits;
+    die_limits.max_dies = 2;
+    std::string many =
+        R"({"kind":"mc_ttm","design":{"dies":[)";
+    for (int i = 0; i < 3; ++i) {
+        if (i > 0)
+            many += ",";
+        many += R"({"process":"7nm","total_transistors":1e9,)"
+                R"("unique_transistors":1e8})";
+    }
+    many += "]}}";
+    const ParsedRequest dies = parseRequestLine(many, die_limits);
+    ASSERT_FALSE(dies.ok);
+    EXPECT_EQ(dies.error.code, "limit-exceeded");
+
+    ServeLimits line_limits;
+    line_limits.max_request_bytes = 64;
+    const ParsedRequest oversized = parseRequestLine(mcRequest(), line_limits);
+    ASSERT_FALSE(oversized.ok);
+    EXPECT_EQ(oversized.error.code, "limit-exceeded");
+}
+
+TEST(ParseRequest, DeadlineIsClampedNotRejected)
+{
+    ServeLimits limits;
+    limits.max_deadline_s = 10.0;
+    const ParsedRequest parsed = parseRequestLine(
+        mcRequest(R"(,"deadline_s":9999)"), limits);
+    ASSERT_TRUE(parsed.ok) << parsed.error.message;
+    EXPECT_DOUBLE_EQ(parsed.request.deadline_s, 10.0);
+
+    const ParsedRequest negative = parseRequestLine(
+        mcRequest(R"(,"deadline_s":-1)"), limits);
+    ASSERT_FALSE(negative.ok);
+    EXPECT_EQ(negative.error.code, "invalid-request");
+}
+
+TEST(ParseRequest, GridIsSweepOnlyAndDefaultsToTenSteps)
+{
+    const ParsedRequest misplaced = parseRequestLine(
+        mcRequest(R"(,"grid":[0.5])"), ServeLimits{});
+    ASSERT_FALSE(misplaced.ok);
+    EXPECT_EQ(misplaced.error.code, "invalid-request");
+
+    std::string sweep = R"({"kind":"capacity_sweep",)";
+    sweep += kValidDies;
+    sweep += "}";
+    const ParsedRequest defaulted = parseRequestLine(sweep, ServeLimits{});
+    ASSERT_TRUE(defaulted.ok) << defaulted.error.message;
+    ASSERT_EQ(defaulted.request.grid.size(), 10u);
+    EXPECT_DOUBLE_EQ(defaulted.request.grid.front(), 0.1);
+    EXPECT_DOUBLE_EQ(defaulted.request.grid.back(), 1.0);
+}
+
+TEST(ParseRequest, NumericFieldsRejectHostileValues)
+{
+    for (const char* extra :
+         {R"(,"n_chips":0)", R"(,"n_chips":-5)", R"(,"samples":0)",
+          R"(,"samples":2.5)", R"(,"band":0)", R"(,"band":1.0)",
+          R"(,"seed":-1)", R"(,"no_cache":"yes")"}) {
+        const ParsedRequest parsed =
+            parseRequestLine(mcRequest(extra), ServeLimits{});
+        EXPECT_FALSE(parsed.ok) << extra;
+        if (!parsed.ok) {
+            EXPECT_EQ(parsed.error.code, "invalid-request") << extra;
+        }
+    }
+}
+
+TEST(ReplyBuilders, EveryReplyParsesBackAsOneJsonObject)
+{
+    RequestError error;
+    error.id = "e1";
+    error.code = "invalid-design";
+    error.message = "bad";
+    error.violations = {"first", "second"};
+    const JsonValue error_doc = parseJson(errorReply(error));
+    EXPECT_EQ(error_doc.at("id").asString(), "e1");
+    EXPECT_EQ(error_doc.at("status").asString(), "error");
+    EXPECT_EQ(error_doc.at("error").at("code").asString(),
+              "invalid-design");
+    EXPECT_EQ(error_doc.at("error").at("violations").asArray().size(), 2u);
+
+    const JsonValue shed_doc = parseJson(overloadedReply("s1", 16, 16));
+    EXPECT_EQ(shed_doc.at("status").asString(), "overloaded");
+    EXPECT_EQ(shed_doc.at("error").at("code").asString(), "overloaded");
+
+    const JsonValue drain_doc = parseJson(drainingReply("d1"));
+    EXPECT_EQ(drain_doc.at("status").asString(), "draining");
+
+    const JsonValue result_doc = parseJson(resultReply(
+        "r1", RequestKind::McTtm, "ok", "hit", "k", R"({"mean":1.5})"));
+    EXPECT_EQ(result_doc.at("status").asString(), "ok");
+    EXPECT_EQ(result_doc.at("kind").asString(), "mc_ttm");
+    EXPECT_EQ(result_doc.at("cache").asString(), "hit");
+    EXPECT_DOUBLE_EQ(result_doc.at("result").at("mean").asNumber(), 1.5);
+}
+
+TEST(ReplyBuilders, RepliesAreSingleLines)
+{
+    // The transport frames replies with exactly one trailing newline;
+    // a builder that embeds its own would tear the NDJSON stream.
+    RequestError error;
+    error.message = "multi\nline message stays encoded";
+    for (const std::string& reply :
+         {errorReply(error), overloadedReply("x", 1, 1), drainingReply("x"),
+          resultReply("x", RequestKind::Health, "ok", "", "", "{}")})
+        EXPECT_EQ(reply.find('\n'), std::string::npos) << reply;
+}
+
+} // namespace
+} // namespace ttmcas::serve

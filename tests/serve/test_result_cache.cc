@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ResultCache contract: bounded FIFO memory tier, atomic
+ * temp-then-rename persistence, and a recover() pass that survives
+ * anything a kill -9 can leave behind — orphaned staging files, torn
+ * entries, truncated JSON, and entries whose envelope lies about its
+ * own payload. Recovered payloads must be byte-for-byte identical to
+ * what was inserted (the crash-recovery shell test pins the same
+ * property end to end through the server binary).
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/result_cache.hh"
+
+namespace ttmcas::serve {
+namespace {
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        // Per-test directory: ctest -j runs each test in its own
+        // process, so a shared fixed path would let one test's SetUp
+        // wipe another's files mid-run.
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir = std::filesystem::temp_directory_path() /
+              (std::string("ttmcas_result_cache_") + info->name());
+        std::filesystem::remove_all(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    ResultCacheOptions diskOptions(std::size_t max_entries = 1024) const
+    {
+        ResultCacheOptions options;
+        options.dir = dir.string();
+        options.max_entries = max_entries;
+        return options;
+    }
+
+    void writeFile(const std::string& name, const std::string& content)
+    {
+        std::ofstream out(dir / name, std::ios::trunc);
+        out << content;
+    }
+
+    std::filesystem::path dir;
+};
+
+TEST_F(ResultCacheTest, MemoryOnlyInsertLookupAndCounters)
+{
+    ResultCache cache(ResultCacheOptions{});
+    EXPECT_FALSE(cache.lookup("k1").has_value());
+    EXPECT_TRUE(cache.insert("k1", "mc_ttm", "payload-1"));
+    EXPECT_EQ(cache.lookup("k1").value(), "payload-1");
+    EXPECT_EQ(cache.size(), 1u);
+
+    // Re-inserting an existing key is a no-op, not a second insertion.
+    EXPECT_TRUE(cache.insert("k1", "mc_ttm", "different"));
+    EXPECT_EQ(cache.lookup("k1").value(), "payload-1");
+
+    const ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST_F(ResultCacheTest, FifoEvictionBoundsTheMemoryTier)
+{
+    ResultCacheOptions options;
+    options.max_entries = 2;
+    ResultCache cache(options);
+    cache.insert("a", "k", "1");
+    cache.insert("b", "k", "2");
+    cache.insert("c", "k", "3");
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_FALSE(cache.lookup("a").has_value()) << "oldest must go first";
+    EXPECT_TRUE(cache.lookup("b").has_value());
+    EXPECT_TRUE(cache.lookup("c").has_value());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(ResultCacheTest, PersistedEntriesRecoverByteForByte)
+{
+    const std::string payload =
+        R"({"kernel":"mc_ttm","mean":12.345678901234567,"p95":99.5})";
+    {
+        ResultCache cache(diskOptions());
+        EXPECT_TRUE(cache.insert("deadbeef-cafe-0123", "mc_ttm", payload));
+    }
+    EXPECT_TRUE(std::filesystem::exists(dir / "deadbeef-cafe-0123.json"));
+
+    ResultCache restarted(diskOptions());
+    EXPECT_EQ(restarted.recover(), 1u);
+    EXPECT_EQ(restarted.lookup("deadbeef-cafe-0123").value(), payload);
+    EXPECT_EQ(restarted.stats().recovered, 1u);
+    EXPECT_EQ(restarted.stats().torn_skipped, 0u);
+}
+
+TEST_F(ResultCacheTest, RecoverDeletesOrphanedStagingFiles)
+{
+    {
+        ResultCache cache(diskOptions());
+        cache.insert("good", "k", "ok-payload");
+    }
+    // A writer killed between write and rename leaves a .tmp file; it
+    // must be deleted, never loaded as an entry.
+    writeFile("torn.json.tmp", "{\"format\":\"ttmcas-serve-cache-v1\"");
+
+    ResultCache restarted(diskOptions());
+    EXPECT_EQ(restarted.recover(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(dir / "torn.json.tmp"));
+    EXPECT_EQ(restarted.lookup("good").value(), "ok-payload");
+}
+
+TEST_F(ResultCacheTest, TornAndLyingEntriesAreSkippedAndCounted)
+{
+    {
+        ResultCache cache(diskOptions());
+        cache.insert("good", "k", "ok-payload");
+    }
+    // Four ways a file can be wrong: truncated JSON, not a cache
+    // entry, filename/key mismatch, and an envelope whose declared
+    // payload length disagrees with the payload.
+    writeFile("truncated.json", R"({"format":"ttmcas-serve-cache-v1",)");
+    writeFile("foreign.json", R"({"note":"not a cache entry"})");
+    writeFile("mismatch.json",
+              R"({"format":"ttmcas-serve-cache-v1","key":"other",)"
+              R"("kernel":"k","payload_bytes":2,"payload":"{}"})");
+    writeFile("lying.json",
+              R"({"format":"ttmcas-serve-cache-v1","key":"lying",)"
+              R"("kernel":"k","payload_bytes":999,"payload":"{}"})");
+
+    ResultCache restarted(diskOptions());
+    EXPECT_EQ(restarted.recover(), 1u);
+    EXPECT_EQ(restarted.stats().torn_skipped, 4u);
+    EXPECT_EQ(restarted.lookup("good").value(), "ok-payload");
+    for (const char* key : {"truncated", "foreign", "mismatch", "lying"})
+        EXPECT_FALSE(restarted.lookup(key).has_value()) << key;
+}
+
+TEST_F(ResultCacheTest, RecoveryHonorsTheMemoryBound)
+{
+    {
+        ResultCache cache(diskOptions());
+        for (int i = 0; i < 5; ++i)
+            cache.insert("key" + std::to_string(i), "k",
+                         "payload" + std::to_string(i));
+    }
+    ResultCache restarted(diskOptions(/*max_entries=*/3));
+    EXPECT_EQ(restarted.recover(), 3u);
+    EXPECT_EQ(restarted.size(), 3u);
+    // The disk tier keeps all five for a future, larger recover().
+    std::size_t on_disk = 0;
+    for (const auto& item : std::filesystem::directory_iterator(dir))
+        on_disk += item.path().extension() == ".json" ? 1 : 0;
+    EXPECT_EQ(on_disk, 5u);
+}
+
+} // namespace
+} // namespace ttmcas::serve

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * EvalServer behaviour under friendly and hostile traffic: malformed
+ * lines are isolated to structured error replies, cache misses become
+ * byte-identical hits, deadlines produce honest partial results,
+ * admission sheds under flood, drain rejects new work while cancelling
+ * in-flight evaluations, and a restarted server serves recovered cache
+ * entries. The AdmissionGate unit contract lives here too.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/admission.hh"
+#include "serve/server.hh"
+#include "support/json.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas::serve {
+namespace {
+
+const char* const kValidDies =
+    R"("design":{"dies":[{"name":"soc","process":"7nm",)"
+    R"("total_transistors":2.4e9,"unique_transistors":2e8}]})";
+
+std::string
+mcLine(const std::string& id, const std::string& extra = "")
+{
+    std::string line = R"({"id":")" + id + R"(","kind":"mc_ttm",)";
+    line += kValidDies;
+    line += R"(,"samples":8)";
+    line += extra;
+    line += "}";
+    return line;
+}
+
+/** The reply's embedded result object (payloads embed verbatim). */
+std::string
+resultPortion(const std::string& reply)
+{
+    const std::size_t at = reply.find(R"("result":)");
+    EXPECT_NE(at, std::string::npos) << reply;
+    return at == std::string::npos ? "" : reply.substr(at);
+}
+
+ServeOptions
+quickOptions()
+{
+    ServeOptions options;
+    options.workers = 2;
+    options.queue_bound = 4;
+    options.default_deadline_s = 60.0;
+    return options;
+}
+
+TEST(AdmissionGateTest, AdmitsUpToCapacityThenSheds)
+{
+    AdmissionGate gate(2);
+    EXPECT_EQ(gate.tryEnter(), AdmissionGate::Decision::Admitted);
+    EXPECT_EQ(gate.tryEnter(), AdmissionGate::Decision::Admitted);
+    EXPECT_EQ(gate.tryEnter(), AdmissionGate::Decision::Shed);
+    EXPECT_EQ(gate.inFlight(), 2u);
+    gate.leave();
+    EXPECT_EQ(gate.tryEnter(), AdmissionGate::Decision::Admitted);
+    gate.leave();
+    gate.leave();
+    EXPECT_EQ(gate.inFlight(), 0u);
+}
+
+TEST(AdmissionGateTest, DrainIsALatchAndAwaitIdleObservesLeaves)
+{
+    AdmissionGate gate(4);
+    EXPECT_EQ(gate.tryEnter(), AdmissionGate::Decision::Admitted);
+    gate.beginDrain();
+    gate.beginDrain(); // idempotent
+    EXPECT_TRUE(gate.draining());
+    EXPECT_EQ(gate.tryEnter(), AdmissionGate::Decision::Draining);
+    EXPECT_FALSE(gate.awaitIdle(std::chrono::milliseconds(10)));
+
+    std::thread leaver([&gate] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        gate.leave();
+    });
+    EXPECT_TRUE(gate.awaitIdle(std::chrono::milliseconds(5000)));
+    leaver.join();
+}
+
+TEST(AdmissionGateTest, SlotIsRaii)
+{
+    AdmissionGate gate(1);
+    ASSERT_EQ(gate.tryEnter(), AdmissionGate::Decision::Admitted);
+    {
+        AdmissionSlot slot(gate);
+        EXPECT_EQ(gate.inFlight(), 1u);
+    }
+    EXPECT_EQ(gate.inFlight(), 0u);
+}
+
+TEST(EvalServerTest, HealthReflectsConfiguration)
+{
+    EvalServer server(defaultTechnologyDb(), quickOptions());
+    const JsonValue health = parseJson(
+        server.handleLine(R"({"id":"h1","kind":"health"})"));
+    EXPECT_EQ(health.at("status").asString(), "ok");
+    EXPECT_EQ(health.at("kind").asString(), "health");
+    EXPECT_FALSE(health.at("draining").asBool());
+    EXPECT_EQ(health.at("in_flight").asNumber(), 0.0);
+    EXPECT_EQ(health.at("capacity").asNumber(), 4.0);
+    EXPECT_EQ(health.at("workers").asNumber(), 2.0);
+}
+
+TEST(EvalServerTest, MalformedLinesAreIsolatedFromLaterRequests)
+{
+    EvalServer server(defaultTechnologyDb(), quickOptions());
+    const char* hostile[] = {
+        "",
+        "not json at all",
+        "{\"kind\":",
+        R"({"kind":"warp_drive"})",
+        R"({"kind":"mc_ttm"})",
+        R"([1,2,3])",
+    };
+    for (const char* line : hostile) {
+        const JsonValue reply = parseJson(server.handleLine(line));
+        EXPECT_EQ(reply.at("status").asString(), "error") << line;
+        EXPECT_FALSE(
+            reply.at("error").at("message").asString().empty())
+            << line;
+    }
+    // The server is unharmed: a valid request right after succeeds.
+    const JsonValue ok = parseJson(server.handleLine(mcLine("after")));
+    EXPECT_EQ(ok.at("status").asString(), "ok");
+    EXPECT_EQ(server.stats().errors, 6u);
+}
+
+TEST(EvalServerTest, MissBecomesByteIdenticalHit)
+{
+    EvalServer server(defaultTechnologyDb(), quickOptions());
+    const std::string first = server.handleLine(mcLine("q1"));
+    const std::string second = server.handleLine(mcLine("q1"));
+    const JsonValue first_doc = parseJson(first);
+    const JsonValue second_doc = parseJson(second);
+    EXPECT_EQ(first_doc.at("cache").asString(), "miss");
+    EXPECT_EQ(second_doc.at("cache").asString(), "hit");
+    EXPECT_EQ(first_doc.at("key").asString(),
+              second_doc.at("key").asString());
+    // The cached payload is embedded verbatim: byte-for-byte equal.
+    EXPECT_EQ(resultPortion(first), resultPortion(second));
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.cache.insertions, 1u);
+    EXPECT_EQ(stats.cache.hits, 1u);
+    EXPECT_EQ(stats.cache_entries, 1u);
+}
+
+TEST(EvalServerTest, NoCacheComputesWithoutTouchingTheCache)
+{
+    EvalServer server(defaultTechnologyDb(), quickOptions());
+    const JsonValue reply = parseJson(
+        server.handleLine(mcLine("n1", R"(,"no_cache":true)")));
+    EXPECT_EQ(reply.at("status").asString(), "ok");
+    EXPECT_EQ(reply.at("cache").asString(), "bypass");
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.cache_entries, 0u);
+    EXPECT_EQ(stats.cache.insertions, 0u);
+}
+
+TEST(EvalServerTest, TinyDeadlineYieldsWellFormedPartialResult)
+{
+    EvalServer server(defaultTechnologyDb(), quickOptions());
+    // 1µs of budget cannot finish 100k samples; the reply must still
+    // be a complete JSON document with honest partial counts, and the
+    // partial payload must never enter the cache.
+    const JsonValue reply = parseJson(server.handleLine(mcLine(
+        "d1", R"(,"samples":100000,"deadline_s":0.000001)")));
+    EXPECT_EQ(reply.at("status").asString(), "deadline_exceeded");
+    EXPECT_EQ(reply.at("cache").asString(), "bypass");
+    const JsonValue& result = reply.at("result");
+    EXPECT_LT(result.at("samples_completed").asNumber(), 100000.0);
+    EXPECT_GT(result.at("failures").at("deadline_exceeded").asNumber(),
+              0.0);
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.deadline_exceeded, 1u);
+    EXPECT_EQ(stats.cache_entries, 0u);
+}
+
+TEST(EvalServerTest, FloodIsShedWithOverloadedAndDrainCancelsInFlight)
+{
+    ServeOptions options;
+    options.workers = 1;
+    options.queue_bound = 1;
+    options.default_deadline_s = 120.0;
+    EvalServer server(defaultTechnologyDb(), options);
+
+    // Occupy the only slot with a deliberately slow request: a
+    // max-samples Sobol analysis over a 16-die design costs millions
+    // of die evaluations, far more than the window this test needs
+    // (drain cancels it long before completion).
+    std::string slow_line =
+        R"({"id":"slow","kind":"sobol_ttm","design":{"dies":[)";
+    for (int i = 0; i < 16; ++i) {
+        if (i > 0)
+            slow_line += ",";
+        slow_line += R"({"process":"7nm","total_transistors":2.4e9,)"
+                     R"("unique_transistors":2e8})";
+    }
+    slow_line += R"(]},"samples":1048576,"no_cache":true})";
+    std::atomic<bool> long_done{false};
+    std::string long_reply;
+    std::thread occupant([&] {
+        long_reply = server.handleLine(slow_line);
+        long_done.store(true);
+    });
+
+    // Wait until the slow request holds its slot.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (server.stats().in_flight == 0 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // EXPECT (not ASSERT): on failure the drain below still runs, so
+    // the occupant thread is always joined before the test returns.
+    EXPECT_EQ(server.stats().in_flight, 1u);
+
+    // The gate is full: the next evaluation request is shed...
+    const JsonValue shed = parseJson(server.handleLine(
+        mcLine("flood", R"(,"seed":99,"no_cache":true)")));
+    EXPECT_EQ(shed.at("status").asString(), "overloaded");
+    // ...but health stays answerable under flood.
+    const JsonValue health = parseJson(
+        server.handleLine(R"({"id":"h","kind":"health"})"));
+    EXPECT_EQ(health.at("status").asString(), "ok");
+
+    // Drain: new work is rejected, the in-flight token is cancelled,
+    // and the occupant gets a structured partial reply promptly.
+    server.beginDrain(/*cancel_in_flight=*/true);
+    const JsonValue draining = parseJson(server.handleLine(
+        mcLine("late", R"(,"seed":100,"no_cache":true)")));
+    EXPECT_EQ(draining.at("status").asString(), "draining");
+    EXPECT_TRUE(server.awaitIdle(std::chrono::milliseconds(30000)));
+    occupant.join();
+    ASSERT_TRUE(long_done.load());
+    const JsonValue long_doc = parseJson(long_reply);
+    EXPECT_EQ(long_doc.at("status").asString(), "cancelled");
+    EXPECT_EQ(long_doc.at("cache").asString(), "bypass");
+    EXPECT_EQ(server.stats().shed, 1u);
+    EXPECT_EQ(server.stats().rejected_draining, 1u);
+}
+
+TEST(EvalServerTest, RestartedServerServesRecoveredEntries)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "ttmcas_server_recover_test";
+    std::filesystem::remove_all(dir);
+    ServeOptions options = quickOptions();
+    options.cache.dir = dir.string();
+
+    std::string first;
+    {
+        EvalServer server(defaultTechnologyDb(), options);
+        first = server.handleLine(mcLine("r1"));
+        EXPECT_EQ(parseJson(first).at("cache").asString(), "miss");
+    }
+    {
+        EvalServer restarted(defaultTechnologyDb(), options);
+        EXPECT_EQ(restarted.recoveredEntries(), 1u);
+        const std::string second = restarted.handleLine(mcLine("r1"));
+        EXPECT_EQ(parseJson(second).at("cache").asString(), "hit");
+        // Byte-identical across the restart: the crash-safety goal.
+        EXPECT_EQ(resultPortion(first), resultPortion(second));
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(EvalServerTest, ConcurrentMixedTrafficProducesOneReplyPerLine)
+{
+    EvalServer server(defaultTechnologyDb(), quickOptions());
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 12;
+    std::atomic<int> bad_replies{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&server, &bad_replies, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                std::string line;
+                switch (i % 4) {
+                case 0:
+                    line = mcLine("t" + std::to_string(t) + "-" +
+                                  std::to_string(i));
+                    break;
+                case 1: line = R"({"kind":"health"})"; break;
+                case 2: line = "half a request {"; break;
+                default: line = R"({"kind":"stats"})"; break;
+                }
+                try {
+                    const JsonValue reply =
+                        parseJson(server.handleLine(line));
+                    if (!reply.has("status"))
+                        bad_replies.fetch_add(1);
+                } catch (const std::exception&) {
+                    bad_replies.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread& client : clients)
+        client.join();
+    EXPECT_EQ(bad_replies.load(), 0);
+    EXPECT_EQ(server.stats().requests,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+} // namespace
+} // namespace ttmcas::serve
