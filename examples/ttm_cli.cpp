@@ -40,6 +40,16 @@
  * restores them bit-exactly, and Ctrl-C stops the batch cleanly after
  * flushing the checkpoint (docs/RESILIENCE.md).
  *
+ * --ensemble[=N] switches to scenario-ensemble mode: N stochastic
+ * disruption paths (default 64) sampled from per-node Markov regime
+ * chains and Hawkes shock clusters (docs/SCENARIOS.md), evaluated
+ * through the timeline TTM model, and reduced to per-regime TTM/CAS
+ * distributions with bootstrap confidence intervals.
+ * --ensemble-config supplies the disruption spec as JSON (default: a
+ * moderate process on every node the design uses). The same
+ * resilience flags (--deadline/--checkpoint/--resume/--retries/
+ * --skip-failures) apply, with the same exit codes as --sobol.
+ *
  * Exit codes: 0 = clean run; 1 = hard error; 2 = completed but
  * degraded (--skip-failures dropped points) or a usage error; 3 =
  * --deadline fired and the partial batch was checkpointed; 130 =
@@ -48,14 +58,18 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/cas.hh"
 #include "core/design_io.hh"
+#include "core/ensemble.hh"
+#include "core/ensemble_io.hh"
 #include "core/risk.hh"
 #include "core/uncertainty.hh"
 #include "econ/cost_model.hh"
@@ -100,6 +114,8 @@ struct CliArgs
     std::string metrics_file;
     std::string manifest_file;
     std::size_t sobol_samples = 0; ///< 0 = batch mode off
+    std::size_t ensemble_paths = 0; ///< 0 = ensemble mode off
+    std::string ensemble_config;
     std::uint64_t seed = 2023;
     std::size_t threads = 0;
     std::uint32_t retries = 1;
@@ -126,6 +142,7 @@ usage()
            "              [--trace=file.json] [--metrics=file.json]\n"
            "              [--manifest=file.json]\n"
            "              [--sobol[=N]] [--seed s] [--threads t]\n"
+           "              [--ensemble[=N]] [--ensemble-config=file.json]\n"
            "              [--retries r] [--deadline=seconds]\n"
            "              [--checkpoint=file] [--resume=file]\n";
     std::exit(2);
@@ -144,6 +161,7 @@ parseArgs(int argc, char** argv)
         {"--design", 1},     {"--skip-failures", 0},
         {"--trace", 1},      {"--metrics", 1},  {"--manifest", 1},
         {"--sobol", 2},      {"--seed", 1},     {"--threads", 1},
+        {"--ensemble", 2},   {"--ensemble-config", 1},
         {"--retries", 1},    {"--deadline", 1}, {"--checkpoint", 1},
         {"--resume", 1},
     };
@@ -215,6 +233,11 @@ parseArgs(int argc, char** argv)
             else if (flag == "--sobol")
                 args.sobol_samples =
                     value.empty() ? 128 : std::stoull(value);
+            else if (flag == "--ensemble")
+                args.ensemble_paths =
+                    value.empty() ? 64 : std::stoull(value);
+            else if (flag == "--ensemble-config")
+                args.ensemble_config = value;
             else if (flag == "--seed")
                 args.seed = std::stoull(value);
             else if (flag == "--threads")
@@ -543,6 +566,171 @@ runSobolBatch(const TechnologyDb& db, const ChipDesign& design,
     return 0;
 }
 
+/** One "  <label> ..." stats line of the ensemble report (%.17g). */
+void
+printEnsembleGroup(const EnsembleGroup& group)
+{
+    std::cout << "  " << group.label << " count=" << group.count << "\n";
+    if (group.count == 0)
+        return;
+    std::cout << "    ttm_weeks mean=" << g17(group.ttm.mean)
+              << " p5=" << g17(group.ttm.p5) << " p50=" << g17(group.ttm.p50)
+              << " p95=" << g17(group.ttm.p95) << " ci=["
+              << g17(group.ttm.ci_lo) << "," << g17(group.ttm.ci_hi)
+              << "]\n";
+    std::cout << "    cas       mean=" << g17(group.cas.mean)
+              << " p5=" << g17(group.cas.p5) << " p50=" << g17(group.cas.p50)
+              << " p95=" << g17(group.cas.p95) << " ci=["
+              << g17(group.cas.ci_lo) << "," << g17(group.cas.ci_hi)
+              << "]\n";
+}
+
+/**
+ * Scenario-ensemble mode (--ensemble): N stochastic disruption paths
+ * (Markov regime chains + Hawkes shock clusters per node, see
+ * docs/SCENARIOS.md) evaluated through the timeline TTM model and
+ * reduced to per-regime TTM/CAS distributions with bootstrap CIs.
+ * Wired into the same resilience stack as --sobol: cooperative
+ * deadline/SIGINT stop, deterministic per-path retry, and atomic
+ * checkpoint/resume. All numbers print with %.17g, so a straight run
+ * and a killed-and-resumed run produce bitwise-identical stdout.
+ * Returns the process exit code.
+ */
+int
+runEnsembleBatch(const TechnologyDb& db, const ChipDesign& design,
+                 const MarketConditions& market, const CliArgs& args,
+                 obs::RunManifest& manifest)
+{
+    EnsembleSpec spec;
+    if (args.ensemble_config.empty()) {
+        spec = EnsembleSpec::defaultsFor(design.processNodes());
+    } else {
+        std::ifstream file(args.ensemble_config);
+        if (!file) {
+            std::cerr << "error: cannot read ensemble config '"
+                      << args.ensemble_config << "'\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << file.rdbuf();
+        // The config file is user input: parse it under the same
+        // untrusted-wire limits as a ttm_serve request line, and
+        // report every problem at once instead of crashing on the
+        // first.
+        const EnsembleSpecParse parsed = parseEnsembleSpecText(
+            text.str(), JsonLimits::untrustedWire(1 << 20));
+        if (!parsed.ok()) {
+            std::cerr << "error: invalid ensemble config '"
+                      << args.ensemble_config << "':\n";
+            for (const std::string& problem : parsed.errors)
+                std::cerr << "  " << problem << "\n";
+            return 2;
+        }
+        spec = parsed.spec;
+    }
+
+    CancellationToken token;
+    const ScopedSigintCancel sigint(token);
+    if (args.deadline_s > 0.0)
+        token.setDeadlineAfter(args.deadline_s);
+
+    EnsembleOptions options;
+    options.paths = args.ensemble_paths;
+    options.seed = args.seed;
+    options.parallel.threads = args.threads;
+    options.failure_policy = args.skip_failures
+                                 ? FailurePolicy::skipAndRecord()
+                                 : FailurePolicy();
+    options.cancel = &token;
+    if (args.retries > 1) {
+        options.retry = RetryPolicy::immediate(args.retries);
+        options.retry.seed = args.seed;
+    }
+    RetryStats retry_stats;
+    options.retry_stats = &retry_stats;
+    FailureReport report;
+    options.failure_report = &report;
+
+    std::unique_ptr<SweepCheckpoint> resume;
+    if (!args.resume_file.empty()) {
+        resume = std::make_unique<SweepCheckpoint>(
+            SweepCheckpoint::load(args.resume_file));
+        options.resume_from = resume.get();
+        manifest.disposition = "resumed";
+        manifest.parent_checkpoint = args.resume_file;
+    }
+    SweepCheckpoint checkpoint;
+    if (!args.checkpoint_file.empty()) {
+        checkpoint.enableAutoFlush(args.checkpoint_file, 16);
+        if (resume != nullptr)
+            checkpoint.setParent(args.resume_file);
+        options.checkpoint = &checkpoint;
+    }
+
+    TtmModel::Options model_options;
+    model_options.tapeout_engineers = args.engineers;
+    const EnsembleRunner runner(db, model_options);
+    const std::size_t total_points = 2 * options.paths;
+    EnsembleResult result;
+    bool finished = false;
+    try {
+        obs::ManifestKernelScope scope(manifest, "EnsembleRunner::run");
+        scope.setPoints(total_points);
+        result = runner.run(design, args.chips, market, spec, options);
+        scope.setFailures(report.failureCount());
+        finished = !token.stopRequested();
+    } catch (const Error&) {
+        if (!token.stopRequested())
+            throw;
+    }
+
+    manifest.total_retries = retry_stats.extra_attempts;
+    manifest.addFailureReport(report);
+    if (options.checkpoint != nullptr) {
+        checkpoint.writeAtomic(args.checkpoint_file);
+        manifest.checkpoint_points = checkpoint.completedCount();
+    }
+
+    if (!finished) {
+        const bool cancelled = token.cancelRequested();
+        manifest.disposition =
+            cancelled ? "cancelled" : "deadline_exceeded";
+        std::cerr << "ttm_cli: ensemble stopped (" << manifest.disposition
+                  << "); " << checkpoint.completedCount() << "/"
+                  << total_points << " points checkpointed\n";
+        return cancelled ? 130 : 3;
+    }
+
+    // Content-addressed key of this ensemble, built from the same
+    // helper the ttm_serve result cache uses, with the full disruption
+    // spec folded into the digest — so a CLI run correlates with the
+    // server cache entry of the equivalent ensemble_ttm request (band
+    // 0.10 mirrors the server-side request default; a unit test pins
+    // the two paths to identical keys).
+    serve::EvalKeyParams key_params;
+    key_params.kernel = "ensemble_ttm";
+    key_params.seed = args.seed;
+    key_params.n_chips = args.chips;
+    key_params.samples = options.paths;
+    key_params.band = 0.10;
+    key_params.ensemble = &spec;
+    const std::string cache_key =
+        serve::evalCacheKey(design, market, key_params);
+
+    std::cout << "ensemble " << result.paths_completed << "/"
+              << result.paths_requested << " paths, horizon "
+              << g17(spec.horizon_weeks) << " weeks, seed " << args.seed
+              << ", key " << cache_key << "\n";
+    for (const EnsembleGroup& group : result.regimes)
+        printEnsembleGroup(group);
+    printEnsembleGroup(result.overall);
+    if (!report.empty()) {
+        std::cerr << report.summary() << "\n";
+        return 2;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -552,7 +740,8 @@ main(int argc, char** argv)
     bool skipped_failures = false;
 
     obs::RunManifest manifest;
-    if (args.wantsObservability() || args.sobol_samples > 0) {
+    if (args.wantsObservability() || args.sobol_samples > 0 ||
+        args.ensemble_paths > 0) {
         obs::setTracingEnabled(!args.trace_file.empty());
         obs::setMetricsEnabled(true);
         manifest.tool = "ttm_cli";
@@ -591,6 +780,20 @@ main(int argc, char** argv)
             design = makeMonolithicDesign(
                 "cli-design", args.node, args.ntt, args.nut,
                 Weeks(args.design_weeks));
+        }
+
+        if (args.ensemble_paths > 0) {
+            const int code =
+                runEnsembleBatch(db, design, market, args, manifest);
+            if (!args.trace_file.empty())
+                obs::writeChromeTrace(args.trace_file);
+            if (!args.metrics_file.empty())
+                obs::writeMetrics(args.metrics_file);
+            if (!args.manifest_file.empty()) {
+                manifest.captureKernelMetrics(obs::snapshotMetrics());
+                manifest.write(args.manifest_file);
+            }
+            return code;
         }
 
         if (args.sobol_samples > 0) {

@@ -1,0 +1,83 @@
+#ifndef TTMCAS_CORE_ENSEMBLE_IO_HH
+#define TTMCAS_CORE_ENSEMBLE_IO_HH
+
+/**
+ * @file
+ * JSON wire format of ensemble/disruption configuration and results.
+ *
+ * The ensemble spec crosses two trust boundaries: `ttm_cli
+ * --ensemble-config <file>` reads it from disk, and the `ensemble_ttm`
+ * request kind of ttm_serve receives it inside a request line. Both
+ * parse through here under JsonLimits::untrustedWire() semantics, and
+ * the parser NEVER throws on malformed input: every structural
+ * problem (wrong type, unknown key, non-finite rate, truncated
+ * document) and every semantic problem (negative transition
+ * probability, branching ratio >= 1) is collected into
+ * EnsembleSpecParse::errors — the all-at-once violations idiom — so
+ * one reply names every defect. The fuzz corpus
+ * (tests/integration/test_fuzz.cc) drives hostile documents through
+ * parseEnsembleSpecText and asserts structured errors, never crashes.
+ *
+ * Schema (docs/SCENARIOS.md has the annotated version):
+ *
+ *   {"horizon_weeks": 104, "step_weeks": 1,
+ *    "outage_label_fraction": 0.02, "constrained_label_fraction": 0.1,
+ *    "nodes": {"7nm": {
+ *        "markov": {"transition": [[0.96,0.03,0.01],
+ *                                  [0.10,0.85,0.05],
+ *                                  [0.00,0.25,0.75]],
+ *                   "capacity": [1.0, 0.6, 0.0],
+ *                   "recovery_ramp_weeks": 8,
+ *                   "recovery_ramp_steps": 4,
+ *                   "initial": "nominal"},
+ *        "hawkes": {"mu": 0.02, "alpha": 0.5, "beta": 0.7,
+ *                   "shock_depth": [0.4, 0.8], "shock_weeks": 2}}}}
+ *
+ * Every field is optional: an omitted "markov" keeps the identity
+ * chain (the node never leaves its initial regime) and an omitted
+ * "hawkes" disables shocks (mu = 0), so "{}" is a valid no-disruption
+ * spec. Node entries use MarkovRegimeParams/HawkesParams member
+ * defaults, not ::defaults() — the configured chain is exactly what
+ * the document says.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/ensemble.hh"
+#include "support/json.hh"
+
+namespace ttmcas {
+
+/** Result of parsing an ensemble spec: spec or all-at-once errors. */
+struct EnsembleSpecParse
+{
+    EnsembleSpec spec;
+    /** Structural + semantic problems; empty means the parse is valid. */
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Parse a spec from an already-parsed JSON value. Never throws. */
+EnsembleSpecParse parseEnsembleSpec(const JsonValue& value);
+
+/**
+ * Parse a spec from raw text under @p limits (use
+ * JsonLimits::untrustedWire() for anything a user or client sent).
+ * Never throws: JSON-level failures become errors too.
+ */
+EnsembleSpecParse parseEnsembleSpecText(const std::string& text,
+                                        const JsonLimits& limits);
+
+/**
+ * Render @p result as a JSON object (deterministic field order and
+ * number formatting, so identical results are byte-identical): path
+ * counts, per-regime groups, and the pooled overall group. Groups
+ * with zero paths render "ttm"/"cas" as null.
+ */
+void writeEnsembleResult(JsonWriter& json, const EnsembleResult& result);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_CORE_ENSEMBLE_IO_HH

@@ -107,6 +107,40 @@ marketHash(const MarketConditions& market)
     return hasher.hex();
 }
 
+void
+mixEnsembleSpec(ContentHasher& hasher, const EnsembleSpec& spec)
+{
+    hasher.tag("ensemble");
+    hasher.tag("horizon").mix(spec.horizon_weeks);
+    hasher.tag("step").mix(spec.step_weeks);
+    hasher.tag("outage_frac").mix(spec.outage_label_fraction);
+    hasher.tag("constrained_frac").mix(spec.constrained_label_fraction);
+    hasher.tag("nodes").mix(static_cast<std::uint64_t>(spec.nodes.size()));
+    for (const auto& [node, params] : spec.nodes) {
+        hasher.tag("node").mix(node);
+        const MarkovRegimeParams& markov = params.markov;
+        hasher.tag("transition");
+        for (const auto& row : markov.transition)
+            for (const double p : row)
+                hasher.mix(p);
+        hasher.tag("capacity");
+        for (const double factor : markov.capacity)
+            hasher.mix(factor);
+        hasher.tag("ramp_weeks").mix(markov.recovery_ramp_weeks);
+        hasher.tag("ramp_steps").mix(
+            static_cast<std::uint64_t>(markov.recovery_ramp_steps));
+        hasher.tag("initial").mix(
+            static_cast<std::uint64_t>(markov.initial));
+        const HawkesParams& hawkes = params.hawkes;
+        hasher.tag("mu").mix(hawkes.mu);
+        hasher.tag("alpha").mix(hawkes.alpha);
+        hasher.tag("beta").mix(hawkes.beta);
+        hasher.tag("depth_min").mix(hawkes.shock_depth_min);
+        hasher.tag("depth_max").mix(hawkes.shock_depth_max);
+        hasher.tag("shock_weeks").mix(hawkes.shock_weeks);
+    }
+}
+
 std::string
 evalCacheKey(const ChipDesign& design, const MarketConditions& market,
              const EvalKeyParams& params)
@@ -121,6 +155,11 @@ evalCacheKey(const ChipDesign& design, const MarketConditions& market,
     hasher.tag("grid").mix(static_cast<std::uint64_t>(params.grid.size()));
     for (const double value : params.grid)
         hasher.mix(value);
+    // Presence-flagged so pre-ensemble keys keep their historic values
+    // only when no spec is attached; any attached spec perturbs the key.
+    hasher.tag("has_ensemble").mix(params.ensemble != nullptr);
+    if (params.ensemble != nullptr)
+        mixEnsembleSpec(hasher, *params.ensemble);
     return designHash(design) + "-" + marketHash(market) + "-" +
            hasher.hex();
 }

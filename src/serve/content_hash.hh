@@ -39,6 +39,7 @@
 #include <string_view>
 
 #include "core/design.hh"
+#include "core/ensemble.hh"
 #include "core/market.hh"
 
 namespace ttmcas::serve {
@@ -91,7 +92,19 @@ struct EvalKeyParams
     double band = 0.0;
     std::uint64_t inputs = 0;
     std::vector<double> grid;
+    /**
+     * Disruption-process configuration of an ensemble_ttm evaluation
+     * (null otherwise). Every field of the spec — horizon, step,
+     * labeling thresholds, and each node's full Markov matrix,
+     * capacities, ramp, and Hawkes parameters — feeds the digest, so
+     * two ensembles that differ in any regime parameter can never
+     * alias to the same cache entry.
+     */
+    const EnsembleSpec* ensemble = nullptr;
 };
+
+/** Mix every semantic field of @p spec into @p hasher (tagged). */
+void mixEnsembleSpec(ContentHasher& hasher, const EnsembleSpec& spec);
 
 /**
  * The content-addressed cache key of one evaluation:

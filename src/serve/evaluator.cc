@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "core/cas.hh"
+#include "core/ensemble.hh"
+#include "core/ensemble_io.hh"
 #include "core/ttm_model.hh"
 #include "support/error.hh"
 #include "support/json.hh"
@@ -97,6 +99,11 @@ Evaluator::keyParams(const EvalRequest& request)
                         ? kUncertainInputCount
                         : 0;
     params.grid = request.grid;
+    // The disruption configuration is part of the evaluation's
+    // identity: two ensembles differing in any regime parameter or
+    // node process must never share a cache entry.
+    if (request.kind == RequestKind::EnsembleTtm)
+        params.ensemble = &request.ensemble;
     return params;
 }
 
@@ -115,6 +122,7 @@ Evaluator::evaluate(const EvalRequest& request,
     case RequestKind::McCas: return evaluateMc(request, token);
     case RequestKind::SobolTtm: return evaluateSobol(request, token);
     case RequestKind::CapacitySweep: return evaluateSweep(request, token);
+    case RequestKind::EnsembleTtm: return evaluateEnsemble(request, token);
     case RequestKind::Health:
     case RequestKind::Stats: break;
     }
@@ -308,6 +316,45 @@ Evaluator::evaluateSweep(const EvalRequest& request,
         json.endObject();
     }
     json.endArray();
+    writeFailures(json, report);
+    json.endObject();
+    outcome.payload = json.str();
+    return outcome;
+}
+
+EvalOutcome
+Evaluator::evaluateEnsemble(const EvalRequest& request,
+                            const CancellationToken& token) const
+{
+    FailureReport report;
+    EnsembleOptions options;
+    options.paths = request.samples;
+    options.seed = request.seed;
+    // One request = one pool thread, same as every other kind; the
+    // per-path streams make the result identical at any thread count.
+    options.parallel = ParallelConfig::serial();
+    options.failure_policy = FailurePolicy::skipAndRecord(1.0);
+    options.failure_report = &report;
+    options.cancel = &token;
+
+    const EnsembleRunner runner(_db);
+    const EnsembleResult result = runner.run(
+        request.design, request.n_chips, request.market, request.ensemble,
+        options);
+
+    EvalOutcome outcome;
+    outcome.status = statusOf(token);
+    outcome.complete = report.empty() && !token.stopRequested();
+
+    JsonWriter json;
+    json.beginObject();
+    json.field("kernel", requestKindName(request.kind));
+    json.field("n_chips", request.n_chips);
+    json.field("seed", request.seed);
+    json.field("horizon_weeks", request.ensemble.horizon_weeks);
+    json.field("step_weeks", request.ensemble.step_weeks);
+    json.key("ensemble");
+    writeEnsembleResult(json, result);
     writeFailures(json, report);
     json.endObject();
     outcome.payload = json.str();

@@ -62,8 +62,11 @@ class Evaluator
 
     /**
      * The cache-key parameters of @p request — the single source of
-     * truth shared with `ttm_cli --sobol` so CLI batch runs and
-     * server cache entries agree on keys (see content_hash.hh).
+     * truth shared with `ttm_cli --sobol` / `--ensemble` so CLI batch
+     * runs and server cache entries agree on keys (see
+     * content_hash.hh). For ensemble_ttm requests the returned params
+     * borrow @p request's ensemble spec; keep the request alive until
+     * the key is computed.
      */
     static EvalKeyParams keyParams(const EvalRequest& request);
 
@@ -77,6 +80,8 @@ class Evaluator
                               const CancellationToken& token) const;
     EvalOutcome evaluateSweep(const EvalRequest& request,
                               const CancellationToken& token) const;
+    EvalOutcome evaluateEnsemble(const EvalRequest& request,
+                                 const CancellationToken& token) const;
 
     TechnologyDb _db;
 };

@@ -5,6 +5,9 @@
 #include <initializer_list>
 #include <utility>
 
+#include <algorithm>
+
+#include "core/ensemble_io.hh"
 #include "support/error.hh"
 
 namespace ttmcas::serve {
@@ -268,6 +271,8 @@ parseKind(const std::string& name)
         return RequestKind::Health;
     if (name == "stats")
         return RequestKind::Stats;
+    if (name == "ensemble_ttm")
+        return RequestKind::EnsembleTtm;
     reject("unknown-kind", "unknown request kind '" + name + "'");
 }
 
@@ -276,7 +281,21 @@ isEvaluationKind(RequestKind kind)
 {
     return kind == RequestKind::McTtm || kind == RequestKind::McCas ||
            kind == RequestKind::SobolTtm ||
-           kind == RequestKind::CapacitySweep;
+           kind == RequestKind::CapacitySweep ||
+           kind == RequestKind::EnsembleTtm;
+}
+
+/** The design's process nodes, sorted and deduplicated. */
+std::vector<std::string>
+designProcesses(const ChipDesign& design)
+{
+    std::vector<std::string> processes;
+    for (const Die& die : design.dies)
+        processes.push_back(die.process);
+    std::sort(processes.begin(), processes.end());
+    processes.erase(std::unique(processes.begin(), processes.end()),
+                    processes.end());
+    return processes;
 }
 
 } // namespace
@@ -291,6 +310,7 @@ requestKindName(RequestKind kind)
     case RequestKind::CapacitySweep: return "capacity_sweep";
     case RequestKind::Health: return "health";
     case RequestKind::Stats: return "stats";
+    case RequestKind::EnsembleTtm: return "ensemble_ttm";
     }
     return "unknown";
 }
@@ -346,7 +366,7 @@ parseRequestLine(const std::string& line, const ServeLimits& limits)
         requireOnlyKeys(doc,
                         {"id", "kind", "design", "market", "n_chips",
                          "seed", "samples", "band", "grid", "deadline_s",
-                         "no_cache"},
+                         "no_cache", "ensemble"},
                         "request");
         EvalRequest request;
         if (doc.has("id")) {
@@ -385,6 +405,30 @@ parseRequestLine(const std::string& line, const ServeLimits& limits)
                 if (request.band >= 1.0)
                     reject("invalid-request",
                            "field 'band' must be in (0, 1)");
+            }
+            if (doc.has("ensemble")) {
+                if (request.kind != RequestKind::EnsembleTtm)
+                    reject("invalid-request",
+                           "field 'ensemble' is only valid for "
+                           "ensemble_ttm");
+                EnsembleSpecParse parsed =
+                    parseEnsembleSpec(doc.at("ensemble"));
+                if (!parsed.ok()) {
+                    // Count before moving: argument evaluation order
+                    // is unspecified, so .size() inside the call may
+                    // see an already-moved-from vector.
+                    const std::size_t problems = parsed.errors.size();
+                    reject("invalid-request",
+                           "ensemble spec fails validation with " +
+                               std::to_string(problems) + " problem(s)",
+                           std::move(parsed.errors));
+                }
+                request.ensemble = std::move(parsed.spec);
+            } else if (request.kind == RequestKind::EnsembleTtm) {
+                // Default spec: moderate disruption processes on every
+                // process node the design uses.
+                request.ensemble =
+                    EnsembleSpec::defaultsFor(designProcesses(request.design));
             }
             if (doc.has("grid")) {
                 if (request.kind != RequestKind::CapacitySweep)

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/design.hh"
+#include "core/ensemble.hh"
 #include "core/market.hh"
 #include "support/json.hh"
 
@@ -46,6 +47,7 @@ enum class RequestKind : std::uint8_t
     CapacitySweep = 3, ///< TTM/CAS over a capacity grid ("capacity_sweep")
     Health = 4,    ///< liveness + queue/drain state ("health")
     Stats = 5,     ///< counters and cache occupancy ("stats")
+    EnsembleTtm = 6, ///< scenario-path TTM/CAS ensemble ("ensemble_ttm")
 };
 
 /** Wire name of a request kind ("mc_ttm", "health", ...). */
@@ -94,6 +96,13 @@ struct EvalRequest
     double band = 0.10;
     /** Capacity factors to sweep (capacity_sweep only). */
     std::vector<double> grid;
+    /**
+     * Disruption ensemble spec (ensemble_ttm only). When the request
+     * omits "ensemble", the parser fills in
+     * EnsembleSpec::defaultsFor() over the design's processes, so this
+     * is always fully populated for an ensemble_ttm request.
+     */
+    EnsembleSpec ensemble;
     /** Wall-clock budget in seconds; 0 = server default. */
     double deadline_s = 0.0;
     /** Skip the result cache for this request (still computes). */

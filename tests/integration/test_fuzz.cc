@@ -7,10 +7,13 @@
  */
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/cas.hh"
+#include "core/ensemble_io.hh"
 #include "econ/cost_model.hh"
 #include "stats/rng.hh"
 #include "tech/default_dataset.hh"
@@ -126,6 +129,174 @@ TEST_F(FuzzTest, RandomDesignsNeverBreakTheInvariants)
     }
     // The generator must not be degenerate: most trials evaluate.
     EXPECT_GT(evaluated, 120);
+}
+
+/**
+ * Mutation corpus for the ensemble/disruption JSON config. The spec
+ * crosses two trust boundaries (ttm_cli --ensemble-config and the
+ * ensemble_ttm request kind), so EVERY input must yield a structured
+ * error list or a valid spec — never a crash, hang, or escaping
+ * exception. All documents parse under JsonLimits::untrustedWire().
+ */
+class EnsembleConfigFuzzTest : public ::testing::Test
+{
+  protected:
+    static std::string
+    validDocument()
+    {
+        return R"({"horizon_weeks": 104, "step_weeks": 1,
+            "outage_label_fraction": 0.02,
+            "constrained_label_fraction": 0.1,
+            "nodes": {"7nm": {
+                "markov": {"transition": [[0.96,0.03,0.01],
+                                          [0.10,0.85,0.05],
+                                          [0.00,0.25,0.75]],
+                           "capacity": [1.0, 0.6, 0.0],
+                           "recovery_ramp_weeks": 8,
+                           "recovery_ramp_steps": 4,
+                           "initial": "nominal"},
+                "hawkes": {"mu": 0.02, "alpha": 0.5, "beta": 0.7,
+                           "shock_depth": [0.4, 0.8],
+                           "shock_weeks": 2}}}})";
+    }
+
+    /** Parse under wire limits; must return, never throw. */
+    static EnsembleSpecParse
+    parse(const std::string& text)
+    {
+        return parseEnsembleSpecText(text,
+                                     JsonLimits::untrustedWire(1 << 20));
+    }
+};
+
+TEST_F(EnsembleConfigFuzzTest, TheReferenceDocumentIsValid)
+{
+    const EnsembleSpecParse parsed = parse(validDocument());
+    EXPECT_TRUE(parsed.ok())
+        << (parsed.errors.empty() ? "" : parsed.errors.front());
+}
+
+TEST_F(EnsembleConfigFuzzTest, EveryTruncationYieldsAStructuredError)
+{
+    const std::string document = validDocument();
+    for (std::size_t length = 0; length < document.size(); ++length) {
+        const EnsembleSpecParse parsed =
+            parse(document.substr(0, length));
+        // A strict prefix of the document is never a complete valid
+        // object; it must come back as errors, not a crash/throw.
+        EXPECT_FALSE(parsed.ok()) << "prefix length " << length;
+        EXPECT_FALSE(parsed.errors.empty());
+    }
+}
+
+TEST_F(EnsembleConfigFuzzTest, HostileNestingIsBounded)
+{
+    // 4096 nested containers blow any recursive-descent parser that
+    // does not enforce a depth limit; untrustedWire() must reject it
+    // as a structured error before the stack goes.
+    std::string deep_arrays = R"({"nodes": )";
+    for (int i = 0; i < 4096; ++i)
+        deep_arrays += '[';
+    for (int i = 0; i < 4096; ++i)
+        deep_arrays += ']';
+    deep_arrays += '}';
+    EXPECT_FALSE(parse(deep_arrays).ok());
+
+    std::string deep_objects;
+    for (int i = 0; i < 4096; ++i)
+        deep_objects += R"({"nodes":)";
+    EXPECT_FALSE(parse(deep_objects).ok());
+}
+
+TEST_F(EnsembleConfigFuzzTest, NonFiniteRatesAreStructuredErrors)
+{
+    const std::vector<std::string> documents{
+        // 1e999 overflows to infinity: a rate no process may carry.
+        R"({"nodes": {"7nm": {"hawkes": {"mu": 1e999}}}})",
+        R"({"nodes": {"7nm": {"hawkes": {"beta": -1e999}}}})",
+        R"({"horizon_weeks": 1e999})",
+        // Bare words are malformed JSON, not numbers.
+        R"({"nodes": {"7nm": {"hawkes": {"mu": NaN}}}})",
+        R"({"nodes": {"7nm": {"hawkes": {"mu": Infinity}}}})",
+    };
+    for (const std::string& document : documents) {
+        const EnsembleSpecParse parsed = parse(document);
+        EXPECT_FALSE(parsed.ok()) << document;
+        EXPECT_FALSE(parsed.errors.empty()) << document;
+    }
+}
+
+TEST_F(EnsembleConfigFuzzTest, NegativeTransitionProbabilitiesRejected)
+{
+    const EnsembleSpecParse parsed = parse(
+        R"({"nodes": {"7nm": {"markov": {"transition":
+            [[1.2,-0.2,0.0],[0.1,0.85,0.05],[0.0,0.25,0.75]]}}}})");
+    EXPECT_FALSE(parsed.ok());
+    // The error names the offending structure instead of a bare "bad".
+    bool mentions_transition = false;
+    for (const std::string& error : parsed.errors)
+        if (error.find("transition") != std::string::npos ||
+            error.find("probability") != std::string::npos)
+            mentions_transition = true;
+    EXPECT_TRUE(mentions_transition);
+}
+
+TEST_F(EnsembleConfigFuzzTest, TypeConfusionIsAStructuredError)
+{
+    const std::vector<std::string> documents{
+        R"([1, 2, 3])",
+        R"("just a string")",
+        R"({"nodes": [1, 2]})",
+        R"({"nodes": {"7nm": 42}})",
+        R"({"nodes": {"7nm": {"markov": {"transition": "identity"}}}})",
+        R"({"nodes": {"7nm": {"markov": {"initial": 7}}}})",
+        R"({"nodes": {"7nm": {"hawkes": {"shock_depth": [0.4]}}}})",
+        R"({"horizon_weeks": true})",
+        R"({"nodes": {"": {}}})",
+    };
+    for (const std::string& document : documents) {
+        const EnsembleSpecParse parsed = parse(document);
+        EXPECT_FALSE(parsed.ok()) << document;
+    }
+}
+
+TEST_F(EnsembleConfigFuzzTest, RandomByteMutationsNeverCrash)
+{
+    // Classic mutation fuzzing: flip/insert/delete random bytes of the
+    // valid document and demand a clean verdict either way. 2000
+    // mutants keeps the test fast while covering every region of the
+    // document across seeds.
+    const std::string reference = validDocument();
+    Rng rng(0xd155);
+    int still_valid = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::string mutant = reference;
+        const int edits = 1 + static_cast<int>(rng.uniformInt(4));
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t pos = rng.uniformInt(mutant.size());
+            switch (rng.uniformInt(3)) {
+            case 0: // flip
+                mutant[pos] = static_cast<char>(rng.uniformInt(256));
+                break;
+            case 1: // delete
+                mutant.erase(pos, 1);
+                break;
+            default: // insert
+                mutant.insert(pos, 1,
+                              static_cast<char>(rng.uniformInt(256)));
+                break;
+            }
+            if (mutant.empty())
+                break;
+        }
+        const EnsembleSpecParse parsed = parse(mutant);
+        if (parsed.ok())
+            ++still_valid; // rare benign mutation (e.g. whitespace)
+        else
+            EXPECT_FALSE(parsed.errors.empty());
+    }
+    // Sanity: the mutator actually breaks most documents.
+    EXPECT_LT(still_valid, 200);
 }
 
 TEST_F(FuzzTest, EvaluationIsDeterministic)

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Scenario-ensemble contracts (core/ensemble.hh + the ensemble_ttm
+ * serve path):
+ *
+ *  - one ensemble produces bitwise-identical EnsembleResults at 1 and
+ *    8 threads (the PR-1 determinism contract, extended to stochastic
+ *    scenario paths);
+ *  - a run resumed from a checkpoint — full or partial — reproduces
+ *    the straight run's result bit-for-bit;
+ *  - the JSON spec parser accepts the documented schema, applies
+ *    defaults, and reports hostile input as structured errors;
+ *  - an ensemble_ttm server request round-trips deterministically and
+ *    its cache key changes whenever any disruption parameter changes.
+ *
+ * Runs under `ctest -L scenario` (ASan/UBSan and TSan CI jobs).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble.hh"
+#include "core/ensemble_io.hh"
+#include "serve/evaluator.hh"
+#include "serve/request.hh"
+#include "support/checkpoint.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+
+namespace ttmcas {
+namespace {
+
+ChipDesign
+testDesign()
+{
+    return makeMonolithicDesign("ensemble-test", "7nm", 2.0e9, 2.0e8,
+                                Weeks(10.0));
+}
+
+EnsembleSpec
+testSpec()
+{
+    EnsembleSpec spec = EnsembleSpec::defaultsFor({"7nm"});
+    spec.horizon_weeks = 104.0;
+    return spec;
+}
+
+class EnsembleTest : public ::testing::Test
+{
+  protected:
+    EnsembleTest() : db(defaultTechnologyDb()), runner(db) {}
+
+    EnsembleResult
+    run(const EnsembleOptions& options) const
+    {
+        return runner.run(testDesign(), 1e7, MarketConditions{},
+                          testSpec(), options);
+    }
+
+    TechnologyDb db;
+    EnsembleRunner runner;
+};
+
+TEST_F(EnsembleTest, SerialAndEightThreadsAreBitwiseIdentical)
+{
+    EnsembleOptions serial;
+    serial.paths = 64;
+    serial.seed = 2023;
+    serial.parallel = ParallelConfig::serial();
+
+    EnsembleOptions parallel = serial;
+    parallel.parallel = ParallelConfig{8, 4}; // small grain: real overlap
+
+    const EnsembleResult a = run(serial);
+    const EnsembleResult b = run(parallel);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.paths_completed, 64u);
+}
+
+TEST_F(EnsembleTest, SeedAndPathCountChangeTheResult)
+{
+    EnsembleOptions base;
+    base.paths = 32;
+    base.seed = 1;
+    EnsembleOptions reseeded = base;
+    reseeded.seed = 2;
+    EXPECT_FALSE(run(base) == run(reseeded));
+}
+
+TEST_F(EnsembleTest, ResumeFromFullCheckpointReproducesBitwise)
+{
+    SweepCheckpoint checkpoint;
+    EnsembleOptions straight;
+    straight.paths = 24;
+    straight.seed = 99;
+    straight.checkpoint = &checkpoint;
+    const EnsembleResult reference = run(straight);
+    EXPECT_EQ(checkpoint.completedCount(), 2 * straight.paths);
+
+    EnsembleOptions resumed_options;
+    resumed_options.paths = 24;
+    resumed_options.seed = 99;
+    resumed_options.resume_from = &checkpoint;
+    const EnsembleResult resumed = run(resumed_options);
+    EXPECT_TRUE(reference == resumed);
+}
+
+TEST_F(EnsembleTest, ResumeFromPartialCheckpointReproducesBitwise)
+{
+    SweepCheckpoint full;
+    EnsembleOptions straight;
+    straight.paths = 24;
+    straight.seed = 7;
+    straight.checkpoint = &full;
+    const EnsembleResult reference = run(straight);
+
+    // A kill mid-run leaves an arbitrary prefix of recorded pairs;
+    // model it by replaying only the first half of the full
+    // checkpoint's points into a fresh one.
+    SweepCheckpoint partial;
+    partial.bind(kEnsembleKernelName, straight.seed,
+                 2 * straight.paths);
+    for (std::size_t point = 0; point < straight.paths; ++point)
+        if (full.has(point))
+            partial.record(point, full.value(point));
+
+    EnsembleOptions resumed_options;
+    resumed_options.paths = 24;
+    resumed_options.seed = 7;
+    resumed_options.resume_from = &partial;
+    const EnsembleResult resumed = run(resumed_options);
+    EXPECT_TRUE(reference == resumed);
+}
+
+TEST_F(EnsembleTest, MismatchedCheckpointIsRejected)
+{
+    SweepCheckpoint wrong_seed;
+    wrong_seed.bind(kEnsembleKernelName, /*seed=*/123, 48);
+    EnsembleOptions options;
+    options.paths = 24;
+    options.seed = 99;
+    options.resume_from = &wrong_seed;
+    EXPECT_THROW(run(options), ModelError);
+}
+
+TEST_F(EnsembleTest, InvalidSpecThrowsWithEveryViolation)
+{
+    EnsembleSpec spec = testSpec();
+    spec.horizon_weeks = -1.0;
+    spec.step_weeks = 0.0;
+    EnsembleOptions options;
+    options.paths = 4;
+    EXPECT_THROW(
+        runner.run(testDesign(), 1e7, MarketConditions{}, spec, options),
+        ModelError);
+}
+
+TEST_F(EnsembleTest, PathCountsAndRegimeGroupsAreConsistent)
+{
+    EnsembleOptions options;
+    options.paths = 48;
+    const EnsembleResult result = run(options);
+    EXPECT_EQ(result.paths_requested, 48u);
+    EXPECT_EQ(result.paths_completed, 48u);
+    std::size_t grouped = 0;
+    for (const EnsembleGroup& group : result.regimes) {
+        grouped += group.count;
+        if (group.count > 0) {
+            EXPECT_TRUE(std::isfinite(group.ttm.mean));
+            EXPECT_GT(group.ttm.mean, 0.0);
+            EXPECT_LE(group.ttm.p5, group.ttm.p95);
+            EXPECT_LE(group.ttm.ci_lo, group.ttm.ci_hi);
+            EXPECT_TRUE(std::isfinite(group.cas.mean));
+        }
+    }
+    EXPECT_EQ(grouped, result.paths_completed);
+    EXPECT_EQ(result.overall.count, result.paths_completed);
+}
+
+TEST(ScenarioSampling, ScenarioPathIsOrderIndependent)
+{
+    EnsembleSpec spec = EnsembleSpec::defaultsFor({"5nm", "7nm"});
+    const ScenarioPath a = sampleScenarioPath(spec, 42, 3);
+    const ScenarioPath b0 = sampleScenarioPath(spec, 42, 0);
+    const ScenarioPath a_again = sampleScenarioPath(spec, 42, 3);
+    EXPECT_TRUE(a == a_again);
+    EXPECT_FALSE(a == b0);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(EnsembleSpecJson, DocumentedExampleParses)
+{
+    const std::string text = R"({
+        "horizon_weeks": 104, "step_weeks": 1,
+        "outage_label_fraction": 0.02,
+        "constrained_label_fraction": 0.1,
+        "nodes": {"7nm": {
+            "markov": {"transition": [[0.96,0.03,0.01],
+                                      [0.10,0.85,0.05],
+                                      [0.00,0.25,0.75]],
+                       "capacity": [1.0, 0.6, 0.0],
+                       "recovery_ramp_weeks": 8,
+                       "recovery_ramp_steps": 4,
+                       "initial": "nominal"},
+            "hawkes": {"mu": 0.02, "alpha": 0.5, "beta": 0.7,
+                       "shock_depth": [0.4, 0.8], "shock_weeks": 2}}}})";
+    const EnsembleSpecParse parsed =
+        parseEnsembleSpecText(text, JsonLimits::untrustedWire(1 << 20));
+    ASSERT_TRUE(parsed.ok())
+        << (parsed.errors.empty() ? "" : parsed.errors.front());
+    EXPECT_DOUBLE_EQ(parsed.spec.horizon_weeks, 104.0);
+    ASSERT_EQ(parsed.spec.nodes.size(), 1u);
+    const DisruptionProcessParams& node = parsed.spec.nodes.at("7nm");
+    EXPECT_DOUBLE_EQ(node.markov.transition[1][0], 0.10);
+    EXPECT_DOUBLE_EQ(node.hawkes.mu, 0.02);
+    EXPECT_DOUBLE_EQ(node.hawkes.shock_depth_max, 0.8);
+}
+
+TEST(EnsembleSpecJson, EmptyObjectIsAValidNoDisruptionSpec)
+{
+    const EnsembleSpecParse parsed =
+        parseEnsembleSpecText("{}", JsonLimits::untrustedWire(1 << 20));
+    EXPECT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.spec.nodes.empty());
+}
+
+TEST(EnsembleSpecJson, HostileDocumentsCollectStructuredErrors)
+{
+    const JsonLimits limits = JsonLimits::untrustedWire(1 << 20);
+    // Semantic problems arrive all-at-once with field context.
+    const EnsembleSpecParse bad = parseEnsembleSpecText(
+        R"({"nodes": {"7nm": {"markov":
+            {"transition": [[1.5,-0.5,0.0],[0,1,0],[0,0,1]]},
+            "hawkes": {"alpha": 2.0}}}})",
+        limits);
+    EXPECT_FALSE(bad.ok());
+    EXPECT_GE(bad.errors.size(), 2u);
+
+    // Unknown fields are named, not silently dropped.
+    const EnsembleSpecParse typo = parseEnsembleSpecText(
+        R"({"horizon_week": 104})", limits);
+    EXPECT_FALSE(typo.ok());
+
+    // Truncation is a structured error, not a crash or a throw.
+    const EnsembleSpecParse truncated =
+        parseEnsembleSpecText(R"({"horizon_weeks": 1)", limits);
+    EXPECT_FALSE(truncated.ok());
+}
+
+class EnsembleServeTest : public ::testing::Test
+{
+  protected:
+    EnsembleServeTest()
+        : limits{}, evaluator(defaultTechnologyDb())
+    {}
+
+    static std::string
+    requestLine(const std::string& extra)
+    {
+        return R"({"id":"e1","kind":"ensemble_ttm","design":{"dies":[)"
+               R"({"process":"7nm","total_transistors":2e9,)"
+               R"("unique_transistors":2e8}]},"samples":16,"seed":11)" +
+               extra + "}";
+    }
+
+    serve::ServeLimits limits;
+    serve::Evaluator evaluator;
+};
+
+TEST_F(EnsembleServeTest, RequestRoundTripsDeterministically)
+{
+    const serve::ParsedRequest parsed =
+        serve::parseRequestLine(requestLine(""), limits);
+    ASSERT_TRUE(parsed.ok) << parsed.error.message;
+    EXPECT_EQ(parsed.request.kind, serve::RequestKind::EnsembleTtm);
+    // Default spec covers the design's only process node.
+    ASSERT_EQ(parsed.request.ensemble.nodes.size(), 1u);
+    EXPECT_EQ(parsed.request.ensemble.nodes.begin()->first, "7nm");
+
+    const CancellationToken token;
+    const serve::EvalOutcome first =
+        evaluator.evaluate(parsed.request, token);
+    const serve::EvalOutcome second =
+        evaluator.evaluate(parsed.request, token);
+    EXPECT_EQ(first.status, "ok");
+    EXPECT_TRUE(first.complete);
+    EXPECT_EQ(first.payload, second.payload);
+    EXPECT_NE(first.payload.find("\"regimes\""), std::string::npos);
+    EXPECT_NE(first.payload.find("\"overall\""), std::string::npos);
+}
+
+TEST_F(EnsembleServeTest, ExplicitSpecIsParsedAndValidated)
+{
+    const serve::ParsedRequest parsed = serve::parseRequestLine(
+        requestLine(R"(,"ensemble":{"horizon_weeks":52,)"
+                    R"("nodes":{"7nm":{"hawkes":{"mu":0.05}}}})"),
+        limits);
+    ASSERT_TRUE(parsed.ok) << parsed.error.message;
+    EXPECT_DOUBLE_EQ(parsed.request.ensemble.horizon_weeks, 52.0);
+
+    const serve::ParsedRequest invalid = serve::parseRequestLine(
+        requestLine(R"(,"ensemble":{"horizon_weeks":-4,)"
+                    R"("nodes":{"7nm":{"hawkes":{"alpha":3}}}})"),
+        limits);
+    ASSERT_FALSE(invalid.ok);
+    EXPECT_EQ(invalid.error.code, "invalid-request");
+    EXPECT_GE(invalid.error.violations.size(), 2u);
+}
+
+TEST_F(EnsembleServeTest, EnsembleFieldRejectedOnOtherKinds)
+{
+    const std::string line =
+        R"({"id":"x","kind":"mc_ttm","design":{"dies":[)"
+        R"({"process":"7nm","total_transistors":2e9,)"
+        R"("unique_transistors":2e8}]},"ensemble":{}})";
+    const serve::ParsedRequest parsed =
+        serve::parseRequestLine(line, limits);
+    ASSERT_FALSE(parsed.ok);
+    EXPECT_EQ(parsed.error.code, "invalid-request");
+}
+
+} // namespace
+} // namespace ttmcas

@@ -226,5 +226,86 @@ TEST(EvalCacheKey, CliAndServerPathsProduceIdenticalKeys)
     EXPECT_EQ(Evaluator::cacheKey(parsed.request), cli_style_key);
 }
 
+TEST(EvalCacheKey, EnsembleSpecIsPartOfTheKey)
+{
+    // Satellite contract (PR 8): ensemble replies must never falsely
+    // cache-hit across differing disruption regimes, so every spec
+    // field has to move the key.
+    EvalKeyParams base;
+    base.kernel = "ensemble_ttm";
+    base.seed = 11;
+    base.n_chips = 1e7;
+    base.samples = 64;
+    base.band = 0.10;
+    EnsembleSpec spec = EnsembleSpec::defaultsFor({"7nm"});
+    base.ensemble = &spec;
+    const ChipDesign design = referenceDesign();
+    const MarketConditions market;
+    const std::string key = evalCacheKey(design, market, base);
+
+    // No spec at all is a different evaluation.
+    EvalKeyParams without = base;
+    without.ensemble = nullptr;
+    EXPECT_NE(evalCacheKey(design, market, without), key);
+
+    // Horizon, thresholds, Markov entries, and Hawkes rates each
+    // perturb the digest.
+    EnsembleSpec changed = spec;
+    changed.horizon_weeks += 1.0;
+    EvalKeyParams other = base;
+    other.ensemble = &changed;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.outage_label_fraction += 0.01;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.nodes.at("7nm").markov.transition[0][0] -= 0.01;
+    changed.nodes.at("7nm").markov.transition[0][1] += 0.01;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.nodes.at("7nm").hawkes.mu += 0.005;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.nodes.at("7nm").markov.recovery_ramp_steps += 1;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    // A second node with identical params is still a different spec.
+    changed = spec;
+    changed.nodes.emplace("5nm", changed.nodes.at("7nm"));
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+}
+
+TEST(EvalCacheKey, EnsembleCliAndServerPathsProduceIdenticalKeys)
+{
+    // Same single-source-of-truth pin as the sobol case: the key
+    // `ttm_cli --ensemble` prints (hand-built EvalKeyParams, band 0.10
+    // mirroring the request default) must equal the server's
+    // Evaluator::cacheKey for the equivalent ensemble_ttm request.
+    const std::string line =
+        R"({"id":"e1","kind":"ensemble_ttm","design":{"dies":[)"
+        R"({"name":"soc","process":"7nm","total_transistors":2.4e9,)"
+        R"("unique_transistors":2e8}]},)"
+        R"("n_chips":5e7,"seed":7,"samples":64})";
+    const ParsedRequest parsed = parseRequestLine(line, ServeLimits{});
+    ASSERT_TRUE(parsed.ok) << parsed.error.message;
+
+    EnsembleSpec spec = EnsembleSpec::defaultsFor({"7nm"});
+    EvalKeyParams manual;
+    manual.kernel = "ensemble_ttm";
+    manual.seed = 7;
+    manual.n_chips = 5e7;
+    manual.samples = 64;
+    manual.band = 0.10;
+    manual.ensemble = &spec;
+    const std::string cli_style_key = evalCacheKey(
+        parsed.request.design, parsed.request.market, manual);
+
+    EXPECT_EQ(Evaluator::cacheKey(parsed.request), cli_style_key);
+}
+
 } // namespace
 } // namespace ttmcas::serve
