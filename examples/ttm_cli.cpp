@@ -50,6 +50,16 @@
  * resilience flags (--deadline/--checkpoint/--resume/--retries/
  * --skip-failures) apply, with the same exit codes as --sobol.
  *
+ * --chiplet-pareto switches to chiplet-economics mode: the design's
+ * transistor budget is swept over partition count x node assignment x
+ * redundancy level x production split (docs/ECONOMICS.md), each
+ * candidate is scored on TTM, CAS, and redundancy-aware chiplet cost,
+ * and the 3-D Pareto frontier is printed with %.17g. --chiplet-config
+ * supplies the sweep spec as JSON (default: partitions {1,2,4} x the
+ * design's own nodes x redundancy {0,1}, single-sourced). The same
+ * resilience flags (--deadline/--checkpoint/--resume/--retries/
+ * --skip-failures) apply, with the same exit codes as --sobol.
+ *
  * Exit codes: 0 = clean run; 1 = hard error; 2 = completed but
  * degraded (--skip-failures dropped points) or a usage error; 3 =
  * --deadline fired and the partial batch was checkpointed; 130 =
@@ -74,6 +84,8 @@
 #include "core/uncertainty.hh"
 #include "econ/cost_model.hh"
 #include "opt/cache_optimizer.hh"
+#include "opt/chiplet_explorer.hh"
+#include "opt/chiplet_io.hh"
 #include "opt/portfolio.hh"
 #include "opt/split_optimizer.hh"
 #include "report/table.hh"
@@ -116,6 +128,8 @@ struct CliArgs
     std::size_t sobol_samples = 0; ///< 0 = batch mode off
     std::size_t ensemble_paths = 0; ///< 0 = ensemble mode off
     std::string ensemble_config;
+    bool chiplet_pareto = false;
+    std::string chiplet_config;
     std::uint64_t seed = 2023;
     std::size_t threads = 0;
     std::uint32_t retries = 1;
@@ -143,6 +157,7 @@ usage()
            "              [--manifest=file.json]\n"
            "              [--sobol[=N]] [--seed s] [--threads t]\n"
            "              [--ensemble[=N]] [--ensemble-config=file.json]\n"
+           "              [--chiplet-pareto] [--chiplet-config=file.json]\n"
            "              [--retries r] [--deadline=seconds]\n"
            "              [--checkpoint=file] [--resume=file]\n";
     std::exit(2);
@@ -162,6 +177,7 @@ parseArgs(int argc, char** argv)
         {"--trace", 1},      {"--metrics", 1},  {"--manifest", 1},
         {"--sobol", 2},      {"--seed", 1},     {"--threads", 1},
         {"--ensemble", 2},   {"--ensemble-config", 1},
+        {"--chiplet-pareto", 0}, {"--chiplet-config", 1},
         {"--retries", 1},    {"--deadline", 1}, {"--checkpoint", 1},
         {"--resume", 1},
     };
@@ -238,6 +254,10 @@ parseArgs(int argc, char** argv)
                     value.empty() ? 64 : std::stoull(value);
             else if (flag == "--ensemble-config")
                 args.ensemble_config = value;
+            else if (flag == "--chiplet-pareto")
+                args.chiplet_pareto = true;
+            else if (flag == "--chiplet-config")
+                args.chiplet_config = value;
             else if (flag == "--seed")
                 args.seed = std::stoull(value);
             else if (flag == "--threads")
@@ -731,6 +751,160 @@ runEnsembleBatch(const TechnologyDb& db, const ChipDesign& design,
     return 0;
 }
 
+/**
+ * Chiplet-economics mode (--chiplet-pareto): sweep partition count x
+ * node assignment x redundancy level x production split, score every
+ * candidate on TTM, CAS, and redundancy-aware chiplet cost, and print
+ * the 3-D Pareto frontier (docs/ECONOMICS.md walks through a run).
+ * Wired into the same resilience stack as --sobol/--ensemble:
+ * cooperative deadline/SIGINT stop, deterministic per-candidate retry,
+ * and atomic checkpoint/resume. All numbers print with %.17g, so a
+ * straight run and a killed-and-resumed run produce bitwise-identical
+ * stdout. Returns the process exit code.
+ */
+int
+runChipletPareto(const TechnologyDb& db, const ChipDesign& design,
+                 const MarketConditions& market, const CliArgs& args,
+                 obs::RunManifest& manifest)
+{
+    ChipletSweepSpec spec;
+    if (args.chiplet_config.empty()) {
+        spec = ChipletSweepSpec::defaultsFor(design.processNodes());
+    } else {
+        std::ifstream file(args.chiplet_config);
+        if (!file) {
+            std::cerr << "error: cannot read chiplet config '"
+                      << args.chiplet_config << "'\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << file.rdbuf();
+        // The config file is user input: parse it under the same
+        // untrusted-wire limits as a ttm_serve request line, and
+        // report every problem at once instead of crashing on the
+        // first.
+        const ChipletSpecParse parsed = parseChipletSweepSpecText(
+            text.str(), JsonLimits::untrustedWire(1 << 20));
+        if (!parsed.ok()) {
+            std::cerr << "error: invalid chiplet config '"
+                      << args.chiplet_config << "':\n";
+            for (const std::string& problem : parsed.errors)
+                std::cerr << "  " << problem << "\n";
+            return 2;
+        }
+        spec = parsed.spec;
+    }
+
+    CancellationToken token;
+    const ScopedSigintCancel sigint(token);
+    if (args.deadline_s > 0.0)
+        token.setDeadlineAfter(args.deadline_s);
+
+    ChipletExplorerOptions options;
+    options.seed = args.seed;
+    options.parallel.threads = args.threads;
+    options.failure_policy = args.skip_failures
+                                 ? FailurePolicy::skipAndRecord()
+                                 : FailurePolicy();
+    options.cancel = &token;
+    if (args.retries > 1) {
+        options.retry = RetryPolicy::immediate(args.retries);
+        options.retry.seed = args.seed;
+    }
+    RetryStats retry_stats;
+    options.retry_stats = &retry_stats;
+    FailureReport report;
+    options.failure_report = &report;
+
+    std::unique_ptr<SweepCheckpoint> resume;
+    if (!args.resume_file.empty()) {
+        resume = std::make_unique<SweepCheckpoint>(
+            SweepCheckpoint::load(args.resume_file));
+        options.resume_from = resume.get();
+        manifest.disposition = "resumed";
+        manifest.parent_checkpoint = args.resume_file;
+    }
+    SweepCheckpoint checkpoint;
+    if (!args.checkpoint_file.empty()) {
+        checkpoint.enableAutoFlush(args.checkpoint_file, 16);
+        if (resume != nullptr)
+            checkpoint.setParent(args.resume_file);
+        options.checkpoint = &checkpoint;
+    }
+
+    TtmModel::Options model_options;
+    model_options.tapeout_engineers = args.engineers;
+    const ChipletExplorer explorer(db, model_options);
+    const std::size_t total_points = 3 * spec.candidateCount();
+    ChipletParetoResult result;
+    bool finished = false;
+    try {
+        obs::ManifestKernelScope scope(manifest, "ChipletExplorer::run");
+        scope.setPoints(total_points);
+        result = explorer.run(design, args.chips, market, spec, options);
+        scope.setFailures(report.failureCount());
+        finished = !token.stopRequested();
+    } catch (const Error&) {
+        if (!token.stopRequested())
+            throw;
+    }
+
+    manifest.total_retries = retry_stats.extra_attempts;
+    manifest.addFailureReport(report);
+    if (options.checkpoint != nullptr) {
+        checkpoint.writeAtomic(args.checkpoint_file);
+        manifest.checkpoint_points = checkpoint.completedCount();
+    }
+
+    if (!finished) {
+        const bool cancelled = token.cancelRequested();
+        manifest.disposition =
+            cancelled ? "cancelled" : "deadline_exceeded";
+        std::cerr << "ttm_cli: chiplet sweep stopped ("
+                  << manifest.disposition << "); "
+                  << checkpoint.completedCount() << "/" << total_points
+                  << " points checkpointed\n";
+        return cancelled ? 130 : 3;
+    }
+
+    // Content-addressed key of this sweep, built from the same helper
+    // the ttm_serve result cache uses, with the full sweep spec folded
+    // into the digest — so a CLI run correlates with the server cache
+    // entry of the equivalent chiplet_pareto request (samples 256 and
+    // band 0.10 mirror the server-side request defaults; a unit test
+    // pins the two paths to identical keys).
+    serve::EvalKeyParams key_params;
+    key_params.kernel = kChipletKernelName;
+    key_params.seed = args.seed;
+    key_params.n_chips = args.chips;
+    key_params.samples = 256;
+    key_params.band = 0.10;
+    key_params.chiplet = &spec;
+    const std::string cache_key =
+        serve::evalCacheKey(design, market, key_params);
+
+    std::cout << "chiplet-pareto " << result.candidates_completed << "/"
+              << result.candidates_requested << " candidates, "
+              << result.frontier.size() << " frontier points, seed "
+              << args.seed << ", key " << cache_key << "\n";
+    for (const std::size_t index : result.frontier) {
+        const ChipletPoint& point = result.points[index];
+        std::cout << "  frontier idx=" << point.index
+                  << " partitions=" << point.candidate.partitions
+                  << " node=" << point.candidate.node
+                  << " spares=" << point.candidate.spares
+                  << " split=" << g17(point.candidate.split_fraction)
+                  << " ttm=" << g17(point.ttm_weeks)
+                  << " cas=" << g17(point.cas)
+                  << " cost=" << g17(point.cost) << "\n";
+    }
+    if (!report.empty()) {
+        std::cerr << report.summary() << "\n";
+        return 2;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -741,7 +915,7 @@ main(int argc, char** argv)
 
     obs::RunManifest manifest;
     if (args.wantsObservability() || args.sobol_samples > 0 ||
-        args.ensemble_paths > 0) {
+        args.ensemble_paths > 0 || args.chiplet_pareto) {
         obs::setTracingEnabled(!args.trace_file.empty());
         obs::setMetricsEnabled(true);
         manifest.tool = "ttm_cli";
@@ -780,6 +954,20 @@ main(int argc, char** argv)
             design = makeMonolithicDesign(
                 "cli-design", args.node, args.ntt, args.nut,
                 Weeks(args.design_weeks));
+        }
+
+        if (args.chiplet_pareto) {
+            const int code =
+                runChipletPareto(db, design, market, args, manifest);
+            if (!args.trace_file.empty())
+                obs::writeChromeTrace(args.trace_file);
+            if (!args.metrics_file.empty())
+                obs::writeMetrics(args.metrics_file);
+            if (!args.manifest_file.empty()) {
+                manifest.captureKernelMetrics(obs::snapshotMetrics());
+                manifest.write(args.manifest_file);
+            }
+            return code;
         }
 
         if (args.ensemble_paths > 0) {

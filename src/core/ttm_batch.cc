@@ -87,6 +87,14 @@ struct CompiledDesign::Workspace
     std::vector<unsigned char> ok;
     // casOne scratch: per-process capacity factors (length P).
     std::vector<double> caps;
+    // casBatch scratch (length n each).
+    std::vector<double> cap_plus;  ///< per-lane perturbed-up factor
+    std::vector<double> cap_minus; ///< per-lane perturbed-down factor
+    std::vector<double> hstep;     ///< per-lane central-difference step
+    std::vector<double> slope;     ///< per-lane running |dTTM/dmuW| sum
+    std::vector<double> ttm_a;     ///< perturbed-up totals
+    std::vector<double> ttm_b;     ///< perturbed-down totals
+    std::vector<unsigned char> ok2;
 
     void
     resize(std::size_t n, std::size_t processes)
@@ -105,6 +113,13 @@ struct CompiledDesign::Workspace
         worst.resize(n);
         ok.resize(n);
         caps.resize(processes);
+        cap_plus.resize(n);
+        cap_minus.resize(n);
+        hstep.resize(n);
+        slope.resize(n);
+        ttm_a.resize(n);
+        ttm_b.resize(n);
+        ok2.resize(n);
     }
 };
 
@@ -445,6 +460,56 @@ CompiledDesign::fabPhase(const std::array<const double*, 6>& factors,
 }
 
 void
+CompiledDesign::fabPhaseVarying(const std::array<const double*, 6>& factors,
+                                std::size_t n, Workspace& ws,
+                                std::size_t varying_process,
+                                const double* varying_caps, double* out,
+                                unsigned char* ok) const
+{
+    const double* f_mu = factors[kMuW];
+    const double* f_lfab = factors[kLfab];
+
+    for (std::size_t i = 0; i < n; ++i)
+        ok[i] = ws.ok[i];
+
+    // Identical to fabPhase except that one node's capacity factor is
+    // a per-lane column; the per-lane op chain is unchanged (the
+    // factor's *origin* cannot affect bit patterns).
+    double* worst = ws.worst.data();
+    for (std::size_t p = 0; p < _nodes.size(); ++p) {
+        const CompiledNode& node = _nodes[p];
+        const bool varying = p == varying_process;
+        const double cap_fixed = ws.caps[p];
+        const double* wafers = ws.wafers.data() + p * n;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double cap = varying ? varying_caps[i] : cap_fixed;
+            const double max_rate =
+                ((node.kwpm * f_mu[i]) * 1000.0) / units::weeks_per_month;
+            const double rate = max_rate * cap;
+            ok[i] &= static_cast<unsigned char>(rate > 0.0);
+            double queue_wafers = node.queue_weeks * max_rate;
+            if (node.has_queue_extra)
+                queue_wafers += node.queue_extra_wafers;
+            const double queue_time = queue_wafers / rate;
+            const double production_time =
+                (wafers[i] / rate) + node.lfab * f_lfab[i];
+            const double fab = queue_time + production_time;
+            if (p == 0)
+                worst[i] = fab;
+            else
+                worst[i] = fab > worst[i] ? fab : worst[i];
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double total =
+            ((_design_time + ws.tapeout[i]) + worst[i]) + ws.pack[i];
+        ok[i] &= static_cast<unsigned char>(std::isfinite(total));
+        out[i] = total;
+    }
+}
+
+void
 CompiledDesign::ttmBatch(const std::array<const double*, 6>& factors,
                          std::size_t n, double* out,
                          unsigned char* ok) const
@@ -576,6 +641,84 @@ CompiledDesign::casOne(const Factors& factors, double derivative_rel_step,
     *out = (1.0 / slope_sum) / normalization;
     evaluationsCounter().add(evaluations);
     return true;
+}
+
+void
+CompiledDesign::casBatch(const std::array<const double*, 6>& factors,
+                         std::size_t n, double derivative_rel_step,
+                         double normalization,
+                         const double* capacity_factors, double* out,
+                         unsigned char* ok) const
+{
+    if (n == 0)
+        return;
+    Workspace& ws = workspace();
+    diePhase(factors, n, ws);
+
+    const std::size_t processes = _nodes.size();
+    for (std::size_t p = 0; p < processes; ++p) {
+        ws.caps[p] = capacity_factors != nullptr
+                         ? capacity_factors[p]
+                         : _nodes[p].capacity_factor;
+    }
+
+    const double* f_mu = factors[kMuW];
+    for (std::size_t i = 0; i < n; ++i)
+        ws.slope[i] = 0.0;
+
+    for (std::size_t p = 0; p < processes; ++p) {
+        const CompiledNode& node = _nodes[p];
+        const double cap = ws.caps[p];
+
+        // Per-lane step and perturbed factors, with casOne's exact
+        // predicates: a perturbable max rate, a positive current rate,
+        // and non-negative perturbed capacity factors. A lane that
+        // fails any of them is cleared; its column values are garbage
+        // the varying fab phase tolerates (it re-checks rate > 0).
+        for (std::size_t i = 0; i < n; ++i) {
+            const double max_rate =
+                ((node.kwpm * f_mu[i]) * 1000.0) / units::weeks_per_month;
+            const double current_rate = max_rate * cap;
+            const double h = std::max(std::fabs(current_rate), 1.0) *
+                             derivative_rel_step;
+            const double factor_plus = (current_rate + h) / max_rate;
+            const double factor_minus = (current_rate - h) / max_rate;
+            ws.hstep[i] = h;
+            ws.cap_plus[i] = factor_plus;
+            ws.cap_minus[i] = factor_minus;
+            ws.ok[i] &= static_cast<unsigned char>(
+                max_rate > 0.0 && current_rate > 0.0 &&
+                factor_plus >= 0.0 && factor_minus >= 0.0);
+        }
+
+        fabPhaseVarying(factors, n, ws, p, ws.cap_plus.data(),
+                        ws.ttm_a.data(), ws.ok2.data());
+        for (std::size_t i = 0; i < n; ++i)
+            ws.ok[i] &= ws.ok2[i];
+        fabPhaseVarying(factors, n, ws, p, ws.cap_minus.data(),
+                        ws.ttm_b.data(), ws.ok2.data());
+        for (std::size_t i = 0; i < n; ++i)
+            ws.ok[i] &= ws.ok2[i];
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const double derivative =
+                (ws.ttm_a[i] - ws.ttm_b[i]) / (2.0 * ws.hstep[i]);
+            ws.slope[i] += std::fabs(derivative);
+        }
+    }
+
+    std::uint64_t evaluations = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double slope_sum = ws.slope[i];
+        unsigned char lane = ws.ok[i];
+        lane &= static_cast<unsigned char>(std::isfinite(slope_sum) &&
+                                           slope_sum > 0.0);
+        out[i] = (1.0 / slope_sum) / normalization;
+        ok[i] = lane;
+        if (lane != 0)
+            evaluations += 2 * static_cast<std::uint64_t>(processes);
+    }
+    evaluationsCounter().add(evaluations);
 }
 
 void

@@ -155,6 +155,25 @@ class CompiledDesign
                 double* out) const;
 
     /**
+     * Batch normalized CAS (Eq. 8) over @p n factor vectors given as
+     * six SoA columns — the kernel behind sweep workloads whose CAS
+     * axis would otherwise pay casOne's per-call die phase N times.
+     * The die phase runs once for all lanes; per process node, the
+     * per-lane central-difference step (which depends on each lane's
+     * wafer-rate factor) is materialized as a capacity-factor column
+     * and the fab phase re-runs twice with that one node's factor
+     * varying per lane, so every lane's floating-point chain is
+     * identical to casOne's — and therefore to the scalar path
+     * (ctest -L kernel pins all three). ok/out behave as in ttmBatch:
+     * a cleared lane must be re-run through the scalar chain.
+     * @p capacity_factors as in ttmOneAt.
+     */
+    void casBatch(const std::array<const double*, 6>& factors,
+                  std::size_t n, double derivative_rel_step,
+                  double normalization, const double* capacity_factors,
+                  double* out, unsigned char* ok) const;
+
+    /**
      * Batch wafer-demand kernel N_W(d, n, p) at the design process
      * with index @p process_index (pass the processIndex() result; -1
      * means the demand is the empty sum). Inputs are SoA columns of
@@ -224,6 +243,20 @@ class CompiledDesign
                   std::size_t n, Workspace& ws,
                   const double* capacity_factors, double* out,
                   unsigned char* ok) const;
+
+    /**
+     * fabPhase with one process's capacity factor varying per lane:
+     * process @p varying_process reads its factor from the per-lane
+     * column @p varying_caps, every other process uses the shared
+     * ws.caps value. Each lane's op chain matches a fabPhase call
+     * whose caps array held that lane's value — the casBatch
+     * workhorse.
+     */
+    void fabPhaseVarying(const std::array<const double*, 6>& factors,
+                         std::size_t n, Workspace& ws,
+                         std::size_t varying_process,
+                         const double* varying_caps, double* out,
+                         unsigned char* ok) const;
 
     std::vector<CompiledNode> _nodes; ///< processNodes() order
     std::vector<CompiledDie> _dies;   ///< design die order

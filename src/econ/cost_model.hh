@@ -30,12 +30,131 @@
  * fixed intercept.
  */
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "core/design.hh"
 #include "core/ttm_model.hh"
 #include "support/units.hh"
 #include "tech/technology_db.hh"
 
 namespace ttmcas {
+
+/**
+ * Package integration technology of a multi-chiplet design
+ * (Chiplet Actuary's three cost regimes).
+ */
+enum class PackagingTier
+{
+    kOrganicSubstrate, ///< standard laminate; cheap, lossy bonds
+    kSiliconInterposer, ///< 2.5D TSV interposer; costly, reliable bonds
+    kFanOut,            ///< RDL fan-out; the middle ground
+};
+
+/** Wire/display name: "organic", "interposer", "fanout". */
+const char* packagingTierName(PackagingTier tier);
+
+/** Inverse of packagingTierName; nullopt on unknown names. */
+std::optional<PackagingTier> parsePackagingTier(const std::string& name);
+
+/** Cost/yield constants of one packaging tier. */
+struct PackagingTierParams
+{
+    /** Substrate/interposer cost per mm^2 of placed silicon, $. */
+    double cost_per_mm2 = 0.0;
+    /** Fixed cost per *started* package assembly, $. */
+    double fixed_cost = 0.0;
+    /** Per-chiplet attach (bonding) cost, $. */
+    double bond_cost_per_chiplet = 0.0;
+    /** Probability one chiplet placement bonds correctly. */
+    double bond_yield = 1.0;
+    /** One-time packaging design/validation NRE, $. */
+    double design_nre = 0.0;
+
+    /** All-at-once validation (empty = valid). */
+    std::vector<std::string> violations() const;
+};
+
+/** Default constants per tier (docs/ECONOMICS.md tabulates them). */
+PackagingTierParams defaultTierParams(PackagingTier tier);
+
+/**
+ * Knobs of the redundancy-aware multi-chiplet cost decomposition
+ * (Chiplet Actuary RE/NRE/KGD structure + Liu-style spare chiplets).
+ * All-at-once violations() validation; invalid params never evaluate.
+ */
+struct ChipletCostParams
+{
+    /** Package integration technology. */
+    PackagingTier tier = PackagingTier::kOrganicSubstrate;
+    /** Overrides the tier's default constants when set. */
+    std::optional<PackagingTierParams> tier_override;
+    /**
+     * Liu-style redundancy: k spare chiplets bonded per die *type*.
+     * Spares share the type's mask set (no new tapeout) but consume
+     * area, known-good dies, and bonding sites; in exchange the
+     * package tolerates up to k bond failures at assembly and up to k
+     * chiplet failures in the field, per type.
+     */
+    int spare_chiplets = 0;
+    /** Fixed known-good-die test cost per fabricated die, $. */
+    double kgd_test_cost_per_die = 0.50;
+    /** Area-proportional KGD test (probe) cost, $/mm^2. */
+    double kgd_test_cost_per_mm2 = 0.02;
+    /** Lifetime failure probability of one bonded chiplet. */
+    double field_failure_prob = 0.01;
+    /** Integration/IP NRE per chiplet type (interface, verification), $. */
+    double ip_nre_per_type = 2.0e6;
+    /** Extra packaging-design NRE per spare site per type, $. */
+    double redundancy_nre_per_spare = 5.0e4;
+
+    /** The tier constants evaluation will use. */
+    PackagingTierParams resolvedTier() const;
+
+    /** All-at-once validation (empty = valid). */
+    std::vector<std::string> violations() const;
+};
+
+/**
+ * Itemized redundancy-aware chiplet cost for @p packages good
+ * packages (docs/ECONOMICS.md derives every term):
+ *
+ *   assembled      = n / Y_asm           packages started per n good
+ *   Y_asm          = prod_j S_j,  S_j = P[<= k of m_j + k bonds fail]
+ *   dies_j         = ceil(assembled * (m_j + k) / (G_j * y_j)) wafers
+ *   KGD test_j     = assembled * (m_j + k) / y_j tested dies
+ *   assembly       = assembled * (fixed + c_mm2 * A_pkg + c_bond * placed)
+ *   field repair   = (1 - R) * (dies + kgd + assembly),
+ *                    R = prod_j P[<= k of m_j + k chiplets fail in life]
+ *   NRE            = masks (one set per type) + IP per type
+ *                    + tier design NRE + redundancy NRE per spare site
+ */
+struct ChipletCostBreakdown
+{
+    // Recurring (scale with volume).
+    Dollars dies{0.0};         ///< purchased wafers, all chiplet types
+    Dollars kgd_test{0.0};     ///< known-good-die screening
+    Dollars assembly{0.0};     ///< substrate/interposer + bonding
+    Dollars field_repair{0.0}; ///< expected warranty replacements
+    // One-time (amortize over volume).
+    Dollars nre_masks{0.0};     ///< one mask set per chiplet type
+    Dollars nre_ip{0.0};        ///< integration/IP per chiplet type
+    Dollars nre_packaging{0.0}; ///< tier design + redundancy NRE
+    // Diagnostics.
+    double assembly_yield = 1.0; ///< Y_asm
+    double field_survival = 1.0; ///< R
+    double packages = 0.0;       ///< good packages the totals cover
+
+    Dollars nre() const { return nre_masks + nre_ip + nre_packaging; }
+    Dollars manufacturing() const
+    {
+        return dies + kgd_test + assembly + field_repair;
+    }
+    Dollars total() const { return nre() + manufacturing(); }
+    /** Average all-in cost per good package: total / packages. */
+    Dollars perPackage() const { return total() / packages; }
+};
 
 /** Itemized chip-creation cost for one (design, n) evaluation. */
 struct CostBreakdown
@@ -95,6 +214,22 @@ class CostModel
 
     /** Tapeout NRE only (Table 3's C_tapeout column): labor + fixed. */
     Dollars tapeoutCost(const ChipDesign& design) const;
+
+    /**
+     * Redundancy-aware multi-chiplet cost of @p n_chips good packages
+     * of @p design under @p params (see ChipletCostBreakdown for the
+     * decomposition). Every die of the design is treated as one
+     * chiplet type with `count_per_package` placements plus
+     * `params.spare_chiplets` spares. Throws ModelError when the
+     * design is invalid against the technology, @p params has
+     * violations, @p n_chips <= 0, or any die's count_per_package is
+     * not a positive integer (the binomial redundancy model needs
+     * whole placements).
+     */
+    ChipletCostBreakdown evaluateChiplet(const ChipDesign& design,
+                                         double n_chips,
+                                         const ChipletCostParams& params)
+        const;
 
     /** Average cost per final chip: total / n. */
     Dollars perChipCost(const ChipDesign& design, double n_chips) const;

@@ -1,0 +1,87 @@
+#ifndef TTMCAS_OPT_CHIPLET_IO_HH
+#define TTMCAS_OPT_CHIPLET_IO_HH
+
+/**
+ * @file
+ * JSON wire format of chiplet-sweep configuration and results.
+ *
+ * The sweep spec crosses the same two trust boundaries as the
+ * ensemble spec: `ttm_cli --chiplet-config <file>` reads it from
+ * disk, and the `chiplet_pareto` request kind of ttm_serve receives
+ * it inside a request line. Both parse through here under
+ * JsonLimits::untrustedWire() semantics, and the parser NEVER throws
+ * on malformed input: every structural problem (wrong type, unknown
+ * key, non-integer partition count, truncated document) and every
+ * semantic problem (ChipletSweepSpec::violations) is collected into
+ * ChipletSpecParse::errors — the all-at-once violations idiom — so
+ * one reply names every defect.
+ *
+ * Schema (docs/ECONOMICS.md has the annotated version):
+ *
+ *   {"partitions": [1, 2, 4],
+ *    "nodes": ["7nm", "14nm"],
+ *    "redundancy": [0, 1],
+ *    "split_fractions": [1.0, 0.6],
+ *    "secondary_node": "14nm",
+ *    "cost": {"tier": "organic",
+ *             "tier_override": {"cost_per_mm2": 0.005,
+ *                               "fixed_cost": 2.0,
+ *                               "bond_cost_per_chiplet": 0.25,
+ *                               "bond_yield": 0.99,
+ *                               "design_nre": 5.0e5},
+ *             "kgd_test_cost_per_die": 0.5,
+ *             "kgd_test_cost_per_mm2": 0.02,
+ *             "field_failure_prob": 0.01,
+ *             "ip_nre_per_type": 2.0e6,
+ *             "redundancy_nre_per_spare": 5.0e4}}
+ *
+ * Every field is optional and keeps the ChipletSweepSpec member
+ * default when absent, except "nodes": the spec requires at least one
+ * node, so "{}" fails semantic validation with a named violation.
+ * "cost" deliberately has no "spare_chiplets" key — the redundancy
+ * axis supplies spares per candidate, so a spec that tries to pin
+ * them in the cost block gets an unknown-field error instead of a
+ * silently ignored knob.
+ */
+
+#include <string>
+#include <vector>
+
+#include "opt/chiplet_explorer.hh"
+#include "support/json.hh"
+
+namespace ttmcas {
+
+/** Result of parsing a sweep spec: spec or all-at-once errors. */
+struct ChipletSpecParse
+{
+    ChipletSweepSpec spec;
+    /** Structural + semantic problems; empty means the parse is valid. */
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Parse a spec from an already-parsed JSON value. Never throws. */
+ChipletSpecParse parseChipletSweepSpec(const JsonValue& value);
+
+/**
+ * Parse a spec from raw text under @p limits (use
+ * JsonLimits::untrustedWire() for anything a user or client sent).
+ * Never throws: JSON-level failures become errors too.
+ */
+ChipletSpecParse parseChipletSweepSpecText(const std::string& text,
+                                           const JsonLimits& limits);
+
+/**
+ * Render @p result as a JSON object (deterministic field order and
+ * number formatting, so identical results are byte-identical):
+ * candidate counts, every completed point in grid-index order with
+ * its decoded candidate, and the frontier as indices into "points".
+ */
+void writeChipletParetoResult(JsonWriter& json,
+                              const ChipletParetoResult& result);
+
+} // namespace ttmcas
+
+#endif // TTMCAS_OPT_CHIPLET_IO_HH

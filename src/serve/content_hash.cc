@@ -141,6 +141,45 @@ mixEnsembleSpec(ContentHasher& hasher, const EnsembleSpec& spec)
     }
 }
 
+void
+mixChipletSpec(ContentHasher& hasher, const ChipletSweepSpec& spec)
+{
+    hasher.tag("chiplet");
+    hasher.tag("partitions").mix(
+        static_cast<std::uint64_t>(spec.partitions.size()));
+    for (const int count : spec.partitions)
+        hasher.mix(static_cast<std::uint64_t>(count));
+    hasher.tag("nodes").mix(
+        static_cast<std::uint64_t>(spec.nodes.size()));
+    for (const std::string& node : spec.nodes)
+        hasher.mix(node);
+    hasher.tag("redundancy").mix(
+        static_cast<std::uint64_t>(spec.redundancy.size()));
+    for (const int spares : spec.redundancy)
+        hasher.mix(static_cast<std::uint64_t>(spares));
+    hasher.tag("split_fractions").mix(
+        static_cast<std::uint64_t>(spec.split_fractions.size()));
+    for (const double fraction : spec.split_fractions)
+        hasher.mix(fraction);
+    hasher.tag("secondary").mix(spec.secondary_node);
+    const ChipletCostParams& cost = spec.cost;
+    hasher.tag("tier").mix(static_cast<std::uint64_t>(cost.tier));
+    // The *resolved* tier constants feed the digest: an explicit
+    // override equal to the defaults keys identically to no override,
+    // because evaluation cannot tell them apart either.
+    const PackagingTierParams tier = cost.resolvedTier();
+    hasher.tag("cost_per_mm2").mix(tier.cost_per_mm2);
+    hasher.tag("fixed_cost").mix(tier.fixed_cost);
+    hasher.tag("bond_cost").mix(tier.bond_cost_per_chiplet);
+    hasher.tag("bond_yield").mix(tier.bond_yield);
+    hasher.tag("design_nre").mix(tier.design_nre);
+    hasher.tag("kgd_per_die").mix(cost.kgd_test_cost_per_die);
+    hasher.tag("kgd_per_mm2").mix(cost.kgd_test_cost_per_mm2);
+    hasher.tag("field_fail").mix(cost.field_failure_prob);
+    hasher.tag("ip_nre").mix(cost.ip_nre_per_type);
+    hasher.tag("redundancy_nre").mix(cost.redundancy_nre_per_spare);
+}
+
 std::string
 evalCacheKey(const ChipDesign& design, const MarketConditions& market,
              const EvalKeyParams& params)
@@ -160,6 +199,9 @@ evalCacheKey(const ChipDesign& design, const MarketConditions& market,
     hasher.tag("has_ensemble").mix(params.ensemble != nullptr);
     if (params.ensemble != nullptr)
         mixEnsembleSpec(hasher, *params.ensemble);
+    hasher.tag("has_chiplet").mix(params.chiplet != nullptr);
+    if (params.chiplet != nullptr)
+        mixChipletSpec(hasher, *params.chiplet);
     return designHash(design) + "-" + marketHash(market) + "-" +
            hasher.hex();
 }

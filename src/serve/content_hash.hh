@@ -41,6 +41,7 @@
 #include "core/design.hh"
 #include "core/ensemble.hh"
 #include "core/market.hh"
+#include "opt/chiplet_explorer.hh"
 
 namespace ttmcas::serve {
 
@@ -101,10 +102,22 @@ struct EvalKeyParams
      * alias to the same cache entry.
      */
     const EnsembleSpec* ensemble = nullptr;
+    /**
+     * Sweep configuration of a chiplet_pareto evaluation (null
+     * otherwise). Every field of the spec — each sweep axis, the
+     * secondary node, and the full cost-parameter block including the
+     * resolved packaging-tier constants — feeds the digest, so two
+     * sweeps that differ in any economic assumption can never alias
+     * to the same cache entry.
+     */
+    const ChipletSweepSpec* chiplet = nullptr;
 };
 
 /** Mix every semantic field of @p spec into @p hasher (tagged). */
 void mixEnsembleSpec(ContentHasher& hasher, const EnsembleSpec& spec);
+
+/** Mix every semantic field of @p spec into @p hasher (tagged). */
+void mixChipletSpec(ContentHasher& hasher, const ChipletSweepSpec& spec);
 
 /**
  * The content-addressed cache key of one evaluation:

@@ -6,6 +6,8 @@
 #include "core/ensemble.hh"
 #include "core/ensemble_io.hh"
 #include "core/ttm_model.hh"
+#include "opt/chiplet_explorer.hh"
+#include "opt/chiplet_io.hh"
 #include "support/error.hh"
 #include "support/json.hh"
 #include "support/outcome.hh"
@@ -104,6 +106,10 @@ Evaluator::keyParams(const EvalRequest& request)
     // node process must never share a cache entry.
     if (request.kind == RequestKind::EnsembleTtm)
         params.ensemble = &request.ensemble;
+    // Likewise the full sweep spec: any differing axis entry or cost
+    // assumption must produce a different chiplet_pareto cache key.
+    if (request.kind == RequestKind::ChipletPareto)
+        params.chiplet = &request.chiplet;
     return params;
 }
 
@@ -123,6 +129,8 @@ Evaluator::evaluate(const EvalRequest& request,
     case RequestKind::SobolTtm: return evaluateSobol(request, token);
     case RequestKind::CapacitySweep: return evaluateSweep(request, token);
     case RequestKind::EnsembleTtm: return evaluateEnsemble(request, token);
+    case RequestKind::ChipletPareto:
+        return evaluateChipletPareto(request, token);
     case RequestKind::Health:
     case RequestKind::Stats: break;
     }
@@ -355,6 +363,42 @@ Evaluator::evaluateEnsemble(const EvalRequest& request,
     json.field("step_weeks", request.ensemble.step_weeks);
     json.key("ensemble");
     writeEnsembleResult(json, result);
+    writeFailures(json, report);
+    json.endObject();
+    outcome.payload = json.str();
+    return outcome;
+}
+
+EvalOutcome
+Evaluator::evaluateChipletPareto(const EvalRequest& request,
+                                 const CancellationToken& token) const
+{
+    FailureReport report;
+    ChipletExplorerOptions options;
+    options.seed = request.seed;
+    // One request = one pool thread, same as every other kind; the
+    // sweep is deterministic, so the result is identical regardless.
+    options.parallel = ParallelConfig::serial();
+    options.failure_policy = FailurePolicy::skipAndRecord(1.0);
+    options.failure_report = &report;
+    options.cancel = &token;
+
+    const ChipletExplorer explorer(_db);
+    const ChipletParetoResult result = explorer.run(
+        request.design, request.n_chips, request.market, request.chiplet,
+        options);
+
+    EvalOutcome outcome;
+    outcome.status = statusOf(token);
+    outcome.complete = report.empty() && !token.stopRequested();
+
+    JsonWriter json;
+    json.beginObject();
+    json.field("kernel", requestKindName(request.kind));
+    json.field("n_chips", request.n_chips);
+    json.field("seed", request.seed);
+    json.key("pareto");
+    writeChipletParetoResult(json, result);
     writeFailures(json, report);
     json.endObject();
     outcome.payload = json.str();

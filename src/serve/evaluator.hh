@@ -82,6 +82,9 @@ class Evaluator
                               const CancellationToken& token) const;
     EvalOutcome evaluateEnsemble(const EvalRequest& request,
                                  const CancellationToken& token) const;
+    EvalOutcome evaluateChipletPareto(const EvalRequest& request,
+                                      const CancellationToken& token)
+        const;
 
     TechnologyDb _db;
 };

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "core/ensemble_io.hh"
+#include "opt/chiplet_io.hh"
 #include "support/error.hh"
 
 namespace ttmcas::serve {
@@ -273,6 +274,8 @@ parseKind(const std::string& name)
         return RequestKind::Stats;
     if (name == "ensemble_ttm")
         return RequestKind::EnsembleTtm;
+    if (name == "chiplet_pareto")
+        return RequestKind::ChipletPareto;
     reject("unknown-kind", "unknown request kind '" + name + "'");
 }
 
@@ -282,7 +285,8 @@ isEvaluationKind(RequestKind kind)
     return kind == RequestKind::McTtm || kind == RequestKind::McCas ||
            kind == RequestKind::SobolTtm ||
            kind == RequestKind::CapacitySweep ||
-           kind == RequestKind::EnsembleTtm;
+           kind == RequestKind::EnsembleTtm ||
+           kind == RequestKind::ChipletPareto;
 }
 
 /** The design's process nodes, sorted and deduplicated. */
@@ -311,6 +315,7 @@ requestKindName(RequestKind kind)
     case RequestKind::Health: return "health";
     case RequestKind::Stats: return "stats";
     case RequestKind::EnsembleTtm: return "ensemble_ttm";
+    case RequestKind::ChipletPareto: return "chiplet_pareto";
     }
     return "unknown";
 }
@@ -366,7 +371,7 @@ parseRequestLine(const std::string& line, const ServeLimits& limits)
         requireOnlyKeys(doc,
                         {"id", "kind", "design", "market", "n_chips",
                          "seed", "samples", "band", "grid", "deadline_s",
-                         "no_cache", "ensemble"},
+                         "no_cache", "ensemble", "chiplet"},
                         "request");
         EvalRequest request;
         if (doc.has("id")) {
@@ -429,6 +434,26 @@ parseRequestLine(const std::string& line, const ServeLimits& limits)
                 // process node the design uses.
                 request.ensemble =
                     EnsembleSpec::defaultsFor(designProcesses(request.design));
+            }
+            if (doc.has("chiplet")) {
+                if (request.kind != RequestKind::ChipletPareto)
+                    reject("invalid-request",
+                           "field 'chiplet' is only valid for "
+                           "chiplet_pareto");
+                ChipletSpecParse parsed =
+                    parseChipletSweepSpec(doc.at("chiplet"));
+                if (!parsed.ok()) {
+                    const std::size_t problems = parsed.errors.size();
+                    reject("invalid-request",
+                           "chiplet spec fails validation with " +
+                               std::to_string(problems) + " problem(s)",
+                           std::move(parsed.errors));
+                }
+                request.chiplet = std::move(parsed.spec);
+            } else if (request.kind == RequestKind::ChipletPareto) {
+                // Default sweep: the design's own process nodes.
+                request.chiplet = ChipletSweepSpec::defaultsFor(
+                    designProcesses(request.design));
             }
             if (doc.has("grid")) {
                 if (request.kind != RequestKind::CapacitySweep)

@@ -34,6 +34,7 @@
 #include "core/design.hh"
 #include "core/ensemble.hh"
 #include "core/market.hh"
+#include "opt/chiplet_explorer.hh"
 #include "support/json.hh"
 
 namespace ttmcas::serve {
@@ -48,6 +49,7 @@ enum class RequestKind : std::uint8_t
     Health = 4,    ///< liveness + queue/drain state ("health")
     Stats = 5,     ///< counters and cache occupancy ("stats")
     EnsembleTtm = 6, ///< scenario-path TTM/CAS ensemble ("ensemble_ttm")
+    ChipletPareto = 7, ///< TTM/CAS/cost Pareto sweep ("chiplet_pareto")
 };
 
 /** Wire name of a request kind ("mc_ttm", "health", ...). */
@@ -103,6 +105,13 @@ struct EvalRequest
      * is always fully populated for an ensemble_ttm request.
      */
     EnsembleSpec ensemble;
+    /**
+     * Chiplet sweep spec (chiplet_pareto only). When the request omits
+     * "chiplet", the parser fills in ChipletSweepSpec::defaultsFor()
+     * over the design's processes, so this is always fully populated
+     * for a chiplet_pareto request.
+     */
+    ChipletSweepSpec chiplet;
     /** Wall-clock budget in seconds; 0 = server default. */
     double deadline_s = 0.0;
     /** Skip the result cache for this request (still computes). */

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Hand-computed pins for the redundancy-aware chiplet cost model
+ * (econ/cost_model evaluateChiplet). Every recurring and NRE term of
+ * the docs/ECONOMICS.md decomposition is recomputed from first
+ * principles here on a design chosen so the arithmetic closes on
+ * paper: area pinned at 100 mm^2, yield pinned at 0.5, two chiplets
+ * per package on the organic tier.
+ */
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/design.hh"
+#include "econ/cost_model.hh"
+#include "support/error.hh"
+#include "tech/default_dataset.hh"
+#include "tech/technology_db.hh"
+
+namespace ttmcas {
+namespace {
+
+/** Two pinned 100 mm^2 chiplets per package, yield pinned at 0.5. */
+ChipDesign
+pinnedDesign()
+{
+    Die die;
+    die.name = "chiplet";
+    die.process = "7nm";
+    die.total_transistors = 1.0e9;
+    die.unique_transistors = 1.0e8;
+    die.count_per_package = 2.0;
+    die.area_override = SquareMm(100.0);
+    die.yield_override = 0.5;
+    ChipDesign design;
+    design.name = "pinned";
+    design.dies = {die};
+    return design;
+}
+
+/** DPW(A) = floor(pi (D/2)^2 / A - pi D / sqrt(2 A)), D = 300mm. */
+double
+grossDiesPerWafer(double area_mm2)
+{
+    const double d = 300.0;
+    return std::floor(std::numbers::pi * (d / 2.0) * (d / 2.0) /
+                          area_mm2 -
+                      std::numbers::pi * d / std::sqrt(2.0 * area_mm2));
+}
+
+class ChipletCostTest : public ::testing::Test
+{
+  protected:
+    ChipletCostTest() : db(defaultTechnologyDb()), costs(db) {}
+
+    TechnologyDb db;
+    CostModel costs;
+};
+
+TEST_F(ChipletCostTest, OrganicTierMatchesHandComputedDecomposition)
+{
+    const ChipDesign design = pinnedDesign();
+    const double n = 1000.0;
+    ChipletCostParams params; // organic defaults, no spares
+
+    const ChipletCostBreakdown result =
+        costs.evaluateChiplet(design, n, params);
+
+    // Assembly yield: both bonds must land, S = 0.99^2.
+    const double s = 0.99 * 0.99;
+    EXPECT_DOUBLE_EQ(result.assembly_yield, s);
+    const double assembled = n / s;
+
+    // Recurring silicon: wafers are bought whole. 100 mm^2 on a
+    // 300 mm wafer packs floor(706.858... - 66.643...) = 640 gross
+    // dies, 320 good at yield 0.5.
+    const double gross = grossDiesPerWafer(100.0);
+    EXPECT_DOUBLE_EQ(gross, 640.0);
+    const double dies_consumed = assembled * 2.0;
+    const double wafers = std::ceil(dies_consumed / (gross * 0.5));
+    EXPECT_DOUBLE_EQ(wafers, 7.0);
+    EXPECT_DOUBLE_EQ(result.dies.value(),
+                     db.node("7nm").wafer_cost.value() * wafers);
+
+    // KGD screen: every fabricated die is tested, good or not.
+    const double dies_tested = dies_consumed / 0.5;
+    const double kgd = dies_tested * (0.50 + 100.0 * 0.02);
+    EXPECT_DOUBLE_EQ(result.kgd_test.value(), kgd);
+
+    // Assembly on organic: fixed 2.0 + 0.005 $/mm^2 over 200 mm^2 of
+    // placed silicon + 0.25 per bond, per started package.
+    const double assembly =
+        assembled * (2.0 + 0.005 * 200.0 + 0.25 * 2.0);
+    EXPECT_DOUBLE_EQ(result.assembly.value(), assembly);
+
+    // Field repair: R = (1 - 0.01)^2 lifetime survival, replacements
+    // at the recurring per-package cost.
+    const double r = 0.99 * 0.99;
+    EXPECT_DOUBLE_EQ(result.field_survival, r);
+    const double recurring =
+        result.dies.value() + kgd + assembly;
+    EXPECT_DOUBLE_EQ(result.field_repair.value(),
+                     recurring * (1.0 - r));
+
+    // NRE: one mask set for the single type, IP per type, tier design.
+    EXPECT_DOUBLE_EQ(result.nre_masks.value(),
+                     db.node("7nm").mask_set_cost.value());
+    EXPECT_DOUBLE_EQ(result.nre_ip.value(), 2.0e6);
+    EXPECT_DOUBLE_EQ(result.nre_packaging.value(), 0.5e6);
+
+    EXPECT_DOUBLE_EQ(result.total().value(),
+                     result.nre().value() +
+                         result.manufacturing().value());
+    EXPECT_DOUBLE_EQ(result.packages, n);
+}
+
+TEST_F(ChipletCostTest, OneSpareRaisesYieldAndSurvivalPerLiu)
+{
+    const ChipDesign design = pinnedDesign();
+    ChipletCostParams base;
+    ChipletCostParams spared = base;
+    spared.spare_chiplets = 1;
+
+    const ChipletCostBreakdown without =
+        costs.evaluateChiplet(design, 1000.0, base);
+    const ChipletCostBreakdown with =
+        costs.evaluateChiplet(design, 1000.0, spared);
+
+    // m = 2 placements + k = 1 spare: the package survives up to one
+    // failure among 3, S = 0.99^3 + 3 * 0.01 * 0.99^2 = 0.999702.
+    const double tail = 0.99 * 0.99 * 0.99 +
+                        3.0 * 0.01 * 0.99 * 0.99;
+    EXPECT_NEAR(with.assembly_yield, tail, 1e-12);
+    EXPECT_NEAR(with.field_survival, tail, 1e-12);
+    EXPECT_GT(with.assembly_yield, without.assembly_yield);
+    EXPECT_GT(with.field_survival, without.field_survival);
+
+    // Liu's trade: the spare slashes expected field repair but costs
+    // extra silicon, bonding, and packaging-design NRE.
+    EXPECT_LT(with.field_repair.value(), without.field_repair.value());
+    EXPECT_GT(with.dies.value() + with.kgd_test.value() +
+                  with.assembly.value(),
+              without.dies.value() + without.kgd_test.value() +
+                  without.assembly.value());
+    EXPECT_DOUBLE_EQ(with.nre_packaging.value(), 0.5e6 + 5.0e4);
+
+    // Spares never buy a new tapeout.
+    EXPECT_DOUBLE_EQ(with.nre_masks.value(),
+                     without.nre_masks.value());
+}
+
+TEST_F(ChipletCostTest, TierDefaultsAreDistinctAndOrderedByCost)
+{
+    const PackagingTierParams organic =
+        defaultTierParams(PackagingTier::kOrganicSubstrate);
+    const PackagingTierParams fanout =
+        defaultTierParams(PackagingTier::kFanOut);
+    const PackagingTierParams interposer =
+        defaultTierParams(PackagingTier::kSiliconInterposer);
+
+    // Organic is the cheap/lossy end, interposer the costly/reliable
+    // end, fan-out in between — on every axis.
+    EXPECT_LT(organic.cost_per_mm2, fanout.cost_per_mm2);
+    EXPECT_LT(fanout.cost_per_mm2, interposer.cost_per_mm2);
+    EXPECT_LT(organic.bond_yield, fanout.bond_yield);
+    EXPECT_LT(fanout.bond_yield, interposer.bond_yield);
+    EXPECT_LT(organic.design_nre, fanout.design_nre);
+    EXPECT_LT(fanout.design_nre, interposer.design_nre);
+
+    EXPECT_TRUE(organic.violations().empty());
+    EXPECT_TRUE(fanout.violations().empty());
+    EXPECT_TRUE(interposer.violations().empty());
+}
+
+TEST_F(ChipletCostTest, TierOverrideReplacesDefaults)
+{
+    const ChipDesign design = pinnedDesign();
+    ChipletCostParams params;
+    PackagingTierParams tier =
+        defaultTierParams(PackagingTier::kOrganicSubstrate);
+    tier.bond_yield = 0.9;
+    params.tier_override = tier;
+
+    const ChipletCostBreakdown result =
+        costs.evaluateChiplet(design, 1000.0, params);
+    EXPECT_DOUBLE_EQ(result.assembly_yield, 0.81);
+}
+
+TEST_F(ChipletCostTest, TierNamesRoundTrip)
+{
+    for (const PackagingTier tier :
+         {PackagingTier::kOrganicSubstrate,
+          PackagingTier::kSiliconInterposer, PackagingTier::kFanOut}) {
+        const auto parsed = parsePackagingTier(packagingTierName(tier));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, tier);
+    }
+    EXPECT_FALSE(parsePackagingTier("ceramic").has_value());
+}
+
+TEST_F(ChipletCostTest, ParamsViolationsReportEveryProblemAtOnce)
+{
+    ChipletCostParams params;
+    params.spare_chiplets = -1;
+    params.kgd_test_cost_per_die = -0.5;
+    params.field_failure_prob = 1.0;
+    PackagingTierParams tier;
+    tier.bond_yield = 0.0;
+    params.tier_override = tier;
+
+    const std::vector<std::string> problems = params.violations();
+    EXPECT_GE(problems.size(), 4u);
+    EXPECT_TRUE(ChipletCostParams{}.violations().empty());
+}
+
+TEST_F(ChipletCostTest, RejectsFractionalPlacementAndBadVolume)
+{
+    ChipDesign design = pinnedDesign();
+    const ChipletCostParams params;
+    EXPECT_THROW(costs.evaluateChiplet(design, 0.0, params),
+                 ModelError);
+    EXPECT_THROW(costs.evaluateChiplet(design, -5.0, params),
+                 ModelError);
+
+    design.dies[0].count_per_package = 2.5;
+    EXPECT_THROW(costs.evaluateChiplet(design, 1000.0, params),
+                 ModelError);
+
+    ChipletCostParams invalid;
+    invalid.spare_chiplets = 99;
+    EXPECT_THROW(
+        costs.evaluateChiplet(pinnedDesign(), 1000.0, invalid),
+        ModelError);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -307,6 +307,78 @@ TEST_F(KernelIdentityTest, TtmBatchMatchesOneLaneForLane)
     }
 }
 
+TEST_F(KernelIdentityTest, CasBatchMatchesOneLaneForLane)
+{
+    const auto compiled = CompiledDesign::tryCompile(
+        a11_7nm, defaultTechnologyDb(), modelOptions(), {}, n_chips);
+    ASSERT_TRUE(compiled.has_value());
+
+    constexpr std::size_t kN = 131; // odd, non-power-of-two lane count
+    constexpr double kRelStep = 1e-3;
+    std::array<std::vector<double>, 6> columns;
+    Rng rng(0xca5b);
+    for (auto& column : columns) {
+        column.resize(kN);
+        for (double& f : column)
+            f = rng.uniform(0.75, 1.25);
+    }
+    const std::array<const double*, 6> pointers{
+        columns[0].data(), columns[1].data(), columns[2].data(),
+        columns[3].data(), columns[4].data(), columns[5].data()};
+    std::vector<double> values(kN);
+    std::vector<unsigned char> ok(kN);
+    compiled->casBatch(pointers, kN, kRelStep, kCasNormalization,
+                       nullptr, values.data(), ok.data());
+
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_TRUE(ok[i]) << "lane " << i;
+        CompiledDesign::Factors factors;
+        for (std::size_t k = 0; k < kUncertainInputCount; ++k)
+            factors[k] = columns[k][i];
+        double one = 0.0;
+        ASSERT_TRUE(compiled->casOne(factors, kRelStep,
+                                     kCasNormalization, nullptr, &one));
+        EXPECT_EQ(values[i], one) << "lane " << i;
+    }
+}
+
+TEST_F(KernelIdentityTest, CasBatchHonoursCapacityOverrides)
+{
+    const auto compiled = CompiledDesign::tryCompile(
+        a11_7nm, defaultTechnologyDb(), modelOptions(), {}, n_chips);
+    ASSERT_TRUE(compiled.has_value());
+
+    constexpr std::size_t kN = 17;
+    constexpr double kRelStep = 1e-3;
+    std::array<std::vector<double>, 6> columns;
+    Rng rng(0xcafe);
+    for (auto& column : columns) {
+        column.resize(kN);
+        for (double& f : column)
+            f = rng.uniform(0.9, 1.1);
+    }
+    const std::array<const double*, 6> pointers{
+        columns[0].data(), columns[1].data(), columns[2].data(),
+        columns[3].data(), columns[4].data(), columns[5].data()};
+    std::vector<double> caps(compiled->processCount(), 0.8);
+    std::vector<double> values(kN);
+    std::vector<unsigned char> ok(kN);
+    compiled->casBatch(pointers, kN, kRelStep, kCasNormalization,
+                       caps.data(), values.data(), ok.data());
+
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_TRUE(ok[i]) << "lane " << i;
+        CompiledDesign::Factors factors;
+        for (std::size_t k = 0; k < kUncertainInputCount; ++k)
+            factors[k] = columns[k][i];
+        double one = 0.0;
+        ASSERT_TRUE(compiled->casOne(factors, kRelStep,
+                                     kCasNormalization, caps.data(),
+                                     &one));
+        EXPECT_EQ(values[i], one) << "lane " << i;
+    }
+}
+
 // ---------------------------------------------------------------- //
 // Fault injection and cancellation across paths
 // ---------------------------------------------------------------- //

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Hostile-input corpus for the chiplet sweep-spec parser
+ * (opt/chiplet_io.hh). The spec crosses two trust boundaries (CLI
+ * config file, serve request line), so the parser must never throw:
+ * every malformed document in this corpus has to come back as
+ * structured errors, and valid documents must round-trip every field.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "opt/chiplet_explorer.hh"
+#include "opt/chiplet_io.hh"
+#include "support/json.hh"
+
+namespace ttmcas {
+namespace {
+
+ChipletSpecParse
+parse(const std::string& text)
+{
+    return parseChipletSweepSpecText(text,
+                                     JsonLimits::untrustedWire(1 << 20));
+}
+
+bool
+anyErrorContains(const ChipletSpecParse& parsed,
+                 const std::string& needle)
+{
+    for (const std::string& error : parsed.errors)
+        if (error.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+TEST(ChipletSpecParser, AcceptsTheDocumentedSchema)
+{
+    const ChipletSpecParse parsed = parse(R"({
+        "partitions": [1, 2, 8],
+        "nodes": ["7nm", "14nm"],
+        "redundancy": [0, 2],
+        "split_fractions": [0.6, 1.0],
+        "secondary_node": "14nm",
+        "cost": {"tier": "interposer",
+                 "kgd_test_cost_per_die": 0.75,
+                 "field_failure_prob": 0.02}})");
+    ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+
+    EXPECT_EQ(parsed.spec.partitions, (std::vector<int>{1, 2, 8}));
+    EXPECT_EQ(parsed.spec.nodes,
+              (std::vector<std::string>{"7nm", "14nm"}));
+    EXPECT_EQ(parsed.spec.redundancy, (std::vector<int>{0, 2}));
+    EXPECT_EQ(parsed.spec.split_fractions,
+              (std::vector<double>{0.6, 1.0}));
+    EXPECT_EQ(parsed.spec.secondary_node, "14nm");
+    EXPECT_EQ(parsed.spec.cost.tier, PackagingTier::kSiliconInterposer);
+    EXPECT_DOUBLE_EQ(parsed.spec.cost.kgd_test_cost_per_die, 0.75);
+    EXPECT_DOUBLE_EQ(parsed.spec.cost.field_failure_prob, 0.02);
+    // Unset cost fields keep their defaults.
+    EXPECT_DOUBLE_EQ(parsed.spec.cost.ip_nre_per_type, 2.0e6);
+}
+
+TEST(ChipletSpecParser, MinimalSpecAppliesEveryDefault)
+{
+    const ChipletSpecParse parsed = parse(R"({"nodes": ["7nm"]})");
+    ASSERT_TRUE(parsed.ok());
+    const ChipletSweepSpec defaults =
+        ChipletSweepSpec::defaultsFor({"7nm"});
+    EXPECT_EQ(parsed.spec.partitions, defaults.partitions);
+    EXPECT_EQ(parsed.spec.redundancy, defaults.redundancy);
+    EXPECT_EQ(parsed.spec.split_fractions, defaults.split_fractions);
+    EXPECT_EQ(parsed.spec.cost.tier, PackagingTier::kOrganicSubstrate);
+}
+
+TEST(ChipletSpecParser, PartialTierOverrideKeepsTierDefaults)
+{
+    const ChipletSpecParse parsed = parse(R"({
+        "nodes": ["7nm"],
+        "cost": {"tier": "fanout",
+                 "tier_override": {"bond_yield": 0.97}}})");
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE(parsed.spec.cost.tier_override.has_value());
+    // Only bond_yield moved; the rest stay at the fanout defaults.
+    const PackagingTierParams fanout =
+        defaultTierParams(PackagingTier::kFanOut);
+    EXPECT_DOUBLE_EQ(parsed.spec.cost.tier_override->bond_yield, 0.97);
+    EXPECT_DOUBLE_EQ(parsed.spec.cost.tier_override->cost_per_mm2,
+                     fanout.cost_per_mm2);
+    EXPECT_DOUBLE_EQ(parsed.spec.cost.tier_override->design_nre,
+                     fanout.design_nre);
+}
+
+TEST(ChipletSpecParser, MalformedJsonNeverThrows)
+{
+    for (const std::string text :
+         {"", "{", "not json at all", "[1, 2, 3]", "\"a string\"",
+          "{\"nodes\": [\"7nm\"]"}) {
+        const ChipletSpecParse parsed = parse(text);
+        EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+        ASSERT_FALSE(parsed.errors.empty());
+    }
+    EXPECT_TRUE(anyErrorContains(parse("{"), "malformed-json"));
+}
+
+TEST(ChipletSpecParser, UnknownKeysAreNamedErrors)
+{
+    EXPECT_TRUE(anyErrorContains(
+        parse(R"({"nodes": ["7nm"], "partitonns": [1]})"),
+        "partitonns"));
+    // spare_chiplets belongs to the redundancy axis, never the cost
+    // block — pinning it there must fail loudly, not be ignored.
+    EXPECT_TRUE(anyErrorContains(
+        parse(R"({"nodes": ["7nm"],
+                  "cost": {"spare_chiplets": 2}})"),
+        "spare_chiplets"));
+}
+
+TEST(ChipletSpecParser, WrongTypesAreStructuredErrors)
+{
+    EXPECT_FALSE(parse(R"({"nodes": "7nm"})").ok());
+    EXPECT_FALSE(parse(R"({"nodes": [7]})").ok());
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"],
+                           "partitions": "many"})").ok());
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"],
+                           "partitions": [1.5]})").ok());
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"],
+                           "split_fractions": [true]})").ok());
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"], "cost": []})").ok());
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"],
+                           "secondary_node": 14})").ok());
+}
+
+TEST(ChipletSpecParser, SemanticViolationsAreCollected)
+{
+    // Structurally fine, semantically hostile: every violation comes
+    // back at once with the "chiplet: " prefix.
+    const ChipletSpecParse parsed = parse(R"({
+        "nodes": ["7nm"],
+        "partitions": [0],
+        "redundancy": [99],
+        "split_fractions": [0.5]})");
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_GE(parsed.errors.size(), 3u);
+    EXPECT_TRUE(anyErrorContains(parsed, "chiplet: "));
+
+    EXPECT_FALSE(parse(R"({})").ok()); // nodes are required
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"],
+                           "cost": {"tier": "ceramic"}})").ok());
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"],
+                           "cost": {"field_failure_prob": 1.5}})")
+                     .ok());
+}
+
+TEST(ChipletSpecParser, HugeAndEmptyArraysAreRejected)
+{
+    EXPECT_FALSE(parse(R"({"nodes": [], "partitions": [1]})").ok());
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"], "partitions": []})").ok());
+
+    std::string huge = R"({"nodes": ["7nm"], "partitions": [)";
+    for (int i = 0; i < 5000; ++i) {
+        if (i)
+            huge += ",";
+        huge += "1";
+    }
+    huge += "]}";
+    const ChipletSpecParse parsed = parse(huge);
+    EXPECT_FALSE(parsed.ok());
+
+    // Out-of-range numerics never wrap into plausible ints.
+    EXPECT_FALSE(parse(R"({"nodes": ["7nm"],
+                           "partitions": [1e18]})").ok());
+}
+
+TEST(ChipletSpecWriter, ResultRenderingIsDeterministic)
+{
+    ChipletParetoResult result;
+    result.candidates_requested = 2;
+    result.candidates_completed = 2;
+    ChipletPoint point;
+    point.index = 0;
+    point.candidate = ChipletCandidate{2, "7nm", 1, 0.75};
+    point.ttm_weeks = 50.5;
+    point.cas = 1.25;
+    point.cost = 3.0e8;
+    result.points = {point};
+    result.frontier = {0};
+
+    const auto render = [&result] {
+        JsonWriter json;
+        writeChipletParetoResult(json, result);
+        return json.str();
+    };
+    const std::string text = render();
+    EXPECT_EQ(text, render());
+    EXPECT_NE(text.find("\"candidates_requested\":2"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"partitions\":2"), std::string::npos);
+    EXPECT_NE(text.find("\"node\":\"7nm\""), std::string::npos);
+    EXPECT_NE(text.find("\"frontier\":[0]"), std::string::npos);
+}
+
+} // namespace
+} // namespace ttmcas

@@ -16,6 +16,7 @@
 #include "core/design.hh"
 #include "core/market.hh"
 #include "core/uncertainty.hh"
+#include "opt/chiplet_explorer.hh"
 #include "serve/content_hash.hh"
 #include "serve/evaluator.hh"
 #include "serve/request.hh"
@@ -301,6 +302,119 @@ TEST(EvalCacheKey, EnsembleCliAndServerPathsProduceIdenticalKeys)
     manual.samples = 64;
     manual.band = 0.10;
     manual.ensemble = &spec;
+    const std::string cli_style_key = evalCacheKey(
+        parsed.request.design, parsed.request.market, manual);
+
+    EXPECT_EQ(Evaluator::cacheKey(parsed.request), cli_style_key);
+}
+
+TEST(EvalCacheKey, ChipletSpecIsPartOfTheKey)
+{
+    // Same no-false-cache-hit contract for chiplet_pareto: every
+    // semantic field of the sweep spec must move the key.
+    EvalKeyParams base;
+    base.kernel = kChipletKernelName;
+    base.seed = 11;
+    base.n_chips = 1e7;
+    base.samples = 256;
+    base.band = 0.10;
+    ChipletSweepSpec spec = ChipletSweepSpec::defaultsFor({"7nm"});
+    base.chiplet = &spec;
+    const ChipDesign design = referenceDesign();
+    const MarketConditions market;
+    const std::string key = evalCacheKey(design, market, base);
+
+    // No spec at all is a different evaluation.
+    EvalKeyParams without = base;
+    without.chiplet = nullptr;
+    EXPECT_NE(evalCacheKey(design, market, without), key);
+
+    EvalKeyParams other = base;
+    ChipletSweepSpec changed = spec;
+    other.chiplet = &changed;
+
+    changed = spec;
+    changed.partitions.push_back(8);
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.nodes.push_back("5nm");
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.redundancy.push_back(2);
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.split_fractions = {0.6, 1.0};
+    changed.secondary_node = "5nm";
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.secondary_node = "5nm";
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.cost.tier = PackagingTier::kSiliconInterposer;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.cost.kgd_test_cost_per_die += 0.25;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.cost.kgd_test_cost_per_mm2 += 0.01;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.cost.field_failure_prob += 0.005;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.cost.ip_nre_per_type += 1.0e5;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    changed = spec;
+    changed.cost.redundancy_nre_per_spare += 1.0e4;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    // A tier override with non-default constants perturbs the digest…
+    changed = spec;
+    PackagingTierParams tier = defaultTierParams(changed.cost.tier);
+    tier.bond_yield = 0.97;
+    changed.cost.tier_override = tier;
+    EXPECT_NE(evalCacheKey(design, market, other), key);
+
+    // …but an override *equal* to the tier defaults keys identically:
+    // the digest hashes resolvedTier() constants, and evaluation
+    // cannot tell the two apart.
+    changed = spec;
+    changed.cost.tier_override = defaultTierParams(changed.cost.tier);
+    EXPECT_EQ(evalCacheKey(design, market, other), key);
+}
+
+TEST(EvalCacheKey, ChipletCliAndServerPathsProduceIdenticalKeys)
+{
+    // The key `ttm_cli --chiplet-pareto` prints (hand-built
+    // EvalKeyParams with the request defaults samples=256, band=0.10)
+    // must equal the server's Evaluator::cacheKey for the equivalent
+    // chiplet_pareto request, so batch runs and cache entries agree.
+    const std::string line =
+        R"({"id":"c1","kind":"chiplet_pareto","design":{"dies":[)"
+        R"({"name":"soc","process":"7nm","total_transistors":2.4e9,)"
+        R"("unique_transistors":2e8}]},)"
+        R"("n_chips":5e7,"seed":7})";
+    const ParsedRequest parsed = parseRequestLine(line, ServeLimits{});
+    ASSERT_TRUE(parsed.ok) << parsed.error.message;
+
+    ChipletSweepSpec spec = ChipletSweepSpec::defaultsFor({"7nm"});
+    EvalKeyParams manual;
+    manual.kernel = kChipletKernelName;
+    manual.seed = 7;
+    manual.n_chips = 5e7;
+    manual.samples = 256;
+    manual.band = 0.10;
+    manual.chiplet = &spec;
     const std::string cli_style_key = evalCacheKey(
         parsed.request.design, parsed.request.market, manual);
 
