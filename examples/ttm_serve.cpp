@@ -5,50 +5,67 @@
  *
  * Clients send newline-delimited JSON requests (Monte-Carlo TTM/CAS,
  * Sobol sensitivity, capacity sweeps, health, stats) and receive one
- * JSON reply line per request. Two transports share the same engine
- * (serve/server.hh):
+ * JSON reply line per request. Three transports share the same engine
+ * (serve/server.hh) and the same byte-level transport layer
+ * (serve/transport.hh):
  *
  *   --socket PATH   Unix-domain stream socket, one thread per
  *                   connection (bounded by --max-connections).
+ *   --tcp HOST:PORT TCP stream socket (port 0 binds an ephemeral port
+ *                   and the ready line reports the bound one). May be
+ *                   combined with --socket; both serve concurrently.
  *   --pipe          stdin -> stdout, for deterministic testing and
  *                   shell pipelines.
  *
  * Robustness contract:
  *  - malformed input never kills the process: every line produces a
  *    structured reply (serve/request.hh is the trust boundary);
+ *  - SIGPIPE is ignored process-wide, and every socket write loops on
+ *    partial writes and EINTR — a client hanging up mid-reply is a
+ *    per-connection event, never a process kill;
+ *  - a started request line must complete within --read-deadline
+ *    (slow-loris protection) and --idle-timeout bounds half-open
+ *    connections; oversized lines are cut and answered structurally;
  *  - admission is bounded (--queue): overload sheds with a structured
  *    "overloaded" reply instead of queueing unboundedly;
+ *  - identical concurrent requests coalesce onto one evaluation
+ *    (single-flight, observable via serve.coalesce.* in stats);
  *  - every request runs under a wall-clock deadline (--deadline or
  *    the request's own, capped), returning partial-but-well-formed
  *    results with status "deadline_exceeded";
  *  - SIGTERM/SIGINT drain gracefully: stop admitting, give in-flight
  *    work --drain-grace seconds to finish, then cancel it
  *    cooperatively, flush observability state, and exit 0;
- *  - complete results enter a content-addressed cache (--cache-dir)
- *    persisted with atomic temp-then-rename writes, so kill -9 can
- *    never tear an entry and a restart recovers the cache intact.
+ *  - complete results enter a bounded content-addressed cache
+ *    (--cache-dir, --cache-entries, --cache-bytes) persisted with
+ *    atomic temp-then-rename writes and evicted LRU with the same
+ *    discipline, so kill -9 can never tear an entry and a restart
+ *    recovers a consistent bounded cache;
+ *  - --fault-rate arms the deterministic fault injector for chaos
+ *    testing: a fraction of evaluation points fail through the
+ *    skip-and-record path, keeping replies well-formed with honest
+ *    failure counts.
  *
  * Exit codes: 0 = clean drain (EOF, SIGTERM, or SIGINT); 1 = hard
  * startup/transport error; 2 = usage error.
  */
 
-#include <atomic>
-#include <condition_variable>
+#include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "serve/server.hh"
+#include "serve/transport.hh"
 #include "support/cancel.hh"
 #include "support/metrics.hh"
 #include "support/run_manifest.hh"
@@ -61,15 +78,21 @@ using namespace ttmcas;
 struct ServeArgs
 {
     std::string socket_path;
+    std::string tcp_spec;
     bool pipe = false;
     std::size_t workers = 4;
     std::size_t queue = 16;
     double deadline_s = 30.0;
     std::string cache_dir;
     std::size_t cache_entries = 1024;
+    std::size_t cache_bytes = 0;
     std::size_t max_request_bytes = 1 << 20;
     std::size_t max_connections = 64;
+    double read_deadline_s = 30.0;
+    double idle_timeout_s = 0.0;
     double drain_grace_s = 5.0;
+    double fault_rate = 0.0;
+    std::uint64_t fault_seed = 1;
     std::string metrics_file;
     std::string manifest_file;
 };
@@ -78,11 +101,16 @@ struct ServeArgs
 usage()
 {
     std::cerr
-        << "usage: ttm_serve (--socket PATH | --pipe)\n"
+        << "usage: ttm_serve (--socket PATH | --tcp HOST:PORT | --pipe)\n"
+           "                 [--socket PATH] [--tcp HOST:PORT]\n"
            "                 [--workers n] [--queue n] [--deadline s]\n"
            "                 [--cache-dir dir] [--cache-entries n]\n"
+           "                 [--cache-bytes n]\n"
            "                 [--max-request-bytes n]\n"
-           "                 [--max-connections n] [--drain-grace s]\n"
+           "                 [--max-connections n]\n"
+           "                 [--read-deadline s] [--idle-timeout s]\n"
+           "                 [--drain-grace s]\n"
+           "                 [--fault-rate p] [--fault-seed n]\n"
            "                 [--metrics file.json] [--manifest file.json]\n";
     std::exit(2);
 }
@@ -92,11 +120,14 @@ parseArgs(int argc, char** argv)
 {
     ServeArgs args;
     const std::map<std::string, int> flags{
-        {"--socket", 1},        {"--pipe", 0},
-        {"--workers", 1},       {"--queue", 1},
-        {"--deadline", 1},      {"--cache-dir", 1},
-        {"--cache-entries", 1}, {"--max-request-bytes", 1},
-        {"--max-connections", 1}, {"--drain-grace", 1},
+        {"--socket", 1},        {"--tcp", 1},
+        {"--pipe", 0},          {"--workers", 1},
+        {"--queue", 1},         {"--deadline", 1},
+        {"--cache-dir", 1},     {"--cache-entries", 1},
+        {"--cache-bytes", 1},   {"--max-request-bytes", 1},
+        {"--max-connections", 1}, {"--read-deadline", 1},
+        {"--idle-timeout", 1},  {"--drain-grace", 1},
+        {"--fault-rate", 1},    {"--fault-seed", 1},
         {"--metrics", 1},       {"--manifest", 1},
     };
     for (int i = 1; i < argc; ++i) {
@@ -127,6 +158,8 @@ parseArgs(int argc, char** argv)
         try {
             if (flag == "--socket")
                 args.socket_path = value;
+            else if (flag == "--tcp")
+                args.tcp_spec = value;
             else if (flag == "--pipe")
                 args.pipe = true;
             else if (flag == "--workers")
@@ -139,12 +172,22 @@ parseArgs(int argc, char** argv)
                 args.cache_dir = value;
             else if (flag == "--cache-entries")
                 args.cache_entries = std::stoull(value);
+            else if (flag == "--cache-bytes")
+                args.cache_bytes = std::stoull(value);
             else if (flag == "--max-request-bytes")
                 args.max_request_bytes = std::stoull(value);
             else if (flag == "--max-connections")
                 args.max_connections = std::stoull(value);
+            else if (flag == "--read-deadline")
+                args.read_deadline_s = std::stod(value);
+            else if (flag == "--idle-timeout")
+                args.idle_timeout_s = std::stod(value);
             else if (flag == "--drain-grace")
                 args.drain_grace_s = std::stod(value);
+            else if (flag == "--fault-rate")
+                args.fault_rate = std::stod(value);
+            else if (flag == "--fault-seed")
+                args.fault_seed = std::stoull(value);
             else if (flag == "--metrics")
                 args.metrics_file = value;
             else if (flag == "--manifest")
@@ -153,97 +196,13 @@ parseArgs(int argc, char** argv)
             usage();
         }
     }
-    // Exactly one transport: --pipe, or --socket PATH.
-    if (args.pipe != args.socket_path.empty() ||
-        args.workers < 1 || args.queue < 1)
+    // Exactly one transport family: --pipe, or sockets (--socket
+    // and/or --tcp, which may serve concurrently).
+    const bool sockets = !args.socket_path.empty() || !args.tcp_spec.empty();
+    if (args.pipe == sockets || args.workers < 1 || args.queue < 1 ||
+        args.fault_rate < 0.0 || args.fault_rate > 1.0)
         usage();
     return args;
-}
-
-/**
- * Incremental NDJSON line splitter with an oversized-line guard: a
- * line that exceeds the limit *without a newline in sight* is cut off
- * and handed over as-is (handleLine then produces the structured
- * "limit-exceeded" reply), and the remainder of the physical line is
- * discarded — one hostile client cannot make the server buffer
- * unboundedly.
- */
-class LineSplitter
-{
-  public:
-    explicit LineSplitter(std::size_t max_line_bytes)
-        : _max_line_bytes(max_line_bytes)
-    {}
-
-    /** Feed received bytes; call nextLine() until it returns false. */
-    void feed(const char* data, std::size_t size)
-    {
-        for (std::size_t i = 0; i < size; ++i) {
-            const char c = data[i];
-            if (c == '\n') {
-                if (_discarding)
-                    _discarding = false;
-                else
-                    _complete.push_back(std::move(_partial));
-                _partial.clear();
-                continue;
-            }
-            if (_discarding)
-                continue;
-            _partial.push_back(c);
-            if (_partial.size() > _max_line_bytes) {
-                // Cut the runaway line: emit what we have (already
-                // over the limit, so the reply is a structured
-                // error) and skip until the next newline.
-                _complete.push_back(std::move(_partial));
-                _partial.clear();
-                _discarding = true;
-            }
-        }
-    }
-
-    /** Pop the next complete line into @p line. */
-    bool nextLine(std::string& line)
-    {
-        if (_complete.empty())
-            return false;
-        line = std::move(_complete.front());
-        _complete.erase(_complete.begin());
-        return true;
-    }
-
-    /** A trailing unterminated line at EOF ("" when none). */
-    std::string flushPartial()
-    {
-        _discarding = false;
-        std::string rest = std::move(_partial);
-        _partial.clear();
-        return rest;
-    }
-
-  private:
-    std::size_t _max_line_bytes;
-    std::string _partial;
-    std::vector<std::string> _complete;
-    bool _discarding = false;
-};
-
-/** Write all of @p data to @p fd, retrying short writes. */
-bool
-writeAll(int fd, const std::string& data)
-{
-    std::size_t written = 0;
-    while (written < data.size()) {
-        const ssize_t n =
-            ::write(fd, data.data() + written, data.size() - written);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        written += static_cast<std::size_t>(n);
-    }
-    return true;
 }
 
 /**
@@ -255,7 +214,7 @@ void
 runPipe(serve::EvalServer& server, const CancellationToken& token,
         const ServeArgs& args)
 {
-    LineSplitter splitter(args.max_request_bytes + 1);
+    serve::LineSplitter splitter(args.max_request_bytes + 1);
     char chunk[4096];
     std::string line;
     bool eof = false;
@@ -278,141 +237,30 @@ runPipe(serve::EvalServer& server, const CancellationToken& token,
         while (splitter.nextLine(line)) {
             if (line.empty())
                 continue;
-            writeAll(STDOUT_FILENO, server.handleLine(line) + "\n");
+            serve::writeAll(STDOUT_FILENO, server.handleLine(line) + "\n");
         }
     }
     const std::string rest = splitter.flushPartial();
     if (eof && !rest.empty())
-        writeAll(STDOUT_FILENO, server.handleLine(rest) + "\n");
+        serve::writeAll(STDOUT_FILENO, server.handleLine(rest) + "\n");
 }
 
-/** Per-connection loop of the socket transport. */
-void
-serveConnection(int fd, serve::EvalServer& server,
-                const CancellationToken& token,
-                const ServeArgs& args)
+/** The per-connection limits the command line asks for. */
+serve::ConnectionLimits
+connectionLimits(const ServeArgs& args)
 {
-    LineSplitter splitter(args.max_request_bytes + 1);
-    char chunk[4096];
-    std::string line;
-    while (!token.stopRequested()) {
-        pollfd pfd{fd, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, 100);
-        if (ready < 0) {
-            if (errno == EINTR)
-                continue;
-            break;
-        }
-        if (ready == 0)
-            continue;
-        const ssize_t n = ::read(fd, chunk, sizeof chunk);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            break; // client closed (or hard error): end of session
-        }
-        splitter.feed(chunk, static_cast<std::size_t>(n));
-        bool write_failed = false;
-        while (splitter.nextLine(line)) {
-            if (line.empty())
-                continue;
-            if (!writeAll(fd, server.handleLine(line) + "\n")) {
-                write_failed = true;
-                break;
-            }
-        }
-        if (write_failed)
-            break;
-    }
-    ::close(fd);
-}
-
-/** Detached-connection-thread accounting for shutdown. */
-struct ConnectionTracker
-{
-    std::atomic<std::size_t> active{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-
-    void threadDone()
-    {
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            --active;
-        }
-        done_cv.notify_all();
-    }
-
-    /** Wait for every connection thread to exit; true when none left. */
-    bool awaitZero(std::chrono::milliseconds timeout)
-    {
-        std::unique_lock<std::mutex> lock(mutex);
-        return done_cv.wait_for(lock, timeout,
-                                [this] { return active.load() == 0; });
-    }
-};
-
-/** Accept loop of the socket transport. Returns false on hard error. */
-bool
-runSocket(serve::EvalServer& server, const CancellationToken& token,
-          const ServeArgs& args, ConnectionTracker& tracker)
-{
-    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd < 0) {
-        std::cerr << "ttm_serve: socket(): " << std::strerror(errno)
-                  << "\n";
-        return false;
-    }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (args.socket_path.size() >= sizeof(addr.sun_path)) {
-        std::cerr << "ttm_serve: socket path too long: "
-                  << args.socket_path << "\n";
-        ::close(listen_fd);
-        return false;
-    }
-    std::strncpy(addr.sun_path, args.socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    ::unlink(args.socket_path.c_str()); // stale socket from a crash
-    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(listen_fd, 64) != 0) {
-        std::cerr << "ttm_serve: cannot listen on " << args.socket_path
-                  << ": " << std::strerror(errno) << "\n";
-        ::close(listen_fd);
-        return false;
-    }
-
-    // Readiness line: shell tests and supervisors wait for this.
-    std::cout << "ttm_serve ready socket=" << args.socket_path
-              << " workers=" << args.workers << " queue=" << args.queue
-              << " recovered=" << server.recoveredEntries() << std::endl;
-
-    while (!token.stopRequested()) {
-        pollfd pfd{listen_fd, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, 100);
-        if (ready <= 0)
-            continue;
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        if (tracker.active.load() >= args.max_connections) {
-            // Connection-level shedding mirrors request-level shedding.
-            writeAll(fd, serve::overloadedReply("", args.max_connections,
-                                                args.max_connections) +
-                             "\n");
-            ::close(fd);
-            continue;
-        }
-        ++tracker.active;
-        std::thread([fd, &server, &token, &args, &tracker] {
-            serveConnection(fd, server, token, args);
-            tracker.threadDone();
-        }).detach();
-    }
-    ::close(listen_fd);
-    ::unlink(args.socket_path.c_str());
-    return true;
+    serve::ConnectionLimits limits;
+    // +1 so the cut-off prefix of an oversized line is over the
+    // engine's limit and maps to a structured "limit-exceeded" reply.
+    limits.max_line_bytes = args.max_request_bytes + 1;
+    limits.read_deadline_s = args.read_deadline_s;
+    limits.idle_timeout_s = args.idle_timeout_s;
+    serve::RequestError deadline_error;
+    deadline_error.code = "read-deadline";
+    deadline_error.message =
+        "request line not completed within the read deadline";
+    limits.read_deadline_reply = serve::errorReply(deadline_error);
+    return limits;
 }
 
 } // namespace
@@ -421,6 +269,10 @@ int
 main(int argc, char** argv)
 {
     const ServeArgs args = parseArgs(argc, argv);
+
+    // Before any socket exists: a peer hangup mid-reply must surface
+    // as EPIPE from write(2), never a process-killing SIGPIPE.
+    serve::ignoreSigpipe();
 
     if (!args.metrics_file.empty() || !args.manifest_file.empty())
         obs::setMetricsEnabled(true);
@@ -436,11 +288,13 @@ main(int argc, char** argv)
         options.limits.max_request_bytes = args.max_request_bytes;
         options.cache.dir = args.cache_dir;
         options.cache.max_entries = args.cache_entries;
+        options.cache.max_bytes = args.cache_bytes;
+        options.fault_probability = args.fault_rate;
+        options.fault_seed = args.fault_seed;
 
         serve::EvalServer server(defaultTechnologyDb(), options);
 
-        ConnectionTracker tracker;
-        bool transport_ok = true;
+        serve::ConnectionTracker tracker;
         if (args.pipe) {
             std::cout << "ttm_serve ready pipe workers=" << args.workers
                       << " queue=" << args.queue
@@ -448,7 +302,61 @@ main(int argc, char** argv)
                       << std::endl;
             runPipe(server, stop, args);
         } else {
-            transport_ok = runSocket(server, stop, args, tracker);
+            serve::Listener unix_listener;
+            serve::Listener tcp_listener;
+            std::string error;
+            if (!args.socket_path.empty()) {
+                unix_listener =
+                    serve::Listener::listenUnix(args.socket_path, error);
+                if (!unix_listener.valid()) {
+                    std::cerr << "ttm_serve: " << error << "\n";
+                    return 1;
+                }
+            }
+            if (!args.tcp_spec.empty()) {
+                tcp_listener =
+                    serve::Listener::listenTcp(args.tcp_spec, error);
+                if (!tcp_listener.valid()) {
+                    std::cerr << "ttm_serve: " << error << "\n";
+                    return 1;
+                }
+            }
+
+            // Readiness line: shell tests and supervisors wait for
+            // this (and parse the bound TCP endpoint from it).
+            std::cout << "ttm_serve ready";
+            if (unix_listener.valid())
+                std::cout << " socket=" << unix_listener.endpoint();
+            if (tcp_listener.valid())
+                std::cout << " tcp=" << tcp_listener.endpoint();
+            std::cout << " workers=" << args.workers
+                      << " queue=" << args.queue
+                      << " recovered=" << server.recoveredEntries()
+                      << std::endl;
+
+            serve::AcceptLoopOptions loop;
+            loop.max_connections = args.max_connections;
+            loop.limits = connectionLimits(args);
+            loop.overloaded_reply = serve::overloadedReply(
+                "", args.max_connections, args.max_connections);
+            const serve::LineHandler handler =
+                [&server](const std::string& line) {
+                    return server.handleLine(line);
+                };
+
+            std::vector<std::thread> accepters;
+            if (unix_listener.valid())
+                accepters.emplace_back([&] {
+                    serve::runAcceptLoop(unix_listener, handler, stop,
+                                         loop, tracker);
+                });
+            if (tcp_listener.valid())
+                accepters.emplace_back([&] {
+                    serve::runAcceptLoop(tcp_listener, handler, stop,
+                                         loop, tracker);
+                });
+            for (std::thread& thread : accepters)
+                thread.join(); // each returns when the token stops
         }
 
         // Graceful drain: stop admitting, give in-flight work its
@@ -469,7 +377,8 @@ main(int argc, char** argv)
                   << " requests (ok " << stats.ok << ", errors "
                   << stats.errors << ", shed " << stats.shed
                   << ", deadline " << stats.deadline_exceeded
-                  << ", cache hits " << stats.cache.hits << ")\n";
+                  << ", cache hits " << stats.cache.hits
+                  << ", coalesced " << stats.coalesce_followers << ")\n";
 
         if (!args.metrics_file.empty())
             obs::writeMetrics(args.metrics_file);
@@ -488,8 +397,6 @@ main(int argc, char** argv)
             manifest.addKernel(timing);
             manifest.write(args.manifest_file);
         }
-        if (!transport_ok)
-            return 1;
     } catch (const std::exception& error) {
         std::cerr << "ttm_serve: fatal: " << error.what() << "\n";
         return 1;

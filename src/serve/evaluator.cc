@@ -69,7 +69,7 @@ writeSummary(JsonWriter& json, const std::vector<double>& samples)
 /** Shared analysis options for one server-side run. */
 UncertaintyAnalysis::Options
 analysisOptions(const EvalRequest& request, const CancellationToken& token,
-                FailureReport& report)
+                FailureReport& report, const FaultInjector& injector)
 {
     UncertaintyAnalysis::Options options;
     options.band = request.band;
@@ -81,12 +81,16 @@ analysisOptions(const EvalRequest& request, const CancellationToken& token,
     options.failure_policy = FailurePolicy::skipAndRecord(1.0);
     options.failure_report = &report;
     options.cancel = &token;
+    if (injector.enabled())
+        options.fault_injector = &injector;
     return options;
 }
 
 } // namespace
 
-Evaluator::Evaluator(TechnologyDb db) : _db(std::move(db)) {}
+Evaluator::Evaluator(TechnologyDb db, FaultInjector injector)
+    : _db(std::move(db)), _injector(std::move(injector))
+{}
 
 EvalKeyParams
 Evaluator::keyParams(const EvalRequest& request)
@@ -144,7 +148,7 @@ Evaluator::evaluateMc(const EvalRequest& request,
 {
     FailureReport report;
     const UncertaintyAnalysis::Options options =
-        analysisOptions(request, token, report);
+        analysisOptions(request, token, report, _injector);
     const UncertaintyAnalysis analysis(_db);
     const std::vector<double> samples =
         request.kind == RequestKind::McTtm
@@ -182,7 +186,7 @@ Evaluator::evaluateSobol(const EvalRequest& request,
 {
     FailureReport report;
     const UncertaintyAnalysis::Options options =
-        analysisOptions(request, token, report);
+        analysisOptions(request, token, report, _injector);
     const UncertaintyAnalysis analysis(_db);
     SobolResult result;
     bool have_indices = true;

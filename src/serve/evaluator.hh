@@ -22,6 +22,11 @@
  * Partial results are honest: EvalOutcome::complete is true only when
  * every point evaluated cleanly, and only complete payloads may enter
  * the result cache (the server enforces this).
+ *
+ * Chaos testing: an armed FaultInjector makes a deterministic subset
+ * of Monte-Carlo / Sobol points fail, exercising the skip-and-record
+ * path under live traffic (ttm_serve --fault-rate; the chaos harness
+ * asserts replies stay well-formed with honest failure counts).
  */
 
 #include <string>
@@ -29,6 +34,7 @@
 #include "core/uncertainty.hh"
 #include "serve/content_hash.hh"
 #include "serve/request.hh"
+#include "stats/fault_injection.hh"
 #include "support/cancel.hh"
 #include "tech/technology_db.hh"
 
@@ -49,8 +55,13 @@ struct EvalOutcome
 class Evaluator
 {
   public:
-    /** Evaluate against @p db (copied; the evaluator is immutable). */
-    explicit Evaluator(TechnologyDb db);
+    /**
+     * Evaluate against @p db (copied; the evaluator is immutable).
+     * An enabled @p injector arms deterministic per-point faults on
+     * Monte-Carlo and Sobol evaluations (chaos testing only).
+     */
+    explicit Evaluator(TechnologyDb db,
+                       FaultInjector injector = FaultInjector());
 
     /**
      * Run one evaluation request under @p token. Never throws for
@@ -87,6 +98,7 @@ class Evaluator
         const;
 
     TechnologyDb _db;
+    FaultInjector _injector;
 };
 
 } // namespace ttmcas::serve

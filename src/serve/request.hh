@@ -167,9 +167,10 @@ std::string drainingReply(const std::string& id);
 
 /**
  * A result reply: status is "ok", "deadline_exceeded", or
- * "cancelled"; @p cache is "hit", "miss", or "bypass"; @p payload is
- * the pre-rendered result object (embedded verbatim, so cached
- * payloads round-trip byte-for-byte).
+ * "cancelled"; @p cache is "hit", "miss", "bypass", or "coalesced"
+ * (the result came from another request's in-flight evaluation);
+ * @p payload is the pre-rendered result object (embedded verbatim, so
+ * cached payloads round-trip byte-for-byte).
  */
 std::string resultReply(const std::string& id, RequestKind kind,
                         const std::string& status,

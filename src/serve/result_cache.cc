@@ -4,7 +4,6 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <vector>
 
 #include "support/error.hh"
 #include "support/json.hh"
@@ -88,15 +87,18 @@ ResultCache::recover()
         std::filesystem::file_time_type mtime;
     };
     std::vector<DiskEntry> found;
+    std::uint64_t orphans = 0;
     std::error_code ec;
     for (const auto& item :
          std::filesystem::directory_iterator(_options.dir, ec)) {
         const std::filesystem::path& path = item.path();
         if (path.extension() == ".tmp") {
-            // Orphaned staging file from a writer killed mid-write:
-            // the rename never happened, so the entry never existed.
+            // Orphan from a writer (or evictor) killed mid-operation:
+            // the rename/remove pair never completed, so the entry
+            // either never existed or was already condemned.
             std::error_code remove_ec;
-            std::filesystem::remove(path, remove_ec);
+            if (std::filesystem::remove(path, remove_ec))
+                ++orphans;
             continue;
         }
         if (path.extension() != ".json")
@@ -109,7 +111,7 @@ ResultCache::recover()
     TTMCAS_REQUIRE(!ec, "cannot scan cache directory " + _options.dir +
                             ": " + ec.message());
 
-    // Newest entries win the max_entries budget.
+    // Newest entries win the entry/byte budgets.
     std::sort(found.begin(), found.end(),
               [](const DiskEntry& a, const DiskEntry& b) {
                   if (a.mtime != b.mtime)
@@ -118,9 +120,8 @@ ResultCache::recover()
               });
 
     std::lock_guard<std::mutex> lock(_mutex);
+    _stats.orphans_deleted += orphans;
     for (const DiskEntry& entry : found) {
-        if (_entries.size() >= _options.max_entries)
-            break;
         const std::string key = entry.path.stem().string();
         if (_entries.count(key) != 0)
             continue;
@@ -134,8 +135,23 @@ ResultCache::recover()
             ++_stats.torn_skipped;
             continue;
         }
-        _entries.emplace(key, std::move(*payload));
-        _insertion_order.push_back(key);
+        const bool over_entries = _entries.size() >= _options.max_entries;
+        const bool over_bytes =
+            _options.max_bytes != 0 &&
+            _bytes + payload->size() > _options.max_bytes;
+        if (over_entries || over_bytes) {
+            // A valid entry beyond the bounds: the bounded store must
+            // stay bounded across restarts, so delete it from disk
+            // (same rename-then-remove discipline as live eviction).
+            ++_stats.evictions;
+            _stats.evicted_bytes += payload->size();
+            removeDiskEntry(key);
+            continue;
+        }
+        _bytes += payload->size();
+        _lru.push_back(key);
+        _entries.emplace(key,
+                         Entry{std::move(*payload), std::prev(_lru.end())});
         ++_stats.recovered;
     }
     return static_cast<std::size_t>(_stats.recovered);
@@ -150,40 +166,76 @@ ResultCache::lookup(const std::string& key)
         ++_stats.misses;
         return std::nullopt;
     }
+    // Refresh recency: hits keep an entry alive under eviction.
+    _lru.splice(_lru.end(), _lru, it->second.lru);
     ++_stats.hits;
-    return it->second;
+    return it->second.payload;
 }
 
 bool
 ResultCache::insert(const std::string& key, const std::string& kernel,
                     const std::string& payload)
 {
+    std::vector<std::string> evicted_keys;
+    bool survived = true;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         if (_entries.count(key) != 0)
             return true;
-        _entries.emplace(key, payload);
-        _insertion_order.push_back(key);
+        _bytes += payload.size();
+        _lru.push_back(key);
+        _entries.emplace(key, Entry{payload, std::prev(_lru.end())});
         ++_stats.insertions;
-        evictLockedIfNeeded();
+        evictLockedIfNeeded(evicted_keys);
+        survived = _entries.count(key) != 0;
     }
-    // Persist outside the lock: disk latency must not serialize
+    // Disk work outside the lock: file latency must not serialize
     // lookups. A concurrent insert of the same key writes the same
     // bytes, and rename() makes the last writer win atomically.
     if (_options.dir.empty())
         return true;
+    for (const std::string& evicted : evicted_keys)
+        removeDiskEntry(evicted);
+    if (!survived)
+        return true; // oversized payload: admitted then evicted
     return persistEntry(key, kernel, payload);
 }
 
 void
-ResultCache::evictLockedIfNeeded()
+ResultCache::evictLockedIfNeeded(std::vector<std::string>& evicted_keys)
 {
-    while (_entries.size() > _options.max_entries &&
-           !_insertion_order.empty()) {
-        _entries.erase(_insertion_order.front());
-        _insertion_order.pop_front();
+    while (!_lru.empty() &&
+           (_entries.size() > _options.max_entries ||
+            (_options.max_bytes != 0 && _bytes > _options.max_bytes))) {
+        const std::string victim = _lru.front();
+        _lru.pop_front();
+        const auto it = _entries.find(victim);
+        if (it != _entries.end()) {
+            _bytes -= it->second.payload.size();
+            _stats.evicted_bytes += it->second.payload.size();
+            _entries.erase(it);
+        }
         ++_stats.evictions;
+        evicted_keys.push_back(victim);
     }
+}
+
+void
+ResultCache::removeDiskEntry(const std::string& key)
+{
+    // Same atomicity discipline as inserts, in reverse: rename the
+    // entry aside (atomic), then remove the renamed file. A kill -9
+    // between the two leaves only a *.tmp orphan for recover() to
+    // delete — never a half-deleted entry.
+    const std::filesystem::path target =
+        std::filesystem::path(_options.dir) / (key + ".json");
+    const std::filesystem::path condemned =
+        std::filesystem::path(_options.dir) / (key + ".json.evict.tmp");
+    std::error_code ec;
+    std::filesystem::rename(target, condemned, ec);
+    if (ec)
+        return; // entry was never persisted (or already evicted)
+    std::filesystem::remove(condemned, ec);
 }
 
 bool
@@ -221,6 +273,13 @@ ResultCache::size() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     return _entries.size();
+}
+
+std::size_t
+ResultCache::bytes() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _bytes;
 }
 
 ResultCacheStats

@@ -3,7 +3,7 @@
 
 /**
  * @file
- * Crash-safe content-addressed result cache for ttm_serve.
+ * Crash-safe, bounded, content-addressed result cache for ttm_serve.
  *
  * The cache maps a content-addressed key (serve/content_hash.hh) to
  * the pre-rendered JSON result payload of a completed evaluation.
@@ -12,33 +12,39 @@
  * reply to the miss that populated it — the crash-recovery test pins
  * this.
  *
- * Two tiers:
+ * The store is bounded in entries (Options::max_entries) and payload
+ * bytes (Options::max_bytes) with LRU eviction: lookup() refreshes an
+ * entry's recency, insert() evicts least-recently-used entries until
+ * both bounds hold again. A payload that alone exceeds max_bytes is
+ * uncacheable (admitted then immediately evicted).
  *
- *  - An in-memory map with FIFO insertion-order eviction bounded by
- *    Options::max_entries. Every lookup/insert goes through this tier.
- *  - An optional on-disk tier (Options::dir): each entry persists as
- *    `<dir>/<key>.json` written with the temp-then-rename idiom
- *    (stage to `<key>.json.tmp`, flush, std::filesystem::rename), so
- *    `kill -9` at any instant leaves either no entry or a complete
- *    one — never a torn file. recover() deletes orphaned `.tmp`
- *    staging files, validates every `*.json` entry envelope, skips
- *    (and counts) torn or corrupt ones, and reloads the rest, so a
- *    restarted server answers repeat queries from cache byte-for-byte.
+ * Persistence (Options::dir): the memory map and the disk tier hold
+ * the same entries.
  *
- * Eviction is memory-only: the disk tier is a cold archive that the
- * next recover() reloads (newest-first up to max_entries). Operators
- * bound it by clearing the directory; docs/SERVING.md documents the
- * layout.
+ *  - Inserts stage to `<key>.json.tmp`, flush, then
+ *    std::filesystem::rename — `kill -9` at any instant leaves either
+ *    no entry or a complete one, never a torn file.
+ *  - Evictions use the same discipline in reverse: rename the entry
+ *    to `<key>.json.evict.tmp`, then remove. A crash between the two
+ *    leaves only a `*.tmp` orphan, which recover() deletes (and
+ *    counts), so a restart after `kill -9` mid-eviction always
+ *    recovers a consistent bounded cache.
+ *  - recover() deletes orphaned `*.tmp` staging/eviction files,
+ *    validates every `*.json` entry envelope, skips (and counts) torn
+ *    or lying ones, reloads the newest entries up to the bounds, and
+ *    deletes (counting as evictions) any valid entries beyond them —
+ *    disk usage stays capped across restarts.
  *
  * Thread safety: every public method is safe to call concurrently.
  */
 
 #include <cstdint>
 #include <list>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace ttmcas::serve {
 
@@ -47,8 +53,10 @@ struct ResultCacheOptions
 {
     /** Persistence directory; empty = memory-only cache. */
     std::string dir;
-    /** In-memory entry bound (FIFO eviction beyond it). */
+    /** Entry bound (LRU eviction beyond it). */
     std::size_t max_entries = 1024;
+    /** Total cached payload bytes bound; 0 = entries-only bound. */
+    std::size_t max_bytes = 0;
 };
 
 /** Monotonic operation counters (all since construction). */
@@ -57,9 +65,11 @@ struct ResultCacheStats
     std::uint64_t hits = 0;         ///< lookups that found an entry
     std::uint64_t misses = 0;       ///< lookups that found nothing
     std::uint64_t insertions = 0;   ///< successful insert() calls
-    std::uint64_t evictions = 0;    ///< in-memory FIFO evictions
+    std::uint64_t evictions = 0;    ///< LRU evictions (both tiers)
+    std::uint64_t evicted_bytes = 0; ///< payload bytes evicted
     std::uint64_t recovered = 0;    ///< entries reloaded by recover()
     std::uint64_t torn_skipped = 0; ///< corrupt/torn files skipped
+    std::uint64_t orphans_deleted = 0; ///< *.tmp files recover() removed
 };
 
 /** Bounded, optionally-persistent map from content key to payload. */
@@ -74,28 +84,37 @@ class ResultCache
     explicit ResultCache(ResultCacheOptions options);
 
     /**
-     * Scan the persistence directory: delete `*.tmp` staging leftovers
-     * from a crashed writer, load every valid `*.json` entry (newest
-     * first, up to max_entries), and skip + count invalid ones.
-     * Returns the number of entries recovered. No-op when memory-only.
+     * Scan the persistence directory: delete `*.tmp` staging and
+     * eviction leftovers from a crashed writer (counted in
+     * orphans_deleted), load the newest valid `*.json` entries up to
+     * the entry/byte bounds, skip + count invalid ones, and delete
+     * valid entries beyond the bounds (counted as evictions). Returns
+     * the number of entries recovered. No-op when memory-only.
      */
     std::size_t recover();
 
-    /** The payload cached under @p key, or nullopt. Counts hit/miss. */
+    /**
+     * The payload cached under @p key, or nullopt. Counts hit/miss
+     * and refreshes the entry's LRU recency on a hit.
+     */
     std::optional<std::string> lookup(const std::string& key);
 
     /**
      * Cache @p payload under @p key (@p kernel is recorded in the
-     * entry envelope for operators). Persists atomically when a
-     * directory is configured; re-inserting an existing key is a
-     * no-op. Returns false when persistence failed (the entry is
-     * still served from memory).
+     * entry envelope for operators), evicting LRU entries as needed
+     * to hold the bounds. Persists atomically when a directory is
+     * configured; re-inserting an existing key is a no-op. Returns
+     * false when persistence failed (the entry is still served from
+     * memory).
      */
     bool insert(const std::string& key, const std::string& kernel,
                 const std::string& payload);
 
-    /** Current in-memory entry count. */
+    /** Current entry count. */
     std::size_t size() const;
+
+    /** Current cached payload bytes. */
+    std::size_t bytes() const;
 
     /** Counters since construction. */
     ResultCacheStats stats() const;
@@ -104,14 +123,24 @@ class ResultCache
     const std::string& dir() const { return _options.dir; }
 
   private:
-    void evictLockedIfNeeded();
+    /** Evict LRU entries until the bounds hold; appends their keys. */
+    void evictLockedIfNeeded(std::vector<std::string>& evicted_keys);
     bool persistEntry(const std::string& key, const std::string& kernel,
                       const std::string& payload);
+    /** Rename-then-remove the on-disk entry of an evicted key. */
+    void removeDiskEntry(const std::string& key);
+
+    struct Entry
+    {
+        std::string payload;
+        std::list<std::string>::iterator lru; ///< position in _lru
+    };
 
     ResultCacheOptions _options;
     mutable std::mutex _mutex;
-    std::map<std::string, std::string> _entries;  // key -> payload
-    std::list<std::string> _insertion_order;      // FIFO eviction queue
+    std::unordered_map<std::string, Entry> _entries;
+    std::list<std::string> _lru; ///< front = least recently used
+    std::size_t _bytes = 0;      ///< sum of cached payload sizes
     ResultCacheStats _stats;
 };
 

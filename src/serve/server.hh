@@ -6,27 +6,35 @@
  * The ttm_serve request engine, transport-agnostic.
  *
  * EvalServer::handleLine() maps one NDJSON request line to one reply
- * line. Transports (the Unix-socket accept loop and the stdin pipe
- * loop in examples/ttm_serve.cpp) call it from their own threads; the
- * method is fully thread-safe and NEVER throws on client input — any
- * line, hostile or not, produces exactly one structured reply.
+ * line. Transports (the Unix-socket and TCP accept loops and the
+ * stdin pipe loop in examples/ttm_serve.cpp) call it from their own
+ * threads; the method is fully thread-safe and NEVER throws on client
+ * input — any line, hostile or not, produces exactly one structured
+ * reply.
  *
  * Request flow:
  *
  *   parse (trust boundary, serve/request.hh)
  *     -> health/stats answered inline (they work even while draining)
  *     -> result-cache lookup (hits bypass admission entirely)
+ *     -> single-flight join (serve/singleflight.hh): identical
+ *        concurrent requests coalesce onto one evaluation — the first
+ *        leads, the rest block on the leader's published result with
+ *        their own deadlines
  *     -> admission gate (full -> "overloaded", draining -> "draining")
  *     -> thread-pool evaluation under a per-request CancellationToken
  *        with a wall-clock deadline
- *     -> complete results enter the crash-safe cache; partial results
- *        are returned with status "deadline_exceeded"/"cancelled"
+ *     -> complete results enter the crash-safe bounded cache; partial
+ *        results are returned with status "deadline_exceeded" /
+ *        "cancelled"
  *
  * Graceful drain: beginDrain() latches the admission gate (every new
  * evaluation request is answered "draining"), optionally cancels
  * in-flight tokens, and awaitIdle() lets the shutdown path bound the
  * wait. Health/stats stay answerable throughout, so an operator can
- * watch a drain finish.
+ * watch a drain finish. A drain also resolves open flights: the
+ * leader publishes its draining/cancelled result, so followers never
+ * outlive the shutdown.
  */
 
 #include <atomic>
@@ -41,6 +49,7 @@
 #include "serve/evaluator.hh"
 #include "serve/request.hh"
 #include "serve/result_cache.hh"
+#include "serve/singleflight.hh"
 #include "support/threadpool.hh"
 #include "tech/technology_db.hh"
 
@@ -63,6 +72,15 @@ struct ServeOptions
     ServeLimits limits;
     /** Result-cache configuration (dir = "" for memory-only). */
     ResultCacheOptions cache;
+    /**
+     * Chaos testing: probability that an evaluation point fails via
+     * the deterministic FaultInjector (0 disables). Injected faults
+     * flow through the skip-and-record path, so replies stay
+     * well-formed with honest failure counts.
+     */
+    double fault_probability = 0.0;
+    /** Seed of the deterministic fault injector. */
+    std::uint64_t fault_seed = 1;
 };
 
 /** Point-in-time server statistics (the "stats" reply's source). */
@@ -75,8 +93,12 @@ struct ServerStats
     std::uint64_t rejected_draining = 0; ///< "draining" replies
     std::uint64_t deadline_exceeded = 0; ///< partial results (deadline)
     std::uint64_t cancelled = 0;         ///< partial results (cancel)
+    std::uint64_t coalesce_leaders = 0;  ///< flights opened (led)
+    std::uint64_t coalesce_followers = 0; ///< requests that coalesced
+    std::size_t coalesce_in_flight = 0;  ///< currently open flights
     std::size_t in_flight = 0;       ///< currently admitted requests
     std::size_t cache_entries = 0;   ///< in-memory cache occupancy
+    std::size_t cache_bytes = 0;     ///< cached payload bytes
     ResultCacheStats cache;          ///< cache operation counters
 };
 
@@ -127,6 +149,30 @@ class EvalServer
 
   private:
     std::string handleEval(const EvalRequest& request);
+    /**
+     * Run one evaluation end to end — admission, pool submission,
+     * deadline — and return what happened as a FlightResult. Never
+     * throws; every admission decision and evaluation error maps to
+     * a FlightResult kind (the leader publishes it verbatim).
+     */
+    FlightResult runEvaluation(const EvalRequest& request);
+    /**
+     * Render a FlightResult as the reply for @p request. @p cache_state
+     * labels an ok result ("miss", "bypass", or "coalesced");
+     * @p insert_on_complete is true only on the leader path (followers
+     * and no_cache requests never insert).
+     */
+    std::string renderFlightReply(const EvalRequest& request,
+                                  const std::string& key,
+                                  const FlightResult& result,
+                                  const char* cache_state,
+                                  bool insert_on_complete);
+    /** Follower path: await the leader under the follower's deadline. */
+    std::string awaitCoalesced(const EvalRequest& request,
+                               const std::string& key,
+                               const SingleFlight::Flight& flight);
+    /** Mirror cache eviction/byte counters into the metrics registry. */
+    void publishCacheMetrics();
     std::string healthReply(const std::string& id) const;
     std::string statsReply(const std::string& id) const;
 
@@ -135,6 +181,7 @@ class EvalServer
     ResultCache _cache;
     AdmissionGate _gate;
     ThreadPool _pool;
+    SingleFlight _flights;
     std::size_t _recovered = 0;
 
     std::atomic<std::uint64_t> _requests{0};
@@ -144,6 +191,10 @@ class EvalServer
     std::atomic<std::uint64_t> _rejected_draining{0};
     std::atomic<std::uint64_t> _deadline_exceeded{0};
     std::atomic<std::uint64_t> _cancelled{0};
+    std::atomic<std::uint64_t> _coalesce_leaders{0};
+    std::atomic<std::uint64_t> _coalesce_followers{0};
+    /** Cache evictions already mirrored to serve.cache.evict. */
+    std::atomic<std::uint64_t> _evictions_observed{0};
 
     /** Tokens of in-flight requests, for drain-time cancellation. */
     mutable std::mutex _active_mutex;

@@ -1,0 +1,62 @@
+#include "serve/singleflight.hh"
+
+#include <utility>
+
+namespace ttmcas::serve {
+
+std::optional<FlightResult>
+SingleFlight::Flight::await(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline)
+    const
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    if (!deadline) {
+        _done_cv.wait(lock, [this] { return _done; });
+        return _result;
+    }
+    if (!_done_cv.wait_until(lock, *deadline, [this] { return _done; }))
+        return std::nullopt;
+    return _result;
+}
+
+SingleFlight::Join
+SingleFlight::join(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _flights.find(key);
+    if (it != _flights.end())
+        return Join{/*leader=*/false, it->second};
+    auto flight = std::make_shared<Flight>();
+    flight->_key = key;
+    _flights.emplace(key, flight);
+    return Join{/*leader=*/true, std::move(flight)};
+}
+
+void
+SingleFlight::publish(const std::shared_ptr<Flight>& flight,
+                      FlightResult result)
+{
+    {
+        // Retire before waking: a request arriving from here on opens
+        // a fresh flight instead of joining a finished one.
+        std::lock_guard<std::mutex> lock(_mutex);
+        const auto it = _flights.find(flight->_key);
+        if (it != _flights.end() && it->second == flight)
+            _flights.erase(it);
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->_mutex);
+        flight->_result = std::move(result);
+        flight->_done = true;
+    }
+    flight->_done_cv.notify_all();
+}
+
+std::size_t
+SingleFlight::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _flights.size();
+}
+
+} // namespace ttmcas::serve

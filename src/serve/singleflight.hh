@@ -1,0 +1,132 @@
+#ifndef TTMCAS_SERVE_SINGLEFLIGHT_HH
+#define TTMCAS_SERVE_SINGLEFLIGHT_HH
+
+/**
+ * @file
+ * Single-flight coalescing of identical in-flight computations.
+ *
+ * The paper's decision workloads (Sobol sweeps, scenario ensembles,
+ * chiplet Pareto fronts) are expensive and highly cacheable: under
+ * real traffic the same request often arrives many times before the
+ * first evaluation finishes. SingleFlight keys in-flight work by the
+ * content-addressed cache key: the first request to miss becomes the
+ * *leader* and evaluates; every identical request arriving while the
+ * flight is open becomes a *follower* and blocks on the leader's
+ * result instead of recomputing — N identical concurrent requests
+ * perform exactly one evaluation.
+ *
+ * Contract:
+ *  - exactly one leader per open flight (join() is atomic);
+ *  - the leader ALWAYS publishes — a result, a structured internal
+ *    error, or its admission decision (shed/draining) — so followers
+ *    can never hang on a flight whose leader went away;
+ *  - followers keep their own deadline: Flight::await() returns
+ *    nullopt when the follower's deadline expires first, and the
+ *    server maps that to a "deadline_exceeded" reply (never the
+ *    leader's later result);
+ *  - publish() retires the flight before waking followers, so a
+ *    request arriving after the leader finished starts a fresh flight
+ *    (it will hit the result cache first in practice).
+ *
+ * The serve.coalesce.{leader,follower} counters (server.hh) make the
+ * duplicate suppression observable.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "serve/evaluator.hh"
+
+namespace ttmcas::serve {
+
+/** What a flight's leader ended up with (published to followers). */
+struct FlightResult
+{
+    /** How the leader's attempt resolved. */
+    enum class Kind : std::uint8_t
+    {
+        Outcome,       ///< an evaluation outcome (any status)
+        InternalError, ///< evaluation threw; message holds the error
+        Shed,          ///< leader was shed by the admission gate
+        Draining,      ///< leader arrived while the server drains
+    };
+
+    Kind kind = Kind::Outcome;
+    /** The evaluation result (Kind::Outcome). */
+    EvalOutcome outcome;
+    /** The internal error message (Kind::InternalError). */
+    std::string message;
+    /** Queue state for the structured shed reply (Kind::Shed). */
+    std::size_t in_flight = 0;
+    /** Queue capacity for the structured shed reply (Kind::Shed). */
+    std::size_t capacity = 0;
+};
+
+/** Deduplicates identical in-flight computations by cache key. */
+class SingleFlight
+{
+  public:
+    /** One open computation; followers wait on it. */
+    class Flight
+    {
+      public:
+        /**
+         * Wait for the leader to publish. @p deadline bounds the wait
+         * (nullopt waits indefinitely); returns nullopt when the
+         * deadline expires first — the follower's own deadline always
+         * wins over the leader's eventual result.
+         */
+        std::optional<FlightResult> await(
+            const std::optional<std::chrono::steady_clock::time_point>&
+                deadline) const;
+
+      private:
+        friend class SingleFlight;
+        mutable std::mutex _mutex;
+        mutable std::condition_variable _done_cv;
+        bool _done = false;
+        FlightResult _result;
+        std::string _key;
+    };
+
+    /** What join() decided for one request. */
+    struct Join
+    {
+        /** True: caller leads (must publish); false: caller follows. */
+        bool leader = false;
+        /** The flight to publish to / await on. */
+        std::shared_ptr<Flight> flight;
+    };
+
+    /**
+     * Join the flight for @p key: the first caller per open flight
+     * leads, everyone else follows. A leader MUST eventually call
+     * publish() on the returned flight, on every path.
+     */
+    Join join(const std::string& key);
+
+    /**
+     * Publish the leader's result: retires the flight (a later
+     * identical request starts fresh) and wakes every follower.
+     */
+    void publish(const std::shared_ptr<Flight>& flight,
+                 FlightResult result);
+
+    /** Currently open flights (for the stats reply). */
+    std::size_t inFlight() const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> _flights;
+};
+
+} // namespace ttmcas::serve
+
+#endif // TTMCAS_SERVE_SINGLEFLIGHT_HH

@@ -1,0 +1,301 @@
+#include "serve/transport.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ttmcas::serve {
+
+void
+ignoreSigpipe()
+{
+    // A client that disconnects mid-reply turns write(2) into EPIPE
+    // instead of a process-killing SIGPIPE; writeAll reports it as a
+    // per-connection failure.
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool
+writeAll(int fd, const std::string& data)
+{
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + written, data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+ConnectionClose
+serveConnection(int fd, const LineHandler& handler,
+                const CancellationToken& token,
+                const ConnectionLimits& limits)
+{
+    LineSplitter splitter(limits.max_line_bytes);
+    char chunk[4096];
+    std::string line;
+    using Clock = std::chrono::steady_clock;
+    auto last_activity = Clock::now(); // last completed request/reply
+    auto line_started = last_activity; // first byte of current partial
+    bool was_mid = false;
+
+    const auto elapsed_s = [](Clock::time_point since) {
+        return std::chrono::duration<double>(Clock::now() - since).count();
+    };
+    const auto finish = [fd](ConnectionClose why) {
+        ::close(fd);
+        return why;
+    };
+    // Checked on every loop turn — a slow-loris client trickling one
+    // byte per poll interval keeps the fd readable, so the deadline
+    // must not live in the poll-timeout branch alone.
+    const auto deadlines = [&]() -> ConnectionClose {
+        if (splitter.midLine()) {
+            if (limits.read_deadline_s > 0.0 &&
+                elapsed_s(line_started) > limits.read_deadline_s) {
+                if (!limits.read_deadline_reply.empty())
+                    writeAll(fd, limits.read_deadline_reply + "\n");
+                return ConnectionClose::ReadDeadline;
+            }
+        } else if (limits.idle_timeout_s > 0.0 &&
+                   elapsed_s(last_activity) > limits.idle_timeout_s) {
+            return ConnectionClose::IdleTimeout;
+        }
+        return ConnectionClose::ClientClosed; // sentinel: keep going
+    };
+
+    while (!token.stopRequested()) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, limits.poll_interval_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return finish(ConnectionClose::ReadError);
+        }
+        if (ready == 0) {
+            const ConnectionClose why = deadlines();
+            if (why != ConnectionClose::ClientClosed)
+                return finish(why);
+            continue;
+        }
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n == 0)
+            return finish(ConnectionClose::ClientClosed);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return finish(ConnectionClose::ReadError);
+        }
+        splitter.feed(chunk, static_cast<std::size_t>(n));
+        bool completed_any = false;
+        while (splitter.nextLine(line)) {
+            completed_any = true;
+            if (line.empty())
+                continue;
+            if (!writeAll(fd, handler(line) + "\n"))
+                return finish(ConnectionClose::WriteFailed);
+            last_activity = Clock::now();
+        }
+        // The deadline clock starts when the *current* partial line
+        // began: on a not-mid -> mid transition, or right after a
+        // completed line when pipelined bytes already started the next.
+        if (splitter.midLine() && (!was_mid || completed_any))
+            line_started = Clock::now();
+        was_mid = splitter.midLine();
+        if (!was_mid)
+            last_activity = Clock::now();
+        const ConnectionClose why = deadlines();
+        if (why != ConnectionClose::ClientClosed)
+            return finish(why);
+    }
+    return finish(ConnectionClose::Stopped);
+}
+
+Listener&
+Listener::operator=(Listener&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        _fd = std::exchange(other._fd, -1);
+        _endpoint = std::move(other._endpoint);
+        _unlink_path = std::move(other._unlink_path);
+        other._endpoint.clear();
+        other._unlink_path.clear();
+    }
+    return *this;
+}
+
+void
+Listener::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    if (!_unlink_path.empty()) {
+        ::unlink(_unlink_path.c_str());
+        _unlink_path.clear();
+    }
+}
+
+Listener
+Listener::listenUnix(const std::string& path, std::string& error)
+{
+    Listener listener;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket(): ") + std::strerror(errno);
+        return listener;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long: " + path;
+        ::close(fd);
+        return listener;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str()); // stale socket from a crash
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        error = "cannot listen on " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return listener;
+    }
+    listener._fd = fd;
+    listener._endpoint = path;
+    listener._unlink_path = path;
+    return listener;
+}
+
+namespace {
+
+/** Printable "host:port" of a bound socket (for the ready line). */
+std::string
+boundEndpoint(int fd)
+{
+    sockaddr_storage storage{};
+    socklen_t len = sizeof(storage);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&storage), &len) != 0)
+        return "?";
+    char host[INET6_ADDRSTRLEN] = {0};
+    if (storage.ss_family == AF_INET) {
+        const auto* v4 = reinterpret_cast<const sockaddr_in*>(&storage);
+        ::inet_ntop(AF_INET, &v4->sin_addr, host, sizeof(host));
+        return std::string(host) + ":" +
+               std::to_string(ntohs(v4->sin_port));
+    }
+    if (storage.ss_family == AF_INET6) {
+        const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&storage);
+        ::inet_ntop(AF_INET6, &v6->sin6_addr, host, sizeof(host));
+        return "[" + std::string(host) + "]:" +
+               std::to_string(ntohs(v6->sin6_port));
+    }
+    return "?";
+}
+
+} // namespace
+
+Listener
+Listener::listenTcp(const std::string& spec, std::string& error)
+{
+    Listener listener;
+    // Split "host:port" on the last colon; "[::1]:0" strips brackets.
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec.size()) {
+        error = "TCP endpoint must be host:port, got '" + spec + "'";
+        return listener;
+    }
+    std::string host = spec.substr(0, colon);
+    const std::string port = spec.substr(colon + 1);
+    if (host.size() >= 2 && host.front() == '[' && host.back() == ']')
+        host = host.substr(1, host.size() - 2);
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+    addrinfo* results = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                                 &results);
+    if (rc != 0) {
+        error = "cannot resolve " + spec + ": " + ::gai_strerror(rc);
+        return listener;
+    }
+    for (const addrinfo* info = results; info; info = info->ai_next) {
+        const int fd = ::socket(info->ai_family, info->ai_socktype,
+                                info->ai_protocol);
+        if (fd < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, info->ai_addr, info->ai_addrlen) == 0 &&
+            ::listen(fd, 64) == 0) {
+            listener._fd = fd;
+            listener._endpoint = boundEndpoint(fd);
+            break;
+        }
+        error = "cannot listen on " + spec + ": " + std::strerror(errno);
+        ::close(fd);
+    }
+    ::freeaddrinfo(results);
+    if (!listener.valid() && error.empty())
+        error = "cannot listen on " + spec;
+    return listener;
+}
+
+int
+Listener::acceptNext(int timeout_ms)
+{
+    if (_fd < 0)
+        return -1;
+    pollfd pfd{_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0)
+        return -1;
+    return ::accept(_fd, nullptr, nullptr);
+}
+
+void
+runAcceptLoop(Listener& listener, const LineHandler& handler,
+              const CancellationToken& token,
+              const AcceptLoopOptions& options, ConnectionTracker& tracker)
+{
+    while (!token.stopRequested()) {
+        const int fd = listener.acceptNext(options.limits.poll_interval_ms);
+        if (fd < 0)
+            continue;
+        if (tracker.active.load() >= options.max_connections) {
+            // Connection-level shedding mirrors request-level shedding.
+            if (!options.overloaded_reply.empty())
+                writeAll(fd, options.overloaded_reply + "\n");
+            ::close(fd);
+            continue;
+        }
+        ++tracker.active;
+        std::thread([fd, &handler, &token, &options, &tracker] {
+            serveConnection(fd, handler, token, options.limits);
+            tracker.threadDone();
+        }).detach();
+    }
+}
+
+} // namespace ttmcas::serve

@@ -1,0 +1,288 @@
+#ifndef TTMCAS_SERVE_TRANSPORT_HH
+#define TTMCAS_SERVE_TRANSPORT_HH
+
+/**
+ * @file
+ * Transport layer of ttm_serve: listeners, connections, and wire
+ * framing, shared between the Unix-domain and TCP endpoints.
+ *
+ * The engine (serve/server.hh) is transport-agnostic — one request
+ * line in, one reply line out. Everything byte-level lives here:
+ *
+ *  - LineSplitter frames an NDJSON byte stream into lines, with an
+ *    oversized-line guard so one runaway client line cannot make the
+ *    server buffer unboundedly (the cut-off prefix still produces a
+ *    structured "limit-exceeded" reply, the remainder is discarded);
+ *  - writeAll() loops on partial writes and EINTR, so a reply is
+ *    either written whole or the connection is reported failed — a
+ *    single write(2) is never assumed to suffice;
+ *  - serveConnection() runs one connection's read/handle/write loop
+ *    with a per-connection *read deadline* (a started request line
+ *    must complete within the budget — a slow-loris client trickling
+ *    bytes is disconnected, never allowed to wedge the thread) and an
+ *    optional idle timeout for half-open clients;
+ *  - Listener abstracts the accept side over both address families:
+ *    Listener::listenUnix(path) and Listener::listenTcp("host:port",
+ *    port 0 picks an ephemeral port and endpoint() reports the bound
+ *    one, which the chaos harness and tests rely on);
+ *  - runAcceptLoop() is the shared thread-per-connection accept loop
+ *    with connection-level shedding above max_connections.
+ *
+ * A client hangup mid-reply must be a per-connection error, not a
+ * process kill: call ignoreSigpipe() once at startup so write(2) to a
+ * closed peer fails with EPIPE (writeAll returns false) instead of
+ * raising SIGPIPE.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/cancel.hh"
+
+namespace ttmcas::serve {
+
+/** Ignore SIGPIPE process-wide (idempotent, call before serving). */
+void ignoreSigpipe();
+
+/**
+ * Incremental NDJSON line splitter with an oversized-line guard: a
+ * line that exceeds the limit *without a newline in sight* is cut off
+ * and handed over as-is (the handler then produces the structured
+ * "limit-exceeded" reply), and the remainder of the physical line is
+ * discarded — one hostile client cannot make the server buffer
+ * unboundedly.
+ */
+class LineSplitter
+{
+  public:
+    explicit LineSplitter(std::size_t max_line_bytes)
+        : _max_line_bytes(max_line_bytes)
+    {}
+
+    /** Feed received bytes; call nextLine() until it returns false. */
+    void feed(const char* data, std::size_t size)
+    {
+        for (std::size_t i = 0; i < size; ++i) {
+            const char c = data[i];
+            if (c == '\n') {
+                if (_discarding)
+                    _discarding = false;
+                else
+                    _complete.push_back(std::move(_partial));
+                _partial.clear();
+                continue;
+            }
+            if (_discarding)
+                continue;
+            _partial.push_back(c);
+            if (_partial.size() > _max_line_bytes) {
+                // Cut the runaway line: emit what we have (already
+                // over the limit, so the reply is a structured
+                // error) and skip until the next newline.
+                _complete.push_back(std::move(_partial));
+                _partial.clear();
+                _discarding = true;
+            }
+        }
+    }
+
+    /** Pop the next complete line into @p line. */
+    bool nextLine(std::string& line)
+    {
+        if (_complete.empty())
+            return false;
+        line = std::move(_complete.front());
+        _complete.erase(_complete.begin());
+        return true;
+    }
+
+    /** A trailing unterminated line at EOF ("" when none). */
+    std::string flushPartial()
+    {
+        _discarding = false;
+        std::string rest = std::move(_partial);
+        _partial.clear();
+        return rest;
+    }
+
+    /**
+     * True while a request line has started but not yet completed
+     * (including the discard tail of an oversized line) — the state
+     * the per-connection read deadline applies to.
+     */
+    bool midLine() const { return !_partial.empty() || _discarding; }
+
+  private:
+    std::size_t _max_line_bytes;
+    std::string _partial;
+    std::vector<std::string> _complete;
+    bool _discarding = false;
+};
+
+/**
+ * Write all of @p data to @p fd, retrying short writes and EINTR.
+ * Returns false on any other error (EPIPE after a client hangup,
+ * ECONNRESET, ...) — the caller treats that as end of connection.
+ */
+bool writeAll(int fd, const std::string& data);
+
+/** Byte-level limits and deadlines of one connection. */
+struct ConnectionLimits
+{
+    /** LineSplitter bound (engine limit + 1 so the cut-off prefix is
+     *  over the engine's limit and maps to "limit-exceeded"). */
+    std::size_t max_line_bytes = (1u << 20) + 1;
+    /**
+     * Budget for *completing* a started request line (seconds). A
+     * connection whose partial line is older than this is closed
+     * (after read_deadline_reply, when configured): slow-loris
+     * protection. 0 disables.
+     */
+    double read_deadline_s = 30.0;
+    /**
+     * Budget for a connection with no request in progress (seconds).
+     * Half-open or abandoned clients are closed after this long
+     * between requests. 0 (default) keeps idle connections forever.
+     */
+    double idle_timeout_s = 0.0;
+    /** Poll granularity; bounds drain/deadline reaction latency. */
+    int poll_interval_ms = 100;
+    /**
+     * Reply line written (without trailing newline) before closing a
+     * connection that violated the read deadline; "" writes nothing.
+     */
+    std::string read_deadline_reply;
+};
+
+/** Why serveConnection() returned. */
+enum class ConnectionClose : std::uint8_t
+{
+    ClientClosed,  ///< orderly EOF from the peer
+    WriteFailed,   ///< reply could not be written (peer hung up)
+    ReadDeadline,  ///< started line not completed within the budget
+    IdleTimeout,   ///< no request activity within idle_timeout_s
+    Stopped,       ///< server shutdown (token stop)
+    ReadError,     ///< hard read(2) error other than EINTR
+};
+
+/** One request line in, one reply line (no trailing newline) out. */
+using LineHandler = std::function<std::string(const std::string&)>;
+
+/**
+ * Run one connection to completion: frame lines with LineSplitter,
+ * answer each via @p handler, enforce the read deadline and idle
+ * timeout. Never throws on client behaviour; closes @p fd before
+ * returning.
+ */
+ConnectionClose serveConnection(int fd, const LineHandler& handler,
+                                const CancellationToken& token,
+                                const ConnectionLimits& limits);
+
+/**
+ * Listening endpoint over either address family. Move-only; closes
+ * the socket (and unlinks a Unix socket path) on destruction.
+ */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener() { close(); }
+
+    Listener(Listener&& other) noexcept { *this = std::move(other); }
+    Listener& operator=(Listener&& other) noexcept;
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    /**
+     * Listen on a Unix-domain stream socket at @p path (a stale
+     * socket file from a crashed process is replaced). On failure
+     * returns an invalid Listener and sets @p error.
+     */
+    static Listener listenUnix(const std::string& path, std::string& error);
+
+    /**
+     * Listen on a TCP socket at @p spec ("host:port", e.g.
+     * "127.0.0.1:7070" or "[::1]:0"). Port 0 binds an ephemeral port;
+     * endpoint() reports the actually bound address either way. On
+     * failure returns an invalid Listener and sets @p error.
+     */
+    static Listener listenTcp(const std::string& spec, std::string& error);
+
+    /** True when the listener holds a live listening socket. */
+    bool valid() const { return _fd >= 0; }
+
+    /**
+     * Accept the next connection, waiting at most @p timeout_ms.
+     * Returns the connected fd, or -1 on timeout/EINTR (poll again).
+     */
+    int acceptNext(int timeout_ms);
+
+    /** Printable bound endpoint (resolved port for TCP port 0). */
+    const std::string& endpoint() const { return _endpoint; }
+
+    /** Close the socket now (destructor is then a no-op). */
+    void close();
+
+  private:
+    int _fd = -1;
+    std::string _endpoint;
+    std::string _unlink_path; ///< Unix socket path to unlink on close
+};
+
+/** Detached-connection-thread accounting for shutdown. */
+struct ConnectionTracker
+{
+    std::atomic<std::size_t> active{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+
+    void threadDone()
+    {
+        // Notify under the lock: once awaitZero's waiter observes
+        // active == 0 it may destroy this tracker, so the notify must
+        // complete before that observation becomes possible.
+        std::lock_guard<std::mutex> lock(mutex);
+        --active;
+        done_cv.notify_all();
+    }
+
+    /** Wait for every connection thread to exit; true when none left. */
+    bool awaitZero(std::chrono::milliseconds timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        return done_cv.wait_for(lock, timeout,
+                                [this] { return active.load() == 0; });
+    }
+};
+
+/** Configuration of runAcceptLoop(). */
+struct AcceptLoopOptions
+{
+    /** Concurrent connection bound (shed above it). */
+    std::size_t max_connections = 64;
+    /** Per-connection byte/deadline limits. */
+    ConnectionLimits limits;
+    /** Reply written to a connection shed at accept time. */
+    std::string overloaded_reply;
+};
+
+/**
+ * Thread-per-connection accept loop shared by every listener: accept
+ * until @p token stops, shed connections above max_connections with
+ * the structured overloaded reply, and track threads in @p tracker so
+ * shutdown can await them. Returns when the token stops.
+ */
+void runAcceptLoop(Listener& listener, const LineHandler& handler,
+                   const CancellationToken& token,
+                   const AcceptLoopOptions& options,
+                   ConnectionTracker& tracker);
+
+} // namespace ttmcas::serve
+
+#endif // TTMCAS_SERVE_TRANSPORT_HH

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Chaos soak of ttm_serve over TCP (tools/serve_chaos.py does the
+# heavy lifting; this wrapper owns the workdir and process hygiene):
+#
+#   - identical concurrent requests coalesce onto ONE evaluation,
+#     proven by serve.coalesce.* and cache.insertions in the stats
+#     reply, with byte-identical result payloads on every reply;
+#   - hostile wire input (garbage, oversized lines, byte-at-a-time
+#     framing, pipelined requests, mid-request disconnects,
+#     slow-loris) under SIGSTOP/SIGCONT never breaks the
+#     one-structured-reply-per-line contract;
+#   - overload floods shed with structured replies;
+#   - the bounded LRU cache never exceeds its bounds (polled live),
+#     kill -9 mid-burst leaves no torn entry, and a restart recovers
+#     a consistent bounded cache serving byte-identical replies;
+#   - an armed fault injector keeps replies well-formed;
+#   - every server instance drains on SIGTERM with exit code 0.
+#
+# Usage: serve_chaos_test.sh /path/to/ttm_serve /path/to/python3 \
+#            /path/to/serve_chaos.py
+set -u
+
+SERVE="${1:?usage: serve_chaos_test.sh ttm_serve python3 serve_chaos.py}"
+PY="${2:?usage: serve_chaos_test.sh ttm_serve python3 serve_chaos.py}"
+CHAOS="${3:?usage: serve_chaos_test.sh ttm_serve python3 serve_chaos.py}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ttmcas_serve_chaos.XXXXXX")"
+cleanup() {
+    # The harness kills its own servers; this sweep only reaps one a
+    # failed assertion may have stranded inside OUR workdir.
+    pkill -9 -f "ttm_serve .*${WORK}" 2> /dev/null
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+"${PY}" "${CHAOS}" "${SERVE}" "${WORK}"
+code=$?
+if [ "${code}" -ne 0 ]; then
+    echo "serve chaos harness failed (exit ${code})" >&2
+    for log in "${WORK}"/*.err; do
+        [ -s "${log}" ] || continue
+        echo "---- ${log} ----" >&2
+        tail -20 "${log}" >&2
+    done
+    exit 1
+fi
+echo "all serve chaos checks passed"

@@ -1,12 +1,14 @@
 /**
  * @file
- * ResultCache contract: bounded FIFO memory tier, atomic
- * temp-then-rename persistence, and a recover() pass that survives
- * anything a kill -9 can leave behind — orphaned staging files, torn
- * entries, truncated JSON, and entries whose envelope lies about its
- * own payload. Recovered payloads must be byte-for-byte identical to
- * what was inserted (the crash-recovery shell test pins the same
- * property end to end through the server binary).
+ * ResultCache contract: bounded LRU memory+disk tiers (entry and byte
+ * caps, lookups refresh recency), atomic temp-then-rename persistence,
+ * rename-then-remove eviction, and a recover() pass that survives
+ * anything a kill -9 can leave behind — orphaned staging and eviction
+ * files, torn entries, truncated JSON, entries whose envelope lies
+ * about its own payload, and more valid entries than the bounds allow.
+ * Recovered payloads must be byte-for-byte identical to what was
+ * inserted (the crash-recovery shell test pins the same property end
+ * to end through the server binary).
  */
 
 #include <filesystem>
@@ -37,11 +39,13 @@ class ResultCacheTest : public ::testing::Test
 
     void TearDown() override { std::filesystem::remove_all(dir); }
 
-    ResultCacheOptions diskOptions(std::size_t max_entries = 1024) const
+    ResultCacheOptions diskOptions(std::size_t max_entries = 1024,
+                                   std::size_t max_bytes = 0) const
     {
         ResultCacheOptions options;
         options.dir = dir.string();
         options.max_entries = max_entries;
+        options.max_bytes = max_bytes;
         return options;
     }
 
@@ -49,6 +53,14 @@ class ResultCacheTest : public ::testing::Test
     {
         std::ofstream out(dir / name, std::ios::trunc);
         out << content;
+    }
+
+    std::size_t jsonFilesOnDisk() const
+    {
+        std::size_t on_disk = 0;
+        for (const auto& item : std::filesystem::directory_iterator(dir))
+            on_disk += item.path().extension() == ".json" ? 1 : 0;
+        return on_disk;
     }
 
     std::filesystem::path dir;
@@ -61,6 +73,7 @@ TEST_F(ResultCacheTest, MemoryOnlyInsertLookupAndCounters)
     EXPECT_TRUE(cache.insert("k1", "mc_ttm", "payload-1"));
     EXPECT_EQ(cache.lookup("k1").value(), "payload-1");
     EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.bytes(), 9u);
 
     // Re-inserting an existing key is a no-op, not a second insertion.
     EXPECT_TRUE(cache.insert("k1", "mc_ttm", "different"));
@@ -73,7 +86,7 @@ TEST_F(ResultCacheTest, MemoryOnlyInsertLookupAndCounters)
     EXPECT_EQ(stats.evictions, 0u);
 }
 
-TEST_F(ResultCacheTest, FifoEvictionBoundsTheMemoryTier)
+TEST_F(ResultCacheTest, EntryBoundEvictsLeastRecentlyUsedFirst)
 {
     ResultCacheOptions options;
     options.max_entries = 2;
@@ -86,6 +99,68 @@ TEST_F(ResultCacheTest, FifoEvictionBoundsTheMemoryTier)
     EXPECT_TRUE(cache.lookup("b").has_value());
     EXPECT_TRUE(cache.lookup("c").has_value());
     EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(ResultCacheTest, LookupRefreshesRecencyUnderEviction)
+{
+    ResultCacheOptions options;
+    options.max_entries = 2;
+    ResultCache cache(options);
+    cache.insert("a", "k", "1");
+    cache.insert("b", "k", "2");
+    // Touch "a": now "b" is the least recently used entry.
+    EXPECT_TRUE(cache.lookup("a").has_value());
+    cache.insert("c", "k", "3");
+    EXPECT_TRUE(cache.lookup("a").has_value()) << "hit must keep it alive";
+    EXPECT_FALSE(cache.lookup("b").has_value()) << "LRU entry must go";
+    EXPECT_TRUE(cache.lookup("c").has_value());
+}
+
+TEST_F(ResultCacheTest, ByteBoundEvictsUntilItHolds)
+{
+    ResultCacheOptions options;
+    options.max_entries = 1024;
+    options.max_bytes = 10;
+    ResultCache cache(options);
+    cache.insert("a", "k", "aaaa"); // 4 bytes
+    cache.insert("b", "k", "bbbb"); // 8 bytes total
+    EXPECT_EQ(cache.bytes(), 8u);
+    cache.insert("c", "k", "cccc"); // 12 > 10: evict "a"
+    EXPECT_EQ(cache.bytes(), 8u);
+    EXPECT_FALSE(cache.lookup("a").has_value());
+    const ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.evicted_bytes, 4u);
+}
+
+TEST_F(ResultCacheTest, OversizedPayloadIsUncacheableButHarmless)
+{
+    ResultCache cache(diskOptions(/*max_entries=*/1024, /*max_bytes=*/8));
+    EXPECT_TRUE(cache.insert("big", "k", "way-more-than-eight-bytes"));
+    // Admitted then immediately evicted: nothing in memory or on disk.
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.bytes(), 0u);
+    EXPECT_FALSE(cache.lookup("big").has_value());
+    EXPECT_EQ(jsonFilesOnDisk(), 0u);
+    // A fitting payload afterwards works normally.
+    EXPECT_TRUE(cache.insert("ok", "k", "tiny"));
+    EXPECT_EQ(cache.lookup("ok").value(), "tiny");
+    EXPECT_EQ(jsonFilesOnDisk(), 1u);
+}
+
+TEST_F(ResultCacheTest, EvictionRemovesTheDiskEntryToo)
+{
+    ResultCache cache(diskOptions(/*max_entries=*/2));
+    cache.insert("a", "k", "1");
+    cache.insert("b", "k", "2");
+    EXPECT_EQ(jsonFilesOnDisk(), 2u);
+    cache.insert("c", "k", "3"); // evicts "a" from both tiers
+    EXPECT_EQ(jsonFilesOnDisk(), 2u);
+    EXPECT_FALSE(std::filesystem::exists(dir / "a.json"));
+    EXPECT_TRUE(std::filesystem::exists(dir / "b.json"));
+    EXPECT_TRUE(std::filesystem::exists(dir / "c.json"));
+    // No eviction staging file survives a completed eviction.
+    EXPECT_FALSE(std::filesystem::exists(dir / "a.json.evict.tmp"));
 }
 
 TEST_F(ResultCacheTest, PersistedEntriesRecoverByteForByte)
@@ -105,20 +180,27 @@ TEST_F(ResultCacheTest, PersistedEntriesRecoverByteForByte)
     EXPECT_EQ(restarted.stats().torn_skipped, 0u);
 }
 
-TEST_F(ResultCacheTest, RecoverDeletesOrphanedStagingFiles)
+TEST_F(ResultCacheTest, RecoverDeletesOrphanedStagingAndEvictionFiles)
 {
     {
         ResultCache cache(diskOptions());
         cache.insert("good", "k", "ok-payload");
     }
-    // A writer killed between write and rename leaves a .tmp file; it
-    // must be deleted, never loaded as an entry.
+    // A writer killed between write and rename leaves a .tmp staging
+    // file; an evictor killed between rename and remove leaves a
+    // .evict.tmp file. Both must be deleted, never loaded as entries.
     writeFile("torn.json.tmp", "{\"format\":\"ttmcas-serve-cache-v1\"");
+    writeFile("gone.json.evict.tmp",
+              R"({"format":"ttmcas-serve-cache-v1","key":"gone",)"
+              R"("kernel":"k","payload_bytes":2,"payload":"{}"})");
 
     ResultCache restarted(diskOptions());
     EXPECT_EQ(restarted.recover(), 1u);
     EXPECT_FALSE(std::filesystem::exists(dir / "torn.json.tmp"));
+    EXPECT_FALSE(std::filesystem::exists(dir / "gone.json.evict.tmp"));
+    EXPECT_EQ(restarted.stats().orphans_deleted, 2u);
     EXPECT_EQ(restarted.lookup("good").value(), "ok-payload");
+    EXPECT_FALSE(restarted.lookup("gone").has_value());
 }
 
 TEST_F(ResultCacheTest, TornAndLyingEntriesAreSkippedAndCounted)
@@ -147,7 +229,7 @@ TEST_F(ResultCacheTest, TornAndLyingEntriesAreSkippedAndCounted)
         EXPECT_FALSE(restarted.lookup(key).has_value()) << key;
 }
 
-TEST_F(ResultCacheTest, RecoveryHonorsTheMemoryBound)
+TEST_F(ResultCacheTest, RecoveryEnforcesTheEntryBoundOnDiskToo)
 {
     {
         ResultCache cache(diskOptions());
@@ -158,11 +240,30 @@ TEST_F(ResultCacheTest, RecoveryHonorsTheMemoryBound)
     ResultCache restarted(diskOptions(/*max_entries=*/3));
     EXPECT_EQ(restarted.recover(), 3u);
     EXPECT_EQ(restarted.size(), 3u);
-    // The disk tier keeps all five for a future, larger recover().
-    std::size_t on_disk = 0;
-    for (const auto& item : std::filesystem::directory_iterator(dir))
-        on_disk += item.path().extension() == ".json" ? 1 : 0;
-    EXPECT_EQ(on_disk, 5u);
+    // The bounded store stays bounded across restarts: the entries
+    // beyond the bound are deleted from disk (counted as evictions),
+    // so disk usage cannot ratchet up over restart cycles.
+    EXPECT_EQ(jsonFilesOnDisk(), 3u);
+    EXPECT_EQ(restarted.stats().evictions, 2u);
+    EXPECT_GT(restarted.stats().evicted_bytes, 0u);
+}
+
+TEST_F(ResultCacheTest, RecoveryEnforcesTheByteBound)
+{
+    {
+        ResultCache cache(diskOptions());
+        cache.insert("a", "k", std::string(6, 'a'));
+        cache.insert("b", "k", std::string(6, 'b'));
+        cache.insert("c", "k", std::string(6, 'c'));
+    }
+    // 18 payload bytes on disk, a 12-byte budget: only two entries
+    // can come back, the rest are deleted.
+    ResultCache restarted(diskOptions(/*max_entries=*/1024,
+                                      /*max_bytes=*/12));
+    EXPECT_EQ(restarted.recover(), 2u);
+    EXPECT_LE(restarted.bytes(), 12u);
+    EXPECT_EQ(jsonFilesOnDisk(), 2u);
+    EXPECT_EQ(restarted.stats().evictions, 1u);
 }
 
 } // namespace

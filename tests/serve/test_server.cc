@@ -278,6 +278,167 @@ TEST(EvalServerTest, RestartedServerServesRecoveredEntries)
     std::filesystem::remove_all(dir);
 }
 
+/** A deliberately slow line: 16-die max-samples Sobol, uncacheable. */
+std::string
+fillerLine(double deadline_s)
+{
+    std::string line =
+        R"({"id":"filler","kind":"sobol_ttm","design":{"dies":[)";
+    for (int i = 0; i < 16; ++i) {
+        if (i > 0)
+            line += ",";
+        line += R"({"process":"7nm","total_transistors":2.4e9,)"
+                R"("unique_transistors":2e8})";
+    }
+    line += R"(]},"samples":1048576,"no_cache":true,"deadline_s":)" +
+            std::to_string(deadline_s) + "}";
+    return line;
+}
+
+/**
+ * Wait (bounded) for @p predicate to hold; true when it did. The
+ * coalescing tests use this to sequence threads deterministically via
+ * the server's own counters.
+ */
+template <typename Predicate>
+bool
+eventually(Predicate predicate,
+           std::chrono::milliseconds budget = std::chrono::seconds(30))
+{
+    const auto give_up = std::chrono::steady_clock::now() + budget;
+    while (!predicate()) {
+        if (std::chrono::steady_clock::now() >= give_up)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+TEST(EvalServerTest, IdenticalConcurrentRequestsCoalesceOntoOneEval)
+{
+    // One worker: a slow filler occupies it, so the leader's pool job
+    // queues behind it — its flight stays open long enough for the
+    // followers to join deterministically.
+    ServeOptions options;
+    options.workers = 1;
+    options.queue_bound = 8;
+    options.default_deadline_s = 120.0;
+    EvalServer server(defaultTechnologyDb(), options);
+
+    std::thread filler([&] { server.handleLine(fillerLine(3.0)); });
+    ASSERT_TRUE(
+        eventually([&] { return server.stats().in_flight == 1; }));
+
+    // The leader registers its flight in handleEval (the transport
+    // thread) before blocking on the pool, so once the leader counter
+    // ticks the flight is joinable.
+    std::string leader_reply;
+    std::thread leader([&] {
+        leader_reply = server.handleLine(mcLine("lead"));
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return server.stats().coalesce_leaders == 1; }));
+
+    constexpr int kFollowers = 3;
+    std::vector<std::string> follower_replies(kFollowers);
+    std::vector<std::thread> followers;
+    for (int i = 0; i < kFollowers; ++i)
+        followers.emplace_back([&server, &follower_replies, i] {
+            // Different ids, same cache key: the id is not part of
+            // the content-addressed identity.
+            follower_replies[i] = server.handleLine(
+                mcLine("dup" + std::to_string(i)));
+        });
+    ASSERT_TRUE(eventually([&] {
+        return server.stats().coalesce_followers == kFollowers;
+    }));
+
+    filler.join();
+    leader.join();
+    for (std::thread& follower : followers)
+        follower.join();
+
+    const JsonValue lead_doc = parseJson(leader_reply);
+    EXPECT_EQ(lead_doc.at("status").asString(), "ok");
+    EXPECT_EQ(lead_doc.at("cache").asString(), "miss");
+    EXPECT_EQ(lead_doc.at("id").asString(), "lead");
+    for (int i = 0; i < kFollowers; ++i) {
+        const JsonValue doc = parseJson(follower_replies[i]);
+        EXPECT_EQ(doc.at("status").asString(), "ok");
+        EXPECT_EQ(doc.at("cache").asString(), "coalesced");
+        // Each follower's reply carries its own id...
+        EXPECT_EQ(doc.at("id").asString(), "dup" + std::to_string(i));
+        // ...around the leader's byte-identical payload.
+        EXPECT_EQ(resultPortion(follower_replies[i]),
+                  resultPortion(leader_reply));
+    }
+
+    // The acceptance pin: N identical concurrent requests performed
+    // exactly one evaluation.
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.coalesce_leaders, 1u);
+    EXPECT_EQ(stats.coalesce_followers,
+              static_cast<std::uint64_t>(kFollowers));
+    EXPECT_EQ(stats.cache.insertions, 1u);
+    EXPECT_EQ(stats.coalesce_in_flight, 0u);
+}
+
+TEST(EvalServerTest, CoalescedFollowerDeadlineBeatsTheLeader)
+{
+    ServeOptions options;
+    options.workers = 1;
+    options.queue_bound = 8;
+    options.default_deadline_s = 120.0;
+    EvalServer server(defaultTechnologyDb(), options);
+
+    std::thread filler([&] { server.handleLine(fillerLine(3.0)); });
+    ASSERT_TRUE(
+        eventually([&] { return server.stats().in_flight == 1; }));
+    std::string leader_reply;
+    std::thread leader([&] {
+        leader_reply = server.handleLine(mcLine("lead2"));
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return server.stats().coalesce_leaders == 1; }));
+
+    // A follower with a 50ms budget joins a flight whose leader is
+    // stuck behind a multi-second filler: its own deadline MUST win.
+    const std::string follower_reply = server.handleLine(
+        mcLine("impatient", R"(,"deadline_s":0.05)"));
+    const JsonValue doc = parseJson(follower_reply);
+    EXPECT_EQ(doc.at("status").asString(), "deadline_exceeded");
+    EXPECT_EQ(doc.at("cache").asString(), "coalesced");
+    EXPECT_EQ(doc.at("id").asString(), "impatient");
+    // The honest minimal payload — never the leader's later result.
+    EXPECT_TRUE(doc.at("result").at("coalesced").asBool());
+    EXPECT_FALSE(doc.at("result").at("leader_completed").asBool());
+
+    filler.join();
+    leader.join();
+    // The leader still completed normally afterwards.
+    EXPECT_EQ(parseJson(leader_reply).at("status").asString(), "ok");
+    EXPECT_GE(server.stats().deadline_exceeded, 1u);
+}
+
+TEST(EvalServerTest, StatsReplyExposesCoalesceAndCacheBounds)
+{
+    EvalServer server(defaultTechnologyDb(), quickOptions());
+    server.handleLine(mcLine("warm"));
+    const JsonValue stats = parseJson(
+        server.handleLine(R"({"id":"s1","kind":"stats"})"));
+    const JsonValue& coalesce = stats.at("coalesce");
+    EXPECT_EQ(coalesce.at("leaders").asNumber(), 1.0);
+    EXPECT_EQ(coalesce.at("followers").asNumber(), 0.0);
+    EXPECT_EQ(coalesce.at("in_flight").asNumber(), 0.0);
+    const JsonValue& cache = stats.at("cache");
+    EXPECT_EQ(cache.at("entries").asNumber(), 1.0);
+    EXPECT_GT(cache.at("bytes").asNumber(), 0.0);
+    EXPECT_EQ(cache.at("insertions").asNumber(), 1.0);
+    EXPECT_EQ(cache.at("evictions").asNumber(), 0.0);
+    EXPECT_EQ(cache.at("evicted_bytes").asNumber(), 0.0);
+    EXPECT_EQ(cache.at("orphans_deleted").asNumber(), 0.0);
+}
+
 TEST(EvalServerTest, ConcurrentMixedTrafficProducesOneReplyPerLine)
 {
     EvalServer server(defaultTechnologyDb(), quickOptions());

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * SingleFlight unit contract: exactly one leader per open flight,
+ * publish retires the flight before waking followers, leader results
+ * and errors propagate to every follower, and — the critical pin — a
+ * follower whose own deadline expires while waiting observes the
+ * timeout (nullopt), never the leader's later result.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/singleflight.hh"
+
+namespace ttmcas::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+FlightResult
+okResult(const std::string& payload)
+{
+    FlightResult result;
+    result.kind = FlightResult::Kind::Outcome;
+    result.outcome.payload = payload;
+    result.outcome.status = "ok";
+    result.outcome.complete = true;
+    return result;
+}
+
+TEST(SingleFlightTest, FirstJoinLeadsLaterJoinsFollow)
+{
+    SingleFlight flights;
+    const SingleFlight::Join first = flights.join("k1");
+    EXPECT_TRUE(first.leader);
+    const SingleFlight::Join second = flights.join("k1");
+    EXPECT_FALSE(second.leader);
+    EXPECT_EQ(first.flight, second.flight);
+    // A different key opens an independent flight.
+    const SingleFlight::Join other = flights.join("k2");
+    EXPECT_TRUE(other.leader);
+    EXPECT_EQ(flights.inFlight(), 2u);
+    flights.publish(first.flight, okResult("a"));
+    flights.publish(other.flight, okResult("b"));
+    EXPECT_EQ(flights.inFlight(), 0u);
+}
+
+TEST(SingleFlightTest, PublishRetiresTheFlightBeforeWaking)
+{
+    SingleFlight flights;
+    const SingleFlight::Join first = flights.join("k");
+    flights.publish(first.flight, okResult("r1"));
+    // The flight is retired: the next identical request leads anew
+    // instead of joining a finished flight.
+    const SingleFlight::Join next = flights.join("k");
+    EXPECT_TRUE(next.leader);
+    EXPECT_NE(first.flight, next.flight);
+    flights.publish(next.flight, okResult("r2"));
+}
+
+TEST(SingleFlightTest, FollowersReceiveTheLeadersResult)
+{
+    SingleFlight flights;
+    const SingleFlight::Join leader = flights.join("k");
+    ASSERT_TRUE(leader.leader);
+
+    constexpr int kFollowers = 4;
+    std::vector<std::thread> threads;
+    std::vector<std::string> payloads(kFollowers);
+    for (int i = 0; i < kFollowers; ++i) {
+        const SingleFlight::Join follower = flights.join("k");
+        EXPECT_FALSE(follower.leader);
+        threads.emplace_back([follower, &payloads, i] {
+            const auto result = follower.flight->await(std::nullopt);
+            ASSERT_TRUE(result.has_value());
+            EXPECT_EQ(result->kind, FlightResult::Kind::Outcome);
+            payloads[i] = result->outcome.payload;
+        });
+    }
+    flights.publish(leader.flight, okResult("the-payload"));
+    for (std::thread& thread : threads)
+        thread.join();
+    for (const std::string& payload : payloads)
+        EXPECT_EQ(payload, "the-payload");
+}
+
+TEST(SingleFlightTest, LeaderErrorPropagatesStructurally)
+{
+    SingleFlight flights;
+    const SingleFlight::Join leader = flights.join("k");
+    const SingleFlight::Join follower = flights.join("k");
+
+    FlightResult error;
+    error.kind = FlightResult::Kind::InternalError;
+    error.message = "evaluator exploded";
+    std::thread publisher([&flights, &leader, &error] {
+        flights.publish(leader.flight, error);
+    });
+    const auto result = follower.flight->await(std::nullopt);
+    publisher.join();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->kind, FlightResult::Kind::InternalError);
+    EXPECT_EQ(result->message, "evaluator exploded");
+}
+
+TEST(SingleFlightTest, ShedDecisionPropagatesQueueState)
+{
+    SingleFlight flights;
+    const SingleFlight::Join leader = flights.join("k");
+    const SingleFlight::Join follower = flights.join("k");
+    FlightResult shed;
+    shed.kind = FlightResult::Kind::Shed;
+    shed.in_flight = 7;
+    shed.capacity = 8;
+    flights.publish(leader.flight, shed);
+    const auto result = follower.flight->await(std::nullopt);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->kind, FlightResult::Kind::Shed);
+    EXPECT_EQ(result->in_flight, 7u);
+    EXPECT_EQ(result->capacity, 8u);
+}
+
+TEST(SingleFlightTest, FollowerDeadlineWinsOverTheLeadersLaterResult)
+{
+    SingleFlight flights;
+    const SingleFlight::Join leader = flights.join("k");
+    const SingleFlight::Join follower = flights.join("k");
+
+    // The follower's own deadline expires while the leader still
+    // computes: await() MUST report the timeout (nullopt), never block
+    // until the leader's result arrives.
+    const auto start = Clock::now();
+    const auto result =
+        follower.flight->await(start + std::chrono::milliseconds(50));
+    EXPECT_FALSE(result.has_value());
+    EXPECT_LT(Clock::now() - start, std::chrono::seconds(10));
+
+    // The leader publishing afterwards is unaffected; a fresh waiter
+    // (no deadline pressure) sees the result.
+    flights.publish(leader.flight, okResult("late"));
+    const auto late = follower.flight->await(std::nullopt);
+    ASSERT_TRUE(late.has_value());
+    EXPECT_EQ(late->outcome.payload, "late");
+}
+
+TEST(SingleFlightTest, ConcurrentJoinersElectExactlyOneLeader)
+{
+    SingleFlight flights;
+    constexpr int kThreads = 8;
+    std::atomic<int> leaders{0};
+    std::atomic<int> delivered{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&flights, &leaders, &delivered] {
+            const SingleFlight::Join join = flights.join("hot-key");
+            if (join.leader) {
+                leaders.fetch_add(1);
+                // Give followers a moment to pile on, then publish.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                flights.publish(join.flight, okResult("once"));
+                delivered.fetch_add(1);
+                return;
+            }
+            const auto result = join.flight->await(std::nullopt);
+            if (result.has_value() &&
+                result->outcome.payload == "once")
+                delivered.fetch_add(1);
+        });
+    }
+    for (std::thread& thread : threads)
+        thread.join();
+    EXPECT_EQ(leaders.load(), 1);
+    EXPECT_EQ(delivered.load(), kThreads);
+    EXPECT_EQ(flights.inFlight(), 0u);
+}
+
+} // namespace
+} // namespace ttmcas::serve

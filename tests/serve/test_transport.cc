@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Transport-layer contracts of ttm_serve (serve/transport.hh): NDJSON
+ * framing survives arbitrary read-boundary splits, oversized lines are
+ * cut and answered structurally, pipelined requests each get a reply,
+ * mid-request disconnects and slow-loris trickles close the connection
+ * without wedging a thread, writes survive EPIPE after ignoreSigpipe,
+ * and the TCP listener round-trips requests on an ephemeral port.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/transport.hh"
+#include "support/cancel.hh"
+
+namespace ttmcas::serve {
+namespace {
+
+/** Collect every line a splitter produces from @p chunks. */
+std::vector<std::string>
+splitAll(LineSplitter& splitter, const std::vector<std::string>& chunks)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    for (const std::string& chunk : chunks) {
+        splitter.feed(chunk.data(), chunk.size());
+        while (splitter.nextLine(line))
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+TEST(LineSplitterTest, FramesLinesAcrossArbitraryReadBoundaries)
+{
+    const std::string wire = "alpha\nbeta\ngamma\n";
+    // Every possible split point of the byte stream must produce the
+    // same three lines — the kernel hands the server arbitrary chunks.
+    for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+        LineSplitter splitter(64);
+        const std::vector<std::string> lines = splitAll(
+            splitter, {wire.substr(0, cut), wire.substr(cut)});
+        ASSERT_EQ(lines.size(), 3u) << "cut at " << cut;
+        EXPECT_EQ(lines[0], "alpha");
+        EXPECT_EQ(lines[1], "beta");
+        EXPECT_EQ(lines[2], "gamma");
+        EXPECT_FALSE(splitter.midLine());
+    }
+}
+
+TEST(LineSplitterTest, ByteAtATimeFeedMatchesSingleFeed)
+{
+    const std::string wire = "one\ntwo\n";
+    LineSplitter splitter(64);
+    std::vector<std::string> chunks;
+    for (char c : wire)
+        chunks.emplace_back(1, c);
+    const std::vector<std::string> lines = splitAll(splitter, chunks);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "one");
+    EXPECT_EQ(lines[1], "two");
+}
+
+TEST(LineSplitterTest, OversizedLineIsCutAndRemainderDiscarded)
+{
+    LineSplitter splitter(8);
+    // 20 bytes with no newline: emitted once cut (9 bytes, over the
+    // limit so the handler replies "limit-exceeded"), rest discarded.
+    const std::vector<std::string> lines =
+        splitAll(splitter, {"aaaaaaaaaaaaaaaaaaaa"});
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].size(), 9u);
+    EXPECT_TRUE(splitter.midLine()); // still discarding the tail
+
+    // The newline ends the discard; the next line is served normally.
+    std::string line;
+    splitter.feed("\nok\n", 4);
+    ASSERT_TRUE(splitter.nextLine(line));
+    EXPECT_EQ(line, "ok");
+    EXPECT_FALSE(splitter.midLine());
+}
+
+TEST(LineSplitterTest, FlushPartialReturnsUnterminatedTail)
+{
+    LineSplitter splitter(64);
+    splitter.feed("done\ntail-without-newline", 25);
+    std::string line;
+    ASSERT_TRUE(splitter.nextLine(line));
+    EXPECT_EQ(line, "done");
+    EXPECT_TRUE(splitter.midLine());
+    EXPECT_EQ(splitter.flushPartial(), "tail-without-newline");
+    EXPECT_FALSE(splitter.midLine());
+}
+
+TEST(WriteAllTest, SurvivesPeerHangupWithEpipeNotSigpipe)
+{
+    ignoreSigpipe();
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[1]); // peer gone
+    // Without ignoreSigpipe this write would raise SIGPIPE and kill
+    // the process; with it, writeAll reports failure and we continue.
+    const std::string data(1 << 16, 'x');
+    EXPECT_FALSE(writeAll(fds[0], data));
+    ::close(fds[0]);
+}
+
+/** serveConnection harness over a socketpair. */
+struct ConnectionHarness
+{
+    int client = -1;
+    std::thread server;
+    ConnectionClose close_reason = ConnectionClose::ReadError;
+    CancellationToken token;
+
+    explicit ConnectionHarness(const ConnectionLimits& limits,
+                               LineHandler handler = {})
+    {
+        ignoreSigpipe();
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        client = fds[0];
+        const int server_fd = fds[1];
+        if (!handler)
+            handler = [](const std::string& line) {
+                return "echo:" + line;
+            };
+        server = std::thread([this, server_fd, handler, limits] {
+            close_reason =
+                serveConnection(server_fd, handler, token, limits);
+        });
+    }
+
+    ~ConnectionHarness()
+    {
+        if (client >= 0)
+            ::close(client);
+        if (server.joinable())
+            server.join();
+    }
+
+    void send(const std::string& bytes)
+    {
+        ASSERT_TRUE(writeAll(client, bytes));
+    }
+
+    /** Read until @p n newline-terminated replies arrived. */
+    std::vector<std::string> readReplies(std::size_t n)
+    {
+        std::string buffer;
+        char chunk[4096];
+        while (static_cast<std::size_t>(std::count(buffer.begin(),
+                                                   buffer.end(), '\n')) <
+               n) {
+            const ssize_t got = ::read(client, chunk, sizeof chunk);
+            if (got <= 0)
+                break;
+            buffer.append(chunk, static_cast<std::size_t>(got));
+        }
+        std::vector<std::string> replies;
+        std::size_t start = 0;
+        for (std::size_t at = buffer.find('\n'); at != std::string::npos;
+             at = buffer.find('\n', start)) {
+            replies.push_back(buffer.substr(start, at - start));
+            start = at + 1;
+        }
+        return replies;
+    }
+
+    /** Close our end and wait for the server side to finish. */
+    ConnectionClose finish()
+    {
+        if (client >= 0) {
+            ::close(client);
+            client = -1;
+        }
+        server.join();
+        return close_reason;
+    }
+
+    /**
+     * Wait for the server side to finish WITHOUT closing our end —
+     * for the timeout/stop paths, where closing first would race an
+     * orderly EOF (ClientClosed) against the close reason under test.
+     */
+    ConnectionClose awaitServer()
+    {
+        server.join();
+        return close_reason;
+    }
+};
+
+ConnectionLimits
+quickLimits()
+{
+    ConnectionLimits limits;
+    limits.max_line_bytes = 64;
+    limits.poll_interval_ms = 10;
+    limits.read_deadline_s = 10.0;
+    return limits;
+}
+
+TEST(ServeConnectionTest, BytesSplitAcrossReadsStillFrameRequests)
+{
+    ConnectionHarness harness(quickLimits());
+    // Drip one request through many tiny writes, interleaved with a
+    // pipelined second request in a single write.
+    for (const char* piece : {"he", "ll", "o"})
+        harness.send(piece);
+    harness.send("\nworld\n");
+    const std::vector<std::string> replies = harness.readReplies(2);
+    ASSERT_EQ(replies.size(), 2u);
+    EXPECT_EQ(replies[0], "echo:hello");
+    EXPECT_EQ(replies[1], "echo:world");
+    EXPECT_EQ(harness.finish(), ConnectionClose::ClientClosed);
+}
+
+TEST(ServeConnectionTest, PipelinedRequestsEachGetExactlyOneReply)
+{
+    ConnectionHarness harness(quickLimits());
+    harness.send("a\nb\nc\nd\n");
+    const std::vector<std::string> replies = harness.readReplies(4);
+    ASSERT_EQ(replies.size(), 4u);
+    EXPECT_EQ(replies[0], "echo:a");
+    EXPECT_EQ(replies[3], "echo:d");
+    EXPECT_EQ(harness.finish(), ConnectionClose::ClientClosed);
+}
+
+TEST(ServeConnectionTest, OversizedLineWithoutNewlineGetsOneReply)
+{
+    ConnectionHarness harness(quickLimits());
+    // 100 bytes, limit 64, no newline: the cut prefix is handled (one
+    // reply), the discard tail produces nothing further.
+    harness.send(std::string(100, 'x'));
+    const std::vector<std::string> replies = harness.readReplies(1);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0], "echo:" + std::string(65, 'x'));
+    // After the terminating newline the connection serves normally.
+    harness.send("\nnext\n");
+    const std::vector<std::string> more = harness.readReplies(1);
+    ASSERT_EQ(more.size(), 1u);
+    EXPECT_EQ(more[0], "echo:next");
+    EXPECT_EQ(harness.finish(), ConnectionClose::ClientClosed);
+}
+
+TEST(ServeConnectionTest, MidRequestDisconnectClosesCleanly)
+{
+    ConnectionHarness harness(quickLimits());
+    harness.send("first\nsecond-without-newl");
+    const std::vector<std::string> replies = harness.readReplies(1);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0], "echo:first");
+    // Hang up mid-request: the half request is dropped, the thread
+    // exits with ClientClosed, no reply is fabricated.
+    EXPECT_EQ(harness.finish(), ConnectionClose::ClientClosed);
+}
+
+/**
+ * Deterministic pseudo-random chunking of @p wire (an LCG keyed by
+ * @p seed picks 1..7-byte chunks), so the corpus below replays every
+ * stream under several distinct read-boundary layouts.
+ */
+std::vector<std::string>
+chunksOf(const std::string& wire, std::uint64_t seed)
+{
+    std::vector<std::string> chunks;
+    std::uint64_t state = seed;
+    std::size_t at = 0;
+    while (at < wire.size()) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const std::size_t len = 1 + (state >> 33) % 7;
+        chunks.push_back(wire.substr(at, len));
+        at += len;
+    }
+    return chunks;
+}
+
+TEST(ServeConnectionTest, HostileWireCorpusSurvivesArbitraryChunking)
+{
+    // Each corpus entry is a hostile byte stream with the number of
+    // structured replies it must produce under a 64-byte line limit —
+    // no more, no fewer — regardless of where the kernel cuts reads.
+    struct WireCase
+    {
+        const char* name;
+        std::string bytes;
+        std::size_t replies;
+    };
+    const WireCase corpus[] = {
+        {"pipelined-then-truncated", "a\nb\nc\nd", 3},
+        {"oversized-no-newline", std::string(100, 'x'), 1},
+        {"oversized-then-valid", std::string(100, 'x') + "\nok\n", 2},
+        {"empty-lines-are-skipped", "\n\nok\n\n", 1},
+        {"binary-garbage", std::string("\x01\x02\x7f\n\xff\xfe\n", 7), 2},
+        {"mid-request-disconnect", "{\"kind\":", 0},
+    };
+    for (const WireCase& wire_case : corpus) {
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            ConnectionHarness harness(quickLimits());
+            for (const std::string& chunk :
+                 chunksOf(wire_case.bytes, seed))
+                harness.send(chunk);
+            const std::vector<std::string> replies =
+                harness.readReplies(wire_case.replies);
+            EXPECT_EQ(replies.size(), wire_case.replies)
+                << wire_case.name << " seed " << seed;
+            EXPECT_EQ(harness.finish(), ConnectionClose::ClientClosed)
+                << wire_case.name << " seed " << seed;
+        }
+    }
+}
+
+TEST(ServeConnectionTest, SlowLorisTrickleHitsTheReadDeadline)
+{
+    ConnectionLimits limits = quickLimits();
+    limits.read_deadline_s = 0.3;
+    limits.read_deadline_reply = "{\"status\":\"error\"}";
+    ConnectionHarness harness(limits);
+    // Trickle bytes of one never-ending request: each byte keeps the
+    // fd readable, so only the mid-line deadline can save the thread.
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 100; ++i) {
+        if (::write(harness.client, "x", 1) <= 0)
+            break; // server already closed on us — expected
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (std::chrono::steady_clock::now() - start >
+            std::chrono::seconds(10))
+            break;
+    }
+    EXPECT_EQ(harness.finish(), ConnectionClose::ReadDeadline);
+}
+
+TEST(ServeConnectionTest, IdleConnectionTimesOutWhenConfigured)
+{
+    ConnectionLimits limits = quickLimits();
+    limits.idle_timeout_s = 0.2;
+    ConnectionHarness harness(limits);
+    // Send nothing at all: a half-open client is reaped.
+    EXPECT_EQ(harness.awaitServer(), ConnectionClose::IdleTimeout);
+}
+
+TEST(ServeConnectionTest, StopTokenEndsTheConnection)
+{
+    ConnectionHarness harness(quickLimits());
+    harness.token.requestCancel();
+    EXPECT_EQ(harness.awaitServer(), ConnectionClose::Stopped);
+}
+
+TEST(ListenerTest, TcpEphemeralPortRoundTripsARequest)
+{
+    std::string error;
+    Listener listener = Listener::listenTcp("127.0.0.1:0", error);
+    ASSERT_TRUE(listener.valid()) << error;
+    const std::string endpoint = listener.endpoint();
+    const std::size_t colon = endpoint.rfind(':');
+    ASSERT_NE(colon, std::string::npos);
+    EXPECT_EQ(endpoint.substr(0, colon), "127.0.0.1");
+    const std::string port = endpoint.substr(colon + 1);
+    EXPECT_NE(port, "0"); // the bound port is reported, not the spec
+
+    CancellationToken token;
+    ConnectionTracker tracker;
+    AcceptLoopOptions options;
+    options.limits = quickLimits();
+    const LineHandler handler = [](const std::string& line) {
+        return "pong:" + line;
+    };
+    std::thread acceptor([&] {
+        runAcceptLoop(listener, handler, token, options, tracker);
+    });
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* results = nullptr;
+    ASSERT_EQ(::getaddrinfo("127.0.0.1", port.c_str(), &hints, &results),
+              0);
+    const int fd = ::socket(results->ai_family, results->ai_socktype,
+                            results->ai_protocol);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, results->ai_addr, results->ai_addrlen), 0);
+    ::freeaddrinfo(results);
+
+    ASSERT_TRUE(writeAll(fd, "ping\n"));
+    std::string reply;
+    char chunk[256];
+    while (reply.find('\n') == std::string::npos) {
+        const ssize_t got = ::read(fd, chunk, sizeof chunk);
+        ASSERT_GT(got, 0);
+        reply.append(chunk, static_cast<std::size_t>(got));
+    }
+    EXPECT_EQ(reply, "pong:ping\n");
+    ::close(fd);
+
+    token.requestCancel();
+    acceptor.join();
+    EXPECT_TRUE(tracker.awaitZero(std::chrono::milliseconds(10000)));
+}
+
+TEST(ListenerTest, MalformedTcpSpecIsAStructuredError)
+{
+    std::string error;
+    EXPECT_FALSE(Listener::listenTcp("no-port-here", error).valid());
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    EXPECT_FALSE(Listener::listenTcp(":", error).valid());
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace ttmcas::serve
