@@ -294,7 +294,22 @@ main(int argc, char** argv)
 
         serve::EvalServer server(defaultTechnologyDb(), options);
 
+        // Everything a detached connection thread references must
+        // outlive the accept loops: connection threads are awaited via
+        // tracker.awaitZero *after* the drain below, so the tracker,
+        // the loop options (deadline lambdas read its limits), and the
+        // handler all live in this scope, not inside the socket branch.
         serve::ConnectionTracker tracker;
+        serve::AcceptLoopOptions loop;
+        loop.max_connections = args.max_connections;
+        loop.limits = connectionLimits(args);
+        loop.overloaded_reply = serve::overloadedReply(
+            "", args.max_connections, args.max_connections);
+        const serve::LineHandler handler =
+            [&server](const std::string& line) {
+                return server.handleLine(line);
+            };
+
         if (args.pipe) {
             std::cout << "ttm_serve ready pipe workers=" << args.workers
                       << " queue=" << args.queue
@@ -333,16 +348,6 @@ main(int argc, char** argv)
                       << " queue=" << args.queue
                       << " recovered=" << server.recoveredEntries()
                       << std::endl;
-
-            serve::AcceptLoopOptions loop;
-            loop.max_connections = args.max_connections;
-            loop.limits = connectionLimits(args);
-            loop.overloaded_reply = serve::overloadedReply(
-                "", args.max_connections, args.max_connections);
-            const serve::LineHandler handler =
-                [&server](const std::string& line) {
-                    return server.handleLine(line);
-                };
 
             std::vector<std::thread> accepters;
             if (unix_listener.valid())

@@ -149,9 +149,11 @@ ResultCache::recover()
             continue;
         }
         _bytes += payload->size();
-        _lru.push_back(key);
-        _entries.emplace(key,
-                         Entry{std::move(*payload), std::prev(_lru.end())});
+        // Iteration is newest-first (for the budget), but _lru's front
+        // is the eviction victim: push_front so the oldest recovered
+        // entry ends up at the front and is evicted first.
+        _lru.push_front(key);
+        _entries.emplace(key, Entry{std::move(*payload), _lru.begin()});
         ++_stats.recovered;
     }
     return static_cast<std::size_t>(_stats.recovered);
@@ -180,8 +182,14 @@ ResultCache::insert(const std::string& key, const std::string& kernel,
     bool survived = true;
     {
         std::lock_guard<std::mutex> lock(_mutex);
-        if (_entries.count(key) != 0)
+        const auto it = _entries.find(key);
+        if (it != _entries.end()) {
+            // A re-insert is a no-op for the payload but still a touch:
+            // refresh recency like lookup() so a hot entry that keeps
+            // being recomputed is not evicted as if cold.
+            _lru.splice(_lru.end(), _lru, it->second.lru);
             return true;
+        }
         _bytes += payload.size();
         _lru.push_back(key);
         _entries.emplace(key, Entry{payload, std::prev(_lru.end())});
@@ -259,7 +267,22 @@ ResultCache::persistEntry(const std::string& key, const std::string& kernel,
             return false;
     }
     std::error_code ec;
-    std::filesystem::rename(staging, target, ec);
+    {
+        // Re-check membership under the lock before the staged file
+        // lands: a concurrent insert may have evicted this key while
+        // we were staging, and renaming now would resurrect a
+        // condemned entry on disk (unbounded until the next recover).
+        // rename() under the lock is a metadata-only operation, and
+        // eviction picks victims under the same lock, so a persist can
+        // never interleave with its own key's eviction.
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_entries.count(key) == 0) {
+            std::error_code remove_ec;
+            std::filesystem::remove(staging, remove_ec);
+            return true; // evicted while staging: nothing to persist
+        }
+        std::filesystem::rename(staging, target, ec);
+    }
     if (ec) {
         std::error_code remove_ec;
         std::filesystem::remove(staging, remove_ec);

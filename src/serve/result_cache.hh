@@ -88,8 +88,10 @@ class ResultCache
      * eviction leftovers from a crashed writer (counted in
      * orphans_deleted), load the newest valid `*.json` entries up to
      * the entry/byte bounds, skip + count invalid ones, and delete
-     * valid entries beyond the bounds (counted as evictions). Returns
-     * the number of entries recovered. No-op when memory-only.
+     * valid entries beyond the bounds (counted as evictions).
+     * Recovered entries enter the LRU in mtime order, so the oldest
+     * recovered entry is the first eviction victim after restart.
+     * Returns the number of entries recovered. No-op when memory-only.
      */
     std::size_t recover();
 
@@ -103,9 +105,10 @@ class ResultCache
      * Cache @p payload under @p key (@p kernel is recorded in the
      * entry envelope for operators), evicting LRU entries as needed
      * to hold the bounds. Persists atomically when a directory is
-     * configured; re-inserting an existing key is a no-op. Returns
-     * false when persistence failed (the entry is still served from
-     * memory).
+     * configured; re-inserting an existing key keeps the cached
+     * payload but refreshes the entry's LRU recency like lookup().
+     * Returns false when persistence failed (the entry is still
+     * served from memory).
      */
     bool insert(const std::string& key, const std::string& kernel,
                 const std::string& payload);

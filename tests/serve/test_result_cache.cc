@@ -11,6 +11,7 @@
  * to end through the server binary).
  */
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -112,6 +113,22 @@ TEST_F(ResultCacheTest, LookupRefreshesRecencyUnderEviction)
     EXPECT_TRUE(cache.lookup("a").has_value());
     cache.insert("c", "k", "3");
     EXPECT_TRUE(cache.lookup("a").has_value()) << "hit must keep it alive";
+    EXPECT_FALSE(cache.lookup("b").has_value()) << "LRU entry must go";
+    EXPECT_TRUE(cache.lookup("c").has_value());
+}
+
+TEST_F(ResultCacheTest, ReinsertRefreshesRecencyLikeALookup)
+{
+    ResultCacheOptions options;
+    options.max_entries = 2;
+    ResultCache cache(options);
+    cache.insert("a", "k", "1");
+    cache.insert("b", "k", "2");
+    // Re-inserting "a" keeps its payload but counts as a touch:
+    // "b" becomes the least recently used entry.
+    cache.insert("a", "k", "ignored");
+    cache.insert("c", "k", "3");
+    EXPECT_EQ(cache.lookup("a").value(), "1") << "touch must keep it alive";
     EXPECT_FALSE(cache.lookup("b").has_value()) << "LRU entry must go";
     EXPECT_TRUE(cache.lookup("c").has_value());
 }
@@ -246,6 +263,35 @@ TEST_F(ResultCacheTest, RecoveryEnforcesTheEntryBoundOnDiskToo)
     EXPECT_EQ(jsonFilesOnDisk(), 3u);
     EXPECT_EQ(restarted.stats().evictions, 2u);
     EXPECT_GT(restarted.stats().evicted_bytes, 0u);
+}
+
+TEST_F(ResultCacheTest, RecoverPreservesAgeOrderOldestEvictedFirst)
+{
+    {
+        ResultCache cache(diskOptions());
+        cache.insert("old", "k", "1");
+        cache.insert("mid", "k", "2");
+        cache.insert("new", "k", "3");
+    }
+    // Force distinct mtimes regardless of filesystem timestamp
+    // granularity, so the recovery sort order is deterministic.
+    const auto base = std::filesystem::last_write_time(dir / "old.json");
+    std::filesystem::last_write_time(dir / "mid.json",
+                                     base + std::chrono::seconds(2));
+    std::filesystem::last_write_time(dir / "new.json",
+                                     base + std::chrono::seconds(4));
+
+    ResultCache restarted(diskOptions(/*max_entries=*/3));
+    EXPECT_EQ(restarted.recover(), 3u);
+    // One insert over the bound: the *oldest* recovered entry must be
+    // the eviction victim, not the newest.
+    restarted.insert("fresh", "k", "4");
+    EXPECT_FALSE(restarted.lookup("old").has_value())
+        << "oldest recovered entry must be evicted first";
+    EXPECT_TRUE(restarted.lookup("mid").has_value());
+    EXPECT_TRUE(restarted.lookup("new").has_value());
+    EXPECT_TRUE(restarted.lookup("fresh").has_value());
+    EXPECT_FALSE(std::filesystem::exists(dir / "old.json"));
 }
 
 TEST_F(ResultCacheTest, RecoveryEnforcesTheByteBound)
